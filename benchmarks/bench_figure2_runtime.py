@@ -1,0 +1,105 @@
+"""Figure 2: generation time vs. corpus size.
+
+Times WILSON and the two submodular variants on corpora of growing
+sentence counts. Expected shape: the submodular frameworks grow
+quadratically (they materialise all pairwise sentence similarities),
+WILSON grows ~linearly, and the gap widens with corpus size -- the basis
+of the paper's "two orders of magnitude" speedup claim.
+"""
+
+import time
+
+from common import emit
+from repro.baselines.submodular import asmds, tls_constraints
+from repro.core.variants import wilson_full
+from repro.tlsdata.synthetic import SyntheticConfig, SyntheticCorpusGenerator
+
+#: Target pool sizes (dated sentences). Quadratic cost keeps the largest
+#: point modest so the sweep stays laptop-fast.
+SIZES = (500, 1000, 2000, 5000)
+NUM_DATES = 20
+NUM_SENTENCES = 1
+
+
+def _pool_of_size(target: int):
+    """A tagged pool of roughly *target* dated sentences."""
+    articles = max(10, target // 30)
+    config = SyntheticConfig(
+        topic=f"runtime-{target}",
+        theme="conflict",
+        seed=target,
+        duration_days=200,
+        num_events=40,
+        num_major_events=20,
+        num_articles=articles,
+        sentences_per_article=20,
+    )
+    instance = SyntheticCorpusGenerator(config).generate()
+    pool = instance.corpus.dated_sentences()
+    return pool[:target]
+
+
+def _time_method(method, pool) -> float:
+    start = time.perf_counter()
+    method.generate(pool, NUM_DATES, NUM_SENTENCES)
+    return time.perf_counter() - start
+
+
+def _runtime_sweep():
+    rows = []
+    timings = {"WILSON": [], "ASMDS": [], "TLSConstraints": []}
+    from repro.experiments.runner import WilsonMethod
+
+    for size in SIZES:
+        pool = _pool_of_size(size)
+        wilson_seconds = _time_method(
+            WilsonMethod(wilson_full()), pool
+        )
+        asmds_seconds = _time_method(asmds(), pool)
+        constraints_seconds = _time_method(tls_constraints(), pool)
+        timings["WILSON"].append(wilson_seconds)
+        timings["ASMDS"].append(asmds_seconds)
+        timings["TLSConstraints"].append(constraints_seconds)
+        rows.append(
+            [
+                len(pool),
+                f"{wilson_seconds:.3f}s",
+                f"{asmds_seconds:.3f}s",
+                f"{constraints_seconds:.3f}s",
+                f"{asmds_seconds / max(wilson_seconds, 1e-9):.1f}x",
+            ]
+        )
+    return rows, timings
+
+
+def test_figure2_runtime_curves(benchmark, capsys):
+    rows, timings = benchmark.pedantic(
+        _runtime_sweep, rounds=1, iterations=1
+    )
+    emit(
+        "figure2_runtime",
+        [
+            "corpus size", "WILSON", "ASMDS", "TLSConstraints",
+            "ASMDS/WILSON",
+        ],
+        rows,
+        title="Figure 2: running time over varying corpus sizes",
+        capsys=capsys,
+        notes=[
+            "paper: submodular curves grow quadratically to 500-4000s; "
+            "WILSON stays at seconds (2 orders of magnitude faster)",
+        ],
+    )
+    # Shape 1: submodular is much slower at the largest size.
+    assert timings["ASMDS"][-1] > 8 * timings["WILSON"][-1]
+    assert timings["TLSConstraints"][-1] > 5 * timings["WILSON"][-1]
+    # Shape 2: the submodular growth is superlinear -- growing the corpus
+    # 8x (500 -> 4000) grows its runtime far more than 8x.
+    submodular_growth = timings["ASMDS"][-1] / max(
+        timings["ASMDS"][0], 1e-9
+    )
+    assert submodular_growth > 16
+    # Shape 3: the speed gap widens with corpus size.
+    first_gap = timings["ASMDS"][0] / max(timings["WILSON"][0], 1e-9)
+    last_gap = timings["ASMDS"][-1] / max(timings["WILSON"][-1], 1e-9)
+    assert last_gap > first_gap

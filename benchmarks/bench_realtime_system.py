@@ -1,0 +1,67 @@
+"""Section 5: real-time system serving latency.
+
+True microbenchmarks of the deployed pipeline's two phases: ingestion
+throughput (sentence tokenisation + temporal tagging + indexing) and
+query serving (BM25 retrieval + WILSON generation). Expected shape:
+queries are served in well under a second at bench scale -- "generate
+timelines by event keywords in seconds" on a 1M-article corpus in the
+paper.
+"""
+
+from common import emit, tagged_timeline17
+from repro.search.engine import SearchEngine
+from repro.search.realtime import RealTimeTimelineSystem
+
+
+def _corpus():
+    return tagged_timeline17().instance(0).corpus
+
+
+def test_ingestion_throughput(benchmark, capsys):
+    corpus = _corpus()
+
+    def ingest():
+        engine = SearchEngine()
+        return engine.add_articles(corpus.articles)
+
+    indexed = benchmark(ingest)
+    emit(
+        "realtime_ingestion",
+        ["metric", "value"],
+        [
+            ["articles", len(corpus.articles)],
+            ["sentences indexed", indexed],
+        ],
+        title="Section 5: ingestion microbenchmark",
+        capsys=capsys,
+    )
+    assert indexed > len(corpus.articles)
+
+
+def test_query_latency(benchmark, capsys):
+    corpus = _corpus()
+    system = RealTimeTimelineSystem()
+    system.ingest(corpus.articles)
+    start, end = corpus.window
+
+    def serve():
+        return system.generate_timeline(
+            corpus.query, start, end, num_dates=10, num_sentences=1
+        )
+
+    response = benchmark(serve)
+    emit(
+        "realtime_query",
+        ["metric", "value"],
+        [
+            ["candidates", response.num_candidates],
+            ["timeline dates", len(response.timeline)],
+            ["retrieval (ms)", f"{response.retrieval_seconds * 1e3:.1f}"],
+            ["generation (ms)", f"{response.generation_seconds * 1e3:.1f}"],
+        ],
+        title="Section 5: query-serving microbenchmark",
+        capsys=capsys,
+        notes=["paper: timelines generated 'in seconds' on 1M articles"],
+    )
+    assert len(response.timeline) >= 3
+    assert response.total_seconds < 2.0

@@ -1,0 +1,86 @@
+"""Table 3: date coverage of Uniform / W3 / W3+Recency date selection.
+
+Expected shape: uniform dates maximise raw ±3-day coverage but have the
+worst date F1 and the worst summaries; the recency adjustment recovers
+coverage relative to plain W3 without giving up F1.
+"""
+
+import pytest
+
+from common import emit, tagged_crisis, tagged_timeline17
+from repro.core.pipeline import Wilson, WilsonConfig
+from repro.experiments.runner import WilsonMethod, run_method
+
+
+def _coverage_rows(tagged):
+    configs = [
+        (
+            "Uniform",
+            WilsonConfig(uniform_dates=True, recency_adjustment=False),
+        ),
+        ("W3", WilsonConfig(recency_adjustment=False)),
+        ("W3 + Recency", WilsonConfig(recency_adjustment=True)),
+    ]
+    rows = []
+    results = {}
+    for name, config in configs:
+        result = run_method(
+            WilsonMethod(Wilson(config), name=name), tagged
+        )
+        results[name] = result
+        rows.append(
+            [
+                name,
+                result.mean("date_coverage"),
+                result.mean("date_f1"),
+                result.mean("concat_r1"),
+                result.mean("concat_r2"),
+                result.mean("concat_s*"),
+            ]
+        )
+    return rows, results
+
+
+@pytest.mark.parametrize(
+    "dataset_name,loader",
+    [("timeline17", tagged_timeline17), ("crisis", tagged_crisis)],
+)
+def test_table3_date_coverage(benchmark, capsys, dataset_name, loader):
+    tagged = loader()
+    rows, results = benchmark.pedantic(
+        _coverage_rows, args=(tagged,), rounds=1, iterations=1
+    )
+    emit(
+        f"table3_{dataset_name}",
+        [
+            "Date Selection", "Coverage (±3)", "Date F1",
+            "ROUGE-1", "ROUGE-2", "ROUGE-S*",
+        ],
+        rows,
+        title=f"Table 3 ({dataset_name}): date coverage",
+        capsys=capsys,
+        notes=[
+            "paper (timeline17): Uniform .8398/.4475/.3896/.0917/.1598; "
+            "W3 .7828/.5668/.4000/.0995/.1676; "
+            "W3+Recency .8111/.5542/.4036/.1005/.1702",
+            "paper (crisis): Uniform .5932/.1325/.3387/.0570/.1138; "
+            "W3 .5459/.2726/.3573/.0738/.1246; "
+            "W3+Recency .5885/.2748/.3597/.0760/.1270",
+        ],
+    )
+    uniform, w3, recency = results["Uniform"], results["W3"], results[
+        "W3 + Recency"
+    ]
+    # Shape: graph selection beats uniform on date F1 and on the
+    # time-sensitive agreement metric. (At sparse bench scales the
+    # "uniform" baseline snaps to reporting days, which flatters its
+    # concat score relative to the paper's dense corpora, so the strict
+    # comparison is on agreement ROUGE.)
+    assert w3.mean("date_f1") > uniform.mean("date_f1")
+    assert recency.mean("date_f1") > uniform.mean("date_f1")
+    assert recency.mean("agreement_r2") > uniform.mean("agreement_r2")
+    assert recency.mean("concat_r2") >= uniform.mean("concat_r2") * 0.9
+    # Recency must not lose coverage relative to plain W3.
+    assert (
+        recency.mean("date_coverage") >= w3.mean("date_coverage") - 0.02
+    )

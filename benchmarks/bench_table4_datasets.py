@@ -1,0 +1,44 @@
+"""Table 4: dataset overview statistics.
+
+Regenerates the dataset-statistics table for the synthetic stand-ins of
+timeline17 and crisis. Topic/timeline counts match the paper exactly by
+construction; document/sentence volumes scale with the configured bench
+scale (the note records the paper's full-scale numbers).
+"""
+
+from common import CRISIS_SCALE, T17_SCALE, emit, tagged_crisis, tagged_timeline17
+from repro.tlsdata.stats import dataset_statistics
+
+
+def test_table4_dataset_overview(benchmark, capsys):
+    def build():
+        return [
+            dataset_statistics(tagged_timeline17().dataset),
+            dataset_statistics(tagged_crisis().dataset),
+        ]
+
+    stats = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [s.as_row() for s in stats]
+    emit(
+        "table4_datasets",
+        [
+            "Dataset", "# of topics", "# of timelines",
+            "# of doc", "# of sents", "duration days",
+        ],
+        rows,
+        title=(
+            f"Table 4: dataset overview (scales: timeline17 {T17_SCALE}, "
+            f"crisis {CRISIS_SCALE})"
+        ),
+        capsys=capsys,
+        notes=[
+            "paper (full scale): timeline17 9/19/739/36,915/242; "
+            "crisis 4/22/5,130/173,761/388",
+        ],
+    )
+    t17, crisis = stats
+    assert (t17.num_topics, t17.num_timelines) == (9, 19)
+    assert (crisis.num_topics, crisis.num_timelines) == (4, 22)
+    # Structural shape: crisis is larger per timeline and spans longer.
+    assert crisis.avg_docs_per_timeline > t17.avg_docs_per_timeline
+    assert crisis.avg_duration_days > t17.avg_duration_days

@@ -1,0 +1,94 @@
+"""Table 9: journalist evaluation of machine-generated timelines.
+
+Recreates the user-study protocol with the simulated journalist panel
+(see DESIGN.md -- human judges are substituted by seeded proxies that
+score content fidelity, date coverage and readability). Ten timelines are
+sampled across topics; ASMDS, TLSConstraints and WILSON are ranked per
+evaluation; the table reports 1st/2nd/3rd counts, MRR and DCG. Expected
+shape: WILSON earns the most first-place ranks and the best MRR/DCG.
+"""
+
+from common import emit, tagged_crisis, tagged_timeline17
+from repro.baselines.submodular import asmds, keyword_filter, tls_constraints
+from repro.core.variants import wilson_full
+from repro.evaluation.journalist import JournalistPanel
+from repro.evaluation.ranking import dcg, mean_reciprocal_rank, rank_histogram
+
+NUM_SAMPLES = 10
+
+
+def _sample_instances():
+    """10 of the 41 timelines, alternating between the two datasets."""
+    t17 = list(tagged_timeline17())
+    crisis = list(tagged_crisis())
+    sampled = []
+    for i in range(NUM_SAMPLES // 2):
+        sampled.append(t17[(i * 3) % len(t17)])
+        sampled.append(crisis[(i * 4) % len(crisis)])
+    return sampled
+
+
+def _run_study():
+    systems = {
+        "ASMDS": asmds(),
+        "TLSCONSTRAINTS": tls_constraints(),
+        "WILSON (Ours)": None,  # built per instance below
+    }
+    evaluations = []
+    references = []
+    for instance, pool in _sample_instances():
+        pool = keyword_filter(pool, instance.corpus.query)
+        T = instance.target_num_dates
+        N = instance.target_sentences_per_date
+        candidates = {
+            "ASMDS": systems["ASMDS"].generate(pool, T, N),
+            "TLSCONSTRAINTS": systems["TLSCONSTRAINTS"].generate(
+                pool, T, N
+            ),
+            "WILSON (Ours)": wilson_full(T, N).summarize(
+                pool, query=instance.corpus.query
+            ),
+        }
+        evaluations.append(candidates)
+        references.append(instance.reference)
+    panel = JournalistPanel(num_judges=2, seed=9)
+    return panel.evaluate_study(evaluations, references)
+
+
+def test_table9_journalist_ranking(benchmark, capsys):
+    ranks = benchmark.pedantic(_run_study, rounds=1, iterations=1)
+    rows = []
+    for name, system_ranks in ranks.items():
+        histogram = rank_histogram(system_ranks)
+        rows.append(
+            [
+                name,
+                histogram[0],
+                histogram[1],
+                histogram[2],
+                mean_reciprocal_rank(system_ranks),
+                dcg(system_ranks),
+            ]
+        )
+    rows.sort(key=lambda row: -row[4])
+    emit(
+        "table9_journalist",
+        ["Method", "1st", "2nd", "3rd", "MRR", "DCG"],
+        rows,
+        title="Table 9: simulated journalist evaluation (10 timelines)",
+        capsys=capsys,
+        notes=[
+            "paper: ASMDS 4/3/3 MRR .72 DCG 7.39; TLSCONSTRAINTS 1/6/3 "
+            "MRR .56 DCG 6.29; WILSON 5/1/4 MRR .76 DCG 7.63",
+            "judges are seeded proxies (content fidelity + coverage + "
+            "readability), not humans -- see DESIGN.md",
+        ],
+    )
+    wilson_ranks = ranks["WILSON (Ours)"]
+    # Shape: WILSON earns the best MRR and DCG of the three systems.
+    for name, system_ranks in ranks.items():
+        if name != "WILSON (Ours)":
+            assert mean_reciprocal_rank(wilson_ranks) >= (
+                mean_reciprocal_rank(system_ranks)
+            )
+            assert dcg(wilson_ranks) >= dcg(system_ranks)

@@ -1,0 +1,73 @@
+"""Shared helpers for the benchmark / experiment-regeneration suite.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+it runs the experiment (timed by pytest-benchmark), renders the result
+with :func:`repro.experiments.tables.format_table`, prints it to the
+terminal (bypassing capture) and archives it under
+``benchmarks/results/``.
+
+Scales are configurable through environment variables so the same suite
+can run as a quick smoke (default) or a longer, closer-to-paper sweep:
+
+* ``WILSON_BENCH_T17_SCALE``  (default 0.05)
+* ``WILSON_BENCH_CRISIS_SCALE`` (default 0.01)
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import List, Optional, Sequence
+
+from repro.experiments.datasets import (
+    TaggedDataset,
+    standard_crisis,
+    standard_timeline17,
+)
+from repro.experiments.tables import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+T17_SCALE = float(os.environ.get("WILSON_BENCH_T17_SCALE", "0.1"))
+CRISIS_SCALE = float(os.environ.get("WILSON_BENCH_CRISIS_SCALE", "0.02"))
+
+_TAGGED_CACHE: dict = {}
+
+
+def tagged_timeline17() -> TaggedDataset:
+    """The timeline17-shaped benchmark dataset with cached tagging."""
+    key = ("t17", T17_SCALE)
+    if key not in _TAGGED_CACHE:
+        _TAGGED_CACHE[key] = TaggedDataset(
+            standard_timeline17(scale=T17_SCALE)
+        )
+    return _TAGGED_CACHE[key]
+
+
+def tagged_crisis() -> TaggedDataset:
+    """The crisis-shaped benchmark dataset with cached tagging."""
+    key = ("crisis", CRISIS_SCALE)
+    if key not in _TAGGED_CACHE:
+        _TAGGED_CACHE[key] = TaggedDataset(
+            standard_crisis(scale=CRISIS_SCALE)
+        )
+    return _TAGGED_CACHE[key]
+
+
+def emit(
+    name: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str,
+    capsys,
+    notes: Optional[List[str]] = None,
+) -> str:
+    """Render, print (uncaptured) and archive one experiment table."""
+    table = format_table(headers, rows, title=title)
+    if notes:
+        table = table + "\n" + "\n".join(f"  note: {n}" for n in notes)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+    with capsys.disabled():
+        print(f"\n{table}\n")
+    return table

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Automatic date compression (Section 3.2.3).
+
+Timeline length T is normally a user knob. This example predicts it from
+the corpus itself: every candidate day gets a TextRank digest, digests are
+embedded (LSA, the offline BERT substitute) and clustered with Affinity
+Propagation; the cluster count becomes T.
+
+Run:  python examples/auto_compression.py
+"""
+
+from repro import DateCountPredictor, Wilson, WilsonConfig, make_timeline17_like
+from repro.evaluation import mape
+
+
+def main() -> None:
+    dataset = make_timeline17_like(scale=0.05)
+
+    predicted, actual = [], []
+    for instance in dataset.instances[:6]:
+        pool = instance.corpus.dated_sentences()
+        prediction = DateCountPredictor().predict(pool)
+        truth = instance.target_num_dates
+        predicted.append(prediction)
+        actual.append(truth)
+        print(f"{instance.name:28s} predicted T = {prediction:3d}   "
+              f"ground truth T = {truth:3d}")
+
+    print(f"\nMAPE of the Affinity-Propagation prediction: "
+          f"{mape(predicted, actual):.3f}")
+
+    # Plug the prediction straight into the pipeline: num_dates=None
+    # triggers automatic compression internally.
+    instance = dataset.instances[0]
+    wilson = Wilson(WilsonConfig(num_dates=None, sentences_per_date=1))
+    timeline = wilson.summarize_corpus(instance.corpus)
+    print(f"\nAuto-sized timeline for {instance.name}: "
+          f"{len(timeline)} dates")
+    for date, sentences in list(timeline)[:5]:
+        print(f"  {date}  {sentences[0][:70]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: generate a news timeline with WILSON.
+
+Builds a timeline17-like synthetic topic, runs the full WILSON pipeline
+(date selection -> daily summarisation -> post-processing), and scores the
+result against the ground-truth timeline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Wilson, WilsonConfig, make_timeline17_like
+from repro.evaluation import concat_rouge, date_coverage, date_f1
+
+
+def main() -> None:
+    # 1. A dataset of topics, each with articles + a reference timeline.
+    dataset = make_timeline17_like(scale=0.05)
+    instance = dataset.instances[0]
+    print(f"Topic: {instance.name}")
+    print(f"Articles: {len(instance.corpus.articles)}")
+    print(f"Reference timeline: {instance.target_num_dates} dates, "
+          f"{instance.reference.num_sentences()} sentences\n")
+
+    # 2. Configure WILSON with the evaluation protocol's T and N.
+    wilson = Wilson(
+        WilsonConfig(
+            num_dates=instance.target_num_dates,
+            sentences_per_date=instance.target_sentences_per_date,
+        )
+    )
+
+    # 3. Tokenise + temporally tag the corpus, then summarize.
+    timeline = wilson.summarize_corpus(instance.corpus)
+
+    # 4. Inspect the timeline.
+    print("Generated timeline (first 6 dates):")
+    for date, sentences in list(timeline)[:6]:
+        print(f"  {date}")
+        for sentence in sentences:
+            print(f"    - {sentence}")
+
+    # 5. Score it.
+    reference = instance.reference
+    print("\nScores vs. ground truth:")
+    print(f"  ROUGE-1 F1 (concat): "
+          f"{concat_rouge(timeline, reference, 1).f1:.4f}")
+    print(f"  ROUGE-2 F1 (concat): "
+          f"{concat_rouge(timeline, reference, 2).f1:.4f}")
+    print(f"  Date F1:             "
+          f"{date_f1(timeline.dates, reference.dates):.4f}")
+    print(f"  Date coverage (±3):  "
+          f"{date_coverage(timeline.dates, reference.dates):.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""WILSON: fast and effective news timeline summarization.
+
+A full reproduction of *"WILSON: A Divide and Conquer Approach for Fast and
+Effective News Timeline Summarization"* (EDBT 2021), including every
+substrate the paper depends on: temporal tagging, BM25/TF-IDF/TextRank,
+PageRank, Affinity Propagation, ROUGE and timeline-aware ROUGE evaluation,
+the TILSE-style submodular baselines, and a real-time search-engine-backed
+timeline system.
+
+Quickstart::
+
+    from repro import Wilson, WilsonConfig, make_timeline17_like
+
+    dataset = make_timeline17_like(scale=0.05)
+    instance = dataset.instances[0]
+    wilson = Wilson(WilsonConfig(
+        num_dates=instance.target_num_dates,
+        sentences_per_date=instance.target_sentences_per_date,
+    ))
+    timeline = wilson.summarize_corpus(instance.corpus)
+    for date, sentences in timeline:
+        print(date, sentences[0])
+"""
+
+from repro.core.pipeline import Wilson, WilsonConfig
+from repro.core.date_selection import DateSelector, EdgeWeight, uniformity
+from repro.core.compression import DateCountPredictor
+from repro.core.variants import (
+    wilson_full,
+    wilson_tran,
+    wilson_uniform,
+    wilson_without_post,
+)
+from repro.tlsdata.types import (
+    Article,
+    Corpus,
+    DatedSentence,
+    Dataset,
+    Timeline,
+    TimelineInstance,
+)
+from repro.tlsdata.synthetic import (
+    SyntheticConfig,
+    SyntheticCorpusGenerator,
+    make_crisis_like,
+    make_timeline17_like,
+)
+from repro.temporal.tagger import TemporalTagger
+from repro.tlsdata.storylines import StorylineSeparator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Article",
+    "Corpus",
+    "DateCountPredictor",
+    "DateSelector",
+    "DatedSentence",
+    "Dataset",
+    "EdgeWeight",
+    "SyntheticConfig",
+    "StorylineSeparator",
+    "SyntheticCorpusGenerator",
+    "TemporalTagger",
+    "Timeline",
+    "TimelineInstance",
+    "Wilson",
+    "WilsonConfig",
+    "__version__",
+    "make_crisis_like",
+    "make_timeline17_like",
+    "uniformity",
+    "wilson_full",
+    "wilson_tran",
+    "wilson_uniform",
+    "wilson_without_post",
+]

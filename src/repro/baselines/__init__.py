@@ -1,0 +1,61 @@
+"""Competing timeline-summarization methods (Section 3.1.2).
+
+Runnable implementations of every comparison row in Tables 5-8:
+
+* :mod:`random_baseline` -- random date and sentence selection;
+* :mod:`chieu` -- Chieu & Lee (2004): date-pivoted TF-IDF "interest";
+* :mod:`mead` -- Radev et al. (2004): centroid-based MDS;
+* :mod:`ets` -- Yan et al. (2011): evolutionary timeline summarization by
+  iterative substitution;
+* :mod:`submodular` -- Martschat & Markert (2018): the TILSE framework
+  (ASMDS and TLSConstraints), the paper's primary baseline;
+* :mod:`uniform` -- truly uniformly distributed dates (Table 3);
+* :mod:`oracle` -- ground-truth-date oracles for the empirical upper
+  bounds of Table 8;
+* :mod:`regression` -- Tran et al. (2013)-style supervised linear
+  regression over sentence features;
+* :mod:`ltr` -- Tran et al. (2013): pairwise learning-to-rank;
+* :mod:`lowrank` -- Wang et al. (2016)-style low-rank approximation;
+* :mod:`evolution` -- Liang et al. (2019)-style distributed-representation
+  evolutionary selection.
+"""
+
+from repro.baselines.base import TimelineMethod
+from repro.baselines.chieu import ChieuBaseline
+from repro.baselines.ets import EtsBaseline
+from repro.baselines.evolution import EvolutionBaseline
+from repro.baselines.lowrank import LowRankBaseline
+from repro.baselines.ltr import LearningToRankBaseline
+from repro.baselines.mead import MeadBaseline
+from repro.baselines.oracle import (
+    OracleDateSummarizer,
+    SupervisedOracleSummarizer,
+)
+from repro.baselines.random_baseline import RandomBaseline
+from repro.baselines.regression import RegressionBaseline
+from repro.baselines.submodular import (
+    SubmodularConfig,
+    SubmodularSummarizer,
+    asmds,
+    tls_constraints,
+)
+from repro.baselines.uniform import UniformDateBaseline
+
+__all__ = [
+    "ChieuBaseline",
+    "EtsBaseline",
+    "EvolutionBaseline",
+    "LearningToRankBaseline",
+    "LowRankBaseline",
+    "MeadBaseline",
+    "OracleDateSummarizer",
+    "RandomBaseline",
+    "RegressionBaseline",
+    "SubmodularConfig",
+    "SubmodularSummarizer",
+    "SupervisedOracleSummarizer",
+    "TimelineMethod",
+    "UniformDateBaseline",
+    "asmds",
+    "tls_constraints",
+]

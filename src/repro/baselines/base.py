@@ -1,0 +1,74 @@
+"""Common interface of all timeline-summarization methods."""
+
+from __future__ import annotations
+
+import abc
+import datetime
+from typing import Dict, List, Sequence, Tuple
+
+from repro.tlsdata.types import DatedSentence, Timeline
+
+
+class TimelineMethod(abc.ABC):
+    """A method that turns dated sentences into a timeline.
+
+    All methods (WILSON variants, baselines, oracles) implement
+    :meth:`generate` with the evaluation protocol's knobs: the preset
+    number of dates T and sentences per date N.
+    """
+
+    #: Human-readable method name used in result tables.
+    name: str = "method"
+
+    @abc.abstractmethod
+    def generate(
+        self,
+        dated_sentences: Sequence[DatedSentence],
+        num_dates: int,
+        num_sentences: int,
+        query: Sequence[str] = (),
+    ) -> Timeline:
+        """Produce a timeline with ~T dates and ~N sentences per date."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def group_texts_by_date(
+    dated_sentences: Sequence[DatedSentence],
+) -> Dict[datetime.date, List[str]]:
+    """Group distinct sentence texts by date, preserving order."""
+    grouped: Dict[datetime.date, List[str]] = {}
+    seen: Dict[datetime.date, set] = {}
+    for sentence in dated_sentences:
+        bucket = grouped.setdefault(sentence.date, [])
+        texts = seen.setdefault(sentence.date, set())
+        if sentence.text not in texts:
+            texts.add(sentence.text)
+            bucket.append(sentence.text)
+    return grouped
+
+
+def date_volumes(
+    dated_sentences: Sequence[DatedSentence],
+    publication_only: bool = True,
+) -> List[Tuple[datetime.date, int]]:
+    """Candidate dates with their sentence counts, heaviest first.
+
+    With ``publication_only`` (the default) a date's volume counts the
+    sentences *published* that day -- the classic "most heavily reported
+    dates" signal frequency baselines use. Counting mention-pooled
+    sentences as well (``publication_only=False``) would silently smuggle
+    in the date-reference signal that is WILSON's own contribution.
+    """
+    if publication_only:
+        pool = [s for s in dated_sentences if not s.is_reference]
+        if not pool:  # mention-only corpora: fall back to everything
+            pool = list(dated_sentences)
+    else:
+        pool = list(dated_sentences)
+    grouped = group_texts_by_date(pool)
+    return sorted(
+        ((date, len(texts)) for date, texts in grouped.items()),
+        key=lambda item: (-item[1], item[0]),
+    )

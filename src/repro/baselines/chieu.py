@@ -1,0 +1,116 @@
+"""Chieu & Lee (2004): query-based event extraction along a timeline.
+
+The original system scores each sentence by its *interest* -- the summed
+TF-IDF similarity to sentences published within a ±10-day window (popular,
+bursty content scores high) -- and extracts events in interest order with a
+redundancy filter. Dates emerge from the extracted sentences.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.base import TimelineMethod, group_texts_by_date
+from repro.text.similarity import sparse_cosine
+from repro.text.tfidf import TfidfModel
+from repro.text.tokenize import tokenize_for_matching
+from repro.tlsdata.types import DatedSentence, Timeline
+
+
+class ChieuBaseline(TimelineMethod):
+    """Date-pivoted TF-IDF interest ranking.
+
+    Parameters
+    ----------
+    window_days:
+        Half-width of the burst window the interest score sums over.
+    redundancy_threshold:
+        Extracted sentences closer than this cosine to an earlier
+        extraction are skipped.
+    """
+
+    name = "Chieu et al."
+
+    def __init__(
+        self,
+        window_days: int = 10,
+        redundancy_threshold: float = 0.6,
+    ) -> None:
+        self.window_days = window_days
+        self.redundancy_threshold = redundancy_threshold
+
+    def generate(
+        self,
+        dated_sentences: Sequence[DatedSentence],
+        num_dates: int,
+        num_sentences: int,
+        query: Sequence[str] = (),
+    ) -> Timeline:
+        del query
+        grouped = group_texts_by_date(dated_sentences)
+        if not grouped:
+            return Timeline()
+
+        # Flat candidate list with date attribution.
+        candidates: List[Tuple[datetime.date, str]] = []
+        for date in sorted(grouped):
+            for text in grouped[date]:
+                candidates.append((date, text))
+
+        tokenised = [
+            tokenize_for_matching(text) for _, text in candidates
+        ]
+        model = TfidfModel()
+        model.fit(tokenised)
+        vectors = model.transform_many(tokenised)
+
+        # Index candidates by date for windowed interest computation.
+        by_date: Dict[datetime.date, List[int]] = {}
+        for index, (date, _) in enumerate(candidates):
+            by_date.setdefault(date, []).append(index)
+        dates_sorted = sorted(by_date)
+
+        interest = [0.0] * len(candidates)
+        for date in dates_sorted:
+            window_indices: List[int] = []
+            for other in dates_sorted:
+                if abs((other - date).days) <= self.window_days:
+                    window_indices.extend(by_date[other])
+            for index in by_date[date]:
+                vector = vectors[index]
+                score = 0.0
+                for other_index in window_indices:
+                    if other_index != index:
+                        score += sparse_cosine(
+                            vector, vectors[other_index]
+                        )
+                interest[index] = score
+
+        order = sorted(
+            range(len(candidates)), key=lambda i: -interest[i]
+        )
+        timeline = Timeline()
+        per_date: Dict[datetime.date, int] = {}
+        selected_vectors: List[dict] = []
+        for index in order:
+            date, text = candidates[index]
+            if len(per_date) >= num_dates and date not in per_date:
+                continue
+            if per_date.get(date, 0) >= num_sentences:
+                continue
+            vector = vectors[index]
+            if any(
+                sparse_cosine(vector, other) >= self.redundancy_threshold
+                for other in selected_vectors
+            ):
+                continue
+            timeline.add(date, text)
+            per_date[date] = per_date.get(date, 0) + 1
+            selected_vectors.append(vector)
+            if (
+                len(per_date) >= num_dates
+                and all(v >= num_sentences for v in per_date.values())
+            ):
+                break
+        return timeline

@@ -1,0 +1,191 @@
+"""ETS (Yan et al., 2011): evolutionary timeline summarization.
+
+ETS frames TLS as a balanced optimisation over four heuristics --
+*relevance* (to the whole corpus), *coverage* (of heavily reported dates),
+*coherence* (between adjacent daily summaries) and *diversity* (within a
+day) -- solved by iterative substitution: starting from a seed selection,
+repeatedly swap a selected sentence for an unselected one whenever the
+swap improves the combined objective, until a local optimum (or the
+iteration budget) is reached. Swap gains are evaluated incrementally: a
+substitution only touches its own relevance term, the diversity pairs of
+its date, and the coherence pairs with the two adjacent dates.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.base import (
+    TimelineMethod,
+    date_volumes,
+    group_texts_by_date,
+)
+from repro.text.similarity import sparse_cosine
+from repro.text.tfidf import TfidfModel
+from repro.text.tokenize import tokenize_for_matching
+from repro.tlsdata.types import DatedSentence, Timeline
+
+SparseVector = Dict[int, float]
+
+
+class EtsBaseline(TimelineMethod):
+    """Iterative-substitution optimisation of blended timeline heuristics.
+
+    Parameters
+    ----------
+    relevance_weight, coherence_weight, diversity_weight:
+        Blend weights of the objective terms (coverage is induced by
+        restricting candidates to the most reported dates).
+    max_rounds:
+        Full substitution sweeps before giving up on improvement.
+    pool_limit:
+        Candidates kept per date (top by corpus-centroid relevance); keeps
+        the substitution search tractable on heavy days.
+    """
+
+    name = "ETS"
+
+    def __init__(
+        self,
+        relevance_weight: float = 1.0,
+        coherence_weight: float = 0.5,
+        diversity_weight: float = 0.5,
+        max_rounds: int = 3,
+        pool_limit: int = 20,
+        seed: int = 0,
+    ) -> None:
+        self.relevance_weight = relevance_weight
+        self.coherence_weight = coherence_weight
+        self.diversity_weight = diversity_weight
+        self.max_rounds = max_rounds
+        self.pool_limit = pool_limit
+        self.seed = seed
+
+    # -- incremental objective ---------------------------------------------------
+
+    def _local_value(
+        self,
+        index: int,
+        date: datetime.date,
+        chosen: Dict[datetime.date, List[int]],
+        dates: List[datetime.date],
+        date_position: Dict[datetime.date, int],
+        vectors: List[SparseVector],
+        relevance: List[float],
+    ) -> float:
+        """Objective contribution of placing *index* on *date*.
+
+        Covers the terms a single slot participates in: its relevance, its
+        diversity pairs within the date, and its coherence pairs with the
+        neighbouring dates.
+        """
+        value = self.relevance_weight * relevance[index]
+        for other in chosen[date]:
+            if other != index:
+                value -= self.diversity_weight * sparse_cosine(
+                    vectors[index], vectors[other]
+                )
+        position = date_position[date]
+        for neighbour_position in (position - 1, position + 1):
+            if 0 <= neighbour_position < len(dates):
+                neighbour = dates[neighbour_position]
+                for other in chosen[neighbour]:
+                    value += self.coherence_weight * sparse_cosine(
+                        vectors[index], vectors[other]
+                    )
+        return value
+
+    # -- generation ----------------------------------------------------------------
+
+    def generate(
+        self,
+        dated_sentences: Sequence[DatedSentence],
+        num_dates: int,
+        num_sentences: int,
+        query: Sequence[str] = (),
+    ) -> Timeline:
+        del query
+        grouped = group_texts_by_date(dated_sentences)
+        if not grouped:
+            return Timeline()
+        selected_dates = sorted(
+            date
+            for date, _ in date_volumes(dated_sentences)[:num_dates]
+        )
+        date_position = {d: i for i, d in enumerate(selected_dates)}
+
+        candidates: List[Tuple[datetime.date, str]] = []
+        pool_indices: Dict[datetime.date, List[int]] = {}
+        for date in selected_dates:
+            pool_indices[date] = []
+            for text in grouped[date]:
+                pool_indices[date].append(len(candidates))
+                candidates.append((date, text))
+
+        tokenised = [
+            tokenize_for_matching(text) for _, text in candidates
+        ]
+        model = TfidfModel()
+        model.fit(tokenised)
+        vectors = model.transform_many(tokenised)
+        centroid: SparseVector = {}
+        for vector in vectors:
+            for key, value in vector.items():
+                centroid[key] = centroid.get(key, 0.0) + value
+        if candidates:
+            centroid = {
+                k: v / len(candidates) for k, v in centroid.items()
+            }
+        relevance = [
+            sparse_cosine(vector, centroid) for vector in vectors
+        ]
+
+        # Prune each date's pool to the most corpus-relevant candidates.
+        for date in selected_dates:
+            pool_indices[date] = sorted(
+                pool_indices[date], key=lambda i: -relevance[i]
+            )[: self.pool_limit]
+
+        rng = random.Random(f"ets-{self.seed}")
+        chosen: Dict[datetime.date, List[int]] = {}
+        for date in selected_dates:
+            pool = pool_indices[date]
+            chosen[date] = rng.sample(
+                pool, k=min(num_sentences, len(pool))
+            )
+
+        for _ in range(self.max_rounds):
+            improved = False
+            for date in selected_dates:
+                slots = chosen[date]
+                for slot in range(len(slots)):
+                    current = slots[slot]
+                    current_value = self._local_value(
+                        current, date, chosen, selected_dates,
+                        date_position, vectors, relevance,
+                    )
+                    best_candidate = current
+                    best_value = current_value
+                    for candidate in pool_indices[date]:
+                        if candidate in slots:
+                            continue
+                        value = self._local_value(
+                            candidate, date, chosen, selected_dates,
+                            date_position, vectors, relevance,
+                        )
+                        if value > best_value + 1e-12:
+                            best_value = value
+                            best_candidate = candidate
+                    if best_candidate != current:
+                        slots[slot] = best_candidate
+                        improved = True
+            if not improved:
+                break
+
+        timeline = Timeline()
+        for date in selected_dates:
+            for index in chosen[date]:
+                timeline.add(date, candidates[index][1])
+        return timeline

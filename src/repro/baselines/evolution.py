@@ -1,0 +1,139 @@
+"""Dynamic evolutionary baseline (Liang et al., 2019-style).
+
+The original builds a dynamic evolutionary framework over distributed
+sentence representations: the timeline grows date by date, preferring
+dates whose content is both *salient* (central in embedding space) and
+*novel* relative to the evolving summary state. This reproduction uses LSA
+embeddings (the offline substitute for the original's distributed
+representations) and a forward pass with an exponentially decayed state
+vector.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import TimelineMethod, group_texts_by_date
+from repro.text.embeddings import LsaEmbedder
+from repro.tlsdata.types import DatedSentence, Timeline
+
+
+class EvolutionBaseline(TimelineMethod):
+    """Embedding-centrality timeline evolution.
+
+    Parameters
+    ----------
+    decay:
+        Per-day exponential decay of the evolving story-state vector.
+    novelty_weight:
+        Weight of the novelty term (1 - similarity to state) in the date
+        score; salience gets ``1 - novelty_weight``.
+    dimensions:
+        LSA embedding dimensionality.
+    """
+
+    name = "Liang et al."
+
+    def __init__(
+        self,
+        decay: float = 0.95,
+        novelty_weight: float = 0.35,
+        dimensions: int = 48,
+        redundancy_threshold: float = 0.8,
+    ) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must lie in (0, 1], got {decay}")
+        if not 0.0 <= novelty_weight <= 1.0:
+            raise ValueError(
+                f"novelty_weight must lie in [0, 1], got {novelty_weight}"
+            )
+        self.decay = decay
+        self.novelty_weight = novelty_weight
+        self.dimensions = dimensions
+        self.redundancy_threshold = redundancy_threshold
+
+    def generate(
+        self,
+        dated_sentences: Sequence[DatedSentence],
+        num_dates: int,
+        num_sentences: int,
+        query: Sequence[str] = (),
+    ) -> Timeline:
+        del query
+        grouped = group_texts_by_date(dated_sentences)
+        if not grouped:
+            return Timeline()
+        dates = sorted(grouped)
+        texts: List[str] = []
+        spans: Dict[datetime.date, Tuple[int, int]] = {}
+        for date in dates:
+            start = len(texts)
+            texts.extend(grouped[date])
+            spans[date] = (start, len(texts))
+
+        embedder = LsaEmbedder(dimensions=self.dimensions)
+        embeddings = embedder.fit_transform(texts)
+        corpus_centroid = embeddings.mean(axis=0)
+        norm = np.linalg.norm(corpus_centroid)
+        if norm > 0:
+            corpus_centroid = corpus_centroid / norm
+
+        # Forward pass: score each date by salience + novelty vs. the
+        # decayed story state, which is updated with each day's centroid.
+        state = np.zeros(embeddings.shape[1])
+        date_scores: List[Tuple[float, datetime.date]] = []
+        previous_date = dates[0]
+        for date in dates:
+            start, end = spans[date]
+            day_centroid = embeddings[start:end].mean(axis=0)
+            day_norm = np.linalg.norm(day_centroid)
+            if day_norm > 0:
+                day_centroid = day_centroid / day_norm
+            salience = float(day_centroid @ corpus_centroid) * np.log1p(
+                end - start
+            )
+            state_norm = np.linalg.norm(state)
+            novelty = (
+                1.0 - float(day_centroid @ (state / state_norm))
+                if state_norm > 0
+                else 1.0
+            )
+            score = (
+                (1.0 - self.novelty_weight) * salience
+                + self.novelty_weight * novelty
+            )
+            date_scores.append((score, date))
+            gap = (date - previous_date).days
+            state = state * (self.decay ** max(0, gap)) + day_centroid
+            previous_date = date
+
+        date_scores.sort(key=lambda item: (-item[0], item[1]))
+        chosen_dates = sorted(
+            date for _, date in date_scores[:num_dates]
+        )
+
+        timeline = Timeline()
+        selected_embeddings: List[np.ndarray] = []
+        for date in chosen_dates:
+            start, end = spans[date]
+            day_embeddings = embeddings[start:end]
+            day_centroid = day_embeddings.mean(axis=0)
+            centrality = day_embeddings @ day_centroid
+            order = np.argsort(-centrality, kind="stable")
+            taken = 0
+            for position in order:
+                if taken >= num_sentences:
+                    break
+                candidate = day_embeddings[position]
+                if any(
+                    float(candidate @ other) >= self.redundancy_threshold
+                    for other in selected_embeddings
+                ):
+                    continue
+                timeline.add(date, texts[start + int(position)])
+                selected_embeddings.append(candidate)
+                taken += 1
+        return timeline

@@ -1,0 +1,190 @@
+"""Sentence feature extraction for the supervised baselines.
+
+Tran et al. (2013), Wang et al. (2015/2016) and related supervised TLS
+systems learn a sentence-importance model from surface, frequency and
+temporal features. This module computes a fixed feature vector per
+candidate ``(date, sentence)`` and the standard regression target: the
+best date-discounted ROUGE-1 F1 of the sentence against the reference
+daily summaries.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import group_texts_by_date
+from repro.evaluation.rouge import rouge_n
+from repro.text.bm25 import BM25
+from repro.text.similarity import sparse_cosine
+from repro.text.tfidf import TfidfModel
+from repro.text.tokenize import tokenize, tokenize_for_matching
+from repro.tlsdata.types import DatedSentence, Timeline
+
+#: Names of the extracted features, in column order. Deliberately limited
+#: to what the pre-WILSON supervised systems used: surface, frequency and
+#: *sentence-level* temporal features ("treat date information the same as
+#: text information and include it as one of the features", Section 1).
+#: The date-reference-graph aggregate is WILSON's own contribution and is
+#: therefore not handed to the baselines.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "log_day_sentences",
+    "log_day_articles",
+    "num_temporal_expressions",
+    "sentence_length",
+    "mean_tfidf",
+    "max_tfidf",
+    "centroid_cosine",
+    "bm25_query",
+    "window_position",
+    "top_term_fraction",
+)
+
+
+@dataclass
+class FeatureMatrix:
+    """Candidates of one instance with their features (and targets)."""
+
+    candidates: List[Tuple[datetime.date, str]]
+    features: np.ndarray  # (num_candidates, num_features)
+    targets: np.ndarray  # (num_candidates,); zeros when unlabelled
+
+
+def extract_features(
+    dated_sentences: Sequence[DatedSentence],
+    query: Sequence[str] = (),
+    reference: Timeline = None,
+    date_tolerance_days: int = 2,
+) -> FeatureMatrix:
+    """Extract the feature matrix (and targets when *reference* given).
+
+    The target of a candidate is ``max_ref rouge1_f1 / (1 + gap_days)``
+    over reference dates within ``date_tolerance_days``, the conventional
+    regression label for extractive TLS.
+    """
+    grouped = group_texts_by_date(dated_sentences)
+    candidates: List[Tuple[datetime.date, str]] = []
+    for date in sorted(grouped):
+        for text in grouped[date]:
+            candidates.append((date, text))
+    if not candidates:
+        return FeatureMatrix(
+            candidates=[],
+            features=np.zeros((0, len(FEATURE_NAMES))),
+            targets=np.zeros(0),
+        )
+
+    # Per-date statistics and per-text temporal expression counts. Day
+    # volumes deliberately count *publication* activity only: aggregating
+    # mention-pooled sentences would hand the baselines the date-reference
+    # signal that is WILSON's contribution.
+    day_sentences: Dict[datetime.date, int] = {}
+    day_articles: Dict[datetime.date, set] = {}
+    mention_counts: Dict[str, int] = {}
+    for sentence in dated_sentences:
+        if sentence.is_reference:
+            mention_counts[sentence.text] = (
+                mention_counts.get(sentence.text, 0) + 1
+            )
+        else:
+            day_sentences[sentence.date] = (
+                day_sentences.get(sentence.date, 0) + 1
+            )
+            day_articles.setdefault(sentence.date, set()).add(
+                sentence.article_id
+            )
+
+    tokenised = [tokenize_for_matching(text) for _, text in candidates]
+    model = TfidfModel()
+    model.fit(tokenised)
+    vectors = model.transform_many(tokenised)
+    centroid: Dict[int, float] = {}
+    for vector in vectors:
+        for key, value in vector.items():
+            centroid[key] = centroid.get(key, 0.0) + value
+    centroid = {k: v / len(vectors) for k, v in centroid.items()}
+
+    # Top corpus terms by summed TF-IDF mass.
+    term_mass: Dict[int, float] = {}
+    for vector in vectors:
+        for key, value in vector.items():
+            term_mass[key] = term_mass.get(key, 0.0) + value
+    top_terms = set(
+        sorted(term_mass, key=lambda k: -term_mass[k])[:100]
+    )
+
+    bm25 = BM25(tokenised)
+    query_tokens = tokenize_for_matching(" ".join(query)) if query else []
+    bm25_scores = (
+        bm25.scores(query_tokens)
+        if query_tokens
+        else np.zeros(len(candidates))
+    )
+
+    window_start = min(grouped)
+    window_end = max(grouped)
+    span = max(1, (window_end - window_start).days)
+
+    rows = np.zeros(
+        (len(candidates), len(FEATURE_NAMES)), dtype=np.float64
+    )
+    for index, ((date, _text), tokens, vector) in enumerate(
+        zip(candidates, tokenised, vectors)
+    ):
+        weights = list(vector.values())
+        rows[index] = (
+            math.log1p(day_sentences.get(date, 0)),
+            math.log1p(len(day_articles.get(date, ()))),
+            float(mention_counts.get(_text, 0)),
+            len(tokenize(_text)),
+            float(np.mean(weights)) if weights else 0.0,
+            float(np.max(weights)) if weights else 0.0,
+            sparse_cosine(vector, centroid),
+            float(bm25_scores[index]),
+            (date - window_start).days / span,
+            (
+                sum(1 for t in tokens if model.vocabulary.get(t) in top_terms)
+                / len(tokens)
+                if tokens
+                else 0.0
+            ),
+        )
+
+    targets = np.zeros(len(candidates), dtype=np.float64)
+    if reference is not None and len(reference) > 0:
+        reference_dates = reference.dates
+        for index, (date, text) in enumerate(candidates):
+            best = 0.0
+            for reference_date in reference_dates:
+                gap = abs((date - reference_date).days)
+                if gap > date_tolerance_days:
+                    continue
+                score = rouge_n(
+                    text, reference.summary(reference_date), 1
+                ).f1 / (1.0 + gap)
+                if score > best:
+                    best = score
+            targets[index] = best
+    return FeatureMatrix(
+        candidates=candidates, features=rows, targets=targets
+    )
+
+
+def standardize(
+    features: np.ndarray, mean: np.ndarray = None, std: np.ndarray = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Z-score features; returns (standardised, mean, std)."""
+    if mean is None:
+        mean = features.mean(axis=0) if len(features) else np.zeros(
+            features.shape[1]
+        )
+    if std is None:
+        std = features.std(axis=0) if len(features) else np.ones(
+            features.shape[1]
+        )
+    safe = np.where(std > 0, std, 1.0)
+    return (features - mean) / safe, mean, std

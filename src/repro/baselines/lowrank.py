@@ -1,0 +1,138 @@
+"""Low-rank approximation baseline (Wang et al., 2016 -- text-only).
+
+The original learns joint low-rank embeddings of news stories and images
+and predicts sentence importance from the latent space. Without the image
+modality (see DESIGN.md), we reproduce the text half: sentences are mapped
+to a truncated-SVD latent space of their TF-IDF matrix, and a ridge model
+from latent coordinates (plus the surface features) to the ROUGE-derived
+relevance target provides the importance scores.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import TimelineMethod
+from repro.text.embeddings import truncated_svd
+from repro.baselines.features import extract_features, standardize
+from repro.baselines.regression import TrainingExample, select_by_scores
+from repro.text.tfidf import TfidfModel
+from repro.text.tokenize import tokenize_for_matching
+from repro.tlsdata.types import DatedSentence, Timeline
+
+
+class LowRankBaseline(TimelineMethod):
+    """Latent (SVD) + surface features, ridge-regressed to relevance."""
+
+    name = "Wang et al. (Text)"
+
+    def __init__(
+        self,
+        rank: int = 32,
+        l2: float = 1.0,
+        redundancy_threshold: float = 0.7,
+    ) -> None:
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        self.rank = rank
+        self.l2 = l2
+        self.redundancy_threshold = redundancy_threshold
+        self._weights: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    # -- latent features ---------------------------------------------------------
+
+    def _latent(self, texts: Sequence[str]) -> np.ndarray:
+        """Per-instance truncated-SVD coordinates of the sentences."""
+        tokenised = [tokenize_for_matching(text) for text in texts]
+        model = TfidfModel()
+        matrix = model.fit_transform_matrix(tokenised)
+        k = min(self.rank, min(matrix.shape) - 1)
+        if k < 1:
+            return np.zeros((len(texts), self.rank))
+        u, s, _vt = truncated_svd(matrix, k)
+        latent = u * s  # scale coordinates by singular values
+        if k < self.rank:
+            latent = np.hstack(
+                [latent, np.zeros((len(texts), self.rank - k))]
+            )
+        # Use coordinate magnitudes: sign of SVD axes is arbitrary across
+        # instances, so only |coordinate| transfers between corpora.
+        return np.abs(latent)
+
+    def _design(
+        self, dated_sentences: Sequence[DatedSentence], query: Sequence[str],
+        reference: Timeline = None,
+    ):
+        matrix = extract_features(
+            dated_sentences, query=query, reference=reference
+        )
+        if not matrix.candidates:
+            return matrix, np.zeros((0, self.rank))
+        latent = self._latent([text for _, text in matrix.candidates])
+        return matrix, latent
+
+    # -- training ------------------------------------------------------------------
+
+    def fit(self, training: Sequence[TrainingExample]) -> "LowRankBaseline":
+        """Ridge-fit latent + surface features to the relevance target."""
+        blocks: List[np.ndarray] = []
+        targets: List[np.ndarray] = []
+        for dated, reference, query in training:
+            matrix, latent = self._design(
+                dated, query=query, reference=reference
+            )
+            if not len(matrix.features):
+                continue
+            blocks.append(np.hstack([matrix.features, latent]))
+            targets.append(matrix.targets)
+        if not blocks:
+            raise ValueError("no training candidates extracted")
+        features = np.vstack(blocks)
+        target = np.concatenate(targets)
+        standardized, self._mean, self._std = standardize(features)
+        design = np.hstack(
+            [standardized, np.ones((len(standardized), 1))]
+        )
+        gram = design.T @ design + self.l2 * np.eye(design.shape[1])
+        self._weights = np.linalg.solve(gram, design.T @ target)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._weights is not None
+
+    # -- generation ------------------------------------------------------------------
+
+    def generate(
+        self,
+        dated_sentences: Sequence[DatedSentence],
+        num_dates: int,
+        num_sentences: int,
+        query: Sequence[str] = (),
+    ) -> Timeline:
+        matrix, latent = self._design(dated_sentences, query=query)
+        if not matrix.candidates:
+            return Timeline()
+        features = np.hstack([matrix.features, latent])
+        if self._weights is None:
+            standardized, _, _ = standardize(features)
+            scores = standardized.sum(axis=1)
+        else:
+            standardized, _, _ = standardize(
+                features, mean=self._mean, std=self._std
+            )
+            design = np.hstack(
+                [standardized, np.ones((len(standardized), 1))]
+            )
+            scores = design @ self._weights
+        return select_by_scores(
+            matrix.candidates,
+            scores,
+            num_dates,
+            num_sentences,
+            redundancy_threshold=self.redundancy_threshold,
+        )

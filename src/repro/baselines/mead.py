@@ -1,0 +1,140 @@
+"""MEAD (Radev et al., 2004): centroid-based multi-document summarization.
+
+MEAD scores each sentence by a linear blend of (a) *centroid value* -- the
+sum of the corpus-centroid weights of its terms, (b) *position* -- earlier
+sentences in an article score higher, and (c) *first-sentence overlap*.
+For timeline generation the standard adaptation selects the most heavily
+reported dates, then fills each with its top-MEAD sentences.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.baselines.base import TimelineMethod, date_volumes
+from repro.text.similarity import sparse_cosine
+from repro.text.tfidf import TfidfModel
+from repro.text.tokenize import tokenize_for_matching
+from repro.tlsdata.types import DatedSentence, Timeline
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    date: datetime.date
+    text: str
+    position: int  # order of first appearance within its date pool
+
+
+class MeadBaseline(TimelineMethod):
+    """Centroid + position + first-sentence-overlap scoring.
+
+    Parameters
+    ----------
+    centroid_weight, position_weight, first_weight:
+        Blend weights of the three MEAD features.
+    redundancy_threshold:
+        Cosine cut-off for within-timeline redundancy.
+    """
+
+    name = "MEAD"
+
+    def __init__(
+        self,
+        centroid_weight: float = 1.0,
+        position_weight: float = 0.5,
+        first_weight: float = 0.5,
+        redundancy_threshold: float = 0.7,
+    ) -> None:
+        self.centroid_weight = centroid_weight
+        self.position_weight = position_weight
+        self.first_weight = first_weight
+        self.redundancy_threshold = redundancy_threshold
+
+    def generate(
+        self,
+        dated_sentences: Sequence[DatedSentence],
+        num_dates: int,
+        num_sentences: int,
+        query: Sequence[str] = (),
+    ) -> Timeline:
+        del query
+        volumes = date_volumes(dated_sentences)
+        if not volumes:
+            return Timeline()
+        # Most heavily reported dates carry the events.
+        selected_dates = sorted(
+            date for date, _ in volumes[:num_dates]
+        )
+
+        # Candidate pools per selected date, with in-day positions.
+        pools: Dict[datetime.date, List[_Candidate]] = {
+            date: [] for date in selected_dates
+        }
+        seen: Dict[datetime.date, set] = {d: set() for d in selected_dates}
+        for sentence in dated_sentences:
+            pool = pools.get(sentence.date)
+            if pool is None:
+                continue
+            if sentence.text in seen[sentence.date]:
+                continue
+            seen[sentence.date].add(sentence.text)
+            pool.append(
+                _Candidate(sentence.date, sentence.text, len(pool))
+            )
+
+        all_candidates = [c for pool in pools.values() for c in pool]
+        tokenised = [
+            tokenize_for_matching(c.text) for c in all_candidates
+        ]
+        model = TfidfModel()
+        model.fit(tokenised)
+        vectors = model.transform_many(tokenised)
+
+        # Corpus centroid: mean TF-IDF vector.
+        centroid: Dict[int, float] = {}
+        for vector in vectors:
+            for key, value in vector.items():
+                centroid[key] = centroid.get(key, 0.0) + value
+        if all_candidates:
+            centroid = {
+                k: v / len(all_candidates) for k, v in centroid.items()
+            }
+
+        vector_by_id = dict(zip(map(id, all_candidates), vectors))
+
+        timeline = Timeline()
+        selected_vectors: List[dict] = []
+        for date in selected_dates:
+            pool = pools[date]
+            if not pool:
+                continue
+            first_vector = vector_by_id[id(pool[0])]
+            scored = []
+            for candidate in pool:
+                vector = vector_by_id[id(candidate)]
+                centroid_value = sparse_cosine(vector, centroid)
+                position_value = 1.0 / (1.0 + candidate.position)
+                first_value = sparse_cosine(vector, first_vector)
+                score = (
+                    self.centroid_weight * centroid_value
+                    + self.position_weight * position_value
+                    + self.first_weight * first_value
+                )
+                scored.append((score, candidate, vector))
+            scored.sort(key=lambda item: -item[0])
+            taken = 0
+            for _score, candidate, vector in scored:
+                if taken >= num_sentences:
+                    break
+                if any(
+                    sparse_cosine(vector, other)
+                    >= self.redundancy_threshold
+                    for other in selected_vectors
+                ):
+                    continue
+                timeline.add(date, candidate.text)
+                selected_vectors.append(vector)
+                taken += 1
+        return timeline

@@ -1,0 +1,42 @@
+"""The Random baseline: random dates, random sentences (Table 5)."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.baselines.base import TimelineMethod, group_texts_by_date
+from repro.tlsdata.types import DatedSentence, Timeline
+
+
+class RandomBaseline(TimelineMethod):
+    """Uniformly random date and sentence selection."""
+
+    name = "Random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def generate(
+        self,
+        dated_sentences: Sequence[DatedSentence],
+        num_dates: int,
+        num_sentences: int,
+        query: Sequence[str] = (),
+    ) -> Timeline:
+        del query
+        rng = random.Random(f"random-baseline-{self.seed}")
+        grouped = group_texts_by_date(dated_sentences)
+        if not grouped:
+            return Timeline()
+        candidates = sorted(grouped)
+        chosen_dates = rng.sample(
+            candidates, k=min(num_dates, len(candidates))
+        )
+        timeline = Timeline()
+        for date in sorted(chosen_dates):
+            pool = grouped[date]
+            picks = rng.sample(pool, k=min(num_sentences, len(pool)))
+            for sentence in picks:
+                timeline.add(date, sentence)
+        return timeline

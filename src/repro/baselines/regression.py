@@ -1,0 +1,168 @@
+"""Regression baseline (Tran et al., 2013-style supervised TLS).
+
+Sentence selection is formulated as linear regression: learn ridge weights
+from sentence features to the ROUGE-derived relevance target on training
+instances, then at generation time (a) score every candidate sentence,
+(b) pick the T dates with the highest summed top-scores, and (c) fill each
+date with its highest-scoring non-redundant sentences.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import TimelineMethod
+from repro.baselines.features import (
+    FeatureMatrix,
+    extract_features,
+    standardize,
+)
+from repro.text.similarity import sparse_cosine
+from repro.text.tfidf import TfidfModel
+from repro.text.tokenize import tokenize_for_matching
+from repro.tlsdata.types import DatedSentence, Timeline
+
+TrainingExample = Tuple[Sequence[DatedSentence], Timeline, Sequence[str]]
+
+
+class RegressionBaseline(TimelineMethod):
+    """Ridge regression over sentence features.
+
+    Call :meth:`fit` with training instances before :meth:`generate`;
+    unfitted models fall back to a heuristic weight vector (pure feature
+    sum), so the method degrades gracefully rather than failing.
+    """
+
+    name = "Regression"
+
+    def __init__(
+        self,
+        l2: float = 1.0,
+        redundancy_threshold: float = 0.7,
+    ) -> None:
+        self.l2 = l2
+        self.redundancy_threshold = redundancy_threshold
+        self._weights: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    # -- training ------------------------------------------------------------
+
+    def fit(self, training: Sequence[TrainingExample]) -> "RegressionBaseline":
+        """Learn ridge weights from (dated_sentences, reference, query)."""
+        matrices: List[FeatureMatrix] = [
+            extract_features(dated, query=query, reference=reference)
+            for dated, reference, query in training
+        ]
+        features = np.vstack(
+            [m.features for m in matrices if len(m.features)]
+        )
+        targets = np.concatenate(
+            [m.targets for m in matrices if len(m.targets)]
+        )
+        if not len(features):
+            raise ValueError("no training candidates extracted")
+        standardized, self._mean, self._std = standardize(features)
+        # Ridge: (X'X + l2 I) w = X'y, with a bias column.
+        design = np.hstack(
+            [standardized, np.ones((len(standardized), 1))]
+        )
+        gram = design.T @ design + self.l2 * np.eye(design.shape[1])
+        self._weights = np.linalg.solve(gram, design.T @ targets)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._weights is not None
+
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            # Heuristic fallback: equal positive weight on every feature.
+            standardized, _, _ = standardize(features)
+            return standardized.sum(axis=1)
+        standardized, _, _ = standardize(
+            features, mean=self._mean, std=self._std
+        )
+        design = np.hstack(
+            [standardized, np.ones((len(standardized), 1))]
+        )
+        return design @ self._weights
+
+    # -- generation -----------------------------------------------------------
+
+    def generate(
+        self,
+        dated_sentences: Sequence[DatedSentence],
+        num_dates: int,
+        num_sentences: int,
+        query: Sequence[str] = (),
+    ) -> Timeline:
+        matrix = extract_features(dated_sentences, query=query)
+        if not matrix.candidates:
+            return Timeline()
+        scores = self._predict(matrix.features)
+        return select_by_scores(
+            matrix.candidates,
+            scores,
+            num_dates,
+            num_sentences,
+            redundancy_threshold=self.redundancy_threshold,
+        )
+
+
+def select_by_scores(
+    candidates: Sequence[Tuple[datetime.date, str]],
+    scores: np.ndarray,
+    num_dates: int,
+    num_sentences: int,
+    redundancy_threshold: float = 0.7,
+) -> Timeline:
+    """Shared scored-candidate -> timeline assembly.
+
+    Date score = sum of its top-N candidate scores; the T best dates are
+    kept and filled with their best non-redundant sentences.
+    """
+    by_date: Dict[datetime.date, List[int]] = {}
+    for index, (date, _) in enumerate(candidates):
+        by_date.setdefault(date, []).append(index)
+
+    date_scores: List[Tuple[float, datetime.date]] = []
+    for date, indices in by_date.items():
+        top = sorted((scores[i] for i in indices), reverse=True)
+        date_scores.append((float(sum(top[:num_sentences])), date))
+    date_scores.sort(key=lambda item: (-item[0], item[1]))
+    chosen_dates = sorted(date for _, date in date_scores[:num_dates])
+
+    tokenised = {
+        index: tokenize_for_matching(candidates[index][1])
+        for date in chosen_dates
+        for index in by_date[date]
+    }
+    model = TfidfModel()
+    model.fit(list(tokenised.values()))
+    vectors = {
+        index: model.transform(tokens)
+        for index, tokens in tokenised.items()
+    }
+
+    timeline = Timeline()
+    selected_vectors: List[dict] = []
+    for date in chosen_dates:
+        ranked = sorted(by_date[date], key=lambda i: -scores[i])
+        taken = 0
+        for index in ranked:
+            if taken >= num_sentences:
+                break
+            vector = vectors[index]
+            if any(
+                sparse_cosine(vector, other) >= redundancy_threshold
+                for other in selected_vectors
+            ):
+                continue
+            timeline.add(date, candidates[index][1])
+            selected_vectors.append(vector)
+            taken += 1
+    return timeline

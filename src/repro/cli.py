@@ -1,0 +1,313 @@
+"""Command-line interface: ``wilson-tls`` / ``python -m repro``.
+
+Subcommands:
+
+* ``demo`` -- generate a timeline for one synthetic instance and print it;
+* ``stats`` -- print the Table-4 statistics of the synthetic datasets;
+* ``timeline`` -- run WILSON on a corpus JSONL file (see
+  :mod:`repro.tlsdata.loaders` for the format);
+* ``serve-query`` -- index a corpus file and answer one keyword +
+  time-window query with the real-time system;
+* ``evaluate`` -- score a method on a dataset (a directory written by
+  :func:`repro.tlsdata.loaders.save_dataset`, or the synthetic
+  ``timeline17`` / ``crisis`` presets);
+* ``diagnose`` -- per-date breakdown of WILSON's coverage of one
+  instance's reference timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import sys
+from typing import List, Optional
+
+from repro.core.pipeline import Wilson, WilsonConfig
+from repro.experiments.tables import format_table
+from repro.search.realtime import RealTimeTimelineSystem
+from repro.tlsdata.loaders import load_corpus
+from repro.tlsdata.stats import dataset_statistics
+from repro.tlsdata.synthetic import make_crisis_like, make_timeline17_like
+from repro.tlsdata.types import Timeline
+
+
+def _print_timeline(timeline: Timeline) -> None:
+    for date, sentences in timeline:
+        print(date.isoformat())
+        for sentence in sentences:
+            print(f"  - {sentence}")
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    dataset = make_timeline17_like(scale=args.scale, seed=args.seed)
+    instance = dataset.instances[args.instance]
+    wilson = Wilson(
+        WilsonConfig(
+            num_dates=args.dates or instance.target_num_dates,
+            sentences_per_date=args.sentences,
+        )
+    )
+    timeline = wilson.summarize_corpus(instance.corpus)
+    print(f"# {instance.name}")
+    _print_timeline(timeline)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    rows = []
+    for dataset in (
+        make_timeline17_like(scale=args.scale),
+        make_crisis_like(scale=args.scale),
+    ):
+        rows.append(dataset_statistics(dataset).as_row())
+    print(
+        format_table(
+            [
+                "Dataset", "# of topics", "# of timelines",
+                "# of doc", "# of sents", "duration days",
+            ],
+            rows,
+            title="Dataset overview (synthetic, Table 4 layout)",
+        )
+    )
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.corpus)
+    wilson = Wilson(
+        WilsonConfig(
+            num_dates=args.dates,
+            sentences_per_date=args.sentences,
+        )
+    )
+    timeline = wilson.summarize_corpus(corpus)
+    _print_timeline(timeline)
+    return 0
+
+
+def _cmd_serve_query(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.corpus)
+    system = RealTimeTimelineSystem()
+    system.ingest(corpus.articles)
+    response = system.generate_timeline(
+        keywords=args.keywords,
+        start=datetime.date.fromisoformat(args.start),
+        end=datetime.date.fromisoformat(args.end),
+        num_dates=args.dates or 10,
+        num_sentences=args.sentences,
+    )
+    print(
+        f"# {response.num_candidates} candidate sentences, "
+        f"retrieval {response.retrieval_seconds:.3f}s, "
+        f"generation {response.generation_seconds:.3f}s"
+    )
+    _print_timeline(response.timeline)
+    return 0
+
+
+_EVALUATE_METHODS = (
+    "wilson", "wilson-tran", "wilson-uniform", "wilson-nopost",
+    "mead", "chieu", "ets", "random", "evolution",
+    "asmds", "tls-constraints",
+)
+
+
+def _make_method(name: str):
+    from repro.baselines import (
+        ChieuBaseline,
+        EtsBaseline,
+        EvolutionBaseline,
+        MeadBaseline,
+        RandomBaseline,
+        asmds,
+        tls_constraints,
+    )
+    from repro.core.variants import (
+        wilson_full,
+        wilson_tran,
+        wilson_uniform,
+        wilson_without_post,
+    )
+    from repro.experiments.runner import WilsonMethod
+
+    factories = {
+        "wilson": lambda: WilsonMethod(wilson_full(), name="WILSON"),
+        "wilson-tran": lambda: WilsonMethod(
+            wilson_tran(), name="WILSON-Tran"
+        ),
+        "wilson-uniform": lambda: WilsonMethod(
+            wilson_uniform(), name="WILSON-uniform"
+        ),
+        "wilson-nopost": lambda: WilsonMethod(
+            wilson_without_post(), name="WILSON w/o Post"
+        ),
+        "mead": MeadBaseline,
+        "chieu": ChieuBaseline,
+        "ets": EtsBaseline,
+        "random": RandomBaseline,
+        "evolution": EvolutionBaseline,
+        "asmds": asmds,
+        "tls-constraints": tls_constraints,
+    }
+    return factories[name]()
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.experiments.datasets import TaggedDataset
+    from repro.experiments.runner import METRIC_KEYS, run_method
+    from repro.tlsdata.loaders import load_dataset
+    from repro.tlsdata.synthetic import (
+        make_crisis_like,
+        make_timeline17_like,
+    )
+
+    if args.dataset == "timeline17":
+        dataset = make_timeline17_like(scale=args.scale)
+    elif args.dataset == "crisis":
+        dataset = make_crisis_like(scale=args.scale)
+    else:
+        dataset = load_dataset(args.dataset)
+    if args.instances:
+        dataset.instances = dataset.instances[: args.instances]
+    tagged = TaggedDataset(dataset)
+
+    rows = []
+    results = []
+    for name in args.methods:
+        result = run_method(
+            _make_method(name), tagged, include_s_star=False
+        )
+        results.append(result)
+        rows.append(
+            [result.method_name]
+            + [result.mean(key) for key in METRIC_KEYS if key != "concat_s*"]
+            + [f"{result.mean_seconds:.2f}s"]
+        )
+    headers = ["Method"] + [
+        key for key in METRIC_KEYS if key != "concat_s*"
+    ] + ["time"]
+    print(
+        format_table(
+            headers, rows,
+            title=f"Evaluation on {dataset.name} ({len(dataset)} timelines)",
+        )
+    )
+    if args.compare and len(results) >= 2:
+        from repro.experiments.comparison import comparison_report
+
+        print()
+        for line in comparison_report(results[0], results[1]):
+            print(line)
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.evaluation.diagnostics import diagnose_timeline
+    from repro.tlsdata.synthetic import make_timeline17_like
+
+    dataset = make_timeline17_like(scale=args.scale, seed=args.seed)
+    instance = dataset.instances[args.instance]
+    wilson = Wilson(
+        WilsonConfig(
+            num_dates=instance.target_num_dates,
+            sentences_per_date=instance.target_sentences_per_date,
+        )
+    )
+    timeline = wilson.summarize_corpus(instance.corpus)
+    diagnostics = diagnose_timeline(
+        timeline, instance.reference, tolerance_days=args.tolerance
+    )
+    print(f"# {instance.name}")
+    for line in diagnostics.summary_lines():
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="wilson-tls",
+        description="WILSON news timeline summarization (EDBT 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run WILSON on a synthetic topic")
+    demo.add_argument("--scale", type=float, default=0.05)
+    demo.add_argument("--seed", type=int, default=17)
+    demo.add_argument("--instance", type=int, default=0)
+    demo.add_argument("--dates", type=int, default=None)
+    demo.add_argument("--sentences", type=int, default=2)
+    demo.set_defaults(func=_cmd_demo)
+
+    stats = sub.add_parser("stats", help="print dataset statistics")
+    stats.add_argument("--scale", type=float, default=0.05)
+    stats.set_defaults(func=_cmd_stats)
+
+    timeline = sub.add_parser(
+        "timeline", help="summarize a corpus JSONL file"
+    )
+    timeline.add_argument("corpus", help="path to corpus.jsonl")
+    timeline.add_argument("--dates", type=int, default=None)
+    timeline.add_argument("--sentences", type=int, default=2)
+    timeline.set_defaults(func=_cmd_timeline)
+
+    serve = sub.add_parser(
+        "serve-query",
+        help="index a corpus and answer one keyword+window query",
+    )
+    serve.add_argument("corpus", help="path to corpus.jsonl")
+    serve.add_argument("--keywords", nargs="+", required=True)
+    serve.add_argument("--start", required=True, help="YYYY-MM-DD")
+    serve.add_argument("--end", required=True, help="YYYY-MM-DD")
+    serve.add_argument("--dates", type=int, default=10)
+    serve.add_argument("--sentences", type=int, default=1)
+    serve.set_defaults(func=_cmd_serve_query)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="score methods on a dataset"
+    )
+    evaluate.add_argument(
+        "--dataset",
+        default="timeline17",
+        help="'timeline17', 'crisis', or a saved dataset directory",
+    )
+    evaluate.add_argument("--scale", type=float, default=0.05)
+    evaluate.add_argument(
+        "--methods",
+        nargs="+",
+        default=["wilson"],
+        choices=_EVALUATE_METHODS,
+    )
+    evaluate.add_argument(
+        "--instances", type=int, default=None,
+        help="evaluate only the first N timelines",
+    )
+    evaluate.add_argument(
+        "--compare", action="store_true",
+        help="head-to-head report (CI + significance) of the first two "
+             "methods",
+    )
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    diagnose = sub.add_parser(
+        "diagnose",
+        help="per-date coverage breakdown on a synthetic instance",
+    )
+    diagnose.add_argument("--scale", type=float, default=0.05)
+    diagnose.add_argument("--seed", type=int, default=17)
+    diagnose.add_argument("--instance", type=int, default=0)
+    diagnose.add_argument("--tolerance", type=int, default=3)
+    diagnose.set_defaults(func=_cmd_diagnose)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""WILSON core: explicit date selection + divide-and-conquer summarisation.
+
+Public entry points:
+
+* :class:`repro.core.pipeline.Wilson` / :class:`WilsonConfig` -- the full
+  pipeline of Algorithm 1.
+* :mod:`repro.core.date_selection` -- date reference graph, edge weights
+  W1-W4, recency-adjusted personalized PageRank (Section 2.2).
+* :mod:`repro.core.daily` -- BM25-TextRank daily summarisation (Section 2.3).
+* :mod:`repro.core.postprocess` -- cross-date redundancy removal
+  (Section 2.3.1, lines 15-21 of Algorithm 1).
+* :mod:`repro.core.compression` -- automatic date compression
+  (Section 3.2.3).
+* :mod:`repro.core.variants` -- the ablation variants of Table 7.
+"""
+
+from repro.core.compression import DateCountPredictor
+from repro.core.daily import DailySummarizer, RankedDay
+from repro.core.date_baselines import (
+    BurstDateSelector,
+    MentionCountSelector,
+    PublicationVolumeSelector,
+)
+from repro.core.date_selection import (
+    DateReferenceGraph,
+    DateSelector,
+    EdgeWeight,
+    uniformity,
+)
+from repro.core.pipeline import Wilson, WilsonConfig
+from repro.core.postprocess import assemble_timeline, take_top_sentences
+from repro.core.variants import (
+    wilson_full,
+    wilson_tran,
+    wilson_uniform,
+    wilson_without_post,
+)
+
+__all__ = [
+    "BurstDateSelector",
+    "DailySummarizer",
+    "DateCountPredictor",
+    "DateReferenceGraph",
+    "DateSelector",
+    "MentionCountSelector",
+    "PublicationVolumeSelector",
+    "EdgeWeight",
+    "RankedDay",
+    "Wilson",
+    "WilsonConfig",
+    "assemble_timeline",
+    "take_top_sentences",
+    "uniformity",
+    "wilson_full",
+    "wilson_tran",
+    "wilson_uniform",
+    "wilson_without_post",
+]

@@ -1,0 +1,94 @@
+"""Automatic date compression (Section 3.2.3).
+
+Choosing the number of timeline dates T normally requires corpus-level
+intuition. The paper's extension predicts T from major-event coverage:
+generate a daily summary for every candidate date, embed the summaries
+(BERT in the paper, LSA here -- see DESIGN.md), cluster the embeddings with
+Affinity Propagation, and use the number of clusters as T.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.daily import DailySummarizer, group_by_date
+from repro.graph.affinity_propagation import AffinityPropagation
+from repro.text.embeddings import LsaEmbedder
+from repro.tlsdata.types import DatedSentence
+
+
+@dataclass
+class DateCountPredictor:
+    """Predict the number of timeline dates via event clustering.
+
+    Parameters
+    ----------
+    summary_sentences:
+        How many top sentences represent each candidate date.
+    embedding_dimensions:
+        Dimensionality of the LSA embedding space.
+    min_day_sentences:
+        Candidate dates with fewer sentences than this are ignored --
+        they cannot describe a major event.
+    damping / preference:
+        Affinity Propagation knobs; the default median preference lets the
+        cluster count adapt to the data, which is the entire point.
+    """
+
+    summary_sentences: int = 2
+    embedding_dimensions: int = 48
+    min_day_sentences: int = 2
+    damping: float = 0.7
+    preference: Optional[float] = None
+    seed: int = 0
+    summarizer: DailySummarizer = field(default_factory=DailySummarizer)
+
+    def daily_digests(
+        self, dated_sentences: Sequence[DatedSentence]
+    ) -> Dict[datetime.date, str]:
+        """One digest string per candidate date (its top TextRank sentences)."""
+        grouped = group_by_date(dated_sentences)
+        digests: Dict[datetime.date, str] = {}
+        for date in sorted(grouped):
+            pool = grouped[date]
+            if len(pool) < self.min_day_sentences:
+                continue
+            ranked = self.summarizer.rank_day(date, pool)
+            digests[date] = " ".join(
+                ranked.sentences[: self.summary_sentences]
+            )
+        return digests
+
+    def predict(
+        self, dated_sentences: Sequence[DatedSentence]
+    ) -> int:
+        """Predicted number of timeline dates (>= 1 for non-empty input)."""
+        count, _ = self.predict_with_clusters(dated_sentences)
+        return count
+
+    def predict_with_clusters(
+        self, dated_sentences: Sequence[DatedSentence]
+    ) -> Tuple[int, Dict[datetime.date, int]]:
+        """Predicted date count plus the date -> cluster assignment."""
+        digests = self.daily_digests(dated_sentences)
+        dates: List[datetime.date] = list(digests)
+        if not dates:
+            return 0, {}
+        if len(dates) == 1:
+            return 1, {dates[0]: 0}
+        embedder = LsaEmbedder(dimensions=self.embedding_dimensions)
+        similarities = embedder.fit(
+            [digests[d] for d in dates]
+        ).similarity_matrix([digests[d] for d in dates])
+        clustering = AffinityPropagation(
+            damping=self.damping,
+            preference=self.preference,
+            seed=self.seed,
+        ).fit(similarities)
+        assignment = {
+            date: int(label)
+            for date, label in zip(dates, clustering.labels)
+        }
+        return clustering.n_clusters, assignment

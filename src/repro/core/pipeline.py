@@ -1,0 +1,209 @@
+"""The WILSON pipeline (Algorithm 1).
+
+:class:`Wilson` wires together the stages:
+
+1. temporal tagging (or pre-tagged dated sentences),
+2. explicit date selection (Section 2.2, with optional recency adjustment),
+3. per-day BM25-TextRank summarisation (Section 2.3),
+4. cross-date post-processing (Section 2.3.1),
+5. optionally, automatic date compression to pick T (Section 3.2.3).
+
+Usage::
+
+    wilson = Wilson(WilsonConfig(num_dates=10, sentences_per_date=2))
+    timeline = wilson.summarize_corpus(corpus)
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.compression import DateCountPredictor
+from repro.core.daily import DailySummarizer
+from repro.core.date_selection import (
+    DEFAULT_ALPHA_GRID,
+    DateSelector,
+    EdgeWeight,
+)
+from repro.core.postprocess import (
+    DEFAULT_REDUNDANCY_THRESHOLD,
+    assemble_timeline,
+    take_top_sentences,
+)
+from repro.graph.pagerank import DEFAULT_DAMPING
+from repro.temporal.tagger import TemporalTagger
+from repro.text.compress import compress_timeline
+from repro.tlsdata.types import Corpus, DatedSentence, Timeline
+
+
+@dataclass
+class WilsonConfig:
+    """Configuration of the WILSON pipeline.
+
+    ``num_dates=None`` triggers automatic date compression (Section 3.2.3);
+    otherwise the preset T is used, matching the evaluation protocol where
+    T comes from the ground-truth timeline.
+    """
+
+    num_dates: Optional[int] = None
+    sentences_per_date: int = 2
+    edge_weight: "EdgeWeight | str" = EdgeWeight.W3
+    recency_adjustment: bool = True
+    postprocess: bool = True
+    redundancy_threshold: float = DEFAULT_REDUNDANCY_THRESHOLD
+    damping: float = DEFAULT_DAMPING
+    alpha_grid: Sequence[float] = DEFAULT_ALPHA_GRID
+    #: Uniform date selection instead of the reference graph (the
+    #: WILSON-uniform ablation of Table 7).
+    uniform_dates: bool = False
+    #: Fixed date selection (oracle experiments, Table 8); overrides both
+    #: graph-based and uniform selection when set.
+    fixed_dates: Optional[Sequence[datetime.date]] = None
+    #: Local/global blend of the daily summariser (0.0 = the paper's
+    #: purely local TextRank; >0 biases the restart distribution toward
+    #: query-relevant sentences -- the future-work extension).
+    query_bias: float = 0.0
+    #: Deletion-based compression of the final daily summaries (the safe
+    #: variant of the abstractive-TLS direction; see
+    #: :mod:`repro.text.compress`). Off by default, as in the paper.
+    compress_summaries: bool = False
+    #: Worker threads for the per-day summarisation sub-tasks (the
+    #: paper's parallel-processing remark in Section 2.3.1). 1 =
+    #: sequential.
+    daily_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_dates is not None and self.num_dates < 1:
+            raise ValueError(
+                f"num_dates must be None or >= 1, got {self.num_dates}"
+            )
+        if self.sentences_per_date < 1:
+            raise ValueError(
+                "sentences_per_date must be >= 1, got "
+                f"{self.sentences_per_date}"
+            )
+        self.edge_weight = EdgeWeight.parse(self.edge_weight)
+
+
+class Wilson:
+    """Fast, unsupervised news timeline summarisation."""
+
+    def __init__(self, config: Optional[WilsonConfig] = None) -> None:
+        self.config = config or WilsonConfig()
+        self._selector = DateSelector(
+            edge_weight=self.config.edge_weight,
+            recency_adjustment=self.config.recency_adjustment,
+            alpha_grid=self.config.alpha_grid,
+            damping=self.config.damping,
+        )
+        self._summarizer = DailySummarizer(
+            damping=self.config.damping,
+            query_bias=self.config.query_bias,
+            workers=self.config.daily_workers,
+        )
+        self._predictor = DateCountPredictor(summarizer=self._summarizer)
+
+    # -- date selection --------------------------------------------------------
+
+    def select_dates(
+        self,
+        dated_sentences: Sequence[DatedSentence],
+        num_dates: Optional[int] = None,
+        query: Sequence[str] = (),
+    ) -> List[datetime.date]:
+        """Stage 1: choose the timeline's dates."""
+        config = self.config
+        if config.fixed_dates is not None:
+            return sorted(config.fixed_dates)
+        if num_dates is None:
+            num_dates = config.num_dates
+        if num_dates is None:
+            num_dates = max(1, self._predictor.predict(dated_sentences))
+        if config.uniform_dates:
+            return self._uniform_dates(dated_sentences, num_dates)
+        return self._selector.select(
+            dated_sentences, num_dates, query=query
+        )
+
+    @staticmethod
+    def _uniform_dates(
+        dated_sentences: Sequence[DatedSentence], num_dates: int
+    ) -> List[datetime.date]:
+        """Truly uniformly distributed dates over the observed window.
+
+        Evenly spaced target days are snapped to the nearest candidate date
+        carrying sentences, without reuse.
+        """
+        candidates = sorted({s.date for s in dated_sentences})
+        if not candidates:
+            return []
+        if len(candidates) <= num_dates:
+            return candidates
+        start, end = candidates[0], candidates[-1]
+        span = (end - start).days
+        chosen: List[datetime.date] = []
+        used = set()
+        for i in range(num_dates):
+            target = start + datetime.timedelta(
+                days=round(i * span / max(1, num_dates - 1))
+            )
+            nearest = min(
+                (c for c in candidates if c not in used),
+                key=lambda c: (abs((c - target).days), c),
+            )
+            used.add(nearest)
+            chosen.append(nearest)
+        return sorted(chosen)
+
+    # -- full pipeline ----------------------------------------------------------
+
+    def summarize(
+        self,
+        dated_sentences: Sequence[DatedSentence],
+        num_dates: Optional[int] = None,
+        num_sentences: Optional[int] = None,
+        query: Sequence[str] = (),
+    ) -> Timeline:
+        """Generate a timeline from pre-tagged dated sentences."""
+        if not dated_sentences:
+            return Timeline()
+        config = self.config
+        if num_sentences is None:
+            num_sentences = config.sentences_per_date
+        selected = self.select_dates(
+            dated_sentences, num_dates=num_dates, query=query
+        )
+        if not selected:
+            return Timeline()
+        ranked_days = self._summarizer.rank_days(
+            dated_sentences, selected, query=query
+        )
+        if config.postprocess:
+            timeline = assemble_timeline(
+                ranked_days,
+                num_sentences,
+                redundancy_threshold=config.redundancy_threshold,
+            )
+        else:
+            timeline = take_top_sentences(ranked_days, num_sentences)
+        if config.compress_summaries:
+            timeline = compress_timeline(timeline)
+        return timeline
+
+    def summarize_corpus(
+        self,
+        corpus: Corpus,
+        num_dates: Optional[int] = None,
+        num_sentences: Optional[int] = None,
+        tagger: Optional[TemporalTagger] = None,
+    ) -> Timeline:
+        """Tokenise + tag *corpus*, then generate its timeline."""
+        dated = corpus.dated_sentences(tagger=tagger)
+        return self.summarize(
+            dated,
+            num_dates=num_dates,
+            num_sentences=num_sentences,
+            query=corpus.query,
+        )

@@ -1,0 +1,114 @@
+"""Cross-date redundancy removal (Section 2.3.1; Algorithm 1 lines 15-21).
+
+Summarising each day independently re-introduces redundancy across dates
+(follow-up coverage repeats earlier reporting). The post-processing pass
+assembles the final timeline round-robin: in each round every day offers its
+best remaining sentence, and an offer is accepted only when its maximum
+cosine similarity to every already-accepted sentence stays below a
+threshold (0.5 in the paper). The loop ends when every day has N sentences
+or every day's heap is exhausted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.daily import RankedDay
+from repro.text.similarity import max_similarity_to_set, sparse_cosine
+from repro.text.tfidf import TfidfModel
+from repro.text.tokenize import tokenize_for_matching
+from repro.tlsdata.types import Timeline
+
+#: The paper's redundancy threshold (Section 2.3.1).
+DEFAULT_REDUNDANCY_THRESHOLD = 0.5
+
+
+def take_top_sentences(
+    ranked_days: Sequence[RankedDay], num_sentences: int
+) -> Timeline:
+    """The no-post-processing variant: top-N sentences per day verbatim."""
+    if num_sentences < 1:
+        raise ValueError(
+            f"num_sentences must be >= 1, got {num_sentences}"
+        )
+    timeline = Timeline()
+    for day in ranked_days:
+        for sentence in day.sentences[:num_sentences]:
+            timeline.add(day.date, sentence)
+    return timeline
+
+
+def assemble_timeline(
+    ranked_days: Sequence[RankedDay],
+    num_sentences: int,
+    redundancy_threshold: float = DEFAULT_REDUNDANCY_THRESHOLD,
+) -> Timeline:
+    """Algorithm 1's batch assembly with cross-date redundancy removal.
+
+    Parameters
+    ----------
+    ranked_days:
+        One :class:`RankedDay` per selected date, best sentence first.
+        Each day's cursor is consumed by this call.
+    num_sentences:
+        N -- the target number of sentences per day.
+    redundancy_threshold:
+        Offers whose maximum cosine similarity against the already accepted
+        pool reaches this value are discarded.
+    """
+    if num_sentences < 1:
+        raise ValueError(f"num_sentences must be >= 1, got {num_sentences}")
+    if not 0.0 < redundancy_threshold <= 1.0:
+        raise ValueError(
+            "redundancy_threshold must lie in (0, 1], got "
+            f"{redundancy_threshold}"
+        )
+
+    # TF-IDF space over every candidate sentence of the selected days.
+    all_sentences: List[str] = []
+    for day in ranked_days:
+        all_sentences.extend(day.sentences)
+    model = TfidfModel()
+    model.fit([tokenize_for_matching(s) for s in all_sentences])
+    vector_cache: Dict[str, dict] = {}
+
+    def vector_of(sentence: str) -> dict:
+        cached = vector_cache.get(sentence)
+        if cached is None:
+            cached = model.transform(tokenize_for_matching(sentence))
+            vector_cache[sentence] = cached
+        return cached
+
+    selected: Dict[RankedDay, List[str]] = {day: [] for day in ranked_days}
+    selected_vectors: List[dict] = []
+
+    def day_needs_more(day: RankedDay) -> bool:
+        return len(selected[day]) < num_sentences and not day.exhausted
+
+    while any(day_needs_more(day) for day in ranked_days):
+        # One batch: every unfinished day offers its current best sentence.
+        offers = [
+            (day, day.pop()) for day in ranked_days if day_needs_more(day)
+        ]
+        accepted_this_round: List[dict] = []
+        for day, sentence in offers:
+            vector = vector_of(sentence)
+            redundant = (
+                max_similarity_to_set(vector, selected_vectors)
+                >= redundancy_threshold
+                or any(
+                    sparse_cosine(vector, other) >= redundancy_threshold
+                    for other in accepted_this_round
+                )
+            )
+            if redundant:
+                continue
+            selected[day].append(sentence)
+            accepted_this_round.append(vector)
+        selected_vectors.extend(accepted_this_round)
+
+    timeline = Timeline()
+    for day in ranked_days:
+        for sentence in selected[day]:
+            timeline.add(day.date, sentence)
+    return timeline

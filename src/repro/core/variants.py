@@ -1,0 +1,67 @@
+"""The WILSON ablation variants evaluated in Table 7.
+
+* **WILSON** -- full pipeline: W3 edges, recency adjustment, post-processing.
+* **WILSON w/o Post** -- recency-adjusted date selection, no cross-date
+  redundancy removal.
+* **WILSON-Tran** -- W3 PageRank date selection without the recency
+  adjustment (the Tran et al. 2015 date selector feeding our daily
+  summariser).
+* **WILSON-uniform** -- truly uniformly distributed dates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.pipeline import Wilson, WilsonConfig
+
+
+def _config(
+    num_dates: Optional[int],
+    sentences_per_date: int,
+    **overrides,
+) -> WilsonConfig:
+    return WilsonConfig(
+        num_dates=num_dates,
+        sentences_per_date=sentences_per_date,
+        **overrides,
+    )
+
+
+def wilson_full(
+    num_dates: Optional[int] = None, sentences_per_date: int = 2
+) -> Wilson:
+    """The complete WILSON pipeline."""
+    return Wilson(_config(num_dates, sentences_per_date))
+
+
+def wilson_without_post(
+    num_dates: Optional[int] = None, sentences_per_date: int = 2
+) -> Wilson:
+    """WILSON without the cross-date post-processing stage."""
+    return Wilson(
+        _config(num_dates, sentences_per_date, postprocess=False)
+    )
+
+
+def wilson_tran(
+    num_dates: Optional[int] = None, sentences_per_date: int = 2
+) -> Wilson:
+    """WILSON with plain (Tran et al.) PageRank date selection."""
+    return Wilson(
+        _config(num_dates, sentences_per_date, recency_adjustment=False)
+    )
+
+
+def wilson_uniform(
+    num_dates: Optional[int] = None, sentences_per_date: int = 2
+) -> Wilson:
+    """WILSON with truly uniformly distributed date selection."""
+    return Wilson(
+        _config(
+            num_dates,
+            sentences_per_date,
+            uniform_dates=True,
+            recency_adjustment=False,
+        )
+    )

@@ -1,0 +1,61 @@
+"""Evaluation substrate: ROUGE, timeline metrics, significance, rankings."""
+
+from repro.evaluation.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_difference_ci,
+    bootstrap_mean_ci,
+)
+from repro.evaluation.diagnostics import (
+    DateDiagnostic,
+    TimelineDiagnostics,
+    diagnose_timeline,
+)
+from repro.evaluation.rouge import (
+    RougeScore,
+    rouge_l,
+    rouge_n,
+    rouge_s_star,
+    rouge_scores,
+)
+from repro.evaluation.timeline_rouge import (
+    TimelineRouge,
+    agreement_rouge,
+    align_rouge,
+    concat_rouge,
+)
+from repro.evaluation.date_metrics import (
+    date_coverage,
+    date_f1,
+    date_precision_recall,
+)
+from repro.evaluation.significance import approximate_randomization_test
+from repro.evaluation.ranking import dcg, mean_reciprocal_rank
+from repro.evaluation.mape import mape
+from repro.evaluation.journalist import JournalistPanel, JudgeWeights
+
+__all__ = [
+    "ConfidenceInterval",
+    "DateDiagnostic",
+    "JournalistPanel",
+    "JudgeWeights",
+    "RougeScore",
+    "TimelineDiagnostics",
+    "TimelineRouge",
+    "agreement_rouge",
+    "align_rouge",
+    "approximate_randomization_test",
+    "bootstrap_difference_ci",
+    "bootstrap_mean_ci",
+    "concat_rouge",
+    "date_coverage",
+    "date_f1",
+    "date_precision_recall",
+    "dcg",
+    "diagnose_timeline",
+    "mape",
+    "mean_reciprocal_rank",
+    "rouge_l",
+    "rouge_n",
+    "rouge_s_star",
+    "rouge_scores",
+]

@@ -1,0 +1,113 @@
+"""Bootstrap confidence intervals for per-instance metric means.
+
+The paper reports point estimates plus an approximate randomization test;
+a reproduction repo should also quantify the uncertainty of its own
+numbers, since the synthetic datasets have only 19/22 instances. This
+module provides percentile-bootstrap confidence intervals over the
+per-timeline scores produced by the experiment runner.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A percentile bootstrap confidence interval around a mean."""
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+    num_resamples: int
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.4f} "
+            f"[{self.lower:.4f}, {self.upper:.4f}]"
+        )
+
+
+def bootstrap_mean_ci(
+    scores: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 10_000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile bootstrap CI of the mean of *scores*.
+
+    Parameters
+    ----------
+    scores:
+        Per-instance metric values (e.g. one concat ROUGE-2 per timeline).
+    confidence:
+        Two-sided coverage, e.g. 0.95.
+    num_resamples:
+        Bootstrap resamples; 10k keeps percentile noise below ~1e-3.
+    seed:
+        RNG seed for reproducibility.
+    """
+    if not scores:
+        raise ValueError("cannot bootstrap an empty score list")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(
+            f"confidence must lie in (0, 1), got {confidence}"
+        )
+    if num_resamples < 1:
+        raise ValueError(
+            f"num_resamples must be >= 1, got {num_resamples}"
+        )
+    n = len(scores)
+    mean = sum(scores) / n
+    rng = random.Random(seed)
+    resampled_means = []
+    for _ in range(num_resamples):
+        total = 0.0
+        for _ in range(n):
+            total += scores[rng.randrange(n)]
+        resampled_means.append(total / n)
+    resampled_means.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lower_index = int(alpha * num_resamples)
+    upper_index = min(
+        num_resamples - 1, int((1.0 - alpha) * num_resamples)
+    )
+    return ConfidenceInterval(
+        mean=mean,
+        lower=resampled_means[lower_index],
+        upper=resampled_means[upper_index],
+        confidence=confidence,
+        num_resamples=num_resamples,
+    )
+
+
+def bootstrap_difference_ci(
+    scores_a: Sequence[float],
+    scores_b: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 10_000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Paired bootstrap CI of ``mean(a) - mean(b)``.
+
+    Instances are resampled jointly (paired), the right design when two
+    systems were evaluated on the same timelines. An interval excluding
+    zero corroborates a significant difference.
+    """
+    if len(scores_a) != len(scores_b):
+        raise ValueError(
+            f"paired scores must align: {len(scores_a)} vs {len(scores_b)}"
+        )
+    differences = [a - b for a, b in zip(scores_a, scores_b)]
+    return bootstrap_mean_ci(
+        differences,
+        confidence=confidence,
+        num_resamples=num_resamples,
+        seed=seed,
+    )

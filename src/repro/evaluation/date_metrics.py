@@ -1,0 +1,58 @@
+"""Date-selection metrics: F1, coverage, uniformity (Sections 2.2, 3.1.4)."""
+
+from __future__ import annotations
+
+import datetime
+from typing import Sequence, Tuple
+
+from repro.core.date_selection import uniformity  # noqa: F401  (re-export)
+
+
+def date_precision_recall(
+    selected: Sequence[datetime.date],
+    reference: Sequence[datetime.date],
+) -> Tuple[float, float]:
+    """Exact-match precision and recall of a date selection."""
+    selected_set = set(selected)
+    reference_set = set(reference)
+    if not selected_set or not reference_set:
+        return 0.0, 0.0
+    hits = len(selected_set & reference_set)
+    return hits / len(selected_set), hits / len(reference_set)
+
+
+def date_f1(
+    selected: Sequence[datetime.date],
+    reference: Sequence[datetime.date],
+) -> float:
+    """Exact-match F1 of a date selection."""
+    precision, recall = date_precision_recall(selected, reference)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def date_coverage(
+    selected: Sequence[datetime.date],
+    reference: Sequence[datetime.date],
+    tolerance_days: int = 3,
+) -> float:
+    """Fraction of reference dates with a selected date within ±tolerance.
+
+    Section 2.2.2: a ground-truth date ``g`` counts as covered when any
+    selected date lies within ``g ± tolerance_days``.
+    """
+    if tolerance_days < 0:
+        raise ValueError(
+            f"tolerance_days must be >= 0, got {tolerance_days}"
+        )
+    if not reference:
+        return 0.0
+    selected_set = set(selected)
+    covered = 0
+    for target in reference:
+        for offset in range(-tolerance_days, tolerance_days + 1):
+            if target + datetime.timedelta(days=offset) in selected_set:
+                covered += 1
+                break
+    return covered / len(reference)

@@ -1,0 +1,160 @@
+"""Per-date diagnostics: *why* a timeline scored what it scored.
+
+Aggregate ROUGE numbers hide which dates carried the score. This module
+breaks a system/reference pair down date by date -- exact hits, near
+misses, misses and spurious selections, each with its content overlap --
+the report a practitioner reads before deciding whether the date stage
+or the sentence stage needs work.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.evaluation.rouge import rouge_n
+from repro.tlsdata.types import Timeline
+
+
+@dataclass(frozen=True)
+class DateDiagnostic:
+    """The fate of one reference date in the generated timeline.
+
+    ``status`` is one of ``exact`` (same date selected), ``near``
+    (a selected date within the tolerance), or ``missed``.
+    ``content_f1`` is the ROUGE-1 F1 of the matched day's summary against
+    the reference summary (0.0 for misses).
+    """
+
+    reference_date: datetime.date
+    status: str
+    matched_date: Optional[datetime.date]
+    gap_days: Optional[int]
+    content_f1: float
+
+
+@dataclass(frozen=True)
+class TimelineDiagnostics:
+    """Full per-date breakdown of a system/reference pair."""
+
+    per_date: List[DateDiagnostic]
+    spurious_dates: List[datetime.date]
+
+    @property
+    def num_exact(self) -> int:
+        return sum(1 for d in self.per_date if d.status == "exact")
+
+    @property
+    def num_near(self) -> int:
+        return sum(1 for d in self.per_date if d.status == "near")
+
+    @property
+    def num_missed(self) -> int:
+        return sum(1 for d in self.per_date if d.status == "missed")
+
+    def summary_lines(self) -> List[str]:
+        """Readable report lines, one per reference date plus a footer."""
+        lines = []
+        for diagnostic in self.per_date:
+            if diagnostic.status == "exact":
+                detail = f"content R1 {diagnostic.content_f1:.2f}"
+            elif diagnostic.status == "near":
+                detail = (
+                    f"matched {diagnostic.matched_date} "
+                    f"({diagnostic.gap_days:+d}d), "
+                    f"content R1 {diagnostic.content_f1:.2f}"
+                )
+            else:
+                detail = "no selected date within tolerance"
+            lines.append(
+                f"{diagnostic.reference_date} [{diagnostic.status:6s}] "
+                f"{detail}"
+            )
+        lines.append(
+            f"exact {self.num_exact} / near {self.num_near} / "
+            f"missed {self.num_missed} / spurious "
+            f"{len(self.spurious_dates)}"
+        )
+        return lines
+
+
+def diagnose_timeline(
+    system: Timeline,
+    reference: Timeline,
+    tolerance_days: int = 3,
+) -> TimelineDiagnostics:
+    """Break down how *system* covers each reference date.
+
+    Each reference date is classified as ``exact``, ``near`` (nearest
+    selected date within ±*tolerance_days*), or ``missed``; system dates
+    matching no reference date within the tolerance are reported as
+    spurious.
+    """
+    if tolerance_days < 0:
+        raise ValueError(
+            f"tolerance_days must be >= 0, got {tolerance_days}"
+        )
+    system_dates = system.dates
+    per_date: List[DateDiagnostic] = []
+    used_for_reference: set = set()
+    for reference_date in reference.dates:
+        reference_summary = reference.summary(reference_date)
+        if reference_date in system:
+            used_for_reference.add(reference_date)
+            per_date.append(
+                DateDiagnostic(
+                    reference_date=reference_date,
+                    status="exact",
+                    matched_date=reference_date,
+                    gap_days=0,
+                    content_f1=rouge_n(
+                        system.summary(reference_date),
+                        reference_summary,
+                        1,
+                    ).f1,
+                )
+            )
+            continue
+        near = [
+            date
+            for date in system_dates
+            if abs((date - reference_date).days) <= tolerance_days
+        ]
+        if near:
+            matched = min(
+                near, key=lambda date: abs((date - reference_date).days)
+            )
+            used_for_reference.add(matched)
+            per_date.append(
+                DateDiagnostic(
+                    reference_date=reference_date,
+                    status="near",
+                    matched_date=matched,
+                    gap_days=(matched - reference_date).days,
+                    content_f1=rouge_n(
+                        system.summary(matched), reference_summary, 1
+                    ).f1,
+                )
+            )
+            continue
+        per_date.append(
+            DateDiagnostic(
+                reference_date=reference_date,
+                status="missed",
+                matched_date=None,
+                gap_days=None,
+                content_f1=0.0,
+            )
+        )
+
+    reference_dates = reference.dates
+    spurious = [
+        date
+        for date in system_dates
+        if all(
+            abs((date - reference_date).days) > tolerance_days
+            for reference_date in reference_dates
+        )
+    ]
+    return TimelineDiagnostics(per_date=per_date, spurious_dates=spurious)

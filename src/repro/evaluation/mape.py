@@ -1,0 +1,26 @@
+"""Mean Absolute Percentage Error (Figure 6)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def mape(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """MAPE of predicted vs. actual values, as a fraction (0.2 = 20%).
+
+    Used to score predicted timeline-date counts against the ground-truth
+    counts. Actual values must be non-zero.
+    """
+    if len(predicted) != len(actual):
+        raise ValueError(
+            f"predicted ({len(predicted)}) and actual ({len(actual)}) "
+            "must align"
+        )
+    if not predicted:
+        raise ValueError("cannot compute MAPE of empty sequences")
+    total = 0.0
+    for p, a in zip(predicted, actual):
+        if a == 0:
+            raise ValueError("actual values must be non-zero for MAPE")
+        total += abs(p - a) / abs(a)
+    return total / len(predicted)

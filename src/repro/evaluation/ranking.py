@@ -1,0 +1,42 @@
+"""Rank-aware measurements for the journalist evaluation (Table 9)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean_reciprocal_rank(ranks: Sequence[int]) -> float:
+    """MRR of a method given its 1-based rank in each evaluation."""
+    if not ranks:
+        return 0.0
+    for rank in ranks:
+        if rank < 1:
+            raise ValueError(f"ranks are 1-based, got {rank}")
+    return sum(1.0 / rank for rank in ranks) / len(ranks)
+
+
+def dcg(ranks: Sequence[int]) -> float:
+    """Discounted cumulative gain a method accrues over evaluations.
+
+    Each evaluation contributes ``1 / log2(rank + 1)``: rank 1 is worth 1.0,
+    rank 2 ~0.63, rank 3 0.5 -- the convention that reproduces the scale of
+    the paper's Table 9 (max 10.0 over ten evaluations).
+    """
+    if not ranks:
+        return 0.0
+    total = 0.0
+    for rank in ranks:
+        if rank < 1:
+            raise ValueError(f"ranks are 1-based, got {rank}")
+        total += 1.0 / math.log2(rank + 1)
+    return total
+
+
+def rank_histogram(ranks: Sequence[int], max_rank: int = 3) -> list:
+    """Counts of 1st/2nd/.../max_rank placements (Table 9's rank columns)."""
+    histogram = [0] * max_rank
+    for rank in ranks:
+        if 1 <= rank <= max_rank:
+            histogram[rank - 1] += 1
+    return histogram

@@ -1,0 +1,32 @@
+"""Shared experiment harness: datasets, runner, table formatting."""
+
+from repro.experiments.comparison import (
+    MetricComparison,
+    compare_methods,
+    comparison_report,
+)
+from repro.experiments.datasets import standard_crisis, standard_timeline17
+from repro.experiments.runner import (
+    InstanceScores,
+    MethodResult,
+    WilsonMethod,
+    evaluate_timeline,
+    fit_leave_one_out,
+    run_method,
+)
+from repro.experiments.tables import format_table
+
+__all__ = [
+    "InstanceScores",
+    "MetricComparison",
+    "MethodResult",
+    "WilsonMethod",
+    "compare_methods",
+    "comparison_report",
+    "evaluate_timeline",
+    "fit_leave_one_out",
+    "format_table",
+    "run_method",
+    "standard_crisis",
+    "standard_timeline17",
+]

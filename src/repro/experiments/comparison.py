@@ -1,0 +1,115 @@
+"""Head-to-head comparison reports between two evaluated methods.
+
+Bundles the paper's approximate randomization test with paired bootstrap
+confidence intervals over the per-timeline scores of two
+:class:`~repro.experiments.runner.MethodResult` objects — the summary a
+reviewer asks for when one system claims to beat another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.evaluation.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_difference_ci,
+)
+from repro.evaluation.significance import (
+    SignificanceResult,
+    approximate_randomization_test,
+)
+from repro.experiments.runner import METRIC_KEYS, MethodResult
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's head-to-head outcome."""
+
+    metric: str
+    mean_a: float
+    mean_b: float
+    difference_ci: ConfidenceInterval
+    significance: SignificanceResult
+
+    @property
+    def difference(self) -> float:
+        return self.mean_a - self.mean_b
+
+    @property
+    def winner(self) -> str:
+        if self.difference > 0:
+            return "a"
+        if self.difference < 0:
+            return "b"
+        return "tie"
+
+    def summary(self) -> str:
+        marker = (
+            " *" if self.significance.significant() else ""
+        )
+        return (
+            f"{self.metric}: {self.mean_a:.4f} vs {self.mean_b:.4f} "
+            f"(diff {self.difference:+.4f}, "
+            f"95% CI [{self.difference_ci.lower:+.4f}, "
+            f"{self.difference_ci.upper:+.4f}], "
+            f"p={self.significance.p_value:.4f}{marker})"
+        )
+
+
+def compare_methods(
+    result_a: MethodResult,
+    result_b: MethodResult,
+    metrics: Sequence[str] = ("concat_r1", "concat_r2", "date_f1"),
+    num_shuffles: int = 5000,
+    num_resamples: int = 5000,
+    seed: int = 0,
+) -> Dict[str, MetricComparison]:
+    """Compare two evaluated methods metric by metric.
+
+    Both results must come from the same dataset in the same instance
+    order (the runner guarantees this); the comparison is paired.
+    """
+    names_a = [s.instance_name for s in result_a.per_instance]
+    names_b = [s.instance_name for s in result_b.per_instance]
+    if names_a != names_b:
+        raise ValueError(
+            "results must cover the same instances in the same order"
+        )
+    comparisons: Dict[str, MetricComparison] = {}
+    for metric in metrics:
+        if metric not in METRIC_KEYS:
+            raise ValueError(f"unknown metric {metric!r}")
+        scores_a = result_a.scores(metric)
+        scores_b = result_b.scores(metric)
+        comparisons[metric] = MetricComparison(
+            metric=metric,
+            mean_a=result_a.mean(metric),
+            mean_b=result_b.mean(metric),
+            difference_ci=bootstrap_difference_ci(
+                scores_a, scores_b,
+                num_resamples=num_resamples,
+                seed=seed,
+            ),
+            significance=approximate_randomization_test(
+                scores_a, scores_b,
+                num_shuffles=num_shuffles,
+                seed=seed,
+            ),
+        )
+    return comparisons
+
+
+def comparison_report(
+    result_a: MethodResult,
+    result_b: MethodResult,
+    metrics: Sequence[str] = ("concat_r1", "concat_r2", "date_f1"),
+) -> List[str]:
+    """Human-readable comparison lines (one per metric)."""
+    header = f"{result_a.method_name} (a) vs {result_b.method_name} (b)"
+    lines = [header]
+    for comparison in compare_methods(
+        result_a, result_b, metrics=metrics
+    ).values():
+        lines.append("  " + comparison.summary())
+    return lines

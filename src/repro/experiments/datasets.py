@@ -1,0 +1,99 @@
+"""Standard (cached) benchmark datasets and their tagged sentence pools.
+
+All benchmarks evaluate against the same pair of synthetic datasets -- the
+timeline17- and crisis-shaped corpora from :mod:`repro.tlsdata.synthetic` --
+at a configurable scale. Tagging a corpus into dated sentences is the
+dominant fixed cost, so both the datasets and the tagged pools are cached
+per (scale, seed).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence, Tuple  # noqa: F401
+
+from repro.tlsdata.synthetic import make_crisis_like, make_timeline17_like
+from repro.tlsdata.types import DatedSentence, Dataset, TimelineInstance
+
+#: Default scales keep full-dataset benchmark sweeps laptop-fast while
+#: preserving every structural signal the methods exploit.
+DEFAULT_TIMELINE17_SCALE = 0.1
+DEFAULT_CRISIS_SCALE = 0.02
+
+
+@lru_cache(maxsize=4)
+def standard_timeline17(
+    scale: float = DEFAULT_TIMELINE17_SCALE, seed: int = 17
+) -> Dataset:
+    """The cached timeline17-shaped dataset."""
+    return make_timeline17_like(scale=scale, seed=seed)
+
+
+@lru_cache(maxsize=4)
+def standard_crisis(
+    scale: float = DEFAULT_CRISIS_SCALE, seed: int = 29
+) -> Dataset:
+    """The cached crisis-shaped dataset."""
+    return make_crisis_like(scale=scale, seed=seed)
+
+
+class TaggedDataset:
+    """A dataset with its per-instance tagged sentence pools, cached."""
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+        self._pools: List[List[DatedSentence]] = [
+            instance.corpus.dated_sentences()
+            for instance in dataset.instances
+        ]
+
+    def __iter__(self):
+        return iter(zip(self.dataset.instances, self._pools))
+
+    def __len__(self) -> int:
+        return len(self.dataset.instances)
+
+    def pool(self, index: int) -> List[DatedSentence]:
+        return self._pools[index]
+
+    def instance(self, index: int) -> TimelineInstance:
+        return self.dataset.instances[index]
+
+    def subset(self, indices: Sequence[int]) -> "TaggedDataset":
+        """A view over the selected instances (pools shared, not re-tagged)."""
+        view = TaggedDataset.__new__(TaggedDataset)
+        view.dataset = Dataset(
+            self.dataset.name,
+            [self.dataset.instances[i] for i in indices],
+        )
+        view._pools = [self._pools[i] for i in indices]
+        return view
+
+    def training_examples(
+        self, indices: Sequence[int]
+    ) -> List[Tuple[List[DatedSentence], object, Tuple[str, ...]]]:
+        """(pool, reference, query) triples for supervised fitting."""
+        return [
+            (
+                self._pools[i],
+                self.dataset.instances[i].reference,
+                self.dataset.instances[i].corpus.query,
+            )
+            for i in indices
+        ]
+
+
+@lru_cache(maxsize=4)
+def tagged_timeline17(
+    scale: float = DEFAULT_TIMELINE17_SCALE, seed: int = 17
+) -> TaggedDataset:
+    """timeline17-shaped dataset with cached tagged pools."""
+    return TaggedDataset(standard_timeline17(scale, seed))
+
+
+@lru_cache(maxsize=4)
+def tagged_crisis(
+    scale: float = DEFAULT_CRISIS_SCALE, seed: int = 29
+) -> TaggedDataset:
+    """crisis-shaped dataset with cached tagged pools."""
+    return TaggedDataset(standard_crisis(scale, seed))

@@ -1,0 +1,260 @@
+"""Experiment runner: evaluate timeline methods over datasets.
+
+Implements the evaluation protocol of Section 3.1.3: per instance, the
+number of dates T equals the ground-truth timeline's date count and the
+sentences-per-day N is the rounded ground-truth average; timelines are
+scored with concat / agreement / align ROUGE, date F1 and date coverage;
+wall time is recorded per generation.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.base import TimelineMethod
+from repro.core.pipeline import Wilson
+from repro.evaluation.date_metrics import date_coverage, date_f1
+from repro.evaluation.rouge import rouge_s_star
+from repro.evaluation.timeline_rouge import (
+    agreement_rouge,
+    align_rouge,
+    concat_rouge,
+)
+from repro.experiments.datasets import TaggedDataset
+from repro.tlsdata.types import DatedSentence, Timeline, TimelineInstance
+
+#: Metric keys produced by :func:`evaluate_timeline`.
+METRIC_KEYS = (
+    "concat_r1",
+    "concat_r2",
+    "concat_s*",
+    "agreement_r1",
+    "agreement_r2",
+    "align_r1",
+    "align_r2",
+    "date_f1",
+    "date_coverage",
+)
+
+
+@dataclass
+class InstanceScores:
+    """All metrics of one generated timeline plus its generation time."""
+
+    instance_name: str
+    metrics: Dict[str, float]
+    seconds: float
+    timeline: Optional[Timeline] = field(default=None, repr=False)
+
+
+@dataclass
+class MethodResult:
+    """Aggregated evaluation of one method over a dataset."""
+
+    method_name: str
+    per_instance: List[InstanceScores]
+
+    def mean(self, key: str) -> float:
+        """Mean of metric *key* across instances."""
+        values = [s.metrics[key] for s in self.per_instance]
+        return statistics.fmean(values) if values else 0.0
+
+    def scores(self, key: str) -> List[float]:
+        """Per-instance values of metric *key* (for significance tests)."""
+        return [s.metrics[key] for s in self.per_instance]
+
+    @property
+    def mean_seconds(self) -> float:
+        times = [s.seconds for s in self.per_instance]
+        return statistics.fmean(times) if times else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """All metric means plus mean generation time."""
+        result = {key: self.mean(key) for key in METRIC_KEYS}
+        result["seconds"] = self.mean_seconds
+        return result
+
+
+def evaluate_timeline(
+    timeline: Timeline,
+    reference: Timeline,
+    include_s_star: bool = True,
+) -> Dict[str, float]:
+    """Score one generated timeline against its reference."""
+    metrics = {
+        "concat_r1": concat_rouge(timeline, reference, 1).f1,
+        "concat_r2": concat_rouge(timeline, reference, 2).f1,
+        "agreement_r1": agreement_rouge(timeline, reference, 1).f1,
+        "agreement_r2": agreement_rouge(timeline, reference, 2).f1,
+        "align_r1": align_rouge(timeline, reference, 1).f1,
+        "align_r2": align_rouge(timeline, reference, 2).f1,
+        "date_f1": date_f1(timeline.dates, reference.dates),
+        "date_coverage": date_coverage(timeline.dates, reference.dates),
+    }
+    if include_s_star:
+        metrics["concat_s*"] = rouge_s_star(
+            timeline.all_sentences(), reference.all_sentences()
+        ).f1
+    else:
+        metrics["concat_s*"] = 0.0
+    return metrics
+
+
+class WilsonMethod(TimelineMethod):
+    """Adapter exposing a :class:`Wilson` pipeline as a TimelineMethod."""
+
+    def __init__(self, wilson: Wilson, name: str = "WILSON") -> None:
+        self.wilson = wilson
+        self.name = name
+
+    def generate(
+        self,
+        dated_sentences: Sequence[DatedSentence],
+        num_dates: int,
+        num_sentences: int,
+        query: Sequence[str] = (),
+    ) -> Timeline:
+        return self.wilson.summarize(
+            dated_sentences,
+            num_dates=num_dates,
+            num_sentences=num_sentences,
+            query=query,
+        )
+
+
+MethodFactory = Callable[[TimelineInstance], TimelineMethod]
+
+
+def run_method(
+    method: "TimelineMethod | MethodFactory",
+    tagged: TaggedDataset,
+    method_name: Optional[str] = None,
+    include_s_star: bool = True,
+    keep_timelines: bool = False,
+    pool_transform: Optional[Callable] = None,
+) -> MethodResult:
+    """Evaluate *method* on every instance of a tagged dataset.
+
+    *method* may be a ready :class:`TimelineMethod` or a factory taking the
+    instance (needed by oracles that read the reference timeline).
+    *pool_transform* optionally rewrites each instance's sentence pool
+    (e.g. keyword filtering for the Table 7 protocol).
+    """
+    per_instance: List[InstanceScores] = []
+    resolved_name = method_name
+    for instance, pool in tagged:
+        concrete = method(instance) if callable(method) and not isinstance(
+            method, TimelineMethod
+        ) else method
+        if resolved_name is None:
+            resolved_name = concrete.name
+        if pool_transform is not None:
+            pool = pool_transform(pool, instance)
+        started = time.perf_counter()
+        timeline = concrete.generate(
+            pool,
+            instance.target_num_dates,
+            instance.target_sentences_per_date,
+            query=instance.corpus.query,
+        )
+        elapsed = time.perf_counter() - started
+        metrics = evaluate_timeline(
+            timeline, instance.reference, include_s_star=include_s_star
+        )
+        per_instance.append(
+            InstanceScores(
+                instance_name=instance.name,
+                metrics=metrics,
+                seconds=elapsed,
+                timeline=timeline if keep_timelines else None,
+            )
+        )
+    return MethodResult(
+        method_name=resolved_name or "method", per_instance=per_instance
+    )
+
+
+def fit_leave_one_out(
+    make_method: Callable[[], TimelineMethod],
+    tagged: TaggedDataset,
+    index: int,
+) -> TimelineMethod:
+    """Train a supervised method on every instance except *index*.
+
+    The returned method is ready to generate on the held-out instance --
+    the protocol the supervised rows of Tables 5/6 follow.
+    """
+    training = []
+    for other_index, (instance, pool) in enumerate(tagged):
+        if other_index == index:
+            continue
+        training.append(
+            (pool, instance.reference, instance.corpus.query)
+        )
+    method = make_method()
+    fit = getattr(method, "fit", None)
+    if fit is None:
+        raise TypeError(
+            f"{type(method).__name__} has no fit(); it is not supervised"
+        )
+    fit(training)
+    return method
+
+
+def run_supervised_method(
+    make_method: Callable[[], TimelineMethod],
+    tagged: TaggedDataset,
+    method_name: Optional[str] = None,
+    include_s_star: bool = True,
+    max_training_instances: Optional[int] = None,
+) -> MethodResult:
+    """Leave-one-out evaluation of a supervised method.
+
+    ``max_training_instances`` caps the training set per fold (feature
+    extraction dominates cost; a handful of instances is plenty for the
+    ~10-dimensional models).
+    """
+    per_instance: List[InstanceScores] = []
+    resolved_name = method_name
+    for index, (instance, pool) in enumerate(tagged):
+        training = []
+        for other_index, (other, other_pool) in enumerate(tagged):
+            if other_index == index:
+                continue
+            training.append(
+                (other_pool, other.reference, other.corpus.query)
+            )
+            if (
+                max_training_instances is not None
+                and len(training) >= max_training_instances
+            ):
+                break
+        method = make_method()
+        method.fit(training)
+        if resolved_name is None:
+            resolved_name = method.name
+        started = time.perf_counter()
+        timeline = method.generate(
+            pool,
+            instance.target_num_dates,
+            instance.target_sentences_per_date,
+            query=instance.corpus.query,
+        )
+        elapsed = time.perf_counter() - started
+        per_instance.append(
+            InstanceScores(
+                instance_name=instance.name,
+                metrics=evaluate_timeline(
+                    timeline,
+                    instance.reference,
+                    include_s_star=include_s_star,
+                ),
+                seconds=elapsed,
+            )
+        )
+    return MethodResult(
+        method_name=resolved_name or "method", per_instance=per_instance
+    )

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are formatted with *float_format*; everything else with
+    ``str``. Column widths adapt to content.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered: List[List[str]] = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.ljust(widths[index]) if index == 0 else
+            cell.rjust(widths[index])
+            for index, cell in enumerate(cells)
+        )
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        parts.append(line(row))
+    return "\n".join(parts)

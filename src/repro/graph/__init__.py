@@ -1,0 +1,15 @@
+"""Graph-algorithm substrate: digraphs, PageRank, Affinity Propagation."""
+
+from repro.graph.affinity_propagation import AffinityPropagation
+from repro.graph.graphs import WeightedDigraph
+from repro.graph.kmeans import KMeans
+from repro.graph.pagerank import pagerank, pagerank_matrix, personalized_pagerank
+
+__all__ = [
+    "AffinityPropagation",
+    "KMeans",
+    "WeightedDigraph",
+    "pagerank",
+    "pagerank_matrix",
+    "personalized_pagerank",
+]

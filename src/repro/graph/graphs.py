@@ -1,0 +1,114 @@
+"""A lightweight weighted directed graph with hashable node labels.
+
+Both WILSON graphs -- the date reference graph (nodes are dates) and the
+per-day TextRank sentence graph (nodes are sentence indices) -- are small and
+dense, so adjacency is stored as nested dicts and converted to a dense numpy
+matrix on demand for PageRank.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+
+import numpy as np
+
+Node = Hashable
+
+
+class WeightedDigraph:
+    """A directed graph with float edge weights.
+
+    Adding an edge twice *accumulates* the weight, which matches how the
+    date reference graph counts repeated references between the same pair of
+    dates.
+    """
+
+    def __init__(self) -> None:
+        self._succ: Dict[Node, Dict[Node, float]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Ensure *node* exists (no-op when already present)."""
+        self._succ.setdefault(node, {})
+
+    def add_edge(self, source: Node, target: Node, weight: float = 1.0) -> None:
+        """Add (or accumulate onto) the edge ``source -> target``."""
+        if weight < 0:
+            raise ValueError(f"edge weight must be non-negative, got {weight}")
+        self.add_node(source)
+        self.add_node(target)
+        edges = self._succ[source]
+        edges[target] = edges.get(target, 0.0) + weight
+
+    def set_edge(self, source: Node, target: Node, weight: float) -> None:
+        """Set the edge weight, replacing any accumulated value."""
+        if weight < 0:
+            raise ValueError(f"edge weight must be non-negative, got {weight}")
+        self.add_node(source)
+        self.add_node(target)
+        self._succ[source][target] = weight
+
+    # -- queries -------------------------------------------------------------
+
+    def nodes(self) -> List[Node]:
+        """All nodes in insertion order."""
+        return list(self._succ)
+
+    def edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Iterate ``(source, target, weight)`` triples."""
+        for source, targets in self._succ.items():
+            for target, weight in targets.items():
+                yield source, target, weight
+
+    def weight(self, source: Node, target: Node) -> float:
+        """Weight of ``source -> target`` (0.0 when absent)."""
+        return self._succ.get(source, {}).get(target, 0.0)
+
+    def out_degree(self, node: Node) -> float:
+        """Sum of outgoing edge weights of *node*."""
+        return sum(self._succ.get(node, {}).values())
+
+    def successors(self, node: Node) -> Dict[Node, float]:
+        """Mapping of successors of *node* to edge weights (a copy)."""
+        return dict(self._succ.get(node, {}))
+
+    def number_of_nodes(self) -> int:
+        return len(self._succ)
+
+    def number_of_edges(self) -> int:
+        return sum(len(targets) for targets in self._succ.values())
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedDigraph(nodes={self.number_of_nodes()}, "
+            f"edges={self.number_of_edges()})"
+        )
+
+    # -- conversion ----------------------------------------------------------
+
+    def to_adjacency(
+        self, order: Iterable[Node] = None
+    ) -> Tuple[np.ndarray, List[Node]]:
+        """Dense adjacency matrix ``A[i, j] = weight(node_i -> node_j)``.
+
+        Returns the matrix and the node order used for its rows/columns.
+        """
+        node_order = list(order) if order is not None else self.nodes()
+        index = {node: i for i, node in enumerate(node_order)}
+        matrix = np.zeros((len(node_order), len(node_order)), dtype=np.float64)
+        for source, targets in self._succ.items():
+            i = index.get(source)
+            if i is None:
+                continue
+            for target, weight in targets.items():
+                j = index.get(target)
+                if j is not None:
+                    matrix[i, j] = weight
+        return matrix, node_order

@@ -1,0 +1,123 @@
+"""Deterministic k-means with k-means++ seeding.
+
+Used by the storyline separator when the number of storylines is given
+explicitly; Affinity Propagation handles the unknown-count case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a k-means run."""
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    iterations: int
+
+
+@dataclass
+class KMeans:
+    """Seeded k-means over dense row vectors.
+
+    Parameters
+    ----------
+    num_clusters:
+        k. Capped at the number of points.
+    max_iterations:
+        Lloyd-iteration cap.
+    seed:
+        Seed for the k-means++ initialisation.
+    """
+
+    num_clusters: int
+    max_iterations: int = 100
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_clusters < 1:
+            raise ValueError(
+                f"num_clusters must be >= 1, got {self.num_clusters}"
+            )
+
+    # -- initialisation ------------------------------------------------------
+
+    def _plus_plus_init(
+        self, points: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        n = points.shape[0]
+        centers = np.empty((k, points.shape[1]), dtype=np.float64)
+        first = int(rng.integers(n))
+        centers[0] = points[first]
+        distances = ((points - centers[0]) ** 2).sum(axis=1)
+        for index in range(1, k):
+            total = distances.sum()
+            if total <= 0:
+                centers[index] = points[int(rng.integers(n))]
+                continue
+            probabilities = distances / total
+            choice = int(rng.choice(n, p=probabilities))
+            centers[index] = points[choice]
+            distances = np.minimum(
+                distances,
+                ((points - centers[index]) ** 2).sum(axis=1),
+            )
+        return centers
+
+    # -- fitting -------------------------------------------------------------
+
+    def fit(self, points: np.ndarray) -> KMeansResult:
+        """Cluster *points* (rows); returns labels, centers, inertia."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(
+                f"points must be a 2-D array, got shape {points.shape}"
+            )
+        n = points.shape[0]
+        if n == 0:
+            return KMeansResult(
+                labels=np.zeros(0, dtype=np.int64),
+                centers=np.zeros((0, points.shape[1])),
+                inertia=0.0,
+                iterations=0,
+            )
+        k = min(self.num_clusters, n)
+        rng = np.random.default_rng(self.seed)
+        centers = self._plus_plus_init(points, k, rng)
+        labels = np.zeros(n, dtype=np.int64)
+        iterations = 0
+        for iteration in range(self.max_iterations):
+            iterations = iteration + 1
+            distances = (
+                ((points[:, None, :] - centers[None, :, :]) ** 2)
+                .sum(axis=2)
+            )
+            new_labels = distances.argmin(axis=1)
+            if iteration > 0 and np.array_equal(new_labels, labels):
+                break
+            labels = new_labels
+            for index in range(k):
+                members = points[labels == index]
+                if len(members):
+                    centers[index] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster on the farthest point.
+                    farthest = int(
+                        distances.min(axis=1).argmax()
+                    )
+                    centers[index] = points[farthest]
+        inertia = float(
+            ((points - centers[labels]) ** 2).sum()
+        )
+        return KMeansResult(
+            labels=labels,
+            centers=centers,
+            inertia=inertia,
+            iterations=iterations,
+        )

@@ -1,0 +1,6 @@
+"""Sentence-ranking substrate: TextRank and MMR re-ranking."""
+
+from repro.rank.mmr import mmr_rerank
+from repro.rank.textrank import textrank_bm25, textrank_scores
+
+__all__ = ["mmr_rerank", "textrank_bm25", "textrank_scores"]

@@ -1,0 +1,73 @@
+"""Maximal Marginal Relevance re-ranking (Carbonell & Goldstein, 1998).
+
+WILSON's post-processing is "similar to MMR" (Section 2.3.1): it admits
+sentences in relevance order while rejecting those too similar to already
+selected content. The classic trade-off form lives here as a reusable
+substrate; the threshold variant the paper actually uses is implemented in
+:mod:`repro.core.postprocess`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.text.similarity import sparse_cosine
+
+SparseVector = Dict[int, float]
+
+
+def mmr_rerank(
+    vectors: Sequence[SparseVector],
+    relevance: Sequence[float],
+    limit: int,
+    trade_off: float = 0.7,
+) -> List[int]:
+    """Greedy MMR selection.
+
+    At each step picks the candidate maximising
+    ``trade_off * relevance - (1 - trade_off) * max_sim_to_selected``.
+
+    Parameters
+    ----------
+    vectors:
+        Sparse TF-IDF vectors of the candidates.
+    relevance:
+        Relevance score of each candidate (e.g. TextRank importance).
+    limit:
+        Number of items to select.
+    trade_off:
+        Lambda in [0, 1]; 1.0 reduces to plain relevance ranking.
+
+    Returns
+    -------
+    Selected candidate indices in selection order.
+    """
+    if len(vectors) != len(relevance):
+        raise ValueError(
+            f"vectors ({len(vectors)}) and relevance ({len(relevance)}) "
+            "must align"
+        )
+    if not 0.0 <= trade_off <= 1.0:
+        raise ValueError(f"trade_off must lie in [0, 1], got {trade_off}")
+    remaining = list(range(len(vectors)))
+    selected: List[int] = []
+    while remaining and len(selected) < limit:
+        best_index = None
+        best_score = float("-inf")
+        for candidate in remaining:
+            penalty = 0.0
+            for chosen in selected:
+                penalty = max(
+                    penalty, sparse_cosine(vectors[candidate], vectors[chosen])
+                )
+            score = (
+                trade_off * relevance[candidate]
+                - (1.0 - trade_off) * penalty
+            )
+            if score > best_score:
+                best_score = score
+                best_index = candidate
+        assert best_index is not None
+        selected.append(best_index)
+        remaining.remove(best_index)
+    return selected

@@ -1,0 +1,32 @@
+"""Search-engine substrate: the offline ElasticSearch substitute.
+
+Section 5's real-time system indexes temporally tagged sentences in
+ElasticSearch and serves keyword + time-window queries. This package
+provides the same contract in-process:
+
+* :mod:`repro.search.index` -- an incremental inverted index with date
+  fields;
+* :mod:`repro.search.query` -- BM25-ranked keyword queries with date-range
+  filtering;
+* :mod:`repro.search.engine` -- the high-level :class:`SearchEngine`;
+* :mod:`repro.search.realtime` -- :class:`RealTimeTimelineSystem`, the
+  query-to-timeline pipeline of Figure 7.
+"""
+
+from repro.search.engine import SearchEngine
+from repro.search.index import IndexedSentence, InvertedIndex
+from repro.search.query import SearchHit, SearchQuery
+from repro.search.realtime import RealTimeTimelineSystem
+from repro.search.trends import Burst, detect_bursts, suggest_query_window
+
+__all__ = [
+    "Burst",
+    "IndexedSentence",
+    "InvertedIndex",
+    "RealTimeTimelineSystem",
+    "SearchEngine",
+    "SearchHit",
+    "SearchQuery",
+    "detect_bursts",
+    "suggest_query_window",
+]

@@ -1,0 +1,133 @@
+"""The high-level search engine over temporally tagged news sentences.
+
+:class:`SearchEngine` owns the full ingestion path of Figure 7: articles
+are sentence-tokenised, temporally tagged, and every resulting
+``(date, sentence)`` pair is indexed under both its content date and the
+publication date -- then keyword + window queries return dated sentences
+ready for WILSON.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Iterable, List, Optional, Sequence
+
+from repro.search.index import InvertedIndex
+from repro.search.query import SearchHit, SearchQuery, execute
+from repro.temporal.tagger import TemporalTagger
+from repro.text.bm25 import BM25Parameters
+from repro.tlsdata.types import Article, DatedSentence
+
+
+class SearchEngine:
+    """Index news articles; serve keyword + time-window sentence queries."""
+
+    def __init__(
+        self,
+        tagger: Optional[TemporalTagger] = None,
+        bm25_params: BM25Parameters = BM25Parameters(),
+    ) -> None:
+        self.index = InvertedIndex()
+        self.tagger = tagger or TemporalTagger()
+        self.bm25_params = bm25_params
+        self._num_articles = 0
+
+    # -- ingestion ------------------------------------------------------------
+
+    def add_article(self, article: Article) -> int:
+        """Tokenise, tag and index one article; returns sentences indexed."""
+        indexed = 0
+        for sentence in article.split_sentences():
+            tagged = self.tagger.tag_sentence(
+                sentence, article.publication_date
+            )
+            self.index.add(
+                sentence,
+                date=article.publication_date,
+                publication_date=article.publication_date,
+                article_id=article.article_id,
+                is_reference=False,
+            )
+            indexed += 1
+            for date in tagged.mentioned_dates:
+                if date == article.publication_date:
+                    continue
+                self.index.add(
+                    sentence,
+                    date=date,
+                    publication_date=article.publication_date,
+                    article_id=article.article_id,
+                    is_reference=True,
+                )
+                indexed += 1
+        self._num_articles += 1
+        return indexed
+
+    def add_articles(self, articles: Iterable[Article]) -> int:
+        """Index a batch of articles; returns total sentences indexed."""
+        return sum(self.add_article(article) for article in articles)
+
+    @property
+    def num_articles(self) -> int:
+        return self._num_articles
+
+    @property
+    def num_indexed_sentences(self) -> int:
+        return len(self.index)
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the indexed sentences as JSONL (see InvertedIndex.save)."""
+        self.index.save(path)
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        tagger: Optional[TemporalTagger] = None,
+        bm25_params: BM25Parameters = BM25Parameters(),
+    ) -> "SearchEngine":
+        """Restore an engine from a saved index.
+
+        The article counter reflects the distinct article ids found in
+        the restored documents.
+        """
+        engine = cls(tagger=tagger, bm25_params=bm25_params)
+        engine.index = InvertedIndex.load(path)
+        article_ids = {
+            engine.index.document(doc_id).article_id
+            for doc_id in range(engine.index.num_documents)
+        }
+        engine._num_articles = len(article_ids - {""})
+        return engine
+
+    # -- querying ----------------------------------------------------------------
+
+    def search(self, query: SearchQuery) -> List[SearchHit]:
+        """BM25-ranked hits for a keyword + window query."""
+        return execute(self.index, query, params=self.bm25_params)
+
+    def fetch_dated_sentences(
+        self,
+        keywords: Sequence[str],
+        start: Optional[datetime.date] = None,
+        end: Optional[datetime.date] = None,
+        limit: int = 5000,
+    ) -> List[DatedSentence]:
+        """Fetch the dated-sentence pool WILSON consumes for a query event."""
+        hits = self.search(
+            SearchQuery(
+                keywords=tuple(keywords), start=start, end=end, limit=limit
+            )
+        )
+        return [
+            DatedSentence(
+                date=hit.document.date,
+                text=hit.document.text,
+                publication_date=hit.document.publication_date,
+                article_id=hit.document.article_id,
+                is_reference=hit.document.is_reference,
+            )
+            for hit in hits
+        ]

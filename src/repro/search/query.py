@@ -1,0 +1,140 @@
+"""BM25-ranked keyword queries with date filters, boolean modes, phrases."""
+
+from __future__ import annotations
+
+import datetime
+import heapq
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.search.index import IndexedSentence, InvertedIndex
+from repro.text.bm25 import BM25Parameters
+from repro.text.tokenize import tokenize_for_matching
+
+
+@dataclass(frozen=True)
+class SearchQuery:
+    """A keyword + time-window query (Section 5's user input).
+
+    ``keywords`` may be raw phrases; they are tokenised/stemmed at scoring
+    time. ``limit`` caps the number of hits returned (highest BM25 first).
+
+    ``mode`` selects the boolean semantics: ``"any"`` (default, OR) ranks
+    every document matching at least one term; ``"all"`` (AND) restricts
+    to documents containing every term. ``phrase=True`` additionally
+    requires the keywords to occur *consecutively* (positional match).
+    """
+
+    keywords: Tuple[str, ...]
+    start: Optional[datetime.date] = None
+    end: Optional[datetime.date] = None
+    limit: int = 1000
+    mode: str = "any"
+    phrase: bool = False
+
+    def __post_init__(self) -> None:
+        if self.limit < 1:
+            raise ValueError(f"limit must be >= 1, got {self.limit}")
+        if (
+            self.start is not None
+            and self.end is not None
+            and self.start > self.end
+        ):
+            raise ValueError(
+                f"start {self.start} must not exceed end {self.end}"
+            )
+        if self.mode not in ("any", "all"):
+            raise ValueError(
+                f"mode must be 'any' or 'all', got {self.mode!r}"
+            )
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One search result with its relevance score."""
+
+    document: IndexedSentence
+    score: float
+
+
+def _candidate_filter(
+    index: InvertedIndex,
+    query: SearchQuery,
+    query_tokens: List[str],
+) -> Optional[Set[int]]:
+    """The doc-id set satisfying the structural constraints, or ``None``
+    when no structural constraint applies (pure OR query, no window)."""
+    allowed: Optional[Set[int]] = None
+    if query.start is not None or query.end is not None:
+        allowed = set(index.doc_ids_in_range(query.start, query.end))
+        if not allowed:
+            return set()
+    if query.mode == "all" or query.phrase:
+        containing: Optional[Set[int]] = None
+        for token in query_tokens:
+            docs = set(index.postings(token))
+            containing = docs if containing is None else containing & docs
+            if not containing:
+                return set()
+        if containing is None:
+            return set()
+        if query.phrase:
+            containing = {
+                doc_id
+                for doc_id in containing
+                if index.phrase_match(query_tokens, doc_id)
+            }
+        allowed = (
+            containing if allowed is None else allowed & containing
+        )
+    return allowed
+
+
+def execute(
+    index: InvertedIndex,
+    query: SearchQuery,
+    params: BM25Parameters = BM25Parameters(),
+) -> List[SearchHit]:
+    """Run *query* against *index*; returns hits, best first.
+
+    Scoring is Okapi BM25 with IDF computed from the index's live
+    statistics; candidates are restricted by the date window and (in
+    ``all``/phrase mode) the boolean constraints first.
+    """
+    query_tokens = tokenize_for_matching(" ".join(query.keywords))
+    if not query_tokens:
+        return []
+    n = index.num_documents
+    if n == 0:
+        return []
+    allowed = _candidate_filter(index, query, query_tokens)
+    if allowed is not None and not allowed:
+        return []
+
+    avgdl = index.average_length or 1.0
+    k1, b = params.k1, params.b
+
+    scores: dict = {}
+    for token in query_tokens:
+        df = index.document_frequency(token)
+        if df == 0:
+            continue
+        idf = math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+        for doc_id, tf in index.postings(token).items():
+            if allowed is not None and doc_id not in allowed:
+                continue
+            norm = k1 * (
+                1.0 - b + b * index.document_length(doc_id) / avgdl
+            )
+            scores[doc_id] = scores.get(doc_id, 0.0) + (
+                idf * tf * (k1 + 1.0) / (tf + norm)
+            )
+
+    top = heapq.nlargest(
+        query.limit, scores.items(), key=lambda kv: (kv[1], -kv[0])
+    )
+    return [
+        SearchHit(document=index.document(doc_id), score=score)
+        for doc_id, score in top
+    ]

@@ -1,0 +1,118 @@
+"""Burst detection over indexed publication activity.
+
+The real-time system's UI story (Section 5, Figure 7) needs to surface
+*when* something happened for a query before the user picks a duration.
+This module detects bursts -- days whose activity rises far above the
+local baseline -- from the index's date histogram, yielding suggested
+time windows to seed timeline queries.
+"""
+
+from __future__ import annotations
+
+import datetime
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.search.index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One detected activity burst."""
+
+    start: datetime.date
+    end: datetime.date
+    peak: datetime.date
+    peak_count: int
+    total_count: int
+
+    @property
+    def duration_days(self) -> int:
+        return (self.end - self.start).days + 1
+
+
+def detect_bursts(
+    histogram: Dict[datetime.date, int],
+    threshold_sigmas: float = 2.0,
+    min_count: int = 2,
+) -> List[Burst]:
+    """Detect bursts in a date histogram.
+
+    A day bursts when its count exceeds ``mean + threshold_sigmas * std``
+    of the whole histogram (and at least *min_count*); consecutive
+    bursting days merge into one burst. Returns bursts in chronological
+    order.
+    """
+    if threshold_sigmas < 0:
+        raise ValueError(
+            f"threshold_sigmas must be >= 0, got {threshold_sigmas}"
+        )
+    if not histogram:
+        return []
+    counts = list(histogram.values())
+    mean = statistics.fmean(counts)
+    std = statistics.pstdev(counts)
+    cutoff = max(mean + threshold_sigmas * std, float(min_count))
+
+    # A burst must also clear the mean strictly, so a perfectly flat
+    # histogram (std = 0 -> cutoff = mean) produces no bursts.
+    bursting = sorted(
+        date
+        for date, count in histogram.items()
+        if count >= cutoff and count > mean
+    )
+    if not bursting:
+        return []
+
+    bursts: List[Burst] = []
+    run_start = bursting[0]
+    previous = bursting[0]
+    for date in bursting[1:] + [None]:  # sentinel flushes the last run
+        if date is not None and (date - previous).days <= 1:
+            previous = date
+            continue
+        run_days = [
+            run_start + datetime.timedelta(days=offset)
+            for offset in range((previous - run_start).days + 1)
+        ]
+        peak = max(run_days, key=lambda day: histogram.get(day, 0))
+        bursts.append(
+            Burst(
+                start=run_start,
+                end=previous,
+                peak=peak,
+                peak_count=histogram.get(peak, 0),
+                total_count=sum(
+                    histogram.get(day, 0) for day in run_days
+                ),
+            )
+        )
+        if date is not None:
+            run_start = date
+            previous = date
+    return bursts
+
+
+def suggest_query_window(
+    index: InvertedIndex,
+    padding_days: int = 3,
+    threshold_sigmas: float = 2.0,
+) -> Optional[tuple]:
+    """Suggest a ``(start, end)`` window spanning the detected bursts.
+
+    Returns ``None`` when the index shows no bursts; otherwise the span
+    from the first burst's start to the last burst's end, padded by
+    *padding_days* on each side (clamped to the observed date range).
+    """
+    histogram = index.date_histogram(interval_days=1)
+    bursts = detect_bursts(
+        histogram, threshold_sigmas=threshold_sigmas
+    )
+    if not bursts:
+        return None
+    dates = index.dates()
+    padding = datetime.timedelta(days=padding_days)
+    start = max(dates[0], bursts[0].start - padding)
+    end = min(dates[-1], bursts[-1].end + padding)
+    return (start, end)

@@ -1,0 +1,25 @@
+"""Temporal tagging substrate -- the offline HeidelTime substitute.
+
+WILSON's preprocessing tags every sentence with the calendar dates it
+mentions; each ``(date, sentence)`` pair then feeds the date reference graph.
+The paper uses HeidelTime (a Java rule-based tagger); this package provides a
+pure-Python rule-based tagger covering the expression classes that occur in
+news copy:
+
+* explicit dates -- ``2018-06-12``, ``June 12, 2018``, ``12 June 2018``,
+  ``06/12/2018``;
+* underspecified dates -- ``June 12`` (year resolved against the
+  publication date);
+* relative expressions -- ``today``, ``yesterday``, ``tomorrow``,
+  ``last Monday``, ``on Friday``, ``three days ago``.
+"""
+
+from repro.temporal.expressions import TemporalExpression, find_expressions
+from repro.temporal.tagger import TaggedSentence, TemporalTagger
+
+__all__ = [
+    "TaggedSentence",
+    "TemporalExpression",
+    "TemporalTagger",
+    "find_expressions",
+]

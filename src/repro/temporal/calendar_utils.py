@@ -1,0 +1,101 @@
+"""Calendar helpers shared by the temporal tagger."""
+
+from __future__ import annotations
+
+import calendar
+import datetime
+from typing import Optional
+
+MONTH_NAMES = {
+    "january": 1, "february": 2, "march": 3, "april": 4, "may": 5,
+    "june": 6, "july": 7, "august": 8, "september": 9, "october": 10,
+    "november": 11, "december": 12,
+}
+
+MONTH_ABBREVIATIONS = {
+    "jan": 1, "feb": 2, "mar": 3, "apr": 4, "may": 5, "jun": 6,
+    "jul": 7, "aug": 8, "sep": 9, "sept": 9, "oct": 10, "nov": 11,
+    "dec": 12,
+}
+
+WEEKDAY_NAMES = {
+    "monday": 0, "tuesday": 1, "wednesday": 2, "thursday": 3,
+    "friday": 4, "saturday": 5, "sunday": 6,
+}
+
+NUMBER_WORDS = {
+    "one": 1, "two": 2, "three": 3, "four": 4, "five": 5, "six": 6,
+    "seven": 7, "eight": 8, "nine": 9, "ten": 10, "eleven": 11,
+    "twelve": 12, "a": 1, "an": 1,
+}
+
+
+def month_number(name: str) -> Optional[int]:
+    """Month number for a full or abbreviated month *name* (or ``None``)."""
+    key = name.lower().rstrip(".")
+    return MONTH_NAMES.get(key) or MONTH_ABBREVIATIONS.get(key)
+
+
+def safe_date(year: int, month: int, day: int) -> Optional[datetime.date]:
+    """Construct a date, returning ``None`` for invalid combinations."""
+    try:
+        return datetime.date(year, month, day)
+    except ValueError:
+        return None
+
+
+def clamp_day(year: int, month: int, day: int) -> datetime.date:
+    """Construct a date, clamping *day* into the month's valid range."""
+    last = calendar.monthrange(year, month)[1]
+    return datetime.date(year, month, min(max(day, 1), last))
+
+
+def resolve_year(
+    month: int, day: int, anchor: datetime.date
+) -> Optional[datetime.date]:
+    """Resolve a year-less ``month day`` against the *anchor* date.
+
+    News copy such as "on June 12" nearly always refers to the occurrence of
+    that calendar day nearest the publication date, so we pick among the
+    anchor's year and its two neighbours the candidate minimising the
+    absolute day distance to the anchor.
+    """
+    candidates = []
+    for year in (anchor.year - 1, anchor.year, anchor.year + 1):
+        candidate = safe_date(year, month, day)
+        if candidate is not None:
+            candidates.append(candidate)
+    if not candidates:
+        return None
+    return min(candidates, key=lambda d: abs((d - anchor).days))
+
+
+def most_recent_weekday(
+    weekday: int, anchor: datetime.date, direction: str = "past"
+) -> datetime.date:
+    """The nearest date with the given *weekday* relative to *anchor*.
+
+    ``direction='past'`` returns the most recent such day strictly before or
+    on the anchor's week context; ``'future'`` the next occurrence;
+    ``'nearest'`` whichever occurrence is closer (ties resolve to the past,
+    matching how reporting usually references weekdays).
+    """
+    delta_past = (anchor.weekday() - weekday) % 7
+    delta_future = (weekday - anchor.weekday()) % 7
+    if direction == "past":
+        return anchor - datetime.timedelta(days=delta_past)
+    if direction == "future":
+        return anchor + datetime.timedelta(days=delta_future)
+    if direction == "nearest":
+        if delta_past <= delta_future:
+            return anchor - datetime.timedelta(days=delta_past)
+        return anchor + datetime.timedelta(days=delta_future)
+    raise ValueError(f"unknown direction: {direction!r}")
+
+
+def parse_iso(text: str) -> Optional[datetime.date]:
+    """Parse a strict ``YYYY-MM-DD`` string (or return ``None``)."""
+    try:
+        return datetime.date.fromisoformat(text)
+    except ValueError:
+        return None

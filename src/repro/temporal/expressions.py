@@ -1,0 +1,283 @@
+"""Recognition and normalisation of temporal expressions in news text."""
+
+from __future__ import annotations
+
+import datetime
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.temporal.calendar_utils import (
+    NUMBER_WORDS,
+    WEEKDAY_NAMES,
+    month_number,
+    most_recent_weekday,
+    resolve_year,
+    safe_date,
+)
+
+
+@dataclass(frozen=True)
+class TemporalExpression:
+    """A recognised temporal expression.
+
+    Attributes
+    ----------
+    text:
+        The matched surface form.
+    start, end:
+        Character span within the source sentence.
+    date:
+        The resolved calendar date, or ``None`` when the expression could
+        not be anchored (e.g. a relative expression without a publication
+        date).
+    kind:
+        One of ``iso``, ``month_day_year``, ``day_month_year``, ``numeric``,
+        ``month_day``, ``day_month``, ``relative_day``, ``weekday``,
+        ``ago``.
+    """
+
+    text: str
+    start: int
+    end: int
+    date: Optional[datetime.date]
+    kind: str
+
+
+_MONTH = (
+    r"(?:Jan(?:uary|\.)?|Feb(?:ruary|\.)?|Mar(?:ch|\.)?|Apr(?:il|\.)?|May|"
+    r"Jun(?:e|\.)?|Jul(?:y|\.)?|Aug(?:ust|\.)?|Sep(?:t(?:ember|\.)?|\.)?|"
+    r"Oct(?:ober|\.)?|Nov(?:ember|\.)?|Dec(?:ember|\.)?)"
+)
+_DAY = r"(?:[12][0-9]|3[01]|0?[1-9])(?:st|nd|rd|th)?"
+_YEAR = r"(?:19|20)\d{2}"
+_WEEKDAY = (
+    r"(?:Monday|Tuesday|Wednesday|Thursday|Friday|Saturday|Sunday)"
+)
+_NUMBER_WORD = r"(?:one|two|three|four|five|six|seven|eight|nine|ten|eleven|twelve|a|an|\d+)"
+
+# Ordered patterns: earlier, more specific patterns win overlapping spans.
+_PATTERNS = [
+    ("iso", re.compile(r"\b(\d{4})-(\d{2})-(\d{2})\b")),
+    (
+        "month_day_year",
+        re.compile(
+            rf"\b({_MONTH})\s+({_DAY})\s*,?\s+({_YEAR})\b", re.IGNORECASE
+        ),
+    ),
+    (
+        "day_month_year",
+        re.compile(
+            rf"\b({_DAY})\s+({_MONTH})\s*,?\s+({_YEAR})\b", re.IGNORECASE
+        ),
+    ),
+    (
+        "numeric",
+        re.compile(r"\b(\d{1,2})/(\d{1,2})/(\d{4})\b"),
+    ),
+    (
+        # "June 12-15": a day range; resolves to its *start* day.
+        "day_range",
+        re.compile(
+            rf"\b({_MONTH})\s+({_DAY})\s*[-–]\s*({_DAY})\b",
+            re.IGNORECASE,
+        ),
+    ),
+    (
+        "month_day",
+        re.compile(rf"\b({_MONTH})\s+({_DAY})\b", re.IGNORECASE),
+    ),
+    (
+        "day_month",
+        re.compile(rf"\b({_DAY})\s+({_MONTH})\b", re.IGNORECASE),
+    ),
+    (
+        # "early June" / "mid-March 2019" / "late October".
+        "month_part",
+        re.compile(
+            rf"\b(early|mid|late)[-\s]({_MONTH})(?:\s+({_YEAR}))?\b",
+            re.IGNORECASE,
+        ),
+    ),
+    (
+        "relative_day",
+        re.compile(r"\b(today|yesterday|tomorrow|tonight|this morning|"
+                   r"this afternoon|this evening)\b", re.IGNORECASE),
+    ),
+    (
+        "weekday",
+        re.compile(
+            rf"\b(last|next|this|on)?\s*({_WEEKDAY})\b", re.IGNORECASE
+        ),
+    ),
+    (
+        "ago",
+        re.compile(
+            rf"\b({_NUMBER_WORD})\s+(day|week|month)s?\s+ago\b",
+            re.IGNORECASE,
+        ),
+    ),
+    (
+        # "last week" / "last month" -- coarse, resolved to the midpoint
+        # of the prior period.
+        "relative_period",
+        re.compile(
+            r"\b(last|next)\s+(week|month)\b", re.IGNORECASE
+        ),
+    ),
+]
+
+_ORDINAL_SUFFIX = re.compile(r"(st|nd|rd|th)$", re.IGNORECASE)
+
+
+def _strip_ordinal(day_text: str) -> int:
+    return int(_ORDINAL_SUFFIX.sub("", day_text))
+
+
+def _number_word(text: str) -> int:
+    text = text.lower()
+    if text.isdigit():
+        return int(text)
+    return NUMBER_WORDS[text]
+
+
+def _resolve(
+    kind: str,
+    match: "re.Match[str]",
+    anchor: Optional[datetime.date],
+) -> Optional[datetime.date]:
+    """Map a regex match to a calendar date."""
+    if kind == "iso":
+        return safe_date(
+            int(match.group(1)), int(match.group(2)), int(match.group(3))
+        )
+    if kind == "month_day_year":
+        month = month_number(match.group(1))
+        if month is None:
+            return None
+        return safe_date(
+            int(match.group(3)), month, _strip_ordinal(match.group(2))
+        )
+    if kind == "day_month_year":
+        month = month_number(match.group(2))
+        if month is None:
+            return None
+        return safe_date(
+            int(match.group(3)), month, _strip_ordinal(match.group(1))
+        )
+    if kind == "numeric":
+        # Interpreted as US-style MM/DD/YYYY, the dominant convention in the
+        # corpora the paper targets.
+        return safe_date(
+            int(match.group(3)), int(match.group(1)), int(match.group(2))
+        )
+    if kind == "month_day":
+        if anchor is None:
+            return None
+        month = month_number(match.group(1))
+        if month is None:
+            return None
+        return resolve_year(month, _strip_ordinal(match.group(2)), anchor)
+    if kind == "day_month":
+        if anchor is None:
+            return None
+        month = month_number(match.group(2))
+        if month is None:
+            return None
+        return resolve_year(month, _strip_ordinal(match.group(1)), anchor)
+    if kind == "day_range":
+        month = month_number(match.group(1))
+        if month is None:
+            return None
+        if anchor is None:
+            return None
+        return resolve_year(month, _strip_ordinal(match.group(2)), anchor)
+    if kind == "month_part":
+        month = month_number(match.group(2))
+        if month is None:
+            return None
+        day = {"early": 5, "mid": 15, "late": 25}[
+            match.group(1).lower()
+        ]
+        if match.group(3):
+            return safe_date(int(match.group(3)), month, day)
+        if anchor is None:
+            return None
+        return resolve_year(month, day, anchor)
+    if kind == "relative_day":
+        if anchor is None:
+            return None
+        word = match.group(1).lower()
+        if word == "yesterday":
+            return anchor - datetime.timedelta(days=1)
+        if word == "tomorrow":
+            return anchor + datetime.timedelta(days=1)
+        return anchor  # today / tonight / this morning|afternoon|evening
+    if kind == "relative_period":
+        if anchor is None:
+            return None
+        direction = -1 if match.group(1).lower() == "last" else 1
+        days = {"week": 7, "month": 30}[match.group(2).lower()]
+        return anchor + datetime.timedelta(days=direction * days)
+    if kind == "weekday":
+        if anchor is None:
+            return None
+        modifier = (match.group(1) or "").lower()
+        weekday = WEEKDAY_NAMES[match.group(2).lower()]
+        if modifier == "next":
+            direction = "future"
+        elif modifier == "last":
+            direction = "past"
+        else:
+            # Bare or "on"/"this" weekday: news reporting overwhelmingly
+            # refers to the occurrence nearest the publication date.
+            direction = "nearest"
+        resolved = most_recent_weekday(weekday, anchor, direction)
+        if modifier == "last" and resolved == anchor:
+            resolved -= datetime.timedelta(days=7)
+        if modifier == "next" and resolved == anchor:
+            resolved += datetime.timedelta(days=7)
+        return resolved
+    if kind == "ago":
+        if anchor is None:
+            return None
+        quantity = _number_word(match.group(1))
+        unit = match.group(2).lower()
+        days = {"day": 1, "week": 7, "month": 30}[unit] * quantity
+        return anchor - datetime.timedelta(days=days)
+    raise ValueError(f"unknown expression kind: {kind!r}")
+
+
+def find_expressions(
+    sentence: str,
+    anchor: Optional[datetime.date] = None,
+) -> List[TemporalExpression]:
+    """Find all temporal expressions in *sentence*.
+
+    *anchor* is the document creation time (publication date) used to
+    resolve relative and underspecified expressions. Overlapping matches are
+    resolved in favour of the more specific (earlier-listed) pattern.
+    """
+    taken: List[range] = []
+    expressions: List[TemporalExpression] = []
+    for kind, pattern in _PATTERNS:
+        for match in pattern.finditer(sentence):
+            span = range(match.start(), match.end())
+            if any(
+                span.start < other.stop and other.start < span.stop
+                for other in taken
+            ):
+                continue
+            date = _resolve(kind, match, anchor)
+            taken.append(span)
+            expressions.append(
+                TemporalExpression(
+                    text=match.group(0),
+                    start=match.start(),
+                    end=match.end(),
+                    date=date,
+                    kind=kind,
+                )
+            )
+    expressions.sort(key=lambda e: e.start)
+    return expressions

@@ -1,0 +1,97 @@
+"""The temporal tagger: sentences in, dated sentences out.
+
+Implements the preprocessing contract from Definition 2 and Appendix A of
+the paper: every sentence is paired with (a) each *distinct* date expression
+it contains and (b) the publication date of its article.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.temporal.expressions import TemporalExpression, find_expressions
+
+
+@dataclass(frozen=True)
+class TaggedSentence:
+    """A sentence with its publication date and resolved date mentions."""
+
+    text: str
+    publication_date: datetime.date
+    mentioned_dates: Tuple[datetime.date, ...] = ()
+    expressions: Tuple[TemporalExpression, ...] = field(
+        default=(), compare=False, repr=False
+    )
+
+    @property
+    def all_dates(self) -> Tuple[datetime.date, ...]:
+        """Publication date plus distinct mentioned dates, pub date first."""
+        dates = [self.publication_date]
+        for date in self.mentioned_dates:
+            if date not in dates:
+                dates.append(date)
+        return tuple(dates)
+
+
+@dataclass
+class TemporalTagger:
+    """Rule-based temporal tagger (HeidelTime substitute).
+
+    Parameters
+    ----------
+    window:
+        Optional ``(start, end)`` date window; resolved dates outside it are
+        discarded, mirroring how the paper restricts timelines to the query
+        window ``[t1, t2]``.
+    include_relative:
+        Whether relative expressions (``yesterday``, weekday names, ``ago``)
+        are resolved; explicit dates are always tagged.
+    """
+
+    window: Optional[Tuple[datetime.date, datetime.date]] = None
+    include_relative: bool = True
+
+    _RELATIVE_KINDS = frozenset(
+        {"relative_day", "weekday", "ago", "relative_period"}
+    )
+
+    def tag_sentence(
+        self,
+        sentence: str,
+        publication_date: datetime.date,
+    ) -> TaggedSentence:
+        """Tag one sentence, resolving expressions against its pub date."""
+        expressions = find_expressions(sentence, anchor=publication_date)
+        if not self.include_relative:
+            expressions = [
+                e for e in expressions if e.kind not in self._RELATIVE_KINDS
+            ]
+        mentioned: List[datetime.date] = []
+        for expression in expressions:
+            date = expression.date
+            if date is None or date in mentioned:
+                continue
+            if self.window is not None and not (
+                self.window[0] <= date <= self.window[1]
+            ):
+                continue
+            mentioned.append(date)
+        return TaggedSentence(
+            text=sentence,
+            publication_date=publication_date,
+            mentioned_dates=tuple(mentioned),
+            expressions=tuple(expressions),
+        )
+
+    def tag_sentences(
+        self,
+        sentences: Sequence[str],
+        publication_date: datetime.date,
+    ) -> List[TaggedSentence]:
+        """Tag a batch of sentences sharing one publication date."""
+        return [
+            self.tag_sentence(sentence, publication_date)
+            for sentence in sentences
+        ]

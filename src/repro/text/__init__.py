@@ -1,0 +1,62 @@
+"""Text-processing substrate for the WILSON reproduction.
+
+Everything the paper delegated to off-the-shelf NLP tooling (spaCy
+tokenisation, BM25 from IR libraries, BERT embeddings) is implemented here
+from scratch so the library has no dependencies beyond numpy/scipy:
+
+* :mod:`repro.text.tokenize` -- word and sentence tokenisation.
+* :mod:`repro.text.stopwords` -- the English stopword inventory.
+* :mod:`repro.text.stem` -- the Porter stemming algorithm.
+* :mod:`repro.text.vocabulary` -- token/id mapping used by the vector models.
+* :mod:`repro.text.tfidf` -- a TF-IDF vectoriser.
+* :mod:`repro.text.bm25` -- Okapi BM25 scoring (edge weights, search engine).
+* :mod:`repro.text.similarity` -- cosine similarities over sparse vectors.
+* :mod:`repro.text.embeddings` -- LSA sentence embeddings (BERT substitute).
+"""
+
+from repro.text.bm25 import BM25, BM25Parameters
+from repro.text.compress import (
+    compress_sentence,
+    compress_sentences,
+    compress_timeline,
+)
+from repro.text.embeddings import LsaEmbedder
+from repro.text.similarity import (
+    cosine_similarity,
+    cosine_similarity_matrix,
+    sparse_cosine,
+)
+from repro.text.stem import PorterStemmer, stem_token, stem_tokens
+from repro.text.stopwords import STOPWORDS, is_stopword, remove_stopwords
+from repro.text.tfidf import TfidfModel
+from repro.text.tokenize import (
+    normalize_token,
+    sentence_split,
+    tokenize,
+    tokenize_for_matching,
+)
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "BM25",
+    "BM25Parameters",
+    "LsaEmbedder",
+    "PorterStemmer",
+    "STOPWORDS",
+    "TfidfModel",
+    "Vocabulary",
+    "compress_sentence",
+    "compress_sentences",
+    "compress_timeline",
+    "cosine_similarity",
+    "cosine_similarity_matrix",
+    "is_stopword",
+    "normalize_token",
+    "remove_stopwords",
+    "sentence_split",
+    "sparse_cosine",
+    "stem_token",
+    "stem_tokens",
+    "tokenize",
+    "tokenize_for_matching",
+]

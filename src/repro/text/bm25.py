@@ -1,0 +1,174 @@
+"""Okapi BM25 (Robertson & Zaragoza, 2009).
+
+WILSON uses BM25 in three places:
+
+1. **W4 edge weights** for the date reference graph -- the relevance of a
+   reference sentence to the topic query (Section 2.2).
+2. **TextRank edge weights** for daily summarisation -- each sentence scores
+   every other sentence as if it were a query (Section 2.3 / appendix),
+   following Barrios et al. (2016).
+3. The **real-time search engine** (Section 5) ranks indexed sentences by
+   BM25 relevance to the user's keyword query.
+
+:class:`BM25` indexes a tokenised corpus once and then answers
+``score(query_tokens, doc_index)`` and ``scores(query_tokens)`` queries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BM25Parameters:
+    """Free parameters of the Okapi BM25 ranking function.
+
+    ``k1`` saturates term frequency and ``b`` controls document-length
+    normalisation. IDF uses the always-positive (Lucene-style) variant
+    ``log(1 + (N - df + 0.5) / (df + 0.5))``: on the small per-day sentence
+    sets WILSON summarises, terms routinely appear in half the documents,
+    and the raw Robertson IDF would zero them out and disconnect the
+    TextRank graph.
+    """
+
+    k1: float = 1.5
+    b: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.k1 < 0:
+            raise ValueError(f"k1 must be non-negative, got {self.k1}")
+        if not 0.0 <= self.b <= 1.0:
+            raise ValueError(f"b must be within [0, 1], got {self.b}")
+
+
+class BM25:
+    """BM25 index over a fixed corpus of tokenised documents."""
+
+    def __init__(
+        self,
+        corpus: Sequence[Sequence[str]],
+        params: BM25Parameters = BM25Parameters(),
+    ) -> None:
+        self.params = params
+        self._doc_freqs: List[Dict[str, int]] = []
+        self._doc_lens = np.array(
+            [len(doc) for doc in corpus], dtype=np.float64
+        )
+        self.num_docs = len(corpus)
+        # Guard against an all-empty corpus: a zero average length would
+        # poison the length normalisation with divisions by zero.
+        mean_len = float(self._doc_lens.mean()) if self.num_docs else 0.0
+        self.avgdl = mean_len if mean_len > 0 else 1.0
+
+        document_frequency: Dict[str, int] = {}
+        for doc in corpus:
+            freqs: Dict[str, int] = {}
+            for token in doc:
+                freqs[token] = freqs.get(token, 0) + 1
+            self._doc_freqs.append(freqs)
+            for token in freqs:
+                document_frequency[token] = document_frequency.get(token, 0) + 1
+
+        self._idf = self._compute_idf(document_frequency)
+
+    def _compute_idf(
+        self, document_frequency: Dict[str, int]
+    ) -> Dict[str, float]:
+        """Always-positive (Lucene-style) inverse document frequency."""
+        return {
+            token: math.log(
+                1.0 + (self.num_docs - df + 0.5) / (df + 0.5)
+            )
+            for token, df in document_frequency.items()
+        }
+
+    def idf(self, token: str) -> float:
+        """IDF of *token* (0.0 for out-of-vocabulary tokens)."""
+        return self._idf.get(token, 0.0)
+
+    def score(self, query: Sequence[str], index: int) -> float:
+        """BM25 relevance of document *index* to the tokenised *query*."""
+        freqs = self._doc_freqs[index]
+        if not freqs:
+            return 0.0
+        k1, b = self.params.k1, self.params.b
+        norm = k1 * (1.0 - b + b * self._doc_lens[index] / self.avgdl)
+        total = 0.0
+        for token in query:
+            tf = freqs.get(token)
+            if not tf:
+                continue
+            total += self._idf.get(token, 0.0) * tf * (k1 + 1.0) / (tf + norm)
+        return total
+
+    def scores(self, query: Sequence[str]) -> np.ndarray:
+        """BM25 relevance of every indexed document to *query*."""
+        result = np.zeros(self.num_docs, dtype=np.float64)
+        if self.num_docs == 0:
+            return result
+        k1, b = self.params.k1, self.params.b
+        norms = k1 * (1.0 - b + b * self._doc_lens / self.avgdl)
+        for token in query:
+            token_idf = self._idf.get(token)
+            if token_idf is None:
+                continue
+            for index, freqs in enumerate(self._doc_freqs):
+                tf = freqs.get(token)
+                if tf:
+                    result[index] += (
+                        token_idf * tf * (k1 + 1.0) / (tf + norms[index])
+                    )
+        return result
+
+    def pairwise_matrix(self) -> np.ndarray:
+        """All-pairs matrix ``M[i, j] = score(doc_i as query, doc_j)``.
+
+        This is the (asymmetric) adjacency matrix of the BM25-TextRank
+        sentence graph used by the daily summariser; the diagonal is zeroed
+        because a sentence must not vote for itself.
+
+        Computed as one sparse product ``Q @ S.T`` where
+        ``Q[i, t] = count_i(t) * idf(t)`` carries the query side
+        (repeated query terms contribute additively) and
+        ``S[j, t] = tf_jt * (k1 + 1) / (tf_jt + norm_j)`` the saturated
+        document side.
+        """
+        from scipy import sparse
+
+        n = self.num_docs
+        if n == 0:
+            return np.zeros((0, 0), dtype=np.float64)
+        token_ids: Dict[str, int] = {}
+        rows: List[int] = []
+        cols: List[int] = []
+        query_data: List[float] = []
+        doc_data: List[float] = []
+        k1, b = self.params.k1, self.params.b
+        norms = k1 * (1.0 - b + b * self._doc_lens / self.avgdl)
+        for doc_id, freqs in enumerate(self._doc_freqs):
+            for token, tf in freqs.items():
+                token_id = token_ids.setdefault(token, len(token_ids))
+                rows.append(doc_id)
+                cols.append(token_id)
+                query_data.append(tf * self._idf.get(token, 0.0))
+                doc_data.append(
+                    tf * (k1 + 1.0) / (tf + norms[doc_id])
+                )
+        if not token_ids:
+            return np.zeros((n, n), dtype=np.float64)
+        shape = (n, len(token_ids))
+        query_side = sparse.csr_matrix(
+            (query_data, (rows, cols)), shape=shape
+        )
+        doc_side = sparse.csr_matrix(
+            (doc_data, (rows, cols)), shape=shape
+        )
+        matrix = np.asarray(
+            (query_side @ doc_side.T).todense(), dtype=np.float64
+        )
+        np.fill_diagonal(matrix, 0.0)
+        return matrix

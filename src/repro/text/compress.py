@@ -1,0 +1,125 @@
+"""Rule-based sentence compression for timeline summaries.
+
+The paper's related work (Steen & Markert, 2019) generates *abstractive*
+daily summaries but notes their reliability problem: generated text can
+assert things the sources never said. This module implements the safe
+middle ground -- deletion-based compression. Only material is *removed*
+(attribution tails, leading attributions, parentheticals, stock filler
+clauses), never generated, so the factual core of the extracted sentence
+is preserved while the timeline reads tighter.
+
+Used by the optional ``compress_summaries`` switch of
+:class:`repro.core.pipeline.WilsonConfig`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.tlsdata.types import Timeline
+
+# Verbs that mark attributions ("..., officials said.").
+_ATTRIBUTION_VERBS = (
+    r"(?:said|says|announced|confirmed|reported|declared|warned|stated|"
+    r"acknowledged|disclosed|insisted|claimed|added|noted|told\s+\w+)"
+)
+
+#: Trailing attribution: ", the health ministry said." / ", officials
+#: reported Friday."
+_TRAILING_ATTRIBUTION = re.compile(
+    rf",\s+[^,.;]{{0,60}}\s{_ATTRIBUTION_VERBS}"
+    r"(?:\s+on\s+\w+|\s+\w+day)?\s*(?=[.?!]$)",
+    re.IGNORECASE,
+)
+
+#: Leading attribution: "According to officials, ..." / "Officials said
+#: that ..." (only when a full clause follows).
+_LEADING_ACCORDING_TO = re.compile(
+    r"^According to [^,]{1,60},\s+", re.IGNORECASE
+)
+
+#: Parentheticals and bracketed asides.
+_PARENTHETICAL = re.compile(r"\s*\([^()]{0,80}\)")
+_BRACKETED = re.compile(r"\s*\[[^\[\]]{0,80}\]")
+
+#: Stock newsroom filler clauses that add no factual content. Matched as
+#: a comma-separated clause anywhere in the sentence.
+_FILLER_PATTERNS = [
+    r"according to (?:local|initial|early|press) reports",
+    r"amid growing uncertainty",
+    r"as the crisis deepened",
+    r"despite international appeals",
+    r"despite repeated assurances",
+    r"in a closely watched move",
+    r"following weeks of speculation",
+    r"under mounting pressure",
+    r"as conditions deteriorated",
+    r"in the strongest response yet",
+    r"while talks continued behind closed doors",
+    r"hours after an emergency session",
+    r"in a sharp reversal of course",
+    r"as rival accounts circulated",
+    r"with little warning to residents",
+    r"after days of conflicting signals",
+    r"in defiance of earlier pledges",
+    r"as foreign observers looked on",
+    r"pending an independent review",
+    r"to the surprise of seasoned observers",
+]
+_FILLER_CLAUSE = re.compile(
+    r",\s*(?:" + "|".join(_FILLER_PATTERNS) + r")(?=[,.;!?])",
+    re.IGNORECASE,
+)
+
+#: Minimum words a compressed sentence must keep; below this the original
+#: is returned unchanged (over-compression guard).
+MIN_REMAINING_WORDS = 5
+
+
+def compress_sentence(sentence: str) -> str:
+    """Compress one sentence by deleting non-factual material.
+
+    The transformation is purely deletional: every remaining word was in
+    the input. If compression would leave fewer than
+    ``MIN_REMAINING_WORDS`` words, the original sentence is returned.
+    """
+    compressed = sentence
+    compressed = _PARENTHETICAL.sub("", compressed)
+    compressed = _BRACKETED.sub("", compressed)
+    compressed = _FILLER_CLAUSE.sub("", compressed)
+    compressed = _TRAILING_ATTRIBUTION.sub("", compressed)
+    compressed = _LEADING_ACCORDING_TO.sub("", compressed)
+    compressed = re.sub(r"\s+", " ", compressed).strip()
+    compressed = re.sub(r"\s+([,.;:!?])", r"\1", compressed)
+    compressed = re.sub(r",\s*([.?!])$", r"\1", compressed)
+    if compressed and compressed[0].islower():
+        compressed = compressed[0].upper() + compressed[1:]
+    if len(compressed.split()) < MIN_REMAINING_WORDS:
+        return sentence
+    if compressed and compressed[-1] not in ".?!" and sentence and (
+        sentence[-1] in ".?!"
+    ):
+        compressed += sentence[-1]
+    return compressed
+
+
+def compress_sentences(sentences: List[str]) -> List[str]:
+    """Compress every sentence in a list (order preserved)."""
+    return [compress_sentence(sentence) for sentence in sentences]
+
+
+def compress_timeline(timeline: Timeline) -> Timeline:
+    """A copy of *timeline* with every daily summary compressed."""
+    compressed = Timeline()
+    for date, sentences in timeline.items():
+        for sentence in compress_sentences(sentences):
+            compressed.add(date, sentence)
+    return compressed
+
+
+def compression_ratio(original: str, compressed: str) -> float:
+    """Character-level size of the compressed text relative to original."""
+    if not original:
+        return 1.0
+    return len(compressed) / len(original)

@@ -1,0 +1,133 @@
+"""LSA sentence embeddings -- the offline substitute for BERT.
+
+The paper's automatic date compression (Section 3.2.3) encodes daily
+summaries with BERT and clusters them with Affinity Propagation. Pre-trained
+transformers are unavailable offline, so we embed sentences by latent
+semantic analysis: TF-IDF vectors reduced with a truncated SVD. Summaries of
+the same underlying event share event-specific vocabulary, so they land close
+together in the latent space -- which is the only property the clustering
+step relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import svds
+
+from repro.text.tfidf import TfidfModel
+from repro.text.tokenize import tokenize_for_matching
+
+
+def truncated_svd(matrix, k: int):
+    """Deterministic rank-*k* SVD of a sparse matrix.
+
+    Returns ``(u, s, vt)`` with singular values descending. Small matrices
+    use dense LAPACK SVD (fully deterministic even under degenerate
+    spectra); large ones use ARPACK with a fixed starting vector.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(k, min(matrix.shape) - 1)
+    if k < 1:
+        raise ValueError(
+            f"matrix of shape {matrix.shape} has no rank-1 truncation"
+        )
+    if min(matrix.shape) <= 512:
+        u, s, vt = np.linalg.svd(
+            np.asarray(matrix.todense(), dtype=np.float64)
+            if sparse.issparse(matrix)
+            else np.asarray(matrix, dtype=np.float64),
+            full_matrices=False,
+        )
+        return u[:, :k], s[:k], vt[:k]
+    v0 = np.ones(min(matrix.shape), dtype=np.float64)
+    u, s, vt = svds(matrix.astype(np.float64), k=k, v0=v0)
+    order = np.argsort(-s)
+    return u[:, order], s[order], vt[order]
+
+
+class LsaEmbedder:
+    """Embed texts into a dense latent space via TF-IDF + truncated SVD.
+
+    Parameters
+    ----------
+    dimensions:
+        Target dimensionality of the latent space. Automatically reduced
+        when the corpus is too small to support it.
+    """
+
+    def __init__(self, dimensions: int = 64) -> None:
+        if dimensions < 1:
+            raise ValueError(f"dimensions must be >= 1, got {dimensions}")
+        self.dimensions = dimensions
+        self._tfidf = TfidfModel(sublinear_tf=True)
+        self._components: Optional[np.ndarray] = None
+
+    # -- fitting -------------------------------------------------------------
+
+    def fit(self, texts: Sequence[str]) -> "LsaEmbedder":
+        """Learn the latent space from raw *texts*."""
+        tokenised = [tokenize_for_matching(text) for text in texts]
+        matrix = self._tfidf.fit_transform_matrix(tokenised)
+        k = min(self.dimensions, min(matrix.shape) - 1)
+        if k < 1:
+            # Degenerate corpus (one doc or one term): identity projection.
+            self._components = np.eye(matrix.shape[1], dtype=np.float64)
+            return self
+        _u, _s, vt = truncated_svd(matrix, k)
+        self._components = vt.T  # (vocab, k)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._components is not None
+
+    # -- transforms ----------------------------------------------------------
+
+    def transform(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed raw *texts*; rows are L2-normalised latent vectors."""
+        if self._components is None:
+            raise RuntimeError("LsaEmbedder must be fitted before transform")
+        tokenised = [tokenize_for_matching(text) for text in texts]
+        matrix = self._tfidf.transform_matrix(tokenised)
+        dense = np.asarray(matrix @ self._components)
+        if sparse.issparse(dense):  # pragma: no cover - defensive
+            dense = dense.toarray()
+        norms = np.linalg.norm(dense, axis=1)
+        safe = np.where(norms > 0, norms, 1.0)
+        return dense / safe[:, None]
+
+    def fit_transform(self, texts: Sequence[str]) -> np.ndarray:
+        """Fit on *texts* and return their embeddings."""
+        return self.fit(texts).transform(texts)
+
+    def similarity_matrix(self, texts: Sequence[str]) -> np.ndarray:
+        """Pairwise cosine similarity of *texts* in the latent space."""
+        embeddings = self.transform(texts)
+        return np.clip(embeddings @ embeddings.T, -1.0, 1.0)
+
+
+def embed_daily_summaries(
+    summaries: Sequence[str], dimensions: int = 64
+) -> np.ndarray:
+    """One-shot helper: fit an embedder on *summaries* and embed them."""
+    if not summaries:
+        return np.zeros((0, dimensions), dtype=np.float64)
+    return LsaEmbedder(dimensions=dimensions).fit_transform(summaries)
+
+
+def top_terms(
+    embedder: LsaEmbedder, component: int, limit: int = 10
+) -> List[str]:
+    """The *limit* most heavily weighted vocabulary terms of a component.
+
+    Diagnostic helper for inspecting what an LSA dimension captures.
+    """
+    if embedder._components is None:
+        raise RuntimeError("LsaEmbedder must be fitted first")
+    weights = embedder._components[:, component]
+    order = np.argsort(-np.abs(weights))[:limit]
+    return [embedder._tfidf.vocabulary.token(int(i)) for i in order]

@@ -1,0 +1,83 @@
+"""Cosine similarity over sparse-dict and matrix representations."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+from scipy import sparse
+
+SparseVector = Dict[int, float]
+
+
+def sparse_cosine(a: SparseVector, b: SparseVector) -> float:
+    """Cosine similarity of two sparse vectors (dicts of id -> weight).
+
+    Vectors produced by :class:`repro.text.tfidf.TfidfModel` are already
+    L2-normalised, but this function does not rely on that.
+    """
+    if not a or not b:
+        return 0.0
+    if len(b) < len(a):
+        a, b = b, a
+    dot = sum(value * b.get(key, 0.0) for key, value in a.items())
+    if dot == 0.0:
+        return 0.0
+    norm_a = math.sqrt(sum(v * v for v in a.values()))
+    norm_b = math.sqrt(sum(v * v for v in b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two dense 1-D vectors."""
+    norm_a = float(np.linalg.norm(a))
+    norm_b = float(np.linalg.norm(b))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (norm_a * norm_b))
+
+
+def cosine_similarity_matrix(matrix) -> np.ndarray:
+    """All-pairs cosine similarity of the rows of *matrix*.
+
+    Accepts a dense ``ndarray`` or a scipy sparse matrix; rows with zero norm
+    yield zero similarities. This is the O(n^2) computation that dominates
+    the submodular framework's running time (Figure 2).
+    """
+    if sparse.issparse(matrix):
+        norms = np.sqrt(matrix.multiply(matrix).sum(axis=1)).A.ravel()
+        safe = np.where(norms > 0, norms, 1.0)
+        inv = sparse.diags(1.0 / safe)
+        normalized = inv @ matrix
+        result = (normalized @ normalized.T).toarray()
+    else:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        norms = np.linalg.norm(matrix, axis=1)
+        safe = np.where(norms > 0, norms, 1.0)
+        normalized = matrix / safe[:, None]
+        result = normalized @ normalized.T
+    zero_rows = np.where(
+        np.asarray(matrix.sum(axis=1)).ravel() == 0
+    )[0] if sparse.issparse(matrix) else np.where(norms == 0)[0]
+    result[zero_rows, :] = 0.0
+    result[:, zero_rows] = 0.0
+    return np.clip(result, -1.0, 1.0)
+
+
+def max_similarity_to_set(
+    vector: SparseVector, selected: Sequence[SparseVector]
+) -> float:
+    """Maximum cosine similarity of *vector* against a selected pool.
+
+    Used by the Algorithm-1 post-processing redundancy check: a candidate
+    sentence is rejected when this exceeds the redundancy threshold.
+    """
+    best = 0.0
+    for other in selected:
+        value = sparse_cosine(vector, other)
+        if value > best:
+            best = value
+    return best

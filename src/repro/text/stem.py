@@ -1,0 +1,218 @@
+"""The Porter stemming algorithm (Porter, 1980).
+
+ROUGE-1.5.5 applies Porter stemming before n-gram matching (its ``-m`` flag),
+and our BM25/TF-IDF preprocessing does the same, so an exact, dependency-free
+implementation lives here. The five-step structure and the measure/condition
+helpers follow the original paper; a small LRU-style cache keeps repeated
+stemming of a corpus cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+_VOWELS = frozenset("aeiou")
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer with an internal result cache."""
+
+    def __init__(self, cache_size: int = 100_000) -> None:
+        self._cache: Dict[str, str] = {}
+        self._cache_size = cache_size
+
+    # -- public API --------------------------------------------------------
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of *word* (lower-cased)."""
+        word = word.lower()
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
+        stemmed = self._stem(word)
+        if len(self._cache) >= self._cache_size:
+            self._cache.clear()
+        self._cache[word] = stemmed
+        return stemmed
+
+    # -- algorithm ---------------------------------------------------------
+
+    def _stem(self, word: str) -> str:
+        if len(word) <= 2 or not word.isalpha():
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    # -- condition helpers -------------------------------------------------
+
+    @staticmethod
+    def _is_consonant(word: str, i: int) -> bool:
+        ch = word[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            return i == 0 or not PorterStemmer._is_consonant(word, i - 1)
+        return True
+
+    @classmethod
+    def _measure(cls, stem: str) -> int:
+        """Porter's *m*: the number of VC sequences in the stem."""
+        m = 0
+        previous_was_vowel = False
+        for i in range(len(stem)):
+            is_vowel = not cls._is_consonant(stem, i)
+            if previous_was_vowel and not is_vowel:
+                m += 1
+            previous_was_vowel = is_vowel
+        return m
+
+    @classmethod
+    def _contains_vowel(cls, stem: str) -> bool:
+        return any(not cls._is_consonant(stem, i) for i in range(len(stem)))
+
+    @classmethod
+    def _ends_double_consonant(cls, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and cls._is_consonant(word, len(word) - 1)
+        )
+
+    @classmethod
+    def _ends_cvc(cls, word: str) -> bool:
+        """*o condition: stem ends consonant-vowel-consonant, last not w/x/y."""
+        if len(word) < 3:
+            return False
+        return (
+            cls._is_consonant(word, len(word) - 3)
+            and not cls._is_consonant(word, len(word) - 2)
+            and cls._is_consonant(word, len(word) - 1)
+            and word[-1] not in "wxy"
+        )
+
+    # -- steps ---------------------------------------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            if self._measure(word[:-3]) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed") and self._contains_vowel(word[:-2]):
+            word = word[:-2]
+            flag = True
+        elif word.endswith("ing") and self._contains_vowel(word[:-3]):
+            word = word[:-3]
+            flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_SUFFIXES = (
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+        ("anci", "ance"), ("izer", "ize"), ("abli", "able"),
+        ("alli", "al"), ("entli", "ent"), ("eli", "e"), ("ousli", "ous"),
+        ("ization", "ize"), ("ation", "ate"), ("ator", "ate"),
+        ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+        ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    def _step2(self, word: str) -> str:
+        for suffix, replacement in self._STEP2_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    _STEP3_SUFFIXES = (
+        ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+        ("ical", "ic"), ("ful", ""), ("ness", ""),
+    )
+
+    def _step3(self, word: str) -> str:
+        for suffix, replacement in self._STEP3_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    def _step4(self, word: str) -> str:
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 1:
+                    return stem
+                return word
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if self._measure(stem) > 1 and stem and stem[-1] in "st":
+                return stem
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = self._measure(stem)
+            if m > 1 or (m == 1 and not self._ends_cvc(stem)):
+                return stem
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if (
+            word.endswith("ll")
+            and self._measure(word[:-1]) > 1
+        ):
+            return word[:-1]
+        return word
+
+
+_DEFAULT_STEMMER = PorterStemmer()
+
+
+def stem_token(token: str) -> str:
+    """Stem a single token with the module-level stemmer."""
+    return _DEFAULT_STEMMER.stem(token)
+
+
+def stem_tokens(tokens: Iterable[str]) -> List[str]:
+    """Stem a token stream with the module-level stemmer."""
+    stem = _DEFAULT_STEMMER.stem
+    return [stem(token) for token in tokens]

@@ -1,0 +1,50 @@
+"""English stopword inventory.
+
+The list follows the classic SMART / ROUGE-1.5.5 tradition of function words:
+determiners, prepositions, pronouns, auxiliaries, conjunctions and a handful of
+high-frequency adverbs. It intentionally excludes content-bearing words so that
+BM25 / TF-IDF scores and TextRank edges are driven by topical vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+_STOPWORD_TEXT = """
+a about above after again against all am an and any are aren't as at be
+because been before being below between both but by can can't cannot could
+couldn't did didn't do does doesn't doing don't down during each few for from
+further had hadn't has hasn't have haven't having he he'd he'll he's her here
+here's hers herself him himself his how how's i i'd i'll i'm i've if in into
+is isn't it it's its itself let's me more most mustn't my myself no nor not of
+off on once only or other ought our ours ourselves out over own same shan't
+she she'd she'll she's should shouldn't so some such than that that's the
+their theirs them themselves then there there's these they they'd they'll
+they're they've this those through to too under until up very was wasn't we
+we'd we'll we're we've were weren't what what's when when's where where's
+which while who who's whom why why's with won't would wouldn't you you'd
+you'll you're you've your yours yourself yourselves
+also among amongst another anybody anyone anything anywhere around away back
+came come else elsewhere even ever every everybody everyone everything
+everywhere get gets getting go goes going gone got however instead like made
+make makes many may maybe meanwhile might mine much must near nearly need
+never nevertheless new next nobody none nothing now nowhere often one onto
+per perhaps put rather said say says see seem seemed seeming seems several
+shall since somebody somehow someone something sometime sometimes somewhat
+somewhere still take taken than though thus together toward towards unless
+unlike upon us use used uses using via want wants well went whatever whenever
+wherever whether whoever whole whose will within without yet
+"""
+
+#: Frozen set of lower-cased stopwords.
+STOPWORDS = frozenset(_STOPWORD_TEXT.split())
+
+
+def is_stopword(token: str) -> bool:
+    """Return ``True`` when *token* (case-insensitive) is a stopword."""
+    return token.lower() in STOPWORDS
+
+
+def remove_stopwords(tokens: Iterable[str]) -> List[str]:
+    """Filter stopwords from a token stream, preserving order."""
+    return [token for token in tokens if token.lower() not in STOPWORDS]

@@ -1,0 +1,116 @@
+"""TF-IDF vector-space model over sparse dictionaries and dense matrices.
+
+Used by the post-processing stage (cosine redundancy threshold), the MEAD and
+Chieu et al. baselines, the submodular framework's pairwise similarities, and
+as the input space of the LSA sentence embeddings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.text.vocabulary import Vocabulary
+
+SparseVector = Dict[int, float]
+
+
+class TfidfModel:
+    """Fit IDF statistics on a corpus; transform token streams to vectors.
+
+    Term frequency uses raw counts, IDF is the smoothed
+    ``log((1 + n) / (1 + df)) + 1`` variant, and vectors are L2-normalised so
+    dot products are cosine similarities.
+    """
+
+    def __init__(self, sublinear_tf: bool = False) -> None:
+        self.vocabulary = Vocabulary()
+        self.sublinear_tf = sublinear_tf
+        self._idf: Optional[np.ndarray] = None
+        self._num_docs = 0
+
+    # -- fitting -------------------------------------------------------------
+
+    def fit(self, corpus: Sequence[Sequence[str]]) -> "TfidfModel":
+        """Learn the vocabulary and IDF weights from tokenised *corpus*."""
+        document_frequency: Dict[int, int] = {}
+        for doc in corpus:
+            seen = {self.vocabulary.add(token) for token in doc}
+            for token_id in seen:
+                document_frequency[token_id] = (
+                    document_frequency.get(token_id, 0) + 1
+                )
+        self._num_docs = len(corpus)
+        idf = np.zeros(len(self.vocabulary), dtype=np.float64)
+        for token_id, df in document_frequency.items():
+            idf[token_id] = math.log((1 + self._num_docs) / (1 + df)) + 1.0
+        self._idf = idf
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._idf is not None
+
+    def _require_fitted(self) -> np.ndarray:
+        if self._idf is None:
+            raise RuntimeError("TfidfModel must be fitted before use")
+        return self._idf
+
+    # -- transforms ----------------------------------------------------------
+
+    def transform(self, doc: Sequence[str]) -> SparseVector:
+        """Vectorise one tokenised document as a normalised sparse dict."""
+        idf = self._require_fitted()
+        counts: Dict[int, float] = {}
+        for token in doc:
+            token_id = self.vocabulary.get(token)
+            if token_id is not None:
+                counts[token_id] = counts.get(token_id, 0.0) + 1.0
+        if self.sublinear_tf:
+            counts = {i: 1.0 + math.log(c) for i, c in counts.items()}
+        vector = {i: c * idf[i] for i, c in counts.items()}
+        norm = math.sqrt(sum(v * v for v in vector.values()))
+        if norm > 0:
+            vector = {i: v / norm for i, v in vector.items()}
+        return vector
+
+    def transform_many(
+        self, corpus: Sequence[Sequence[str]]
+    ) -> List[SparseVector]:
+        """Vectorise every document in *corpus*."""
+        return [self.transform(doc) for doc in corpus]
+
+    def transform_matrix(
+        self, corpus: Sequence[Sequence[str]]
+    ) -> sparse.csr_matrix:
+        """Vectorise *corpus* into a CSR matrix (rows L2-normalised)."""
+        self._require_fitted()
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        for row_index, doc in enumerate(corpus):
+            vector = self.transform(doc)
+            for col, value in vector.items():
+                rows.append(row_index)
+                cols.append(col)
+                data.append(value)
+        return sparse.csr_matrix(
+            (data, (rows, cols)),
+            shape=(len(corpus), len(self.vocabulary)),
+            dtype=np.float64,
+        )
+
+    def fit_transform_matrix(
+        self, corpus: Sequence[Sequence[str]]
+    ) -> sparse.csr_matrix:
+        """Convenience: :meth:`fit` then :meth:`transform_matrix`."""
+        return self.fit(corpus).transform_matrix(corpus)
+
+    def idf_of(self, token: str) -> float:
+        """IDF weight of *token* (0.0 when out of vocabulary)."""
+        idf = self._require_fitted()
+        token_id = self.vocabulary.get(token)
+        return float(idf[token_id]) if token_id is not None else 0.0

@@ -1,0 +1,153 @@
+"""Word and sentence tokenisation.
+
+The paper tokenises news articles into sentences with spaCy and works on
+whitespace/punctuation word tokens thereafter. This module provides a
+self-contained equivalent:
+
+* :func:`sentence_split` -- a rule-based sentence boundary detector that is
+  aware of common abbreviations (``Mr.``, ``U.S.``, ``Jan.`` ...), decimal
+  numbers, and initials, so that news prose is not over-split.
+* :func:`tokenize` -- a word tokeniser that keeps contractions together,
+  splits punctuation, and preserves date-like tokens (``2018-06-12``).
+* :func:`tokenize_for_matching` -- the normalised (lower-cased, stemmed,
+  stopword-filtered) token stream used by BM25, TF-IDF and ROUGE.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence
+
+from repro.text.stem import stem_tokens
+from repro.text.stopwords import remove_stopwords
+
+# Abbreviations that end with a period but do not terminate a sentence.
+_ABBREVIATIONS = frozenset(
+    """
+    mr mrs ms dr prof sen rep gov gen lt col sgt capt cmdr adm maj rev hon
+    st ave blvd rd jan feb mar apr jun jul aug sep sept oct nov dec mon tue
+    tues wed thu thur thurs fri sat sun no vs etc inc ltd corp co dept univ
+    assn bros vol fig al approx est min max
+    """.split()
+)
+
+# A token that looks like a single capital initial, e.g. the "J." in
+# "Michael J. Fox".
+_INITIAL_RE = re.compile(r"^[A-Z]$")
+
+# Word tokeniser: dates, numbers with separators, words with inner
+# apostrophes/hyphens, or single non-space symbols.
+_TOKEN_RE = re.compile(
+    r"""
+    \d{4}-\d{2}-\d{2}           # ISO dates stay whole
+    | \d+(?:[.,/:]\d+)*%?       # numbers, times, fractions, percentages
+    | [A-Za-z]+(?:['’-][A-Za-z]+)*  # words incl. contractions/hyphens
+    | [^\sA-Za-z0-9]            # any other visible symbol on its own
+    """,
+    re.VERBOSE,
+)
+
+# Candidate sentence terminators followed by whitespace and an upper-case
+# letter, a digit, or an opening quote.
+_BOUNDARY_RE = re.compile(r"([.!?])(['\"”\)\]]*)\s+(?=[\"'“(\[]?[A-Z0-9])")
+
+
+def tokenize(text: str) -> List[str]:
+    """Split *text* into word tokens.
+
+    >>> tokenize("Trump agrees to meet Kim on 2018-06-12.")
+    ['Trump', 'agrees', 'to', 'meet', 'Kim', 'on', '2018-06-12', '.']
+    """
+    return _TOKEN_RE.findall(text)
+
+
+def normalize_token(token: str) -> str:
+    """Lower-case a token and strip a trailing possessive marker."""
+    token = token.lower()
+    for suffix in ("'s", "’s"):
+        if token.endswith(suffix):
+            return token[: -len(suffix)]
+    return token
+
+
+def tokenize_for_matching(
+    text: str,
+    stem: bool = True,
+    drop_stopwords: bool = True,
+) -> List[str]:
+    """Produce the normalised token stream used for scoring and matching.
+
+    Tokens are lower-cased, punctuation-only tokens are dropped, stopwords are
+    removed, and the remainder is Porter-stemmed. This mirrors ROUGE-1.5.5
+    with ``-m`` (stemming) and ``-s`` (stopword removal) and the standard
+    BM25 preprocessing.
+    """
+    tokens = [normalize_token(token) for token in tokenize(text)]
+    tokens = [token for token in tokens if any(ch.isalnum() for ch in token)]
+    if drop_stopwords:
+        tokens = remove_stopwords(tokens)
+    if stem:
+        tokens = stem_tokens(tokens)
+    return tokens
+
+
+def _is_abbreviation(preceding: str) -> bool:
+    """Decide whether the word before a period is a known abbreviation."""
+    word = preceding.rstrip(".")
+    if not word:
+        return False
+    if _INITIAL_RE.match(word):
+        return True
+    # "U.S", "U.N" -- dotted upper-case acronyms.
+    if re.fullmatch(r"(?:[A-Za-z]\.)+[A-Za-z]?", word + "."):
+        return True
+    return word.lower() in _ABBREVIATIONS
+
+
+def sentence_split(text: str) -> List[str]:
+    """Split *text* into sentences.
+
+    Handles the punctuation patterns common in news copy: abbreviations,
+    initials, decimal numbers, quoted speech and ellipses. Newlines that
+    separate paragraphs always terminate a sentence.
+
+    >>> sentence_split("Dr. Murray was at home. Police raided it.")
+    ['Dr. Murray was at home.', 'Police raided it.']
+    """
+    sentences: List[str] = []
+    for paragraph in re.split(r"\n\s*\n|\r\n\s*\r\n", text):
+        paragraph = " ".join(paragraph.split())
+        if not paragraph:
+            continue
+        sentences.extend(_split_paragraph(paragraph))
+    return sentences
+
+
+def _split_paragraph(paragraph: str) -> List[str]:
+    """Split one whitespace-normalised paragraph into sentences."""
+    pieces: List[str] = []
+    start = 0
+    for match in _BOUNDARY_RE.finditer(paragraph):
+        if match.group(1) == ".":
+            preceding = paragraph[start : match.start(1)].rsplit(" ", 1)[-1]
+            if _is_abbreviation(preceding):
+                continue
+        end = match.end(2)
+        piece = paragraph[start:end].strip()
+        if piece:
+            pieces.append(piece)
+        start = match.end()
+    tail = paragraph[start:].strip()
+    if tail:
+        pieces.append(tail)
+    return pieces
+
+
+def word_count(sentences: Sequence[str], stem: Optional[bool] = None) -> int:
+    """Total number of word tokens across *sentences*.
+
+    ``stem`` is accepted for signature symmetry with evaluation helpers but
+    has no effect on the count.
+    """
+    del stem
+    return sum(len(tokenize(sentence)) for sentence in sentences)

@@ -1,0 +1,59 @@
+"""Token/id vocabulary shared by the vector-space models."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class Vocabulary:
+    """A bidirectional mapping between tokens and dense integer ids.
+
+    Ids are assigned in first-seen order, which keeps vectorisation
+    deterministic for a fixed corpus traversal order.
+    """
+
+    def __init__(self, tokens: Optional[Iterable[str]] = None) -> None:
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        if tokens is not None:
+            for token in tokens:
+                self.add(token)
+
+    def add(self, token: str) -> int:
+        """Add *token* (idempotent) and return its id."""
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        token_id = len(self._id_to_token)
+        self._token_to_id[token] = token_id
+        self._id_to_token.append(token)
+        return token_id
+
+    def add_all(self, tokens: Iterable[str]) -> List[int]:
+        """Add every token in *tokens*; return their ids in order."""
+        return [self.add(token) for token in tokens]
+
+    def get(self, token: str) -> Optional[int]:
+        """Return the id of *token*, or ``None`` if out of vocabulary."""
+        return self._token_to_id.get(token)
+
+    def encode(self, tokens: Iterable[str]) -> List[int]:
+        """Map known tokens to ids, silently dropping OOV tokens."""
+        get = self._token_to_id.get
+        return [i for i in (get(token) for token in tokens) if i is not None]
+
+    def token(self, token_id: int) -> str:
+        """Return the token with id *token_id* (raises ``IndexError``)."""
+        return self._id_to_token[token_id]
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={len(self)})"

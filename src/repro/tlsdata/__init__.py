@@ -1,0 +1,55 @@
+"""Timeline-summarization data model, loaders and synthetic datasets."""
+
+from repro.tlsdata.types import (
+    Article,
+    Corpus,
+    DatedSentence,
+    Dataset,
+    Timeline,
+    TimelineInstance,
+)
+from repro.tlsdata.loaders import (
+    load_dataset,
+    load_timeline,
+    save_dataset,
+    save_timeline,
+)
+from repro.tlsdata.synthetic import (
+    SyntheticConfig,
+    SyntheticCorpusGenerator,
+    make_crisis_like,
+    make_timeline17_like,
+)
+from repro.tlsdata.stats import DatasetStatistics, dataset_statistics
+from repro.tlsdata.storylines import StorylineSeparator
+from repro.tlsdata.tilse_format import load_release, load_topic
+from repro.tlsdata.validation import (
+    ValidationIssue,
+    validate_corpus,
+    validate_timeline,
+)
+
+__all__ = [
+    "Article",
+    "Corpus",
+    "DatedSentence",
+    "Dataset",
+    "DatasetStatistics",
+    "SyntheticConfig",
+    "StorylineSeparator",
+    "SyntheticCorpusGenerator",
+    "Timeline",
+    "ValidationIssue",
+    "TimelineInstance",
+    "dataset_statistics",
+    "load_dataset",
+    "load_release",
+    "load_topic",
+    "load_timeline",
+    "make_crisis_like",
+    "make_timeline17_like",
+    "save_dataset",
+    "validate_corpus",
+    "validate_timeline",
+    "save_timeline",
+]

@@ -1,0 +1,151 @@
+"""JSONL persistence for corpora, timelines and datasets.
+
+The on-disk layout mirrors how the public timeline17/crisis releases are
+organised (per-topic article folders plus timeline files), adapted to JSONL:
+
+* a *timeline file* is a single JSON object ``{iso_date: [sentences]}``;
+* a *corpus file* is JSONL, one article object per line;
+* a *dataset directory* holds one subdirectory per instance containing
+  ``corpus.jsonl``, ``timeline.json`` and a small ``meta.json``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+from typing import List, Union
+
+from repro.tlsdata.types import (
+    Article,
+    Corpus,
+    Dataset,
+    Timeline,
+    TimelineInstance,
+)
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_timeline(timeline: Timeline, path: PathLike) -> None:
+    """Write *timeline* as a JSON object of ``iso_date -> sentences``."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(timeline.to_dict(), handle, ensure_ascii=False, indent=2)
+
+
+def load_timeline(path: PathLike) -> Timeline:
+    """Read a timeline written by :func:`save_timeline`."""
+    with pathlib.Path(path).open("r", encoding="utf-8") as handle:
+        return Timeline.from_dict(json.load(handle))
+
+
+def _article_to_json(article: Article) -> dict:
+    return {
+        "article_id": article.article_id,
+        "publication_date": article.publication_date.isoformat(),
+        "title": article.title,
+        "text": article.text,
+        "sentences": article.sentences,
+    }
+
+
+def _article_from_json(data: dict) -> Article:
+    return Article(
+        article_id=data["article_id"],
+        publication_date=datetime.date.fromisoformat(
+            data["publication_date"]
+        ),
+        title=data.get("title", ""),
+        text=data.get("text", ""),
+        sentences=data.get("sentences"),
+    )
+
+
+def save_corpus(corpus: Corpus, path: PathLike) -> None:
+    """Write *corpus* as JSONL: a header line then one article per line."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "topic": corpus.topic,
+        "query": list(corpus.query),
+        "start": corpus.start.isoformat() if corpus.start else None,
+        "end": corpus.end.isoformat() if corpus.end else None,
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"header": header}) + "\n")
+        for article in corpus.articles:
+            handle.write(
+                json.dumps(_article_to_json(article), ensure_ascii=False)
+                + "\n"
+            )
+
+
+def load_corpus(path: PathLike) -> Corpus:
+    """Read a corpus written by :func:`save_corpus`."""
+    articles: List[Article] = []
+    header = {}
+    header_seen = False
+    with pathlib.Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            # The header is recognised by content, not position, so
+            # leading blank lines or concatenated files stay loadable.
+            if not header_seen and "header" in data:
+                header = data["header"]
+                header_seen = True
+                continue
+            articles.append(_article_from_json(data))
+    return Corpus(
+        topic=header.get("topic", ""),
+        articles=articles,
+        query=tuple(header.get("query", [])),
+        start=(
+            datetime.date.fromisoformat(header["start"])
+            if header.get("start")
+            else None
+        ),
+        end=(
+            datetime.date.fromisoformat(header["end"])
+            if header.get("end")
+            else None
+        ),
+    )
+
+
+def save_dataset(dataset: Dataset, directory: PathLike) -> None:
+    """Write *dataset* as one subdirectory per instance."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = {"name": dataset.name, "instances": []}
+    for index, instance in enumerate(dataset.instances):
+        slug = f"{index:03d}_{instance.name.replace('/', '_')}"
+        instance_dir = directory / slug
+        instance_dir.mkdir(parents=True, exist_ok=True)
+        save_corpus(instance.corpus, instance_dir / "corpus.jsonl")
+        save_timeline(instance.reference, instance_dir / "timeline.json")
+        meta["instances"].append({"name": instance.name, "dir": slug})
+    with (directory / "meta.json").open("w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2)
+
+
+def load_dataset(directory: PathLike) -> Dataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    directory = pathlib.Path(directory)
+    with (directory / "meta.json").open("r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+    instances: List[TimelineInstance] = []
+    for entry in meta["instances"]:
+        instance_dir = directory / entry["dir"]
+        instances.append(
+            TimelineInstance(
+                name=entry["name"],
+                corpus=load_corpus(instance_dir / "corpus.jsonl"),
+                reference=load_timeline(instance_dir / "timeline.json"),
+            )
+        )
+    return Dataset(name=meta["name"], instances=instances)

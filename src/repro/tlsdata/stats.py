@@ -1,0 +1,61 @@
+"""Dataset statistics (Table 4 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.tlsdata.types import Dataset
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Per-dataset aggregates in the layout of Table 4."""
+
+    name: str
+    num_topics: int
+    num_timelines: int
+    avg_docs_per_timeline: float
+    avg_sentences_per_timeline: float
+    avg_duration_days: float
+
+    def as_row(self) -> List[str]:
+        """Formatted cells for table rendering."""
+        return [
+            self.name,
+            str(self.num_topics),
+            str(self.num_timelines),
+            f"{self.avg_docs_per_timeline:,.0f}",
+            f"{self.avg_sentences_per_timeline:,.0f}",
+            f"{self.avg_duration_days:.0f}",
+        ]
+
+
+def dataset_statistics(dataset: Dataset) -> DatasetStatistics:
+    """Compute the Table-4 aggregates for *dataset*.
+
+    Sentence counts use each article's own sentence list (title included),
+    matching how the released corpora count tokenised sentences.
+    """
+    if not dataset.instances:
+        return DatasetStatistics(dataset.name, 0, 0, 0.0, 0.0, 0.0)
+    doc_counts = []
+    sentence_counts = []
+    durations = []
+    for instance in dataset.instances:
+        corpus = instance.corpus
+        doc_counts.append(len(corpus.articles))
+        sentence_counts.append(
+            sum(len(a.split_sentences()) for a in corpus.articles)
+        )
+        start, end = corpus.window
+        durations.append((end - start).days + 1)
+    n = len(dataset.instances)
+    return DatasetStatistics(
+        name=dataset.name,
+        num_topics=len(dataset.topics()),
+        num_timelines=n,
+        avg_docs_per_timeline=sum(doc_counts) / n,
+        avg_sentences_per_timeline=sum(sentence_counts) / n,
+        avg_duration_days=sum(durations) / n,
+    )

@@ -1,0 +1,182 @@
+"""Loader for the published timeline17 / crisis release layout.
+
+The real benchmark corpora (http://l3s.de/~gtran/timeline/, mirrored by
+the ``tilse`` project) cannot be downloaded in this offline environment,
+but adopters who have them locally can load them directly. The expected
+on-disk layout, per topic:
+
+```
+<root>/<topic>/
+    InputDocs/<YYYY-MM-DD>/<article-id>.txt   # plain-text article body
+    timelines/<source>.txt                    # reference timeline(s)
+```
+
+Reference timeline files are blocks separated by dashed lines::
+
+    2009-06-25
+    Dr Murray finds Jackson unconscious in the bedroom.
+    Paramedics are called to the house.
+    --------------------------------
+    2009-06-28
+    Los Angeles police interview Dr Murray for three hours.
+
+Date headers may be ISO (``2009-06-25``) or natural (``June 25, 2009``);
+both are parsed with the library's own temporal expression rules. One
+:class:`~repro.tlsdata.types.TimelineInstance` is produced per
+(topic, reference timeline) pair, matching how timeline17 counts 19
+timelines over 9 topics.
+"""
+
+from __future__ import annotations
+
+import datetime
+import pathlib
+import re
+from typing import List, Optional, Sequence, Union
+
+from repro.temporal.expressions import find_expressions
+from repro.tlsdata.types import (
+    Article,
+    Corpus,
+    Dataset,
+    Timeline,
+    TimelineInstance,
+)
+
+PathLike = Union[str, pathlib.Path]
+
+_SEPARATOR = re.compile(r"^-{4,}\s*$")
+_ISO_DATE = re.compile(r"^(\d{4})-(\d{2})-(\d{2})\s*$")
+
+
+def _parse_date_header(line: str) -> Optional[datetime.date]:
+    """Parse a timeline block's date header (ISO or natural language)."""
+    line = line.strip()
+    match = _ISO_DATE.match(line)
+    if match:
+        try:
+            return datetime.date(
+                int(match.group(1)),
+                int(match.group(2)),
+                int(match.group(3)),
+            )
+        except ValueError:
+            return None
+    expressions = [
+        e for e in find_expressions(line, anchor=None) if e.date is not None
+    ]
+    if len(expressions) == 1 and expressions[0].text.strip() == line:
+        return expressions[0].date
+    if expressions:
+        return expressions[0].date
+    return None
+
+
+def parse_timeline_file(path: PathLike) -> Timeline:
+    """Parse one reference-timeline file in the release format."""
+    timeline = Timeline()
+    current_date: Optional[datetime.date] = None
+    with pathlib.Path(path).open("r", encoding="utf-8", errors="replace") as handle:
+        for raw_line in handle:
+            line = raw_line.strip()
+            if not line:
+                continue
+            if _SEPARATOR.match(line):
+                current_date = None
+                continue
+            if current_date is None:
+                parsed = _parse_date_header(line)
+                if parsed is not None:
+                    current_date = parsed
+                    continue
+                # A header that fails to parse starts an unusable block;
+                # skip its sentences until the next separator.
+                current_date = None
+                continue
+            timeline.add(current_date, line)
+    return timeline
+
+
+def _parse_folder_date(name: str) -> Optional[datetime.date]:
+    try:
+        return datetime.date.fromisoformat(name)
+    except ValueError:
+        return None
+
+
+def load_topic(
+    topic_dir: PathLike,
+    query: Sequence[str] = (),
+) -> List[TimelineInstance]:
+    """Load one topic directory into per-reference timeline instances.
+
+    Articles come from ``InputDocs/<date>/*``; every reference timeline
+    under ``timelines/`` yields one instance sharing the same corpus.
+    Topics without articles or without parseable timelines yield an
+    empty list.
+    """
+    topic_dir = pathlib.Path(topic_dir)
+    input_docs = topic_dir / "InputDocs"
+    timeline_dir = topic_dir / "timelines"
+
+    articles: List[Article] = []
+    if input_docs.is_dir():
+        for date_dir in sorted(input_docs.iterdir()):
+            if not date_dir.is_dir():
+                continue
+            publication_date = _parse_folder_date(date_dir.name)
+            if publication_date is None:
+                continue
+            for article_path in sorted(date_dir.iterdir()):
+                if not article_path.is_file():
+                    continue
+                text = article_path.read_text(
+                    encoding="utf-8", errors="replace"
+                ).strip()
+                if not text:
+                    continue
+                articles.append(
+                    Article(
+                        article_id=(
+                            f"{topic_dir.name}/{date_dir.name}/"
+                            f"{article_path.stem}"
+                        ),
+                        publication_date=publication_date,
+                        text=text,
+                    )
+                )
+    if not articles:
+        return []
+
+    corpus = Corpus(
+        topic=topic_dir.name,
+        articles=articles,
+        query=tuple(query) if query else (topic_dir.name.replace("_", " "),),
+    )
+
+    instances: List[TimelineInstance] = []
+    if timeline_dir.is_dir():
+        for timeline_path in sorted(timeline_dir.iterdir()):
+            if not timeline_path.is_file():
+                continue
+            reference = parse_timeline_file(timeline_path)
+            if len(reference) == 0:
+                continue
+            instances.append(
+                TimelineInstance(
+                    name=f"{topic_dir.name}/{timeline_path.stem}",
+                    corpus=corpus,
+                    reference=reference,
+                )
+            )
+    return instances
+
+
+def load_release(root: PathLike, name: str = "") -> Dataset:
+    """Load a whole release directory (one subdirectory per topic)."""
+    root = pathlib.Path(root)
+    instances: List[TimelineInstance] = []
+    for topic_dir in sorted(root.iterdir()):
+        if topic_dir.is_dir():
+            instances.extend(load_topic(topic_dir))
+    return Dataset(name=name or root.name, instances=instances)

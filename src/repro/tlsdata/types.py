@@ -1,0 +1,288 @@
+"""Core data types for timeline summarization.
+
+The vocabulary follows the paper's problem formulation (Section 2.1):
+
+* an :class:`Article` is a dated news document;
+* a :class:`Corpus` is the set of articles associated with one topic query
+  and time window;
+* a :class:`DatedSentence` is one ``(date, sentence)`` pair produced by
+  temporal tagging (Definition 2) -- the unit every algorithm consumes;
+* a :class:`Timeline` is a chronological series of daily summaries
+  ``(d_i, S_i)``;
+* a :class:`TimelineInstance` bundles a corpus with its ground-truth
+  timeline, and a :class:`Dataset` is a named collection of instances
+  (e.g. the 19 timelines of *timeline17*).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.temporal.tagger import TaggedSentence, TemporalTagger
+from repro.text.tokenize import sentence_split
+
+
+@dataclass(frozen=True)
+class DatedSentence:
+    """One ``(date, sentence)`` pair from Definition 2.
+
+    ``date`` is the date the sentence is *about* (a mentioned date or the
+    publication date); ``publication_date`` always records when the article
+    ran, so the date reference graph can distinguish "published on d_i,
+    mentions d_j".
+    """
+
+    date: datetime.date
+    text: str
+    publication_date: datetime.date
+    article_id: str = ""
+    is_reference: bool = False
+
+    @property
+    def reference_gap_days(self) -> int:
+        """``|date - publication_date|`` in days (W2 in Section 2.2)."""
+        return abs((self.date - self.publication_date).days)
+
+
+@dataclass
+class Article:
+    """A news article: identifier, publication date, title and body."""
+
+    article_id: str
+    publication_date: datetime.date
+    title: str = ""
+    text: str = ""
+    sentences: Optional[List[str]] = None
+
+    def split_sentences(self) -> List[str]:
+        """The article's sentences (pre-split if provided, else tokenised)."""
+        if self.sentences is not None:
+            return list(self.sentences)
+        parts: List[str] = []
+        if self.title:
+            parts.append(self.title)
+        parts.extend(sentence_split(self.text))
+        return parts
+
+
+@dataclass
+class Corpus:
+    """All articles for one topic query within a time window."""
+
+    topic: str
+    articles: List[Article] = field(default_factory=list)
+    query: Tuple[str, ...] = ()
+    start: Optional[datetime.date] = None
+    end: Optional[datetime.date] = None
+
+    def __post_init__(self) -> None:
+        if self.start is None or self.end is None:
+            dates = [a.publication_date for a in self.articles]
+            if dates:
+                if self.start is None:
+                    self.start = min(dates)
+                if self.end is None:
+                    self.end = max(dates)
+
+    @property
+    def window(self) -> Tuple[datetime.date, datetime.date]:
+        """The corpus time window ``[t1, t2]``."""
+        if self.start is None or self.end is None:
+            raise ValueError("corpus has no articles and no explicit window")
+        return (self.start, self.end)
+
+    def num_articles(self) -> int:
+        return len(self.articles)
+
+    def dated_sentences(
+        self,
+        tagger: Optional[TemporalTagger] = None,
+        include_publication_date: bool = True,
+    ) -> List[DatedSentence]:
+        """Tokenise + temporally tag the corpus into dated sentences.
+
+        Each sentence yields one pair per distinct mentioned date (tagged as
+        ``is_reference=True``) plus, when *include_publication_date* is set,
+        one pair for the article's publication date -- exactly the
+        preprocessing described in Appendix A.
+        """
+        if tagger is None:
+            tagger = TemporalTagger(
+                window=self.window if self.articles else None
+            )
+        pairs: List[DatedSentence] = []
+        for article in self.articles:
+            for sentence in article.split_sentences():
+                tagged: TaggedSentence = tagger.tag_sentence(
+                    sentence, article.publication_date
+                )
+                if include_publication_date:
+                    pairs.append(
+                        DatedSentence(
+                            date=article.publication_date,
+                            text=sentence,
+                            publication_date=article.publication_date,
+                            article_id=article.article_id,
+                            is_reference=False,
+                        )
+                    )
+                for date in tagged.mentioned_dates:
+                    if (
+                        include_publication_date
+                        and date == article.publication_date
+                    ):
+                        continue
+                    pairs.append(
+                        DatedSentence(
+                            date=date,
+                            text=sentence,
+                            publication_date=article.publication_date,
+                            article_id=article.article_id,
+                            is_reference=True,
+                        )
+                    )
+        return pairs
+
+
+class Timeline:
+    """A chronological series of daily summaries ``(d_i, S_i)``.
+
+    Stored as an ordered mapping from date to the list of summary
+    sentences for that date. Iteration yields ``(date, sentences)`` in
+    chronological order.
+    """
+
+    def __init__(
+        self,
+        entries: Optional[Mapping[datetime.date, Sequence[str]]] = None,
+    ) -> None:
+        self._entries: Dict[datetime.date, List[str]] = {}
+        if entries:
+            for date in sorted(entries):
+                sentences = list(entries[date])
+                if sentences:
+                    self._entries[date] = sentences
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, date: datetime.date, sentence: str) -> None:
+        """Append *sentence* to the summary of *date* (keeps order sorted)."""
+        if date not in self._entries:
+            self._entries[date] = []
+            self._entries = dict(sorted(self._entries.items()))
+        self._entries[date].append(sentence)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def dates(self) -> List[datetime.date]:
+        """Selected dates in chronological order."""
+        return list(self._entries)
+
+    def summary(self, date: datetime.date) -> List[str]:
+        """The summary sentences of *date* (empty when absent)."""
+        return list(self._entries.get(date, []))
+
+    def items(self) -> Iterator[Tuple[datetime.date, List[str]]]:
+        for date, sentences in self._entries.items():
+            yield date, list(sentences)
+
+    def __iter__(self) -> Iterator[Tuple[datetime.date, List[str]]]:
+        return self.items()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, date: datetime.date) -> bool:
+        return date in self._entries
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Timeline):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"Timeline(dates={len(self)}, "
+            f"sentences={self.num_sentences()})"
+        )
+
+    # -- statistics ----------------------------------------------------------
+
+    def num_sentences(self) -> int:
+        """Total number of summary sentences across all dates."""
+        return sum(len(s) for s in self._entries.values())
+
+    def average_sentences_per_date(self) -> float:
+        """Mean summary length in sentences (0.0 for an empty timeline)."""
+        if not self._entries:
+            return 0.0
+        return self.num_sentences() / len(self._entries)
+
+    def all_sentences(self) -> List[str]:
+        """All summary sentences, concatenated chronologically."""
+        result: List[str] = []
+        for sentences in self._entries.values():
+            result.extend(sentences)
+        return result
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, List[str]]:
+        """JSON-friendly representation ``{iso_date: [sentences]}``."""
+        return {
+            date.isoformat(): list(sentences)
+            for date, sentences in self._entries.items()
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Sequence[str]]) -> "Timeline":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            {
+                datetime.date.fromisoformat(key): list(value)
+                for key, value in data.items()
+            }
+        )
+
+
+@dataclass
+class TimelineInstance:
+    """One evaluation unit: a corpus plus its ground-truth timeline."""
+
+    name: str
+    corpus: Corpus
+    reference: Timeline
+
+    @property
+    def target_num_dates(self) -> int:
+        """T: number of dates in the ground-truth timeline (Section 3.1.3)."""
+        return len(self.reference)
+
+    @property
+    def target_sentences_per_date(self) -> int:
+        """N: rounded average sentences/date of the ground truth."""
+        return max(1, round(self.reference.average_sentences_per_date()))
+
+
+@dataclass
+class Dataset:
+    """A named collection of timeline instances (e.g. *timeline17*)."""
+
+    name: str
+    instances: List[TimelineInstance] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[TimelineInstance]:
+        return iter(self.instances)
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def topics(self) -> List[str]:
+        """Distinct topic names, preserving first-seen order."""
+        seen: Dict[str, None] = {}
+        for instance in self.instances:
+            seen.setdefault(instance.corpus.topic, None)
+        return list(seen)

@@ -1,0 +1,132 @@
+"""Sanity checks for user-supplied corpora and timelines.
+
+Downstream users feed their own articles; this module surfaces the data
+problems that silently degrade timeline quality (publication dates
+outside the declared window, empty articles, duplicate ids, reference
+timelines with out-of-window dates) before a pipeline run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.tlsdata.types import Corpus, Timeline
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found in a corpus or timeline.
+
+    ``severity`` is ``"error"`` for problems that break the pipeline's
+    assumptions and ``"warning"`` for quality hazards.
+    """
+
+    severity: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.message}"
+
+
+def validate_corpus(corpus: Corpus) -> List[ValidationIssue]:
+    """Check *corpus* for structural problems; returns found issues."""
+    issues: List[ValidationIssue] = []
+    if not corpus.articles:
+        issues.append(
+            ValidationIssue("error", "corpus contains no articles")
+        )
+        return issues
+
+    try:
+        start, end = corpus.window
+    except ValueError:
+        issues.append(
+            ValidationIssue("error", "corpus has no resolvable window")
+        )
+        return issues
+    if start > end:
+        issues.append(
+            ValidationIssue(
+                "error", f"window start {start} is after end {end}"
+            )
+        )
+
+    seen_ids = set()
+    empty = 0
+    out_of_window = 0
+    for article in corpus.articles:
+        if article.article_id in seen_ids:
+            issues.append(
+                ValidationIssue(
+                    "error",
+                    f"duplicate article_id {article.article_id!r}",
+                )
+            )
+        seen_ids.add(article.article_id)
+        if not article.split_sentences():
+            empty += 1
+        if not start <= article.publication_date <= end:
+            out_of_window += 1
+    if empty:
+        issues.append(
+            ValidationIssue(
+                "warning", f"{empty} article(s) have no sentences"
+            )
+        )
+    if out_of_window:
+        issues.append(
+            ValidationIssue(
+                "warning",
+                f"{out_of_window} article(s) published outside the "
+                f"window [{start}, {end}]",
+            )
+        )
+    if not corpus.query:
+        issues.append(
+            ValidationIssue(
+                "warning",
+                "corpus has no topic query; W4 edge weights and "
+                "keyword filtering degrade to no-ops",
+            )
+        )
+    return issues
+
+
+def validate_timeline(
+    timeline: Timeline, corpus: Corpus = None
+) -> List[ValidationIssue]:
+    """Check a (reference) timeline, optionally against its corpus."""
+    issues: List[ValidationIssue] = []
+    if len(timeline) == 0:
+        issues.append(
+            ValidationIssue("error", "timeline has no dated summaries")
+        )
+        return issues
+    for date, sentences in timeline.items():
+        for sentence in sentences:
+            if not sentence.strip():
+                issues.append(
+                    ValidationIssue(
+                        "warning", f"empty summary sentence on {date}"
+                    )
+                )
+    if corpus is not None and corpus.articles:
+        start, end = corpus.window
+        outside = [
+            date for date in timeline.dates if not start <= date <= end
+        ]
+        if outside:
+            issues.append(
+                ValidationIssue(
+                    "warning",
+                    f"{len(outside)} timeline date(s) fall outside the "
+                    f"corpus window [{start}, {end}]",
+                )
+            )
+    return issues
+
+
+def has_errors(issues: List[ValidationIssue]) -> bool:
+    """Whether any issue is of ``error`` severity."""
+    return any(issue.severity == "error" for issue in issues)

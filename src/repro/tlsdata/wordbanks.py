@@ -1,0 +1,232 @@
+"""Word banks for the synthetic news-corpus generator.
+
+The generator composes sentences from these inventories. The banks are
+organised by *theme* so that a topic's vocabulary is coherent (a disease
+outbreak reads differently from a trade war), which gives the TF-IDF /
+BM25 models realistic term statistics: a shared topical core plus
+event-specific rarer terms.
+
+Inventory sizes matter for evaluation realism: with large banks, randomly
+chosen sentences share few content n-grams with the reference summaries
+(as in real corpora), so ROUGE retains its dynamic range between good and
+bad systems.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+FIRST_NAMES: List[str] = [
+    "James", "Maria", "David", "Elena", "Ahmed", "Sofia", "Daniel", "Amira",
+    "Victor", "Hannah", "Omar", "Lucia", "Peter", "Nadia", "Samuel", "Ingrid",
+    "Carlos", "Yuki", "Andrei", "Fatima", "George", "Priya", "Mikhail",
+    "Chloe", "Hassan", "Linda", "Tomas", "Aisha", "Robert", "Irene",
+    "Mateo", "Zainab", "Viktor", "Leila", "Anders", "Rosa", "Kwame",
+    "Mei", "Dmitri", "Yasmin", "Pablo", "Greta", "Tariq", "Nora",
+]
+
+LAST_NAMES: List[str] = [
+    "Carter", "Alvarez", "Novak", "Okafor", "Petrov", "Larsson", "Dubois",
+    "Tanaka", "Rahman", "Moreno", "Kovacs", "Silva", "Haddad", "Berg",
+    "Costa", "Ivanov", "Nakamura", "Osei", "Weber", "Rossi", "Anders",
+    "Farouk", "Lindgren", "Mensah", "Vargas", "Sato", "Klein", "Abbas",
+    "Duarte", "Koch", "Marino", "Nilsen", "Oyelaran", "Pavlov", "Quist",
+    "Reyes", "Sharma", "Toure", "Ueda", "Vasquez", "Wagner", "Yilmaz",
+]
+
+PLACES: List[str] = [
+    "Westbrook", "Port Salina", "Karvel", "New Arden", "Duskvale",
+    "Santa Rema", "Eastmoor", "Lakemont", "Veyruz", "Old Harbor",
+    "Coralton", "Ridgefield", "Mirabel", "Northgate", "Solvena",
+    "Bayview", "Thornhill", "Casperia", "Windmere", "Altona",
+    "Ferndale", "Grimsby Point", "Halverton", "Ilvermoor", "Jasperfield",
+    "Kestrel Bay", "Lorwyn", "Maplecross", "Nerida", "Ostenwick",
+    "Pinebluff", "Quarrytown", "Roswell Flats", "Silverstrand",
+    "Tarncliff", "Umberlyn", "Valmora", "Wrenfield", "Yarrowgate",
+    "Zephyr Cove",
+]
+
+ORGANIZATIONS: List[str] = [
+    "the health ministry", "the interior ministry", "the central command",
+    "the national assembly", "the relief agency", "the security council",
+    "the trade commission", "the election board", "the emergency committee",
+    "the regional authority", "the press office", "the monitoring group",
+    "the foreign ministry", "the defense staff", "the port authority",
+    "the census bureau", "the customs service", "the water board",
+    "the rail operator", "the grain exchange", "the medical association",
+    "the veterans council", "the mayors forum", "the auditors office",
+]
+
+REPORTING_VERBS: List[str] = [
+    "said", "announced", "confirmed", "reported", "declared", "warned",
+    "stated", "acknowledged", "disclosed", "insisted", "claimed", "added",
+    "conceded", "emphasized", "maintained", "noted", "signalled",
+    "suggested", "testified", "revealed", "estimated", "cautioned",
+]
+
+ACTION_VERBS: List[str] = [
+    "launched", "ordered", "approved", "suspended", "rejected", "expanded",
+    "halted", "authorized", "deployed", "postponed", "escalated", "signed",
+    "imposed", "lifted", "endorsed", "condemned", "unveiled", "ratified",
+    "dissolved", "overturned", "brokered", "commissioned", "curtailed",
+    "dismantled", "fortified", "intercepted", "mobilized", "nullified",
+    "overhauled", "provoked", "quashed", "reinstated", "sabotaged",
+    "tightened", "unblocked", "vetoed", "withdrew", "accelerated",
+]
+
+#: Theme-specific content nouns. Event keywords are drawn from the topic's
+#: theme so articles about the same crisis share a topical core, while the
+#: bank is large enough that different events rarely share keywords.
+THEME_NOUNS: Dict[str, List[str]] = {
+    "conflict": [
+        "ceasefire", "offensive", "airstrike", "militia", "garrison",
+        "artillery", "convoy", "insurgents", "stronghold", "blockade",
+        "truce", "shelling", "checkpoint", "battalion", "mortar",
+        "frontline", "rebels", "bombardment", "incursion", "siege",
+        "armistice", "barricade", "bunker", "commandos", "defectors",
+        "detachment", "envoys", "flank", "foxhole", "grenades",
+        "hostilities", "infantry", "munitions", "outpost", "paratroopers",
+        "patrol", "peacekeepers", "raid", "reconnaissance", "regiment",
+        "reinforcements", "salvo", "skirmish", "sniper", "sortie",
+        "trenches", "warlord", "withdrawal", "armory", "ambush",
+        "ordnance", "militants", "ultimatum", "garrisons", "minefield",
+        "flotilla", "airlift", "cantonment", "demarcation", "disarmament",
+    ],
+    "disease": [
+        "outbreak", "vaccine", "quarantine", "infection", "virus",
+        "epidemic", "hospital", "patients", "symptoms", "antiviral",
+        "pandemic", "clinic", "transmission", "screening", "isolation",
+        "immunization", "laboratory", "pathogen", "mutation", "dosage",
+        "antibodies", "booster", "carriers", "containment", "contagion",
+        "diagnosis", "epidemiologists", "fever", "incubation", "inoculation",
+        "intensive-care", "lockdown", "morbidity", "nurses", "paramedics",
+        "pharmacies", "placebo", "prognosis", "relapse", "respirators",
+        "sanitation", "sequencing", "serology", "strain", "swabs",
+        "therapeutics", "triage", "vaccination", "variant", "ventilators",
+        "virology", "wards", "antigens", "biohazard", "convalescence",
+        "disinfection", "immunity", "outpatients", "pathology", "vials",
+    ],
+    "disaster": [
+        "earthquake", "floodwater", "evacuation", "aftershock", "levee",
+        "hurricane", "wildfire", "landslide", "shelter", "rubble",
+        "tsunami", "rescue", "casualties", "debris", "aid",
+        "reconstruction", "storm", "drought", "embankment", "relief",
+        "avalanche", "blizzard", "cyclone", "dam", "displacement",
+        "emergency-crews", "epicenter", "erosion", "famine", "firebreak",
+        "floodplain", "gale", "hailstorm", "heatwave", "inundation",
+        "lifeboats", "magnitude", "monsoon", "mudslide", "outage",
+        "reservoir", "salvage", "sandbags", "seawall", "sinkhole",
+        "survivors", "tremor", "typhoon", "volunteers", "wreckage",
+        "airdrop", "cleanup", "derailment", "downpour", "evacuees",
+        "floodgates", "rations", "rebuilding", "sirens", "tarpaulins",
+    ],
+    "politics": [
+        "election", "parliament", "protest", "referendum", "coalition",
+        "impeachment", "ballot", "opposition", "cabinet", "decree",
+        "demonstrators", "constitution", "resignation", "corruption",
+        "reform", "legislature", "crackdown", "amnesty", "curfew",
+        "transition", "abdication", "activists", "autonomy", "boycott",
+        "bylaws", "caucus", "censure", "coup", "delegates", "detention",
+        "dissidents", "electorate", "exile", "federation", "gerrymander",
+        "inauguration", "incumbent", "junta", "lobbyists", "manifesto",
+        "martial-law", "ombudsman", "pardon", "petition", "plebiscite",
+        "primaries", "propaganda", "quorum", "recount", "runoff",
+        "secession", "senate", "succession", "suffrage", "tribunal",
+        "unrest", "uprising", "veto", "watchdog", "whistleblower",
+    ],
+    "economy": [
+        "tariff", "sanctions", "export", "bailout", "inflation",
+        "currency", "deficit", "subsidy", "embargo", "stimulus",
+        "markets", "investors", "recession", "bonds", "manufacturing",
+        "imports", "negotiation", "quota", "devaluation", "surplus",
+        "arbitration", "auditors", "austerity", "bankruptcy", "brokers",
+        "commodities", "creditors", "debtors", "default", "derivatives",
+        "dividends", "dumping", "equities", "exporters", "freight",
+        "futures", "insolvency", "liquidity", "loans", "mergers",
+        "monopoly", "moratorium", "nationalization", "pensions",
+        "privatization", "procurement", "refinery", "remittances",
+        "reserves", "shareholders", "shipyards", "smelters", "solvency",
+        "steelworks", "stockpiles", "takeover", "textiles", "treasury",
+        "turbines", "warehouses",
+    ],
+    "environment": [
+        "deforestation", "emissions", "glacier", "habitat", "pipeline",
+        "pollution", "reef", "sanctuary", "smog", "spill",
+        "watershed", "wetlands", "wildlife", "conservation", "runoff",
+        "aquifer", "biodiversity", "carbon", "cleanup", "compost",
+        "contamination", "coral", "culling", "dredging", "effluent",
+        "estuary", "extinction", "fisheries", "flaring", "groundwater",
+        "incinerator", "landfill", "logging", "mangroves", "microplastics",
+        "moratoria", "overfishing", "ozone", "peatland", "permafrost",
+        "pesticides", "poaching", "preserves", "quarries", "rainforest",
+        "recycling", "reforestation", "rewilding", "salinity", "sediment",
+        "smelter", "solar-farm", "tailings", "toxins", "turbine-field",
+        "watermain", "wind-farm", "algae", "biofuel", "drainage",
+    ],
+    "technology": [
+        "outage", "breach", "encryption", "malware", "satellite",
+        "datacenter", "firmware", "network", "servers", "spectrum",
+        "algorithm", "backdoor", "bandwidth", "botnet", "chipset",
+        "cloud-platform", "credentials", "cybersecurity", "darknet",
+        "database", "downtime", "exploit", "firewall", "hackers",
+        "hardware", "hotfix", "infrastructure", "keylogger", "latency",
+        "mainframe", "middleware", "patch", "payload", "phishing",
+        "prototype", "ransomware", "recall", "rollout", "router",
+        "sandbox", "semiconductors", "sensors", "silicon", "spyware",
+        "startup", "telemetry", "throttling", "tokens", "uplink",
+        "uptime", "vulnerability", "wearables", "whitelist", "zero-day",
+        "beta-release", "codebase", "kernel", "microchip", "protocol",
+        "quantum-lab",
+    ],
+}
+
+
+THEMES: List[str] = list(THEME_NOUNS)
+
+GENERAL_NOUNS: List[str] = [
+    "officials", "residents", "witnesses", "authorities", "spokesman",
+    "government", "investigation", "statement", "situation", "crisis",
+    "response", "pressure", "talks", "agreement", "measures",
+    "conditions", "developments", "sources", "analysts", "observers",
+    "assessment", "briefing", "bulletins", "commentators", "communique",
+    "correspondents", "delegation", "dispatches", "editorial", "enquiry",
+    "experts", "footage", "headlines", "hearings", "inspectors",
+    "interview", "journalists", "mediators", "memorandum", "negotiators",
+    "notice", "panel", "photographs", "preparations", "proceedings",
+    "recommendations", "register", "reporters", "review", "rumours",
+    "schedule", "session", "speculation", "summary", "survey",
+    "taskforce", "testimony", "transcript", "update", "verdict",
+]
+
+ADJECTIVES: List[str] = [
+    "major", "severe", "unprecedented", "ongoing", "critical", "sweeping",
+    "renewed", "fragile", "deadly", "urgent", "controversial", "tense",
+    "massive", "decisive", "prolonged", "sudden", "widespread", "grave",
+    "abrupt", "bitter", "cautious", "chaotic", "contested", "daring",
+    "defiant", "dire", "dramatic", "escalating", "faltering", "fraught",
+    "halting", "heated", "looming", "muted", "perilous", "precarious",
+    "simmering", "stalled", "turbulent", "volatile",
+]
+
+FILLER_CLAUSES: List[str] = [
+    "according to local reports",
+    "despite international appeals",
+    "as the crisis deepened",
+    "amid growing uncertainty",
+    "in a closely watched move",
+    "following weeks of speculation",
+    "under mounting pressure",
+    "as conditions deteriorated",
+    "in the strongest response yet",
+    "while talks continued behind closed doors",
+    "hours after an emergency session",
+    "in a sharp reversal of course",
+    "as rival accounts circulated",
+    "despite repeated assurances",
+    "with little warning to residents",
+    "after days of conflicting signals",
+    "in defiance of earlier pledges",
+    "as foreign observers looked on",
+    "pending an independent review",
+    "to the surprise of seasoned observers",
+]

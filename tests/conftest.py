@@ -1,0 +1,107 @@
+"""Shared fixtures: small deterministic corpora and dated sentences."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.tlsdata.synthetic import SyntheticConfig, SyntheticCorpusGenerator
+from repro.tlsdata.types import Article, Corpus, DatedSentence, Timeline
+
+
+def d(iso: str) -> datetime.date:
+    """Shorthand: parse an ISO date string."""
+    return datetime.date.fromisoformat(iso)
+
+
+@pytest.fixture(scope="session")
+def tiny_instance():
+    """A very small but structurally complete synthetic instance."""
+    config = SyntheticConfig(
+        topic="tiny",
+        theme="conflict",
+        seed=7,
+        duration_days=60,
+        num_events=12,
+        num_major_events=6,
+        num_articles=40,
+        sentences_per_article=10,
+        reference_sentences_per_date=2,
+    )
+    return SyntheticCorpusGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_pool(tiny_instance):
+    """Tagged dated sentences of the tiny instance."""
+    return tiny_instance.corpus.dated_sentences()
+
+
+@pytest.fixture()
+def handmade_dated_sentences():
+    """A hand-written pool with known reference structure.
+
+    Articles on 3 publication days; day 1 is referenced by days 2 and 3,
+    day 2 is referenced by day 3 -- so PageRank on the reference graph
+    should rank day 1 highest.
+    """
+    day1, day2, day3 = d("2020-03-01"), d("2020-03-05"), d("2020-03-09")
+    pool = [
+        DatedSentence(day1, "The ceasefire collapsed near the border.", day1, "a1"),
+        DatedSentence(day1, "Artillery fire struck the garrison at dawn.", day1, "a1"),
+        DatedSentence(day2, "Rebels seized the stronghold outside the city.", day2, "a2"),
+        DatedSentence(day1, "The attack followed the ceasefire collapse on March 1.",
+                      day2, "a2", is_reference=True),
+        DatedSentence(day3, "A truce was signed after lengthy talks.", day3, "a3"),
+        DatedSentence(day1, "Fighting began when the ceasefire collapsed on March 1.",
+                      day3, "a3", is_reference=True),
+        DatedSentence(day2, "The stronghold fell to rebels on March 5.",
+                      day3, "a3", is_reference=True),
+    ]
+    return pool
+
+
+@pytest.fixture()
+def simple_timeline():
+    """A three-date reference timeline."""
+    return Timeline(
+        {
+            d("2020-03-01"): ["The ceasefire collapsed near the border."],
+            d("2020-03-05"): ["Rebels seized the stronghold."],
+            d("2020-03-09"): ["A truce was signed after talks."],
+        }
+    )
+
+
+@pytest.fixture()
+def small_corpus():
+    """A two-article corpus with explicit dates in the text."""
+    return Corpus(
+        topic="border-conflict",
+        query=("ceasefire", "rebels"),
+        start=d("2020-03-01"),
+        end=d("2020-03-10"),
+        articles=[
+            Article(
+                article_id="a1",
+                publication_date=d("2020-03-02"),
+                title="Ceasefire collapses",
+                text=(
+                    "The ceasefire collapsed near the border yesterday. "
+                    "Artillery fire struck the garrison. "
+                    "Officials said talks would resume on March 9."
+                ),
+            ),
+            Article(
+                article_id="a2",
+                publication_date=d("2020-03-06"),
+                title="Rebels advance",
+                text=(
+                    "Rebels seized the stronghold outside the city. "
+                    "The advance follows the ceasefire collapse on "
+                    "March 1, 2020."
+                ),
+            ),
+        ],
+    )

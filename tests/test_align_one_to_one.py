@@ -1,0 +1,83 @@
+"""Tests for the 1:1 align-ROUGE variant."""
+
+import pytest
+
+from repro.evaluation.timeline_rouge import align_rouge
+from repro.tlsdata.types import Timeline
+from tests.conftest import d
+
+
+def _reference():
+    return Timeline(
+        {
+            d("2020-01-01"): ["rebels seized stronghold"],
+            d("2020-01-10"): ["ceasefire collapsed near border"],
+        }
+    )
+
+
+class TestOneToOneAlign:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            align_rouge(_reference(), _reference(), 1, mode="2:2")
+
+    def test_perfect_copy(self):
+        score = align_rouge(_reference(), _reference(), 1, mode="1:1")
+        assert score.f1 == pytest.approx(1.0)
+
+    def test_one_to_one_at_most_m_to_one(self):
+        """1:1 cannot exceed m:1 — it is a constrained assignment."""
+        system = Timeline(
+            {
+                d("2020-01-02"): ["rebels seized stronghold"],
+                d("2020-01-03"): ["rebels seized stronghold"],
+                d("2020-01-11"): ["ceasefire collapsed near border"],
+            }
+        )
+        m1 = align_rouge(system, _reference(), 1, mode="m:1")
+        one = align_rouge(system, _reference(), 1, mode="1:1")
+        assert one.f1 <= m1.f1 + 1e-12
+
+    def test_duplicate_system_dates_penalised(self):
+        """Two system dates chasing one reference date: only one counts."""
+        duplicated = Timeline(
+            {
+                d("2020-01-01"): ["rebels seized stronghold"],
+                d("2020-01-02"): ["rebels seized stronghold"],
+            }
+        )
+        reference = Timeline(
+            {d("2020-01-01"): ["rebels seized stronghold"]}
+        )
+        m1 = align_rouge(duplicated, reference, 1, mode="m:1")
+        one = align_rouge(duplicated, reference, 1, mode="1:1")
+        assert one.recall < m1.recall or one.precision < m1.precision
+
+    def test_optimal_assignment_swaps_when_better(self):
+        """Hungarian assignment picks the globally best pairing."""
+        system = Timeline(
+            {
+                d("2020-01-01"): ["ceasefire collapsed near border"],
+                d("2020-01-10"): ["rebels seized stronghold"],
+            }
+        )
+        score = align_rouge(system, _reference(), 1, mode="1:1")
+        # Both summaries exist in the reference, 9 days off when matched
+        # by content; the assignment still recovers positive credit.
+        assert score.f1 > 0.0
+
+    def test_empty_system(self):
+        score = align_rouge(Timeline(), _reference(), 1, mode="1:1")
+        assert score.f1 == 0.0
+
+    def test_near_miss_discounted(self):
+        import datetime
+
+        shifted = Timeline(
+            {
+                date + datetime.timedelta(days=1): sentences
+                for date, sentences in _reference().items()
+            }
+        )
+        score = align_rouge(shifted, _reference(), 1, mode="1:1")
+        assert score.f1 == pytest.approx(0.5)

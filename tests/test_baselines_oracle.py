@@ -1,0 +1,61 @@
+"""Tests for the oracle methods (Table 8 upper bounds)."""
+
+import pytest
+
+from repro.baselines.oracle import (
+    OracleDateSummarizer,
+    SupervisedOracleSummarizer,
+)
+from repro.evaluation.date_metrics import date_f1
+from repro.evaluation.timeline_rouge import concat_rouge
+
+
+class TestOracleDateSummarizer:
+    def test_uses_reference_dates(self, tiny_pool, tiny_instance):
+        oracle = OracleDateSummarizer(tiny_instance.reference)
+        timeline = oracle.generate(tiny_pool, 999, 2)
+        assert set(timeline.dates) <= set(tiny_instance.reference.dates)
+
+    def test_near_perfect_date_f1(self, tiny_pool, tiny_instance):
+        oracle = OracleDateSummarizer(tiny_instance.reference)
+        timeline = oracle.generate(tiny_pool, 999, 1)
+        assert date_f1(
+            timeline.dates, tiny_instance.reference.dates
+        ) > 0.8
+
+    def test_no_postprocess_variant(self, tiny_pool, tiny_instance):
+        with_post = OracleDateSummarizer(
+            tiny_instance.reference, postprocess=True
+        ).generate(tiny_pool, 999, 2)
+        without = OracleDateSummarizer(
+            tiny_instance.reference, postprocess=False
+        ).generate(tiny_pool, 999, 2)
+        assert with_post.num_sentences() <= without.num_sentences()
+
+
+class TestSupervisedOracle:
+    def test_beats_unsupervised_oracle(self, tiny_pool, tiny_instance):
+        """Directly optimising ROUGE must dominate TextRank selection."""
+        unsupervised = OracleDateSummarizer(
+            tiny_instance.reference
+        ).generate(tiny_pool, 999, 2)
+        supervised = SupervisedOracleSummarizer(
+            tiny_instance.reference
+        ).generate(tiny_pool, 999, 2)
+        r_unsup = concat_rouge(unsupervised, tiny_instance.reference, 1).f1
+        r_sup = concat_rouge(supervised, tiny_instance.reference, 1).f1
+        assert r_sup >= r_unsup
+
+    def test_sentence_budget(self, tiny_pool, tiny_instance):
+        supervised = SupervisedOracleSummarizer(tiny_instance.reference)
+        timeline = supervised.generate(tiny_pool, 999, 1)
+        for date in timeline.dates:
+            assert len(timeline.summary(date)) <= 1
+
+    def test_stops_when_no_gain(self, tiny_pool, tiny_instance):
+        """Greedy must not add sentences that reduce the day's F1."""
+        supervised = SupervisedOracleSummarizer(tiny_instance.reference)
+        timeline = supervised.generate(tiny_pool, 999, 10)
+        # Budget of 10 is far above what helps; days stay compact.
+        avg = timeline.average_sentences_per_date()
+        assert avg < 10

@@ -1,0 +1,111 @@
+"""Tests for the TILSE-style submodular framework."""
+
+import pytest
+
+from repro.baselines.submodular import (
+    SubmodularConfig,
+    SubmodularSummarizer,
+    asmds,
+    keyword_filter,
+    tls_constraints,
+)
+from repro.tlsdata.types import DatedSentence
+from tests.conftest import d
+
+
+class TestConfig:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            SubmodularConfig(mode="magic")
+
+    def test_saturation_validation(self):
+        with pytest.raises(ValueError):
+            SubmodularConfig(coverage_saturation=0.0)
+        with pytest.raises(ValueError):
+            SubmodularConfig(coverage_saturation=1.5)
+
+    def test_diversity_validation(self):
+        with pytest.raises(ValueError):
+            SubmodularConfig(diversity_weight=-1.0)
+
+    def test_factory_names(self):
+        assert asmds().name == "ASMDS"
+        assert tls_constraints().name == "TLSConstraints"
+
+    def test_factories_do_not_mutate_input(self):
+        config = SubmodularConfig(mode="constraints")
+        asmds(config)
+        assert config.mode == "constraints"
+
+
+class TestKeywordFilter:
+    def test_keeps_matching_sentences(self, tiny_pool, tiny_instance):
+        filtered = keyword_filter(tiny_pool, tiny_instance.corpus.query)
+        assert 0 < len(filtered) < len(tiny_pool)
+
+    def test_empty_query_keeps_all(self, tiny_pool):
+        assert len(keyword_filter(tiny_pool, ())) == len(tiny_pool)
+
+    def test_no_matches_falls_back_to_full_pool(self, tiny_pool):
+        filtered = keyword_filter(tiny_pool, ("zzzzzz",))
+        assert len(filtered) == len(tiny_pool)
+
+    def test_stemmed_matching(self):
+        pool = [
+            DatedSentence(d("2020-01-01"),
+                          "The rebels were attacking.", d("2020-01-01")),
+            DatedSentence(d("2020-01-01"),
+                          "Markets rallied strongly.", d("2020-01-01")),
+        ]
+        filtered = keyword_filter(pool, ("rebel",))
+        assert len(filtered) == 1
+
+
+class TestGeneration:
+    def test_constraints_respects_budgets(self, tiny_pool):
+        timeline = tls_constraints().generate(tiny_pool, 4, 2)
+        assert len(timeline) <= 4
+        for date in timeline.dates:
+            assert len(timeline.summary(date)) <= 2
+
+    def test_asmds_respects_global_budget(self, tiny_pool):
+        timeline = asmds().generate(tiny_pool, 4, 2)
+        assert timeline.num_sentences() <= 8
+
+    def test_empty_pool(self):
+        assert len(tls_constraints().generate([], 3, 1)) == 0
+
+    def test_deterministic(self, tiny_pool):
+        a = tls_constraints().generate(tiny_pool, 4, 1)
+        b = tls_constraints().generate(tiny_pool, 4, 1)
+        assert a == b
+
+    def test_no_duplicate_sentences(self, tiny_pool):
+        timeline = tls_constraints().generate(tiny_pool, 5, 2)
+        sentences = timeline.all_sentences()
+        # A sentence can legitimately appear on two dates (multi-dated),
+        # but never twice on the same date.
+        for date in timeline.dates:
+            day = timeline.summary(date)
+            assert len(day) == len(set(day))
+
+    def test_max_candidates_cap(self, tiny_pool):
+        config = SubmodularConfig(max_candidates=50)
+        timeline = SubmodularSummarizer(config).generate(tiny_pool, 4, 1)
+        assert len(timeline) >= 1
+
+    def test_diversity_spreads_over_time(self, tiny_pool):
+        """With strong diversity weight, selections span several clusters."""
+        config = SubmodularConfig(mode="asmds", diversity_weight=20.0)
+        timeline = SubmodularSummarizer(config).generate(tiny_pool, 6, 1)
+        assert len(timeline.dates) >= 3
+
+    def test_quadratic_cost_visible(self, tiny_instance):
+        """Doubling the pool should grow runtime superlinearly.
+
+        We do not assert timings (flaky); instead we verify the pairwise
+        matrix path is exercised by checking a large pool still works.
+        """
+        pool = tiny_instance.corpus.dated_sentences()
+        timeline = tls_constraints().generate(pool, 6, 1)
+        assert len(timeline) >= 3

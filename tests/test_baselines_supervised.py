@@ -1,0 +1,144 @@
+"""Tests for the supervised baselines and feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.features import (
+    FEATURE_NAMES,
+    extract_features,
+    standardize,
+)
+from repro.baselines.ltr import LearningToRankBaseline
+from repro.baselines.lowrank import LowRankBaseline
+from repro.baselines.regression import RegressionBaseline, select_by_scores
+from repro.tlsdata.synthetic import SyntheticConfig, SyntheticCorpusGenerator
+
+
+@pytest.fixture(scope="module")
+def training_instances():
+    """Three small instances of the same topic family."""
+    instances = []
+    for seed in (11, 12, 13):
+        config = SyntheticConfig(
+            topic=f"train-{seed}",
+            theme="politics",
+            seed=seed,
+            duration_days=50,
+            num_events=10,
+            num_major_events=5,
+            num_articles=25,
+            sentences_per_article=8,
+        )
+        instance = SyntheticCorpusGenerator(config).generate()
+        instances.append(
+            (
+                instance.corpus.dated_sentences(),
+                instance.reference,
+                instance.corpus.query,
+            )
+        )
+    return instances
+
+
+class TestFeatureExtraction:
+    def test_shapes(self, tiny_pool, tiny_instance):
+        matrix = extract_features(
+            tiny_pool,
+            query=tiny_instance.corpus.query,
+            reference=tiny_instance.reference,
+        )
+        assert matrix.features.shape == (
+            len(matrix.candidates),
+            len(FEATURE_NAMES),
+        )
+        assert matrix.targets.shape == (len(matrix.candidates),)
+
+    def test_targets_bounded(self, tiny_pool, tiny_instance):
+        matrix = extract_features(
+            tiny_pool, reference=tiny_instance.reference
+        )
+        assert (matrix.targets >= 0).all()
+        assert (matrix.targets <= 1).all()
+
+    def test_targets_nonzero_on_reference_dates(self, tiny_pool, tiny_instance):
+        matrix = extract_features(
+            tiny_pool, reference=tiny_instance.reference
+        )
+        reference_dates = set(tiny_instance.reference.dates)
+        on_ref = [
+            t for (date, _), t in zip(matrix.candidates, matrix.targets)
+            if date in reference_dates
+        ]
+        assert max(on_ref) > 0
+
+    def test_no_reference_gives_zero_targets(self, tiny_pool):
+        matrix = extract_features(tiny_pool)
+        assert not matrix.targets.any()
+
+    def test_empty_pool(self):
+        matrix = extract_features([])
+        assert matrix.candidates == []
+        assert matrix.features.shape == (0, len(FEATURE_NAMES))
+
+    def test_standardize_roundtrip(self):
+        features = np.array([[1.0, 10.0], [3.0, 30.0], [5.0, 20.0]])
+        standardized, mean, std = standardize(features)
+        assert np.allclose(standardized.mean(axis=0), 0.0)
+        again, _, _ = standardize(features, mean=mean, std=std)
+        assert np.allclose(standardized, again)
+
+    def test_standardize_constant_column(self):
+        features = np.ones((3, 2))
+        standardized, _, _ = standardize(features)
+        assert np.isfinite(standardized).all()
+
+
+class TestSelectByScores:
+    def test_budgets(self, tiny_pool):
+        matrix = extract_features(tiny_pool)
+        scores = np.arange(len(matrix.candidates), dtype=float)
+        timeline = select_by_scores(matrix.candidates, scores, 3, 2)
+        assert len(timeline) <= 3
+        for date in timeline.dates:
+            assert len(timeline.summary(date)) <= 2
+
+
+class TestSupervisedBaselines:
+    @pytest.mark.parametrize(
+        "make", [RegressionBaseline, LearningToRankBaseline, LowRankBaseline]
+    )
+    def test_fit_then_generate(self, make, training_instances, tiny_pool):
+        method = make()
+        assert not method.is_fitted
+        method.fit(training_instances)
+        assert method.is_fitted
+        timeline = method.generate(tiny_pool, 5, 1)
+        assert 1 <= len(timeline) <= 5
+
+    @pytest.mark.parametrize(
+        "make", [RegressionBaseline, LearningToRankBaseline, LowRankBaseline]
+    )
+    def test_unfitted_fallback_works(self, make, tiny_pool):
+        timeline = make().generate(tiny_pool, 4, 1)
+        assert len(timeline) >= 1
+
+    def test_regression_learns_positive_signal(self, training_instances):
+        """Trained weights must score true-positive sentences higher."""
+        method = RegressionBaseline().fit(training_instances)
+        held_out_pool, held_reference, held_query = training_instances[0]
+        matrix = extract_features(
+            held_out_pool, query=held_query, reference=held_reference
+        )
+        scores = method._predict(matrix.features)
+        positives = scores[matrix.targets > 0.2]
+        negatives = scores[matrix.targets == 0.0]
+        assert positives.mean() > negatives.mean()
+
+    def test_ltr_no_pairs_raises(self):
+        method = LearningToRankBaseline(margin=10.0)  # impossible margin
+        with pytest.raises(ValueError):
+            method.fit([])
+
+    def test_lowrank_rank_validation(self):
+        with pytest.raises(ValueError):
+            LowRankBaseline(rank=0)

@@ -1,0 +1,116 @@
+"""Tests for the unsupervised baselines (Random, Chieu, MEAD, ETS, etc.)."""
+
+import pytest
+
+from repro.baselines import (
+    ChieuBaseline,
+    EtsBaseline,
+    EvolutionBaseline,
+    MeadBaseline,
+    RandomBaseline,
+    UniformDateBaseline,
+)
+from repro.baselines.base import date_volumes, group_texts_by_date
+from repro.tlsdata.types import DatedSentence
+from tests.conftest import d
+
+ALL_UNSUPERVISED = [
+    RandomBaseline(seed=1),
+    ChieuBaseline(),
+    MeadBaseline(),
+    EtsBaseline(seed=1),
+    EvolutionBaseline(),
+    UniformDateBaseline(),
+]
+
+
+class TestBaseHelpers:
+    def test_group_texts_dedupes_within_date(self):
+        pool = [
+            DatedSentence(d("2020-01-01"), "x", d("2020-01-01")),
+            DatedSentence(d("2020-01-01"), "x", d("2020-01-02")),
+        ]
+        assert group_texts_by_date(pool) == {d("2020-01-01"): ["x"]}
+
+    def test_date_volumes_sorted_heaviest_first(self):
+        pool = [
+            DatedSentence(d("2020-01-01"), "a", d("2020-01-01")),
+            DatedSentence(d("2020-01-02"), "b", d("2020-01-02")),
+            DatedSentence(d("2020-01-02"), "c", d("2020-01-02")),
+        ]
+        volumes = date_volumes(pool)
+        assert volumes[0] == (d("2020-01-02"), 2)
+
+
+class TestContracts:
+    """Every baseline must satisfy the generation contract."""
+
+    @pytest.mark.parametrize(
+        "method", ALL_UNSUPERVISED, ids=lambda m: m.name
+    )
+    def test_respects_date_budget(self, method, tiny_pool):
+        timeline = method.generate(tiny_pool, 5, 1)
+        assert len(timeline) <= 5
+
+    @pytest.mark.parametrize(
+        "method", ALL_UNSUPERVISED, ids=lambda m: m.name
+    )
+    def test_respects_sentence_budget(self, method, tiny_pool):
+        timeline = method.generate(tiny_pool, 4, 2)
+        for date in timeline.dates:
+            assert len(timeline.summary(date)) <= 2
+
+    @pytest.mark.parametrize(
+        "method", ALL_UNSUPERVISED, ids=lambda m: m.name
+    )
+    def test_empty_pool(self, method):
+        assert len(method.generate([], 3, 1)) == 0
+
+    @pytest.mark.parametrize(
+        "method", ALL_UNSUPERVISED, ids=lambda m: m.name
+    )
+    def test_sentences_come_from_pool(self, method, tiny_pool):
+        texts = {s.text for s in tiny_pool}
+        timeline = method.generate(tiny_pool, 4, 1)
+        for sentence in timeline.all_sentences():
+            assert sentence in texts
+
+    @pytest.mark.parametrize(
+        "method", ALL_UNSUPERVISED, ids=lambda m: m.name
+    )
+    def test_deterministic(self, method, tiny_pool):
+        a = method.generate(tiny_pool, 4, 1)
+        b = method.generate(tiny_pool, 4, 1)
+        assert a == b
+
+
+class TestRandomBaseline:
+    def test_different_seeds_differ(self, tiny_pool):
+        a = RandomBaseline(seed=1).generate(tiny_pool, 5, 1)
+        b = RandomBaseline(seed=2).generate(tiny_pool, 5, 1)
+        assert a != b
+
+
+class TestMeadBaseline:
+    def test_selects_heaviest_dates(self, tiny_pool):
+        timeline = MeadBaseline().generate(tiny_pool, 3, 1)
+        heaviest = {date for date, _ in date_volumes(tiny_pool)[:3]}
+        assert set(timeline.dates) <= heaviest
+
+
+class TestEtsBaseline:
+    def test_improves_over_random_seed_selection(self, tiny_pool):
+        """The substitution search must produce corpus-relevant content."""
+        from repro.evaluation.rouge import rouge_n
+
+        ets = EtsBaseline(seed=3, max_rounds=2)
+        timeline = ets.generate(tiny_pool, 4, 2)
+        assert timeline.num_sentences() >= 4
+
+
+class TestEvolutionBaseline:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EvolutionBaseline(decay=0.0)
+        with pytest.raises(ValueError):
+            EvolutionBaseline(novelty_weight=2.0)

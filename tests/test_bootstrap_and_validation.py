@@ -1,0 +1,155 @@
+"""Tests for bootstrap CIs and corpus/timeline validation."""
+
+import random
+
+import pytest
+
+from repro.evaluation.bootstrap import (
+    bootstrap_difference_ci,
+    bootstrap_mean_ci,
+)
+from repro.tlsdata.types import Article, Corpus, Timeline
+from repro.tlsdata.validation import (
+    has_errors,
+    validate_corpus,
+    validate_timeline,
+)
+from tests.conftest import d
+
+
+class TestBootstrapMean:
+    def test_mean_inside_interval(self):
+        rng = random.Random(1)
+        scores = [rng.gauss(0.5, 0.1) for _ in range(30)]
+        ci = bootstrap_mean_ci(scores, num_resamples=2000)
+        assert ci.lower <= ci.mean <= ci.upper
+        assert ci.mean in ci
+
+    def test_interval_narrows_with_more_data(self):
+        rng = random.Random(2)
+        small = [rng.gauss(0.5, 0.1) for _ in range(8)]
+        large = [rng.gauss(0.5, 0.1) for _ in range(200)]
+        ci_small = bootstrap_mean_ci(small, num_resamples=2000)
+        ci_large = bootstrap_mean_ci(large, num_resamples=2000)
+        assert (
+            ci_large.upper - ci_large.lower
+            < ci_small.upper - ci_small.lower
+        )
+
+    def test_constant_scores_degenerate_interval(self):
+        ci = bootstrap_mean_ci([0.4] * 10, num_resamples=500)
+        assert ci.lower == pytest.approx(0.4)
+        assert ci.upper == pytest.approx(0.4)
+
+    def test_deterministic_for_seed(self):
+        scores = [0.1, 0.5, 0.9, 0.4]
+        a = bootstrap_mean_ci(scores, num_resamples=500, seed=7)
+        b = bootstrap_mean_ci(scores, num_resamples=500, seed=7)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], num_resamples=0)
+
+    def test_str_format(self):
+        ci = bootstrap_mean_ci([0.5, 0.6], num_resamples=100)
+        assert "[" in str(ci)
+
+
+class TestBootstrapDifference:
+    def test_clear_difference_excludes_zero(self):
+        rng = random.Random(3)
+        a = [0.8 + rng.uniform(-0.02, 0.02) for _ in range(20)]
+        b = [0.2 + rng.uniform(-0.02, 0.02) for _ in range(20)]
+        ci = bootstrap_difference_ci(a, b, num_resamples=2000)
+        assert ci.lower > 0.0
+
+    def test_identical_systems_include_zero(self):
+        rng = random.Random(4)
+        a = [rng.gauss(0.5, 0.1) for _ in range(20)]
+        ci = bootstrap_difference_ci(a, list(a), num_resamples=500)
+        assert 0.0 in ci
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bootstrap_difference_ci([1.0], [1.0, 2.0])
+
+
+def _good_corpus():
+    return Corpus(
+        topic="ok",
+        query=("ceasefire",),
+        articles=[
+            Article("a1", d("2020-01-02"), text="One sentence here."),
+            Article("a2", d("2020-01-05"), text="Another sentence here."),
+        ],
+    )
+
+
+class TestValidateCorpus:
+    def test_clean_corpus_no_issues(self):
+        assert validate_corpus(_good_corpus()) == []
+
+    def test_empty_corpus(self):
+        issues = validate_corpus(Corpus(topic="x"))
+        assert has_errors(issues)
+
+    def test_duplicate_ids(self):
+        corpus = _good_corpus()
+        corpus.articles.append(
+            Article("a1", d("2020-01-03"), text="Duplicate id.")
+        )
+        issues = validate_corpus(corpus)
+        assert any("duplicate" in str(i) for i in issues)
+        assert has_errors(issues)
+
+    def test_empty_article_warning(self):
+        corpus = _good_corpus()
+        corpus.articles.append(Article("a3", d("2020-01-04"), text=""))
+        issues = validate_corpus(corpus)
+        assert any("no sentences" in str(i) for i in issues)
+        assert not has_errors(issues)
+
+    def test_out_of_window_warning(self):
+        corpus = Corpus(
+            topic="x",
+            query=("q",),
+            start=d("2020-01-01"),
+            end=d("2020-01-10"),
+            articles=[
+                Article("a1", d("2020-02-20"), text="Way outside."),
+                Article("a2", d("2020-01-05"), text="Inside window."),
+            ],
+        )
+        issues = validate_corpus(corpus)
+        assert any("outside the window" in str(i) for i in issues)
+
+    def test_missing_query_warning(self):
+        corpus = _good_corpus()
+        corpus.query = ()
+        issues = validate_corpus(corpus)
+        assert any("no topic query" in str(i) for i in issues)
+
+
+class TestValidateTimeline:
+    def test_clean_timeline(self):
+        timeline = Timeline({d("2020-01-02"): ["Something happened."]})
+        assert validate_timeline(timeline, _good_corpus()) == []
+
+    def test_empty_timeline_error(self):
+        issues = validate_timeline(Timeline())
+        assert has_errors(issues)
+
+    def test_blank_sentence_warning(self):
+        timeline = Timeline({d("2020-01-02"): ["   "]})
+        issues = validate_timeline(timeline)
+        assert any("empty summary" in str(i) for i in issues)
+
+    def test_out_of_window_dates(self):
+        timeline = Timeline({d("2021-06-01"): ["Out of range."]})
+        issues = validate_timeline(timeline, _good_corpus())
+        assert any("outside the corpus window" in str(i) for i in issues)

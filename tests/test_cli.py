@@ -1,0 +1,143 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.tlsdata.loaders import save_corpus
+from repro.tlsdata.synthetic import SyntheticConfig, SyntheticCorpusGenerator
+
+
+@pytest.fixture(scope="module")
+def corpus_file(tmp_path_factory):
+    config = SyntheticConfig(
+        topic="cli-test",
+        theme="economy",
+        seed=5,
+        duration_days=40,
+        num_events=8,
+        num_major_events=4,
+        num_articles=15,
+        sentences_per_article=6,
+    )
+    instance = SyntheticCorpusGenerator(config).generate()
+    path = tmp_path_factory.mktemp("cli") / "corpus.jsonl"
+    save_corpus(instance.corpus, path)
+    return path, instance
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.scale == 0.05
+        assert args.sentences == 2
+
+    def test_serve_query_required_args(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-query", "corpus.jsonl"])
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats", "--scale", "0.02"]) == 0
+        output = capsys.readouterr().out
+        assert "timeline17" in output
+        assert "crisis" in output
+
+    def test_timeline(self, corpus_file, capsys):
+        path, _ = corpus_file
+        assert main(
+            ["timeline", str(path), "--dates", "4", "--sentences", "1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert output.count("  - ") >= 1
+
+    def test_serve_query(self, corpus_file, capsys):
+        path, instance = corpus_file
+        start, end = instance.corpus.window
+        assert main(
+            [
+                "serve-query", str(path),
+                "--keywords", *instance.corpus.query,
+                "--start", start.isoformat(),
+                "--end", end.isoformat(),
+                "--dates", "5",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "candidate sentences" in output
+
+
+class TestEvaluate:
+    def test_evaluate_synthetic(self, capsys):
+        assert main(
+            [
+                "evaluate", "--dataset", "timeline17",
+                "--scale", "0.03", "--instances", "2",
+                "--methods", "wilson", "random",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "WILSON" in output
+        assert "Random" in output
+        assert "date_f1" in output
+
+    def test_evaluate_saved_dataset(self, tmp_path, capsys):
+        from repro.tlsdata.loaders import save_dataset
+        from repro.tlsdata.synthetic import (
+            SyntheticConfig,
+            SyntheticCorpusGenerator,
+        )
+        from repro.tlsdata.types import Dataset
+
+        config = SyntheticConfig(
+            topic="cli-eval",
+            theme="disaster",
+            seed=4,
+            duration_days=40,
+            num_events=8,
+            num_major_events=4,
+            num_articles=15,
+            sentences_per_article=6,
+        )
+        instance = SyntheticCorpusGenerator(config).generate()
+        save_dataset(Dataset("cli-eval", [instance]), tmp_path / "ds")
+        assert main(
+            [
+                "evaluate", "--dataset", str(tmp_path / "ds"),
+                "--methods", "wilson",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "cli-eval" in output
+
+    def test_unknown_method_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["evaluate", "--methods", "nonexistent"]
+            )
+
+    def test_compare_flag(self, capsys):
+        assert main(
+            [
+                "evaluate", "--dataset", "timeline17",
+                "--scale", "0.03", "--instances", "2",
+                "--methods", "wilson", "random", "--compare",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "WILSON (a) vs Random (b)" in output
+        assert "95% CI" in output
+
+
+class TestDiagnose:
+    def test_diagnose_runs(self, capsys):
+        assert main(["diagnose", "--scale", "0.03"]) == 0
+        output = capsys.readouterr().out
+        assert "exact" in output
+        assert "missed" in output or "spurious" in output

@@ -1,0 +1,77 @@
+"""Tests for automatic date compression (Section 3.2.3)."""
+
+from repro.core.compression import DateCountPredictor
+from repro.tlsdata.types import DatedSentence
+from tests.conftest import d
+
+
+def _event_pool(num_events: int, sentences_per_event: int = 4):
+    """Sentences for *num_events* well-separated vocabulary clusters."""
+    topics = [
+        ["ceasefire", "artillery", "border", "garrison"],
+        ["vaccine", "outbreak", "quarantine", "clinic"],
+        ["tariff", "sanctions", "export", "markets"],
+        ["earthquake", "evacuation", "aftershock", "rubble"],
+        ["election", "ballot", "parliament", "coalition"],
+        ["wildfire", "drought", "shelter", "relief"],
+    ]
+    pool = []
+    for event in range(num_events):
+        words = topics[event % len(topics)]
+        date = d("2020-01-01").replace(day=1 + event * 4)
+        for i in range(sentences_per_event):
+            text = (
+                f"The {words[i % 4]} and the {words[(i + 1) % 4]} dominated "
+                f"coverage as the {words[(i + 2) % 4]} drew attention."
+            )
+            pool.append(DatedSentence(date, text, date, f"a{event}"))
+    return pool
+
+
+class TestDailyDigests:
+    def test_digest_per_qualifying_date(self):
+        pool = _event_pool(3)
+        predictor = DateCountPredictor(min_day_sentences=2)
+        digests = predictor.daily_digests(pool)
+        assert len(digests) == 3
+
+    def test_thin_days_skipped(self):
+        pool = _event_pool(2) + [
+            DatedSentence(d("2020-02-27"), "lone sentence.", d("2020-02-27"))
+        ]
+        predictor = DateCountPredictor(min_day_sentences=2)
+        digests = predictor.daily_digests(pool)
+        assert d("2020-02-27") not in digests
+
+
+class TestPredict:
+    def test_empty_pool(self):
+        assert DateCountPredictor().predict([]) == 0
+
+    def test_single_day(self):
+        pool = _event_pool(1)
+        assert DateCountPredictor().predict(pool) == 1
+
+    def test_prediction_in_plausible_range(self):
+        pool = _event_pool(6)
+        predicted = DateCountPredictor().predict(pool)
+        assert 2 <= predicted <= 6
+
+    def test_cluster_assignment_covers_all_dates(self):
+        pool = _event_pool(4)
+        count, assignment = DateCountPredictor().predict_with_clusters(
+            pool
+        )
+        assert len(assignment) == 4
+        assert set(assignment.values()) <= set(range(count))
+
+    def test_deterministic(self):
+        pool = _event_pool(5)
+        a = DateCountPredictor(seed=3).predict(pool)
+        b = DateCountPredictor(seed=3).predict(pool)
+        assert a == b
+
+    def test_more_events_more_clusters(self):
+        few = DateCountPredictor().predict(_event_pool(2))
+        many = DateCountPredictor().predict(_event_pool(6))
+        assert many >= few

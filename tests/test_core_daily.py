@@ -1,0 +1,141 @@
+"""Tests for daily summarisation (Section 2.3)."""
+
+import pytest
+
+from repro.core.daily import DailySummarizer, RankedDay, group_by_date
+from repro.tlsdata.types import DatedSentence
+from tests.conftest import d
+
+
+class TestRankedDay:
+    def test_peek_and_pop(self):
+        day = RankedDay(d("2020-01-01"), ["best", "second"])
+        assert day.peek() == "best"
+        assert day.pop() == "best"
+        assert day.peek() == "second"
+
+    def test_exhaustion(self):
+        day = RankedDay(d("2020-01-01"), ["only"])
+        day.pop()
+        assert day.exhausted
+        with pytest.raises(IndexError):
+            day.peek()
+        with pytest.raises(IndexError):
+            day.pop()
+
+    def test_remaining(self):
+        day = RankedDay(d("2020-01-01"), ["a", "b", "c"])
+        day.pop()
+        assert day.remaining() == 2
+
+
+class TestGroupByDate:
+    def test_groups_and_dedupes(self):
+        pool = [
+            DatedSentence(d("2020-01-01"), "alpha", d("2020-01-01")),
+            DatedSentence(d("2020-01-01"), "alpha", d("2020-01-02")),
+            DatedSentence(d("2020-01-01"), "beta", d("2020-01-01")),
+            DatedSentence(d("2020-01-02"), "alpha", d("2020-01-02")),
+        ]
+        grouped = group_by_date(pool)
+        assert grouped[d("2020-01-01")] == ["alpha", "beta"]
+        # Same text may appear on a *different* date (multi-date sentences).
+        assert grouped[d("2020-01-02")] == ["alpha"]
+
+    def test_empty(self):
+        assert group_by_date([]) == {}
+
+
+class TestDailySummarizer:
+    SENTENCES = [
+        "The ceasefire collapsed near the border after artillery fire.",
+        "Artillery fire broke the ceasefire along the border.",
+        "The ceasefire collapse was confirmed by border officials.",
+        "Unrelated sports scores were reported in the capital.",
+    ]
+
+    def test_rank_day_orders_best_first(self):
+        summarizer = DailySummarizer()
+        ranked = summarizer.rank_day(d("2020-01-01"), self.SENTENCES)
+        assert ranked.date == d("2020-01-01")
+        assert set(ranked.sentences) == set(self.SENTENCES)
+        assert ranked.sentences[-1] == self.SENTENCES[3]
+
+    def test_truncates_heavy_days(self):
+        summarizer = DailySummarizer(max_sentences_per_day=2)
+        ranked = summarizer.rank_day(
+            d("2020-01-01"), self.SENTENCES
+        )
+        assert len(ranked.sentences) == 2
+
+    def test_rank_days_skips_empty_dates(self):
+        pool = [
+            DatedSentence(d("2020-01-01"), text, d("2020-01-01"))
+            for text in self.SENTENCES
+        ]
+        summarizer = DailySummarizer()
+        ranked = summarizer.rank_days(
+            pool, [d("2020-01-01"), d("2020-01-05")]
+        )
+        assert len(ranked) == 1
+        assert ranked[0].date == d("2020-01-01")
+
+    def test_rank_days_sorted_by_date(self):
+        pool = [
+            DatedSentence(d("2020-01-02"), "beta one here.", d("2020-01-02")),
+            DatedSentence(d("2020-01-01"), "alpha one here.", d("2020-01-01")),
+        ]
+        ranked = DailySummarizer().rank_days(
+            pool, [d("2020-01-02"), d("2020-01-01")]
+        )
+        assert [r.date for r in ranked] == [
+            d("2020-01-01"), d("2020-01-02"),
+        ]
+
+
+class TestParallelRankDays:
+    def _pool(self):
+        sentences = [
+            "The ceasefire collapsed near the border after artillery fire.",
+            "Artillery fire broke the ceasefire along the border.",
+            "Rebels seized the stronghold outside the northern city.",
+            "The stronghold fell after a night of heavy shelling.",
+            "The vaccine rollout reached rural clinics this week.",
+            "Clinics received fresh vaccine shipments for the rollout.",
+        ]
+        pool = []
+        for index, text in enumerate(sentences):
+            date = d("2020-01-01") if index < 2 else (
+                d("2020-01-05") if index < 4 else d("2020-01-09")
+            )
+            pool.append(DatedSentence(date, text, date))
+        return pool
+
+    def test_parallel_matches_sequential(self):
+        pool = self._pool()
+        dates = [d("2020-01-01"), d("2020-01-05"), d("2020-01-09")]
+        sequential = DailySummarizer(workers=1).rank_days(pool, dates)
+        parallel = DailySummarizer(workers=4).rank_days(pool, dates)
+        assert [r.date for r in sequential] == [r.date for r in parallel]
+        assert [r.sentences for r in sequential] == [
+            r.sentences for r in parallel
+        ]
+
+    def test_parallel_single_day_short_circuits(self):
+        pool = self._pool()
+        ranked = DailySummarizer(workers=8).rank_days(
+            pool, [d("2020-01-01")]
+        )
+        assert len(ranked) == 1
+
+    def test_wilson_parallel_config(self, tiny_pool, tiny_instance):
+        from repro.core.pipeline import Wilson, WilsonConfig
+
+        sequential = Wilson(
+            WilsonConfig(num_dates=6, sentences_per_date=1)
+        ).summarize(tiny_pool, query=tiny_instance.corpus.query)
+        parallel = Wilson(
+            WilsonConfig(num_dates=6, sentences_per_date=1,
+                         daily_workers=4)
+        ).summarize(tiny_pool, query=tiny_instance.corpus.query)
+        assert sequential == parallel

@@ -1,0 +1,110 @@
+"""Tests for the end-to-end WILSON pipeline."""
+
+import pytest
+
+from repro.core.pipeline import Wilson, WilsonConfig
+from repro.tlsdata.types import DatedSentence
+from tests.conftest import d
+
+
+class TestWilsonConfig:
+    def test_defaults(self):
+        config = WilsonConfig()
+        assert config.num_dates is None
+        assert config.postprocess
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WilsonConfig(num_dates=0)
+        with pytest.raises(ValueError):
+            WilsonConfig(sentences_per_date=0)
+
+    def test_edge_weight_string_accepted(self):
+        config = WilsonConfig(edge_weight="w1")
+        assert config.edge_weight.value == "W1"
+
+
+class TestSummarize:
+    def test_empty_pool(self):
+        assert len(Wilson().summarize([])) == 0
+
+    def test_respects_preset_dates(self, tiny_pool):
+        wilson = Wilson(WilsonConfig(num_dates=5, sentences_per_date=1))
+        timeline = wilson.summarize(tiny_pool)
+        assert len(timeline) <= 5
+
+    def test_respects_sentences_per_date(self, tiny_pool):
+        wilson = Wilson(WilsonConfig(num_dates=4, sentences_per_date=2))
+        timeline = wilson.summarize(tiny_pool)
+        for date in timeline.dates:
+            assert len(timeline.summary(date)) <= 2
+
+    def test_call_arguments_override_config(self, tiny_pool):
+        wilson = Wilson(WilsonConfig(num_dates=3, sentences_per_date=1))
+        timeline = wilson.summarize(
+            tiny_pool, num_dates=6, num_sentences=2
+        )
+        assert len(timeline) <= 6
+
+    def test_fixed_dates_override(self, tiny_pool, tiny_instance):
+        reference_dates = tiny_instance.reference.dates
+        wilson = Wilson(
+            WilsonConfig(fixed_dates=reference_dates, sentences_per_date=1)
+        )
+        timeline = wilson.summarize(tiny_pool)
+        assert set(timeline.dates) <= set(reference_dates)
+        # Most reference dates have sentences in the corpus.
+        assert len(timeline) >= len(reference_dates) // 2
+
+    def test_auto_date_compression_runs(self, tiny_pool):
+        wilson = Wilson(WilsonConfig(num_dates=None, sentences_per_date=1))
+        timeline = wilson.summarize(tiny_pool)
+        assert len(timeline) >= 1
+
+    def test_deterministic(self, tiny_pool):
+        config = WilsonConfig(num_dates=5, sentences_per_date=1)
+        a = Wilson(config).summarize(tiny_pool)
+        b = Wilson(config).summarize(tiny_pool)
+        assert a == b
+
+    def test_summarize_corpus(self, tiny_instance):
+        wilson = Wilson(WilsonConfig(num_dates=4, sentences_per_date=1))
+        timeline = wilson.summarize_corpus(tiny_instance.corpus)
+        assert 1 <= len(timeline) <= 4
+
+
+class TestUniformDates:
+    def test_snaps_to_candidate_dates(self):
+        pool = [
+            DatedSentence(d("2020-01-01"), "a one.", d("2020-01-01")),
+            DatedSentence(d("2020-01-02"), "b two.", d("2020-01-02")),
+            DatedSentence(d("2020-03-01"), "c three.", d("2020-03-01")),
+        ]
+        selected = Wilson._uniform_dates(pool, 2)
+        assert selected == [d("2020-01-01"), d("2020-03-01")]
+
+    def test_fewer_candidates_than_requested(self):
+        pool = [DatedSentence(d("2020-01-01"), "a.", d("2020-01-01"))]
+        assert Wilson._uniform_dates(pool, 5) == [d("2020-01-01")]
+
+    def test_no_duplicates(self, tiny_pool):
+        selected = Wilson._uniform_dates(tiny_pool, 10)
+        assert len(selected) == len(set(selected))
+
+    def test_empty(self):
+        assert Wilson._uniform_dates([], 5) == []
+
+
+class TestQualityOnSyntheticInstance:
+    def test_beats_uniform_on_date_f1(self, tiny_pool, tiny_instance):
+        from repro.core.variants import wilson_full, wilson_uniform
+        from repro.evaluation.date_metrics import date_f1
+
+        T = tiny_instance.target_num_dates
+        N = tiny_instance.target_sentences_per_date
+        full = wilson_full(T, N).summarize(tiny_pool)
+        uniform = wilson_uniform(T, N).summarize(tiny_pool)
+        reference = tiny_instance.reference.dates
+        assert date_f1(full.dates, reference) >= date_f1(
+            uniform.dates, reference
+        )

@@ -1,0 +1,61 @@
+"""Tests for the WILSON ablation variants (Table 7)."""
+
+from repro.core.variants import (
+    wilson_full,
+    wilson_tran,
+    wilson_uniform,
+    wilson_without_post,
+)
+
+
+class TestVariantConfigs:
+    def test_full(self):
+        wilson = wilson_full(10, 2)
+        assert wilson.config.recency_adjustment
+        assert wilson.config.postprocess
+        assert not wilson.config.uniform_dates
+        assert wilson.config.num_dates == 10
+        assert wilson.config.sentences_per_date == 2
+
+    def test_without_post(self):
+        wilson = wilson_without_post(10, 2)
+        assert wilson.config.recency_adjustment
+        assert not wilson.config.postprocess
+
+    def test_tran(self):
+        wilson = wilson_tran(10, 2)
+        assert not wilson.config.recency_adjustment
+        assert wilson.config.postprocess
+        assert not wilson.config.uniform_dates
+
+    def test_uniform(self):
+        wilson = wilson_uniform(10, 2)
+        assert wilson.config.uniform_dates
+        assert not wilson.config.recency_adjustment
+
+    def test_auto_dates_default(self):
+        assert wilson_full().config.num_dates is None
+
+
+class TestVariantBehaviour:
+    def test_all_variants_run(self, tiny_pool, tiny_instance):
+        T = tiny_instance.target_num_dates
+        for factory in (
+            wilson_full, wilson_tran, wilson_uniform, wilson_without_post
+        ):
+            timeline = factory(T, 1).summarize(tiny_pool)
+            assert 1 <= len(timeline) <= T
+
+    def test_post_reduces_or_keeps_sentences(self, tiny_pool, tiny_instance):
+        T = tiny_instance.target_num_dates
+        with_post = wilson_full(T, 2).summarize(tiny_pool)
+        without = wilson_without_post(T, 2).summarize(tiny_pool)
+        assert with_post.num_sentences() <= without.num_sentences()
+
+    def test_uniform_differs_from_graph_selection(
+        self, tiny_pool, tiny_instance
+    ):
+        T = tiny_instance.target_num_dates
+        uniform = wilson_uniform(T, 1).summarize(tiny_pool)
+        graph = wilson_tran(T, 1).summarize(tiny_pool)
+        assert uniform.dates != graph.dates

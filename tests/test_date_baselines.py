@@ -1,0 +1,117 @@
+"""Tests for the alternative date-selection strategies."""
+
+import pytest
+
+from repro.core.date_baselines import (
+    BurstDateSelector,
+    MentionCountSelector,
+    PublicationVolumeSelector,
+)
+from repro.tlsdata.types import DatedSentence
+from tests.conftest import d
+
+
+def _pool():
+    """Three days: day2 heaviest by volume, day1 most mentioned."""
+    day1, day2, day3 = d("2020-01-01"), d("2020-01-05"), d("2020-01-09")
+    pool = []
+    # Publication volume: day2 gets 4, day1 gets 2, day3 gets 1.
+    for index in range(4):
+        pool.append(DatedSentence(day2, f"volume {index}.", day2))
+    for index in range(2):
+        pool.append(DatedSentence(day1, f"start {index}.", day1))
+    pool.append(DatedSentence(day3, "late coverage.", day3))
+    # Mentions: day1 referenced 5 times from later days.
+    for index in range(5):
+        pool.append(
+            DatedSentence(
+                day1, f"recalling day one {index}.", day3,
+                is_reference=True,
+            )
+        )
+    return pool
+
+
+class TestPublicationVolume:
+    def test_heaviest_day_first(self):
+        selected = PublicationVolumeSelector().select(_pool(), 1)
+        assert selected == [d("2020-01-05")]
+
+    def test_ignores_mentions(self):
+        selected = PublicationVolumeSelector().select(_pool(), 2)
+        assert d("2020-01-01") in selected  # 2 published > day3's 1
+        assert selected == sorted(selected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PublicationVolumeSelector().select(_pool(), 0)
+
+    def test_empty(self):
+        assert PublicationVolumeSelector().select([], 3) == []
+
+
+class TestMentionCount:
+    def test_most_mentioned_day_first(self):
+        selected = MentionCountSelector().select(_pool(), 1)
+        assert selected == [d("2020-01-01")]
+
+    def test_gap_weighted_variant(self):
+        pool = [
+            DatedSentence(d("2020-01-01"), "pub.", d("2020-01-01")),
+            DatedSentence(d("2020-01-02"), "pub.", d("2020-01-02")),
+            # one near mention of day1, one far mention of day2
+            DatedSentence(d("2020-01-01"), "near mention.",
+                          d("2020-01-03"), is_reference=True),
+            DatedSentence(d("2020-01-02"), "far mention.",
+                          d("2020-03-01"), is_reference=True),
+        ]
+        plain = MentionCountSelector().select(pool, 1)
+        weighted = MentionCountSelector(gap_weighted=True).select(pool, 1)
+        # Equal counts tie toward the earlier day; gap weighting promotes
+        # the far-referenced day.
+        assert plain == [d("2020-01-01")]
+        assert weighted == [d("2020-01-02")]
+
+    def test_unmentioned_days_still_candidates(self):
+        selected = MentionCountSelector().select(_pool(), 3)
+        assert len(selected) == 3
+
+
+class TestBurstSelector:
+    def test_burst_day_selected(self):
+        selected = BurstDateSelector().select(_pool(), 1)
+        assert selected == [d("2020-01-05")]
+
+    def test_flat_volumes_fall_back(self):
+        pool = [
+            DatedSentence(d("2020-01-01"), "a.", d("2020-01-01")),
+            DatedSentence(d("2020-01-02"), "b.", d("2020-01-02")),
+        ]
+        selected = BurstDateSelector().select(pool, 1)
+        assert len(selected) == 1
+
+    def test_empty(self):
+        assert BurstDateSelector().select([], 2) == []
+
+
+class TestAgainstPageRank:
+    def test_pagerank_beats_simple_signals_on_synthetic(
+        self, tiny_pool, tiny_instance
+    ):
+        """The paper's date selector should outperform the heuristics."""
+        from repro.core.date_selection import DateSelector
+        from repro.evaluation.date_metrics import date_f1
+
+        T = tiny_instance.target_num_dates
+        reference = tiny_instance.reference.dates
+        pagerank_f1 = date_f1(
+            DateSelector().select(tiny_pool, T), reference
+        )
+        volume_f1 = date_f1(
+            PublicationVolumeSelector().select(tiny_pool, T), reference
+        )
+        burst_f1 = date_f1(
+            BurstDateSelector().select(tiny_pool, T), reference
+        )
+        assert pagerank_f1 >= volume_f1
+        assert pagerank_f1 >= burst_f1

@@ -1,0 +1,39 @@
+"""Tests that the generated API reference stays in sync and complete."""
+
+import pathlib
+import subprocess
+import sys
+
+DOCS = pathlib.Path(__file__).parent.parent / "docs"
+
+
+class TestApiReference:
+    def test_generator_runs(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, str(DOCS / "generate_api.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_reference_covers_core_modules(self):
+        text = (DOCS / "api.md").read_text(encoding="utf-8")
+        for module in (
+            "repro.core.pipeline",
+            "repro.core.date_selection",
+            "repro.evaluation.rouge",
+            "repro.search.engine",
+            "repro.tlsdata.synthetic",
+        ):
+            assert f"## `{module}`" in text, module
+
+    def test_reference_mentions_key_symbols(self):
+        text = (DOCS / "api.md").read_text(encoding="utf-8")
+        for symbol in (
+            "class `Wilson`",
+            "class `DateSelector`",
+            "class `SearchEngine`",
+            "rouge_n(",
+            "class `StorylineSeparator`",
+        ):
+            assert symbol in text, symbol

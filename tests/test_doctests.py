@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+import importlib
+
+import pytest
+
+# Attribute access like ``repro.text.tokenize`` resolves to the
+# *function* re-exported by the package __init__, so modules are loaded
+# by name instead.
+MODULES_WITH_DOCTESTS = [
+    "repro.text.tokenize",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES_WITH_DOCTESTS)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}"
+    )
+    assert results.attempted > 0, (
+        f"no doctests found in {module_name}; update this test if the "
+        "examples moved"
+    )

@@ -1,0 +1,88 @@
+"""Tests for date F1 / coverage metrics."""
+
+import pytest
+
+from repro.evaluation.date_metrics import (
+    date_coverage,
+    date_f1,
+    date_precision_recall,
+)
+from tests.conftest import d
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        dates = [d("2020-01-01"), d("2020-01-05")]
+        assert date_precision_recall(dates, dates) == (1.0, 1.0)
+
+    def test_half_overlap(self):
+        selected = [d("2020-01-01"), d("2020-01-02")]
+        reference = [d("2020-01-01"), d("2020-01-09")]
+        precision, recall = date_precision_recall(selected, reference)
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(0.5)
+
+    def test_asymmetric_sizes(self):
+        selected = [d("2020-01-01")]
+        reference = [d("2020-01-01"), d("2020-01-02"), d("2020-01-03")]
+        precision, recall = date_precision_recall(selected, reference)
+        assert precision == pytest.approx(1.0)
+        assert recall == pytest.approx(1 / 3)
+
+    def test_empty_inputs(self):
+        assert date_precision_recall([], [d("2020-01-01")]) == (0.0, 0.0)
+        assert date_precision_recall([d("2020-01-01")], []) == (0.0, 0.0)
+
+    def test_duplicates_ignored(self):
+        selected = [d("2020-01-01"), d("2020-01-01")]
+        reference = [d("2020-01-01")]
+        assert date_precision_recall(selected, reference) == (1.0, 1.0)
+
+
+class TestDateF1:
+    def test_perfect(self):
+        dates = [d("2020-01-01")]
+        assert date_f1(dates, dates) == pytest.approx(1.0)
+
+    def test_no_overlap(self):
+        assert date_f1([d("2020-01-01")], [d("2020-02-01")]) == 0.0
+
+    def test_harmonic_mean(self):
+        selected = [d("2020-01-01"), d("2020-01-02")]
+        reference = [d("2020-01-01")]
+        # P=0.5, R=1.0 -> F1 = 2/3.
+        assert date_f1(selected, reference) == pytest.approx(2 / 3)
+
+
+class TestDateCoverage:
+    def test_exact_match_covered(self):
+        assert date_coverage(
+            [d("2020-01-01")], [d("2020-01-01")]
+        ) == pytest.approx(1.0)
+
+    def test_within_tolerance(self):
+        assert date_coverage(
+            [d("2020-01-03")], [d("2020-01-01")], tolerance_days=3
+        ) == pytest.approx(1.0)
+
+    def test_outside_tolerance(self):
+        assert date_coverage(
+            [d("2020-01-05")], [d("2020-01-01")], tolerance_days=3
+        ) == 0.0
+
+    def test_partial_coverage(self):
+        selected = [d("2020-01-02")]
+        reference = [d("2020-01-01"), d("2020-02-01")]
+        assert date_coverage(selected, reference) == pytest.approx(0.5)
+
+    def test_zero_tolerance_is_exact(self):
+        assert date_coverage(
+            [d("2020-01-02")], [d("2020-01-01")], tolerance_days=0
+        ) == 0.0
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            date_coverage([], [d("2020-01-01")], tolerance_days=-1)
+
+    def test_empty_reference(self):
+        assert date_coverage([d("2020-01-01")], []) == 0.0

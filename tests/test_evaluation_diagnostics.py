@@ -1,0 +1,92 @@
+"""Tests for per-date timeline diagnostics."""
+
+import pytest
+
+from repro.evaluation.diagnostics import diagnose_timeline
+from repro.tlsdata.types import Timeline
+from tests.conftest import d
+
+
+def _reference():
+    return Timeline(
+        {
+            d("2020-01-01"): ["rebels seized stronghold"],
+            d("2020-01-10"): ["ceasefire collapsed near border"],
+            d("2020-01-20"): ["talks resumed in the capital"],
+        }
+    )
+
+
+def _system():
+    return Timeline(
+        {
+            d("2020-01-01"): ["rebels seized stronghold"],     # exact
+            d("2020-01-12"): ["ceasefire collapsed near border"],  # near
+            d("2020-02-15"): ["unrelated coverage entirely"],  # spurious
+        }
+    )
+
+
+class TestDiagnoseTimeline:
+    def test_statuses(self):
+        result = diagnose_timeline(_system(), _reference())
+        statuses = {
+            diag.reference_date: diag.status for diag in result.per_date
+        }
+        assert statuses[d("2020-01-01")] == "exact"
+        assert statuses[d("2020-01-10")] == "near"
+        assert statuses[d("2020-01-20")] == "missed"
+        assert result.num_exact == 1
+        assert result.num_near == 1
+        assert result.num_missed == 1
+
+    def test_near_gap_recorded(self):
+        result = diagnose_timeline(_system(), _reference())
+        near = next(
+            diag for diag in result.per_date if diag.status == "near"
+        )
+        assert near.matched_date == d("2020-01-12")
+        assert near.gap_days == 2
+
+    def test_exact_content_score(self):
+        result = diagnose_timeline(_system(), _reference())
+        exact = next(
+            diag for diag in result.per_date if diag.status == "exact"
+        )
+        assert exact.content_f1 == pytest.approx(1.0)
+
+    def test_missed_scores_zero(self):
+        result = diagnose_timeline(_system(), _reference())
+        missed = next(
+            diag for diag in result.per_date if diag.status == "missed"
+        )
+        assert missed.content_f1 == 0.0
+        assert missed.matched_date is None
+
+    def test_spurious_dates(self):
+        result = diagnose_timeline(_system(), _reference())
+        assert result.spurious_dates == [d("2020-02-15")]
+
+    def test_tolerance_zero_only_exact(self):
+        result = diagnose_timeline(
+            _system(), _reference(), tolerance_days=0
+        )
+        assert result.num_exact == 1
+        assert result.num_near == 0
+        assert result.num_missed == 2
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            diagnose_timeline(_system(), _reference(), tolerance_days=-1)
+
+    def test_perfect_copy(self):
+        reference = _reference()
+        result = diagnose_timeline(reference, reference)
+        assert result.num_exact == len(reference)
+        assert result.spurious_dates == []
+
+    def test_summary_lines(self):
+        result = diagnose_timeline(_system(), _reference())
+        lines = result.summary_lines()
+        assert len(lines) == 4  # 3 reference dates + footer
+        assert "exact 1 / near 1 / missed 1 / spurious 1" in lines[-1]

@@ -1,0 +1,131 @@
+"""Tests for the simulated journalist panel (Table 9)."""
+
+import pytest
+
+from repro.evaluation.journalist import (
+    JournalistPanel,
+    JudgeWeights,
+    readability_score,
+)
+from repro.tlsdata.types import Timeline
+from tests.conftest import d
+
+
+def _reference():
+    return Timeline(
+        {
+            d("2020-01-01"): [
+                "Rebels seized the stronghold outside the northern city."
+            ],
+            d("2020-01-10"): [
+                "The ceasefire collapsed near the border after artillery fire."
+            ],
+        }
+    )
+
+
+def _good_copy():
+    return Timeline(
+        {
+            d("2020-01-01"): [
+                "Rebels seized the stronghold outside the northern city."
+            ],
+            d("2020-01-10"): [
+                "The ceasefire collapsed near the border after artillery fire."
+            ],
+        }
+    )
+
+
+def _bad_candidate():
+    return Timeline(
+        {
+            d("2020-03-03"): ["Completely unrelated sports scores today."],
+            d("2020-04-04"): ["Weather remained mild across the region."],
+        }
+    )
+
+
+class TestReadability:
+    def test_empty_timeline(self):
+        assert readability_score(Timeline()) == 0.0
+
+    def test_ideal_length_scores_one(self):
+        timeline = Timeline(
+            {d("2020-01-01"): [
+                "Rebels seized the stronghold outside the city on Friday."
+            ]}
+        )
+        assert readability_score(timeline) == pytest.approx(1.0)
+
+    def test_fragment_penalised(self):
+        fragment = Timeline({d("2020-01-01"): ["Rebels."]})
+        good = Timeline(
+            {d("2020-01-01"): [
+                "Rebels seized the stronghold outside the city on Friday."
+            ]}
+        )
+        assert readability_score(fragment) < readability_score(good)
+
+    def test_run_on_penalised(self):
+        run_on = Timeline(
+            {d("2020-01-01"): [" ".join(["word"] * 120)]}
+        )
+        assert readability_score(run_on) < 0.5
+
+
+class TestPanel:
+    def test_good_copy_ranked_first(self):
+        panel = JournalistPanel(seed=1)
+        ranks = panel.rank(
+            {"good": _good_copy(), "bad": _bad_candidate()},
+            _reference(),
+        )
+        assert ranks["good"] == 1
+        assert ranks["bad"] == 2
+
+    def test_ranks_are_permutation(self):
+        panel = JournalistPanel(seed=1)
+        candidates = {
+            "a": _good_copy(),
+            "b": _bad_candidate(),
+            "c": Timeline({d("2020-01-01"): ["Rebels seized a stronghold."]}),
+        }
+        ranks = panel.rank(candidates, _reference())
+        assert sorted(ranks.values()) == [1, 2, 3]
+
+    def test_deterministic(self):
+        candidates = {"a": _good_copy(), "b": _bad_candidate()}
+        r1 = JournalistPanel(seed=5).rank(candidates, _reference())
+        r2 = JournalistPanel(seed=5).rank(candidates, _reference())
+        assert r1 == r2
+
+    def test_empty_candidates(self):
+        assert JournalistPanel().rank({}, _reference()) == {}
+
+    def test_study_accumulates_ranks(self):
+        panel = JournalistPanel(seed=2)
+        evaluations = [
+            {"a": _good_copy(), "b": _bad_candidate()},
+            {"a": _good_copy(), "b": _bad_candidate()},
+        ]
+        references = [_reference(), _reference()]
+        ranks = panel.evaluate_study(evaluations, references)
+        assert len(ranks["a"]) == 2
+        assert ranks["a"] == [1, 1]
+
+    def test_study_validates_lengths(self):
+        with pytest.raises(ValueError):
+            JournalistPanel().evaluate_study([{}], [])
+
+    def test_blended_score_orders_quality(self):
+        panel = JournalistPanel(seed=0)
+        good = panel.blended_score(_good_copy(), _reference())
+        bad = panel.blended_score(_bad_candidate(), _reference())
+        assert good > bad
+
+    def test_custom_weights(self):
+        weights = JudgeWeights(content=1.0, coverage=0.0, readability=0.0)
+        panel = JournalistPanel(weights=weights)
+        score = panel.blended_score(_good_copy(), _reference())
+        assert score == pytest.approx(1.0)

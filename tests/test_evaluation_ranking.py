@@ -1,0 +1,74 @@
+"""Tests for MRR / DCG / MAPE metrics."""
+
+import math
+
+import pytest
+
+from repro.evaluation.mape import mape
+from repro.evaluation.ranking import dcg, mean_reciprocal_rank, rank_histogram
+
+
+class TestMRR:
+    def test_all_first(self):
+        assert mean_reciprocal_rank([1, 1, 1]) == pytest.approx(1.0)
+
+    def test_mixed_ranks(self):
+        assert mean_reciprocal_rank([1, 2, 3]) == pytest.approx(
+            (1 + 0.5 + 1 / 3) / 3
+        )
+
+    def test_empty(self):
+        assert mean_reciprocal_rank([]) == 0.0
+
+    def test_rejects_zero_rank(self):
+        with pytest.raises(ValueError):
+            mean_reciprocal_rank([0])
+
+
+class TestDCG:
+    def test_rank_values(self):
+        assert dcg([1]) == pytest.approx(1.0)
+        assert dcg([2]) == pytest.approx(1 / math.log2(3))
+        assert dcg([3]) == pytest.approx(0.5)
+
+    def test_paper_scale(self):
+        """WILSON's Table 9 row: 5x 1st, 1x 2nd, 4x 3rd -> DCG ~7.63."""
+        ranks = [1] * 5 + [2] * 1 + [3] * 4
+        assert dcg(ranks) == pytest.approx(7.63, abs=0.01)
+
+    def test_empty(self):
+        assert dcg([]) == 0.0
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            dcg([0])
+
+
+class TestRankHistogram:
+    def test_counts(self):
+        ranks = [1, 1, 2, 3, 3, 3]
+        assert rank_histogram(ranks) == [2, 1, 3]
+
+    def test_out_of_range_ignored(self):
+        assert rank_histogram([1, 4], max_rank=3) == [1, 0, 0]
+
+
+class TestMape:
+    def test_perfect_prediction(self):
+        assert mape([10, 20], [10, 20]) == 0.0
+
+    def test_hand_computed(self):
+        # |8-10|/10 = 0.2; |30-20|/20 = 0.5 -> mean 0.35.
+        assert mape([8, 30], [10, 20]) == pytest.approx(0.35)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            mape([1], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mape([], [])
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError):
+            mape([1], [0])

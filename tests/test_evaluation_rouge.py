@@ -1,0 +1,178 @@
+"""Tests for ROUGE-1/2/S* against hand-computed values."""
+
+import pytest
+
+from repro.evaluation.rouge import (
+    RougeScore,
+    _lcs_length,
+    ngram_counts,
+    rouge_l,
+    rouge_n,
+    rouge_s_star,
+    rouge_scores,
+    skip_bigram_counts,
+)
+
+
+class TestRougeScore:
+    def test_from_counts(self):
+        score = RougeScore.from_counts(2, 4, 8)
+        assert score.precision == pytest.approx(0.5)
+        assert score.recall == pytest.approx(0.25)
+        assert score.f1 == pytest.approx(2 * 0.5 * 0.25 / 0.75)
+
+    def test_zero_denominators(self):
+        score = RougeScore.from_counts(0, 0, 0)
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+
+
+class TestNgramCounts:
+    def test_unigrams(self):
+        counts = ngram_counts(["a", "b", "a"], 1)
+        assert counts[("a",)] == 2
+        assert counts[("b",)] == 1
+
+    def test_bigrams(self):
+        counts = ngram_counts(["a", "b", "c"], 2)
+        assert counts[("a", "b")] == 1
+        assert counts[("b", "c")] == 1
+        assert sum(counts.values()) == 2
+
+    def test_n_longer_than_sequence(self):
+        assert ngram_counts(["a"], 2) == {}
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngram_counts(["a"], 0)
+
+
+class TestSkipBigrams:
+    def test_all_pairs(self):
+        counts = skip_bigram_counts(["a", "b", "c"])
+        assert counts[("a", "b")] == 1
+        assert counts[("a", "c")] == 1
+        assert counts[("b", "c")] == 1
+        assert sum(counts.values()) == 3
+
+    def test_pair_count_quadratic(self):
+        counts = skip_bigram_counts(list("abcd"))
+        assert sum(counts.values()) == 6  # C(4, 2)
+
+
+class TestRougeN:
+    def test_identical_texts_perfect(self):
+        text = "rebels seized the stronghold"
+        score = rouge_n(text, text, 1)
+        assert score.f1 == pytest.approx(1.0)
+
+    def test_disjoint_texts_zero(self):
+        score = rouge_n(
+            "rebels seized stronghold", "vaccine reached clinics", 1
+        )
+        assert score.f1 == 0.0
+
+    def test_hand_computed_unigram(self):
+        # Without stemming/stopwords for exact control.
+        score = rouge_n(
+            "a b c", "a b d", 1, stem=False, drop_stopwords=False
+        )
+        # overlap 2, sys total 3, ref total 3 -> P=R=F1=2/3
+        assert score.f1 == pytest.approx(2 / 3)
+
+    def test_hand_computed_bigram(self):
+        score = rouge_n(
+            "a b c d", "a b x d", 2, stem=False, drop_stopwords=False
+        )
+        # sys bigrams {ab, bc, cd}, ref {ab, bx, xd}: overlap 1 -> 1/3
+        assert score.f1 == pytest.approx(1 / 3)
+
+    def test_clipped_counts(self):
+        score = rouge_n(
+            "a a a", "a b c", 1, stem=False, drop_stopwords=False
+        )
+        # overlap clipped to min(3, 1) = 1; P = 1/3, R = 1/3.
+        assert score.precision == pytest.approx(1 / 3)
+        assert score.recall == pytest.approx(1 / 3)
+
+    def test_accepts_sentence_lists(self):
+        score = rouge_n(["a b", "c"], "a b c", 1,
+                        stem=False, drop_stopwords=False)
+        assert score.f1 == pytest.approx(1.0)
+
+    def test_stemming_matches_variants(self):
+        score = rouge_n("rebels attacking", "rebel attacked", 1)
+        assert score.f1 == pytest.approx(1.0)
+
+    def test_empty_system(self):
+        assert rouge_n("", "a b", 1).f1 == 0.0
+
+
+class TestRougeSStar:
+    def test_hand_computed(self):
+        score = rouge_s_star(
+            "a b c", "a c b", stem=False, drop_stopwords=False
+        )
+        # sys pairs {ab, ac, bc}, ref {ac, ab, cb}: overlap {ab, ac} = 2.
+        assert score.precision == pytest.approx(2 / 3)
+        assert score.recall == pytest.approx(2 / 3)
+
+    def test_identical_perfect(self):
+        score = rouge_s_star("a b c d", "a b c d",
+                             stem=False, drop_stopwords=False)
+        assert score.f1 == pytest.approx(1.0)
+
+    def test_truncation_guard(self):
+        long_text = " ".join(f"tok{i}" for i in range(3000))
+        score = rouge_s_star(long_text, long_text, stem=False,
+                             drop_stopwords=False, max_tokens=100)
+        assert score.f1 == pytest.approx(1.0)
+
+
+class TestRougeScores:
+    def test_returns_all_metrics(self):
+        scores = rouge_scores("rebels attacked", "rebels attacked")
+        assert set(scores) == {
+            "rouge-1", "rouge-2", "rouge-s*", "rouge-l",
+        }
+        assert scores["rouge-1"].f1 == pytest.approx(1.0)
+        assert scores["rouge-l"].f1 == pytest.approx(1.0)
+
+    def test_f1_bounded(self):
+        scores = rouge_scores(
+            "rebels seized the stronghold near the city",
+            "the stronghold fell to rebels",
+        )
+        for score in scores.values():
+            assert 0.0 <= score.f1 <= 1.0
+
+
+class TestRougeL:
+    def test_lcs_hand_computed(self):
+        assert _lcs_length(list("abcde"), list("ace")) == 3
+        assert _lcs_length(list("abc"), list("xyz")) == 0
+        assert _lcs_length([], list("abc")) == 0
+
+    def test_identical_perfect(self):
+        score = rouge_l("a b c d", "a b c d",
+                        stem=False, drop_stopwords=False)
+        assert score.f1 == pytest.approx(1.0)
+
+    def test_subsequence_credit(self):
+        # system "a c" is a subsequence of reference "a b c".
+        score = rouge_l("a c", "a b c", stem=False, drop_stopwords=False)
+        assert score.precision == pytest.approx(1.0)
+        assert score.recall == pytest.approx(2 / 3)
+
+    def test_order_sensitivity(self):
+        in_order = rouge_l("a b c", "a b c",
+                           stem=False, drop_stopwords=False)
+        reversed_ = rouge_l("c b a", "a b c",
+                            stem=False, drop_stopwords=False)
+        assert in_order.f1 > reversed_.f1
+
+    def test_bounded(self):
+        score = rouge_l("rebels seized stronghold",
+                        "the vaccine reached clinics")
+        assert 0.0 <= score.f1 <= 1.0

@@ -1,0 +1,63 @@
+"""Tests for the approximate randomization test."""
+
+import random
+
+import pytest
+
+from repro.evaluation.significance import approximate_randomization_test
+
+
+class TestApproximateRandomization:
+    def test_clearly_different_systems_significant(self):
+        rng = random.Random(1)
+        a = [0.8 + rng.uniform(-0.02, 0.02) for _ in range(20)]
+        b = [0.2 + rng.uniform(-0.02, 0.02) for _ in range(20)]
+        result = approximate_randomization_test(a, b, num_shuffles=2000)
+        assert result.significant(0.05)
+        assert result.p_value < 0.01
+
+    def test_identical_systems_not_significant(self):
+        scores = [0.5, 0.6, 0.4, 0.55]
+        result = approximate_randomization_test(
+            scores, list(scores), num_shuffles=2000
+        )
+        assert not result.significant(0.05)
+        assert result.p_value > 0.5
+
+    def test_noise_level_difference_not_significant(self):
+        rng = random.Random(2)
+        a = [0.5 + rng.uniform(-0.1, 0.1) for _ in range(10)]
+        b = [0.5 + rng.uniform(-0.1, 0.1) for _ in range(10)]
+        result = approximate_randomization_test(a, b, num_shuffles=2000)
+        assert not result.significant(0.01)
+
+    def test_deterministic_for_seed(self):
+        a = [0.6, 0.7, 0.5]
+        b = [0.4, 0.5, 0.6]
+        r1 = approximate_randomization_test(a, b, num_shuffles=500, seed=7)
+        r2 = approximate_randomization_test(a, b, num_shuffles=500, seed=7)
+        assert r1.p_value == r2.p_value
+
+    def test_p_value_in_unit_interval(self):
+        result = approximate_randomization_test(
+            [0.1, 0.9], [0.3, 0.5], num_shuffles=100
+        )
+        assert 0.0 < result.p_value <= 1.0
+
+    def test_observed_difference_recorded(self):
+        result = approximate_randomization_test(
+            [1.0, 1.0], [0.0, 0.0], num_shuffles=100
+        )
+        assert result.observed_difference == pytest.approx(1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            approximate_randomization_test([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            approximate_randomization_test([], [])
+
+    def test_bad_shuffles_rejected(self):
+        with pytest.raises(ValueError):
+            approximate_randomization_test([1.0], [0.5], num_shuffles=0)

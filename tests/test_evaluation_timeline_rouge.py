@@ -1,0 +1,153 @@
+"""Tests for timeline-aware ROUGE (concat / agreement / align)."""
+
+import pytest
+
+from repro.evaluation.timeline_rouge import (
+    agreement_rouge,
+    align_rouge,
+    concat_rouge,
+    timeline_rouge,
+)
+from repro.tlsdata.types import Timeline
+from tests.conftest import d
+
+
+def _reference():
+    return Timeline(
+        {
+            d("2020-01-01"): ["rebels seized stronghold"],
+            d("2020-01-10"): ["ceasefire collapsed near border"],
+        }
+    )
+
+
+class TestConcatRouge:
+    def test_perfect_copy(self):
+        reference = _reference()
+        assert concat_rouge(reference, reference, 1).f1 == pytest.approx(1.0)
+
+    def test_ignores_date_placement(self):
+        reference = _reference()
+        shifted = Timeline(
+            {
+                d("2020-02-01"): ["rebels seized stronghold"],
+                d("2020-02-10"): ["ceasefire collapsed near border"],
+            }
+        )
+        assert concat_rouge(shifted, reference, 1).f1 == pytest.approx(1.0)
+
+    def test_empty_system(self):
+        assert concat_rouge(Timeline(), _reference(), 1).f1 == 0.0
+
+
+class TestAgreementRouge:
+    def test_perfect_copy(self):
+        reference = _reference()
+        assert agreement_rouge(
+            reference, reference, 1
+        ).f1 == pytest.approx(1.0)
+
+    def test_wrong_dates_score_zero(self):
+        reference = _reference()
+        shifted = Timeline(
+            {
+                d("2020-02-01"): ["rebels seized stronghold"],
+                d("2020-02-10"): ["ceasefire collapsed near border"],
+            }
+        )
+        assert agreement_rouge(shifted, reference, 1).f1 == 0.0
+
+    def test_partial_date_overlap(self):
+        reference = _reference()
+        system = Timeline(
+            {
+                d("2020-01-01"): ["rebels seized stronghold"],  # match
+                d("2020-03-03"): ["ceasefire collapsed near border"],
+            }
+        )
+        score = agreement_rouge(system, reference, 1)
+        # Hits only from 01-01 (3 content tokens); both totals 6.
+        assert score.precision == pytest.approx(3 / 6)
+        assert score.recall == pytest.approx(3 / 6)
+
+    def test_right_date_wrong_text(self):
+        reference = _reference()
+        system = Timeline(
+            {d("2020-01-01"): ["vaccine reached clinics"]}
+        )
+        assert agreement_rouge(system, reference, 1).f1 == 0.0
+
+
+class TestAlignRouge:
+    def test_perfect_copy(self):
+        reference = _reference()
+        assert align_rouge(reference, reference, 1).f1 == pytest.approx(1.0)
+
+    def test_near_miss_discounted_not_zero(self):
+        reference = _reference()
+        one_day_off = Timeline(
+            {
+                d("2020-01-02"): ["rebels seized stronghold"],
+                d("2020-01-11"): ["ceasefire collapsed near border"],
+            }
+        )
+        agreement = agreement_rouge(one_day_off, reference, 1).f1
+        align = align_rouge(one_day_off, reference, 1).f1
+        assert agreement == 0.0
+        assert 0.0 < align < 1.0
+        # Discount is 1/(1+1) = 0.5 on all hits.
+        assert align == pytest.approx(0.5)
+
+    def test_discount_grows_with_distance(self):
+        import datetime
+
+        reference = _reference()
+
+        def shifted(days):
+            return Timeline(
+                {
+                    date + datetime.timedelta(days=days): sentences
+                    for date, sentences in reference.items()
+                }
+            )
+
+        close = align_rouge(shifted(1), reference, 1).f1
+        far = align_rouge(shifted(4), reference, 1).f1
+        assert close > far > 0.0
+
+    def test_many_to_one_allowed(self):
+        reference = Timeline({d("2020-01-05"): ["rebels seized stronghold"]})
+        system = Timeline(
+            {
+                d("2020-01-04"): ["rebels seized stronghold"],
+                d("2020-01-06"): ["rebels seized stronghold"],
+            }
+        )
+        score = align_rouge(system, reference, 1)
+        # Both system dates align to the single reference date.
+        assert score.precision > 0.0
+        assert score.recall > 0.0
+
+
+class TestTimelineRougeBundle:
+    def test_row_keys(self):
+        result = timeline_rouge(_reference(), _reference())
+        row = result.row()
+        assert set(row) == {
+            "concat_r1", "concat_r2", "agreement_r1",
+            "agreement_r2", "align_r1", "align_r2",
+        }
+        assert row["concat_r1"] == pytest.approx(1.0)
+
+    def test_metric_ordering_invariant(self):
+        """align credit >= agreement credit (it includes exact matches)."""
+        reference = _reference()
+        system = Timeline(
+            {
+                d("2020-01-01"): ["rebels seized stronghold"],
+                d("2020-01-12"): ["ceasefire collapsed near border"],
+            }
+        )
+        agreement = agreement_rouge(system, reference, 1).f1
+        align = align_rouge(system, reference, 1).f1
+        assert align >= agreement

@@ -1,0 +1,96 @@
+"""Tests for the head-to-head method comparison report."""
+
+import pytest
+
+from repro.experiments.comparison import (
+    MetricComparison,
+    compare_methods,
+    comparison_report,
+)
+from repro.experiments.runner import InstanceScores, MethodResult
+
+
+def _result(name, values):
+    """Build a MethodResult with the given concat_r2 per-instance values."""
+    per_instance = []
+    for index, value in enumerate(values):
+        metrics = {
+            "concat_r1": value + 0.1,
+            "concat_r2": value,
+            "concat_s*": value / 2,
+            "agreement_r1": value / 2,
+            "agreement_r2": value / 3,
+            "align_r1": value / 2,
+            "align_r2": value / 3,
+            "date_f1": min(1.0, value * 2),
+            "date_coverage": min(1.0, value * 2),
+        }
+        per_instance.append(
+            InstanceScores(
+                instance_name=f"inst-{index}",
+                metrics=metrics,
+                seconds=0.01,
+            )
+        )
+    return MethodResult(method_name=name, per_instance=per_instance)
+
+
+class TestCompareMethods:
+    def test_clear_winner_detected(self):
+        strong = _result("strong", [0.30, 0.32, 0.29, 0.31, 0.33,
+                                    0.30, 0.31, 0.32])
+        weak = _result("weak", [0.10, 0.12, 0.09, 0.11, 0.13,
+                                0.10, 0.11, 0.12])
+        comparisons = compare_methods(
+            strong, weak, metrics=("concat_r2",), num_shuffles=2000,
+            num_resamples=2000,
+        )
+        outcome = comparisons["concat_r2"]
+        assert outcome.winner == "a"
+        assert outcome.difference_ci.lower > 0
+        assert outcome.significance.significant()
+
+    def test_tied_systems_not_significant(self):
+        values = [0.2, 0.25, 0.22, 0.27, 0.21, 0.24]
+        a = _result("a", values)
+        b = _result("b", list(values))
+        outcome = compare_methods(
+            a, b, metrics=("concat_r2",), num_shuffles=500,
+            num_resamples=500,
+        )["concat_r2"]
+        assert outcome.difference == pytest.approx(0.0)
+        assert not outcome.significance.significant()
+        assert 0.0 in outcome.difference_ci
+
+    def test_mismatched_instances_rejected(self):
+        a = _result("a", [0.1, 0.2])
+        b = _result("b", [0.1, 0.2, 0.3])
+        with pytest.raises(ValueError):
+            compare_methods(a, b)
+
+    def test_unknown_metric_rejected(self):
+        a = _result("a", [0.1, 0.2])
+        b = _result("b", [0.2, 0.3])
+        with pytest.raises(ValueError):
+            compare_methods(a, b, metrics=("nonsense",))
+
+    def test_summary_format(self):
+        a = _result("a", [0.3, 0.35])
+        b = _result("b", [0.1, 0.12])
+        outcome = compare_methods(
+            a, b, metrics=("concat_r2",), num_shuffles=200,
+            num_resamples=200,
+        )["concat_r2"]
+        text = outcome.summary()
+        assert "diff" in text
+        assert "CI" in text
+        assert "p=" in text
+
+
+class TestComparisonReport:
+    def test_report_lines(self):
+        a = _result("WILSON", [0.3, 0.35, 0.32])
+        b = _result("TILSE", [0.2, 0.22, 0.21])
+        lines = comparison_report(a, b)
+        assert lines[0].startswith("WILSON (a) vs TILSE (b)")
+        assert len(lines) == 4  # header + 3 metrics

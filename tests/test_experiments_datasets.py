@@ -1,0 +1,66 @@
+"""Tests for the cached dataset registry and tagged-dataset views."""
+
+from repro.experiments.datasets import (
+    TaggedDataset,
+    standard_crisis,
+    standard_timeline17,
+    tagged_timeline17,
+)
+from repro.tlsdata.synthetic import SyntheticConfig, SyntheticCorpusGenerator
+from repro.tlsdata.types import Dataset
+
+
+def _mini_tagged(n=3):
+    instances = []
+    for seed in range(n):
+        config = SyntheticConfig(
+            topic=f"reg-{seed}",
+            theme="economy",
+            seed=seed + 50,
+            duration_days=40,
+            num_events=8,
+            num_major_events=4,
+            num_articles=15,
+            sentences_per_article=6,
+        )
+        instances.append(SyntheticCorpusGenerator(config).generate())
+    return TaggedDataset(Dataset("mini", instances))
+
+
+class TestCaching:
+    def test_standard_datasets_cached(self):
+        assert standard_timeline17(0.02, 3) is standard_timeline17(0.02, 3)
+        assert standard_crisis(0.005, 3) is standard_crisis(0.005, 3)
+
+    def test_different_scales_differ(self):
+        a = standard_timeline17(0.02, 3)
+        b = standard_timeline17(0.03, 3)
+        assert a is not b
+
+    def test_tagged_registry_cached(self):
+        assert tagged_timeline17(0.02, 3) is tagged_timeline17(0.02, 3)
+
+
+class TestTaggedDataset:
+    def test_iteration_pairs_instances_with_pools(self):
+        tagged = _mini_tagged()
+        for instance, pool in tagged:
+            assert pool, instance.name
+            assert all(hasattr(s, "date") for s in pool)
+
+    def test_subset_view_shares_pools(self):
+        tagged = _mini_tagged()
+        view = tagged.subset([0, 2])
+        assert len(view) == 2
+        assert view.pool(0) is tagged.pool(0)
+        assert view.pool(1) is tagged.pool(2)
+        assert view.instance(1).name == tagged.instance(2).name
+
+    def test_training_examples_triples(self):
+        tagged = _mini_tagged()
+        training = tagged.training_examples([1, 2])
+        assert len(training) == 2
+        pool, reference, query = training[0]
+        assert pool is tagged.pool(1)
+        assert reference is tagged.instance(1).reference
+        assert query == tagged.instance(1).corpus.query

@@ -1,0 +1,153 @@
+"""Tests for the experiment runner and table formatting."""
+
+import pytest
+
+from repro.baselines.oracle import OracleDateSummarizer
+from repro.baselines.random_baseline import RandomBaseline
+from repro.core.variants import wilson_full
+from repro.experiments.datasets import TaggedDataset
+from repro.experiments.runner import (
+    METRIC_KEYS,
+    WilsonMethod,
+    evaluate_timeline,
+    fit_leave_one_out,
+    run_method,
+    run_supervised_method,
+)
+from repro.experiments.tables import format_table
+from repro.baselines.regression import RegressionBaseline
+from repro.tlsdata.synthetic import SyntheticConfig, SyntheticCorpusGenerator
+from repro.tlsdata.types import Dataset
+
+
+@pytest.fixture(scope="module")
+def mini_tagged():
+    instances = []
+    for seed in (21, 22, 23):
+        config = SyntheticConfig(
+            topic=f"mini-{seed}",
+            theme="disaster",
+            seed=seed,
+            duration_days=40,
+            num_events=8,
+            num_major_events=4,
+            num_articles=20,
+            sentences_per_article=7,
+        )
+        instances.append(SyntheticCorpusGenerator(config).generate())
+    return TaggedDataset(Dataset("mini", instances))
+
+
+class TestEvaluateTimeline:
+    def test_all_keys_present(self, tiny_instance):
+        metrics = evaluate_timeline(
+            tiny_instance.reference, tiny_instance.reference
+        )
+        assert set(metrics) == set(METRIC_KEYS)
+
+    def test_perfect_copy_scores_one(self, tiny_instance):
+        metrics = evaluate_timeline(
+            tiny_instance.reference, tiny_instance.reference
+        )
+        assert metrics["concat_r1"] == pytest.approx(1.0)
+        assert metrics["date_f1"] == pytest.approx(1.0)
+        assert metrics["date_coverage"] == pytest.approx(1.0)
+
+    def test_s_star_optional(self, tiny_instance):
+        metrics = evaluate_timeline(
+            tiny_instance.reference,
+            tiny_instance.reference,
+            include_s_star=False,
+        )
+        assert metrics["concat_s*"] == 0.0
+
+
+class TestRunMethod:
+    def test_plain_method(self, mini_tagged):
+        result = run_method(RandomBaseline(seed=1), mini_tagged)
+        assert result.method_name == "Random"
+        assert len(result.per_instance) == 3
+        assert 0.0 <= result.mean("concat_r2") <= 1.0
+        assert result.mean_seconds >= 0.0
+
+    def test_wilson_adapter(self, mini_tagged):
+        method = WilsonMethod(wilson_full(), name="WILSON")
+        result = run_method(method, mini_tagged, include_s_star=False)
+        assert result.method_name == "WILSON"
+        assert result.mean("date_f1") > 0.0
+
+    def test_factory_method(self, mini_tagged):
+        result = run_method(
+            lambda instance: OracleDateSummarizer(instance.reference),
+            mini_tagged,
+            method_name="Oracle",
+        )
+        assert result.method_name == "Oracle"
+        assert result.mean("date_f1") > 0.8
+
+    def test_pool_transform_applied(self, mini_tagged):
+        calls = []
+
+        def transform(pool, instance):
+            calls.append(instance.name)
+            return pool[: len(pool) // 2]
+
+        run_method(
+            RandomBaseline(seed=1), mini_tagged, pool_transform=transform
+        )
+        assert len(calls) == 3
+
+    def test_keep_timelines(self, mini_tagged):
+        result = run_method(
+            RandomBaseline(seed=1), mini_tagged, keep_timelines=True
+        )
+        assert all(s.timeline is not None for s in result.per_instance)
+
+    def test_scores_list_for_significance(self, mini_tagged):
+        result = run_method(RandomBaseline(seed=1), mini_tagged)
+        scores = result.scores("concat_r1")
+        assert len(scores) == 3
+
+    def test_summary_keys(self, mini_tagged):
+        result = run_method(RandomBaseline(seed=1), mini_tagged)
+        summary = result.summary()
+        assert "seconds" in summary
+        for key in METRIC_KEYS:
+            assert key in summary
+
+
+class TestSupervisedRunner:
+    def test_leave_one_out_fit(self, mini_tagged):
+        method = fit_leave_one_out(RegressionBaseline, mini_tagged, 0)
+        assert method.is_fitted
+
+    def test_run_supervised(self, mini_tagged):
+        result = run_supervised_method(
+            RegressionBaseline, mini_tagged, include_s_star=False
+        )
+        assert len(result.per_instance) == 3
+
+    def test_unsupervised_method_rejected(self, mini_tagged):
+        with pytest.raises(TypeError):
+            fit_leave_one_out(
+                lambda: RandomBaseline(seed=1), mini_tagged, 0
+            )
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        table = format_table(
+            ["Model", "R1"], [["WILSON", 0.37], ["TILSE", 0.3452]]
+        )
+        assert "Model" in table
+        assert "WILSON" in table
+        assert "0.3700" in table
+
+    def test_title_included(self):
+        table = format_table(["A"], [["x"]], title="Table 5")
+        assert table.startswith("Table 5")
+
+    def test_alignment_consistent(self):
+        table = format_table(["A", "B"], [["x", 1.0], ["longer", 2.0]])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1

@@ -1,0 +1,90 @@
+"""Tests for Affinity Propagation clustering."""
+
+import numpy as np
+import pytest
+
+from repro.graph.affinity_propagation import AffinityPropagation
+
+
+def _blob_similarities(seed: int = 0, per_blob: int = 8, blobs: int = 3):
+    """Negative squared distances of well-separated 2-D blobs."""
+    rng = np.random.default_rng(seed)
+    points = []
+    for b in range(blobs):
+        center = np.array([10.0 * b, -10.0 * b])
+        points.append(center + 0.5 * rng.standard_normal((per_blob, 2)))
+    points = np.vstack(points)
+    diff = points[:, None, :] - points[None, :, :]
+    return -np.sum(diff * diff, axis=2), points
+
+
+class TestClustering:
+    def test_recovers_three_blobs(self):
+        similarities, _ = _blob_similarities()
+        result = AffinityPropagation(seed=1).fit(similarities)
+        assert result.n_clusters == 3
+        # All points of one blob share a label.
+        labels = result.labels
+        for start in (0, 8, 16):
+            assert len(set(labels[start : start + 8])) == 1
+
+    def test_labels_point_to_exemplars(self):
+        similarities, _ = _blob_similarities(seed=3)
+        result = AffinityPropagation(seed=1).fit(similarities)
+        assert set(result.labels) == set(range(result.n_clusters))
+        for index, exemplar in enumerate(result.exemplars):
+            assert result.labels[exemplar] == index
+
+    def test_low_preference_fewer_clusters(self):
+        similarities, _ = _blob_similarities(seed=5)
+        few = AffinityPropagation(preference=-5000.0, seed=1).fit(
+            similarities
+        )
+        many = AffinityPropagation(preference=-1.0, seed=1).fit(
+            similarities
+        )
+        assert few.n_clusters <= many.n_clusters
+
+    def test_deterministic_for_fixed_seed(self):
+        similarities, _ = _blob_similarities(seed=7)
+        a = AffinityPropagation(seed=4).fit(similarities)
+        b = AffinityPropagation(seed=4).fit(similarities)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestEdgeCases:
+    def test_empty_input(self):
+        result = AffinityPropagation().fit(np.zeros((0, 0)))
+        assert result.n_clusters == 0
+        assert result.converged
+
+    def test_single_item(self):
+        result = AffinityPropagation().fit(np.zeros((1, 1)))
+        assert result.n_clusters == 1
+        assert result.labels[0] == 0
+
+    def test_two_identical_items_one_cluster(self):
+        similarities = np.array([[0.0, -0.001], [-0.001, 0.0]])
+        result = AffinityPropagation(seed=2).fit(similarities)
+        assert result.n_clusters in (1, 2)
+        assert len(result.labels) == 2
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            AffinityPropagation().fit(np.zeros((2, 3)))
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(ValueError):
+            AffinityPropagation(damping=0.3)
+        with pytest.raises(ValueError):
+            AffinityPropagation(damping=1.0)
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            AffinityPropagation(max_iterations=0)
+
+    def test_every_point_labelled(self):
+        similarities, _ = _blob_similarities(seed=9, per_blob=5)
+        result = AffinityPropagation(seed=1).fit(similarities)
+        assert len(result.labels) == similarities.shape[0]
+        assert (result.labels >= 0).all()

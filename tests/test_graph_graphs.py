@@ -1,0 +1,101 @@
+"""Tests for the weighted digraph."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graphs import WeightedDigraph
+
+
+class TestConstruction:
+    def test_add_node_idempotent(self):
+        graph = WeightedDigraph()
+        graph.add_node("a")
+        graph.add_node("a")
+        assert graph.number_of_nodes() == 1
+
+    def test_add_edge_creates_nodes(self):
+        graph = WeightedDigraph()
+        graph.add_edge("a", "b", 2.0)
+        assert "a" in graph and "b" in graph
+
+    def test_add_edge_accumulates(self):
+        graph = WeightedDigraph()
+        graph.add_edge("a", "b", 2.0)
+        graph.add_edge("a", "b", 3.0)
+        assert graph.weight("a", "b") == 5.0
+
+    def test_set_edge_replaces(self):
+        graph = WeightedDigraph()
+        graph.add_edge("a", "b", 2.0)
+        graph.set_edge("a", "b", 1.0)
+        assert graph.weight("a", "b") == 1.0
+
+    def test_negative_weight_rejected(self):
+        graph = WeightedDigraph()
+        with pytest.raises(ValueError):
+            graph.add_edge("a", "b", -1.0)
+        with pytest.raises(ValueError):
+            graph.set_edge("a", "b", -1.0)
+
+
+class TestQueries:
+    def _sample(self):
+        graph = WeightedDigraph()
+        graph.add_edge("a", "b", 1.0)
+        graph.add_edge("a", "c", 2.0)
+        graph.add_edge("b", "c", 3.0)
+        return graph
+
+    def test_missing_edge_weight_zero(self):
+        assert self._sample().weight("c", "a") == 0.0
+
+    def test_out_degree(self):
+        assert self._sample().out_degree("a") == 3.0
+        assert self._sample().out_degree("c") == 0.0
+
+    def test_successors_returns_copy(self):
+        graph = self._sample()
+        successors = graph.successors("a")
+        successors["zzz"] = 99.0
+        assert "zzz" not in graph.successors("a")
+
+    def test_edge_iteration(self):
+        edges = set(self._sample().edges())
+        assert ("a", "b", 1.0) in edges
+        assert len(edges) == 3
+
+    def test_counts(self):
+        graph = self._sample()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 3
+        assert len(graph) == 3
+
+
+class TestAdjacency:
+    def test_matrix_layout(self):
+        graph = WeightedDigraph()
+        graph.add_edge("a", "b", 2.0)
+        matrix, order = graph.to_adjacency()
+        i, j = order.index("a"), order.index("b")
+        assert matrix[i, j] == 2.0
+        assert matrix[j, i] == 0.0
+
+    def test_explicit_order(self):
+        graph = WeightedDigraph()
+        graph.add_edge("a", "b", 1.0)
+        matrix, order = graph.to_adjacency(order=["b", "a"])
+        assert order == ["b", "a"]
+        assert matrix[1, 0] == 1.0
+
+    def test_empty_graph(self):
+        matrix, order = WeightedDigraph().to_adjacency()
+        assert matrix.shape == (0, 0)
+        assert order == []
+
+    def test_isolated_node_row_zero(self):
+        graph = WeightedDigraph()
+        graph.add_edge("a", "b", 1.0)
+        graph.add_node("c")
+        matrix, order = graph.to_adjacency()
+        c = order.index("c")
+        assert np.all(matrix[c] == 0)

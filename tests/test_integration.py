@@ -1,0 +1,122 @@
+"""End-to-end integration tests crossing module boundaries.
+
+These tests exercise the claims of the paper on a small synthetic
+instance: the full raw-articles -> timeline path, the relative quality
+ordering of the ablation variants, the speed gap against the submodular
+framework, and the search-engine-backed real-time flow.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines.submodular import tls_constraints
+from repro.core.pipeline import Wilson, WilsonConfig
+from repro.core.variants import wilson_full, wilson_uniform
+from repro.evaluation.date_metrics import date_f1
+from repro.evaluation.timeline_rouge import agreement_rouge, concat_rouge
+from repro.search.realtime import RealTimeTimelineSystem
+from repro.tlsdata.synthetic import SyntheticConfig, SyntheticCorpusGenerator
+
+
+@pytest.fixture(scope="module")
+def medium_instance():
+    config = SyntheticConfig(
+        topic="integration",
+        theme="conflict",
+        seed=42,
+        duration_days=120,
+        num_events=24,
+        num_major_events=12,
+        num_articles=120,
+        sentences_per_article=14,
+    )
+    return SyntheticCorpusGenerator(config).generate()
+
+
+@pytest.fixture(scope="module")
+def medium_pool(medium_instance):
+    return medium_instance.corpus.dated_sentences()
+
+
+class TestEndToEnd:
+    def test_raw_articles_to_timeline(self, medium_instance):
+        wilson = Wilson(WilsonConfig(num_dates=10, sentences_per_date=2))
+        timeline = wilson.summarize_corpus(medium_instance.corpus)
+        assert 5 <= len(timeline) <= 10
+        assert timeline.num_sentences() >= 5
+        corpus_texts = set()
+        for article in medium_instance.corpus.articles:
+            corpus_texts.update(article.split_sentences())
+        for sentence in timeline.all_sentences():
+            assert sentence in corpus_texts
+
+    def test_better_date_selection_better_rouge(
+        self, medium_instance, medium_pool
+    ):
+        """The paper's core claim: accurate date selection drives quality."""
+        T = medium_instance.target_num_dates
+        N = medium_instance.target_sentences_per_date
+        reference = medium_instance.reference
+
+        full = wilson_full(T, N).summarize(
+            medium_pool, query=medium_instance.corpus.query
+        )
+        uniform = wilson_uniform(T, N).summarize(
+            medium_pool, query=medium_instance.corpus.query
+        )
+
+        full_f1 = date_f1(full.dates, reference.dates)
+        uniform_f1 = date_f1(uniform.dates, reference.dates)
+        assert full_f1 > uniform_f1
+
+        full_agreement = agreement_rouge(full, reference, 2).f1
+        uniform_agreement = agreement_rouge(uniform, reference, 2).f1
+        assert full_agreement > uniform_agreement
+
+    def test_wilson_faster_than_submodular(self, medium_instance, medium_pool):
+        """Figure 2's claim at small scale: WILSON wins on wall time."""
+        T = medium_instance.target_num_dates
+        N = medium_instance.target_sentences_per_date
+
+        start = time.perf_counter()
+        wilson_full(T, N).summarize(medium_pool)
+        wilson_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        tls_constraints().generate(medium_pool, T, N)
+        submodular_seconds = time.perf_counter() - start
+
+        assert wilson_seconds < submodular_seconds
+
+    def test_wilson_competitive_with_submodular_on_quality(
+        self, medium_instance, medium_pool
+    ):
+        T = medium_instance.target_num_dates
+        N = medium_instance.target_sentences_per_date
+        reference = medium_instance.reference
+        wilson = wilson_full(T, N).summarize(medium_pool)
+        submodular = tls_constraints().generate(medium_pool, T, N)
+        wilson_r2 = concat_rouge(wilson, reference, 2).f1
+        submodular_r2 = concat_rouge(submodular, reference, 2).f1
+        assert wilson_r2 >= submodular_r2 * 0.9
+
+    def test_realtime_query_subsecond(self, medium_instance):
+        system = RealTimeTimelineSystem()
+        system.ingest(medium_instance.corpus.articles)
+        start, end = medium_instance.corpus.window
+        response = system.generate_timeline(
+            medium_instance.corpus.query, start, end,
+            num_dates=10, num_sentences=1,
+        )
+        assert len(response.timeline) >= 3
+        # "generate timelines by event keywords in seconds" (Section 5);
+        # at this corpus scale it is far below one second.
+        assert response.total_seconds < 5.0
+
+    def test_pipeline_deterministic_end_to_end(self, medium_instance):
+        wilson_a = Wilson(WilsonConfig(num_dates=8, sentences_per_date=1))
+        wilson_b = Wilson(WilsonConfig(num_dates=8, sentences_per_date=1))
+        assert wilson_a.summarize_corpus(
+            medium_instance.corpus
+        ) == wilson_b.summarize_corpus(medium_instance.corpus)

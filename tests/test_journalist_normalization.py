@@ -1,0 +1,89 @@
+"""Tests for the journalist panel's per-evaluation component scaling."""
+
+import pytest
+
+from repro.evaluation.journalist import JournalistPanel
+from repro.tlsdata.types import Timeline
+from tests.conftest import d
+
+
+def _reference():
+    return Timeline(
+        {
+            d("2020-01-01"): [
+                "Rebels seized the stronghold outside the northern city."
+            ],
+            d("2020-02-01"): [
+                "The ceasefire collapsed near the border after artillery."
+            ],
+        }
+    )
+
+
+def _content_match_wrong_dates():
+    """High content fidelity, zero date coverage."""
+    return Timeline(
+        {
+            d("2020-05-05"): [
+                "Rebels seized the stronghold outside the northern city."
+            ],
+            d("2020-06-06"): [
+                "The ceasefire collapsed near the border after artillery."
+            ],
+        }
+    )
+
+
+def _date_match_wrong_content():
+    """Perfect dates, unrelated content."""
+    return Timeline(
+        {
+            d("2020-01-01"): ["Completely unrelated market news today."],
+            d("2020-02-01"): ["Weather stayed mild across the region."],
+        }
+    )
+
+
+class TestComponents:
+    def test_component_keys(self):
+        panel = JournalistPanel()
+        parts = panel.components(_reference(), _reference())
+        assert set(parts) == {"content", "coverage", "readability"}
+        assert parts["content"] == pytest.approx(1.0)
+        assert parts["coverage"] == pytest.approx(1.0)
+
+
+class TestNormalization:
+    def test_scale_mismatch_does_not_drown_content(self):
+        """A tiny absolute ROUGE edge must still outrank a coverage edge
+        when content carries most of the rubric weight."""
+        panel = JournalistPanel(seed=3)
+        ranks = panel.rank(
+            {
+                "content": _content_match_wrong_dates(),
+                "dates": _date_match_wrong_content(),
+            },
+            _reference(),
+        )
+        assert ranks["content"] == 1
+
+    def test_normalized_scores_bounded(self):
+        panel = JournalistPanel()
+        scores = panel._normalized_scores(
+            {
+                "a": _content_match_wrong_dates(),
+                "b": _date_match_wrong_content(),
+                "c": _reference(),
+            },
+            _reference(),
+        )
+        for value in scores.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_identical_candidates_tie_at_half(self):
+        panel = JournalistPanel()
+        scores = panel._normalized_scores(
+            {"a": _reference(), "b": _reference()}, _reference()
+        )
+        assert scores["a"] == pytest.approx(scores["b"])
+        assert scores["a"] == pytest.approx(0.5)

@@ -1,0 +1,398 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import datetime
+import string
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.date_selection import DateSelector, uniformity
+from repro.evaluation.date_metrics import date_coverage, date_f1
+from repro.evaluation.rouge import (
+    rouge_n,
+    rouge_s_star,
+    skip_bigram_counts,
+)
+from repro.evaluation.significance import approximate_randomization_test
+from repro.graph.pagerank import pagerank_matrix
+from repro.rank.mmr import mmr_rerank
+from repro.search.index import InvertedIndex
+from repro.text.bm25 import BM25
+from repro.text.stem import stem_token
+from repro.text.tokenize import sentence_split, tokenize
+from repro.tlsdata.types import Timeline
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10)
+token_lists = st.lists(words, min_size=0, max_size=20)
+dates = st.dates(
+    min_value=datetime.date(2000, 1, 1),
+    max_value=datetime.date(2030, 12, 31),
+)
+
+
+class TestPageRankProperties:
+    @given(st.integers(min_value=1, max_value=12), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_distribution_properties(self, n, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((n, n)) * (rng.random((n, n)) < 0.5)
+        np.fill_diagonal(matrix, 0.0)
+        scores = pagerank_matrix(matrix)
+        assert scores.shape == (n,)
+        assert (scores >= 0).all()
+        assert scores.sum() == pytest.approx(1.0)
+
+
+class TestBM25Properties:
+    @given(st.lists(token_lists, min_size=1, max_size=8), token_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_scores_non_negative(self, corpus, query):
+        bm25 = BM25(corpus)
+        assert (bm25.scores(query) >= 0).all()
+
+    @given(st.lists(token_lists, min_size=2, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_adding_query_terms_never_decreases_score(self, corpus):
+        bm25 = BM25(corpus)
+        base_query = corpus[0][:2]
+        extended = base_query + corpus[1][:2]
+        for index in range(len(corpus)):
+            assert bm25.score(extended, index) >= bm25.score(
+                base_query, index
+            ) - 1e-12
+
+
+class TestRougeProperties:
+    @given(token_lists, token_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_f1_bounded_and_symmetric_swap(self, a, b):
+        sys_text = " ".join(a)
+        ref_text = " ".join(b)
+        forward = rouge_n(sys_text, ref_text, 1,
+                          stem=False, drop_stopwords=False)
+        backward = rouge_n(ref_text, sys_text, 1,
+                           stem=False, drop_stopwords=False)
+        assert 0.0 <= forward.f1 <= 1.0
+        # Swapping system and reference swaps precision and recall.
+        assert forward.precision == pytest.approx(backward.recall)
+        assert forward.f1 == pytest.approx(backward.f1)
+
+    @given(token_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_self_similarity_perfect(self, tokens):
+        text = " ".join(tokens)
+        if not tokens:
+            return
+        assert rouge_n(text, text, 1, stem=False,
+                       drop_stopwords=False).f1 == pytest.approx(1.0)
+
+    @given(st.lists(words, min_size=2, max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_skip_bigram_count_quadratic(self, tokens):
+        counts = skip_bigram_counts(tokens)
+        n = len(tokens)
+        assert sum(counts.values()) == n * (n - 1) // 2
+
+    @given(token_lists, token_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_s_star_bounded(self, a, b):
+        score = rouge_s_star(" ".join(a), " ".join(b),
+                             stem=False, drop_stopwords=False)
+        assert 0.0 <= score.f1 <= 1.0
+
+
+class TestStemProperties:
+    @given(words)
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic_lower_nonempty(self, word):
+        stemmed = stem_token(word)
+        assert stemmed
+        assert stemmed == stemmed.lower()
+        assert stem_token(word) == stemmed
+
+    @given(words)
+    @settings(max_examples=100, deadline=None)
+    def test_never_longer_than_input_plus_one(self, word):
+        # Porter steps can append at most one 'e' after truncation.
+        assert len(stem_token(word)) <= len(word) + 1
+
+
+class TestTokenizeProperties:
+    @given(st.text(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_tokens_have_no_whitespace(self, text):
+        for token in tokenize(text):
+            assert not any(c.isspace() for c in token)
+
+    @given(st.text(alphabet=string.printable, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_sentence_split_preserves_content(self, text):
+        pieces = sentence_split(text)
+        # No characters invented: every piece appears in the source
+        # (modulo whitespace normalisation).
+        normalized = " ".join(text.split())
+        for piece in pieces:
+            assert piece in normalized
+
+
+class TestDateMetricProperties:
+    @given(st.lists(dates, min_size=1, max_size=15),
+           st.lists(dates, min_size=1, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_f1_bounded(self, selected, reference):
+        assert 0.0 <= date_f1(selected, reference) <= 1.0
+
+    @given(st.lists(dates, min_size=1, max_size=15),
+           st.lists(dates, min_size=1, max_size=15),
+           st.integers(0, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_coverage_monotone_in_tolerance(
+        self, selected, reference, tolerance
+    ):
+        tight = date_coverage(selected, reference, tolerance)
+        loose = date_coverage(selected, reference, tolerance + 2)
+        assert loose >= tight
+
+    @given(st.lists(dates, min_size=0, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_uniformity_non_negative(self, selection):
+        assert uniformity(selection) >= 0.0
+
+    @given(st.lists(dates, min_size=2, max_size=10, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_recency_personalization_normalised(self, selection):
+        weights = DateSelector.recency_personalization(selection, 0.9)
+        assert max(weights.values()) == pytest.approx(1.0)
+        # Very long windows underflow old dates to 0.0, which is a
+        # valid restart distribution as long as some mass remains.
+        assert all(0.0 <= w <= 1.0 for w in weights.values())
+
+
+class TestMmrProperties:
+    @given(
+        st.lists(
+            st.dictionaries(st.integers(0, 5),
+                            st.floats(0.01, 1.0), max_size=4),
+            min_size=1, max_size=8,
+        ),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_selection_is_unique_subset(self, vectors, limit):
+        relevance = [float(len(v)) for v in vectors]
+        order = mmr_rerank(vectors, relevance, limit=limit)
+        assert len(order) == min(limit, len(vectors))
+        assert len(set(order)) == len(order)
+        assert all(0 <= i < len(vectors) for i in order)
+
+
+class TestTimelineProperties:
+    @given(
+        st.dictionaries(
+            dates,
+            st.lists(words, min_size=1, max_size=4),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_dict_roundtrip(self, entries):
+        timeline = Timeline(entries)
+        assert Timeline.from_dict(timeline.to_dict()) == timeline
+
+    @given(
+        st.dictionaries(
+            dates,
+            st.lists(words, min_size=1, max_size=4),
+            min_size=1, max_size=8,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_dates_sorted_and_counts_consistent(self, entries):
+        timeline = Timeline(entries)
+        assert timeline.dates == sorted(timeline.dates)
+        assert timeline.num_sentences() == len(timeline.all_sentences())
+
+
+class TestIndexProperties:
+    @given(st.lists(st.tuples(token_lists, dates), min_size=1, max_size=15))
+    @settings(max_examples=30, deadline=None)
+    def test_document_frequency_bounded(self, docs):
+        index = InvertedIndex()
+        for tokens, date in docs:
+            index.add(" ".join(tokens), date, date)
+        assert index.num_documents == len(docs)
+        for tokens, _ in docs:
+            for token in tokens:
+                assert index.document_frequency(token) <= len(docs)
+
+
+class TestSignificanceProperties:
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=2, max_size=12),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_p_value_valid(self, scores, seed):
+        result = approximate_randomization_test(
+            scores, list(reversed(scores)), num_shuffles=50, seed=seed
+        )
+        assert 0.0 < result.p_value <= 1.0
+
+
+class TestKMeansProperties:
+    @given(
+        st.integers(1, 5),
+        st.integers(2, 30),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_labels_valid_and_deterministic(self, k, n, seed):
+        from repro.graph.kmeans import KMeans
+
+        rng = np.random.default_rng(seed)
+        points = rng.random((n, 3))
+        first = KMeans(num_clusters=k, seed=seed).fit(points)
+        second = KMeans(num_clusters=k, seed=seed).fit(points)
+        assert first.labels.shape == (n,)
+        assert (first.labels >= 0).all()
+        assert (first.labels < min(k, n)).all()
+        assert np.array_equal(first.labels, second.labels)
+        assert first.inertia >= 0.0
+
+
+class TestCompressionProperties:
+    @given(
+        st.lists(
+            st.text(alphabet=string.ascii_letters + " ,.",
+                    min_size=1, max_size=80),
+            min_size=1, max_size=5,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_compression_only_deletes(self, sentences):
+        from repro.text.compress import compress_sentence
+
+        for sentence in sentences:
+            compressed = compress_sentence(sentence)
+            source = sentence.lower().replace(",", " ").replace(
+                ".", " "
+            ).split()
+            for word in compressed.lower().replace(",", " ").replace(
+                ".", " "
+            ).split():
+                assert word in source
+
+    @given(st.text(alphabet=string.printable, max_size=160))
+    @settings(max_examples=50, deadline=None)
+    def test_compression_never_longer(self, sentence):
+        from repro.text.compress import compress_sentence
+
+        assert len(compress_sentence(sentence)) <= len(sentence) + 1
+
+
+class TestSubmodularProperties:
+    @given(st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_selection_within_budget_and_pool(self, seed):
+        import datetime as _dt
+
+        from repro.baselines.submodular import tls_constraints
+        from repro.tlsdata.types import DatedSentence
+
+        rng = np.random.default_rng(seed)
+        vocab = ["alpha", "beta", "gamma", "delta", "sigma", "omega"]
+        pool = []
+        for i in range(20):
+            words = " ".join(
+                rng.choice(vocab, size=4, replace=True).tolist()
+            )
+            date = _dt.date(2020, 1, 1) + _dt.timedelta(
+                days=int(rng.integers(0, 10))
+            )
+            pool.append(DatedSentence(date, f"{words} {i}.", date))
+        timeline = tls_constraints().generate(pool, 3, 2)
+        assert len(timeline) <= 3
+        texts = {s.text for s in pool}
+        for sentence in timeline.all_sentences():
+            assert sentence in texts
+
+
+class TestPostprocessProperties:
+    @given(
+        st.lists(
+            st.lists(words, min_size=1, max_size=6),
+            min_size=1,
+            max_size=6,
+        ),
+        st.integers(1, 4),
+        st.floats(0.1, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_assembly_invariants(self, day_token_lists, n, threshold):
+        """Algorithm 1's loop terminates and respects every budget."""
+        import datetime as _dt
+
+        from repro.core.daily import RankedDay
+        from repro.core.postprocess import assemble_timeline
+
+        days = []
+        for index, tokens in enumerate(day_token_lists):
+            sentences = [
+                f"{token} marker{index} filler{j}"
+                for j, token in enumerate(tokens)
+            ]
+            days.append(
+                RankedDay(
+                    _dt.date(2020, 1, 1) + _dt.timedelta(days=index),
+                    sentences,
+                )
+            )
+        all_candidates = {
+            sentence for day in days for sentence in day.sentences
+        }
+        timeline = assemble_timeline(
+            days, n, redundancy_threshold=threshold
+        )
+        for date in timeline.dates:
+            summary = timeline.summary(date)
+            assert len(summary) <= n
+            assert len(summary) == len(set(summary))
+            for sentence in summary:
+                assert sentence in all_candidates
+
+
+class TestRecencyGridProperties:
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_selection_subset_of_candidates(self, seed):
+        """Date selection returns existing dates, sorted, within budget."""
+        import datetime as _dt
+        import random as _random
+
+        from repro.core.date_selection import DateSelector
+        from repro.tlsdata.types import DatedSentence
+
+        rng = _random.Random(seed)
+        pool = []
+        base = _dt.date(2020, 1, 1)
+        for _ in range(40):
+            pub = base + _dt.timedelta(days=rng.randrange(60))
+            pool.append(
+                DatedSentence(pub, f"pub {rng.random()}.", pub)
+            )
+            if rng.random() < 0.5:
+                mentioned = base + _dt.timedelta(days=rng.randrange(60))
+                pool.append(
+                    DatedSentence(
+                        mentioned, f"ref {rng.random()}.", pub,
+                        is_reference=True,
+                    )
+                )
+        budget = rng.randint(1, 10)
+        selected = DateSelector().select(pool, budget)
+        candidates = {s.date for s in pool}
+        assert len(selected) <= budget
+        assert selected == sorted(selected)
+        assert set(selected) <= candidates

@@ -1,0 +1,86 @@
+"""Tests for the query-biased daily summarisation extension."""
+
+import pytest
+
+from repro.core.daily import DailySummarizer
+from repro.core.pipeline import Wilson, WilsonConfig
+from repro.rank.textrank import textrank_bm25
+from tests.conftest import d
+
+SENTENCES = [
+    "The ceasefire collapsed near the border after artillery fire.",
+    "Artillery fire broke the ceasefire along the border region.",
+    "The vaccine rollout reached rural clinics this week, officials said.",
+    "Clinics received new vaccine shipments for the rollout campaign.",
+]
+
+
+class TestTextrankQueryBias:
+    def test_zero_bias_matches_plain(self):
+        plain = textrank_bm25(SENTENCES)
+        biased = textrank_bm25(
+            SENTENCES, query=("vaccine",), query_bias=0.0
+        )
+        assert plain == biased
+
+    def test_bias_lifts_query_relevant_cluster(self):
+        strong = textrank_bm25(
+            SENTENCES, query=("vaccine", "clinics"), query_bias=0.9
+        )
+        # With a strong vaccine bias the top sentence is a vaccine one.
+        assert strong[0] in (2, 3)
+
+    def test_bias_without_query_is_plain(self):
+        assert textrank_bm25(SENTENCES, query=(), query_bias=0.9) == (
+            textrank_bm25(SENTENCES)
+        )
+
+    def test_oov_query_falls_back_to_uniform(self):
+        order = textrank_bm25(
+            SENTENCES, query=("zzzz",), query_bias=0.9
+        )
+        assert sorted(order) == list(range(len(SENTENCES)))
+
+    def test_invalid_bias_rejected(self):
+        with pytest.raises(ValueError):
+            textrank_bm25(SENTENCES, query=("x",), query_bias=1.5)
+
+
+class TestDailySummarizerBias:
+    def test_rank_day_accepts_query(self):
+        summarizer = DailySummarizer(query_bias=0.8)
+        ranked = summarizer.rank_day(
+            d("2020-01-01"), SENTENCES, query=("vaccine",)
+        )
+        assert ranked.sentences[0] in (SENTENCES[2], SENTENCES[3])
+
+    def test_default_bias_ignores_query(self):
+        plain = DailySummarizer().rank_day(d("2020-01-01"), SENTENCES)
+        with_query = DailySummarizer().rank_day(
+            d("2020-01-01"), SENTENCES, query=("vaccine",)
+        )
+        assert plain.sentences == with_query.sentences
+
+
+class TestPipelineBias:
+    def test_config_plumbs_through(self, tiny_pool, tiny_instance):
+        biased = Wilson(
+            WilsonConfig(num_dates=5, sentences_per_date=1,
+                         query_bias=0.5)
+        )
+        timeline = biased.summarize(
+            tiny_pool, query=tiny_instance.corpus.query
+        )
+        assert 1 <= len(timeline) <= 5
+
+    def test_bias_changes_selection_somewhere(self, tiny_pool, tiny_instance):
+        plain = Wilson(
+            WilsonConfig(num_dates=8, sentences_per_date=2)
+        ).summarize(tiny_pool, query=tiny_instance.corpus.query)
+        biased = Wilson(
+            WilsonConfig(num_dates=8, sentences_per_date=2,
+                         query_bias=0.9)
+        ).summarize(tiny_pool, query=tiny_instance.corpus.query)
+        assert plain.dates == biased.dates  # date stage unaffected
+        # Sentence stage may (and in practice does) differ somewhere.
+        assert plain != biased or plain.num_sentences() == 0

@@ -1,0 +1,47 @@
+"""Tests for MMR re-ranking."""
+
+import pytest
+
+from repro.rank.mmr import mmr_rerank
+
+VECTORS = [
+    {0: 1.0},          # topic A
+    {0: 0.99, 1: 0.1},  # near-duplicate of 0
+    {2: 1.0},          # topic B
+    {3: 1.0},          # topic C
+]
+RELEVANCE = [1.0, 0.95, 0.8, 0.6]
+
+
+class TestMmrRerank:
+    def test_limit_respected(self):
+        assert len(mmr_rerank(VECTORS, RELEVANCE, limit=2)) == 2
+
+    def test_pure_relevance_when_lambda_one(self):
+        order = mmr_rerank(VECTORS, RELEVANCE, limit=4, trade_off=1.0)
+        assert order == [0, 1, 2, 3]
+
+    def test_diversity_pushes_duplicate_down(self):
+        order = mmr_rerank(VECTORS, RELEVANCE, limit=3, trade_off=0.5)
+        assert order[0] == 0
+        # The near-duplicate of item 0 must not be picked second.
+        assert order[1] != 1
+
+    def test_limit_larger_than_pool(self):
+        order = mmr_rerank(VECTORS, RELEVANCE, limit=10)
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_empty_pool(self):
+        assert mmr_rerank([], [], limit=3) == []
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            mmr_rerank(VECTORS, [1.0], limit=2)
+
+    def test_bad_trade_off_rejected(self):
+        with pytest.raises(ValueError):
+            mmr_rerank(VECTORS, RELEVANCE, limit=2, trade_off=1.5)
+
+    def test_no_repeats(self):
+        order = mmr_rerank(VECTORS, RELEVANCE, limit=4, trade_off=0.3)
+        assert len(set(order)) == len(order)

@@ -1,0 +1,69 @@
+"""Tests for TextRank sentence ranking."""
+
+import numpy as np
+import pytest
+
+from repro.rank.textrank import textrank_bm25, textrank_scores
+
+
+class TestTextrankScores:
+    def test_scores_sum_to_one(self):
+        similarity = np.array(
+            [[0.0, 0.5, 0.2], [0.5, 0.0, 0.1], [0.2, 0.1, 0.0]]
+        )
+        scores = textrank_scores(similarity)
+        assert scores.sum() == pytest.approx(1.0)
+
+    def test_diagonal_ignored(self):
+        with_diag = np.array([[9.0, 1.0], [1.0, 9.0]])
+        without = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert np.allclose(
+            textrank_scores(with_diag), textrank_scores(without)
+        )
+
+    def test_negative_similarities_clipped(self):
+        similarity = np.array([[0.0, -0.5], [1.0, 0.0]])
+        scores = textrank_scores(similarity)
+        assert (scores >= 0).all()
+
+    def test_central_sentence_wins(self):
+        # Sentence 0 is similar to everyone; 1..3 only to 0.
+        n = 4
+        similarity = np.zeros((n, n))
+        similarity[0, 1:] = 1.0
+        similarity[1:, 0] = 1.0
+        scores = textrank_scores(similarity)
+        assert scores[0] == max(scores)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            textrank_scores(np.zeros((2, 3)))
+
+
+class TestTextrankBm25:
+    SENTENCES = [
+        "The ceasefire collapsed near the border after artillery fire.",
+        "Artillery fire broke the ceasefire along the border.",
+        "The ceasefire collapse was confirmed by border officials.",
+        "Completely unrelated sports results were announced.",
+    ]
+
+    def test_empty_input(self):
+        assert textrank_bm25([]) == []
+
+    def test_single_sentence(self):
+        assert textrank_bm25(["Only one."]) == [0]
+
+    def test_returns_permutation(self):
+        order = textrank_bm25(self.SENTENCES)
+        assert sorted(order) == list(range(len(self.SENTENCES)))
+
+    def test_central_theme_ranked_above_outlier(self):
+        order = textrank_bm25(self.SENTENCES)
+        # The unrelated sentence must rank last.
+        assert order[-1] == 3
+
+    def test_deterministic(self):
+        assert textrank_bm25(self.SENTENCES) == textrank_bm25(
+            self.SENTENCES
+        )

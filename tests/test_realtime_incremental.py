@@ -1,0 +1,87 @@
+"""Deeper tests of the real-time system's incremental behaviour.
+
+Section 5 claims newly published articles can be folded into the running
+system without a rebuild; these tests pin that contract down, including
+consistency of BM25 statistics after interleaved ingestion and querying.
+"""
+
+import datetime
+
+from repro.search.engine import SearchEngine
+from repro.search.query import SearchQuery
+from repro.tlsdata.types import Article
+from tests.conftest import d
+
+
+def _article(i: int, day: int, text: str) -> Article:
+    return Article(
+        article_id=f"inc-{i}",
+        publication_date=d("2021-01-01") + datetime.timedelta(days=day),
+        text=text,
+    )
+
+
+class TestIncrementalIngestion:
+    def test_query_between_ingestions(self):
+        engine = SearchEngine()
+        engine.add_article(
+            _article(0, 0, "The ceasefire collapsed near the border.")
+        )
+        first = engine.search(SearchQuery(keywords=("ceasefire",)))
+        assert len(first) == 1
+
+        engine.add_article(
+            _article(1, 3, "A new ceasefire was announced by mediators.")
+        )
+        second = engine.search(SearchQuery(keywords=("ceasefire",)))
+        assert len(second) == 2
+
+    def test_statistics_update_with_ingestion(self):
+        engine = SearchEngine()
+        engine.add_article(_article(0, 0, "Short note."))
+        before = engine.index.average_length
+        engine.add_article(
+            _article(
+                1, 1,
+                "A very much longer report containing numerous "
+                "additional informative and descriptive words overall.",
+            )
+        )
+        assert engine.index.average_length > before
+
+    def test_idf_shifts_as_term_becomes_common(self):
+        """A term's ranking power must fall as it floods the corpus."""
+        engine = SearchEngine()
+        engine.add_article(
+            _article(0, 0, "The ceasefire collapsed near the border.")
+        )
+        engine.add_article(
+            _article(1, 0, "Markets rallied on stimulus hopes.")
+        )
+        rare_hits = engine.search(SearchQuery(keywords=("ceasefire",)))
+        rare_score = rare_hits[0].score
+        for i in range(2, 8):
+            engine.add_article(
+                _article(i, 1, "Another ceasefire statement was issued.")
+            )
+        common_hits = engine.search(
+            SearchQuery(keywords=("ceasefire",))
+        )
+        best_common = max(h.score for h in common_hits)
+        assert best_common < rare_score
+
+    def test_date_window_sees_new_dates(self):
+        engine = SearchEngine()
+        engine.add_article(
+            _article(0, 0, "The ceasefire collapsed near the border.")
+        )
+        window = SearchQuery(
+            keywords=("ceasefire",),
+            start=d("2021-01-05"),
+            end=d("2021-01-20"),
+        )
+        assert engine.search(window) == []
+        engine.add_article(
+            _article(1, 9, "The ceasefire was restored after talks.")
+        )
+        assert len(engine.search(window)) == 1

@@ -1,0 +1,85 @@
+"""Tests for the inverted index."""
+
+import pytest
+
+from repro.search.index import InvertedIndex
+from tests.conftest import d
+
+
+@pytest.fixture()
+def index():
+    idx = InvertedIndex()
+    idx.add("The ceasefire collapsed near the border.",
+            d("2020-01-01"), d("2020-01-01"), "a1")
+    idx.add("Rebels seized the stronghold.",
+            d("2020-01-05"), d("2020-01-05"), "a2")
+    idx.add("The ceasefire was restored after talks.",
+            d("2020-01-09"), d("2020-01-09"), "a3")
+    return idx
+
+
+class TestWrites:
+    def test_doc_ids_sequential(self):
+        idx = InvertedIndex()
+        assert idx.add("one.", d("2020-01-01"), d("2020-01-01")) == 0
+        assert idx.add("two.", d("2020-01-02"), d("2020-01-02")) == 1
+
+    def test_incremental_statistics(self, index):
+        before = index.num_documents
+        avgdl_before = index.average_length
+        index.add(
+            "A very fresh and unusually detailed development occurred "
+            "in the disputed region overnight.",
+            d("2020-02-01"), d("2020-02-01"),
+        )
+        assert index.num_documents == before + 1
+        assert index.average_length != avgdl_before
+
+
+class TestReads:
+    def test_document_roundtrip(self, index):
+        doc = index.document(1)
+        assert doc.text == "Rebels seized the stronghold."
+        assert doc.date == d("2020-01-05")
+
+    def test_document_frequency(self, index):
+        # "ceasefire" stems to itself; appears in docs 0 and 2.
+        assert index.document_frequency("ceasefir") == 2
+        assert index.document_frequency("zzz") == 0
+
+    def test_postings_are_copies(self, index):
+        postings = index.postings("ceasefir")
+        postings[999] = 1
+        assert 999 not in index.postings("ceasefir")
+
+    def test_dates_sorted(self, index):
+        assert index.dates() == [
+            d("2020-01-01"), d("2020-01-05"), d("2020-01-09"),
+        ]
+
+    def test_doc_ids_in_range(self, index):
+        ids = list(index.doc_ids_in_range(d("2020-01-02"), d("2020-01-08")))
+        assert ids == [1]
+
+    def test_doc_ids_open_ranges(self, index):
+        assert list(index.doc_ids_in_range(None, None)) == [0, 1, 2]
+        assert list(index.doc_ids_in_range(d("2020-01-05"), None)) == [1, 2]
+        assert list(index.doc_ids_in_range(None, d("2020-01-05"))) == [0, 1]
+
+    def test_documents_on(self, index):
+        docs = index.documents_on(d("2020-01-05"))
+        assert len(docs) == 1
+        assert docs[0].article_id == "a2"
+        assert index.documents_on(d("2021-01-01")) == []
+
+    def test_vocabulary_size_positive(self, index):
+        assert index.vocabulary_size() > 0
+
+    def test_len_and_repr(self, index):
+        assert len(index) == 3
+        assert "documents=3" in repr(index)
+
+    def test_empty_index(self):
+        idx = InvertedIndex()
+        assert idx.average_length == 0.0
+        assert idx.dates() == []

@@ -1,0 +1,96 @@
+"""Tests for BM25-ranked, date-filtered search queries."""
+
+import pytest
+
+from repro.search.index import InvertedIndex
+from repro.search.query import SearchQuery, execute
+from tests.conftest import d
+
+
+@pytest.fixture()
+def index():
+    idx = InvertedIndex()
+    idx.add("The ceasefire collapsed near the border.",
+            d("2020-01-01"), d("2020-01-01"))
+    idx.add("Rebels seized the stronghold outside the city.",
+            d("2020-01-05"), d("2020-01-05"))
+    idx.add("The ceasefire ceasefire was heavily discussed.",
+            d("2020-01-09"), d("2020-01-09"))
+    idx.add("Sports results were announced.",
+            d("2020-01-09"), d("2020-01-09"))
+    return idx
+
+
+class TestSearchQuery:
+    def test_validation_limit(self):
+        with pytest.raises(ValueError):
+            SearchQuery(keywords=("x",), limit=0)
+
+    def test_validation_window(self):
+        with pytest.raises(ValueError):
+            SearchQuery(
+                keywords=("x",),
+                start=d("2020-02-01"),
+                end=d("2020-01-01"),
+            )
+
+
+class TestExecute:
+    def test_relevance_ordering(self, index):
+        hits = execute(index, SearchQuery(keywords=("ceasefire",)))
+        assert len(hits) == 2
+        assert hits[0].score >= hits[1].score
+
+    def test_date_filter(self, index):
+        hits = execute(
+            index,
+            SearchQuery(
+                keywords=("ceasefire",),
+                start=d("2020-01-05"),
+                end=d("2020-01-31"),
+            ),
+        )
+        assert len(hits) == 1
+        assert hits[0].document.date == d("2020-01-09")
+
+    def test_empty_window(self, index):
+        hits = execute(
+            index,
+            SearchQuery(
+                keywords=("ceasefire",),
+                start=d("2021-01-01"),
+                end=d("2021-02-01"),
+            ),
+        )
+        assert hits == []
+
+    def test_limit(self, index):
+        hits = execute(
+            index, SearchQuery(keywords=("the",), limit=1)
+        )
+        assert len(hits) <= 1
+
+    def test_oov_query(self, index):
+        assert execute(index, SearchQuery(keywords=("qqqq",))) == []
+
+    def test_stopword_only_query(self, index):
+        assert execute(index, SearchQuery(keywords=("the", "was"))) == []
+
+    def test_multi_keyword_union(self, index):
+        hits = execute(
+            index, SearchQuery(keywords=("ceasefire", "rebels"))
+        )
+        texts = {h.document.text for h in hits}
+        assert any("Rebels" in t for t in texts)
+        assert any("ceasefire" in t for t in texts)
+
+    def test_empty_index(self):
+        assert execute(InvertedIndex(),
+                       SearchQuery(keywords=("x",))) == []
+
+    def test_phrase_keywords_tokenised(self, index):
+        hits = execute(
+            index, SearchQuery(keywords=("ceasefire collapsed",))
+        )
+        assert hits
+        assert "collapsed" in hits[0].document.text

@@ -1,0 +1,114 @@
+"""Tests for burst detection over indexed activity."""
+
+import datetime
+
+import pytest
+
+from repro.search.index import InvertedIndex
+from repro.search.trends import Burst, detect_bursts, suggest_query_window
+from tests.conftest import d
+
+
+def _histogram(counts, start="2020-01-01"):
+    origin = d(start)
+    return {
+        origin + datetime.timedelta(days=i): count
+        for i, count in enumerate(counts)
+    }
+
+
+class TestDetectBursts:
+    def test_single_spike(self):
+        histogram = _histogram([1, 1, 1, 20, 1, 1, 1, 1])
+        bursts = detect_bursts(histogram)
+        assert len(bursts) == 1
+        burst = bursts[0]
+        assert burst.peak == d("2020-01-04")
+        assert burst.start == burst.end == d("2020-01-04")
+        assert burst.peak_count == 20
+
+    def test_consecutive_days_merge(self):
+        histogram = _histogram([1, 1, 18, 25, 18, 1, 1, 1, 1, 1])
+        bursts = detect_bursts(histogram, threshold_sigmas=1.0)
+        assert len(bursts) == 1
+        assert bursts[0].start == d("2020-01-03")
+        assert bursts[0].end == d("2020-01-05")
+        assert bursts[0].peak == d("2020-01-04")
+        assert bursts[0].duration_days == 3
+        assert bursts[0].total_count == 61
+
+    def test_two_separate_bursts(self):
+        histogram = _histogram(
+            [1, 20, 1, 1, 1, 1, 1, 22, 1, 1, 1, 1]
+        )
+        bursts = detect_bursts(histogram, threshold_sigmas=1.0)
+        assert len(bursts) == 2
+        assert bursts[0].peak == d("2020-01-02")
+        assert bursts[1].peak == d("2020-01-08")
+
+    def test_flat_histogram_no_bursts(self):
+        histogram = _histogram([3, 3, 3, 3, 3])
+        assert detect_bursts(histogram) == []
+
+    def test_min_count_filters_noise(self):
+        histogram = _histogram([0, 0, 1, 0, 0])
+        assert detect_bursts(histogram, min_count=2) == []
+
+    def test_empty_histogram(self):
+        assert detect_bursts({}) == []
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            detect_bursts(_histogram([1, 2]), threshold_sigmas=-1.0)
+
+    def test_chronological_order(self):
+        histogram = _histogram(
+            [1, 30, 1, 1, 1, 1, 1, 25, 1, 1, 1, 40, 1, 1]
+        )
+        bursts = detect_bursts(histogram, threshold_sigmas=0.5)
+        starts = [b.start for b in bursts]
+        assert starts == sorted(starts)
+
+
+class TestSuggestQueryWindow:
+    def _index_with_spike(self):
+        index = InvertedIndex()
+        for offset in range(20):
+            date = d("2020-01-01") + datetime.timedelta(days=offset)
+            index.add("quiet day filler.", date, date)
+        spike = d("2020-01-10")
+        for i in range(15):
+            index.add(f"burst sentence {i}.", spike, spike)
+        return index
+
+    def test_window_spans_burst_with_padding(self):
+        index = self._index_with_spike()
+        window = suggest_query_window(index, padding_days=2)
+        assert window is not None
+        start, end = window
+        assert start == d("2020-01-08")
+        assert end == d("2020-01-12")
+
+    def test_padding_clamped_to_observed_range(self):
+        index = InvertedIndex()
+        spike = d("2020-01-02")
+        index.add("quiet.", d("2020-01-01"), d("2020-01-01"))
+        index.add("quiet.", d("2020-01-03"), d("2020-01-03"))
+        for i in range(10):
+            index.add(f"burst {i}.", spike, spike)
+        window = suggest_query_window(
+            index, padding_days=30, threshold_sigmas=1.0
+        )
+        start, end = window
+        assert start == d("2020-01-01")
+        assert end == d("2020-01-03")
+
+    def test_no_bursts_returns_none(self):
+        index = InvertedIndex()
+        for offset in range(5):
+            date = d("2020-01-01") + datetime.timedelta(days=offset)
+            index.add("steady coverage.", date, date)
+        assert suggest_query_window(index) is None
+
+    def test_empty_index(self):
+        assert suggest_query_window(InvertedIndex()) is None

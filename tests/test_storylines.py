@@ -1,0 +1,139 @@
+"""Tests for storyline separation and the k-means substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph.kmeans import KMeans
+from repro.tlsdata.storylines import StorylineSeparator
+from repro.tlsdata.synthetic import SyntheticConfig, SyntheticCorpusGenerator
+
+
+class TestKMeans:
+    def _blobs(self, seed=0, per=10, k=3):
+        rng = np.random.default_rng(seed)
+        points = []
+        for i in range(k):
+            center = np.array([8.0 * i, -8.0 * i])
+            points.append(center + 0.4 * rng.standard_normal((per, 2)))
+        return np.vstack(points)
+
+    def test_recovers_blobs(self):
+        points = self._blobs()
+        result = KMeans(num_clusters=3, seed=1).fit(points)
+        assert len(set(result.labels.tolist())) == 3
+        for start in (0, 10, 20):
+            assert len(set(result.labels[start : start + 10])) == 1
+
+    def test_deterministic(self):
+        points = self._blobs(seed=3)
+        a = KMeans(num_clusters=3, seed=5).fit(points)
+        b = KMeans(num_clusters=3, seed=5).fit(points)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_k_capped_at_points(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = KMeans(num_clusters=5).fit(points)
+        assert result.centers.shape[0] == 2
+
+    def test_empty_input(self):
+        result = KMeans(num_clusters=2).fit(np.zeros((0, 3)))
+        assert result.labels.shape == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMeans(num_clusters=0)
+        with pytest.raises(ValueError):
+            KMeans(num_clusters=2).fit(np.zeros(5))
+
+    def test_inertia_decreases_with_k(self):
+        points = self._blobs(seed=9)
+        one = KMeans(num_clusters=1, seed=1).fit(points)
+        three = KMeans(num_clusters=3, seed=1).fit(points)
+        assert three.inertia < one.inertia
+
+
+@pytest.fixture(scope="module")
+def mixed_articles():
+    """Articles of three distinct synthetic topics, shuffled together."""
+    import random
+
+    articles = []
+    truth = {}
+    for seed, theme in ((1, "conflict"), (2, "disease"), (3, "economy")):
+        config = SyntheticConfig(
+            topic=f"mix-{theme}",
+            theme=theme,
+            seed=seed,
+            duration_days=50,
+            num_events=10,
+            num_major_events=5,
+            num_articles=20,
+            sentences_per_article=8,
+        )
+        instance = SyntheticCorpusGenerator(config).generate()
+        for article in instance.corpus.articles:
+            truth[article.article_id] = theme
+            articles.append(article)
+    random.Random("mix").shuffle(articles)
+    return articles, truth
+
+
+class TestStorylineSeparator:
+    def test_empty(self):
+        assert StorylineSeparator().separate([]) == []
+
+    def test_single_article(self, mixed_articles):
+        articles, _ = mixed_articles
+        corpora = StorylineSeparator().separate(articles[:1])
+        assert len(corpora) == 1
+        assert len(corpora[0].articles) == 1
+
+    def test_known_count_recovers_topics(self, mixed_articles):
+        articles, truth = mixed_articles
+        corpora = StorylineSeparator(num_storylines=3, seed=2).separate(
+            articles
+        )
+        assert len(corpora) == 3
+        # Purity: each storyline is dominated by a single true theme.
+        for corpus in corpora:
+            themes = [truth[a.article_id] for a in corpus.articles]
+            dominant = max(set(themes), key=themes.count)
+            assert themes.count(dominant) / len(themes) >= 0.8
+
+    def test_all_articles_kept(self, mixed_articles):
+        articles, _ = mixed_articles
+        corpora = StorylineSeparator(num_storylines=3).separate(articles)
+        assert sum(len(c.articles) for c in corpora) == len(articles)
+
+    def test_articles_sorted_by_date(self, mixed_articles):
+        articles, _ = mixed_articles
+        for corpus in StorylineSeparator(num_storylines=3).separate(
+            articles
+        ):
+            dates = [a.publication_date for a in corpus.articles]
+            assert dates == sorted(dates)
+
+    def test_labels_and_queries_populated(self, mixed_articles):
+        articles, _ = mixed_articles
+        for corpus in StorylineSeparator(num_storylines=3).separate(
+            articles
+        ):
+            assert corpus.topic
+            assert len(corpus.query) >= 1
+
+    def test_auto_count_plausible(self, mixed_articles):
+        articles, _ = mixed_articles
+        corpora = StorylineSeparator(num_storylines=None, seed=2).separate(
+            articles
+        )
+        assert 2 <= len(corpora) <= 12
+
+    def test_separated_corpus_feeds_wilson(self, mixed_articles):
+        from repro.core.pipeline import Wilson, WilsonConfig
+
+        articles, _ = mixed_articles
+        corpus = StorylineSeparator(num_storylines=3).separate(articles)[0]
+        timeline = Wilson(
+            WilsonConfig(num_dates=4, sentences_per_date=1)
+        ).summarize_corpus(corpus)
+        assert 1 <= len(timeline) <= 4

@@ -1,0 +1,183 @@
+"""Tests for the structural signals of the synthetic corpus generator.
+
+These validate the *calibrated* properties DESIGN.md documents: unique
+event codenames, the recurring topic cast, buzz/importance decoupling,
+day-of density decay, background copy, and the publication-only volume
+convention for baselines.
+"""
+
+import statistics
+
+from repro.baselines.base import date_volumes
+from repro.tlsdata.synthetic import (
+    SyntheticConfig,
+    SyntheticCorpusGenerator,
+)
+from repro.tlsdata.types import DatedSentence
+from tests.conftest import d
+
+
+def generator(**overrides):
+    defaults = dict(
+        topic="signal-test",
+        theme="conflict",
+        seed=11,
+        duration_days=80,
+        num_events=16,
+        num_major_events=8,
+        num_articles=60,
+        sentences_per_article=10,
+    )
+    defaults.update(overrides)
+    return SyntheticCorpusGenerator(SyntheticConfig(**defaults))
+
+
+class TestEventStructure:
+    def test_codenames_unique(self):
+        gen = generator()
+        codenames = [e.keywords[0] for e in gen.events]
+        assert len(set(codenames)) == len(codenames)
+
+    def test_codenames_not_theme_nouns(self):
+        from repro.tlsdata import wordbanks
+
+        gen = generator()
+        nouns = set(wordbanks.THEME_NOUNS["conflict"])
+        for event in gen.events:
+            assert event.keywords[0] not in nouns
+
+    def test_recurring_cast(self):
+        gen = generator()
+        actors = {e.actor for e in gen.events}
+        # 16 events share a cast of at most 6 actors.
+        assert len(actors) <= 6
+
+    def test_buzz_decoupled_from_importance(self):
+        gen = generator(num_events=40, duration_days=200,
+                        num_major_events=16)
+        # Buzz must correlate with importance but not be identical:
+        # at least one pair must be rank-inverted.
+        events = sorted(gen.events, key=lambda e: -e.importance)
+        buzz_order = sorted(gen.events, key=lambda e: -e.buzz)
+        assert [e.index for e in events] != [e.index for e in buzz_order]
+
+    def test_event_keywords_avoid_core_vocabulary(self):
+        gen = generator()
+        core = set(gen.core_nouns)
+        for event in gen.events:
+            assert not core & set(event.keywords[1:])
+
+
+class TestReferenceSummaries:
+    def test_reference_mentions_event_keywords(self):
+        gen = generator()
+        instance = gen.generate()
+        by_date = {e.date: e for e in gen.events if e.is_major}
+        for date in instance.reference.dates:
+            event = by_date[date]
+            summary = " ".join(instance.reference.summary(date)).lower()
+            hits = sum(
+                1 for k in event.keywords if k.lower() in summary
+            )
+            assert hits >= 2
+
+    def test_reference_avoids_core_boilerplate(self):
+        gen = generator()
+        instance = gen.generate()
+        text = " ".join(instance.reference.all_sentences()).lower()
+        core_hits = sum(text.count(noun) for noun in gen.core_nouns)
+        # Core nouns may appear incidentally but must not dominate.
+        assert core_hits <= len(instance.reference.dates)
+
+
+class TestCoverageDynamics:
+    def test_density_decays_with_lag(self):
+        """Day-of articles carry more codename mentions than follow-ups."""
+        gen = generator(num_articles=150)
+        instance = gen.generate()
+        code_by_event = {e.index: e.keywords[0].lower() for e in gen.events}
+        event_by_date = {e.date: e for e in gen.events}
+        day_of, followup = [], []
+        for article in instance.corpus.articles:
+            text = " ".join(article.split_sentences()).lower()
+            # Attribute the article to the event with most codename hits.
+            best = max(
+                gen.events,
+                key=lambda e: text.count(code_by_event[e.index]),
+            )
+            density = text.count(code_by_event[best.index])
+            lag = (article.publication_date - best.date).days
+            if lag == 0:
+                day_of.append(density)
+            elif lag >= 2:
+                followup.append(density)
+        if day_of and followup:
+            assert statistics.fmean(day_of) > statistics.fmean(followup)
+
+    def test_background_copy_present(self):
+        gen = generator(num_articles=80)
+        instance = gen.generate()
+        text = " ".join(
+            s for a in instance.corpus.articles
+            for s in a.split_sentences()
+        ).lower()
+        core_hits = sum(text.count(noun) for noun in gen.core_nouns)
+        assert core_hits > 20  # the shared topical core is everywhere
+
+    def test_query_retrieves_event_coverage(self):
+        """Keyword filtering must keep a meaningful event-sentence pool."""
+        from repro.baselines.submodular import keyword_filter
+
+        instance = generator(num_articles=80).generate()
+        pool = instance.corpus.dated_sentences()
+        kept = keyword_filter(pool, instance.corpus.query)
+        assert 0.1 * len(pool) < len(kept) < 0.9 * len(pool)
+        # The filtered pool still contains date references for the graph.
+        assert any(s.is_reference for s in kept)
+
+
+class TestDateVolumes:
+    def test_publication_only_excludes_mentions(self):
+        pool = [
+            DatedSentence(d("2020-01-01"), "pub a.", d("2020-01-01")),
+            DatedSentence(d("2020-01-02"), "mention of the 2nd.",
+                          d("2020-01-05"), is_reference=True),
+            DatedSentence(d("2020-01-02"), "another mention.",
+                          d("2020-01-06"), is_reference=True),
+        ]
+        volumes = dict(date_volumes(pool))
+        assert volumes == {d("2020-01-01"): 1}
+
+    def test_mention_pooled_volumes_optional(self):
+        pool = [
+            DatedSentence(d("2020-01-01"), "pub a.", d("2020-01-01")),
+            DatedSentence(d("2020-01-02"), "mention.", d("2020-01-05"),
+                          is_reference=True),
+        ]
+        volumes = dict(date_volumes(pool, publication_only=False))
+        assert volumes[d("2020-01-02")] == 1
+
+    def test_mention_only_pool_falls_back(self):
+        pool = [
+            DatedSentence(d("2020-01-02"), "mention.", d("2020-01-05"),
+                          is_reference=True),
+        ]
+        volumes = dict(date_volumes(pool))
+        assert volumes  # falls back to the full pool rather than empty
+
+
+class TestThemeInventories:
+    def test_all_themes_have_sixty_unique_nouns(self):
+        from repro.tlsdata import wordbanks
+
+        assert len(wordbanks.THEME_NOUNS) >= 7
+        for theme, nouns in wordbanks.THEME_NOUNS.items():
+            assert len(nouns) == 60, theme
+            assert len(set(nouns)) == 60, theme
+
+    def test_new_themes_generate(self):
+        for theme in ("environment", "technology"):
+            instance = generator(theme=theme, seed=21).generate()
+            assert len(instance.reference) > 0
+            pairs = instance.corpus.dated_sentences()
+            assert any(p.is_reference for p in pairs)

@@ -1,0 +1,188 @@
+"""Tests for temporal expression recognition and normalisation."""
+
+import datetime
+
+import pytest
+
+from repro.temporal.expressions import find_expressions
+
+ANCHOR = datetime.date(2018, 6, 1)  # a Friday
+
+
+def single(sentence, anchor=ANCHOR):
+    expressions = [
+        e for e in find_expressions(sentence, anchor) if e.date is not None
+    ]
+    assert expressions, f"no expression found in: {sentence}"
+    return expressions[0]
+
+
+class TestExplicitDates:
+    def test_iso(self):
+        e = single("The summit takes place on 2018-06-12.")
+        assert e.date == datetime.date(2018, 6, 12)
+        assert e.kind == "iso"
+
+    def test_month_day_year(self):
+        e = single("Trump cancelled the summit on May 24, 2018.")
+        assert e.date == datetime.date(2018, 5, 24)
+
+    def test_month_day_year_abbreviated(self):
+        e = single("It happened on Mar. 8, 2018 in Seoul.")
+        assert e.date == datetime.date(2018, 3, 8)
+
+    def test_day_month_year(self):
+        e = single("The deal was signed 12 June 2018 in Singapore.")
+        assert e.date == datetime.date(2018, 6, 12)
+
+    def test_numeric_us_format(self):
+        e = single("Filed on 6/12/2018 with the court.")
+        assert e.date == datetime.date(2018, 6, 12)
+
+    def test_ordinal_day(self):
+        e = single("Scheduled for June 12th, 2018 at noon.")
+        assert e.date == datetime.date(2018, 6, 12)
+
+    def test_invalid_date_rejected(self):
+        expressions = find_expressions(
+            "A strange note dated February 31, 2018 appeared.", ANCHOR
+        )
+        assert all(e.date is None or e.date.month != 2 or e.date.day != 31
+                   for e in expressions)
+
+
+class TestUnderspecifiedDates:
+    def test_month_day_resolves_to_nearest_year(self):
+        e = single("Talks resume on June 12.")
+        assert e.date == datetime.date(2018, 6, 12)
+
+    def test_month_day_previous_year(self):
+        # Anchored in January, "December 20" means last year.
+        e = single(
+            "The crisis began on December 20.",
+            anchor=datetime.date(2018, 1, 5),
+        )
+        assert e.date == datetime.date(2017, 12, 20)
+
+    def test_no_anchor_gives_none(self):
+        expressions = find_expressions("Talks resume on June 12.", None)
+        assert all(
+            e.date is None for e in expressions if e.kind == "month_day"
+        )
+
+
+class TestRelativeExpressions:
+    def test_today(self):
+        assert single("The deal was signed today.").date == ANCHOR
+
+    def test_yesterday(self):
+        e = single("Fighting erupted yesterday near the border.")
+        assert e.date == ANCHOR - datetime.timedelta(days=1)
+
+    def test_tomorrow(self):
+        e = single("The vote happens tomorrow.")
+        assert e.date == ANCHOR + datetime.timedelta(days=1)
+
+    def test_bare_weekday_nearest(self):
+        # Anchor is Friday 2018-06-01; "on Thursday" -> 2018-05-31.
+        e = single("The committee met on Thursday.")
+        assert e.date == datetime.date(2018, 5, 31)
+
+    def test_last_weekday(self):
+        e = single("He arrived last Friday.")
+        assert e.date == datetime.date(2018, 5, 25)
+
+    def test_next_weekday(self):
+        e = single("They meet next Monday.")
+        assert e.date == datetime.date(2018, 6, 4)
+
+    def test_days_ago(self):
+        e = single("The attack occurred three days ago.")
+        assert e.date == ANCHOR - datetime.timedelta(days=3)
+
+    def test_weeks_ago_numeric(self):
+        e = single("Protests started 2 weeks ago.")
+        assert e.date == ANCHOR - datetime.timedelta(days=14)
+
+
+class TestMultipleAndOverlap:
+    def test_full_date_beats_partial(self):
+        expressions = find_expressions(
+            "It happened on June 12, 2018.", ANCHOR
+        )
+        kinds = [e.kind for e in expressions]
+        assert "month_day_year" in kinds
+        assert "month_day" not in kinds
+
+    def test_multiple_distinct_dates(self):
+        expressions = find_expressions(
+            "Talks began on March 8, 2018 and concluded on June 12, 2018.",
+            ANCHOR,
+        )
+        dates = {e.date for e in expressions}
+        assert datetime.date(2018, 3, 8) in dates
+        assert datetime.date(2018, 6, 12) in dates
+
+    def test_sorted_by_position(self):
+        expressions = find_expressions(
+            "After May 24, 2018 everything changed; by June 1, 2018 it was done.",
+            ANCHOR,
+        )
+        starts = [e.start for e in expressions]
+        assert starts == sorted(starts)
+
+    def test_no_expressions(self):
+        assert find_expressions("Nothing temporal here.", ANCHOR) == []
+
+
+class TestExtendedExpressions:
+    def test_day_range_resolves_to_start(self):
+        e = single("Talks are planned for June 12-15 in Singapore.")
+        assert e.date == datetime.date(2018, 6, 12)
+        assert e.kind == "day_range"
+
+    def test_day_range_en_dash(self):
+        e = single("The exercise runs May 3–7 this year.")
+        assert e.date == datetime.date(2018, 5, 3)
+
+    def test_month_part_early(self):
+        e = single("The offensive began in early June.")
+        assert e.date == datetime.date(2018, 6, 5)
+        assert e.kind == "month_part"
+
+    def test_month_part_mid_with_year(self):
+        e = single("Production resumed in mid-March 2017.")
+        assert e.date == datetime.date(2017, 3, 15)
+
+    def test_month_part_late(self):
+        e = single("Aid arrived in late May.")
+        assert e.date == datetime.date(2018, 5, 25)
+
+    def test_this_morning(self):
+        e = single("The minister resigned this morning.")
+        assert e.date == ANCHOR
+
+    def test_last_week(self):
+        e = single("Violence flared last week across the province.")
+        assert e.date == ANCHOR - datetime.timedelta(days=7)
+        assert e.kind == "relative_period"
+
+    def test_next_month(self):
+        e = single("Elections are expected next month.")
+        assert e.date == ANCHOR + datetime.timedelta(days=30)
+
+    def test_range_beats_partial_date(self):
+        expressions = find_expressions(
+            "Scheduled for June 12-15 at the summit site.", ANCHOR
+        )
+        kinds = [e.kind for e in expressions]
+        assert "day_range" in kinds
+        assert "month_day" not in kinds
+
+    def test_no_anchor_relative_period_unresolved(self):
+        expressions = find_expressions("It happened last week.", None)
+        assert all(
+            e.date is None
+            for e in expressions
+            if e.kind == "relative_period"
+        )

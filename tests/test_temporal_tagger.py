@@ -1,0 +1,113 @@
+"""Tests for the temporal tagger and calendar helpers."""
+
+import datetime
+
+import pytest
+
+from repro.temporal.calendar_utils import (
+    clamp_day,
+    month_number,
+    most_recent_weekday,
+    parse_iso,
+    resolve_year,
+    safe_date,
+)
+from repro.temporal.tagger import TemporalTagger
+
+PUB = datetime.date(2018, 6, 1)
+
+
+class TestCalendarUtils:
+    def test_month_number_full_and_abbrev(self):
+        assert month_number("June") == 6
+        assert month_number("jun") == 6
+        assert month_number("Sept.") == 9
+        assert month_number("notamonth") is None
+
+    def test_safe_date_invalid(self):
+        assert safe_date(2018, 2, 31) is None
+        assert safe_date(2018, 2, 28) == datetime.date(2018, 2, 28)
+
+    def test_clamp_day(self):
+        assert clamp_day(2018, 2, 31) == datetime.date(2018, 2, 28)
+        assert clamp_day(2020, 2, 31) == datetime.date(2020, 2, 29)
+
+    def test_resolve_year_picks_nearest(self):
+        anchor = datetime.date(2018, 1, 10)
+        assert resolve_year(12, 25, anchor) == datetime.date(2017, 12, 25)
+        assert resolve_year(2, 1, anchor) == datetime.date(2018, 2, 1)
+
+    def test_most_recent_weekday_directions(self):
+        friday = datetime.date(2018, 6, 1)
+        assert most_recent_weekday(0, friday, "past") == datetime.date(2018, 5, 28)
+        assert most_recent_weekday(0, friday, "future") == datetime.date(2018, 6, 4)
+        assert most_recent_weekday(3, friday, "nearest") == datetime.date(2018, 5, 31)
+
+    def test_most_recent_weekday_bad_direction(self):
+        with pytest.raises(ValueError):
+            most_recent_weekday(0, PUB, "sideways")
+
+    def test_parse_iso(self):
+        assert parse_iso("2018-06-12") == datetime.date(2018, 6, 12)
+        assert parse_iso("June 12") is None
+
+
+class TestTagSentence:
+    def test_mentioned_dates_extracted(self):
+        tagger = TemporalTagger()
+        tagged = tagger.tag_sentence(
+            "The summit on June 12, 2018 was confirmed.", PUB
+        )
+        assert tagged.mentioned_dates == (datetime.date(2018, 6, 12),)
+        assert tagged.publication_date == PUB
+
+    def test_duplicate_dates_deduplicated(self):
+        tagger = TemporalTagger()
+        tagged = tagger.tag_sentence(
+            "On June 12, 2018 -- yes, June 12, 2018 -- they met.", PUB
+        )
+        assert tagged.mentioned_dates.count(datetime.date(2018, 6, 12)) == 1
+
+    def test_window_filtering(self):
+        tagger = TemporalTagger(
+            window=(datetime.date(2018, 5, 1), datetime.date(2018, 6, 30))
+        )
+        tagged = tagger.tag_sentence(
+            "Events of March 1, 2017 and June 12, 2018 were compared.",
+            PUB,
+        )
+        assert tagged.mentioned_dates == (datetime.date(2018, 6, 12),)
+
+    def test_relative_disabled(self):
+        tagger = TemporalTagger(include_relative=False)
+        tagged = tagger.tag_sentence("It happened yesterday.", PUB)
+        assert tagged.mentioned_dates == ()
+
+    def test_relative_enabled(self):
+        tagger = TemporalTagger()
+        tagged = tagger.tag_sentence("It happened yesterday.", PUB)
+        assert tagged.mentioned_dates == (PUB - datetime.timedelta(days=1),)
+
+    def test_all_dates_puts_publication_first(self):
+        tagger = TemporalTagger()
+        tagged = tagger.tag_sentence(
+            "The summit on June 12, 2018 was confirmed.", PUB
+        )
+        assert tagged.all_dates[0] == PUB
+        assert datetime.date(2018, 6, 12) in tagged.all_dates
+
+    def test_all_dates_dedupes_publication(self):
+        tagger = TemporalTagger()
+        tagged = tagger.tag_sentence(
+            "The decision came today, June 1, 2018.", PUB
+        )
+        assert tagged.all_dates.count(PUB) == 1
+
+    def test_tag_sentences_batch(self):
+        tagger = TemporalTagger()
+        tagged = tagger.tag_sentences(
+            ["First sentence.", "Second on June 12, 2018."], PUB
+        )
+        assert len(tagged) == 2
+        assert tagged[0].mentioned_dates == ()
+        assert tagged[1].mentioned_dates == (datetime.date(2018, 6, 12),)

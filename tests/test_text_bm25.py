@@ -1,0 +1,113 @@
+"""Tests for Okapi BM25."""
+
+import numpy as np
+import pytest
+
+from repro.text.bm25 import BM25, BM25Parameters
+
+CORPUS = [
+    ["ceasefire", "collapse", "border"],
+    ["rebel", "seize", "stronghold", "city"],
+    ["truce", "sign", "talk", "talk"],
+    ["ceasefire", "talk", "resume"],
+]
+
+
+class TestBM25Parameters:
+    def test_defaults_valid(self):
+        params = BM25Parameters()
+        assert params.k1 > 0 and 0 <= params.b <= 1
+
+    def test_rejects_negative_k1(self):
+        with pytest.raises(ValueError):
+            BM25Parameters(k1=-1.0)
+
+    def test_rejects_b_out_of_range(self):
+        with pytest.raises(ValueError):
+            BM25Parameters(b=1.5)
+
+class TestBM25Scoring:
+    def test_matching_doc_scores_positive(self):
+        bm25 = BM25(CORPUS)
+        assert bm25.score(["ceasefire"], 0) > 0
+
+    def test_non_matching_doc_scores_zero(self):
+        bm25 = BM25(CORPUS)
+        assert bm25.score(["ceasefire"], 1) == 0.0
+
+    def test_scores_vector_matches_pointwise(self):
+        bm25 = BM25(CORPUS)
+        query = ["ceasefire", "talk"]
+        vector = bm25.scores(query)
+        for index in range(len(CORPUS)):
+            assert vector[index] == pytest.approx(bm25.score(query, index))
+
+    def test_rare_term_outweighs_common(self):
+        corpus = [
+            ["common", "rare"],
+            ["common"],
+            ["common"],
+            ["common"],
+        ]
+        bm25 = BM25(corpus)
+        assert bm25.idf("rare") > bm25.idf("common")
+
+    def test_term_frequency_monotonicity(self):
+        corpus = [
+            ["talk"],
+            ["talk", "talk"],
+            ["other"],
+        ]
+        bm25 = BM25(corpus)
+        # Same length normalisation difference aside, more occurrences of
+        # the query term cannot reduce the score below a single occurrence
+        # of equal-length docs; compare equal-length docs directly.
+        corpus2 = [["talk", "x"], ["talk", "talk"], ["other", "y"]]
+        bm25 = BM25(corpus2)
+        assert bm25.score(["talk"], 1) > bm25.score(["talk"], 0)
+
+    def test_oov_query_scores_zero_everywhere(self):
+        bm25 = BM25(CORPUS)
+        assert np.all(bm25.scores(["zzz"]) == 0)
+
+    def test_empty_corpus(self):
+        bm25 = BM25([])
+        assert bm25.scores(["talk"]).shape == (0,)
+
+    def test_empty_document(self):
+        bm25 = BM25([["a"], []])
+        assert bm25.score(["a"], 1) == 0.0
+
+    def test_idf_always_positive(self):
+        corpus = [["the", "x"], ["the", "y"], ["the", "z"]]
+        bm25 = BM25(corpus)
+        assert bm25.idf("the") > 0.0
+
+
+class TestPairwiseMatrix:
+    def test_shape_and_zero_diagonal(self):
+        bm25 = BM25(CORPUS)
+        matrix = bm25.pairwise_matrix()
+        assert matrix.shape == (4, 4)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_matrix_nonnegative(self):
+        matrix = BM25(CORPUS).pairwise_matrix()
+        assert np.all(matrix >= 0)
+
+    def test_shared_vocabulary_produces_edges(self):
+        matrix = BM25(CORPUS).pairwise_matrix()
+        # docs 0 and 3 share "ceasefire"; docs 2 and 3 share "talk".
+        assert matrix[0, 3] > 0
+        assert matrix[3, 0] > 0
+        assert matrix[2, 3] > 0
+
+    def test_disjoint_docs_have_no_edge(self):
+        matrix = BM25(CORPUS).pairwise_matrix()
+        assert matrix[0, 1] == 0.0
+
+    def test_asymmetric_in_general(self):
+        # Repeated query terms ("talk" twice in doc 2) make the matrix
+        # asymmetric, which is why WILSON builds a *directed* graph.
+        matrix = BM25(CORPUS).pairwise_matrix()
+        assert matrix[2, 3] != pytest.approx(matrix[3, 2])

@@ -1,0 +1,149 @@
+"""Tests for deletion-based sentence compression."""
+
+import pytest
+
+from repro.text.compress import (
+    MIN_REMAINING_WORDS,
+    compress_sentence,
+    compress_sentences,
+    compress_timeline,
+    compression_ratio,
+)
+from repro.tlsdata.types import Timeline
+from tests.conftest import d
+
+
+class TestCompressSentence:
+    def test_trailing_attribution_removed(self):
+        sentence = (
+            "The ceasefire collapsed near the border, the health "
+            "ministry said."
+        )
+        assert compress_sentence(sentence) == (
+            "The ceasefire collapsed near the border."
+        )
+
+    def test_leading_according_to_removed(self):
+        sentence = (
+            "According to local officials, the evacuation began at dawn "
+            "in the coastal districts."
+        )
+        result = compress_sentence(sentence)
+        assert result.startswith("The evacuation began")
+
+    def test_parenthetical_removed(self):
+        sentence = (
+            "The stronghold (captured twice before) fell to the rebels "
+            "after heavy shelling."
+        )
+        assert "(" not in compress_sentence(sentence)
+
+    def test_filler_clause_removed(self):
+        sentence = (
+            "The offensive was halted, despite international appeals, "
+            "before reaching the river crossing."
+        )
+        result = compress_sentence(sentence)
+        assert "appeals" not in result
+        assert result.endswith("river crossing.")
+
+    def test_only_deletions(self):
+        """Every output word must come from the input (reliability)."""
+        sentence = (
+            "Rebels seized the stronghold outside the city, according "
+            "to local reports, after a night of artillery fire."
+        )
+        result = compress_sentence(sentence)
+        source_words = set(
+            sentence.lower().replace(",", "").replace(".", "").split()
+        )
+        for word in result.lower().replace(",", "").replace(
+            ".", ""
+        ).split():
+            assert word in source_words
+
+    def test_over_compression_guard(self):
+        sentence = "Officials said so."  # compressing would leave nothing
+        assert compress_sentence(sentence) == sentence
+
+    def test_min_remaining_words_constant_sane(self):
+        assert MIN_REMAINING_WORDS >= 3
+
+    def test_terminal_punctuation_preserved(self):
+        sentence = (
+            "The blockade was lifted after negotiations, the port "
+            "authority announced."
+        )
+        assert compress_sentence(sentence).endswith(".")
+
+    def test_capitalisation_restored(self):
+        sentence = (
+            "According to mediators, talks on the prisoner exchange "
+            "resumed in the capital."
+        )
+        result = compress_sentence(sentence)
+        assert result[0].isupper()
+
+    def test_idempotent(self):
+        sentence = (
+            "The ceasefire collapsed near the border, the health "
+            "ministry said."
+        )
+        once = compress_sentence(sentence)
+        assert compress_sentence(once) == once
+
+    def test_plain_sentence_unchanged(self):
+        sentence = "Rebels seized the stronghold outside the city."
+        assert compress_sentence(sentence) == sentence
+
+
+class TestBatchAndTimeline:
+    def test_compress_sentences_order(self):
+        sentences = [
+            "One clear factual sentence stands entirely on its own.",
+            "The levee failed overnight in the eastern district, "
+            "the water board said.",
+        ]
+        result = compress_sentences(sentences)
+        assert len(result) == 2
+        assert "water board" not in result[1]
+
+    def test_compress_timeline_preserves_structure(self):
+        timeline = Timeline(
+            {
+                d("2020-01-01"): [
+                    "The ceasefire collapsed near the border, the "
+                    "health ministry said.",
+                ],
+                d("2020-01-05"): [
+                    "Rebels seized the stronghold outside the city.",
+                ],
+            }
+        )
+        compressed = compress_timeline(timeline)
+        assert compressed.dates == timeline.dates
+        assert compressed.num_sentences() == timeline.num_sentences()
+        assert "ministry" not in compressed.summary(d("2020-01-01"))[0]
+
+    def test_compression_ratio(self):
+        assert compression_ratio("abcdefgh", "abcd") == pytest.approx(0.5)
+        assert compression_ratio("", "") == 1.0
+
+
+class TestPipelineIntegration:
+    def test_wilson_compression_flag(self, tiny_pool, tiny_instance):
+        from repro.core.pipeline import Wilson, WilsonConfig
+
+        plain = Wilson(
+            WilsonConfig(num_dates=6, sentences_per_date=1)
+        ).summarize(tiny_pool, query=tiny_instance.corpus.query)
+        compressed = Wilson(
+            WilsonConfig(num_dates=6, sentences_per_date=1,
+                         compress_summaries=True)
+        ).summarize(tiny_pool, query=tiny_instance.corpus.query)
+        assert compressed.dates == plain.dates
+        plain_chars = sum(len(s) for s in plain.all_sentences())
+        compressed_chars = sum(
+            len(s) for s in compressed.all_sentences()
+        )
+        assert compressed_chars <= plain_chars

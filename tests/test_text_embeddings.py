@@ -1,0 +1,72 @@
+"""Tests for the LSA sentence embeddings (BERT substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.text.embeddings import LsaEmbedder, embed_daily_summaries
+
+TEXTS = [
+    "The ceasefire collapsed near the border after artillery fire.",
+    "Artillery fire broke the ceasefire along the border region.",
+    "The vaccine rollout reached rural clinics this week.",
+    "Clinics received new vaccine shipments for the rollout.",
+    "Stock markets rallied as tariffs were suspended.",
+    "Tariff suspension sent the markets sharply higher.",
+]
+
+
+class TestLsaEmbedder:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            LsaEmbedder(dimensions=0)
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError):
+            LsaEmbedder().transform(["x"])
+
+    def test_shapes(self):
+        embeddings = LsaEmbedder(dimensions=4).fit_transform(TEXTS)
+        assert embeddings.shape == (len(TEXTS), 4)
+
+    def test_rows_unit_norm(self):
+        embeddings = LsaEmbedder(dimensions=4).fit_transform(TEXTS)
+        norms = np.linalg.norm(embeddings, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_same_topic_closer_than_cross_topic(self):
+        embedder = LsaEmbedder(dimensions=4).fit(TEXTS)
+        matrix = embedder.similarity_matrix(TEXTS)
+        # Pairs (0,1), (2,3), (4,5) are same-event paraphrases.
+        same = [matrix[0, 1], matrix[2, 3], matrix[4, 5]]
+        cross = [matrix[0, 2], matrix[0, 4], matrix[2, 4]]
+        assert min(same) > max(cross)
+
+    def test_dimension_reduced_for_tiny_corpus(self):
+        embeddings = LsaEmbedder(dimensions=64).fit_transform(TEXTS[:3])
+        assert embeddings.shape[0] == 3
+        assert embeddings.shape[1] <= 64
+
+    def test_degenerate_single_document(self):
+        embeddings = LsaEmbedder(dimensions=8).fit_transform([TEXTS[0]])
+        assert embeddings.shape[0] == 1
+
+    def test_similarity_bounded(self):
+        embedder = LsaEmbedder(dimensions=4).fit(TEXTS)
+        matrix = embedder.similarity_matrix(TEXTS)
+        assert matrix.max() <= 1.0 + 1e-9
+        assert matrix.min() >= -1.0 - 1e-9
+
+    def test_deterministic(self):
+        a = LsaEmbedder(dimensions=4).fit_transform(TEXTS)
+        b = LsaEmbedder(dimensions=4).fit_transform(TEXTS)
+        assert np.allclose(np.abs(a), np.abs(b))
+
+
+class TestHelper:
+    def test_embed_daily_summaries_empty(self):
+        result = embed_daily_summaries([])
+        assert result.shape[0] == 0
+
+    def test_embed_daily_summaries(self):
+        result = embed_daily_summaries(TEXTS, dimensions=3)
+        assert result.shape == (len(TEXTS), 3)

@@ -1,0 +1,85 @@
+"""Tests for cosine similarity helpers."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.text.similarity import (
+    cosine_similarity,
+    cosine_similarity_matrix,
+    max_similarity_to_set,
+    sparse_cosine,
+)
+
+
+class TestSparseCosine:
+    def test_identical_vectors(self):
+        v = {0: 0.6, 1: 0.8}
+        assert sparse_cosine(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert sparse_cosine({0: 1.0}, {1: 1.0}) == 0.0
+
+    def test_empty_vector(self):
+        assert sparse_cosine({}, {0: 1.0}) == 0.0
+
+    def test_symmetry(self):
+        a = {0: 0.3, 2: 0.9}
+        b = {0: 0.5, 1: 0.5, 2: 0.1}
+        assert sparse_cosine(a, b) == pytest.approx(sparse_cosine(b, a))
+
+    def test_unnormalized_inputs(self):
+        a = {0: 2.0}
+        b = {0: 5.0}
+        assert sparse_cosine(a, b) == pytest.approx(1.0)
+
+
+class TestDenseCosine:
+    def test_known_value(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([1.0, 1.0])
+        assert cosine_similarity(a, b) == pytest.approx(1 / np.sqrt(2))
+
+    def test_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+
+class TestSimilarityMatrix:
+    def test_dense_input(self):
+        matrix = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        result = cosine_similarity_matrix(matrix)
+        assert result.shape == (3, 3)
+        assert np.allclose(np.diag(result), 1.0)
+        assert result[0, 1] == pytest.approx(0.0)
+        assert result[0, 2] == pytest.approx(1 / np.sqrt(2))
+
+    def test_sparse_input_matches_dense(self):
+        dense = np.array([[1.0, 2.0, 0.0], [0.0, 1.0, 3.0]])
+        from_dense = cosine_similarity_matrix(dense)
+        from_sparse = cosine_similarity_matrix(sparse.csr_matrix(dense))
+        assert np.allclose(from_dense, from_sparse)
+
+    def test_zero_rows_yield_zero_similarity(self):
+        matrix = np.array([[1.0, 0.0], [0.0, 0.0]])
+        result = cosine_similarity_matrix(matrix)
+        assert result[1, 0] == 0.0
+        assert result[0, 1] == 0.0
+        assert result[1, 1] == 0.0
+
+    def test_values_clipped_to_unit_interval(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.random((10, 4))
+        result = cosine_similarity_matrix(matrix)
+        assert result.max() <= 1.0
+        assert result.min() >= -1.0
+
+
+class TestMaxSimilarityToSet:
+    def test_empty_set(self):
+        assert max_similarity_to_set({0: 1.0}, []) == 0.0
+
+    def test_picks_maximum(self):
+        vector = {0: 1.0}
+        pool = [{1: 1.0}, {0: 0.5, 1: 0.5}]
+        expected = sparse_cosine(vector, pool[1])
+        assert max_similarity_to_set(vector, pool) == pytest.approx(expected)

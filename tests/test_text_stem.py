@@ -1,0 +1,129 @@
+"""Tests for the Porter stemmer against known reference pairs."""
+
+import pytest
+
+from repro.text.stem import PorterStemmer, stem_token, stem_tokens
+
+# Classic reference pairs from Porter's paper and the standard test
+# vocabulary distributed with the algorithm.
+REFERENCE_PAIRS = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+class TestPorterStemmer:
+    @pytest.mark.parametrize("word,expected", REFERENCE_PAIRS)
+    def test_reference_pair(self, word, expected):
+        assert PorterStemmer().stem(word) == expected
+
+    def test_short_words_untouched(self):
+        stemmer = PorterStemmer()
+        assert stemmer.stem("is") == "is"
+        assert stemmer.stem("a") == "a"
+
+    def test_non_alpha_untouched(self):
+        assert PorterStemmer().stem("2018-06-12") == "2018-06-12"
+
+    def test_lowercases_input(self):
+        assert PorterStemmer().stem("Running") == "run"
+
+    def test_cache_consistency(self):
+        stemmer = PorterStemmer(cache_size=2)
+        first = stemmer.stem("nationalization")
+        # Overflow the cache, then re-ask.
+        stemmer.stem("alpha")
+        stemmer.stem("beta")
+        stemmer.stem("gamma")
+        assert stemmer.stem("nationalization") == first
+
+    def test_idempotent_on_many_stems(self):
+        stemmer = PorterStemmer()
+        for word, stem in REFERENCE_PAIRS[:20]:
+            # Stemming a stem should not oscillate wildly; it must be
+            # deterministic and stable under repetition of the call.
+            assert stemmer.stem(word) == stemmer.stem(word)
+
+
+class TestModuleHelpers:
+    def test_stem_token(self):
+        assert stem_token("running") == "run"
+
+    def test_stem_tokens_order(self):
+        assert stem_tokens(["cats", "ponies"]) == ["cat", "poni"]
+
+    def test_stem_tokens_empty(self):
+        assert stem_tokens([]) == []

@@ -1,0 +1,27 @@
+"""Tests for the stopword inventory."""
+
+from repro.text.stopwords import STOPWORDS, is_stopword, remove_stopwords
+
+
+class TestStopwords:
+    def test_common_function_words_present(self):
+        for word in ("the", "and", "of", "was", "with", "said"):
+            assert word in STOPWORDS
+
+    def test_content_words_absent(self):
+        for word in ("ceasefire", "vaccine", "earthquake", "tariff"):
+            assert word not in STOPWORDS
+
+    def test_is_stopword_case_insensitive(self):
+        assert is_stopword("The")
+        assert is_stopword("AND")
+
+    def test_remove_stopwords_preserves_order(self):
+        tokens = ["the", "rebels", "and", "militia", "advanced"]
+        assert remove_stopwords(tokens) == ["rebels", "militia", "advanced"]
+
+    def test_remove_stopwords_empty(self):
+        assert remove_stopwords([]) == []
+
+    def test_frozen(self):
+        assert isinstance(STOPWORDS, frozenset)

@@ -1,0 +1,101 @@
+"""Tests for the TF-IDF model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.text.tfidf import TfidfModel
+
+CORPUS = [
+    ["ceasefire", "collapse"],
+    ["rebel", "stronghold"],
+    ["ceasefire", "talk"],
+]
+
+
+class TestFitting:
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfModel().transform(["x"])
+
+    def test_is_fitted_flag(self):
+        model = TfidfModel()
+        assert not model.is_fitted
+        model.fit(CORPUS)
+        assert model.is_fitted
+
+    def test_vocabulary_learned(self):
+        model = TfidfModel().fit(CORPUS)
+        assert "ceasefire" in model.vocabulary
+        assert "zzz" not in model.vocabulary
+
+    def test_idf_rarer_terms_weigh_more(self):
+        model = TfidfModel().fit(CORPUS)
+        assert model.idf_of("rebel") > model.idf_of("ceasefire")
+
+    def test_idf_of_oov_is_zero(self):
+        model = TfidfModel().fit(CORPUS)
+        assert model.idf_of("zzz") == 0.0
+
+    def test_idf_formula(self):
+        model = TfidfModel().fit(CORPUS)
+        expected = math.log((1 + 3) / (1 + 2)) + 1.0
+        assert model.idf_of("ceasefire") == pytest.approx(expected)
+
+
+class TestTransform:
+    def test_vectors_l2_normalized(self):
+        model = TfidfModel().fit(CORPUS)
+        vector = model.transform(["ceasefire", "collapse"])
+        norm = math.sqrt(sum(v * v for v in vector.values()))
+        assert norm == pytest.approx(1.0)
+
+    def test_oov_tokens_dropped(self):
+        model = TfidfModel().fit(CORPUS)
+        assert model.transform(["zzz"]) == {}
+
+    def test_empty_document(self):
+        model = TfidfModel().fit(CORPUS)
+        assert model.transform([]) == {}
+
+    def test_transform_many_aligns(self):
+        model = TfidfModel().fit(CORPUS)
+        vectors = model.transform_many(CORPUS)
+        assert len(vectors) == 3
+        assert vectors[0] == model.transform(CORPUS[0])
+
+    def test_sublinear_tf(self):
+        model = TfidfModel(sublinear_tf=True).fit([["a", "a", "b"]])
+        plain = TfidfModel().fit([["a", "a", "b"]])
+        v_sub = model.transform(["a", "a", "b"])
+        v_plain = plain.transform(["a", "a", "b"])
+        a_id = model.vocabulary.get("a")
+        b_id = model.vocabulary.get("b")
+        # Sublinear TF compresses the gap between a (tf=2) and b (tf=1).
+        assert (
+            v_sub[a_id] / v_sub[b_id]
+            < v_plain[a_id] / v_plain[b_id]
+        )
+
+
+class TestMatrix:
+    def test_matrix_shape(self):
+        model = TfidfModel()
+        matrix = model.fit_transform_matrix(CORPUS)
+        assert matrix.shape == (3, len(model.vocabulary))
+
+    def test_matrix_rows_match_dict_vectors(self):
+        model = TfidfModel().fit(CORPUS)
+        matrix = model.transform_matrix(CORPUS).toarray()
+        for row, doc in zip(matrix, CORPUS):
+            vector = model.transform(doc)
+            dense = np.zeros(len(model.vocabulary))
+            for key, value in vector.items():
+                dense[key] = value
+            assert np.allclose(row, dense)
+
+    def test_rows_unit_norm(self):
+        matrix = TfidfModel().fit_transform_matrix(CORPUS)
+        norms = np.sqrt(matrix.multiply(matrix).sum(axis=1)).A.ravel()
+        assert np.allclose(norms, 1.0)

@@ -1,0 +1,126 @@
+"""Tests for word and sentence tokenisation."""
+
+from repro.text.tokenize import (
+    normalize_token,
+    sentence_split,
+    tokenize,
+    tokenize_for_matching,
+    word_count,
+)
+
+
+class TestTokenize:
+    def test_simple_sentence(self):
+        assert tokenize("Trump agrees to meet Kim.") == [
+            "Trump", "agrees", "to", "meet", "Kim", ".",
+        ]
+
+    def test_iso_date_stays_whole(self):
+        assert "2018-06-12" in tokenize("Summit on 2018-06-12 confirmed.")
+
+    def test_numbers_with_separators(self):
+        tokens = tokenize("Over 1,000 people and 3.5 percent")
+        assert "1,000" in tokens
+        assert "3.5" in tokens
+
+    def test_contractions_kept_together(self):
+        assert "won't" in tokenize("It won't happen")
+
+    def test_hyphenated_words(self):
+        assert "北" not in tokenize("North-South summit")
+        assert "North-South" in tokenize("North-South summit")
+
+    def test_punctuation_isolated(self):
+        tokens = tokenize('He said: "never again!"')
+        assert ":" in tokens
+        assert "!" in tokens
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_percentage(self):
+        assert "45%" in tokenize("supported by 45% of voters")
+
+
+class TestNormalizeToken:
+    def test_lowercases(self):
+        assert normalize_token("Trump") == "trump"
+
+    def test_strips_possessive(self):
+        assert normalize_token("Jackson's") == "jackson"
+
+    def test_strips_unicode_possessive(self):
+        assert normalize_token("Jackson’s") == "jackson"
+
+
+class TestTokenizeForMatching:
+    def test_removes_stopwords_and_stems(self):
+        tokens = tokenize_for_matching("The rebels were seizing strongholds")
+        assert "the" not in tokens
+        assert "rebel" in tokens
+        assert "seiz" in tokens  # Porter stem of seizing
+
+    def test_drops_pure_punctuation(self):
+        tokens = tokenize_for_matching("Hello, world!")
+        assert "," not in tokens
+        assert "!" not in tokens
+
+    def test_no_stem_option(self):
+        tokens = tokenize_for_matching(
+            "rebels seizing", stem=False, drop_stopwords=False
+        )
+        assert tokens == ["rebels", "seizing"]
+
+    def test_deterministic(self):
+        text = "Artillery fire struck the garrison at dawn."
+        assert tokenize_for_matching(text) == tokenize_for_matching(text)
+
+
+class TestSentenceSplit:
+    def test_basic_split(self):
+        result = sentence_split("One sentence here. Another one there.")
+        assert result == ["One sentence here.", "Another one there."]
+
+    def test_abbreviation_not_split(self):
+        result = sentence_split("Dr. Murray was at home. Police raided it.")
+        assert result == ["Dr. Murray was at home.", "Police raided it."]
+
+    def test_month_abbreviation(self):
+        result = sentence_split("It happened on Jan. 15 in Cairo. Crowds gathered.")
+        assert len(result) == 2
+        assert result[0].startswith("It happened")
+
+    def test_initials_not_split(self):
+        result = sentence_split("Michael J. Fox spoke. The crowd cheered.")
+        assert result[0] == "Michael J. Fox spoke."
+
+    def test_dotted_acronym(self):
+        result = sentence_split("The U.S. Senate voted. It passed.")
+        assert result == ["The U.S. Senate voted.", "It passed."]
+
+    def test_question_and_exclamation(self):
+        result = sentence_split("Will they meet? Yes! Talks are set.")
+        assert len(result) == 3
+
+    def test_paragraph_breaks(self):
+        result = sentence_split("First paragraph\n\nSecond paragraph")
+        assert result == ["First paragraph", "Second paragraph"]
+
+    def test_quote_after_period(self):
+        result = sentence_split('He said "stop." Then he left.')
+        assert len(result) == 2
+
+    def test_decimal_not_split(self):
+        result = sentence_split("Growth hit 3.5 percent. Markets rallied.")
+        assert result[0] == "Growth hit 3.5 percent."
+
+    def test_empty_text(self):
+        assert sentence_split("") == []
+
+    def test_whitespace_only(self):
+        assert sentence_split("   \n\n   ") == []
+
+
+class TestWordCount:
+    def test_counts_tokens_across_sentences(self):
+        assert word_count(["One two.", "Three."]) == 5

@@ -1,0 +1,50 @@
+"""Tests for the Vocabulary token/id mapping."""
+
+import pytest
+
+from repro.text.vocabulary import Vocabulary
+
+
+class TestVocabulary:
+    def test_add_assigns_sequential_ids(self):
+        vocab = Vocabulary()
+        assert vocab.add("a") == 0
+        assert vocab.add("b") == 1
+
+    def test_add_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("a")
+        assert vocab.add("a") == first
+        assert len(vocab) == 1
+
+    def test_constructor_seeding(self):
+        vocab = Vocabulary(["x", "y", "x"])
+        assert len(vocab) == 2
+        assert vocab.get("x") == 0
+
+    def test_get_oov_returns_none(self):
+        assert Vocabulary().get("missing") is None
+
+    def test_encode_drops_oov(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.encode(["a", "zzz", "b"]) == [0, 1]
+
+    def test_token_roundtrip(self):
+        vocab = Vocabulary(["alpha", "beta"])
+        assert vocab.token(vocab.get("beta")) == "beta"
+
+    def test_token_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            Vocabulary(["a"]).token(5)
+
+    def test_contains_and_iter(self):
+        vocab = Vocabulary(["a", "b"])
+        assert "a" in vocab
+        assert list(vocab) == ["a", "b"]
+
+    def test_add_all(self):
+        vocab = Vocabulary()
+        assert vocab.add_all(["p", "q", "p"]) == [0, 1, 0]
+
+    def test_repr(self):
+        assert "size=2" in repr(Vocabulary(["a", "b"]))

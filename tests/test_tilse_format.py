@@ -1,0 +1,140 @@
+"""Tests for the published timeline17/crisis release-format loader."""
+
+import pytest
+
+from repro.tlsdata.tilse_format import (
+    load_release,
+    load_topic,
+    parse_timeline_file,
+)
+from tests.conftest import d
+
+TIMELINE_ISO = """\
+2009-06-25
+Dr Murray finds Jackson unconscious in the bedroom.
+Paramedics are called to the house.
+--------------------------------
+2009-06-28
+Los Angeles police interview Dr Murray for three hours.
+"""
+
+TIMELINE_NATURAL = """\
+June 25, 2009
+He travels with the singer in an ambulance.
+----
+July 28, 2009
+A computer hard drive and mobile phones are seized.
+"""
+
+
+@pytest.fixture()
+def release_dir(tmp_path):
+    """A miniature release tree with two topics."""
+    topic = tmp_path / "mj"
+    docs = topic / "InputDocs"
+    (docs / "2009-06-25").mkdir(parents=True)
+    (docs / "2009-06-25" / "article1.txt").write_text(
+        "Michael Jackson died at his Los Angeles home on 25 June. "
+        "Paramedics were called to the house.",
+        encoding="utf-8",
+    )
+    (docs / "2009-06-28").mkdir(parents=True)
+    (docs / "2009-06-28" / "article2.txt").write_text(
+        "Police interviewed the doctor for three hours.",
+        encoding="utf-8",
+    )
+    timelines = topic / "timelines"
+    timelines.mkdir()
+    (timelines / "bbc.txt").write_text(TIMELINE_ISO, encoding="utf-8")
+    (timelines / "cnn.txt").write_text(
+        TIMELINE_NATURAL, encoding="utf-8"
+    )
+
+    # Second topic without timelines: contributes no instances.
+    other = tmp_path / "empty_topic"
+    (other / "InputDocs" / "2010-01-01").mkdir(parents=True)
+    (other / "InputDocs" / "2010-01-01" / "a.txt").write_text(
+        "Something happened somewhere.", encoding="utf-8"
+    )
+    (other / "timelines").mkdir()
+    return tmp_path
+
+
+class TestParseTimelineFile:
+    def test_iso_headers(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text(TIMELINE_ISO, encoding="utf-8")
+        timeline = parse_timeline_file(path)
+        assert timeline.dates == [d("2009-06-25"), d("2009-06-28")]
+        assert len(timeline.summary(d("2009-06-25"))) == 2
+
+    def test_natural_headers(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text(TIMELINE_NATURAL, encoding="utf-8")
+        timeline = parse_timeline_file(path)
+        assert timeline.dates == [d("2009-06-25"), d("2009-07-28")]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text(
+            "2009-06-25\n\nOne sentence.\n\n----\n\n", encoding="utf-8"
+        )
+        timeline = parse_timeline_file(path)
+        assert timeline.summary(d("2009-06-25")) == ["One sentence."]
+
+    def test_unparseable_header_block_skipped(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text(
+            "not a date at all\nOrphan sentence.\n----\n"
+            "2009-06-25\nKept sentence.\n",
+            encoding="utf-8",
+        )
+        timeline = parse_timeline_file(path)
+        assert timeline.dates == [d("2009-06-25")]
+        assert timeline.summary(d("2009-06-25")) == ["Kept sentence."]
+
+
+class TestLoadTopic:
+    def test_articles_and_instances(self, release_dir):
+        instances = load_topic(release_dir / "mj")
+        assert len(instances) == 2  # bbc + cnn references
+        names = {instance.name for instance in instances}
+        assert names == {"mj/bbc", "mj/cnn"}
+        corpus = instances[0].corpus
+        assert len(corpus.articles) == 2
+        assert corpus.articles[0].publication_date == d("2009-06-25")
+        # Both instances share one corpus object.
+        assert instances[0].corpus is instances[1].corpus
+
+    def test_topic_without_articles(self, tmp_path):
+        empty = tmp_path / "bare"
+        empty.mkdir()
+        assert load_topic(empty) == []
+
+    def test_default_query_from_topic_name(self, release_dir):
+        instances = load_topic(release_dir / "mj")
+        assert instances[0].corpus.query == ("mj",)
+
+    def test_explicit_query(self, release_dir):
+        instances = load_topic(
+            release_dir / "mj", query=("jackson", "doctor")
+        )
+        assert instances[0].corpus.query == ("jackson", "doctor")
+
+
+class TestLoadRelease:
+    def test_counts(self, release_dir):
+        dataset = load_release(release_dir, name="mini17")
+        assert dataset.name == "mini17"
+        assert len(dataset) == 2
+        assert dataset.topics() == ["mj"]
+
+    def test_loaded_data_feeds_wilson(self, release_dir):
+        from repro.core.pipeline import Wilson, WilsonConfig
+
+        dataset = load_release(release_dir)
+        instance = dataset.instances[0]
+        timeline = Wilson(
+            WilsonConfig(num_dates=2, sentences_per_date=1)
+        ).summarize_corpus(instance.corpus)
+        assert 1 <= len(timeline) <= 2

@@ -1,0 +1,92 @@
+"""Tests for JSONL persistence."""
+
+from repro.tlsdata.loaders import (
+    load_corpus,
+    load_dataset,
+    load_timeline,
+    save_corpus,
+    save_dataset,
+    save_timeline,
+)
+from repro.tlsdata.synthetic import SyntheticConfig, SyntheticCorpusGenerator
+from repro.tlsdata.types import Dataset, Timeline
+from tests.conftest import d
+
+
+def _instance(seed=1):
+    config = SyntheticConfig(
+        topic="io-test",
+        theme="economy",
+        seed=seed,
+        duration_days=40,
+        num_events=8,
+        num_major_events=4,
+        num_articles=12,
+        sentences_per_article=6,
+    )
+    return SyntheticCorpusGenerator(config).generate()
+
+
+class TestTimelineIO:
+    def test_roundtrip(self, tmp_path):
+        timeline = Timeline(
+            {d("2020-01-01"): ["alpha"], d("2020-02-02"): ["beta", "gamma"]}
+        )
+        path = tmp_path / "timeline.json"
+        save_timeline(timeline, path)
+        assert load_timeline(path) == timeline
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "nested" / "deep" / "timeline.json"
+        save_timeline(Timeline({d("2020-01-01"): ["x"]}), path)
+        assert path.exists()
+
+
+class TestCorpusIO:
+    def test_roundtrip(self, tmp_path):
+        corpus = _instance().corpus
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(corpus, path)
+        loaded = load_corpus(path)
+        assert loaded.topic == corpus.topic
+        assert loaded.query == corpus.query
+        assert loaded.window == corpus.window
+        assert len(loaded.articles) == len(corpus.articles)
+        assert loaded.articles[0].text == corpus.articles[0].text
+        assert (
+            loaded.articles[0].publication_date
+            == corpus.articles[0].publication_date
+        )
+
+    def test_sentences_preserved(self, tmp_path):
+        corpus = _instance().corpus
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(corpus, path)
+        loaded = load_corpus(path)
+        assert (
+            loaded.articles[0].split_sentences()
+            == corpus.articles[0].split_sentences()
+        )
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, tmp_path):
+        dataset = Dataset("mini", [_instance(1), _instance(2)])
+        save_dataset(dataset, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert loaded.name == "mini"
+        assert len(loaded) == 2
+        for original, restored in zip(dataset, loaded):
+            assert restored.name == original.name
+            assert restored.reference == original.reference
+            assert len(restored.corpus.articles) == len(
+                original.corpus.articles
+            )
+
+    def test_instance_names_with_slashes(self, tmp_path):
+        instance = _instance()
+        instance.name = "topic/agency0"
+        dataset = Dataset("mini", [instance])
+        save_dataset(dataset, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert loaded.instances[0].name == "topic/agency0"

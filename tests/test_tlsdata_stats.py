@@ -1,0 +1,36 @@
+"""Tests for dataset statistics (Table 4)."""
+
+import pytest
+
+from repro.tlsdata.stats import dataset_statistics
+from repro.tlsdata.synthetic import make_timeline17_like
+from repro.tlsdata.types import Dataset
+
+
+class TestDatasetStatistics:
+    def test_empty_dataset(self):
+        stats = dataset_statistics(Dataset("empty"))
+        assert stats.num_timelines == 0
+        assert stats.avg_docs_per_timeline == 0.0
+
+    def test_timeline17_like_aggregates(self):
+        dataset = make_timeline17_like(scale=0.02, seed=2)
+        stats = dataset_statistics(dataset)
+        assert stats.name == "timeline17"
+        assert stats.num_topics == 9
+        assert stats.num_timelines == 19
+        assert stats.avg_docs_per_timeline >= 30
+        # ~20 sentences per article plus title.
+        assert (
+            stats.avg_sentences_per_timeline
+            > stats.avg_docs_per_timeline * 10
+        )
+        assert stats.avg_duration_days == pytest.approx(242, abs=5)
+
+    def test_as_row_formatting(self):
+        dataset = make_timeline17_like(scale=0.02, seed=2)
+        row = dataset_statistics(dataset).as_row()
+        assert row[0] == "timeline17"
+        assert row[1] == "9"
+        assert row[2] == "19"
+        assert len(row) == 6

@@ -1,0 +1,173 @@
+"""Tests for the synthetic corpus generator."""
+
+import datetime
+
+import pytest
+
+from repro.tlsdata.synthetic import (
+    SyntheticConfig,
+    SyntheticCorpusGenerator,
+    make_crisis_like,
+    make_timeline17_like,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(
+        topic="t",
+        theme="disease",
+        seed=3,
+        duration_days=60,
+        num_events=10,
+        num_major_events=5,
+        num_articles=30,
+        sentences_per_article=8,
+    )
+    defaults.update(overrides)
+    return SyntheticConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_unknown_theme_rejected(self):
+        with pytest.raises(ValueError):
+            small_config(theme="sports")
+
+    def test_too_many_majors_rejected(self):
+        with pytest.raises(ValueError):
+            small_config(num_events=5, num_major_events=6)
+
+    def test_short_duration_rejected(self):
+        with pytest.raises(ValueError):
+            small_config(duration_days=5, num_events=10)
+
+    def test_scaled_floors_articles(self):
+        config = small_config(num_articles=100)
+        assert config.scaled(0.01).num_articles == 30
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            small_config().scaled(0.0)
+
+
+class TestEventStructure:
+    def test_events_sorted_and_distinct(self):
+        generator = SyntheticCorpusGenerator(small_config())
+        dates = [e.date for e in generator.events]
+        assert dates == sorted(dates)
+        assert len(set(dates)) == len(dates)
+
+    def test_major_event_count(self):
+        generator = SyntheticCorpusGenerator(small_config())
+        majors = [e for e in generator.events if e.is_major]
+        assert len(majors) == 5
+
+    def test_majors_more_important_on_average(self):
+        generator = SyntheticCorpusGenerator(small_config())
+        majors = [e.importance for e in generator.events if e.is_major]
+        minors = [e.importance for e in generator.events if not e.is_major]
+        assert min(majors) > max(minors) - 1.0  # majors get +1 boost
+
+    def test_events_shared_across_instances(self):
+        config = small_config()
+        a = SyntheticCorpusGenerator(config, instance_seed=0)
+        b = SyntheticCorpusGenerator(config, instance_seed=1)
+        assert [e.date for e in a.events] == [e.date for e in b.events]
+
+    def test_event_dates_within_window(self):
+        config = small_config()
+        generator = SyntheticCorpusGenerator(config)
+        end = config.start_date + datetime.timedelta(
+            days=config.duration_days - 1
+        )
+        for event in generator.events:
+            assert config.start_date <= event.date <= end
+
+
+class TestGeneratedInstance:
+    def test_article_count_and_window(self):
+        config = small_config()
+        instance = SyntheticCorpusGenerator(config).generate()
+        assert len(instance.corpus.articles) == config.num_articles
+        start, end = instance.corpus.window
+        assert start == config.start_date
+        for article in instance.corpus.articles:
+            assert start <= article.publication_date <= end
+
+    def test_reference_covers_major_events(self):
+        config = small_config()
+        generator = SyntheticCorpusGenerator(config)
+        instance = generator.generate()
+        major_dates = {e.date for e in generator.events if e.is_major}
+        assert set(instance.reference.dates) == major_dates
+
+    def test_deterministic_generation(self):
+        config = small_config()
+        a = SyntheticCorpusGenerator(config, instance_seed=5).generate()
+        b = SyntheticCorpusGenerator(config, instance_seed=5).generate()
+        assert a.reference == b.reference
+        assert [x.text for x in a.corpus.articles] == [
+            x.text for x in b.corpus.articles
+        ]
+
+    def test_different_instance_seeds_differ(self):
+        config = small_config()
+        a = SyntheticCorpusGenerator(config, instance_seed=0).generate()
+        b = SyntheticCorpusGenerator(config, instance_seed=1).generate()
+        assert [x.text for x in a.corpus.articles] != [
+            x.text for x in b.corpus.articles
+        ]
+
+    def test_articles_presplit(self):
+        instance = SyntheticCorpusGenerator(small_config()).generate()
+        article = instance.corpus.articles[0]
+        assert article.sentences is not None
+        assert len(article.sentences) >= 4
+
+    def test_query_nonempty(self):
+        instance = SyntheticCorpusGenerator(small_config()).generate()
+        assert len(instance.corpus.query) >= 3
+
+    def test_date_references_present(self):
+        """Sentences must mention other dates to feed the reference graph."""
+        instance = SyntheticCorpusGenerator(small_config()).generate()
+        pairs = instance.corpus.dated_sentences()
+        references = [p for p in pairs if p.is_reference]
+        assert len(references) > 10
+
+    def test_references_skew_backward(self):
+        """Most date references point to the past (Section 2.2.1's premise)."""
+        instance = SyntheticCorpusGenerator(
+            small_config(num_articles=60)
+        ).generate()
+        pairs = instance.corpus.dated_sentences()
+        backward = sum(
+            1 for p in pairs
+            if p.is_reference and p.date < p.publication_date
+        )
+        forward = sum(
+            1 for p in pairs
+            if p.is_reference and p.date > p.publication_date
+        )
+        assert backward > forward
+
+
+class TestDatasetPresets:
+    def test_timeline17_shape(self):
+        dataset = make_timeline17_like(scale=0.02, seed=1)
+        assert dataset.name == "timeline17"
+        assert len(dataset) == 19
+        assert len(dataset.topics()) == 9
+
+    def test_crisis_shape(self):
+        dataset = make_crisis_like(scale=0.005, seed=1)
+        assert dataset.name == "crisis"
+        assert len(dataset) == 22
+        assert len(dataset.topics()) == 4
+
+    def test_crisis_references_compact(self):
+        dataset = make_crisis_like(scale=0.005, seed=1)
+        avg = sum(
+            inst.reference.average_sentences_per_date()
+            for inst in dataset
+        ) / len(dataset)
+        assert avg < 2.0  # crisis ground truths are ~1 sentence/date

@@ -1,0 +1,186 @@
+"""Tests for the core data types."""
+
+import datetime
+
+import pytest
+
+from repro.tlsdata.types import (
+    Article,
+    Corpus,
+    DatedSentence,
+    Dataset,
+    Timeline,
+    TimelineInstance,
+)
+from tests.conftest import d
+
+
+class TestDatedSentence:
+    def test_reference_gap_days(self):
+        sentence = DatedSentence(
+            date=d("2020-03-01"),
+            text="x",
+            publication_date=d("2020-03-05"),
+        )
+        assert sentence.reference_gap_days == 4
+
+    def test_gap_is_absolute(self):
+        sentence = DatedSentence(
+            date=d("2020-03-10"),
+            text="x",
+            publication_date=d("2020-03-05"),
+        )
+        assert sentence.reference_gap_days == 5
+
+
+class TestArticle:
+    def test_split_uses_provided_sentences(self):
+        article = Article(
+            "a1", d("2020-01-01"), sentences=["One.", "Two."]
+        )
+        assert article.split_sentences() == ["One.", "Two."]
+
+    def test_split_tokenizes_text_with_title(self):
+        article = Article(
+            "a1",
+            d("2020-01-01"),
+            title="Big headline",
+            text="First sentence. Second sentence.",
+        )
+        result = article.split_sentences()
+        assert result[0] == "Big headline"
+        assert len(result) == 3
+
+
+class TestCorpus:
+    def test_window_inferred_from_articles(self):
+        corpus = Corpus(
+            topic="t",
+            articles=[
+                Article("a", d("2020-01-05")),
+                Article("b", d("2020-02-10")),
+            ],
+        )
+        assert corpus.window == (d("2020-01-05"), d("2020-02-10"))
+
+    def test_window_explicit(self):
+        corpus = Corpus(
+            topic="t", start=d("2020-01-01"), end=d("2020-12-31")
+        )
+        assert corpus.window == (d("2020-01-01"), d("2020-12-31"))
+
+    def test_window_empty_raises(self):
+        with pytest.raises(ValueError):
+            Corpus(topic="t").window
+
+    def test_dated_sentences_include_pub_and_mentions(self, small_corpus):
+        pairs = small_corpus.dated_sentences()
+        pub_pairs = [p for p in pairs if not p.is_reference]
+        ref_pairs = [p for p in pairs if p.is_reference]
+        assert pub_pairs and ref_pairs
+        # "yesterday" in article a1 (published 03-02) resolves to 03-01.
+        assert any(p.date == d("2020-03-01") for p in ref_pairs)
+        # "March 1, 2020" in a2 also resolves there.
+        a2_refs = [p for p in ref_pairs if p.article_id == "a2"]
+        assert any(p.date == d("2020-03-01") for p in a2_refs)
+
+    def test_dated_sentences_without_pub_date(self, small_corpus):
+        pairs = small_corpus.dated_sentences(
+            include_publication_date=False
+        )
+        assert all(p.is_reference for p in pairs)
+
+
+class TestTimeline:
+    def test_entries_sorted_and_empty_dropped(self):
+        timeline = Timeline(
+            {
+                d("2020-02-01"): ["b"],
+                d("2020-01-01"): ["a"],
+                d("2020-03-01"): [],
+            }
+        )
+        assert timeline.dates == [d("2020-01-01"), d("2020-02-01")]
+
+    def test_add_keeps_sorted(self):
+        timeline = Timeline()
+        timeline.add(d("2020-02-01"), "b")
+        timeline.add(d("2020-01-01"), "a")
+        assert timeline.dates == [d("2020-01-01"), d("2020-02-01")]
+
+    def test_summary_copy_semantics(self):
+        timeline = Timeline({d("2020-01-01"): ["a"]})
+        timeline.summary(d("2020-01-01")).append("hack")
+        assert timeline.summary(d("2020-01-01")) == ["a"]
+
+    def test_missing_summary_empty(self):
+        assert Timeline().summary(d("2020-01-01")) == []
+
+    def test_counts(self):
+        timeline = Timeline(
+            {d("2020-01-01"): ["a", "b"], d("2020-01-02"): ["c"]}
+        )
+        assert len(timeline) == 2
+        assert timeline.num_sentences() == 3
+        assert timeline.average_sentences_per_date() == pytest.approx(1.5)
+
+    def test_empty_average(self):
+        assert Timeline().average_sentences_per_date() == 0.0
+
+    def test_all_sentences_chronological(self):
+        timeline = Timeline(
+            {d("2020-01-02"): ["late"], d("2020-01-01"): ["early"]}
+        )
+        assert timeline.all_sentences() == ["early", "late"]
+
+    def test_roundtrip_dict(self):
+        timeline = Timeline(
+            {d("2020-01-01"): ["a"], d("2020-01-02"): ["b", "c"]}
+        )
+        assert Timeline.from_dict(timeline.to_dict()) == timeline
+
+    def test_equality(self):
+        a = Timeline({d("2020-01-01"): ["x"]})
+        b = Timeline({d("2020-01-01"): ["x"]})
+        assert a == b
+        assert a != Timeline()
+
+    def test_contains(self):
+        timeline = Timeline({d("2020-01-01"): ["x"]})
+        assert d("2020-01-01") in timeline
+        assert d("2020-01-02") not in timeline
+
+    def test_iteration_yields_copies(self):
+        timeline = Timeline({d("2020-01-01"): ["x"]})
+        for _, sentences in timeline:
+            sentences.append("hack")
+        assert timeline.summary(d("2020-01-01")) == ["x"]
+
+
+class TestInstanceAndDataset:
+    def test_targets(self, simple_timeline, small_corpus):
+        instance = TimelineInstance("i", small_corpus, simple_timeline)
+        assert instance.target_num_dates == 3
+        assert instance.target_sentences_per_date == 1
+
+    def test_target_rounding(self, small_corpus):
+        reference = Timeline(
+            {
+                d("2020-01-01"): ["a", "b", "c"],
+                d("2020-01-02"): ["d", "e"],
+            }
+        )
+        instance = TimelineInstance("i", small_corpus, reference)
+        assert instance.target_sentences_per_date == 2  # round(2.5) banker's
+
+    def test_dataset_topics_deduplicated(self, small_corpus, simple_timeline):
+        dataset = Dataset(
+            "ds",
+            [
+                TimelineInstance("a", small_corpus, simple_timeline),
+                TimelineInstance("b", small_corpus, simple_timeline),
+            ],
+        )
+        assert dataset.topics() == ["border-conflict"]
+        assert len(dataset) == 2
+        assert list(iter(dataset))[0].name == "a"
