@@ -7,11 +7,10 @@ WILSON grows ~linearly, and the gap widens with corpus size -- the basis
 of the paper's "two orders of magnitude" speedup claim.
 """
 
-import time
-
-from common import emit
+from common import emit, emit_stage_breakdown, timed
 from repro.baselines.submodular import asmds, tls_constraints
 from repro.core.variants import wilson_full
+from repro.obs.trace import Tracer
 from repro.tlsdata.synthetic import SyntheticConfig, SyntheticCorpusGenerator
 
 #: Target pool sizes (dated sentences). Quadratic cost keeps the largest
@@ -40,9 +39,8 @@ def _pool_of_size(target: int):
 
 
 def _time_method(method, pool) -> float:
-    start = time.perf_counter()
-    method.generate(pool, NUM_DATES, NUM_SENTENCES)
-    return time.perf_counter() - start
+    _, seconds = timed(method.generate, pool, NUM_DATES, NUM_SENTENCES)
+    return seconds
 
 
 def _runtime_sweep():
@@ -103,3 +101,35 @@ def test_figure2_runtime_curves(benchmark, capsys):
     first_gap = timings["ASMDS"][0] / max(timings["WILSON"][0], 1e-9)
     last_gap = timings["ASMDS"][-1] / max(timings["WILSON"][-1], 1e-9)
     assert last_gap > first_gap
+
+
+def test_figure2_wilson_stage_breakdown(benchmark, capsys):
+    """Where WILSON's time goes at the largest Figure-2 corpus size."""
+    pool = _pool_of_size(SIZES[-1])
+    wilson = wilson_full()
+
+    def traced_run():
+        tracer = Tracer()
+        wilson.summarize(
+            pool, num_dates=NUM_DATES, num_sentences=NUM_SENTENCES,
+            tracer=tracer,
+        )
+        return tracer
+
+    tracer = benchmark.pedantic(traced_run, rounds=1, iterations=1)
+    emit_stage_breakdown(
+        "figure2_stage_breakdown",
+        tracer,
+        title=(
+            f"Figure 2 companion: WILSON per-stage breakdown "
+            f"({SIZES[-1]} sentences)"
+        ),
+        capsys=capsys,
+        notes=["span vocabulary: docs/observability.md"],
+    )
+    # The documented stages account for (nearly) the whole run.
+    for stage in ("date_selection", "daily", "postprocess"):
+        assert tracer.find(stage), stage
+    root = tracer.find("pipeline")[0]
+    covered = sum(child.duration_seconds for child in root.children)
+    assert covered >= 0.9 * root.duration_seconds

@@ -8,7 +8,8 @@ timelines by event keywords in seconds" on a 1M-article corpus in the
 paper.
 """
 
-from common import emit, tagged_timeline17
+from common import emit, emit_stage_breakdown, tagged_timeline17
+from repro.obs.trace import Tracer
 from repro.search.engine import SearchEngine
 from repro.search.realtime import RealTimeTimelineSystem
 
@@ -65,3 +66,30 @@ def test_query_latency(benchmark, capsys):
     )
     assert len(response.timeline) >= 3
     assert response.total_seconds < 2.0
+
+
+def test_query_stage_breakdown(benchmark, capsys):
+    """Per-stage trace of one served query (retrieval vs pipeline stages)."""
+    corpus = _corpus()
+    system = RealTimeTimelineSystem()
+    system.ingest(corpus.articles)
+    start, end = corpus.window
+
+    def traced_serve():
+        tracer = Tracer()
+        system.generate_timeline(
+            corpus.query, start, end, num_dates=10, num_sentences=1,
+            tracer=tracer,
+        )
+        return tracer
+
+    tracer = benchmark.pedantic(traced_serve, rounds=1, iterations=1)
+    emit_stage_breakdown(
+        "realtime_stage_breakdown",
+        tracer,
+        title="Section 5 companion: query serving per-stage breakdown",
+        capsys=capsys,
+        notes=["span vocabulary: docs/observability.md"],
+    )
+    for stage in ("realtime.retrieval", "realtime.generation", "daily"):
+        assert tracer.find(stage), stage

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import os
 import pathlib
-from typing import List, Optional, Sequence
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.experiments.datasets import (
     TaggedDataset,
@@ -25,6 +26,7 @@ from repro.experiments.datasets import (
     standard_timeline17,
 )
 from repro.experiments.tables import format_table
+from repro.obs.trace import Tracer, stage_breakdown
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -71,3 +73,41 @@ def emit(
     with capsys.disabled():
         print(f"\n{table}\n")
     return table
+
+
+def timed(fn: Callable, *args, **kwargs) -> Tuple[object, float]:
+    """Run ``fn(*args, **kwargs)``; return ``(result, seconds)``.
+
+    Always measures with the monotonic ``time.perf_counter`` -- the single
+    sanctioned wall-clock for benchmark durations (docs/observability.md).
+    """
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def emit_stage_breakdown(
+    name: str,
+    tracer: Tracer,
+    title: str,
+    capsys,
+    notes: Optional[List[str]] = None,
+) -> str:
+    """Render + archive a per-stage breakdown table from a traced run.
+
+    Rows follow the span-name contract of docs/observability.md, in
+    execution order, with durations aggregated across repeated spans
+    (e.g. one ``daily.rank_day`` per selected date).
+    """
+    rows = [
+        [span_name, f"{seconds * 1e3:.1f}", f"{percent:.1f}%"]
+        for span_name, seconds, percent in stage_breakdown(tracer)
+    ]
+    return emit(
+        name,
+        ["stage (span)", "total ms", "% of run"],
+        rows,
+        title=title,
+        capsys=capsys,
+        notes=notes,
+    )

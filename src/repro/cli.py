@@ -13,6 +13,11 @@ Subcommands:
   ``timeline17`` / ``crisis`` presets);
 * ``diagnose`` -- per-date breakdown of WILSON's coverage of one
   instance's reference timeline.
+
+``demo``, ``timeline`` and ``serve-query`` accept the shared
+observability flags ``--trace`` (per-stage span tree on stderr) and
+``--trace-json [PATH]`` (the ``wilson.trace/v1`` document; see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from typing import List, Optional
 
 from repro.core.pipeline import Wilson, WilsonConfig
 from repro.experiments.tables import format_table
+from repro.obs.trace import Tracer
 from repro.search.realtime import RealTimeTimelineSystem
 from repro.tlsdata.loaders import load_corpus
 from repro.tlsdata.stats import dataset_statistics
@@ -38,6 +44,45 @@ def _print_timeline(timeline: Timeline) -> None:
             print(f"  - {sentence}")
 
 
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace`` / ``--trace-json`` observability flags."""
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the per-stage span tree to stderr after the run",
+    )
+    parser.add_argument(
+        "--trace-json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="write the wilson.trace/v1 JSON document to PATH "
+             "('-' or no value: stdout); see docs/observability.md",
+    )
+
+
+def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
+    """A tracer when any trace output was requested, else None (no-op)."""
+    if getattr(args, "trace", False) or getattr(args, "trace_json", None):
+        return Tracer()
+    return None
+
+
+def _emit_trace(args: argparse.Namespace, tracer: Optional[Tracer]) -> None:
+    if tracer is None:
+        return
+    if args.trace:
+        print(tracer.render(), file=sys.stderr)
+    if args.trace_json is not None:
+        payload = tracer.to_json()
+        if args.trace_json == "-":
+            print(payload)
+        else:
+            with open(args.trace_json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     dataset = make_timeline17_like(scale=args.scale, seed=args.seed)
     instance = dataset.instances[args.instance]
@@ -47,9 +92,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             sentences_per_date=args.sentences,
         )
     )
-    timeline = wilson.summarize_corpus(instance.corpus)
+    tracer = _make_tracer(args)
+    timeline = wilson.summarize_corpus(instance.corpus, tracer=tracer)
     print(f"# {instance.name}")
     _print_timeline(timeline)
+    _emit_trace(args, tracer)
     return 0
 
 
@@ -81,8 +128,10 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
             sentences_per_date=args.sentences,
         )
     )
-    timeline = wilson.summarize_corpus(corpus)
+    tracer = _make_tracer(args)
+    timeline = wilson.summarize_corpus(corpus, tracer=tracer)
     _print_timeline(timeline)
+    _emit_trace(args, tracer)
     return 0
 
 
@@ -90,12 +139,14 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
     corpus = load_corpus(args.corpus)
     system = RealTimeTimelineSystem()
     system.ingest(corpus.articles)
+    tracer = _make_tracer(args)
     response = system.generate_timeline(
         keywords=args.keywords,
         start=datetime.date.fromisoformat(args.start),
         end=datetime.date.fromisoformat(args.end),
         num_dates=args.dates or 10,
         num_sentences=args.sentences,
+        tracer=tracer,
     )
     print(
         f"# {response.num_candidates} candidate sentences, "
@@ -103,6 +154,7 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
         f"generation {response.generation_seconds:.3f}s"
     )
     _print_timeline(response.timeline)
+    _emit_trace(args, tracer)
     return 0
 
 
@@ -238,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--instance", type=int, default=0)
     demo.add_argument("--dates", type=int, default=None)
     demo.add_argument("--sentences", type=int, default=2)
+    _add_trace_flags(demo)
     demo.set_defaults(func=_cmd_demo)
 
     stats = sub.add_parser("stats", help="print dataset statistics")
@@ -250,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("corpus", help="path to corpus.jsonl")
     timeline.add_argument("--dates", type=int, default=None)
     timeline.add_argument("--sentences", type=int, default=2)
+    _add_trace_flags(timeline)
     timeline.set_defaults(func=_cmd_timeline)
 
     serve = sub.add_parser(
@@ -262,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--end", required=True, help="YYYY-MM-DD")
     serve.add_argument("--dates", type=int, default=10)
     serve.add_argument("--sentences", type=int, default=1)
+    _add_trace_flags(serve)
     serve.set_defaults(func=_cmd_serve_query)
 
     evaluate = sub.add_parser(

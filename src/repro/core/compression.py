@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.daily import DailySummarizer, group_by_date
 from repro.graph.affinity_propagation import AffinityPropagation
+from repro.obs.trace import Tracer, ensure_tracer
 from repro.text.embeddings import LsaEmbedder
 from repro.tlsdata.types import DatedSentence
 
@@ -62,33 +63,44 @@ class DateCountPredictor:
         return digests
 
     def predict(
-        self, dated_sentences: Sequence[DatedSentence]
+        self,
+        dated_sentences: Sequence[DatedSentence],
+        tracer: Optional[Tracer] = None,
     ) -> int:
         """Predicted number of timeline dates (>= 1 for non-empty input)."""
-        count, _ = self.predict_with_clusters(dated_sentences)
+        count, _ = self.predict_with_clusters(dated_sentences, tracer=tracer)
         return count
 
     def predict_with_clusters(
-        self, dated_sentences: Sequence[DatedSentence]
+        self,
+        dated_sentences: Sequence[DatedSentence],
+        tracer: Optional[Tracer] = None,
     ) -> Tuple[int, Dict[datetime.date, int]]:
         """Predicted date count plus the date -> cluster assignment."""
-        digests = self.daily_digests(dated_sentences)
-        dates: List[datetime.date] = list(digests)
-        if not dates:
-            return 0, {}
-        if len(dates) == 1:
-            return 1, {dates[0]: 0}
-        embedder = LsaEmbedder(dimensions=self.embedding_dimensions)
-        similarities = embedder.fit(
-            [digests[d] for d in dates]
-        ).similarity_matrix([digests[d] for d in dates])
-        clustering = AffinityPropagation(
-            damping=self.damping,
-            preference=self.preference,
-            seed=self.seed,
-        ).fit(similarities)
-        assignment = {
-            date: int(label)
-            for date, label in zip(dates, clustering.labels)
-        }
-        return clustering.n_clusters, assignment
+        tracer = ensure_tracer(tracer)
+        with tracer.span("compression.predict"):
+            digests = self.daily_digests(dated_sentences)
+            dates: List[datetime.date] = list(digests)
+            tracer.count("compression.candidate_dates", len(dates))
+            if not dates:
+                return 0, {}
+            if len(dates) == 1:
+                tracer.count("compression.predicted_dates", 1)
+                return 1, {dates[0]: 0}
+            embedder = LsaEmbedder(dimensions=self.embedding_dimensions)
+            similarities = embedder.fit(
+                [digests[d] for d in dates]
+            ).similarity_matrix([digests[d] for d in dates])
+            clustering = AffinityPropagation(
+                damping=self.damping,
+                preference=self.preference,
+                seed=self.seed,
+            ).fit(similarities)
+            assignment = {
+                date: int(label)
+                for date, label in zip(dates, clustering.labels)
+            }
+            tracer.count(
+                "compression.predicted_dates", clustering.n_clusters
+            )
+            return clustering.n_clusters, assignment

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import datetime
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.graph.pagerank import DEFAULT_DAMPING
+from repro.obs.trace import Tracer, ensure_tracer
 from repro.rank.textrank import textrank_bm25
 from repro.text.bm25 import BM25Parameters
 from repro.tlsdata.types import DatedSentence
@@ -96,16 +97,26 @@ class DailySummarizer:
         date: datetime.date,
         sentences: Sequence[str],
         query: Sequence[str] = (),
+        tracer: Optional[Tracer] = None,
     ) -> RankedDay:
         """TextRank one day's sentences; returns them best-first."""
+        tracer = ensure_tracer(tracer)
         pool = list(sentences)[: self.max_sentences_per_day]
-        order = textrank_bm25(
-            pool,
-            damping=self.damping,
-            params=self.bm25_params,
-            query=query,
-            query_bias=self.query_bias,
-        )
+        with tracer.span("daily.rank_day"):
+            tracer.count("daily.sentences_ranked", len(pool))
+            if len(sentences) > len(pool):
+                tracer.count(
+                    "daily.sentences_truncated",
+                    len(sentences) - len(pool),
+                )
+            order = textrank_bm25(
+                pool,
+                damping=self.damping,
+                params=self.bm25_params,
+                query=query,
+                query_bias=self.query_bias,
+                tracer=tracer,
+            )
         return RankedDay(date=date, sentences=[pool[i] for i in order])
 
     def rank_days(
@@ -113,32 +124,48 @@ class DailySummarizer:
         dated_sentences: Sequence[DatedSentence],
         selected_dates: Sequence[datetime.date],
         query: Sequence[str] = (),
+        tracer: Optional[Tracer] = None,
     ) -> List[RankedDay]:
         """Rank every selected date's pool (dates without sentences skipped).
 
         Days are independent sub-tasks; with ``workers > 1`` they are
         ranked concurrently. Output order and content are identical to
-        the sequential path.
+        the sequential path. Tracing: a ``daily`` span wraps the stage
+        with one ``daily.rank_day`` child per day in the sequential path;
+        in the threaded path only the (lock-guarded) counters are
+        recorded, since spans cannot nest across worker threads.
         """
+        tracer = ensure_tracer(tracer)
         grouped = group_by_date(dated_sentences)
         days = [
             (date, grouped[date])
             for date in sorted(selected_dates)
             if grouped.get(date)
         ]
-        if self.workers <= 1 or len(days) <= 1:
-            return [
-                self.rank_day(date, pool, query=query)
-                for date, pool in days
-            ]
-        from concurrent.futures import ThreadPoolExecutor
-
-        with ThreadPoolExecutor(max_workers=self.workers) as executor:
-            return list(
-                executor.map(
-                    lambda item: self.rank_day(
-                        item[0], item[1], query=query
-                    ),
-                    days,
-                )
+        with tracer.span("daily"):
+            tracer.count("daily.days_ranked", len(days))
+            tracer.count(
+                "daily.days_skipped_empty",
+                len(set(selected_dates)) - len(days),
             )
+            if self.workers <= 1 or len(days) <= 1:
+                return [
+                    self.rank_day(date, pool, query=query, tracer=tracer)
+                    for date, pool in days
+                ]
+            from concurrent.futures import ThreadPoolExecutor
+
+            for _, pool in days:
+                tracer.count(
+                    "daily.sentences_ranked",
+                    min(len(pool), self.max_sentences_per_day),
+                )
+            with ThreadPoolExecutor(max_workers=self.workers) as executor:
+                return list(
+                    executor.map(
+                        lambda item: self.rank_day(
+                            item[0], item[1], query=query
+                        ),
+                        days,
+                    )
+                )

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.graph.graphs import WeightedDigraph
 from repro.graph.pagerank import DEFAULT_DAMPING, pagerank
+from repro.obs.trace import Tracer, ensure_tracer
 from repro.text.bm25 import BM25
 from repro.text.tokenize import tokenize_for_matching
 from repro.tlsdata.types import DatedSentence
@@ -216,33 +217,75 @@ class DateSelector:
         dated_sentences: Sequence[DatedSentence],
         num_dates: int,
         query: Sequence[str] = (),
+        tracer: Optional[Tracer] = None,
     ) -> List[datetime.date]:
         """Return the selected dates in chronological order."""
         if num_dates < 1:
             raise ValueError(f"num_dates must be >= 1, got {num_dates}")
-        reference_graph = DateReferenceGraph(dated_sentences, query=query)
-        graph = reference_graph.to_graph(self.edge_weight)
+        tracer = ensure_tracer(tracer)
+        graph = self._build_graph(dated_sentences, query, tracer)
         if graph.number_of_nodes() == 0:
             return []
-        if self.recency_adjustment:
-            dates, _alpha = self._select_with_recency(graph, num_dates)
-            return dates
-        return self._top_dates(pagerank(graph, damping=self.damping),
-                               num_dates)
+        with tracer.span("date_selection.pagerank"):
+            if self.recency_adjustment:
+                dates, _alpha = self._select_with_recency(
+                    graph, num_dates, tracer=tracer
+                )
+                return dates
+            return self._top_dates(
+                pagerank(
+                    graph,
+                    damping=self.damping,
+                    tracer=tracer,
+                    counter_prefix="date_selection.pagerank",
+                ),
+                num_dates,
+            )
 
     def select_with_scores(
         self,
         dated_sentences: Sequence[DatedSentence],
         query: Sequence[str] = (),
+        tracer: Optional[Tracer] = None,
     ) -> Dict[datetime.date, float]:
         """Full PageRank score map over candidate dates (no truncation)."""
-        reference_graph = DateReferenceGraph(dated_sentences, query=query)
-        graph = reference_graph.to_graph(self.edge_weight)
+        tracer = ensure_tracer(tracer)
+        graph = self._build_graph(dated_sentences, query, tracer)
         if graph.number_of_nodes() == 0:
             return {}
-        return pagerank(graph, damping=self.damping)
+        with tracer.span("date_selection.pagerank"):
+            return pagerank(
+                graph,
+                damping=self.damping,
+                tracer=tracer,
+                counter_prefix="date_selection.pagerank",
+            )
 
     # -- internals -----------------------------------------------------------
+
+    def _build_graph(
+        self,
+        dated_sentences: Sequence[DatedSentence],
+        query: Sequence[str],
+        tracer: Tracer,
+    ) -> WeightedDigraph:
+        """Aggregate date references and materialise the weighted digraph."""
+        with tracer.span("date_selection.build_graph"):
+            reference_graph = DateReferenceGraph(
+                dated_sentences, query=query
+            )
+            graph = reference_graph.to_graph(self.edge_weight)
+            tracer.count(
+                "date_selection.graph_nodes", graph.number_of_nodes()
+            )
+            tracer.count(
+                "date_selection.graph_edges", graph.number_of_edges()
+            )
+            tracer.count(
+                "date_selection.reference_pairs",
+                reference_graph.num_references(),
+            )
+        return graph
 
     @staticmethod
     def _top_dates(
@@ -274,7 +317,10 @@ class DateSelector:
         }
 
     def _select_with_recency(
-        self, graph: WeightedDigraph, num_dates: int
+        self,
+        graph: WeightedDigraph,
+        num_dates: int,
+        tracer: Optional[Tracer] = None,
     ) -> Tuple[List[datetime.date], Optional[float]]:
         """Grid-search alpha for the most uniform date selection.
 
@@ -282,13 +328,21 @@ class DateSelector:
         compete; the plain uniform-restart selection is not a fallback.
         Ties prefer the larger alpha (the mildest adjustment).
         """
+        tracer = ensure_tracer(tracer)
         candidates: List[Tuple[float, Optional[float], List[datetime.date]]]
         candidates = []
         nodes = graph.nodes()
+        tracer.count(
+            "date_selection.alpha_candidates", len(self.alpha_grid)
+        )
         for alpha in self.alpha_grid:
             personalization = self.recency_personalization(nodes, alpha)
             scores = pagerank(
-                graph, damping=self.damping, personalization=personalization
+                graph,
+                damping=self.damping,
+                personalization=personalization,
+                tracer=tracer,
+                counter_prefix="date_selection.pagerank",
             )
             selection = self._top_dates(scores, num_dates)
             candidates.append((uniformity(selection), alpha, selection))

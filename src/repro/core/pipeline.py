@@ -33,6 +33,7 @@ from repro.core.postprocess import (
     take_top_sentences,
 )
 from repro.graph.pagerank import DEFAULT_DAMPING
+from repro.obs.trace import Tracer, ensure_tracer
 from repro.temporal.tagger import TemporalTagger
 from repro.text.compress import compress_timeline
 from repro.tlsdata.types import Corpus, DatedSentence, Timeline
@@ -112,20 +113,36 @@ class Wilson:
         dated_sentences: Sequence[DatedSentence],
         num_dates: Optional[int] = None,
         query: Sequence[str] = (),
+        tracer: Optional[Tracer] = None,
     ) -> List[datetime.date]:
-        """Stage 1: choose the timeline's dates."""
+        """Stage 1: choose the timeline's dates.
+
+        With a tracer, the work lands in a ``date_selection`` span --
+        preceded by a ``compression.predict`` span when T has to be
+        predicted (``num_dates=None``, Section 3.2.3).
+        """
+        tracer = ensure_tracer(tracer)
         config = self.config
         if config.fixed_dates is not None:
-            return sorted(config.fixed_dates)
+            with tracer.span("date_selection"):
+                selected = sorted(config.fixed_dates)
+                tracer.count("date_selection.selected_dates", len(selected))
+            return selected
         if num_dates is None:
             num_dates = config.num_dates
         if num_dates is None:
-            num_dates = max(1, self._predictor.predict(dated_sentences))
-        if config.uniform_dates:
-            return self._uniform_dates(dated_sentences, num_dates)
-        return self._selector.select(
-            dated_sentences, num_dates, query=query
-        )
+            num_dates = max(
+                1, self._predictor.predict(dated_sentences, tracer=tracer)
+            )
+        with tracer.span("date_selection"):
+            if config.uniform_dates:
+                selected = self._uniform_dates(dated_sentences, num_dates)
+            else:
+                selected = self._selector.select(
+                    dated_sentences, num_dates, query=query, tracer=tracer
+                )
+            tracer.count("date_selection.selected_dates", len(selected))
+        return selected
 
     @staticmethod
     def _uniform_dates(
@@ -165,31 +182,57 @@ class Wilson:
         num_dates: Optional[int] = None,
         num_sentences: Optional[int] = None,
         query: Sequence[str] = (),
+        tracer: Optional[Tracer] = None,
     ) -> Timeline:
-        """Generate a timeline from pre-tagged dated sentences."""
+        """Generate a timeline from pre-tagged dated sentences.
+
+        Passing a :class:`~repro.obs.trace.Tracer` records the per-stage
+        spans documented in ``docs/observability.md`` (``pipeline`` root
+        with ``date_selection`` / ``daily`` / ``postprocess`` / ...
+        children); without one the run is untraced at no cost.
+        """
+        tracer = ensure_tracer(tracer)
         if not dated_sentences:
             return Timeline()
         config = self.config
         if num_sentences is None:
             num_sentences = config.sentences_per_date
-        selected = self.select_dates(
-            dated_sentences, num_dates=num_dates, query=query
-        )
-        if not selected:
-            return Timeline()
-        ranked_days = self._summarizer.rank_days(
-            dated_sentences, selected, query=query
-        )
-        if config.postprocess:
-            timeline = assemble_timeline(
-                ranked_days,
-                num_sentences,
-                redundancy_threshold=config.redundancy_threshold,
+        with tracer.root_span("pipeline"):
+            tracer.count("pipeline.input_sentences", len(dated_sentences))
+            selected = self.select_dates(
+                dated_sentences,
+                num_dates=num_dates,
+                query=query,
+                tracer=tracer,
             )
-        else:
-            timeline = take_top_sentences(ranked_days, num_sentences)
-        if config.compress_summaries:
-            timeline = compress_timeline(timeline)
+            if not selected:
+                return Timeline()
+            ranked_days = self._summarizer.rank_days(
+                dated_sentences, selected, query=query, tracer=tracer
+            )
+            with tracer.span("postprocess"):
+                if config.postprocess:
+                    timeline = assemble_timeline(
+                        ranked_days,
+                        num_sentences,
+                        redundancy_threshold=config.redundancy_threshold,
+                        tracer=tracer,
+                    )
+                else:
+                    timeline = take_top_sentences(
+                        ranked_days, num_sentences
+                    )
+                tracer.count(
+                    "postprocess.timeline_sentences",
+                    sum(len(sentences) for _, sentences in timeline),
+                )
+            if config.compress_summaries:
+                with tracer.span("compression.summaries"):
+                    timeline = compress_timeline(timeline)
+                    tracer.count(
+                        "compression.sentences_compressed",
+                        sum(len(sentences) for _, sentences in timeline),
+                    )
         return timeline
 
     def summarize_corpus(
@@ -198,12 +241,18 @@ class Wilson:
         num_dates: Optional[int] = None,
         num_sentences: Optional[int] = None,
         tagger: Optional[TemporalTagger] = None,
+        tracer: Optional[Tracer] = None,
     ) -> Timeline:
         """Tokenise + tag *corpus*, then generate its timeline."""
-        dated = corpus.dated_sentences(tagger=tagger)
-        return self.summarize(
-            dated,
-            num_dates=num_dates,
-            num_sentences=num_sentences,
-            query=corpus.query,
-        )
+        tracer = ensure_tracer(tracer)
+        with tracer.root_span("pipeline"):
+            with tracer.span("tagging"):
+                dated = corpus.dated_sentences(tagger=tagger)
+                tracer.count("tagging.dated_sentences", len(dated))
+            return self.summarize(
+                dated,
+                num_dates=num_dates,
+                num_sentences=num_sentences,
+                query=corpus.query,
+                tracer=tracer,
+            )

@@ -11,9 +11,10 @@ or every day's heap is exhausted.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.daily import RankedDay
+from repro.obs.trace import Tracer, ensure_tracer
 from repro.text.similarity import max_similarity_to_set, sparse_cosine
 from repro.text.tfidf import TfidfModel
 from repro.text.tokenize import tokenize_for_matching
@@ -42,6 +43,7 @@ def assemble_timeline(
     ranked_days: Sequence[RankedDay],
     num_sentences: int,
     redundancy_threshold: float = DEFAULT_REDUNDANCY_THRESHOLD,
+    tracer: Optional[Tracer] = None,
 ) -> Timeline:
     """Algorithm 1's batch assembly with cross-date redundancy removal.
 
@@ -55,6 +57,10 @@ def assemble_timeline(
     redundancy_threshold:
         Offers whose maximum cosine similarity against the already accepted
         pool reaches this value are discarded.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; counts
+        ``postprocess.rounds`` / ``postprocess.offers`` /
+        ``postprocess.accepted`` / ``postprocess.rejected_redundant``.
     """
     if num_sentences < 1:
         raise ValueError(f"num_sentences must be >= 1, got {num_sentences}")
@@ -63,6 +69,7 @@ def assemble_timeline(
             "redundancy_threshold must lie in (0, 1], got "
             f"{redundancy_threshold}"
         )
+    tracer = ensure_tracer(tracer)
 
     # TF-IDF space over every candidate sentence of the selected days.
     all_sentences: List[str] = []
@@ -90,6 +97,8 @@ def assemble_timeline(
         offers = [
             (day, day.pop()) for day in ranked_days if day_needs_more(day)
         ]
+        tracer.count("postprocess.rounds")
+        tracer.count("postprocess.offers", len(offers))
         accepted_this_round: List[dict] = []
         for day, sentence in offers:
             vector = vector_of(sentence)
@@ -102,10 +111,12 @@ def assemble_timeline(
                 )
             )
             if redundant:
+                tracer.count("postprocess.rejected_redundant")
                 continue
             selected[day].append(sentence)
             accepted_this_round.append(vector)
         selected_vectors.extend(accepted_this_round)
+        tracer.count("postprocess.accepted", len(accepted_this_round))
 
     timeline = Timeline()
     for day in ranked_days:

@@ -17,6 +17,8 @@ from typing import Dict, Hashable, Mapping, Optional
 import numpy as np
 
 from repro.graph.graphs import WeightedDigraph
+from repro.obs.profile import profiled
+from repro.obs.trace import Tracer, ensure_tracer
 
 Node = Hashable
 
@@ -24,12 +26,15 @@ Node = Hashable
 DEFAULT_DAMPING = 0.85
 
 
+@profiled(name="pagerank_matrix")
 def pagerank_matrix(
     adjacency: np.ndarray,
     damping: float = DEFAULT_DAMPING,
     personalization: Optional[np.ndarray] = None,
     max_iterations: int = 200,
     tolerance: float = 1e-10,
+    tracer: Optional[Tracer] = None,
+    counter_prefix: str = "pagerank",
 ) -> np.ndarray:
     """PageRank over a dense weighted adjacency matrix.
 
@@ -46,11 +51,17 @@ def pagerank_matrix(
     max_iterations, tolerance:
         Power-iteration loop controls; convergence is declared when the L1
         change drops below ``tolerance * n``.
+    tracer, counter_prefix:
+        Optional :class:`~repro.obs.trace.Tracer`; each call counts
+        ``<counter_prefix>_runs`` (1) and ``<counter_prefix>_iterations``
+        (power iterations executed). Callers namespace the prefix, e.g.
+        ``date_selection.pagerank`` -- see docs/observability.md.
 
     Returns
     -------
     A probability vector over the nodes (sums to 1).
     """
+    tracer = ensure_tracer(tracer)
     matrix = np.asarray(adjacency, dtype=np.float64)
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         raise ValueError(f"adjacency must be square, got shape {matrix.shape}")
@@ -60,6 +71,7 @@ def pagerank_matrix(
         raise ValueError(f"damping must lie in (0, 1), got {damping}")
     n = matrix.shape[0]
     if n == 0:
+        tracer.count(f"{counter_prefix}_runs")
         return np.zeros(0, dtype=np.float64)
 
     if personalization is None:
@@ -83,7 +95,9 @@ def pagerank_matrix(
     transition = matrix / safe[:, None]  # row-stochastic except dangling rows
 
     rank = restart.copy()
+    iterations = 0
     for _ in range(max_iterations):
+        iterations += 1
         dangling_mass = rank[dangling].sum()
         new_rank = (
             damping * (rank @ transition)
@@ -94,6 +108,8 @@ def pagerank_matrix(
             rank = new_rank
             break
         rank = new_rank
+    tracer.count(f"{counter_prefix}_runs")
+    tracer.count(f"{counter_prefix}_iterations", iterations)
     return rank / rank.sum()
 
 
@@ -103,6 +119,8 @@ def pagerank(
     personalization: Optional[Mapping[Node, float]] = None,
     max_iterations: int = 200,
     tolerance: float = 1e-10,
+    tracer: Optional[Tracer] = None,
+    counter_prefix: str = "pagerank",
 ) -> Dict[Node, float]:
     """PageRank over a :class:`WeightedDigraph`; returns ``node -> score``."""
     adjacency, order = graph.to_adjacency()
@@ -118,6 +136,8 @@ def pagerank(
         personalization=vector,
         max_iterations=max_iterations,
         tolerance=tolerance,
+        tracer=tracer,
+        counter_prefix=counter_prefix,
     )
     return {node: float(score) for node, score in zip(order, scores)}
 

@@ -1,0 +1,54 @@
+"""Pipeline observability: stage tracing, metrics, profiling hooks.
+
+Three independent, zero-dependency instruments (contract in
+``docs/observability.md``):
+
+* :mod:`repro.obs.trace` -- :class:`Tracer`, hierarchical timed spans with
+  counters; every pipeline stage takes an optional ``tracer=`` and is a
+  no-op without one;
+* :mod:`repro.obs.metrics` -- :class:`Metrics`, a registry of counters /
+  gauges / histograms with percentile summaries, for cross-run service
+  telemetry;
+* :mod:`repro.obs.profile` -- the :func:`profiled` decorator, opt-in
+  latency histograms on hot functions.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics, percentile
+from repro.obs.profile import (
+    active_profiling,
+    disable_profiling,
+    enable_profiling,
+    profiled,
+    profiling,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    SCHEMA_VERSION,
+    NullTracer,
+    Span,
+    Tracer,
+    ensure_tracer,
+    stage_breakdown,
+    validate_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "NULL_TRACER",
+    "NullTracer",
+    "SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "active_profiling",
+    "disable_profiling",
+    "enable_profiling",
+    "ensure_tracer",
+    "percentile",
+    "profiled",
+    "profiling",
+    "stage_breakdown",
+    "validate_trace",
+]

@@ -1,0 +1,187 @@
+"""A tiny process-local metrics registry (counters, gauges, histograms).
+
+Where :mod:`repro.obs.trace` answers *"where did this one run spend its
+time?"*, the :class:`Metrics` registry answers *"what does the
+distribution look like across many runs?"* -- the service-side view for
+the Section 5 real-time system. Zero dependencies, thread-safe, and
+entirely opt-in: nothing in the pipeline records metrics unless a
+registry is installed (see :mod:`repro.obs.profile`).
+
+Usage::
+
+    metrics = Metrics()
+    metrics.counter("queries_served").inc()
+    metrics.gauge("index_sentences").set(123456)
+    metrics.histogram("query_seconds").observe(0.042)
+    print(metrics.snapshot())
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, value: float = 1.0) -> None:
+        """Increase the counter; *value* must be non-negative."""
+        if value < 0:
+            raise ValueError(f"counter increments must be >= 0, got {value}")
+        with self._lock:
+            self._value += value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, index size)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, value: float) -> None:
+        with self._lock:
+            self._value += value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted *sorted_values*.
+
+    ``q`` is in [0, 100]. Matches ``numpy.percentile``'s default (linear)
+    interpolation without importing numpy.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must lie in [0, 100], got {q}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = (len(sorted_values) - 1) * (q / 100.0)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return (
+        sorted_values[lower] * (1.0 - fraction)
+        + sorted_values[upper] * fraction
+    )
+
+
+class Histogram:
+    """Stores raw observations and summarises them with percentiles.
+
+    Observations are kept exactly (no bucketing) -- the registry lives for
+    one process/benchmark run, so memory is bounded by call volume, and
+    exact percentiles are worth more than constant space here.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._observations: List[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._observations.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._observations)
+
+    def summary(self) -> Dict[str, float]:
+        """count / mean / min / max / p50 / p90 / p99 of the observations."""
+        with self._lock:
+            values = sorted(self._observations)
+        if not values:
+            return {"count": 0}
+        return {
+            "count": float(len(values)),
+            "mean": sum(values) / len(values),
+            "min": values[0],
+            "max": values[-1],
+            "p50": percentile(values, 50.0),
+            "p90": percentile(values, 90.0),
+            "p99": percentile(values, 99.0),
+        }
+
+
+class Metrics:
+    """Get-or-create registry of named counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name)
+            return self._histograms[name]
+
+    def snapshot(self) -> dict:
+        """Point-in-time dump: every instrument, JSON-serialisable."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: counter.value for name, counter in sorted(counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(gauges.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable one-line-per-instrument dump."""
+        snap = self.snapshot()
+        lines: List[str] = []
+        for name, value in snap["counters"].items():
+            lines.append(f"counter   {name} = {value:g}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"gauge     {name} = {value:g}")
+        for name, summary in snap["histograms"].items():
+            parts = " ".join(
+                f"{key}={summary[key]:g}"
+                for key in ("count", "mean", "p50", "p90", "p99")
+                if key in summary
+            )
+            lines.append(f"histogram {name} {parts}")
+        return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""The ``@profiled`` hook: opt-in latency histograms for hot functions.
+
+Decorating a function marks it as a profiling point. By default the
+decorator is a single ``is None`` check per call -- no timing, no
+allocation -- so tier-1 timings are unaffected. Installing a
+:class:`~repro.obs.metrics.Metrics` registry (globally via
+:func:`enable_profiling`, or per-function via ``metrics=``) turns every
+call into a :func:`time.perf_counter`-timed observation in the histogram
+``profile.<name>.seconds``.
+
+Usage::
+
+    @profiled
+    def pagerank_matrix(...): ...
+
+    with profiling(metrics):          # or enable_profiling(metrics)
+        run_benchmark()
+    print(metrics.histogram("profile.pagerank_matrix.seconds").summary())
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional, TypeVar
+
+from repro.obs.metrics import Metrics
+
+F = TypeVar("F", bound=Callable)
+
+#: The process-wide registry observed by ``@profiled`` functions;
+#: ``None`` (the default) keeps every hook a no-op.
+_active_metrics: Optional[Metrics] = None
+
+
+def enable_profiling(metrics: Metrics) -> None:
+    """Install *metrics* as the process-wide profiling registry."""
+    global _active_metrics
+    _active_metrics = metrics
+
+
+def disable_profiling() -> None:
+    """Return every ``@profiled`` hook to its no-op state."""
+    global _active_metrics
+    _active_metrics = None
+
+
+def active_profiling() -> Optional[Metrics]:
+    """The currently installed registry, or ``None``."""
+    return _active_metrics
+
+
+@contextmanager
+def profiling(metrics: Optional[Metrics] = None) -> Iterator[Metrics]:
+    """Scoped profiling: install a registry, restore the previous on exit."""
+    global _active_metrics
+    registry = metrics if metrics is not None else Metrics()
+    previous = _active_metrics
+    _active_metrics = registry
+    try:
+        yield registry
+    finally:
+        _active_metrics = previous
+
+
+def profiled(
+    func: Optional[F] = None,
+    *,
+    name: Optional[str] = None,
+    metrics: Optional[Metrics] = None,
+) -> Callable:
+    """Mark a function as a profiling point.
+
+    Parameters
+    ----------
+    name:
+        Histogram name component; defaults to the function's
+        ``__qualname__``. The full histogram name is
+        ``profile.<name>.seconds``.
+    metrics:
+        Bind the hook to a fixed registry instead of the process-wide one
+        (useful in tests).
+    """
+
+    def decorate(target: F) -> F:
+        label = f"profile.{name or target.__qualname__}.seconds"
+
+        @functools.wraps(target)
+        def wrapper(*args, **kwargs):
+            registry = metrics if metrics is not None else _active_metrics
+            if registry is None:
+                return target(*args, **kwargs)
+            start = time.perf_counter()
+            try:
+                return target(*args, **kwargs)
+            finally:
+                registry.histogram(label).observe(
+                    time.perf_counter() - start
+                )
+
+        wrapper.__wrapped__ = target
+        return wrapper  # type: ignore[return-value]
+
+    if func is not None:
+        return decorate(func)
+    return decorate

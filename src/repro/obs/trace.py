@@ -1,0 +1,339 @@
+"""Hierarchical stage tracing for the WILSON pipeline.
+
+A :class:`Tracer` records a tree of timed :class:`Span` objects plus named
+counters, giving per-stage visibility into a timeline run: date-graph
+construction, PageRank, per-day TextRank, post-processing, compression.
+The span/counter vocabulary is a documented contract -- see
+``docs/observability.md`` -- so perf PRs can cite stable stage names.
+
+Design constraints:
+
+* **zero dependencies** -- stdlib only, importable everywhere;
+* **no-op by default** -- every traced function takes ``tracer=None`` and
+  routes through :data:`NULL_TRACER`, whose span/count methods do nothing,
+  so untraced runs pay one attribute lookup per stage;
+* **monotonic clocks** -- all durations come from
+  :func:`time.perf_counter`, never ``time.time``;
+* **thread-safe counters** -- parallel daily summarisation may count from
+  worker threads (spans stay on the thread that opened the tracer).
+
+Usage::
+
+    tracer = Tracer()
+    timeline = wilson.summarize_corpus(corpus, tracer=tracer)
+    print(tracer.render())            # human tree
+    payload = tracer.to_dict()        # wilson.trace/v1 JSON document
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Version tag carried by every trace document; bump on breaking changes
+#: to the JSON layout (see docs/observability.md).
+SCHEMA_VERSION = "wilson.trace/v1"
+
+
+@dataclass
+class Span:
+    """One timed stage: a name, a duration, counters, and child spans."""
+
+    name: str
+    start: float = 0.0
+    end: Optional[float] = None
+    counters: Dict[str, float] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def self_seconds(self) -> float:
+        """Duration not attributed to any child span."""
+        return max(
+            0.0,
+            self.duration_seconds
+            - sum(child.duration_seconds for child in self.children),
+        )
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add *value* to this span's counter *name*."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """The span subtree in trace-JSON form (see docs/observability.md)."""
+        return {
+            "name": self.name,
+            "duration_seconds": self.duration_seconds,
+            "counters": dict(self.counters),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _NullSpan(Span):
+    """The span handed out by :class:`NullTracer`; absorbs everything."""
+
+    def __init__(self) -> None:
+        super().__init__(name="null")
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        pass
+
+
+class Tracer:
+    """Collects a forest of timed spans plus run-level counters.
+
+    Spans nest via the :meth:`span` context manager; counters recorded with
+    :meth:`count` are attached to the innermost open span *and* aggregated
+    across the whole run in :attr:`counters`, so repeated spans (one per
+    day, one per PageRank run) sum up naturally.
+    """
+
+    #: Distinguishes real tracers from :data:`NULL_TRACER` without
+    #: isinstance checks in hot paths.
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.counters: Dict[str, float] = {}
+        self._stack: List[Span] = []
+        self._lock = threading.RLock()
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open a child span of the innermost open span (or a new root)."""
+        entry = Span(name=name, start=time.perf_counter())
+        with self._lock:
+            if self._stack:
+                self._stack[-1].children.append(entry)
+            else:
+                self.spans.append(entry)
+            self._stack.append(entry)
+        try:
+            yield entry
+        finally:
+            entry.end = time.perf_counter()
+            with self._lock:
+                if self._stack and self._stack[-1] is entry:
+                    self._stack.pop()
+
+    @contextmanager
+    def root_span(self, name: str) -> Iterator[Span]:
+        """Like :meth:`span`, but re-entrant: if a span called *name* is
+        already open, yield it instead of nesting a duplicate.
+
+        Lets ``Wilson.summarize`` own the ``pipeline`` root while still
+        being callable from ``summarize_corpus`` (which opened it first).
+        """
+        with self._lock:
+            open_span = next(
+                (s for s in self._stack if s.name == name), None
+            )
+        if open_span is not None:
+            yield open_span
+            return
+        with self.span(name) as entry:
+            yield entry
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add *value* to run-level counter *name* (and the open span's)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+            if self._stack:
+                self._stack[-1].count(name, value)
+
+    # -- inspection ----------------------------------------------------------
+
+    def walk(self) -> Iterator[Span]:
+        """Depth-first iteration over every recorded span."""
+        for root in self.spans:
+            yield from root.walk()
+
+    def find(self, name: str) -> List[Span]:
+        """Every recorded span named *name* (depth-first order)."""
+        return [span for span in self.walk() if span.name == name]
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every span named *name*."""
+        return sum(span.duration_seconds for span in self.find(name))
+
+    def span_names(self) -> List[str]:
+        """Sorted distinct names of every recorded span."""
+        return sorted({span.name for span in self.walk()})
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The full trace as a ``wilson.trace/v1`` document."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "spans": [span.to_dict() for span in self.spans],
+            "counters": dict(self.counters),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The trace document serialised to JSON."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable tree: durations, percentages, counters."""
+        lines: List[str] = []
+        total = sum(span.duration_seconds for span in self.spans)
+
+        def emit(span: Span, depth: int) -> None:
+            share = (
+                f" ({span.duration_seconds / total * 100.0:5.1f}%)"
+                if total > 0
+                else ""
+            )
+            lines.append(
+                f"{'  ' * depth}{span.name:<32} "
+                f"{span.duration_seconds * 1e3:10.3f} ms{share}"
+            )
+            for key in sorted(span.counters):
+                lines.append(
+                    f"{'  ' * (depth + 1)}| {key} = {span.counters[key]:g}"
+                )
+            for child in span.children:
+                emit(child, depth + 1)
+
+        for root in self.spans:
+            emit(root, 0)
+        return "\n".join(lines)
+
+
+class NullTracer(Tracer):
+    """The default tracer: records nothing, costs (almost) nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_span = _NullSpan()
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        yield self._null_span
+
+    @contextmanager
+    def root_span(self, name: str) -> Iterator[Span]:
+        yield self._null_span
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        pass
+
+
+#: Shared no-op tracer; every traced function falls back to it.
+NULL_TRACER = NullTracer()
+
+
+def ensure_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Normalise an optional ``tracer=`` argument (``None`` -> no-op)."""
+    return tracer if tracer is not None else NULL_TRACER
+
+
+def stage_breakdown(tracer: Tracer) -> List[Tuple[str, float, float]]:
+    """Aggregate spans by name: ``(name, total_seconds, percent_of_run)``.
+
+    The percentage is relative to the summed root-span duration; rows are
+    ordered by first appearance (depth-first), so the pipeline stages come
+    out in execution order.
+    """
+    total = sum(span.duration_seconds for span in tracer.spans)
+    order: List[str] = []
+    sums: Dict[str, float] = {}
+    for span in tracer.walk():
+        if span.name not in sums:
+            order.append(span.name)
+            sums[span.name] = 0.0
+        sums[span.name] += span.duration_seconds
+    return [
+        (
+            name,
+            sums[name],
+            (sums[name] / total * 100.0) if total > 0 else 0.0,
+        )
+        for name in order
+    ]
+
+
+def validate_trace(payload: object) -> List[str]:
+    """Validate a trace document against the ``wilson.trace/v1`` schema.
+
+    Returns a list of human-readable problems; an empty list means the
+    document conforms to the contract in ``docs/observability.md``.
+    """
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"trace document must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"schema must be {SCHEMA_VERSION!r}, got {payload.get('schema')!r}"
+        )
+    counters = payload.get("counters")
+    if not isinstance(counters, dict):
+        errors.append("counters must be an object")
+    else:
+        errors.extend(_validate_counters(counters, "counters"))
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        errors.append("spans must be an array")
+    else:
+        for i, span in enumerate(spans):
+            errors.extend(_validate_span(span, f"spans[{i}]"))
+    return errors
+
+
+def _validate_counters(counters: dict, where: str) -> List[str]:
+    errors = []
+    for key, value in counters.items():
+        if not isinstance(key, str):
+            errors.append(f"{where} key {key!r} must be a string")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{where}[{key!r}] must be a number, got {value!r}")
+    return errors
+
+
+def _validate_span(span: object, where: str) -> List[str]:
+    if not isinstance(span, dict):
+        return [f"{where} must be an object, got {type(span).__name__}"]
+    errors: List[str] = []
+    name = span.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{where}.name must be a non-empty string")
+    duration = span.get("duration_seconds")
+    if (
+        not isinstance(duration, (int, float))
+        or isinstance(duration, bool)
+        or duration < 0
+    ):
+        errors.append(f"{where}.duration_seconds must be a number >= 0")
+    counters = span.get("counters")
+    if not isinstance(counters, dict):
+        errors.append(f"{where}.counters must be an object")
+    else:
+        errors.extend(_validate_counters(counters, f"{where}.counters"))
+    children = span.get("children")
+    if not isinstance(children, list):
+        errors.append(f"{where}.children must be an array")
+    else:
+        for i, child in enumerate(children):
+            errors.extend(_validate_span(child, f"{where}.children[{i}]"))
+    return errors

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.graph.pagerank import DEFAULT_DAMPING, pagerank_matrix
+from repro.obs.trace import Tracer
 from repro.text.bm25 import BM25, BM25Parameters
 from repro.text.tokenize import tokenize_for_matching
 
@@ -27,6 +28,7 @@ def textrank_scores(
     similarity: np.ndarray,
     damping: float = DEFAULT_DAMPING,
     personalization: Optional[np.ndarray] = None,
+    tracer: Optional[Tracer] = None,
 ) -> np.ndarray:
     """PageRank importance scores from a sentence similarity matrix.
 
@@ -42,7 +44,11 @@ def textrank_scores(
     np.fill_diagonal(matrix, 0.0)
     np.clip(matrix, 0.0, None, out=matrix)
     return pagerank_matrix(
-        matrix, damping=damping, personalization=personalization
+        matrix,
+        damping=damping,
+        personalization=personalization,
+        tracer=tracer,
+        counter_prefix="textrank",
     )
 
 
@@ -52,6 +58,7 @@ def textrank_bm25(
     params: BM25Parameters = BM25Parameters(),
     query: Sequence[str] = (),
     query_bias: float = 0.0,
+    tracer: Optional[Tracer] = None,
 ) -> List[int]:
     """Rank *sentences* by BM25-TextRank; returns indices, best first.
 
@@ -65,6 +72,9 @@ def textrank_bm25(
         uniform distribution with the sentences' BM25 relevance to
         *query*: ``(1 - bias) * uniform + bias * relevance``. ``0.0``
         (the default) is the plain TextRank the paper uses.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; each underlying
+        PageRank run counts ``textrank_runs`` / ``textrank_iterations``.
     """
     if not 0.0 <= query_bias <= 1.0:
         raise ValueError(
@@ -94,7 +104,10 @@ def textrank_bm25(
             personalization = uniform
 
     scores = textrank_scores(
-        adjacency, damping=damping, personalization=personalization
+        adjacency,
+        damping=damping,
+        personalization=personalization,
+        tracer=tracer,
     )
     order = np.argsort(-scores, kind="stable")
     return [int(i) for i in order]

@@ -9,23 +9,31 @@ fetch the relevant dated sentences and run WILSON to produce the timeline
 from __future__ import annotations
 
 import datetime
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.core.pipeline import Wilson, WilsonConfig
+from repro.obs.trace import Span, Tracer
 from repro.search.engine import SearchEngine
 from repro.tlsdata.types import Article, Timeline
 
 
 @dataclass
 class TimelineResponse:
-    """A generated timeline plus serving telemetry."""
+    """A generated timeline plus serving telemetry.
+
+    ``retrieval_seconds`` / ``generation_seconds`` are derived from the
+    ``realtime.retrieval`` / ``realtime.generation`` spans of the request
+    trace (monotonic ``time.perf_counter`` clocks); ``trace`` carries the
+    full span tree for per-stage inspection (``None`` when the caller
+    explicitly passed a no-op tracer).
+    """
 
     timeline: Timeline
     num_candidates: int
     retrieval_seconds: float
     generation_seconds: float
+    trace: Optional[Span] = field(default=None, compare=False)
 
     @property
     def total_seconds(self) -> float:
@@ -74,23 +82,37 @@ class RealTimeTimelineSystem:
         end: datetime.date,
         num_dates: int = 10,
         num_sentences: int = 1,
+        tracer: Optional[Tracer] = None,
     ) -> TimelineResponse:
-        """Serve one timeline query (Section 5's example workflow)."""
-        t0 = time.perf_counter()
-        dated = self.engine.fetch_dated_sentences(
-            keywords, start=start, end=end, limit=self.retrieval_limit
-        )
-        t1 = time.perf_counter()
-        timeline = self.wilson.summarize(
-            dated,
-            num_dates=num_dates,
-            num_sentences=num_sentences,
-            query=keywords,
-        )
-        t2 = time.perf_counter()
+        """Serve one timeline query (Section 5's example workflow).
+
+        Every request is traced: with ``tracer=None`` a private
+        :class:`~repro.obs.trace.Tracer` backs the response telemetry;
+        passing one instead threads the ``realtime`` spans into the
+        caller's trace (see docs/observability.md).
+        """
+        tracer = tracer if tracer is not None else Tracer()
+        with tracer.root_span("realtime") as root:
+            with tracer.span("realtime.retrieval") as retrieval:
+                dated = self.engine.fetch_dated_sentences(
+                    keywords,
+                    start=start,
+                    end=end,
+                    limit=self.retrieval_limit,
+                )
+                tracer.count("realtime.candidates", len(dated))
+            with tracer.span("realtime.generation") as generation:
+                timeline = self.wilson.summarize(
+                    dated,
+                    num_dates=num_dates,
+                    num_sentences=num_sentences,
+                    query=keywords,
+                    tracer=tracer,
+                )
         return TimelineResponse(
             timeline=timeline,
             num_candidates=len(dated),
-            retrieval_seconds=t1 - t0,
-            generation_seconds=t2 - t1,
+            retrieval_seconds=retrieval.duration_seconds,
+            generation_seconds=generation.duration_seconds,
+            trace=root if tracer.enabled else None,
         )

@@ -24,8 +24,21 @@ class TestApiReference:
             "repro.evaluation.rouge",
             "repro.search.engine",
             "repro.tlsdata.synthetic",
+            "repro.obs.trace",
+            "repro.obs.metrics",
+            "repro.obs.profile",
         ):
             assert f"## `{module}`" in text, module
+
+    def test_reference_covers_packages(self):
+        text = (DOCS / "api.md").read_text(encoding="utf-8")
+        for package in (
+            "repro",
+            "repro.search",
+            "repro.experiments",
+            "repro.obs",
+        ):
+            assert f"## `{package}` (package)" in text, package
 
     def test_reference_mentions_key_symbols(self):
         text = (DOCS / "api.md").read_text(encoding="utf-8")

@@ -1,0 +1,199 @@
+"""The telemetry contract: emitted spans/counters must be documented.
+
+Guards docs/observability.md against drift: a small end-to-end ``Wilson``
+run (plus the real-time system and the CLI ``--trace-json`` path) may
+only emit span and counter names that appear in the contract document,
+the trace must validate against the documented schema, and the per-stage
+spans must account for the run's total time. Also checks that
+``docs/generate_api.py`` output is committed (regeneration is a no-op).
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.core.pipeline import Wilson, WilsonConfig
+from repro.obs.trace import Tracer, validate_trace
+from repro.search.realtime import RealTimeTimelineSystem
+from repro.tlsdata.synthetic import make_timeline17_like
+
+DOCS = pathlib.Path(__file__).parent.parent / "docs"
+
+
+@pytest.fixture(scope="module")
+def contract_text():
+    return (DOCS / "observability.md").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return make_timeline17_like(scale=0.02, seed=11).instances[0]
+
+
+@pytest.fixture(scope="module")
+def traced_runs(instance):
+    """Tracers from runs covering every optional stage."""
+    corpus_tracer = Tracer()
+    Wilson(
+        WilsonConfig(num_dates=5, sentences_per_date=2)
+    ).summarize_corpus(instance.corpus, tracer=corpus_tracer)
+
+    # num_dates=None -> compression.predict; compress_summaries=True ->
+    # compression.summaries.
+    auto_tracer = Tracer()
+    Wilson(
+        WilsonConfig(num_dates=None, compress_summaries=True)
+    ).summarize(
+        instance.corpus.dated_sentences(), tracer=auto_tracer
+    )
+
+    realtime_tracer = Tracer()
+    system = RealTimeTimelineSystem()
+    system.ingest(instance.corpus.articles)
+    start, end = instance.corpus.window
+    response = system.generate_timeline(
+        instance.corpus.query, start, end,
+        num_dates=5, num_sentences=1, tracer=realtime_tracer,
+    )
+    return {
+        "corpus": corpus_tracer,
+        "auto": auto_tracer,
+        "realtime": realtime_tracer,
+        "response": response,
+    }
+
+
+class TestContractCoverage:
+    def test_every_emitted_span_is_documented(
+        self, traced_runs, contract_text
+    ):
+        emitted = set()
+        for key in ("corpus", "auto", "realtime"):
+            emitted.update(traced_runs[key].span_names())
+        assert emitted  # the runs actually traced something
+        for name in sorted(emitted):
+            assert f"`{name}`" in contract_text, (
+                f"span {name!r} is not documented in docs/observability.md"
+            )
+
+    def test_every_emitted_counter_is_documented(
+        self, traced_runs, contract_text
+    ):
+        emitted = set()
+        for key in ("corpus", "auto", "realtime"):
+            emitted.update(traced_runs[key].counters)
+        assert emitted
+        for name in sorted(emitted):
+            assert f"`{name}`" in contract_text, (
+                f"counter {name!r} is not documented in "
+                "docs/observability.md"
+            )
+
+    def test_core_stages_present(self, traced_runs):
+        tracer = traced_runs["corpus"]
+        for stage in (
+            "pipeline", "tagging", "date_selection",
+            "date_selection.build_graph", "date_selection.pagerank",
+            "daily", "postprocess",
+        ):
+            assert tracer.find(stage), stage
+        auto = traced_runs["auto"]
+        assert auto.find("compression.predict")
+        assert auto.find("compression.summaries")
+
+    def test_stages_sum_to_total_runtime(self, traced_runs):
+        for key in ("corpus", "auto", "realtime"):
+            root = traced_runs[key].spans[0]
+            covered = sum(c.duration_seconds for c in root.children)
+            assert covered <= root.duration_seconds + 1e-9
+            assert covered >= 0.85 * root.duration_seconds, key
+
+    def test_traces_validate_against_schema(self, traced_runs):
+        for key in ("corpus", "auto", "realtime"):
+            payload = json.loads(traced_runs[key].to_json())
+            assert validate_trace(payload) == [], key
+
+    def test_counter_identities(self, traced_runs):
+        counters = traced_runs["corpus"].counters
+        assert counters["postprocess.offers"] == (
+            counters["postprocess.accepted"]
+            + counters.get("postprocess.rejected_redundant", 0.0)
+        )
+        assert counters["date_selection.pagerank_runs"] == (
+            counters["date_selection.alpha_candidates"]
+        )
+
+
+class TestRealtimeTelemetry:
+    def test_total_seconds_is_retrieval_plus_generation(self, traced_runs):
+        response = traced_runs["response"]
+        assert response.total_seconds == pytest.approx(
+            response.retrieval_seconds + response.generation_seconds
+        )
+        assert response.retrieval_seconds > 0
+        assert response.generation_seconds > 0
+
+    def test_response_fields_derive_from_spans(self, traced_runs):
+        response = traced_runs["response"]
+        tracer = traced_runs["realtime"]
+        assert response.retrieval_seconds == pytest.approx(
+            tracer.total_seconds("realtime.retrieval")
+        )
+        assert response.generation_seconds == pytest.approx(
+            tracer.total_seconds("realtime.generation")
+        )
+        assert response.trace is tracer.spans[0]
+
+    def test_private_tracer_by_default(self, instance):
+        system = RealTimeTimelineSystem()
+        system.ingest(instance.corpus.articles)
+        start, end = instance.corpus.window
+        response = system.generate_timeline(
+            instance.corpus.query, start, end, num_dates=4
+        )
+        assert response.trace is not None
+        assert response.trace.name == "realtime"
+        assert response.total_seconds > 0
+
+
+class TestCliTraceJson:
+    def test_trace_json_dump_validates_and_covers_stages(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "trace.json"
+        assert main(
+            [
+                "demo", "--scale", "0.02", "--dates", "4",
+                "--trace-json", str(path),
+            ]
+        ) == 0
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_trace(payload) == []
+        root = payload["spans"][0]
+        assert root["name"] == "pipeline"
+        child_names = {c["name"] for c in root["children"]}
+        assert {"date_selection", "daily", "postprocess"} <= child_names
+        covered = sum(c["duration_seconds"] for c in root["children"])
+        assert covered >= 0.85 * root["duration_seconds"]
+
+    def test_trace_flag_renders_tree_to_stderr(self, capsys):
+        assert main(["demo", "--scale", "0.02", "--dates", "4", "--trace"]) == 0
+        err = capsys.readouterr().err
+        assert "pipeline" in err
+        assert "date_selection" in err
+
+
+class TestApiDocsCommitted:
+    def test_regeneration_produces_no_diff(self):
+        spec = importlib.util.spec_from_file_location(
+            "generate_api", DOCS / "generate_api.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        committed = (DOCS / "api.md").read_text(encoding="utf-8")
+        assert module.build() == committed, (
+            "docs/api.md is stale; run `python docs/generate_api.py`"
+        )

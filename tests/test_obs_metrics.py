@@ -1,0 +1,129 @@
+"""Tests for the metrics registry and @profiled hooks (repro.obs)."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, Metrics, percentile
+from repro.obs.profile import (
+    active_profiling,
+    disable_profiling,
+    enable_profiling,
+    profiled,
+    profiling,
+)
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        metrics = Metrics()
+        counter = metrics.counter("served")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_counter_get_or_create(self):
+        metrics = Metrics()
+        assert metrics.counter("x") is metrics.counter("x")
+        assert metrics.histogram("x") is metrics.histogram("x")
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Metrics().gauge("depth")
+        gauge.set(10)
+        gauge.add(-4)
+        assert gauge.value == 6.0
+
+    def test_histogram_summary(self):
+        histogram = Histogram("latency")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p90"] == pytest.approx(90.1)
+        assert summary["p99"] == pytest.approx(99.01)
+
+    def test_empty_histogram(self):
+        assert Histogram("empty").summary() == {"count": 0}
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        assert percentile([7.0], 99) == 7.0
+
+    def test_snapshot_and_render(self):
+        metrics = Metrics()
+        metrics.counter("a").inc(2)
+        metrics.gauge("b").set(3)
+        metrics.histogram("c").observe(0.5)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"a": 2.0}
+        assert snap["gauges"] == {"b": 3.0}
+        assert snap["histograms"]["c"]["count"] == 1
+        text = metrics.render()
+        assert "counter   a = 2" in text
+        assert "histogram c" in text
+
+
+class TestProfiled:
+    def test_noop_without_registry(self):
+        calls = []
+
+        @profiled
+        def work(x):
+            calls.append(x)
+            return x * 2
+
+        disable_profiling()
+        assert work(2) == 4
+        assert calls == [2]
+        assert active_profiling() is None
+
+    def test_records_into_scoped_registry(self):
+        @profiled(name="unit.work")
+        def work():
+            return 1
+
+        with profiling() as metrics:
+            work()
+            work()
+        summary = metrics.histogram("profile.unit.work.seconds").summary()
+        assert summary["count"] == 2
+        assert summary["min"] >= 0.0
+        # Registry uninstalled on exit.
+        assert active_profiling() is None
+
+    def test_scoped_profiling_restores_previous(self):
+        outer = Metrics()
+        enable_profiling(outer)
+        try:
+            with profiling(Metrics()):
+                pass
+            assert active_profiling() is outer
+        finally:
+            disable_profiling()
+
+    def test_bound_registry_wins(self):
+        bound = Metrics()
+
+        @profiled(name="bound.work", metrics=bound)
+        def work():
+            return 1
+
+        work()
+        assert bound.histogram("profile.bound.work.seconds").count == 1
+
+    def test_pagerank_matrix_is_a_profiling_point(self):
+        import numpy as np
+
+        from repro.graph.pagerank import pagerank_matrix
+
+        with profiling() as metrics:
+            pagerank_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        name = "profile.pagerank_matrix.seconds"
+        assert metrics.histogram(name).count == 1

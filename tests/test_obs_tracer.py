@@ -1,0 +1,177 @@
+"""Tests for the span tracer (repro.obs.trace)."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    SCHEMA_VERSION,
+    NullTracer,
+    Span,
+    Tracer,
+    ensure_tracer,
+    stage_breakdown,
+    validate_trace,
+)
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                with tracer.span("leaf"):
+                    pass
+        assert [s.name for s in tracer.spans] == ["outer"]
+        outer = tracer.spans[0]
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_parent_duration_covers_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.01)
+        outer = tracer.spans[0]
+        inner = outer.children[0]
+        assert inner.duration_seconds >= 0.009
+        assert outer.duration_seconds >= inner.duration_seconds
+        assert outer.self_seconds == pytest.approx(
+            outer.duration_seconds - inner.duration_seconds
+        )
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.spans] == ["first", "second"]
+
+    def test_open_span_has_zero_duration(self):
+        span = Span(name="open", start=1.0)
+        assert span.duration_seconds == 0.0
+
+    def test_root_span_is_reentrant(self):
+        tracer = Tracer()
+        with tracer.root_span("pipeline"):
+            with tracer.root_span("pipeline"):
+                with tracer.span("stage"):
+                    pass
+        assert len(tracer.find("pipeline")) == 1
+        assert tracer.spans[0].children[0].name == "stage"
+
+    def test_find_and_total_seconds(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("repeated"):
+                time.sleep(0.002)
+        assert len(tracer.find("repeated")) == 3
+        assert tracer.total_seconds("repeated") >= 0.006
+
+
+class TestCounters:
+    def test_counters_attach_to_open_span(self):
+        tracer = Tracer()
+        with tracer.span("stage"):
+            tracer.count("stage.items", 3)
+            tracer.count("stage.items", 2)
+        assert tracer.spans[0].counters == {"stage.items": 5.0}
+
+    def test_counters_aggregate_across_repeated_spans(self):
+        tracer = Tracer()
+        for items in (3, 4, 5):
+            with tracer.span("stage"):
+                tracer.count("stage.items", items)
+        assert tracer.counters["stage.items"] == 12.0
+        per_span = [s.counters["stage.items"] for s in tracer.find("stage")]
+        assert per_span == [3.0, 4.0, 5.0]
+
+    def test_count_without_open_span_still_aggregates(self):
+        tracer = Tracer()
+        tracer.count("loose")
+        assert tracer.counters == {"loose": 1.0}
+        assert tracer.spans == []
+
+
+class TestNullTracer:
+    def test_noop_path_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("stage"):
+            tracer.count("stage.items", 7)
+        with tracer.root_span("pipeline"):
+            pass
+        assert tracer.spans == []
+        assert tracer.counters == {}
+        assert tracer.to_dict()["spans"] == []
+
+    def test_ensure_tracer(self):
+        assert ensure_tracer(None) is NULL_TRACER
+        real = Tracer()
+        assert ensure_tracer(real) is real
+        assert NULL_TRACER.enabled is False
+        assert real.enabled is True
+
+    def test_pipeline_untraced_by_default(self):
+        from repro.core.daily import DailySummarizer
+
+        day = DailySummarizer().rank_day(
+            __import__("datetime").date(2021, 1, 1), ["a b c", "b c d"]
+        )
+        assert len(day.sentences) == 2  # no tracer, no error, no spans
+
+
+class TestExport:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("pipeline"):
+            with tracer.span("stage"):
+                tracer.count("stage.items", 2)
+        return tracer
+
+    def test_to_dict_schema(self):
+        payload = self._traced().to_dict()
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["counters"] == {"stage.items": 2.0}
+        root = payload["spans"][0]
+        assert root["name"] == "pipeline"
+        assert root["children"][0]["counters"] == {"stage.items": 2.0}
+
+    def test_json_roundtrip_validates(self):
+        payload = json.loads(self._traced().to_json())
+        assert validate_trace(payload) == []
+
+    def test_validate_rejects_bad_documents(self):
+        assert validate_trace([]) != []
+        assert validate_trace({"schema": "nope", "spans": [], "counters": {}})
+        bad_span = {
+            "schema": SCHEMA_VERSION,
+            "counters": {},
+            "spans": [{"name": "", "duration_seconds": -1}],
+        }
+        problems = validate_trace(bad_span)
+        assert any("name" in p for p in problems)
+        assert any("duration_seconds" in p for p in problems)
+        assert any("counters" in p for p in problems)
+
+    def test_render_mentions_spans_and_counters(self):
+        text = self._traced().render()
+        assert "pipeline" in text
+        assert "stage.items = 2" in text
+
+    def test_stage_breakdown_orders_and_sums(self):
+        tracer = Tracer()
+        with tracer.span("pipeline"):
+            with tracer.span("a"):
+                time.sleep(0.002)
+            with tracer.span("b"):
+                time.sleep(0.002)
+        rows = stage_breakdown(tracer)
+        assert [name for name, _, _ in rows] == ["pipeline", "a", "b"]
+        pipeline_row = rows[0]
+        assert pipeline_row[2] == pytest.approx(100.0)
+        assert rows[1][1] + rows[2][1] <= pipeline_row[1]
