@@ -17,7 +17,9 @@ Subcommands:
 ``demo``, ``timeline`` and ``serve-query`` accept the shared
 observability flags ``--trace`` (per-stage span tree on stderr) and
 ``--trace-json [PATH]`` (the ``wilson.trace/v1`` document; see
-``docs/observability.md``).
+``docs/observability.md``), plus the shared performance flags
+``--daily-workers N`` (parallel per-day summarisation) and
+``--no-analysis-cache`` (disable the shared tokenisation cache).
 """
 
 from __future__ import annotations
@@ -62,6 +64,24 @@ def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared performance flags (worker threads, analysis cache)."""
+    parser.add_argument(
+        "--daily-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads for the per-day summarisation sub-tasks "
+             "(default 1 = sequential)",
+    )
+    parser.add_argument(
+        "--no-analysis-cache",
+        action="store_true",
+        help="disable the shared tokenisation cache (the pre-cache "
+             "baseline; mainly for benchmarking)",
+    )
+
+
 def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
     """A tracer when any trace output was requested, else None (no-op)."""
     if getattr(args, "trace", False) or getattr(args, "trace_json", None):
@@ -90,6 +110,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         WilsonConfig(
             num_dates=args.dates or instance.target_num_dates,
             sentences_per_date=args.sentences,
+            daily_workers=args.daily_workers,
+            analysis_cache=not args.no_analysis_cache,
         )
     )
     tracer = _make_tracer(args)
@@ -126,6 +148,8 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
         WilsonConfig(
             num_dates=args.dates,
             sentences_per_date=args.sentences,
+            daily_workers=args.daily_workers,
+            analysis_cache=not args.no_analysis_cache,
         )
     )
     tracer = _make_tracer(args)
@@ -137,7 +161,14 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 
 def _cmd_serve_query(args: argparse.Namespace) -> int:
     corpus = load_corpus(args.corpus)
-    system = RealTimeTimelineSystem()
+    system = RealTimeTimelineSystem(
+        wilson=Wilson(
+            WilsonConfig(
+                daily_workers=args.daily_workers,
+                analysis_cache=not args.no_analysis_cache,
+            )
+        )
+    )
     system.ingest(corpus.articles)
     tracer = _make_tracer(args)
     response = system.generate_timeline(
@@ -291,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--dates", type=int, default=None)
     demo.add_argument("--sentences", type=int, default=2)
     _add_trace_flags(demo)
+    _add_perf_flags(demo)
     demo.set_defaults(func=_cmd_demo)
 
     stats = sub.add_parser("stats", help="print dataset statistics")
@@ -304,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--dates", type=int, default=None)
     timeline.add_argument("--sentences", type=int, default=2)
     _add_trace_flags(timeline)
+    _add_perf_flags(timeline)
     timeline.set_defaults(func=_cmd_timeline)
 
     serve = sub.add_parser(
@@ -317,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--dates", type=int, default=10)
     serve.add_argument("--sentences", type=int, default=1)
     _add_trace_flags(serve)
+    _add_perf_flags(serve)
     serve.set_defaults(func=_cmd_serve_query)
 
     evaluate = sub.add_parser(

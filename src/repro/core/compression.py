@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.daily import DailySummarizer, group_by_date
 from repro.graph.affinity_propagation import AffinityPropagation
 from repro.obs.trace import Tracer, ensure_tracer
+from repro.text.analysis import TokenCache
 from repro.text.embeddings import LsaEmbedder
 from repro.tlsdata.types import DatedSentence
 
@@ -45,6 +46,9 @@ class DateCountPredictor:
     preference: Optional[float] = None
     seed: int = 0
     summarizer: DailySummarizer = field(default_factory=DailySummarizer)
+    #: Optional shared :class:`~repro.text.analysis.TokenCache` handed to
+    #: the LSA embedder (the summariser carries its own ``cache`` field).
+    cache: Optional[TokenCache] = None
 
     def daily_digests(
         self, dated_sentences: Sequence[DatedSentence]
@@ -87,7 +91,9 @@ class DateCountPredictor:
             if len(dates) == 1:
                 tracer.count("compression.predicted_dates", 1)
                 return 1, {dates[0]: 0}
-            embedder = LsaEmbedder(dimensions=self.embedding_dimensions)
+            embedder = LsaEmbedder(
+                dimensions=self.embedding_dimensions, cache=self.cache
+            )
             similarities = embedder.fit(
                 [digests[d] for d in dates]
             ).similarity_matrix([digests[d] for d in dates])

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import datetime
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.pagerank import DEFAULT_DAMPING
 from repro.obs.trace import Tracer, ensure_tracer
 from repro.rank.textrank import textrank_bm25
+from repro.text.analysis import TokenCache
 from repro.text.bm25 import BM25Parameters
 from repro.tlsdata.types import DatedSentence
 
@@ -61,15 +62,16 @@ def group_by_date(
     several dates (Appendix A), but within a single day each distinct text
     is kept once.
     """
-    grouped: Dict[datetime.date, List[str]] = {}
-    seen: Dict[datetime.date, set] = {}
+    buckets: Dict[datetime.date, Tuple[List[str], set]] = {}
     for sentence in dated_sentences:
-        bucket = grouped.setdefault(sentence.date, [])
-        seen_texts = seen.setdefault(sentence.date, set())
+        entry = buckets.get(sentence.date)
+        if entry is None:
+            entry = buckets[sentence.date] = ([], set())
+        texts, seen_texts = entry
         if sentence.text not in seen_texts:
             seen_texts.add(sentence.text)
-            bucket.append(sentence.text)
-    return grouped
+            texts.append(sentence.text)
+    return {date: texts for date, (texts, _) in buckets.items()}
 
 
 @dataclass
@@ -91,6 +93,12 @@ class DailySummarizer:
     #: accelerated through parallel processing" (Section 2.3.1) -- and
     #: the numpy-heavy inner loops release the GIL. 1 = sequential.
     workers: int = 1
+    #: Optional shared :class:`~repro.text.analysis.TokenCache`. Reference
+    #: sentences appear under several dates, so days share tokenisation
+    #: work -- and later stages (post-processing, the date-count
+    #: predictor) reuse the streams for free. Thread-safe, so the
+    #: parallel path shares it too.
+    cache: Optional[TokenCache] = None
 
     def rank_day(
         self,
@@ -116,6 +124,7 @@ class DailySummarizer:
                 query=query,
                 query_bias=self.query_bias,
                 tracer=tracer,
+                cache=self.cache,
             )
         return RankedDay(date=date, sentences=[pool[i] for i in order])
 

@@ -29,10 +29,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph.graphs import WeightedDigraph
-from repro.graph.pagerank import DEFAULT_DAMPING, pagerank
+from repro.graph.pagerank import DEFAULT_DAMPING, pagerank, pagerank_matrix
 from repro.obs.trace import Tracer, ensure_tracer
+from repro.text.analysis import TokenCache, tokenize_with
 from repro.text.bm25 import BM25
-from repro.text.tokenize import tokenize_for_matching
 from repro.tlsdata.types import DatedSentence
 
 
@@ -104,6 +104,7 @@ class DateReferenceGraph:
         self,
         dated_sentences: Sequence[DatedSentence],
         query: Sequence[str] = (),
+        cache: Optional[TokenCache] = None,
     ) -> None:
         self._aggregates: Dict[
             Tuple[datetime.date, datetime.date], _ReferenceAggregate
@@ -115,7 +116,7 @@ class DateReferenceGraph:
             self._dates.setdefault(sentence.date, None)
             self._dates.setdefault(sentence.publication_date, None)
 
-        bm25_scores = self._reference_bm25(references, query)
+        bm25_scores = self._reference_bm25(references, query, cache=cache)
         for sentence, bm25_score in zip(references, bm25_scores):
             key = (sentence.publication_date, sentence.date)
             aggregate = self._aggregates.get(key)
@@ -130,7 +131,9 @@ class DateReferenceGraph:
 
     @staticmethod
     def _reference_bm25(
-        references: Sequence[DatedSentence], query: Sequence[str]
+        references: Sequence[DatedSentence],
+        query: Sequence[str],
+        cache: Optional[TokenCache] = None,
     ) -> List[float]:
         """BM25 relevance of each reference sentence to the topic query.
 
@@ -140,10 +143,10 @@ class DateReferenceGraph:
         """
         if not references or not query:
             return [0.0] * len(references)
-        tokenised = [
-            tokenize_for_matching(sentence.text) for sentence in references
-        ]
-        query_tokens = tokenize_for_matching(" ".join(query))
+        tokenised = tokenize_with(
+            cache, [sentence.text for sentence in references]
+        )
+        query_tokens = tokenize_with(cache, [" ".join(query)])[0]
         bm25 = BM25(tokenised)
         return [float(v) for v in bm25.scores(query_tokens)]
 
@@ -218,12 +221,13 @@ class DateSelector:
         num_dates: int,
         query: Sequence[str] = (),
         tracer: Optional[Tracer] = None,
+        cache: Optional[TokenCache] = None,
     ) -> List[datetime.date]:
         """Return the selected dates in chronological order."""
         if num_dates < 1:
             raise ValueError(f"num_dates must be >= 1, got {num_dates}")
         tracer = ensure_tracer(tracer)
-        graph = self._build_graph(dated_sentences, query, tracer)
+        graph = self._build_graph(dated_sentences, query, tracer, cache)
         if graph.number_of_nodes() == 0:
             return []
         with tracer.span("date_selection.pagerank"):
@@ -247,10 +251,11 @@ class DateSelector:
         dated_sentences: Sequence[DatedSentence],
         query: Sequence[str] = (),
         tracer: Optional[Tracer] = None,
+        cache: Optional[TokenCache] = None,
     ) -> Dict[datetime.date, float]:
         """Full PageRank score map over candidate dates (no truncation)."""
         tracer = ensure_tracer(tracer)
-        graph = self._build_graph(dated_sentences, query, tracer)
+        graph = self._build_graph(dated_sentences, query, tracer, cache)
         if graph.number_of_nodes() == 0:
             return {}
         with tracer.span("date_selection.pagerank"):
@@ -268,11 +273,12 @@ class DateSelector:
         dated_sentences: Sequence[DatedSentence],
         query: Sequence[str],
         tracer: Tracer,
+        cache: Optional[TokenCache] = None,
     ) -> WeightedDigraph:
         """Aggregate date references and materialise the weighted digraph."""
         with tracer.span("date_selection.build_graph"):
             reference_graph = DateReferenceGraph(
-                dated_sentences, query=query
+                dated_sentences, query=query, cache=cache
             )
             graph = reference_graph.to_graph(self.edge_weight)
             tracer.count(
@@ -331,19 +337,30 @@ class DateSelector:
         tracer = ensure_tracer(tracer)
         candidates: List[Tuple[float, Optional[float], List[datetime.date]]]
         candidates = []
-        nodes = graph.nodes()
         tracer.count(
             "date_selection.alpha_candidates", len(self.alpha_grid)
         )
+        # The adjacency matrix is alpha-independent: materialise it once
+        # and run the matrix-level PageRank per grid point instead of
+        # rebuilding it inside pagerank() for every alpha.
+        adjacency, order = graph.to_adjacency()
         for alpha in self.alpha_grid:
-            personalization = self.recency_personalization(nodes, alpha)
-            scores = pagerank(
-                graph,
+            personalization = self.recency_personalization(order, alpha)
+            vector = np.array(
+                [personalization.get(node, 0.0) for node in order],
+                dtype=np.float64,
+            )
+            score_vector = pagerank_matrix(
+                adjacency,
                 damping=self.damping,
-                personalization=personalization,
+                personalization=vector,
                 tracer=tracer,
                 counter_prefix="date_selection.pagerank",
             )
+            scores = {
+                node: float(score)
+                for node, score in zip(order, score_vector)
+            }
             selection = self._top_dates(scores, num_dates)
             candidates.append((uniformity(selection), alpha, selection))
         best = min(

@@ -35,6 +35,7 @@ from repro.core.postprocess import (
 from repro.graph.pagerank import DEFAULT_DAMPING
 from repro.obs.trace import Tracer, ensure_tracer
 from repro.temporal.tagger import TemporalTagger
+from repro.text.analysis import TokenCache
 from repro.text.compress import compress_timeline
 from repro.tlsdata.types import Corpus, DatedSentence, Timeline
 
@@ -74,6 +75,14 @@ class WilsonConfig:
     #: paper's parallel-processing remark in Section 2.3.1). 1 =
     #: sequential.
     daily_workers: int = 1
+    #: Share one :class:`~repro.text.analysis.TokenCache` across every
+    #: stage so each distinct sentence text is tokenised exactly once per
+    #: pipeline lifetime. Disable only to reproduce the pre-cache
+    #: baseline in benchmarks.
+    analysis_cache: bool = True
+    #: Use the batched sparse-matrix redundancy check in post-processing
+    #: (identical output to the legacy per-pair loop, just faster).
+    vectorized_postprocess: bool = True
 
     def __post_init__(self) -> None:
         if self.num_dates is not None and self.num_dates < 1:
@@ -91,8 +100,21 @@ class WilsonConfig:
 class Wilson:
     """Fast, unsupervised news timeline summarisation."""
 
-    def __init__(self, config: Optional[WilsonConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[WilsonConfig] = None,
+        cache: Optional[TokenCache] = None,
+    ) -> None:
         self.config = config or WilsonConfig()
+        #: The shared analysis cache, or ``None`` when disabled. Long-lived:
+        #: repeated ``summarize`` calls (e.g. the real-time query loop)
+        #: reuse tokenisation across runs. Callers may pass their own
+        #: cache to share it beyond this pipeline instance.
+        self.cache: Optional[TokenCache] = (
+            (cache if cache is not None else TokenCache())
+            if self.config.analysis_cache
+            else None
+        )
         self._selector = DateSelector(
             edge_weight=self.config.edge_weight,
             recency_adjustment=self.config.recency_adjustment,
@@ -103,8 +125,11 @@ class Wilson:
             damping=self.config.damping,
             query_bias=self.config.query_bias,
             workers=self.config.daily_workers,
+            cache=self.cache,
         )
-        self._predictor = DateCountPredictor(summarizer=self._summarizer)
+        self._predictor = DateCountPredictor(
+            summarizer=self._summarizer, cache=self.cache
+        )
 
     # -- date selection --------------------------------------------------------
 
@@ -139,7 +164,11 @@ class Wilson:
                 selected = self._uniform_dates(dated_sentences, num_dates)
             else:
                 selected = self._selector.select(
-                    dated_sentences, num_dates, query=query, tracer=tracer
+                    dated_sentences,
+                    num_dates,
+                    query=query,
+                    tracer=tracer,
+                    cache=self.cache,
                 )
             tracer.count("date_selection.selected_dates", len(selected))
         return selected
@@ -197,6 +226,9 @@ class Wilson:
         config = self.config
         if num_sentences is None:
             num_sentences = config.sentences_per_date
+        cache_before = (
+            self.cache.stats() if self.cache is not None else None
+        )
         with tracer.root_span("pipeline"):
             tracer.count("pipeline.input_sentences", len(dated_sentences))
             selected = self.select_dates(
@@ -217,6 +249,8 @@ class Wilson:
                         num_sentences,
                         redundancy_threshold=config.redundancy_threshold,
                         tracer=tracer,
+                        cache=self.cache,
+                        vectorized=config.vectorized_postprocess,
                     )
                 else:
                     timeline = take_top_sentences(
@@ -233,6 +267,10 @@ class Wilson:
                         "compression.sentences_compressed",
                         sum(len(sentences) for _, sentences in timeline),
                     )
+            if self.cache is not None:
+                # One batched delta per run -- the cache outlives the
+                # pipeline call, so only this run's hits/misses count.
+                self.cache.report(tracer, cache_before)
         return timeline
 
     def summarize_corpus(

@@ -7,17 +7,31 @@ best remaining sentence, and an offer is accepted only when its maximum
 cosine similarity to every already-accepted sentence stays below a
 threshold (0.5 in the paper). The loop ends when every day has N sentences
 or every day's heap is exhausted.
+
+The redundancy check is vectorised by default: each round turns its
+offered sentences into rows of a CSR TF-IDF matrix (rows L2-normalised,
+so dot products are cosines — built lazily, since the offered sentences
+are typically a tiny fraction of the candidate pool), scores them against
+the accepted pool with a single sparse candidates-matrix x
+accepted-matrix product, and only the tiny intra-round sequential
+dependency (an offer must also clear the offers accepted *earlier in the
+same round*) stays order-dependent. The
+``vectorized=False`` path keeps the original per-pair dict-cosine loop;
+both produce identical timelines (asserted by
+``tests/test_analysis_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.daily import RankedDay
 from repro.obs.trace import Tracer, ensure_tracer
+from repro.text.analysis import AnalyzedCorpus, TokenCache
 from repro.text.similarity import max_similarity_to_set, sparse_cosine
 from repro.text.tfidf import TfidfModel
-from repro.text.tokenize import tokenize_for_matching
 from repro.tlsdata.types import Timeline
 
 #: The paper's redundancy threshold (Section 2.3.1).
@@ -44,6 +58,8 @@ def assemble_timeline(
     num_sentences: int,
     redundancy_threshold: float = DEFAULT_REDUNDANCY_THRESHOLD,
     tracer: Optional[Tracer] = None,
+    cache: Optional[TokenCache] = None,
+    vectorized: bool = True,
 ) -> Timeline:
     """Algorithm 1's batch assembly with cross-date redundancy removal.
 
@@ -61,6 +77,14 @@ def assemble_timeline(
         Optional :class:`~repro.obs.trace.Tracer`; counts
         ``postprocess.rounds`` / ``postprocess.offers`` /
         ``postprocess.accepted`` / ``postprocess.rejected_redundant``.
+    cache:
+        Optional shared :class:`~repro.text.analysis.TokenCache`; with
+        one, sentences already tokenised by earlier stages are not
+        re-tokenised here.
+    vectorized:
+        Use the batched CSR similarity path (default). ``False`` runs
+        the original per-pair sparse-dict cosine loop; outputs are
+        identical.
     """
     if num_sentences < 1:
         raise ValueError(f"num_sentences must be >= 1, got {num_sentences}")
@@ -75,28 +99,125 @@ def assemble_timeline(
     all_sentences: List[str] = []
     for day in ranked_days:
         all_sentences.extend(day.sentences)
+    analyzed = AnalyzedCorpus(all_sentences, cache=cache)
     model = TfidfModel()
-    model.fit([tokenize_for_matching(s) for s in all_sentences])
+    model.fit(analyzed.token_lists)
+
+    if vectorized:
+        selected = _select_vectorized(
+            ranked_days, num_sentences, redundancy_threshold,
+            model, analyzed, tracer,
+        )
+    else:
+        selected = _select_legacy(
+            ranked_days, num_sentences, redundancy_threshold,
+            model, analyzed, tracer,
+        )
+
+    timeline = Timeline()
+    for day in ranked_days:
+        for sentence in selected[day]:
+            timeline.add(day.date, sentence)
+    return timeline
+
+
+def _offer_round(
+    ranked_days: Sequence[RankedDay],
+    selected: Dict[RankedDay, List[str]],
+    num_sentences: int,
+) -> List[Tuple[RankedDay, str]]:
+    """One round-robin batch: every unfinished day offers its best."""
+    return [
+        (day, day.pop())
+        for day in ranked_days
+        if len(selected[day]) < num_sentences and not day.exhausted
+    ]
+
+
+def _select_vectorized(
+    ranked_days: Sequence[RankedDay],
+    num_sentences: int,
+    redundancy_threshold: float,
+    model: TfidfModel,
+    analyzed: AnalyzedCorpus,
+    tracer: Tracer,
+) -> Dict[RankedDay, List[str]]:
+    """Round-robin selection with batched CSR cosine checks.
+
+    Each round vectorises only its *offered* sentences (typically a tiny
+    fraction of the candidate pool) into L2-normalised TF-IDF rows, so a
+    sparse product against the accepted rows yields every
+    offer-vs-accepted cosine of the round at once. Row values are
+    batch-independent (per-row normalisation), so the lazy transform is
+    exactly the full candidate matrix restricted to offered rows.
+    """
+    from scipy import sparse
+
+    selected: Dict[RankedDay, List[str]] = {day: [] for day in ranked_days}
+    accepted_blocks: List[sparse.csr_matrix] = []
+
+    while True:
+        offers = _offer_round(ranked_days, selected, num_sentences)
+        if not offers:
+            break
+        tracer.count("postprocess.rounds")
+        tracer.count("postprocess.offers", len(offers))
+        candidates = model.transform_matrix(
+            [analyzed.tokens_of(sentence) for _, sentence in offers]
+        )
+        if accepted_blocks:
+            accepted = sparse.vstack(accepted_blocks, format="csr")
+            against_pool = np.asarray(
+                (candidates @ accepted.T).todense()
+            ).max(axis=1)
+        else:
+            against_pool = np.zeros(len(offers), dtype=np.float64)
+        # Offers of one round also compete with each other, in order.
+        intra = np.asarray((candidates @ candidates.T).todense())
+        accepted_in_round: List[int] = []
+        accepted_count = 0
+        for position, (day, sentence) in enumerate(offers):
+            redundant = against_pool[position] >= redundancy_threshold or (
+                accepted_in_round
+                and intra[position, accepted_in_round].max()
+                >= redundancy_threshold
+            )
+            if redundant:
+                tracer.count("postprocess.rejected_redundant")
+                continue
+            selected[day].append(sentence)
+            accepted_in_round.append(position)
+            accepted_blocks.append(candidates[position])
+            accepted_count += 1
+        tracer.count("postprocess.accepted", accepted_count)
+    return selected
+
+
+def _select_legacy(
+    ranked_days: Sequence[RankedDay],
+    num_sentences: int,
+    redundancy_threshold: float,
+    model: TfidfModel,
+    analyzed: AnalyzedCorpus,
+    tracer: Tracer,
+) -> Dict[RankedDay, List[str]]:
+    """The original per-pair sparse-dict cosine loop."""
     vector_cache: Dict[str, dict] = {}
 
     def vector_of(sentence: str) -> dict:
         cached = vector_cache.get(sentence)
         if cached is None:
-            cached = model.transform(tokenize_for_matching(sentence))
+            cached = model.transform(analyzed.tokens_of(sentence))
             vector_cache[sentence] = cached
         return cached
 
     selected: Dict[RankedDay, List[str]] = {day: [] for day in ranked_days}
     selected_vectors: List[dict] = []
 
-    def day_needs_more(day: RankedDay) -> bool:
-        return len(selected[day]) < num_sentences and not day.exhausted
-
-    while any(day_needs_more(day) for day in ranked_days):
-        # One batch: every unfinished day offers its current best sentence.
-        offers = [
-            (day, day.pop()) for day in ranked_days if day_needs_more(day)
-        ]
+    while True:
+        offers = _offer_round(ranked_days, selected, num_sentences)
+        if not offers:
+            break
         tracer.count("postprocess.rounds")
         tracer.count("postprocess.offers", len(offers))
         accepted_this_round: List[dict] = []
@@ -117,9 +238,4 @@ def assemble_timeline(
             accepted_this_round.append(vector)
         selected_vectors.extend(accepted_this_round)
         tracer.count("postprocess.accepted", len(accepted_this_round))
-
-    timeline = Timeline()
-    for day in ranked_days:
-        for sentence in selected[day]:
-            timeline.add(day.date, sentence)
-    return timeline
+    return selected

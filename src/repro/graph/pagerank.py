@@ -91,23 +91,43 @@ def pagerank_matrix(
 
     out_weights = matrix.sum(axis=1)
     dangling = out_weights == 0
+    has_dangling = bool(dangling.any())
     safe = np.where(dangling, 1.0, out_weights)
     transition = matrix / safe[:, None]  # row-stochastic except dangling rows
 
+    base = (1.0 - damping) * restart
     rank = restart.copy()
+    # Ping-pong buffers: every iteration writes into preallocated
+    # arrays via ufunc ``out=`` -- the arithmetic (and hence the result,
+    # bit for bit) matches the expression form, without allocating four
+    # temporaries per sweep.
+    new_rank = np.empty(n, dtype=np.float64)
+    diff = np.empty(n, dtype=np.float64)
+    dangling_term = (
+        np.empty(n, dtype=np.float64) if has_dangling else None
+    )
+    threshold = tolerance * n
     iterations = 0
     for _ in range(max_iterations):
         iterations += 1
-        dangling_mass = rank[dangling].sum()
-        new_rank = (
-            damping * (rank @ transition)
-            + damping * dangling_mass * restart
-            + (1.0 - damping) * restart
-        )
-        if np.abs(new_rank - rank).sum() < tolerance * n:
-            rank = new_rank
+        np.matmul(rank, transition, out=new_rank)
+        np.multiply(new_rank, damping, out=new_rank)
+        if has_dangling:
+            # new = damping*(rank@T) + (damping*mass)*restart + base,
+            # summed left to right exactly as written.
+            np.multiply(
+                restart,
+                damping * rank[dangling].sum(),
+                out=dangling_term,
+            )
+            np.add(new_rank, dangling_term, out=new_rank)
+        np.add(new_rank, base, out=new_rank)
+        np.subtract(new_rank, rank, out=diff)
+        np.abs(diff, out=diff)
+        converged = diff.sum() < threshold
+        rank, new_rank = new_rank, rank
+        if converged:
             break
-        rank = new_rank
     tracer.count(f"{counter_prefix}_runs")
     tracer.count(f"{counter_prefix}_iterations", iterations)
     return rank / rank.sum()

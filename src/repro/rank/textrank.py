@@ -20,8 +20,8 @@ import numpy as np
 
 from repro.graph.pagerank import DEFAULT_DAMPING, pagerank_matrix
 from repro.obs.trace import Tracer
-from repro.text.bm25 import BM25, BM25Parameters
-from repro.text.tokenize import tokenize_for_matching
+from repro.text.analysis import TokenCache, tokenize_with
+from repro.text.bm25 import BM25, BM25IdMatrices, BM25Parameters
 
 
 def textrank_scores(
@@ -59,6 +59,7 @@ def textrank_bm25(
     query: Sequence[str] = (),
     query_bias: float = 0.0,
     tracer: Optional[Tracer] = None,
+    cache: Optional[TokenCache] = None,
 ) -> List[int]:
     """Rank *sentences* by BM25-TextRank; returns indices, best first.
 
@@ -75,6 +76,10 @@ def textrank_bm25(
     tracer:
         Optional :class:`~repro.obs.trace.Tracer`; each underlying
         PageRank run counts ``textrank_runs`` / ``textrank_iterations``.
+    cache:
+        Optional shared :class:`~repro.text.analysis.TokenCache`;
+        sentences seen by any earlier stage (or a previous day) are not
+        re-tokenised.
     """
     if not 0.0 <= query_bias <= 1.0:
         raise ValueError(
@@ -84,14 +89,32 @@ def textrank_bm25(
         return []
     if len(sentences) == 1:
         return [0]
-    tokenised = [tokenize_for_matching(sentence) for sentence in sentences]
-    bm25 = BM25(tokenised, params=params)
-    adjacency = bm25.pairwise_matrix()
+    if cache is not None:
+        # The cache hands out interned token-id arrays, so the whole
+        # BM25 graph builds without touching a string: per-document term
+        # frequencies come from one np.unique over (row, token-id) keys.
+        id_arrays = [cache.token_ids(text) for text in sentences]
+        index = BM25IdMatrices(
+            id_arrays, len(cache.vocabulary), params=params
+        )
+    else:
+        tokenised = tokenize_with(cache, sentences)
+        index = BM25(tokenised, params=params)
+    adjacency = index.pairwise_matrix()
 
     personalization: Optional[np.ndarray] = None
     if query_bias > 0.0 and query:
-        query_tokens = tokenize_for_matching(" ".join(query))
-        relevance = bm25.scores(query_tokens)
+        query_tokens = tokenize_with(cache, [" ".join(query)])[0]
+        if cache is not None:
+            vocabulary_get = cache.vocabulary.get
+            query_ids = [
+                token_id
+                for token_id in map(vocabulary_get, query_tokens)
+                if token_id is not None
+            ]
+            relevance = index.scores(query_ids)
+        else:
+            relevance = index.scores(query_tokens)
         total = relevance.sum()
         n = len(sentences)
         uniform = np.full(n, 1.0 / n)

@@ -15,6 +15,7 @@ from typing import Iterable, List, Optional, Sequence
 from repro.search.index import InvertedIndex
 from repro.search.query import SearchHit, SearchQuery, execute
 from repro.temporal.tagger import TemporalTagger
+from repro.text.analysis import TokenCache
 from repro.text.bm25 import BM25Parameters
 from repro.tlsdata.types import Article, DatedSentence
 
@@ -26,8 +27,10 @@ class SearchEngine:
         self,
         tagger: Optional[TemporalTagger] = None,
         bm25_params: BM25Parameters = BM25Parameters(),
+        cache: Optional[TokenCache] = None,
     ) -> None:
-        self.index = InvertedIndex()
+        self.cache = cache
+        self.index = InvertedIndex(cache=cache)
         self.tagger = tagger or TemporalTagger()
         self.bm25_params = bm25_params
         self._num_articles = 0
@@ -87,14 +90,15 @@ class SearchEngine:
         path,
         tagger: Optional[TemporalTagger] = None,
         bm25_params: BM25Parameters = BM25Parameters(),
+        cache: Optional[TokenCache] = None,
     ) -> "SearchEngine":
         """Restore an engine from a saved index.
 
         The article counter reflects the distinct article ids found in
         the restored documents.
         """
-        engine = cls(tagger=tagger, bm25_params=bm25_params)
-        engine.index = InvertedIndex.load(path)
+        engine = cls(tagger=tagger, bm25_params=bm25_params, cache=cache)
+        engine.index = InvertedIndex.load(path, cache=cache)
         article_ids = {
             engine.index.document(doc_id).article_id
             for doc_id in range(engine.index.num_documents)
@@ -106,7 +110,9 @@ class SearchEngine:
 
     def search(self, query: SearchQuery) -> List[SearchHit]:
         """BM25-ranked hits for a keyword + window query."""
-        return execute(self.index, query, params=self.bm25_params)
+        return execute(
+            self.index, query, params=self.bm25_params, cache=self.cache
+        )
 
     def fetch_dated_sentences(
         self,

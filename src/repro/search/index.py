@@ -21,6 +21,7 @@ import pathlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Union
 
+from repro.text.analysis import TokenCache
 from repro.text.tokenize import tokenize_for_matching
 
 PathLike = Union[str, pathlib.Path]
@@ -46,7 +47,12 @@ class InvertedIndex:
     date-range filtering.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, cache: Optional[TokenCache] = None) -> None:
+        #: Optional shared :class:`~repro.text.analysis.TokenCache`. The
+        #: same sentence is indexed once per date it mentions, and later
+        #: re-tokenised by the summarisation pipeline -- with a shared
+        #: cache all of that is one tokenisation per distinct text.
+        self.cache = cache
         self._postings: Dict[str, Dict[int, List[int]]] = {}
         self._documents: List[IndexedSentence] = []
         self._doc_lengths: List[int] = []
@@ -65,7 +71,11 @@ class InvertedIndex:
     ) -> int:
         """Index one sentence; returns its document id."""
         doc_id = len(self._documents)
-        tokens = tokenize_for_matching(text)
+        tokens = (
+            self.cache.tokens(text)
+            if self.cache is not None
+            else tokenize_for_matching(text)
+        )
         document = IndexedSentence(
             doc_id=doc_id,
             text=text,
@@ -239,9 +249,11 @@ class InvertedIndex:
                 )
 
     @classmethod
-    def load(cls, path: PathLike) -> "InvertedIndex":
+    def load(
+        cls, path: PathLike, cache: Optional[TokenCache] = None
+    ) -> "InvertedIndex":
         """Restore an index written by :meth:`save`."""
-        index = cls()
+        index = cls(cache=cache)
         with pathlib.Path(path).open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()

@@ -9,8 +9,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 from repro.search.index import IndexedSentence, InvertedIndex
+from repro.text.analysis import TokenCache, tokenize_with
 from repro.text.bm25 import BM25Parameters
-from repro.text.tokenize import tokenize_for_matching
 
 
 @dataclass(frozen=True)
@@ -95,14 +95,20 @@ def execute(
     index: InvertedIndex,
     query: SearchQuery,
     params: BM25Parameters = BM25Parameters(),
+    cache: Optional[TokenCache] = None,
 ) -> List[SearchHit]:
     """Run *query* against *index*; returns hits, best first.
 
     Scoring is Okapi BM25 with IDF computed from the index's live
     statistics; candidates are restricted by the date window and (in
-    ``all``/phrase mode) the boolean constraints first.
+    ``all``/phrase mode) the boolean constraints first. *cache* falls
+    back to the index's own analysis cache when not given.
     """
-    query_tokens = tokenize_for_matching(" ".join(query.keywords))
+    if cache is None:
+        cache = index.cache
+    query_tokens = list(
+        tokenize_with(cache, [" ".join(query.keywords)])[0]
+    )
     if not query_tokens:
         return []
     n = index.num_documents

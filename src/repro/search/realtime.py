@@ -15,6 +15,7 @@ from typing import Iterable, Optional, Sequence
 from repro.core.pipeline import Wilson, WilsonConfig
 from repro.obs.trace import Span, Tracer
 from repro.search.engine import SearchEngine
+from repro.text.analysis import TokenCache
 from repro.tlsdata.types import Article, Timeline
 
 
@@ -48,9 +49,19 @@ class RealTimeTimelineSystem:
         engine: Optional[SearchEngine] = None,
         wilson: Optional[Wilson] = None,
         retrieval_limit: int = 5000,
+        cache: Optional[TokenCache] = None,
     ) -> None:
-        self.engine = engine or SearchEngine()
         self.wilson = wilson or Wilson(WilsonConfig())
+        #: One :class:`~repro.text.analysis.TokenCache` shared between the
+        #: search engine and the pipeline, persisting across queries:
+        #: repeat or overlapping queries skip tokenisation entirely
+        #: (warm-cache serving). ``None`` only when the pipeline was
+        #: configured with ``analysis_cache=False`` and no explicit
+        #: cache was passed.
+        self.cache: Optional[TokenCache] = (
+            cache if cache is not None else self.wilson.cache
+        )
+        self.engine = engine or SearchEngine(cache=self.cache)
         self.retrieval_limit = retrieval_limit
 
     # -- ingestion -------------------------------------------------------------

@@ -5,6 +5,8 @@ tokenisation, BM25 from IR libraries, BERT embeddings) is implemented here
 from scratch so the library has no dependencies beyond numpy/scipy:
 
 * :mod:`repro.text.tokenize` -- word and sentence tokenisation.
+* :mod:`repro.text.analysis` -- the corpus-wide tokenisation cache shared
+  by every pipeline stage (tokenise each distinct text once).
 * :mod:`repro.text.stopwords` -- the English stopword inventory.
 * :mod:`repro.text.stem` -- the Porter stemming algorithm.
 * :mod:`repro.text.vocabulary` -- token/id mapping used by the vector models.
@@ -14,6 +16,12 @@ from scratch so the library has no dependencies beyond numpy/scipy:
 * :mod:`repro.text.embeddings` -- LSA sentence embeddings (BERT substitute).
 """
 
+from repro.text.analysis import (
+    AnalyzedCorpus,
+    CacheStats,
+    TokenCache,
+    tokenize_with,
+)
 from repro.text.bm25 import BM25, BM25Parameters
 from repro.text.compress import (
     compress_sentence,
@@ -38,9 +46,12 @@ from repro.text.tokenize import (
 from repro.text.vocabulary import Vocabulary
 
 __all__ = [
+    "AnalyzedCorpus",
     "BM25",
     "BM25Parameters",
+    "CacheStats",
     "LsaEmbedder",
+    "TokenCache",
     "PorterStemmer",
     "STOPWORDS",
     "TfidfModel",
@@ -59,4 +70,5 @@ __all__ = [
     "stem_tokens",
     "tokenize",
     "tokenize_for_matching",
+    "tokenize_with",
 ]

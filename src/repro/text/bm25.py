@@ -17,8 +17,9 @@ WILSON uses BM25 in three places:
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,7 +47,15 @@ class BM25Parameters:
 
 
 class BM25:
-    """BM25 index over a fixed corpus of tokenised documents."""
+    """BM25 index over a fixed corpus of tokenised documents.
+
+    Query scoring is vectorised: the saturated term-frequency side
+    ``S[d, t] = tf_dt * (k1 + 1) / (tf_dt + norm_d)`` is materialised
+    once as a CSR postings matrix (lazily, on the first call that needs
+    it), after which :meth:`scores` is a single sparse matrix-vector
+    product and :meth:`pairwise_matrix` a single sparse product --
+    instead of per-token per-document Python loops.
+    """
 
     def __init__(
         self,
@@ -64,27 +73,101 @@ class BM25:
         mean_len = float(self._doc_lens.mean()) if self.num_docs else 0.0
         self.avgdl = mean_len if mean_len > 0 else 1.0
 
-        document_frequency: Dict[str, int] = {}
+        document_frequency: Counter = Counter()
+        append = self._doc_freqs.append
         for doc in corpus:
-            freqs: Dict[str, int] = {}
-            for token in doc:
-                freqs[token] = freqs.get(token, 0) + 1
-            self._doc_freqs.append(freqs)
-            for token in freqs:
-                document_frequency[token] = document_frequency.get(token, 0) + 1
+            freqs = Counter(doc)
+            append(freqs)
+            document_frequency.update(freqs.keys())
 
         self._idf = self._compute_idf(document_frequency)
+        # Lazy CSR factorisation: (token -> column, doc-side matrix,
+        # per-column IDF, raw tf data + coordinates for the query side).
+        self._postings: Optional[
+            Tuple[Dict[str, int], "object", np.ndarray]
+        ] = None
+        self._coords: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = None
+
+    def _postings_matrix(self):
+        """``(token_index, doc_side_csr, idf_per_column)``, built once.
+
+        ``doc_side_csr[d, t]`` carries the saturated document-side BM25
+        factor of token *t* in document *d*; multiplying by a query
+        vector ``q[t] = count_q(t) * idf(t)`` yields exactly the
+        :meth:`score` accumulation for every document at once.
+        """
+        if self._postings is None:
+            from scipy import sparse
+
+            token_index: Dict[str, int] = {}
+            setdefault = token_index.setdefault
+            doc_tokens: List[str] = []
+            tf_values: List[int] = []
+            lengths = np.zeros(len(self._doc_freqs), dtype=np.int64)
+            for doc_id, freqs in enumerate(self._doc_freqs):
+                doc_tokens.extend(freqs.keys())
+                tf_values.extend(freqs.values())
+                lengths[doc_id] = len(freqs)
+            cols = [
+                setdefault(token, len(token_index))
+                for token in doc_tokens
+            ]
+            row_arr = np.repeat(
+                np.arange(len(self._doc_freqs), dtype=np.int64), lengths
+            )
+            col_arr = np.asarray(cols, dtype=np.int64)
+            tf_arr = np.asarray(tf_values, dtype=np.float64)
+            # Rows are already grouped in document order, so the CSR
+            # arrays can be assembled directly (no COO round trip).
+            indptr = np.zeros(len(self._doc_freqs) + 1, dtype=np.int64)
+            np.cumsum(lengths, out=indptr[1:])
+            k1, b = self.params.k1, self.params.b
+            norms = k1 * (1.0 - b + b * self._doc_lens / self.avgdl)
+            doc_data = (
+                tf_arr * (k1 + 1.0) / (tf_arr + norms[row_arr])
+                if len(tf_arr)
+                else tf_arr
+            )
+            shape = (self.num_docs, max(len(token_index), 1))
+            doc_side = sparse.csr_matrix(
+                (doc_data, col_arr, indptr), shape=shape
+            )
+            doc_side.sort_indices()
+            # token_index assigns columns 0..n-1 in insertion order, so
+            # iterating its keys yields the per-column IDF directly.
+            idf_map = self._idf
+            idf_per_column = np.zeros(shape[1], dtype=np.float64)
+            if token_index:
+                idf_per_column[: len(token_index)] = np.fromiter(
+                    (idf_map[token] for token in token_index),
+                    dtype=np.float64,
+                    count=len(token_index),
+                )
+            self._postings = (token_index, doc_side, idf_per_column)
+            self._coords = (col_arr, tf_arr, indptr)
+        return self._postings
 
     def _compute_idf(
         self, document_frequency: Dict[str, int]
     ) -> Dict[str, float]:
-        """Always-positive (Lucene-style) inverse document frequency."""
-        return {
-            token: math.log(
-                1.0 + (self.num_docs - df + 0.5) / (df + 0.5)
-            )
-            for token, df in document_frequency.items()
-        }
+        """Always-positive (Lucene-style) inverse document frequency.
+
+        Tokens sharing a document frequency share their IDF; one log per
+        distinct df keeps the hot path off ``math.log``.
+        """
+        n, log = self.num_docs, math.log
+        log_by_df: Dict[int, float] = {}
+        idf: Dict[str, float] = {}
+        for token, df in document_frequency.items():
+            value = log_by_df.get(df)
+            if value is None:
+                value = log_by_df[df] = log(
+                    1.0 + (n - df + 0.5) / (df + 0.5)
+                )
+            idf[token] = value
+        return idf
 
     def idf(self, token: str) -> float:
         """IDF of *token* (0.0 for out-of-vocabulary tokens)."""
@@ -106,23 +189,27 @@ class BM25:
         return total
 
     def scores(self, query: Sequence[str]) -> np.ndarray:
-        """BM25 relevance of every indexed document to *query*."""
+        """BM25 relevance of every indexed document to *query*.
+
+        One sparse matvec over the precomputed postings matrix: the
+        query collapses to a vector ``q[t] = count_q(t) * idf(t)``
+        (repeated query terms contribute additively, exactly as the
+        per-token loop of :meth:`score` does).
+        """
         result = np.zeros(self.num_docs, dtype=np.float64)
-        if self.num_docs == 0:
+        if self.num_docs == 0 or not query:
             return result
-        k1, b = self.params.k1, self.params.b
-        norms = k1 * (1.0 - b + b * self._doc_lens / self.avgdl)
+        token_index, doc_side, idf_per_column = self._postings_matrix()
+        query_vector = np.zeros(doc_side.shape[1], dtype=np.float64)
+        matched = False
         for token in query:
-            token_idf = self._idf.get(token)
-            if token_idf is None:
-                continue
-            for index, freqs in enumerate(self._doc_freqs):
-                tf = freqs.get(token)
-                if tf:
-                    result[index] += (
-                        token_idf * tf * (k1 + 1.0) / (tf + norms[index])
-                    )
-        return result
+            column = token_index.get(token)
+            if column is not None:
+                query_vector[column] += idf_per_column[column]
+                matched = True
+        if not matched:
+            return result
+        return np.asarray(doc_side @ query_vector, dtype=np.float64)
 
     def pairwise_matrix(self) -> np.ndarray:
         """All-pairs matrix ``M[i, j] = score(doc_i as query, doc_j)``.
@@ -142,33 +229,126 @@ class BM25:
         n = self.num_docs
         if n == 0:
             return np.zeros((0, 0), dtype=np.float64)
-        token_ids: Dict[str, int] = {}
-        rows: List[int] = []
-        cols: List[int] = []
-        query_data: List[float] = []
-        doc_data: List[float] = []
-        k1, b = self.params.k1, self.params.b
-        norms = k1 * (1.0 - b + b * self._doc_lens / self.avgdl)
-        for doc_id, freqs in enumerate(self._doc_freqs):
-            for token, tf in freqs.items():
-                token_id = token_ids.setdefault(token, len(token_ids))
-                rows.append(doc_id)
-                cols.append(token_id)
-                query_data.append(tf * self._idf.get(token, 0.0))
-                doc_data.append(
-                    tf * (k1 + 1.0) / (tf + norms[doc_id])
-                )
-        if not token_ids:
+        token_index, doc_side, idf_per_column = self._postings_matrix()
+        if not token_index:
             return np.zeros((n, n), dtype=np.float64)
-        shape = (n, len(token_ids))
+        cols, tf_values, indptr = self._coords
         query_side = sparse.csr_matrix(
-            (query_data, (rows, cols)), shape=shape
+            (tf_values * idf_per_column[cols], cols, indptr),
+            shape=doc_side.shape,
         )
-        doc_side = sparse.csr_matrix(
-            (doc_data, (rows, cols)), shape=shape
+        query_side.sort_indices()
+        matrix = (query_side @ doc_side.T).toarray().astype(
+            np.float64, copy=False
         )
-        matrix = np.asarray(
-            (query_side @ doc_side.T).todense(), dtype=np.float64
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+
+class BM25IdMatrices:
+    """BM25 factor matrices over pre-interned token-id arrays.
+
+    The fully vectorised counterpart of :class:`BM25` for consumers that
+    hold :meth:`~repro.text.analysis.TokenCache.token_ids` arrays: term
+    frequencies per document come from one ``np.unique`` over a composite
+    ``(document, token-id)`` key instead of per-document Python counting,
+    so corpus indexing never touches a string. Per-cell factor values
+    match :class:`BM25` exactly (same tf, same length normalisation, the
+    same ``math.log`` IDF per document frequency); only the column order
+    -- and hence the float summation order inside matrix products --
+    differs, which moves results by at most a few ulps.
+    """
+
+    def __init__(
+        self,
+        id_arrays: Sequence[np.ndarray],
+        vocabulary_size: int,
+        params: BM25Parameters = BM25Parameters(),
+    ) -> None:
+        from scipy import sparse
+
+        self.params = params
+        self.num_docs = n = len(id_arrays)
+        self.vocabulary_size = width = max(int(vocabulary_size), 1)
+        lengths = np.fromiter(
+            (len(ids) for ids in id_arrays), dtype=np.int64, count=n
+        )
+        doc_lens = lengths.astype(np.float64)
+        mean_len = float(doc_lens.mean()) if n else 0.0
+        self.avgdl = mean_len if mean_len > 0 else 1.0
+
+        total = int(lengths.sum())
+        if total == 0:
+            empty = sparse.csr_matrix((n, width), dtype=np.float64)
+            self.query_side = empty
+            self.doc_side = empty.copy()
+            self.idf_per_column = np.zeros(width, dtype=np.float64)
+            return
+
+        ids_cat = np.concatenate(
+            [np.asarray(ids, dtype=np.int64) for ids in id_arrays if len(ids)]
+        )
+        row_arr = np.repeat(np.arange(n, dtype=np.int64), lengths)
+        # One sorted unique over the composite key yields, in canonical
+        # CSR order, every (document, token) posting and its tf.
+        composite = row_arr * width + ids_cat
+        postings, tf_counts = np.unique(composite, return_counts=True)
+        rows = postings // width
+        cols = postings % width
+        tf_arr = tf_counts.astype(np.float64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+
+        # IDF: df counts unique (document, token) pairs per token; one
+        # math.log per *distinct* df, applied by table lookup.
+        df = np.bincount(cols, minlength=width)
+        present = np.flatnonzero(df)
+        distinct_dfs = np.unique(df[present])
+        table = np.zeros(int(distinct_dfs.max()) + 1, dtype=np.float64)
+        for value in distinct_dfs.tolist():
+            table[value] = math.log(
+                1.0 + (n - value + 0.5) / (value + 0.5)
+            )
+        idf_per_column = np.zeros(width, dtype=np.float64)
+        idf_per_column[present] = table[df[present]]
+        self.idf_per_column = idf_per_column
+
+        k1, b = params.k1, params.b
+        norms = k1 * (1.0 - b + b * doc_lens / self.avgdl)
+        doc_data = tf_arr * (k1 + 1.0) / (tf_arr + norms[rows])
+        shape = (n, width)
+        self.doc_side = sparse.csr_matrix(
+            (doc_data, cols, indptr), shape=shape
+        )
+        self.query_side = sparse.csr_matrix(
+            (tf_arr * idf_per_column[cols], cols, indptr), shape=shape
+        )
+
+    def scores(self, query_ids: Sequence[int]) -> np.ndarray:
+        """BM25 relevance of every document to the id-encoded *query*."""
+        result = np.zeros(self.num_docs, dtype=np.float64)
+        if self.num_docs == 0 or len(query_ids) == 0:
+            return result
+        query_vector = np.zeros(self.vocabulary_size, dtype=np.float64)
+        matched = False
+        for token_id in query_ids:
+            if 0 <= token_id < self.vocabulary_size:
+                weight = self.idf_per_column[token_id]
+                if weight > 0.0:
+                    query_vector[token_id] += weight
+                    matched = True
+        if not matched:
+            return result
+        return np.asarray(self.doc_side @ query_vector, dtype=np.float64)
+
+    def pairwise_matrix(self) -> np.ndarray:
+        """All-pairs ``M[i, j] = score(doc_i as query, doc_j)``, zero
+        diagonal -- see :meth:`BM25.pairwise_matrix`."""
+        n = self.num_docs
+        if n == 0:
+            return np.zeros((0, 0), dtype=np.float64)
+        matrix = (self.query_side @ self.doc_side.T).toarray().astype(
+            np.float64, copy=False
         )
         np.fill_diagonal(matrix, 0.0)
         return matrix

@@ -17,8 +17,8 @@ import numpy as np
 from scipy import sparse
 from scipy.sparse.linalg import svds
 
+from repro.text.analysis import TokenCache, tokenize_with
 from repro.text.tfidf import TfidfModel
-from repro.text.tokenize import tokenize_for_matching
 
 
 def truncated_svd(matrix, k: int):
@@ -57,12 +57,18 @@ class LsaEmbedder:
     dimensions:
         Target dimensionality of the latent space. Automatically reduced
         when the corpus is too small to support it.
+    cache:
+        Optional shared :class:`~repro.text.analysis.TokenCache`; with
+        one, the fit-then-transform pattern tokenises each text once.
     """
 
-    def __init__(self, dimensions: int = 64) -> None:
+    def __init__(
+        self, dimensions: int = 64, cache: Optional[TokenCache] = None
+    ) -> None:
         if dimensions < 1:
             raise ValueError(f"dimensions must be >= 1, got {dimensions}")
         self.dimensions = dimensions
+        self.cache = cache
         self._tfidf = TfidfModel(sublinear_tf=True)
         self._components: Optional[np.ndarray] = None
 
@@ -70,7 +76,7 @@ class LsaEmbedder:
 
     def fit(self, texts: Sequence[str]) -> "LsaEmbedder":
         """Learn the latent space from raw *texts*."""
-        tokenised = [tokenize_for_matching(text) for text in texts]
+        tokenised = tokenize_with(self.cache, texts)
         matrix = self._tfidf.fit_transform_matrix(tokenised)
         k = min(self.dimensions, min(matrix.shape) - 1)
         if k < 1:
@@ -91,7 +97,7 @@ class LsaEmbedder:
         """Embed raw *texts*; rows are L2-normalised latent vectors."""
         if self._components is None:
             raise RuntimeError("LsaEmbedder must be fitted before transform")
-        tokenised = [tokenize_for_matching(text) for text in texts]
+        tokenised = tokenize_with(self.cache, texts)
         matrix = self._tfidf.transform_matrix(tokenised)
         dense = np.asarray(matrix @ self._components)
         if sparse.issparse(dense):  # pragma: no cover - defensive

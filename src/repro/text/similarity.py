@@ -11,19 +11,23 @@ from scipy import sparse
 SparseVector = Dict[int, float]
 
 
-def sparse_cosine(a: SparseVector, b: SparseVector) -> float:
+def sparse_cosine(
+    a: SparseVector, b: SparseVector, normalized: bool = False
+) -> float:
     """Cosine similarity of two sparse vectors (dicts of id -> weight).
 
     Vectors produced by :class:`repro.text.tfidf.TfidfModel` are already
-    L2-normalised, but this function does not rely on that.
+    L2-normalised; pass ``normalized=True`` to skip the norm computation
+    in that case (the dot product *is* the cosine). The default does not
+    rely on normalisation.
     """
     if not a or not b:
         return 0.0
     if len(b) < len(a):
         a, b = b, a
     dot = sum(value * b.get(key, 0.0) for key, value in a.items())
-    if dot == 0.0:
-        return 0.0
+    if normalized or dot == 0.0:
+        return dot
     norm_a = math.sqrt(sum(v * v for v in a.values()))
     norm_b = math.sqrt(sum(v * v for v in b.values()))
     if norm_a == 0.0 or norm_b == 0.0:

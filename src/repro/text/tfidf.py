@@ -8,6 +8,7 @@ as the input space of the LSA sentence embeddings.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -36,17 +37,30 @@ class TfidfModel:
 
     def fit(self, corpus: Sequence[Sequence[str]]) -> "TfidfModel":
         """Learn the vocabulary and IDF weights from tokenised *corpus*."""
-        document_frequency: Dict[int, int] = {}
+        add_all = self.vocabulary.add_all
+        document_frequency: Counter = Counter()
+        # Token streams coming from a shared cache are one tuple object
+        # per distinct sentence; memoising their id-sets skips re-hashing
+        # duplicate documents while counting each occurrence separately.
+        seen_streams: Dict[tuple, frozenset] = {}
         for doc in corpus:
-            seen = {self.vocabulary.add(token) for token in doc}
-            for token_id in seen:
-                document_frequency[token_id] = (
-                    document_frequency.get(token_id, 0) + 1
-                )
+            key = doc if isinstance(doc, tuple) else tuple(doc)
+            seen = seen_streams.get(key)
+            if seen is None:
+                seen = frozenset(add_all(key))
+                seen_streams[key] = seen
+            document_frequency.update(seen)
         self._num_docs = len(corpus)
         idf = np.zeros(len(self.vocabulary), dtype=np.float64)
+        # Many tokens share a document frequency; one log per distinct df.
+        log_by_df: Dict[int, float] = {}
         for token_id, df in document_frequency.items():
-            idf[token_id] = math.log((1 + self._num_docs) / (1 + df)) + 1.0
+            value = log_by_df.get(df)
+            if value is None:
+                value = log_by_df[df] = (
+                    math.log((1 + self._num_docs) / (1 + df)) + 1.0
+                )
+            idf[token_id] = value
         self._idf = idf
         return self
 
@@ -86,22 +100,48 @@ class TfidfModel:
     def transform_matrix(
         self, corpus: Sequence[Sequence[str]]
     ) -> sparse.csr_matrix:
-        """Vectorise *corpus* into a CSR matrix (rows L2-normalised)."""
-        self._require_fitted()
-        rows: List[int] = []
+        """Vectorise *corpus* into a CSR matrix (rows L2-normalised).
+
+        Builds the CSR arrays directly instead of materialising one
+        sparse dict per row; the per-element arithmetic (tf * idf, row
+        L2 norm) matches :meth:`transform` exactly.
+        """
+        idf = self._require_fitted()
+        get = self.vocabulary.get
         cols: List[int] = []
-        data: List[float] = []
+        tfs: List[float] = []
+        indptr = np.zeros(len(corpus) + 1, dtype=np.int64)
         for row_index, doc in enumerate(corpus):
-            vector = self.transform(doc)
-            for col, value in vector.items():
-                rows.append(row_index)
-                cols.append(col)
-                data.append(value)
-        return sparse.csr_matrix(
-            (data, (rows, cols)),
+            # Counter counts in C; filtering to in-vocabulary tokens
+            # afterwards preserves the first-occurrence column order of
+            # the per-token loop exactly.
+            for token, count in Counter(doc).items():
+                token_id = get(token)
+                if token_id is not None:
+                    cols.append(token_id)
+                    tfs.append(float(count))
+            indptr[row_index + 1] = len(cols)
+        col_arr = np.asarray(cols, dtype=np.int64)
+        tf_arr = np.asarray(tfs, dtype=np.float64)
+        if self.sublinear_tf:
+            tf_arr = 1.0 + np.log(tf_arr)
+        data = tf_arr * idf[col_arr] if len(col_arr) else tf_arr
+        row_lengths = np.diff(indptr)
+        norms = np.ones(len(corpus), dtype=np.float64)
+        nonempty = np.flatnonzero(row_lengths)
+        if len(nonempty):
+            # reduceat over only the non-empty starts: empty rows hold no
+            # elements, so consecutive non-empty segments stay contiguous.
+            squared = np.add.reduceat(data * data, indptr[nonempty])
+            norms[nonempty] = np.where(squared > 0, np.sqrt(squared), 1.0)
+            data = data / np.repeat(norms, row_lengths)
+        matrix = sparse.csr_matrix(
+            (data, col_arr, indptr),
             shape=(len(corpus), len(self.vocabulary)),
             dtype=np.float64,
         )
+        matrix.sort_indices()
+        return matrix
 
     def fit_transform_matrix(
         self, corpus: Sequence[Sequence[str]]

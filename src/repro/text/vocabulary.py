@@ -31,7 +31,19 @@ class Vocabulary:
 
     def add_all(self, tokens: Iterable[str]) -> List[int]:
         """Add every token in *tokens*; return their ids in order."""
-        return [self.add(token) for token in tokens]
+        token_to_id = self._token_to_id
+        id_to_token = self._id_to_token
+        get = token_to_id.get
+        ids: List[int] = []
+        append = ids.append
+        for token in tokens:
+            token_id = get(token)
+            if token_id is None:
+                token_id = len(id_to_token)
+                token_to_id[token] = token_id
+                id_to_token.append(token)
+            append(token_id)
+        return ids
 
     def get(self, token: str) -> Optional[int]:
         """Return the id of *token*, or ``None`` if out of vocabulary."""

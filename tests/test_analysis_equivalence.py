@@ -1,0 +1,120 @@
+"""Equivalence guarantees of the perf paths (satellite 3).
+
+The shared analysis cache, the vectorised redundancy check and the
+parallel daily summariser are pure optimisations: every one of them must
+produce byte-identical timelines to the legacy sequential/uncached code.
+"""
+
+import pytest
+
+from repro.core.daily import DailySummarizer
+from repro.core.pipeline import Wilson, WilsonConfig
+from repro.core.postprocess import assemble_timeline
+from repro.text.analysis import TokenCache
+from repro.tlsdata.synthetic import SyntheticConfig, SyntheticCorpusGenerator
+
+SEEDS = [3, 11, 29]
+
+
+def _pool(seed: int):
+    config = SyntheticConfig(
+        topic=f"equiv-{seed}",
+        theme="disaster",
+        seed=seed,
+        duration_days=45,
+        num_events=10,
+        num_major_events=5,
+        num_articles=30,
+        sentences_per_article=8,
+        reference_sentences_per_date=2,
+    )
+    instance = SyntheticCorpusGenerator(config).generate()
+    return instance.corpus.dated_sentences()
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def pool(request):
+    return _pool(request.param)
+
+
+class TestCachedPipelineEquivalence:
+    def test_cached_matches_uncached(self, pool):
+        baseline = Wilson(
+            WilsonConfig(
+                num_dates=6,
+                analysis_cache=False,
+                vectorized_postprocess=False,
+            )
+        ).summarize(pool)
+        optimized = Wilson(WilsonConfig(num_dates=6)).summarize(pool)
+        assert optimized == baseline
+
+    def test_repeat_runs_stay_identical(self, pool):
+        wilson = Wilson(WilsonConfig(num_dates=6))
+        cold = wilson.summarize(pool)
+        warm = wilson.summarize(pool)
+        assert warm == cold
+
+    def test_query_biased_variant_matches(self, pool):
+        query = ("flood", "evacuation")
+        baseline = Wilson(
+            WilsonConfig(
+                num_dates=5,
+                edge_weight="W4",
+                query_bias=0.3,
+                analysis_cache=False,
+                vectorized_postprocess=False,
+            )
+        ).summarize(pool, query=query)
+        optimized = Wilson(
+            WilsonConfig(num_dates=5, edge_weight="W4", query_bias=0.3)
+        ).summarize(pool, query=query)
+        assert optimized == baseline
+
+
+class TestVectorizedPostprocessEquivalence:
+    # RankedDay consumption is stateful (pop() advances a cursor), so
+    # each assemble_timeline call gets freshly ranked days.
+
+    @staticmethod
+    def _days(pool):
+        return DailySummarizer().rank_days(
+            pool, sorted({s.date for s in pool})
+        )
+
+    def test_vectorized_matches_legacy(self, pool):
+        legacy = assemble_timeline(self._days(pool), 2, vectorized=False)
+        vectorized = assemble_timeline(
+            self._days(pool), 2, vectorized=True
+        )
+        assert vectorized == legacy
+
+    def test_vectorized_matches_legacy_with_cache(self, pool):
+        legacy = assemble_timeline(self._days(pool), 3, vectorized=False)
+        vectorized = assemble_timeline(
+            self._days(pool), 3, vectorized=True, cache=TokenCache()
+        )
+        assert vectorized == legacy
+
+
+class TestParallelDailyEquivalence:
+    def test_workers_match_sequential(self, pool):
+        dates = sorted({s.date for s in pool})
+        cache = TokenCache()
+        sequential = DailySummarizer(cache=cache).rank_days(pool, dates)
+        parallel = DailySummarizer(workers=4, cache=cache).rank_days(
+            pool, dates
+        )
+        assert [day.date for day in parallel] == [
+            day.date for day in sequential
+        ]
+        assert [day.sentences for day in parallel] == [
+            day.sentences for day in sequential
+        ]
+
+    def test_parallel_pipeline_matches_sequential(self, pool):
+        sequential = Wilson(WilsonConfig(num_dates=6)).summarize(pool)
+        parallel = Wilson(
+            WilsonConfig(num_dates=6, daily_workers=4)
+        ).summarize(pool)
+        assert parallel == sequential

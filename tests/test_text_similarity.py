@@ -33,6 +33,29 @@ class TestSparseCosine:
         b = {0: 5.0}
         assert sparse_cosine(a, b) == pytest.approx(1.0)
 
+    def test_normalized_fast_path_agrees(self):
+        # On unit vectors the fast path (dot only) must agree with the
+        # norm-dividing default.
+        import math
+
+        raw = [
+            ({0: 0.3, 2: 0.9}, {0: 0.5, 1: 0.5, 2: 0.1}),
+            ({1: 1.0}, {1: 0.4, 3: 0.6}),
+            ({0: 0.25, 4: 0.75, 7: 0.5}, {4: 1.0}),
+        ]
+        for a, b in raw:
+            norm_a = math.sqrt(sum(v * v for v in a.values()))
+            norm_b = math.sqrt(sum(v * v for v in b.values()))
+            a = {k: v / norm_a for k, v in a.items()}
+            b = {k: v / norm_b for k, v in b.items()}
+            assert sparse_cosine(a, b, normalized=True) == pytest.approx(
+                sparse_cosine(a, b)
+            )
+
+    def test_normalized_fast_path_skips_norms(self):
+        # normalized=True trusts the caller: it returns the raw dot.
+        assert sparse_cosine({0: 2.0}, {0: 5.0}, normalized=True) == 10.0
+
 
 class TestDenseCosine:
     def test_known_value(self):
