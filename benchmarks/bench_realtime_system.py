@@ -8,7 +8,12 @@ timelines by event keywords in seconds" on a 1M-article corpus in the
 paper.
 """
 
-from common import emit, emit_stage_breakdown, tagged_timeline17
+from common import (
+    assert_if_opted_in,
+    emit,
+    emit_stage_breakdown,
+    tagged_timeline17,
+)
 from repro.obs.trace import Tracer
 from repro.search.engine import SearchEngine
 from repro.search.realtime import RealTimeTimelineSystem
@@ -65,7 +70,15 @@ def test_query_latency(benchmark, capsys):
         notes=["paper: timelines generated 'in seconds' on 1M articles"],
     )
     assert len(response.timeline) >= 3
-    assert response.total_seconds < 2.0
+    # Absolute wall-clock bound: meaningful on dedicated hardware,
+    # flaky on loaded shared runners -- enforced only under
+    # BENCH_ASSERT=1.
+    assert_if_opted_in(
+        response.total_seconds < 2.0,
+        f"expected sub-2s query serving, got "
+        f"{response.total_seconds:.2f}s",
+        capsys,
+    )
 
 
 def test_query_latency_warm_vs_cold(benchmark, capsys):
@@ -119,9 +132,16 @@ def test_query_latency_warm_vs_cold(benchmark, capsys):
             "ingest); warm = repeat query on the shared cache",
         ],
     )
-    # Identical answers either way, and the warm path must be cheaper.
+    # Identical answers either way; the warm-cheaper-than-cold ratio is
+    # a wall-clock comparison, so it is enforced only under
+    # BENCH_ASSERT=1 (a noisy neighbour can invert a millisecond gap).
     assert warm_runs[0].timeline == cold_runs[0].timeline
-    assert warm_ms < cold_ms
+    assert_if_opted_in(
+        warm_ms < cold_ms,
+        f"expected warm cache to serve faster: warm {warm_ms:.1f}ms vs "
+        f"cold {cold_ms:.1f}ms",
+        capsys,
+    )
     assert stats.hits > 0
 
 

@@ -1,0 +1,142 @@
+"""Sharded sweep benchmark: sequential vs multi-worker wall-clock.
+
+Runs the same WILSON dataset sweep through
+:func:`repro.experiments.runner.run_method` sequentially and fanned
+across 2 / 4 / 8 worker processes (``repro.runtime``), recording the
+wall-clock of each configuration into ``benchmarks/results/``. The
+merged metrics are asserted identical across every worker count on
+every run -- parallelism must never change the answer -- while the
+speedup claim (>1.7x at 4 workers on a multi-core host) is a wall-clock
+ratio and therefore enforced only under ``BENCH_ASSERT=1``: a
+single-core container or an oversubscribed CI runner cannot exhibit it
+no matter how correct the scheduler is.
+
+Scale knobs: ``WILSON_BENCH_SHARD_TOPICS`` (default 8) topics of
+``WILSON_BENCH_SHARD_SENTENCES`` (default 600) dated sentences each --
+one Figure-2-scale corpus per shard.
+"""
+
+import os
+
+from common import assert_if_opted_in, emit, timed
+from repro.core.variants import wilson_full
+from repro.experiments.datasets import TaggedDataset
+from repro.experiments.runner import WilsonMethod, run_method
+from repro.runtime import ShardPolicy
+from repro.tlsdata.synthetic import SyntheticConfig, SyntheticCorpusGenerator
+from repro.tlsdata.types import Dataset
+
+NUM_TOPICS = int(os.environ.get("WILSON_BENCH_SHARD_TOPICS", "8"))
+SENTENCES_PER_TOPIC = int(
+    os.environ.get("WILSON_BENCH_SHARD_SENTENCES", "600")
+)
+WORKER_COUNTS = (2, 4, 8)
+
+
+def _make_wilson(instance):
+    """Module-level method factory (picklable for the process backend)."""
+    return WilsonMethod(wilson_full())
+
+
+def _sharded_dataset() -> TaggedDataset:
+    articles = max(10, SENTENCES_PER_TOPIC // 20)
+    instances = []
+    for topic_index in range(NUM_TOPICS):
+        config = SyntheticConfig(
+            topic=f"shard-topic-{topic_index}",
+            theme="disaster" if topic_index % 2 == 0 else "conflict",
+            seed=1000 + topic_index,
+            duration_days=120,
+            num_events=24,
+            num_major_events=12,
+            num_articles=articles,
+            sentences_per_article=20,
+        )
+        instances.append(SyntheticCorpusGenerator(config).generate())
+    return TaggedDataset(Dataset("sharded-bench", instances))
+
+
+def _metric_fingerprint(result):
+    return [
+        (scores.instance_name, sorted(scores.metrics.items()))
+        for scores in result.per_instance
+    ]
+
+
+def test_sharded_runner_speedup(benchmark, capsys):
+    tagged = _sharded_dataset()
+    # Warm the per-instance tagging caches outside the timed region so
+    # every configuration pays identical setup.
+    for _ in tagged:
+        pass
+
+    def sweep(policy):
+        return run_method(
+            _make_wilson, tagged, include_s_star=False, parallel=policy
+        )
+
+    sequential, sequential_seconds = timed(sweep, None)
+
+    def full_matrix():
+        results = {}
+        for workers in WORKER_COUNTS:
+            policy = ShardPolicy(workers=workers, backend="process")
+            results[workers] = timed(sweep, policy)
+        return results
+
+    results = benchmark.pedantic(full_matrix, rounds=1, iterations=1)
+
+    rows = [
+        [
+            "sequential",
+            f"{sequential_seconds:.2f}s",
+            "1.00x",
+            len(sequential.per_instance),
+            0,
+        ]
+    ]
+    speedups = {}
+    for workers, (result, seconds) in sorted(results.items()):
+        speedups[workers] = sequential_seconds / max(seconds, 1e-9)
+        rows.append(
+            [
+                f"{workers} workers",
+                f"{seconds:.2f}s",
+                f"{speedups[workers]:.2f}x",
+                len(result.per_instance),
+                result.report.num_degraded,
+            ]
+        )
+    emit(
+        "sharded_runner",
+        ["configuration", "sweep wall-clock", "speedup", "topics", "degraded"],
+        rows,
+        title=(
+            f"Sharded sweep: {NUM_TOPICS} topics x ~{SENTENCES_PER_TOPIC} "
+            f"sentences, sequential vs process-pool workers"
+        ),
+        capsys=capsys,
+        notes=[
+            f"host cpus: {os.cpu_count()}; speedups need as many idle "
+            f"cores as workers",
+            "merged metrics asserted identical across all "
+            "configurations (see tests/test_runtime_equivalence.py for "
+            "the byte-level proof)",
+        ],
+    )
+
+    # Correctness is never gated: every configuration must produce the
+    # same merged metrics as the sequential reference.
+    reference = _metric_fingerprint(sequential)
+    for workers, (result, _) in results.items():
+        assert _metric_fingerprint(result) == reference, (
+            f"{workers}-worker sweep changed the metrics"
+        )
+        assert result.report.num_degraded == 0
+
+    assert_if_opted_in(
+        speedups[4] > 1.7,
+        f"expected >1.7x speedup at 4 workers, got {speedups[4]:.2f}x "
+        f"(host cpus: {os.cpu_count()})",
+        capsys,
+    )

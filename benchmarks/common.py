@@ -33,6 +33,28 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 T17_SCALE = float(os.environ.get("WILSON_BENCH_T17_SCALE", "0.1"))
 CRISIS_SCALE = float(os.environ.get("WILSON_BENCH_CRISIS_SCALE", "0.02"))
 
+#: Opt-in hard assertions on wall-clock *ratios* (``BENCH_ASSERT=1``).
+#: Ratio asserts are meaningful on quiet dedicated hardware but flake on
+#: slow shared CI runners (and single-core containers can't show
+#: multi-worker speedups at all), so by default the benchmarks record
+#: the numbers informationally and only enforce them when asked.
+BENCH_ASSERT = os.environ.get("BENCH_ASSERT", "") == "1"
+
+
+def assert_if_opted_in(condition: bool, message: str, capsys) -> None:
+    """Assert *condition* under ``BENCH_ASSERT=1``; else print the verdict.
+
+    Keeps the measured claim visible in every run's output while
+    confining hard enforcement to environments that opted in.
+    """
+    if BENCH_ASSERT:
+        assert condition, message
+    elif not condition:
+        with capsys.disabled():
+            print(
+                f"\nnote: BENCH_ASSERT off, not enforcing: {message}\n"
+            )
+
 _TAGGED_CACHE: dict = {}
 
 

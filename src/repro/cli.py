@@ -20,12 +20,17 @@ observability flags ``--trace`` (per-stage span tree on stderr) and
 ``docs/observability.md``), plus the shared performance flags
 ``--daily-workers N`` (parallel per-day summarisation) and
 ``--no-analysis-cache`` (disable the shared tokenisation cache).
+``evaluate`` additionally accepts the sharded-runtime flags
+``--shard-workers N`` / ``--shard-timeout SECONDS`` /
+``--shard-retries N`` fanning topics across a fault-isolated process
+pool (see ``docs/runtime.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import datetime
+import functools
 import sys
 from typing import List, Optional
 
@@ -79,6 +84,54 @@ def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the shared tokenisation cache (the pre-cache "
              "baseline; mainly for benchmarking)",
+    )
+
+
+def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
+    """The sharded-runtime flags (see docs/runtime.md)."""
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the per-topic shards (default 1 = "
+             "sequential; >1 fans topics across a process pool)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard deadline; a hung worker is killed, the shard "
+             "retried, then reported degraded (default: no deadline)",
+    )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-attempts before a crashing/hanging shard is recorded "
+             "as degraded instead of aborting the sweep (default 2)",
+    )
+
+
+def _shard_policy(args: argparse.Namespace):
+    """A ShardPolicy from the ``--shard-*`` flags, or None for sequential.
+
+    Sequential (the default, with no deadline requested) bypasses the
+    runtime entirely so single-topic runs stay exactly the seed path.
+    """
+    workers = getattr(args, "shard_workers", 1)
+    timeout = getattr(args, "shard_timeout", None)
+    if workers <= 1 and timeout is None:
+        return None
+    from repro.runtime import ShardPolicy
+
+    return ShardPolicy(
+        workers=max(1, workers),
+        timeout_seconds=timeout,
+        retries=getattr(args, "shard_retries", 2),
+        backend="process",
     )
 
 
@@ -236,6 +289,18 @@ def _make_method(name: str):
     return factories[name]()
 
 
+def _build_method(instance, name: str):
+    """Per-instance method factory for the experiments runner.
+
+    Module-level (and used via ``functools.partial(_build_method,
+    name=...)``) so the sharded runtime's process backend can pickle it;
+    constructing fresh per instance also keeps stateful baselines (e.g.
+    the seeded random baseline) identical between the sequential and
+    parallel paths.
+    """
+    return _make_method(name)
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.experiments.datasets import TaggedDataset
     from repro.experiments.runner import METRIC_KEYS, run_method
@@ -255,11 +320,17 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         dataset.instances = dataset.instances[: args.instances]
     tagged = TaggedDataset(dataset)
 
+    policy = _shard_policy(args)
+    tracer = _make_tracer(args)
     rows = []
     results = []
     for name in args.methods:
         result = run_method(
-            _make_method(name), tagged, include_s_star=False
+            functools.partial(_build_method, name=name),
+            tagged,
+            include_s_star=False,
+            parallel=policy,
+            tracer=tracer,
         )
         results.append(result)
         rows.append(
@@ -267,6 +338,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             + [result.mean(key) for key in METRIC_KEYS if key != "concat_s*"]
             + [f"{result.mean_seconds:.2f}s"]
         )
+        for degraded in result.degraded_instances:
+            print(
+                f"warning: shard {degraded!r} degraded "
+                f"(scored 0.0; see --shard-retries/--shard-timeout)",
+                file=sys.stderr,
+            )
     headers = ["Method"] + [
         key for key in METRIC_KEYS if key != "concat_s*"
     ] + ["time"]
@@ -282,6 +359,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         print()
         for line in comparison_report(results[0], results[1]):
             print(line)
+    _emit_trace(args, tracer)
     return 0
 
 
@@ -377,6 +455,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="head-to-head report (CI + significance) of the first two "
              "methods",
     )
+    _add_trace_flags(evaluate)
+    _add_shard_flags(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
     diagnose = sub.add_parser(

@@ -26,6 +26,7 @@ from repro.core.date_selection import (
     DateSelector,
     EdgeWeight,
     uniformity,
+    uniformity_score,
 )
 from repro.core.pipeline import Wilson, WilsonConfig
 from repro.core.postprocess import assemble_timeline, take_top_sentences
@@ -51,6 +52,7 @@ __all__ = [
     "assemble_timeline",
     "take_top_sentences",
     "uniformity",
+    "uniformity_score",
     "wilson_full",
     "wilson_tran",
     "wilson_uniform",

@@ -83,6 +83,35 @@ def uniformity(dates: Sequence[datetime.date]) -> float:
     return float(gaps.std())
 
 
+def uniformity_score(dates: Sequence[datetime.date]) -> float:
+    """Normalised Definition-3 uniformity in ``[0, 1]``; higher is better.
+
+    :func:`uniformity` is an *unbounded* dispersion (the raw standard
+    deviation of consecutive gaps), which makes selections over different
+    time spans incomparable. This score divides by the mean gap -- the
+    coefficient of variation -- and maps it through ``1 / (1 + cv)``:
+    perfectly even spacing scores 1.0, and the score decays toward 0 as
+    the spacing grows more lopsided, independent of the span's length.
+    Selections with fewer than two dates (or all dates equal, where no
+    spacing exists to judge) score a perfect 1.0.
+    """
+    if len(dates) < 2:
+        return 1.0
+    ordered = sorted(dates)
+    gaps = np.array(
+        [
+            (ordered[i + 1] - ordered[i]).days
+            for i in range(len(ordered) - 1)
+        ],
+        dtype=np.float64,
+    )
+    mean_gap = float(gaps.mean())
+    if mean_gap == 0.0:
+        return 1.0
+    coefficient_of_variation = float(gaps.std()) / mean_gap
+    return 1.0 / (1.0 + coefficient_of_variation)
+
+
 @dataclass
 class _ReferenceAggregate:
     """Aggregated statistics of all references from one date to another."""

@@ -9,7 +9,7 @@ reviewer asks for when one system claims to beat another.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.evaluation.bootstrap import (
     ConfidenceInterval,
@@ -20,6 +20,9 @@ from repro.evaluation.significance import (
     approximate_randomization_test,
 )
 from repro.experiments.runner import METRIC_KEYS, MethodResult
+from repro.obs.metrics import Metrics
+from repro.obs.trace import Tracer
+from repro.runtime import ShardPolicy, run_sharded
 
 
 @dataclass(frozen=True)
@@ -57,6 +60,41 @@ class MetricComparison:
         )
 
 
+def _compare_shard(payload: Tuple) -> MetricComparison:
+    """Run one metric's bootstrap + randomization test (one shard).
+
+    Both significance procedures are seeded per metric, never from shared
+    RNG state, so metric shards are independent and their results are
+    identical whether they run sequentially or across worker processes.
+    Module-level so the process backend can pickle it.
+    """
+    (
+        metric,
+        scores_a,
+        scores_b,
+        mean_a,
+        mean_b,
+        num_shuffles,
+        num_resamples,
+        seed,
+    ) = payload
+    return MetricComparison(
+        metric=metric,
+        mean_a=mean_a,
+        mean_b=mean_b,
+        difference_ci=bootstrap_difference_ci(
+            scores_a, scores_b,
+            num_resamples=num_resamples,
+            seed=seed,
+        ),
+        significance=approximate_randomization_test(
+            scores_a, scores_b,
+            num_shuffles=num_shuffles,
+            seed=seed,
+        ),
+    )
+
+
 def compare_methods(
     result_a: MethodResult,
     result_b: MethodResult,
@@ -64,11 +102,20 @@ def compare_methods(
     num_shuffles: int = 5000,
     num_resamples: int = 5000,
     seed: int = 0,
+    parallel: Optional[ShardPolicy] = None,
+    tracer: Optional[Tracer] = None,
+    obs_metrics: Optional[Metrics] = None,
 ) -> Dict[str, MetricComparison]:
     """Compare two evaluated methods metric by metric.
 
     Both results must come from the same dataset in the same instance
     order (the runner guarantees this); the comparison is paired.
+
+    With ``parallel=``\\ :class:`~repro.runtime.ShardPolicy` each metric's
+    resampling runs as its own shard; results merge back in the caller's
+    metric order and match the sequential path exactly (every metric is
+    seeded independently). A degraded metric shard raises -- a partial
+    significance report would be silently misleading.
     """
     names_a = [s.instance_name for s in result_a.per_instance]
     names_b = [s.instance_name for s in result_b.per_instance]
@@ -76,28 +123,36 @@ def compare_methods(
         raise ValueError(
             "results must cover the same instances in the same order"
         )
-    comparisons: Dict[str, MetricComparison] = {}
+    payloads = []
     for metric in metrics:
         if metric not in METRIC_KEYS:
             raise ValueError(f"unknown metric {metric!r}")
-        scores_a = result_a.scores(metric)
-        scores_b = result_b.scores(metric)
-        comparisons[metric] = MetricComparison(
-            metric=metric,
-            mean_a=result_a.mean(metric),
-            mean_b=result_b.mean(metric),
-            difference_ci=bootstrap_difference_ci(
-                scores_a, scores_b,
-                num_resamples=num_resamples,
-                seed=seed,
-            ),
-            significance=approximate_randomization_test(
-                scores_a, scores_b,
-                num_shuffles=num_shuffles,
-                seed=seed,
-            ),
+        payloads.append(
+            (
+                metric,
+                result_a.scores(metric),
+                result_b.scores(metric),
+                result_a.mean(metric),
+                result_b.mean(metric),
+                num_shuffles,
+                num_resamples,
+                seed,
+            )
         )
-    return comparisons
+    if parallel is None:
+        compared = [_compare_shard(payload) for payload in payloads]
+    else:
+        report = run_sharded(
+            _compare_shard,
+            payloads,
+            parallel,
+            keys=list(metrics),
+            tracer=tracer,
+            metrics=obs_metrics,
+        )
+        report.raise_if_degraded()
+        compared = report.values()
+    return {comparison.metric: comparison for comparison in compared}
 
 
 def comparison_report(

@@ -12,7 +12,7 @@ from __future__ import annotations
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.base import TimelineMethod
 from repro.core.pipeline import Wilson
@@ -24,6 +24,9 @@ from repro.evaluation.timeline_rouge import (
     concat_rouge,
 )
 from repro.experiments.datasets import TaggedDataset
+from repro.obs.metrics import Metrics
+from repro.obs.trace import Tracer
+from repro.runtime import ShardPolicy, ShardReport, run_sharded
 from repro.tlsdata.types import DatedSentence, Timeline, TimelineInstance
 
 #: Metric keys produced by :func:`evaluate_timeline`.
@@ -52,10 +55,24 @@ class InstanceScores:
 
 @dataclass
 class MethodResult:
-    """Aggregated evaluation of one method over a dataset."""
+    """Aggregated evaluation of one method over a dataset.
+
+    ``report`` is set when the evaluation ran through the sharded
+    runtime (``run_method(parallel=...)``); degraded shards appear in
+    ``per_instance`` as all-zero :class:`InstanceScores` so the result
+    keeps one row per dataset instance either way.
+    """
 
     method_name: str
     per_instance: List[InstanceScores]
+    report: Optional[ShardReport] = field(default=None, repr=False)
+
+    @property
+    def degraded_instances(self) -> List[str]:
+        """Instance names whose shard degraded (empty for sequential runs)."""
+        if self.report is None:
+            return []
+        return [r.key for r in self.report.degraded_results]
 
     def mean(self, key: str) -> float:
         """Mean of metric *key* across instances."""
@@ -128,6 +145,72 @@ class WilsonMethod(TimelineMethod):
 MethodFactory = Callable[[TimelineInstance], TimelineMethod]
 
 
+def _evaluate_shard(
+    payload: Tuple,
+) -> Tuple[str, InstanceScores]:
+    """Generate and score one instance's timeline (one runtime shard).
+
+    This is the single evaluation path shared by the sequential and
+    parallel modes of :func:`run_method` -- both route every instance
+    through this function, so `parallel(k workers) == sequential`
+    timeline-for-timeline whenever the method itself is deterministic
+    per instance (a ready stateless method, or a factory constructing a
+    fresh method per instance). Module-level so the process backend can
+    pickle it.
+    """
+    (
+        method,
+        instance,
+        pool,
+        include_s_star,
+        keep_timelines,
+        pool_transform,
+    ) = payload
+    concrete = method(instance) if callable(method) and not isinstance(
+        method, TimelineMethod
+    ) else method
+    if pool_transform is not None:
+        pool = pool_transform(pool, instance)
+    started = time.perf_counter()
+    timeline = concrete.generate(
+        pool,
+        instance.target_num_dates,
+        instance.target_sentences_per_date,
+        query=instance.corpus.query,
+    )
+    elapsed = time.perf_counter() - started
+    metrics = evaluate_timeline(
+        timeline, instance.reference, include_s_star=include_s_star
+    )
+    return concrete.name, InstanceScores(
+        instance_name=instance.name,
+        metrics=metrics,
+        seconds=elapsed,
+        timeline=timeline if keep_timelines else None,
+    )
+
+
+def _validate_shard_value(value: object) -> None:
+    """Reject corrupt shard shapes before they enter the merged result."""
+    if not (isinstance(value, tuple) and len(value) == 2):
+        raise TypeError(f"expected (name, InstanceScores), got {value!r}")
+    name, scores = value
+    if not isinstance(name, str) or not isinstance(scores, InstanceScores):
+        raise TypeError(f"expected (name, InstanceScores), got {value!r}")
+    missing = [key for key in METRIC_KEYS if key not in scores.metrics]
+    if missing:
+        raise ValueError(f"scores missing metric keys {missing}")
+
+
+def _degraded_scores(instance_name: str) -> InstanceScores:
+    """All-zero placeholder row for an instance whose shard degraded."""
+    return InstanceScores(
+        instance_name=instance_name,
+        metrics={key: 0.0 for key in METRIC_KEYS},
+        seconds=0.0,
+    )
+
+
 def run_method(
     method: "TimelineMethod | MethodFactory",
     tagged: TaggedDataset,
@@ -135,6 +218,9 @@ def run_method(
     include_s_star: bool = True,
     keep_timelines: bool = False,
     pool_transform: Optional[Callable] = None,
+    parallel: Optional[ShardPolicy] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Metrics] = None,
 ) -> MethodResult:
     """Evaluate *method* on every instance of a tagged dataset.
 
@@ -142,38 +228,65 @@ def run_method(
     instance (needed by oracles that read the reference timeline).
     *pool_transform* optionally rewrites each instance's sentence pool
     (e.g. keyword filtering for the Table 7 protocol).
+
+    With ``parallel=``\\ :class:`~repro.runtime.ShardPolicy`, instances
+    are sharded across the runtime's worker pool and merged back in
+    dataset order; per-instance metrics are identical to the sequential
+    path (both run :func:`_evaluate_shard`). For the process backend the
+    method (or factory) and any ``pool_transform`` must be picklable --
+    module-level functions or :func:`functools.partial` of them, not
+    lambdas. A shard that exhausts its retries contributes an all-zero
+    metrics row and is listed in :attr:`MethodResult.degraded_instances`.
+    Stateful method objects (e.g. a baseline consuming its RNG across
+    instances) only match sequential output when passed as a factory,
+    since process workers mutate private copies.
     """
-    per_instance: List[InstanceScores] = []
-    resolved_name = method_name
+    payloads = []
+    names = []
     for instance, pool in tagged:
-        concrete = method(instance) if callable(method) and not isinstance(
-            method, TimelineMethod
-        ) else method
-        if resolved_name is None:
-            resolved_name = concrete.name
-        if pool_transform is not None:
-            pool = pool_transform(pool, instance)
-        started = time.perf_counter()
-        timeline = concrete.generate(
-            pool,
-            instance.target_num_dates,
-            instance.target_sentences_per_date,
-            query=instance.corpus.query,
-        )
-        elapsed = time.perf_counter() - started
-        metrics = evaluate_timeline(
-            timeline, instance.reference, include_s_star=include_s_star
-        )
-        per_instance.append(
-            InstanceScores(
-                instance_name=instance.name,
-                metrics=metrics,
-                seconds=elapsed,
-                timeline=timeline if keep_timelines else None,
+        payloads.append(
+            (
+                method,
+                instance,
+                pool,
+                include_s_star,
+                keep_timelines,
+                pool_transform,
             )
         )
+        names.append(instance.name)
+
+    resolved_name = method_name
+    report: Optional[ShardReport] = None
+    per_instance: List[InstanceScores] = []
+    if parallel is None:
+        for payload in payloads:
+            shard_name, scores = _evaluate_shard(payload)
+            if resolved_name is None:
+                resolved_name = shard_name
+            per_instance.append(scores)
+    else:
+        report = run_sharded(
+            _evaluate_shard,
+            payloads,
+            parallel,
+            keys=names,
+            validate=_validate_shard_value,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        for instance_name, shard in zip(names, report.results):
+            if shard.ok:
+                shard_name, scores = shard.value
+                if resolved_name is None:
+                    resolved_name = shard_name
+                per_instance.append(scores)
+            else:
+                per_instance.append(_degraded_scores(instance_name))
     return MethodResult(
-        method_name=resolved_name or "method", per_instance=per_instance
+        method_name=resolved_name or "method",
+        per_instance=per_instance,
+        report=report,
     )
 
 

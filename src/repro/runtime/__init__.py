@@ -1,0 +1,23 @@
+"""Sharded batch execution for multi-topic sweeps and query bursts.
+
+See :mod:`repro.runtime.sharding` for the scheduler and docs/runtime.md
+for the sharding model, failure semantics, and telemetry contract.
+"""
+
+from repro.runtime.sharding import (
+    BACKENDS,
+    DegradedSweepError,
+    ShardPolicy,
+    ShardReport,
+    ShardResult,
+    run_sharded,
+)
+
+__all__ = [
+    "BACKENDS",
+    "DegradedSweepError",
+    "ShardPolicy",
+    "ShardReport",
+    "ShardResult",
+    "run_sharded",
+]

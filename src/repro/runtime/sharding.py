@@ -1,0 +1,575 @@
+"""Sharded batch execution with per-shard fault isolation.
+
+WILSON's divide-and-conquer design makes each topic's timeline cheap
+(``O(T^2 + t*N^2)``), so a dataset sweep -- or a burst of real-time
+queries -- is embarrassingly parallel *across* topics. This module is the
+process-level exploitation of that decomposition: :func:`run_sharded`
+fans a picklable task out over a pool of workers, one shard per item,
+and merges the results back **in input order** so parallel sweeps stay
+deterministic.
+
+The scheduler's contract is fault isolation, not just speed:
+
+* a shard whose worker **raises** is retried up to ``retries`` times
+  with exponential backoff;
+* a shard whose worker **hangs** past ``timeout_seconds`` has its worker
+  process killed (the pool is rebuilt; innocent in-flight shards are
+  resubmitted without an attempt penalty);
+* a shard whose worker returns a **corrupt shape** (rejected by the
+  optional ``validate`` hook) counts as a failure like any other;
+* a shard that exhausts its attempts is recorded as a **degraded**
+  :class:`ShardResult` -- the sweep always completes and always returns
+  one result per input item.
+
+Backends (:attr:`ShardPolicy.backend`):
+
+``"process"``
+    A :class:`concurrent.futures.ProcessPoolExecutor`. The only backend
+    that can *kill* a hung worker: on timeout the pool's worker
+    processes are terminated and the pool is rebuilt. Tasks, items and
+    results must be picklable.
+``"thread"``
+    A :class:`concurrent.futures.ThreadPoolExecutor`. For shard tasks
+    that share in-process read-only state (the real-time system's search
+    index, the thread-safe :class:`~repro.text.analysis.TokenCache`).
+    Timeouts are cooperative: the attempt is abandoned and retried, but
+    the runaway thread cannot be killed and its eventual result is
+    discarded.
+``"inline"``
+    Sequential execution in the calling thread -- the deterministic
+    reference path. Retry/degrade semantics apply; timeouts are not
+    enforced (nothing to kill).
+
+Telemetry (the ``runtime.*`` contract, see docs/runtime.md and
+docs/observability.md): the sweep runs inside a ``runtime`` span and
+counts ``runtime.shards`` / ``runtime.ok`` / ``runtime.degraded`` /
+``runtime.retries`` / ``runtime.timeouts`` / ``runtime.failures``. An
+optional :class:`~repro.obs.metrics.Metrics` registry additionally
+records the per-shard latency histogram ``runtime.shard_seconds``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import Metrics
+from repro.obs.trace import Tracer, ensure_tracer
+
+#: Valid :attr:`ShardPolicy.backend` values.
+BACKENDS = ("process", "thread", "inline")
+
+#: Shard statuses.
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class ShardPolicy:
+    """How a sharded sweep schedules, times out, and retries its shards.
+
+    ``retries`` counts *re*-attempts: a shard runs at most
+    ``1 + retries`` times before it is recorded as degraded.
+    ``timeout_seconds=None`` disables deadlines. Backoff before the
+    n-th retry is ``backoff_seconds * backoff_multiplier**(n-1)``,
+    scheduled without blocking other shards.
+    """
+
+    workers: int = 1
+    timeout_seconds: Optional[float] = None
+    retries: int = 2
+    backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    backend: str = "process"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be None or > 0, got "
+                f"{self.timeout_seconds}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_seconds < 0:
+            raise ValueError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got "
+                f"{self.backoff_multiplier}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        return 1 + self.retries
+
+    def backoff_for(self, completed_attempts: int) -> float:
+        """Backoff delay before the attempt after *completed_attempts*."""
+        if completed_attempts <= 0 or self.backoff_seconds == 0:
+            return 0.0
+        return self.backoff_seconds * (
+            self.backoff_multiplier ** (completed_attempts - 1)
+        )
+
+
+@dataclass
+class ShardResult:
+    """The outcome of one shard: a value, or a degraded record.
+
+    ``attempts`` counts executions that *charged* this shard (an attempt
+    lost to another shard's pool kill is rescheduled for free).
+    ``failures`` keeps one human-readable line per charged failure;
+    ``error`` is the last of them (``None`` for a first-try success).
+    """
+
+    index: int
+    key: str
+    status: str = STATUS_OK
+    value: Any = None
+    attempts: int = 0
+    timeouts: int = 0
+    seconds: float = 0.0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == STATUS_DEGRADED
+
+    @property
+    def retried(self) -> int:
+        """Charged attempts beyond the first."""
+        return max(0, self.attempts - 1)
+
+    @property
+    def error(self) -> Optional[str]:
+        return self.failures[-1] if self.failures else None
+
+
+@dataclass
+class ShardReport:
+    """All shard results of one sweep, in input order, plus sweep totals."""
+
+    results: List[ShardResult]
+    seconds: float
+    policy: ShardPolicy
+
+    @property
+    def ok_results(self) -> List[ShardResult]:
+        return [r for r in self.results if r.ok]
+
+    @property
+    def degraded_results(self) -> List[ShardResult]:
+        return [r for r in self.results if r.degraded]
+
+    @property
+    def num_degraded(self) -> int:
+        return len(self.degraded_results)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retried for r in self.results)
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(r.timeouts for r in self.results)
+
+    def values(self, default: Any = None) -> List[Any]:
+        """Shard values in input order; degraded shards yield *default*."""
+        return [r.value if r.ok else default for r in self.results]
+
+    def raise_if_degraded(self) -> "ShardReport":
+        """Raise :class:`DegradedSweepError` unless every shard is ok."""
+        if self.num_degraded:
+            raise DegradedSweepError(self.degraded_results)
+        return self
+
+
+class DegradedSweepError(RuntimeError):
+    """A sweep finished with degraded shards a caller refused to accept."""
+
+    def __init__(self, degraded: Sequence[ShardResult]) -> None:
+        self.degraded = list(degraded)
+        lines = ", ".join(
+            f"{r.key}: {r.error}" for r in self.degraded
+        )
+        super().__init__(
+            f"{len(self.degraded)} shard(s) degraded ({lines})"
+        )
+
+
+@dataclass
+class _ShardState:
+    """Scheduler-internal bookkeeping for one shard."""
+
+    index: int
+    key: str
+    item: Any
+    attempts: int = 0
+    timeouts: int = 0
+    seconds: float = 0.0
+    failures: List[str] = field(default_factory=list)
+    ready_at: float = 0.0  # monotonic eligibility time (backoff)
+
+    def charge_failure(
+        self, policy: ShardPolicy, message: str, timed_out: bool = False
+    ) -> None:
+        self.attempts += 1
+        self.failures.append(message)
+        if timed_out:
+            self.timeouts += 1
+        self.ready_at = time.perf_counter() + policy.backoff_for(
+            self.attempts
+        )
+
+    @property
+    def exhausted(self) -> bool:
+        return bool(self.failures) and self.attempts >= 0
+
+    def result(self, status: str, value: Any = None) -> ShardResult:
+        return ShardResult(
+            index=self.index,
+            key=self.key,
+            status=status,
+            value=value,
+            attempts=self.attempts,
+            timeouts=self.timeouts,
+            seconds=self.seconds,
+            failures=list(self.failures),
+        )
+
+
+def _describe_failure(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _validate_value(
+    validate: Optional[Callable[[Any], None]], value: Any
+) -> Optional[str]:
+    """Run the shape validator; a failure string, or ``None`` when valid."""
+    if validate is None:
+        return None
+    try:
+        validate(value)
+    except Exception as exc:  # noqa: BLE001 -- any rejection degrades
+        return f"invalid result: {_describe_failure(exc)}"
+    return None
+
+
+def _terminate_pool(executor: ProcessPoolExecutor) -> None:
+    """Kill a process pool, including any hung worker.
+
+    ``ProcessPoolExecutor`` has no public kill switch; terminating the
+    worker processes is the only way to reclaim one stuck in an
+    unbounded computation. ``_processes`` is a CPython implementation
+    detail, so fall back to a plain (non-killing) shutdown if it moves
+    -- the scheduler stays correct either way, it just leaks the hung
+    worker until process exit.
+    """
+    processes = getattr(executor, "_processes", None)
+    if processes:
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already-dead workers
+                pass
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+def run_sharded(
+    task: Callable[[Any], Any],
+    items: Sequence[Any],
+    policy: Optional[ShardPolicy] = None,
+    *,
+    keys: Optional[Sequence[str]] = None,
+    validate: Optional[Callable[[Any], None]] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Metrics] = None,
+) -> ShardReport:
+    """Run ``task(item)`` for every item under *policy*; merge in order.
+
+    Parameters
+    ----------
+    task:
+        The per-shard callable. Must be picklable (a module-level
+        function or :func:`functools.partial` of one) for the process
+        backend.
+    items:
+        One shard per item. Items (and results) must be picklable for
+        the process backend.
+    keys:
+        Optional human-readable shard names for reports and telemetry;
+        defaults to ``shard[<index>]``.
+    validate:
+        Optional shape check called on every returned value; raising
+        marks the attempt failed ("corrupt shape"), subject to the same
+        retry/degrade policy as a crash.
+    tracer, metrics:
+        Optional observability sinks (see module docstring).
+
+    Returns
+    -------
+    A :class:`ShardReport` with exactly ``len(items)`` results in input
+    order. Degraded shards carry their failure history; the sweep never
+    raises because of a failing shard.
+    """
+    policy = policy or ShardPolicy()
+    tracer = ensure_tracer(tracer)
+    if keys is None:
+        keys = [f"shard[{i}]" for i in range(len(items))]
+    elif len(keys) != len(items):
+        raise ValueError(
+            f"keys/items length mismatch: {len(keys)} != {len(items)}"
+        )
+    states = [
+        _ShardState(index=i, key=key, item=item)
+        for i, (key, item) in enumerate(zip(keys, items))
+    ]
+    started = time.perf_counter()
+    with tracer.span("runtime"):
+        tracer.count("runtime.shards", len(states))
+        if policy.backend == "inline" or not states:
+            results = _run_inline(task, states, policy, validate)
+        else:
+            results = _run_pooled(task, states, policy, validate)
+        report = ShardReport(
+            results=results,
+            seconds=time.perf_counter() - started,
+            policy=policy,
+        )
+        tracer.count("runtime.ok", len(report.ok_results))
+        tracer.count("runtime.degraded", report.num_degraded)
+        tracer.count("runtime.retries", report.total_retries)
+        tracer.count("runtime.timeouts", report.total_timeouts)
+        tracer.count(
+            "runtime.failures",
+            sum(len(r.failures) for r in report.results),
+        )
+    if metrics is not None:
+        metrics.counter("runtime.shards").inc(len(report.results))
+        metrics.counter("runtime.ok").inc(len(report.ok_results))
+        metrics.counter("runtime.degraded").inc(report.num_degraded)
+        metrics.counter("runtime.retries").inc(report.total_retries)
+        metrics.counter("runtime.timeouts").inc(report.total_timeouts)
+        histogram = metrics.histogram("runtime.shard_seconds")
+        for result in report.ok_results:
+            histogram.observe(result.seconds)
+    return report
+
+
+# -- inline backend ------------------------------------------------------------
+
+
+def _run_inline(
+    task: Callable[[Any], Any],
+    states: List[_ShardState],
+    policy: ShardPolicy,
+    validate: Optional[Callable[[Any], None]],
+) -> List[ShardResult]:
+    results: List[Optional[ShardResult]] = [None] * len(states)
+    for state in states:
+        while True:
+            delay = state.ready_at - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            attempt_start = time.perf_counter()
+            try:
+                value = task(state.item)
+            except Exception as exc:  # noqa: BLE001 -- isolate the shard
+                state.charge_failure(policy, _describe_failure(exc))
+            else:
+                problem = _validate_value(validate, value)
+                if problem is None:
+                    state.attempts += 1
+                    state.seconds = time.perf_counter() - attempt_start
+                    results[state.index] = state.result(STATUS_OK, value)
+                    break
+                state.charge_failure(policy, problem)
+            if state.attempts >= policy.max_attempts:
+                results[state.index] = state.result(STATUS_DEGRADED)
+                break
+    return results  # type: ignore[return-value]
+
+
+# -- pooled backends (process / thread) ----------------------------------------
+
+
+@dataclass
+class _InFlight:
+    """A submitted attempt: its shard, start time, and deadline."""
+
+    state: _ShardState
+    started: float
+    deadline: Optional[float]
+
+
+def _run_pooled(
+    task: Callable[[Any], Any],
+    states: List[_ShardState],
+    policy: ShardPolicy,
+    validate: Optional[Callable[[Any], None]],
+) -> List[ShardResult]:
+    """The shared scheduler loop for the process and thread backends."""
+    results: List[Optional[ShardResult]] = [None] * len(states)
+    pending: List[_ShardState] = list(states)
+    in_flight: Dict[Future, _InFlight] = {}
+    executor: Optional[object] = None
+    is_process = policy.backend == "process"
+
+    def make_executor():
+        if is_process:
+            return ProcessPoolExecutor(max_workers=policy.workers)
+        return ThreadPoolExecutor(
+            max_workers=policy.workers,
+            thread_name_prefix="runtime-shard",
+        )
+
+    def settle(state: _ShardState) -> None:
+        """Record a shard's final outcome or requeue it for a retry."""
+        if state.attempts >= policy.max_attempts:
+            results[state.index] = state.result(STATUS_DEGRADED)
+        else:
+            pending.append(state)
+
+    try:
+        while pending or in_flight:
+            now = time.perf_counter()
+            # Submit every eligible shard while workers are free.
+            pending.sort(key=lambda s: (s.ready_at, s.index))
+            while pending and len(in_flight) < policy.workers:
+                if pending[0].ready_at > now:
+                    break
+                state = pending.pop(0)
+                if executor is None:
+                    executor = make_executor()
+                future = executor.submit(task, state.item)
+                deadline = (
+                    now + policy.timeout_seconds
+                    if policy.timeout_seconds is not None
+                    else None
+                )
+                in_flight[future] = _InFlight(state, now, deadline)
+
+            if not in_flight:
+                # Everything is backing off; sleep until the next shard
+                # becomes eligible.
+                next_ready = min(s.ready_at for s in pending)
+                time.sleep(max(0.0, next_ready - time.perf_counter()))
+                continue
+
+            # Wake at the earliest of: a completion, the nearest
+            # deadline, or the nearest backoff expiry.
+            wait_until = [
+                f.deadline for f in in_flight.values()
+                if f.deadline is not None
+            ]
+            wait_until.extend(s.ready_at for s in pending)
+            timeout = (
+                max(0.0, min(wait_until) - time.perf_counter())
+                if wait_until
+                else None
+            )
+            done, _ = wait(
+                tuple(in_flight),
+                timeout=timeout,
+                return_when=FIRST_COMPLETED,
+            )
+
+            broken_pool = False
+            for future in done:
+                flight = in_flight.pop(future)
+                state = flight.state
+                try:
+                    value = future.result()
+                except BrokenProcessPool:
+                    # A worker died hard (segfault / os._exit). The pool
+                    # cannot attribute the death, so every in-flight
+                    # shard is charged one attempt and the pool rebuilt.
+                    broken_pool = True
+                    state.charge_failure(
+                        policy, "worker process died (broken pool)"
+                    )
+                    settle(state)
+                    continue
+                except Exception as exc:  # noqa: BLE001 -- shard crash
+                    state.charge_failure(policy, _describe_failure(exc))
+                    settle(state)
+                    continue
+                problem = _validate_value(validate, value)
+                if problem is None:
+                    state.attempts += 1
+                    state.seconds = time.perf_counter() - flight.started
+                    results[state.index] = state.result(STATUS_OK, value)
+                else:
+                    state.charge_failure(policy, problem)
+                    settle(state)
+
+            if broken_pool:
+                for future, flight in list(in_flight.items()):
+                    flight.state.charge_failure(
+                        policy, "worker process died (broken pool)"
+                    )
+                    settle(flight.state)
+                in_flight.clear()
+                if executor is not None:
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = None
+                continue
+
+            # Deadline enforcement.
+            now = time.perf_counter()
+            overdue = [
+                (future, flight)
+                for future, flight in in_flight.items()
+                if flight.deadline is not None and now >= flight.deadline
+                and not future.done()
+            ]
+            if not overdue:
+                continue
+            for future, flight in overdue:
+                del in_flight[future]
+                flight.state.charge_failure(
+                    policy,
+                    f"timeout after {policy.timeout_seconds:.3g}s",
+                    timed_out=True,
+                )
+                settle(flight.state)
+            if is_process:
+                # The hung worker holds a pool slot until killed; the
+                # only remedy is to kill the pool. Innocent in-flight
+                # shards are resubmitted without an attempt penalty.
+                for future, flight in list(in_flight.items()):
+                    flight.state.ready_at = 0.0
+                    pending.append(flight.state)
+                in_flight.clear()
+                if executor is not None:
+                    _terminate_pool(executor)
+                    executor = None
+            else:
+                # Threads cannot be killed; abandon the attempt and let
+                # the stray thread's eventual result fall on the floor.
+                for future in (f for f, _ in overdue):
+                    future.cancel()
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+    return results  # type: ignore[return-value]

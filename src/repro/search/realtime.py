@@ -10,13 +10,31 @@ from __future__ import annotations
 
 import datetime
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import Wilson, WilsonConfig
+from repro.obs.metrics import Metrics
 from repro.obs.trace import Span, Tracer
+from repro.runtime import ShardPolicy, ShardReport, run_sharded
 from repro.search.engine import SearchEngine
 from repro.text.analysis import TokenCache
 from repro.tlsdata.types import Article, Timeline
+
+
+@dataclass(frozen=True)
+class TimelineQuery:
+    """One user query of a concurrent batch: keywords plus a duration."""
+
+    keywords: Tuple[str, ...]
+    start: datetime.date
+    end: datetime.date
+    num_dates: int = 10
+    num_sentences: int = 1
+
+    @property
+    def key(self) -> str:
+        """A human-readable shard key for reports and telemetry."""
+        return " ".join(self.keywords) or "<empty>"
 
 
 @dataclass
@@ -127,3 +145,63 @@ class RealTimeTimelineSystem:
             generation_seconds=generation.duration_seconds,
             trace=root if tracer.enabled else None,
         )
+
+    def _serve_query(self, query: TimelineQuery) -> TimelineResponse:
+        """Serve one :class:`TimelineQuery` (the per-shard task)."""
+        return self.generate_timeline(
+            query.keywords,
+            start=query.start,
+            end=query.end,
+            num_dates=query.num_dates,
+            num_sentences=query.num_sentences,
+        )
+
+    def generate_timelines(
+        self,
+        queries: Sequence[TimelineQuery],
+        policy: Optional[ShardPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> ShardReport:
+        """Serve a batch of queries concurrently against the shared index.
+
+        Queries run through :func:`repro.runtime.run_sharded` on the
+        **thread** (or inline) backend: worker threads share this
+        system's read-only index and thread-safe
+        :class:`~repro.text.analysis.TokenCache`, so concurrent queries
+        reuse each other's tokenisation work -- the serving-side payoff
+        of the shared cache. The process backend is rejected: forked
+        workers would each copy the index and warm private caches,
+        silently discarding exactly that benefit.
+
+        Returns the full :class:`~repro.runtime.ShardReport`; responses
+        are in query order via ``report.values()``, with ``None`` for
+        queries that exhausted their retries (timeouts on the thread
+        backend abandon the attempt -- the stray worker thread cannot be
+        killed, its result is discarded).
+        """
+        policy = policy or ShardPolicy(backend="thread")
+        if policy.backend == "process":
+            raise ValueError(
+                "generate_timelines shares one in-process index; use the "
+                "'thread' (or 'inline') backend, not 'process'"
+            )
+        return run_sharded(
+            self._serve_query,
+            list(queries),
+            policy,
+            keys=[query.key for query in queries],
+            tracer=tracer,
+            metrics=metrics,
+        )
+
+    def generate_timelines_list(
+        self,
+        queries: Sequence[TimelineQuery],
+        policy: Optional[ShardPolicy] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> List[Optional[TimelineResponse]]:
+        """Convenience wrapper: responses only, in query order."""
+        return self.generate_timelines(
+            queries, policy=policy, tracer=tracer
+        ).values()

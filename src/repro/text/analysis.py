@@ -196,6 +196,24 @@ class TokenCache:
             self._tokens.clear()
             self._ids.clear()
 
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle everything but the (unpicklable) lock.
+
+        The sharded runtime (:mod:`repro.runtime.sharding`) ships whole
+        :class:`~repro.core.pipeline.Wilson` instances -- cache included
+        -- to worker processes; each copy gets a fresh private lock on
+        unpickle, so cached entries travel but contention state does not.
+        """
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def __repr__(self) -> str:
         return (
             f"TokenCache(entries={len(self)}, hits={self._hits}, "

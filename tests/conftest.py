@@ -15,6 +15,62 @@ def d(iso: str) -> datetime.date:
     return datetime.date.fromisoformat(iso)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the end-to-end fixtures under tests/golden/ with "
+             "the pipeline's current output instead of diffing against "
+             "them",
+    )
+
+
+@pytest.fixture()
+def update_golden(request):
+    """True when the run should rewrite golden fixtures, not diff them."""
+    return request.config.getoption("--update-golden")
+
+
+#: The two end-to-end golden corpora (tests/golden/): small, fully
+#: deterministic synthetic instances used by both the golden regression
+#: test and the runtime equivalence suite. Changing a config invalidates
+#: the checked-in fixtures -- rerun with ``--update-golden``.
+GOLDEN_CONFIGS = {
+    "flood-relief": SyntheticConfig(
+        topic="flood-relief",
+        theme="disaster",
+        seed=101,
+        duration_days=45,
+        num_events=9,
+        num_major_events=5,
+        num_articles=24,
+        sentences_per_article=6,
+        reference_sentences_per_date=2,
+    ),
+    "border-truce": SyntheticConfig(
+        topic="border-truce",
+        theme="conflict",
+        seed=202,
+        duration_days=50,
+        num_events=10,
+        num_major_events=5,
+        num_articles=22,
+        sentences_per_article=6,
+        reference_sentences_per_date=2,
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def golden_instances():
+    """The golden corpora as generated instances, keyed by name."""
+    return {
+        name: SyntheticCorpusGenerator(config).generate()
+        for name, config in GOLDEN_CONFIGS.items()
+    }
+
+
 @pytest.fixture(scope="session")
 def tiny_instance():
     """A very small but structurally complete synthetic instance."""

@@ -1,0 +1,98 @@
+"""End-to-end golden regression: exact pipeline output on fixed corpora.
+
+Runs the full WILSON pipeline (temporal tagging through post-processing)
+on the two small synthetic corpora of ``conftest.GOLDEN_CONFIGS`` and
+diffs the **exact** selected dates and summary sentences against the
+fixtures checked into ``tests/golden/``. Any behavioural drift anywhere
+in the pipeline -- tokenisation, graph weights, PageRank order, summary
+ranking, post-processing -- shows up here as a readable JSON diff.
+
+When a change is intentional, refresh the fixtures with::
+
+    pytest tests/test_golden_pipeline.py --update-golden
+
+and commit the diff. The same corpora anchor the runtime equivalence
+suite (``test_runtime_equivalence.py``), so the parallel path is proven
+against exactly these outputs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import Wilson, WilsonConfig
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Generation settings per golden corpus -- fixed, so the fixture files
+#: are self-contained snapshots of one exact configuration.
+GOLDEN_RUNS = {
+    "flood-relief": {"num_dates": 6, "num_sentences": 2},
+    "border-truce": {"num_dates": 5, "num_sentences": 2},
+}
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def generate_golden_document(instance, num_dates: int, num_sentences: int):
+    """The canonical JSON-able form of one golden pipeline run."""
+    wilson = Wilson(
+        WilsonConfig(num_dates=num_dates, sentences_per_date=num_sentences)
+    )
+    timeline = wilson.summarize_corpus(instance.corpus)
+    return {
+        "topic": instance.corpus.topic,
+        "num_dates": num_dates,
+        "num_sentences": num_sentences,
+        "dates": [date.isoformat() for date in timeline.dates],
+        "entries": [
+            {"date": date.isoformat(), "sentences": list(sentences)}
+            for date, sentences in timeline
+        ],
+    }
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_RUNS))
+def test_pipeline_matches_golden(name, golden_instances, update_golden):
+    document = generate_golden_document(
+        golden_instances[name], **GOLDEN_RUNS[name]
+    )
+    path = golden_path(name)
+    if update_golden:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        pytest.skip(f"rewrote {path}")
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        f"`pytest {__file__} --update-golden`"
+    )
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    assert document == expected, (
+        f"pipeline output drifted from {path}; if intentional, rerun "
+        f"with --update-golden and commit the diff"
+    )
+
+
+class TestGoldenFixtureShape:
+    """The checked-in fixtures themselves stay structurally sound."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_RUNS))
+    def test_fixture_is_complete(self, name):
+        expected = json.loads(
+            golden_path(name).read_text(encoding="utf-8")
+        )
+        assert expected["dates"] == sorted(expected["dates"])
+        assert len(expected["dates"]) == len(set(expected["dates"]))
+        assert len(expected["dates"]) <= expected["num_dates"]
+        assert [e["date"] for e in expected["entries"]] == expected["dates"]
+        for entry in expected["entries"]:
+            assert 1 <= len(entry["sentences"]) <= expected["num_sentences"]
+            assert all(s.strip() for s in entry["sentences"])

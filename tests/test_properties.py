@@ -8,7 +8,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.date_selection import DateSelector, uniformity
+from repro.core.date_selection import (
+    DateSelector,
+    uniformity,
+    uniformity_score,
+)
 from repro.evaluation.date_metrics import date_coverage, date_f1
 from repro.evaluation.rouge import (
     rouge_n,
@@ -43,6 +47,25 @@ class TestPageRankProperties:
         assert scores.shape == (n,)
         assert (scores >= 0).all()
         assert scores.sum() == pytest.approx(1.0)
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_invariant_to_node_relabeling(self, n, seed):
+        """Permuting node labels permutes scores, nothing more.
+
+        PageRank is a function of graph structure alone: relabeling the
+        nodes by any permutation P must satisfy
+        ``pagerank(P A P^T) == P pagerank(A)``.
+        """
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((n, n)) * (rng.random((n, n)) < 0.6)
+        np.fill_diagonal(matrix, 0.0)
+        permutation = rng.permutation(n)
+        relabeled = matrix[np.ix_(permutation, permutation)]
+        original = pagerank_matrix(matrix)
+        assert pagerank_matrix(relabeled) == pytest.approx(
+            original[permutation], abs=1e-8
+        )
 
 
 class TestBM25Properties:
@@ -159,6 +182,51 @@ class TestDateMetricProperties:
     @settings(max_examples=50, deadline=None)
     def test_uniformity_non_negative(self, selection):
         assert uniformity(selection) >= 0.0
+
+    @given(st.lists(dates, min_size=0, max_size=15), st.randoms())
+    @settings(max_examples=50, deadline=None)
+    def test_uniformity_permutation_invariant(self, selection, rng):
+        """Definition 3 depends on the date *set*, not presentation order."""
+        shuffled = list(selection)
+        rng.shuffle(shuffled)
+        assert uniformity(shuffled) == pytest.approx(uniformity(selection))
+        assert uniformity_score(shuffled) == pytest.approx(
+            uniformity_score(selection)
+        )
+
+    @given(st.lists(dates, min_size=0, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_uniformity_score_bounded(self, selection):
+        assert 0.0 <= uniformity_score(selection) <= 1.0
+
+    @given(
+        dates,
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_uniformity_score_perfect_for_even_spacing(
+        self, start, gap_days, count
+    ):
+        try:
+            selection = [
+                start + datetime.timedelta(days=gap_days * i)
+                for i in range(count)
+            ]
+        except OverflowError:
+            return  # spacing ran past date.max; nothing to assert
+        assert uniformity_score(selection) == pytest.approx(1.0)
+        assert uniformity(selection) == pytest.approx(0.0)
+
+    @given(st.lists(dates, min_size=2, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_uniformity_score_agrees_with_raw_uniformity(self, selection):
+        """Score 1.0 exactly when the raw dispersion is 0."""
+        score = uniformity_score(selection)
+        if uniformity(selection) == pytest.approx(0.0):
+            assert score == pytest.approx(1.0)
+        else:
+            assert score < 1.0
 
     @given(st.lists(dates, min_size=2, max_size=10, unique=True))
     @settings(max_examples=50, deadline=None)

@@ -1,0 +1,173 @@
+"""Determinism proof: ``parallel(k workers) == sequential``, byte for byte.
+
+The acceptance bar for the sharded runtime is that parallelism is purely
+an execution detail: a sweep fanned across worker processes must produce
+the **byte-identical** selected dates, summary sentences, and merged
+metrics as the sequential loop, for every worker count. These tests
+serialise both paths' outputs to canonical JSON bytes and compare them
+on the golden corpora of ``conftest.GOLDEN_CONFIGS`` -- the same corpora
+pinned by ``tests/golden/``, so the parallel path is transitively proven
+against the checked-in fixtures too.
+
+Equivalence contract (see docs/runtime.md): the method must be
+deterministic *per instance* -- a stateless method object, or a factory
+constructing a fresh method per instance. Both runner paths route every
+instance through the same ``_evaluate_shard`` function, so any
+divergence is a scheduler bug, not a tolerance issue.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.variants import wilson_full
+from repro.experiments.comparison import compare_methods
+from repro.experiments.datasets import TaggedDataset
+from repro.experiments.runner import WilsonMethod, run_method
+from repro.runtime import ShardPolicy
+from repro.tlsdata.types import Dataset
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _make_wilson(instance):
+    """Module-level factory so the process backend can pickle it."""
+    return WilsonMethod(wilson_full(), name="WILSON")
+
+
+def canonical_bytes(result) -> bytes:
+    """A MethodResult's observable output as canonical JSON bytes.
+
+    Covers selected dates, summary sentences, and every merged metric;
+    excludes wall-clock fields, which legitimately differ between runs.
+    """
+    document = {
+        "method": result.method_name,
+        "instances": [
+            {
+                "name": scores.instance_name,
+                "metrics": {
+                    key: scores.metrics[key]
+                    for key in sorted(scores.metrics)
+                },
+                "timeline": None
+                if scores.timeline is None
+                else [
+                    {
+                        "date": date.isoformat(),
+                        "sentences": list(sentences),
+                    }
+                    for date, sentences in scores.timeline
+                ],
+            }
+            for scores in result.per_instance
+        ],
+        "means": {
+            key: result.mean(key)
+            for key in sorted(
+                result.per_instance[0].metrics if result.per_instance else []
+            )
+        },
+    }
+    return json.dumps(document, sort_keys=True).encode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def golden_tagged(golden_instances):
+    return TaggedDataset(
+        Dataset("golden", [golden_instances[k] for k in sorted(golden_instances)])
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential_bytes(golden_tagged):
+    result = run_method(
+        _make_wilson,
+        golden_tagged,
+        include_s_star=False,
+        keep_timelines=True,
+    )
+    assert all(s.timeline is not None for s in result.per_instance)
+    return canonical_bytes(result)
+
+
+class TestRunnerEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_process_pool_matches_sequential(
+        self, golden_tagged, sequential_bytes, workers
+    ):
+        result = run_method(
+            _make_wilson,
+            golden_tagged,
+            include_s_star=False,
+            keep_timelines=True,
+            parallel=ShardPolicy(workers=workers, backend="process"),
+        )
+        assert result.report is not None
+        assert result.report.num_degraded == 0
+        assert canonical_bytes(result) == sequential_bytes
+
+    @pytest.mark.parametrize("backend", ["inline", "thread"])
+    def test_other_backends_match_sequential(
+        self, golden_tagged, sequential_bytes, backend
+    ):
+        result = run_method(
+            _make_wilson,
+            golden_tagged,
+            include_s_star=False,
+            keep_timelines=True,
+            parallel=ShardPolicy(workers=2, backend=backend),
+        )
+        assert canonical_bytes(result) == sequential_bytes
+
+    def test_repeated_parallel_runs_are_identical(
+        self, golden_tagged
+    ):
+        policy = ShardPolicy(workers=2, backend="process")
+        first = run_method(
+            _make_wilson, golden_tagged,
+            include_s_star=False, keep_timelines=True, parallel=policy,
+        )
+        second = run_method(
+            _make_wilson, golden_tagged,
+            include_s_star=False, keep_timelines=True, parallel=policy,
+        )
+        assert canonical_bytes(first) == canonical_bytes(second)
+
+
+class TestComparisonEquivalence:
+    @pytest.fixture(scope="class")
+    def two_results(self, golden_tagged):
+        wilson = run_method(
+            _make_wilson, golden_tagged, include_s_star=False
+        )
+        from repro.baselines import RandomBaseline
+
+        random_result = run_method(
+            lambda instance: RandomBaseline(seed=3),
+            golden_tagged,
+            include_s_star=False,
+        )
+        return wilson, random_result
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_sharded_comparison_matches_sequential(
+        self, two_results, workers
+    ):
+        wilson, random_result = two_results
+        kwargs = dict(num_shuffles=300, num_resamples=300)
+        sequential = compare_methods(wilson, random_result, **kwargs)
+        # Metric shards run inline here: the comparison payloads carry
+        # only float lists, so the backend cannot affect the arithmetic
+        # and inline keeps the matrix fast on small CI runners. The
+        # process backend path is covered by TestRunnerEquivalence.
+        parallel = compare_methods(
+            wilson,
+            random_result,
+            parallel=ShardPolicy(workers=workers, backend="inline"),
+            **kwargs,
+        )
+        assert sequential == parallel
+        assert list(sequential) == list(parallel)

@@ -1,0 +1,411 @@
+"""Fault injection for the sharded runtime: crash, hang, corrupt shapes.
+
+Every failure mode the scheduler promises to isolate is injected here
+and the promised behaviour asserted: a crashing shard is retried
+``retries`` times then recorded as degraded without aborting the sweep;
+a hanging shard is killed at the deadline (process backend) or abandoned
+(thread backend); a corrupt return shape is rejected by the ``validate``
+hook and retried like a crash; a hard worker death (``os._exit``) breaks
+the pool without losing the sweep. The ``runtime.retries`` /
+``runtime.timeouts`` / ``runtime.degraded`` counters are asserted to
+reflect each scenario -- the telemetry contract of docs/runtime.md.
+
+Worker functions are module-level so the process backend can pickle
+them. Deadlines are generous multiples of the injected sleep times to
+stay robust on slow shared CI runners; wall-clock assertions bound only
+the *order of magnitude* (a hung worker must not stall the sweep for its
+full 600 s sleep).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.datasets import TaggedDataset
+from repro.experiments.runner import run_method
+from repro.obs.metrics import Metrics
+from repro.obs.trace import Tracer
+from repro.runtime import (
+    DegradedSweepError,
+    ShardPolicy,
+    ShardReport,
+    run_sharded,
+)
+from repro.tlsdata.types import Dataset
+
+# -- injected workers (module-level: picklable) --------------------------------
+
+
+def _double(x):
+    return x * 2
+
+
+def _always_crash(x):
+    raise ValueError(f"injected crash on {x!r}")
+
+
+def _crash_until(payload):
+    """Fail until *succeed_after* attempts are on record in *path*."""
+    path, succeed_after, value = payload
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("attempt\n")
+    with open(path, "r", encoding="utf-8") as handle:
+        attempts = len(handle.readlines())
+    if attempts <= succeed_after:
+        raise RuntimeError(f"transient failure #{attempts}")
+    return value
+
+
+def _hang_if_marked(payload):
+    """Sleep *hang_seconds* (0 = no hang) then return ``value * 2``.
+
+    Process-backend tests pass a long sleep -- the worker is killed at
+    the deadline, so the duration never matters. Thread-backend tests
+    pass a short one: an abandoned thread cannot be killed and is joined
+    at interpreter exit, so a long sleep would stall pytest shutdown.
+    """
+    value, hang_seconds = payload
+    if hang_seconds:
+        time.sleep(hang_seconds)
+    return value * 2
+
+
+def _hard_exit(x):
+    os._exit(13)
+
+
+def _wrong_shape(x):
+    return {"unexpected": x}
+
+
+def _require_int(value):
+    if not isinstance(value, int):
+        raise TypeError(f"expected int, got {type(value).__name__}")
+
+
+def _crash_on_marked_topic(instance):
+    """run_method factory: crashes while building the marked topic's method."""
+    if instance.corpus.topic.endswith("-poison"):
+        raise ValueError("injected method-construction crash")
+    from repro.baselines import RandomBaseline
+
+    return RandomBaseline(seed=3)
+
+
+BACKENDS_WITH_RETRY = ("inline", "thread", "process")
+FAST_BACKOFF = dict(backoff_seconds=0.01, backoff_multiplier=1.0)
+
+
+# -- crash isolation -----------------------------------------------------------
+
+
+class TestCrashIsolation:
+    @pytest.mark.parametrize("backend", BACKENDS_WITH_RETRY)
+    def test_crash_retried_then_degraded_without_aborting(self, backend):
+        tracer = Tracer()
+        retries = 2
+        report = run_sharded(
+            _always_crash,
+            [1],
+            ShardPolicy(
+                workers=1, retries=retries, backend=backend, **FAST_BACKOFF
+            ),
+            tracer=tracer,
+        )
+        shard = report.results[0]
+        assert shard.degraded and not shard.ok
+        assert shard.attempts == 1 + retries
+        assert shard.retried == retries
+        assert "injected crash" in shard.error
+        assert len(shard.failures) == 1 + retries
+        assert tracer.counters["runtime.retries"] == retries
+        assert tracer.counters["runtime.degraded"] == 1
+        assert tracer.counters["runtime.failures"] == 1 + retries
+
+    def test_one_crashing_shard_does_not_poison_the_others(self):
+        def crash_on_two(x):
+            if x == 2:
+                raise ValueError("injected")
+            return x * 2
+
+        # Thread backend so the closure needs no pickling; the process
+        # backend's version of this property is covered below.
+        report = run_sharded(
+            crash_on_two,
+            [1, 2, 3, 4],
+            ShardPolicy(
+                workers=2, retries=1, backend="thread", **FAST_BACKOFF
+            ),
+        )
+        assert report.values() == [2, None, 6, 8]
+        assert [r.status for r in report.results] == [
+            "ok", "degraded", "ok", "ok",
+        ]
+        innocent = [r for r in report.results if r.ok]
+        assert all(r.attempts == 1 for r in innocent)
+
+    def test_transient_crash_recovers_within_retries(self, tmp_path):
+        marker = tmp_path / "attempts.log"
+        report = run_sharded(
+            _crash_until,
+            [(str(marker), 2, "payload")],
+            ShardPolicy(
+                workers=1, retries=3, backend="process", **FAST_BACKOFF
+            ),
+        )
+        shard = report.results[0]
+        assert shard.ok
+        assert shard.value == "payload"
+        assert shard.attempts == 3  # two charged failures + the success
+        assert report.total_retries == 2
+        assert marker.read_text().count("attempt") == 3
+
+    def test_hard_worker_death_degrades_not_raises(self):
+        tracer = Tracer()
+        report = run_sharded(
+            _hard_exit,
+            [1],
+            ShardPolicy(
+                workers=1, retries=1, backend="process", **FAST_BACKOFF
+            ),
+        )
+        shard = report.results[0]
+        assert shard.degraded
+        assert shard.attempts == 2
+        assert "broken pool" in shard.error
+
+
+# -- hang isolation ------------------------------------------------------------
+
+
+class TestHangIsolation:
+    def test_hanging_shard_killed_at_timeout(self):
+        tracer = Tracer()
+        timeout = 0.75
+        started = time.perf_counter()
+        report = run_sharded(
+            _hang_if_marked,
+            [(1, 0), (2, 600), (3, 0)],
+            ShardPolicy(
+                workers=2,
+                timeout_seconds=timeout,
+                retries=0,
+                backend="process",
+                **FAST_BACKOFF,
+            ),
+            tracer=tracer,
+        )
+        wall = time.perf_counter() - started
+        assert report.values() == [2, None, 6]
+        hung = report.results[1]
+        assert hung.degraded
+        assert hung.timeouts == 1
+        assert "timeout" in hung.error
+        assert tracer.counters["runtime.timeouts"] == 1
+        assert tracer.counters["runtime.degraded"] == 1
+        # The sweep must finish in deadline-order time, nowhere near the
+        # injected 600 s sleep.
+        assert wall < 60
+
+    def test_innocent_inflight_shards_not_charged_by_pool_kill(self):
+        report = run_sharded(
+            _hang_if_marked,
+            [(1, 600), (2, 0), (3, 0), (4, 0)],
+            ShardPolicy(
+                workers=4,
+                timeout_seconds=0.75,
+                retries=0,
+                backend="process",
+                **FAST_BACKOFF,
+            ),
+        )
+        assert report.values() == [None, 4, 6, 8]
+        for innocent in report.results[1:]:
+            # Resubmission after the pool kill is free: exactly one
+            # charged attempt, no recorded failures.
+            assert innocent.ok
+            assert innocent.attempts == 1
+            assert innocent.failures == []
+
+    def test_hang_then_retry_also_times_out(self):
+        tracer = Tracer()
+        report = run_sharded(
+            _hang_if_marked,
+            [(1, 600)],
+            ShardPolicy(
+                workers=1,
+                timeout_seconds=0.5,
+                retries=1,
+                backend="process",
+                **FAST_BACKOFF,
+            ),
+            tracer=tracer,
+        )
+        shard = report.results[0]
+        assert shard.degraded
+        assert shard.attempts == 2
+        assert shard.timeouts == 2
+        assert tracer.counters["runtime.retries"] == 1
+        assert tracer.counters["runtime.timeouts"] == 2
+
+    def test_thread_backend_abandons_hung_attempt(self):
+        started = time.perf_counter()
+        report = run_sharded(
+            _hang_if_marked,
+            [(1, 4), (2, 0)],
+            ShardPolicy(
+                workers=2,
+                timeout_seconds=0.5,
+                retries=0,
+                backend="thread",
+                **FAST_BACKOFF,
+            ),
+        )
+        wall = time.perf_counter() - started
+        assert report.values() == [None, 4]
+        assert report.results[0].degraded
+        assert report.results[0].timeouts == 1
+        assert wall < 60
+
+
+# -- corrupt shapes ------------------------------------------------------------
+
+
+class TestCorruptShapes:
+    @pytest.mark.parametrize("backend", BACKENDS_WITH_RETRY)
+    def test_invalid_shape_retried_then_degraded(self, backend):
+        tracer = Tracer()
+        report = run_sharded(
+            _wrong_shape,
+            [7],
+            ShardPolicy(
+                workers=1, retries=1, backend=backend, **FAST_BACKOFF
+            ),
+            validate=_require_int,
+            tracer=tracer,
+        )
+        shard = report.results[0]
+        assert shard.degraded
+        assert shard.attempts == 2
+        assert "invalid result" in shard.error
+        assert tracer.counters["runtime.degraded"] == 1
+        assert tracer.counters["runtime.retries"] == 1
+
+    def test_valid_shapes_pass_the_validator(self):
+        report = run_sharded(
+            _double,
+            [1, 2, 3],
+            ShardPolicy(backend="inline"),
+            validate=_require_int,
+        )
+        assert report.values() == [2, 4, 6]
+        assert report.num_degraded == 0
+
+
+# -- report and policy surface -------------------------------------------------
+
+
+class TestReportAndPolicy:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ShardPolicy(workers=0)
+        with pytest.raises(ValueError):
+            ShardPolicy(timeout_seconds=0.0)
+        with pytest.raises(ValueError):
+            ShardPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            ShardPolicy(backend="fiber")
+        with pytest.raises(ValueError):
+            ShardPolicy(backoff_seconds=-1.0)
+        with pytest.raises(ValueError):
+            ShardPolicy(backoff_multiplier=0.5)
+
+    def test_backoff_schedule(self):
+        policy = ShardPolicy(
+            backoff_seconds=0.1, backoff_multiplier=2.0, retries=3
+        )
+        assert policy.backoff_for(0) == 0.0
+        assert policy.backoff_for(1) == pytest.approx(0.1)
+        assert policy.backoff_for(2) == pytest.approx(0.2)
+        assert policy.backoff_for(3) == pytest.approx(0.4)
+        assert policy.max_attempts == 4
+
+    def test_keys_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            run_sharded(
+                _double, [1, 2], ShardPolicy(backend="inline"), keys=["a"]
+            )
+
+    def test_values_default_and_raise_if_degraded(self):
+        report = run_sharded(
+            _always_crash,
+            [1],
+            ShardPolicy(retries=0, backend="inline", **FAST_BACKOFF),
+        )
+        assert report.values(default="missing") == ["missing"]
+        with pytest.raises(DegradedSweepError) as excinfo:
+            report.raise_if_degraded()
+        assert "shard[0]" in str(excinfo.value)
+        assert excinfo.value.degraded == report.degraded_results
+
+    def test_empty_sweep(self):
+        report = run_sharded(_double, [], ShardPolicy(workers=4))
+        assert isinstance(report, ShardReport)
+        assert report.results == []
+        assert report.values() == []
+
+    def test_shard_seconds_histogram_counts_ok_shards(self):
+        metrics = Metrics()
+        report = run_sharded(
+            _double,
+            [1, 2, 3],
+            ShardPolicy(workers=2, backend="thread"),
+            metrics=metrics,
+        )
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["runtime.shards"] == 3
+        assert snapshot["counters"]["runtime.ok"] == 3
+        assert snapshot["counters"]["runtime.degraded"] == 0
+        assert (
+            snapshot["histograms"]["runtime.shard_seconds"]["count"] == 3
+        )
+
+
+# -- runner-level degradation --------------------------------------------------
+
+
+class TestRunnerDegradation:
+    def test_degraded_instance_scores_zero_and_is_listed(
+        self, golden_instances
+    ):
+        # Poison one topic by renaming it; the factory crashes on it.
+        import copy
+
+        poisoned = []
+        for index, name in enumerate(sorted(golden_instances)):
+            instance = copy.deepcopy(golden_instances[name])
+            if index == 0:
+                instance.corpus.topic += "-poison"
+            poisoned.append(instance)
+        tagged = TaggedDataset(Dataset("poisoned", poisoned))
+        tracer = Tracer()
+        result = run_method(
+            _crash_on_marked_topic,
+            tagged,
+            include_s_star=False,
+            parallel=ShardPolicy(
+                workers=2, retries=1, backend="process", **FAST_BACKOFF
+            ),
+            tracer=tracer,
+        )
+        assert len(result.per_instance) == len(poisoned)
+        assert len(result.degraded_instances) == 1
+        degraded_row = result.per_instance[0]
+        assert all(v == 0.0 for v in degraded_row.metrics.values())
+        healthy_row = result.per_instance[1]
+        assert any(v != 0.0 for v in healthy_row.metrics.values())
+        assert tracer.counters["runtime.degraded"] == 1
+        assert tracer.counters["runtime.retries"] == 1
