@@ -8,6 +8,10 @@ Subcommands:
   :mod:`repro.tlsdata.loaders` for the format);
 * ``serve-query`` -- index a corpus file and answer one keyword +
   time-window query with the real-time system;
+* ``serve`` -- boot the asyncio HTTP timeline service on a corpus (or a
+  synthetic fallback): ``POST /v1/timeline``, ``GET /v1/search``,
+  ``GET /healthz``, ``GET /metrics``; admission control, micro-batching
+  and a versioned result cache per ``docs/serving.md``;
 * ``evaluate`` -- score a method on a dataset (a directory written by
   :func:`repro.tlsdata.loaders.save_dataset`, or the synthetic
   ``timeline17`` / ``crisis`` presets);
@@ -213,6 +217,8 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_query(args: argparse.Namespace) -> int:
+    import json
+
     corpus = load_corpus(args.corpus)
     system = RealTimeTimelineSystem(
         wilson=Wilson(
@@ -232,14 +238,70 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
         num_sentences=args.sentences,
         tracer=tracer,
     )
-    print(
-        f"# {response.num_candidates} candidate sentences, "
-        f"retrieval {response.retrieval_seconds:.3f}s, "
-        f"generation {response.generation_seconds:.3f}s"
-    )
-    _print_timeline(response.timeline)
+    if args.json:
+        # The same wire representation the HTTP service serves
+        # (docs/serving.md); scripts can consume either identically.
+        print(json.dumps(response.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(
+            f"# {response.num_candidates} candidate sentences, "
+            f"retrieval {response.retrieval_seconds:.3f}s, "
+            f"generation {response.generation_seconds:.3f}s"
+        )
+        _print_timeline(response.timeline)
     _emit_trace(args, tracer)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    if args.corpus is not None:
+        corpus = load_corpus(args.corpus)
+    else:
+        from repro.tlsdata.synthetic import make_timeline17_like
+
+        corpus = (
+            make_timeline17_like(scale=args.scale, seed=args.seed)
+            .instances[0]
+            .corpus
+        )
+    system = RealTimeTimelineSystem(
+        wilson=Wilson(
+            WilsonConfig(
+                daily_workers=args.daily_workers,
+                analysis_cache=not args.no_analysis_cache,
+            )
+        )
+    )
+    indexed = system.ingest(corpus.articles)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        cache_ttl_seconds=args.cache_ttl,
+        max_inflight=args.max_inflight,
+        batch_window_ms=args.batch_window_ms,
+    )
+
+    def ready(server) -> None:
+        # Printed (and flushed) before blocking so supervisors and the
+        # smoke tests can parse the bound port even with --port 0.
+        print(
+            f"serving on http://{config.host}:{server.port} "
+            f"({indexed} sentences indexed, "
+            f"index_version {system.index_version})",
+            flush=True,
+        )
+
+    drained = run_server(system, config=config, ready=ready)
+    print(
+        "shutdown: drained cleanly" if drained
+        else "shutdown: drain timed out; in-flight requests abandoned",
+        flush=True,
+    )
+    return 0 if drained else 1
 
 
 _EVALUATE_METHODS = (
@@ -427,9 +489,61 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--end", required=True, help="YYYY-MM-DD")
     serve.add_argument("--dates", type=int, default=10)
     serve.add_argument("--sentences", type=int, default=1)
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="print the timeline as the wilson.serve wire-format JSON "
+             "(the same representation the HTTP service returns)",
+    )
     _add_trace_flags(serve)
     _add_perf_flags(serve)
     serve.set_defaults(func=_cmd_serve_query)
+
+    server = sub.add_parser(
+        "serve",
+        help="boot the HTTP timeline service (see docs/serving.md)",
+    )
+    server.add_argument(
+        "corpus",
+        nargs="?",
+        default=None,
+        help="path to corpus.jsonl (omitted: a synthetic demo corpus)",
+    )
+    server.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    server.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port; 0 picks a free port (default %(default)s)",
+    )
+    server.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="worker threads per micro-batch sweep (default %(default)s)",
+    )
+    server.add_argument(
+        "--cache-size", type=int, default=256, metavar="N",
+        help="result-cache capacity in entries (default %(default)s)",
+    )
+    server.add_argument(
+        "--cache-ttl", type=float, default=300.0, metavar="SECONDS",
+        help="result-cache entry TTL (default %(default)s)",
+    )
+    server.add_argument(
+        "--max-inflight", type=int, default=32, metavar="N",
+        help="admission limit; excess requests are shed with 429 "
+             "(default %(default)s)",
+    )
+    server.add_argument(
+        "--batch-window-ms", type=float, default=10.0, metavar="MS",
+        help="micro-batch collection window (default %(default)s)",
+    )
+    server.add_argument(
+        "--scale", type=float, default=0.05,
+        help="synthetic corpus scale when no corpus file is given",
+    )
+    server.add_argument("--seed", type=int, default=17)
+    _add_perf_flags(server)
+    server.set_defaults(func=_cmd_serve)
 
     evaluate = sub.add_parser(
         "evaluate", help="score methods on a dataset"

@@ -106,6 +106,12 @@ class Histogram:
     def count(self) -> int:
         return len(self._observations)
 
+    @property
+    def total(self) -> float:
+        """Sum of all observations (the Prometheus summary ``_sum``)."""
+        with self._lock:
+            return sum(self._observations)
+
     def summary(self) -> Dict[str, float]:
         """count / mean / min / max / p50 / p90 / p99 of the observations."""
         with self._lock:
@@ -168,6 +174,50 @@ class Metrics:
                 for name, histogram in sorted(histograms.items())
             },
         }
+
+    def render_prometheus(self, namespace: str = "wilson") -> str:
+        """The registry in Prometheus text exposition format (v0.0.4).
+
+        Dotted instrument names become underscore-separated metric names
+        under *namespace* (``serve.requests`` ->
+        ``wilson_serve_requests_total``); counters get the conventional
+        ``_total`` suffix and histograms render as summaries with
+        ``quantile`` labels plus ``_sum`` / ``_count`` series. This is
+        what the serving tier's ``GET /metrics`` endpoint returns (see
+        docs/serving.md).
+        """
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            gauges = dict(sorted(self._gauges.items()))
+            histograms = dict(sorted(self._histograms.items()))
+        lines: List[str] = []
+
+        def metric_name(name: str) -> str:
+            sanitized = "".join(
+                ch if ch.isalnum() or ch == "_" else "_" for ch in name
+            )
+            return f"{namespace}_{sanitized}" if namespace else sanitized
+
+        for name, counter in counters.items():
+            full = metric_name(name) + "_total"
+            lines.append(f"# TYPE {full} counter")
+            lines.append(f"{full} {counter.value:g}")
+        for name, gauge in gauges.items():
+            full = metric_name(name)
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {gauge.value:g}")
+        for name, histogram in histograms.items():
+            full = metric_name(name)
+            summary = histogram.summary()
+            lines.append(f"# TYPE {full} summary")
+            for quantile, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+                if key in summary:
+                    lines.append(
+                        f'{full}{{quantile="{quantile}"}} {summary[key]:g}'
+                    )
+            lines.append(f"{full}_sum {histogram.total:g}")
+            lines.append(f"{full}_count {int(summary['count'])}")
+        return "\n".join(lines) + "\n"
 
     def render(self) -> str:
         """Human-readable one-line-per-instrument dump."""

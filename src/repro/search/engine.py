@@ -78,6 +78,11 @@ class SearchEngine:
     def num_indexed_sentences(self) -> int:
         return len(self.index)
 
+    @property
+    def index_version(self) -> int:
+        """The index's monotonic content revision (cache invalidation key)."""
+        return self.index.index_version
+
     # -- persistence ----------------------------------------------------------
 
     def save(self, path) -> None:

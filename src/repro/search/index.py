@@ -58,6 +58,19 @@ class InvertedIndex:
         self._doc_lengths: List[int] = []
         self._total_length = 0
         self._by_date: Dict[datetime.date, List[int]] = {}
+        self._version = 0
+
+    @property
+    def index_version(self) -> int:
+        """Monotonic content revision, bumped on every :meth:`add`.
+
+        Result caches key on it: any write makes previously cached
+        query results stale, and a version mismatch is exactly how they
+        find out (see :mod:`repro.serve.cache`). Persisted through
+        :meth:`save` / :meth:`load`, so a restored index never reuses a
+        version an earlier incarnation already handed out.
+        """
+        return self._version
 
     # -- writes -------------------------------------------------------------
 
@@ -87,6 +100,7 @@ class InvertedIndex:
         self._documents.append(document)
         self._doc_lengths.append(len(tokens))
         self._total_length += len(tokens)
+        self._version += 1
         self._by_date.setdefault(date, []).append(doc_id)
         for position, token in enumerate(tokens):
             self._postings.setdefault(token, {}).setdefault(
@@ -226,11 +240,23 @@ class InvertedIndex:
         """Persist the index as JSONL (one document per line).
 
         Postings are rebuilt on load, so the on-disk format stays simple
-        and forward-compatible: only the documents are stored.
+        and forward-compatible: only the documents are stored, preceded
+        by one meta line carrying the content revision
+        (:attr:`index_version`) so restored indexes keep a correct cache
+        invalidation key.
         """
         path = pathlib.Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "meta": "wilson.index/v1",
+                        "index_version": self._version,
+                    }
+                )
+                + "\n"
+            )
             for document in self._documents:
                 handle.write(
                     json.dumps(
@@ -252,14 +278,24 @@ class InvertedIndex:
     def load(
         cls, path: PathLike, cache: Optional[TokenCache] = None
     ) -> "InvertedIndex":
-        """Restore an index written by :meth:`save`."""
+        """Restore an index written by :meth:`save`.
+
+        Accepts both the current format (leading meta line) and the
+        pre-version plain-JSONL format; without a meta line the restored
+        :attr:`index_version` is simply the number of re-inserted
+        documents.
+        """
         index = cls(cache=cache)
+        saved_version: Optional[int] = None
         with pathlib.Path(path).open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
                     continue
                 data = json.loads(line)
+                if "meta" in data and "text" not in data:
+                    saved_version = int(data.get("index_version", 0))
+                    continue
                 index.add(
                     data["text"],
                     date=datetime.date.fromisoformat(data["date"]),
@@ -269,4 +305,9 @@ class InvertedIndex:
                     article_id=data.get("article_id", ""),
                     is_reference=data.get("is_reference", False),
                 )
+        if saved_version is not None:
+            # Re-inserting bumped the version once per document; restore
+            # the saved revision (never going backwards) so cache keys
+            # minted against the original index stay comparable.
+            index._version = max(index._version, saved_version)
         return index

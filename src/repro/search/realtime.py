@@ -58,6 +58,26 @@ class TimelineResponse:
     def total_seconds(self) -> float:
         return self.retrieval_seconds + self.generation_seconds
 
+    def to_dict(self) -> dict:
+        """The JSON wire representation shared by the HTTP service and CLI.
+
+        The ``timeline`` section is fully deterministic for a given index
+        state (the serve-layer byte-equivalence guarantee rests on it);
+        ``telemetry`` carries the per-run timings and is excluded from
+        any equality or caching decision. Schema changes here are wire
+        format changes -- update ``docs/serving.md`` and the stability
+        test in ``tests/test_serve_app.py`` together with this method.
+        """
+        return {
+            "timeline": self.timeline.to_dict(),
+            "num_candidates": self.num_candidates,
+            "telemetry": {
+                "retrieval_seconds": self.retrieval_seconds,
+                "generation_seconds": self.generation_seconds,
+                "total_seconds": self.total_seconds,
+            },
+        }
+
 
 class RealTimeTimelineSystem:
     """Query-to-timeline service: a search engine fronting WILSON."""
@@ -87,6 +107,11 @@ class RealTimeTimelineSystem:
     def ingest(self, articles: Iterable[Article]) -> int:
         """Index a batch of (possibly newly published) articles."""
         return self.engine.add_articles(articles)
+
+    @property
+    def index_version(self) -> int:
+        """The engine's content revision; bumps on every indexed sentence."""
+        return self.engine.index_version
 
     # -- discovery -------------------------------------------------------------
 

@@ -1,0 +1,53 @@
+"""The network-facing serving tier of the real-time system.
+
+``repro.serve`` wraps one
+:class:`~repro.search.realtime.RealTimeTimelineSystem` in a stdlib-only
+asyncio HTTP service with the three properties a production timeline
+service needs under concurrency (docs/serving.md):
+
+* **admission control** -- a bounded in-flight limit; excess load is shed
+  with fast ``429`` responses instead of queue collapse
+  (:mod:`repro.serve.admission`);
+* **micro-batching** -- concurrent requests within a small window run as
+  one fault-isolated sharded sweep, so a poisoned query degrades only
+  its own response (:mod:`repro.serve.batching`);
+* **versioned result caching** -- an LRU+TTL cache keyed on the
+  normalised query *and* the index's monotonic ``index_version``, so
+  incremental ingestion invalidates exactly (:mod:`repro.serve.cache`).
+
+Start one from the command line with ``wilson-tls serve``.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.app import (
+    SERVE_COUNTERS,
+    SERVE_GAUGES,
+    SERVE_HISTOGRAMS,
+    SERVE_METRIC_NAMES,
+    WIRE_SCHEMA,
+    BackgroundServer,
+    ServeConfig,
+    TimelineServer,
+    canonical_json,
+    run_server,
+)
+from repro.serve.batching import MicroBatcher
+from repro.serve.cache import ResultCache, make_cache_key, normalize_keywords
+
+__all__ = [
+    "AdmissionController",
+    "BackgroundServer",
+    "MicroBatcher",
+    "ResultCache",
+    "SERVE_COUNTERS",
+    "SERVE_GAUGES",
+    "SERVE_HISTOGRAMS",
+    "SERVE_METRIC_NAMES",
+    "ServeConfig",
+    "TimelineServer",
+    "WIRE_SCHEMA",
+    "canonical_json",
+    "make_cache_key",
+    "normalize_keywords",
+    "run_server",
+]

@@ -1,0 +1,116 @@
+"""Admission control for the serving tier: bound the work, shed the rest.
+
+A timeline request is orders of magnitude heavier than an HTTP accept,
+so an unbounded service melts under a burst long before the OS notices.
+:class:`AdmissionController` enforces one invariant -- at most
+``max_inflight`` timeline requests admitted (queued in the micro-batcher
+or executing) at any instant -- and turns everything beyond it into an
+immediate, cheap ``429 Too Many Requests`` with a ``Retry-After`` hint,
+which is the documented load-shedding contract (docs/serving.md):
+saturation degrades into fast rejections, never into 5xx errors or
+unbounded queue growth.
+
+It also owns the graceful-drain state machine: after
+:meth:`begin_drain` no new request is admitted (they get 503 +
+``Retry-After``), while already-admitted requests run to completion;
+:meth:`wait_idle` lets the shutdown path block until the last one
+finishes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Dict
+
+
+class AdmissionController:
+    """Bounded-concurrency gate with load shedding and graceful drain."""
+
+    def __init__(
+        self,
+        max_inflight: int = 32,
+        retry_after_seconds: float = 1.0,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if retry_after_seconds <= 0:
+            raise ValueError(
+                f"retry_after_seconds must be > 0, got {retry_after_seconds}"
+            )
+        self.max_inflight = max_inflight
+        self.retry_after_seconds = retry_after_seconds
+        self._inflight = 0
+        self._admitted = 0
+        self._shed = 0
+        self._draining = False
+        self._lock = threading.Lock()
+
+    # -- admission -----------------------------------------------------------
+
+    def try_admit(self) -> bool:
+        """Admit one request, or refuse (full or draining).
+
+        The caller owning a successful admission **must** pair it with
+        exactly one :meth:`release`, normally via ``try/finally``.
+        """
+        with self._lock:
+            if self._draining or self._inflight >= self.max_inflight:
+                self._shed += 1
+                return False
+            self._inflight += 1
+            self._admitted += 1
+            return True
+
+    def release(self) -> None:
+        """Return one admission (request finished, however it ended)."""
+        with self._lock:
+            if self._inflight <= 0:
+                raise RuntimeError("release() without matching try_admit()")
+            self._inflight -= 1
+
+    # -- drain ---------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admitting; in-flight requests keep running."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def wait_idle(self, timeout_seconds: float = 10.0) -> bool:
+        """Await in-flight work completing; ``False`` on timeout.
+
+        Polling (10 ms) instead of a condition variable keeps the
+        controller usable from both sync tests and the event loop; drain
+        happens once per process lifetime, so the poll cost is nil.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_seconds
+        while True:
+            with self._lock:
+                if self._inflight == 0:
+                    return True
+            if loop.time() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative admitted/shed counts plus the live in-flight gauge."""
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "admitted": self._admitted,
+                "shed": self._shed,
+                "draining": int(self._draining),
+            }

@@ -1,0 +1,789 @@
+"""The asyncio HTTP timeline service (stdlib only).
+
+This is the network-facing layer of the Section 5 real-time system: a
+single-process asyncio server wrapping one
+:class:`~repro.search.realtime.RealTimeTimelineSystem` behind four
+routes --
+
+* ``POST /v1/timeline`` -- generate (or replay from cache) one timeline;
+* ``GET /v1/search``    -- raw BM25 dated-sentence search;
+* ``GET /healthz``      -- liveness + index freshness (503 while draining);
+* ``GET /metrics``      -- the :class:`~repro.obs.metrics.Metrics`
+  registry in Prometheus text exposition format.
+
+Request flow for ``/v1/timeline``: cache lookup (key =
+normalised query + ``index_version``, so incremental ingestion
+invalidates exactly) -> admission control (bounded in-flight; excess
+load is shed with ``429`` + ``Retry-After``) -> micro-batching (requests
+arriving within one window run as a single fault-isolated
+:func:`repro.runtime.run_sharded` sweep on the thread backend; a
+poisoned query degrades its own response only).
+
+Everything response-shaped goes through :func:`canonical_json`, so a
+served timeline is byte-identical to the direct library call's
+serialisation -- the equivalence the load benchmark and
+``tests/test_serve_app.py`` enforce. The full wire contract lives in
+``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import datetime
+import json
+import signal
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Metrics
+from repro.runtime import ShardPolicy, ShardResult
+from repro.search.query import SearchQuery
+from repro.search.realtime import RealTimeTimelineSystem, TimelineQuery
+from repro.serve.admission import AdmissionController
+from repro.serve.batching import MicroBatcher
+from repro.serve.cache import ResultCache, make_cache_key
+
+#: The wire-format identifier every JSON response envelope carries.
+WIRE_SCHEMA = "wilson.serve/v1"
+
+#: Hard cap on request body size; larger requests are rejected with 413.
+MAX_BODY_BYTES = 1 << 20
+
+#: Every metric name the serving tier may emit, by kind. The telemetry
+#: contract table in docs/observability.md must list each of these, and
+#: tests/test_serve_app.py asserts the server emits no name outside this
+#: registry -- together they pin the ``serve.*`` vocabulary.
+SERVE_COUNTERS = (
+    "serve.requests",
+    "serve.timeline_requests",
+    "serve.search_requests",
+    "serve.cache_hits",
+    "serve.cache_misses",
+    "serve.shed",
+    "serve.rejected_draining",
+    "serve.bad_requests",
+    "serve.not_found",
+    "serve.errors",
+    "serve.degraded",
+    "serve.batches",
+    "serve.batched_queries",
+)
+SERVE_GAUGES = (
+    "serve.inflight",
+    "serve.cache_entries",
+    "serve.index_version",
+    "serve.draining",
+)
+SERVE_HISTOGRAMS = (
+    "serve.request_seconds",
+    "serve.batch_size",
+)
+SERVE_METRIC_NAMES = SERVE_COUNTERS + SERVE_GAUGES + SERVE_HISTOGRAMS
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def canonical_json(payload: Any) -> bytes:
+    """Deterministic JSON bytes: sorted keys, minimal separators, UTF-8.
+
+    Both the HTTP layer and equivalence tests serialise through this one
+    function, which is what makes "served == direct library call" a
+    *byte*-level claim rather than a structural one.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs of the HTTP service (CLI flags map 1:1 onto these)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 4
+    cache_size: int = 256
+    cache_ttl_seconds: float = 300.0
+    max_inflight: int = 32
+    batch_window_ms: float = 10.0
+    max_batch_size: int = 32
+    batch_retries: int = 0
+    retry_after_seconds: float = 1.0
+    drain_timeout_seconds: float = 10.0
+    default_num_dates: int = 10
+    default_num_sentences: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_window_ms < 0:
+            raise ValueError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        if self.batch_retries < 0:
+            raise ValueError(
+                f"batch_retries must be >= 0, got {self.batch_retries}"
+            )
+
+
+class _BadRequest(ValueError):
+    """A client error; the message goes verbatim into the 400 body."""
+
+
+class _PayloadTooLarge(Exception):
+    """Body over :data:`MAX_BODY_BYTES`; answered 413, connection closed."""
+
+
+@dataclass
+class _Request:
+    """One parsed HTTP/1.1 request."""
+
+    method: str
+    path: str
+    query: Dict[str, List[str]]
+    headers: Dict[str, str]
+    body: bytes
+    keep_alive: bool
+
+
+@dataclass
+class _Response:
+    """One routed response, pre-serialisation."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    extra_headers: Tuple[Tuple[str, str], ...] = ()
+
+
+class TimelineServer:
+    """The asyncio HTTP front of one :class:`RealTimeTimelineSystem`."""
+
+    def __init__(
+        self,
+        system: RealTimeTimelineSystem,
+        config: Optional[ServeConfig] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.system = system
+        self.config = config or ServeConfig()
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.cache = ResultCache(
+            capacity=self.config.cache_size,
+            ttl_seconds=self.config.cache_ttl_seconds,
+        )
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            retry_after_seconds=self.config.retry_after_seconds,
+        )
+        self.batcher = MicroBatcher(
+            dispatch=self._dispatch_batch,
+            window_seconds=self.config.batch_window_ms / 1000.0,
+            max_batch_size=self.config.max_batch_size,
+            on_batch=self._record_batch,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown_event: Optional[asyncio.Event] = None
+
+    # -- batched generation ----------------------------------------------------
+
+    def _dispatch_batch(
+        self, queries: List[TimelineQuery]
+    ) -> Sequence[ShardResult]:
+        """Run one micro-batch as a fault-isolated thread-backend sweep."""
+        report = self.system.generate_timelines(
+            queries,
+            policy=ShardPolicy(
+                backend="thread",
+                workers=min(self.config.workers, max(1, len(queries))),
+                retries=self.config.batch_retries,
+            ),
+            metrics=self.metrics,
+        )
+        return report.results
+
+    def _record_batch(self, size: int) -> None:
+        self.metrics.counter("serve.batches").inc()
+        self.metrics.counter("serve.batched_queries").inc(size)
+        self.metrics.histogram("serve.batch_size").observe(size)
+
+    # -- request parsing -------------------------------------------------------
+
+    def _parse_timeline_request(self, body: bytes) -> TimelineQuery:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _BadRequest(f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        keywords = payload.get("keywords")
+        if (
+            not isinstance(keywords, list)
+            or not keywords
+            or not all(isinstance(k, str) and k.strip() for k in keywords)
+        ):
+            raise _BadRequest(
+                "'keywords' must be a non-empty list of non-empty strings"
+            )
+        start = self._parse_date(payload, "start")
+        end = self._parse_date(payload, "end")
+        if start is None or end is None:
+            window = self._index_window()
+            if window is None:
+                raise _BadRequest(
+                    "'start'/'end' omitted and the index is empty; "
+                    "ingest articles or pass an explicit window"
+                )
+            start = start if start is not None else window[0]
+            end = end if end is not None else window[1]
+        if start > end:
+            raise _BadRequest(f"start {start} must not exceed end {end}")
+        num_dates = self._parse_positive_int(
+            payload, "num_dates", self.config.default_num_dates
+        )
+        num_sentences = self._parse_positive_int(
+            payload, "num_sentences", self.config.default_num_sentences
+        )
+        return TimelineQuery(
+            keywords=tuple(keywords),
+            start=start,
+            end=end,
+            num_dates=num_dates,
+            num_sentences=num_sentences,
+        )
+
+    @staticmethod
+    def _parse_date(payload: dict, field: str) -> Optional[datetime.date]:
+        raw = payload.get(field)
+        if raw is None:
+            return None
+        if not isinstance(raw, str):
+            raise _BadRequest(f"'{field}' must be an ISO date string")
+        try:
+            return datetime.date.fromisoformat(raw)
+        except ValueError as exc:
+            raise _BadRequest(f"invalid '{field}': {exc}")
+
+    @staticmethod
+    def _parse_positive_int(payload: dict, field: str, default: int) -> int:
+        raw = payload.get(field, default)
+        if isinstance(raw, bool) or not isinstance(raw, int) or raw < 1:
+            raise _BadRequest(f"'{field}' must be a positive integer")
+        return raw
+
+    def _index_window(
+        self,
+    ) -> Optional[Tuple[datetime.date, datetime.date]]:
+        dates = self.system.engine.index.dates()
+        if not dates:
+            return None
+        return dates[0], dates[-1]
+
+    # -- route handlers --------------------------------------------------------
+
+    async def _handle_timeline(self, request: _Request) -> _Response:
+        self.metrics.counter("serve.timeline_requests").inc()
+        query = self._parse_timeline_request(request.body)
+        index_version = self.system.index_version
+        key = make_cache_key(
+            query.keywords,
+            query.start,
+            query.end,
+            query.num_dates,
+            query.num_sentences,
+            index_version,
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.counter("serve.cache_hits").inc()
+            return self._timeline_response(cached, index_version, "hit")
+        self.metrics.counter("serve.cache_misses").inc()
+
+        if not self.admission.try_admit():
+            retry_after = (
+                ("Retry-After", f"{self.admission.retry_after_seconds:g}"),
+            )
+            if self.admission.draining:
+                self.metrics.counter("serve.rejected_draining").inc()
+                return _Response(
+                    503,
+                    canonical_json(
+                        {
+                            "schema": WIRE_SCHEMA,
+                            "error": "draining",
+                            "detail": "server is shutting down",
+                        }
+                    ),
+                    extra_headers=retry_after,
+                )
+            self.metrics.counter("serve.shed").inc()
+            return _Response(
+                429,
+                canonical_json(
+                    {
+                        "schema": WIRE_SCHEMA,
+                        "error": "overloaded",
+                        "detail": (
+                            f"more than {self.admission.max_inflight} "
+                            "requests in flight"
+                        ),
+                    }
+                ),
+                extra_headers=retry_after,
+            )
+        try:
+            shard = await self.batcher.submit(query)
+        finally:
+            self.admission.release()
+
+        if not shard.ok:
+            self.metrics.counter("serve.degraded").inc()
+            return _Response(
+                500,
+                canonical_json(
+                    {
+                        "schema": WIRE_SCHEMA,
+                        "error": "degraded",
+                        "detail": shard.error or "query failed",
+                    }
+                ),
+            )
+        result = shard.value.to_dict()
+        self.cache.put(key, result)
+        return self._timeline_response(result, index_version, "miss")
+
+    def _timeline_response(
+        self, result: dict, index_version: int, cache_state: str
+    ) -> _Response:
+        return _Response(
+            200,
+            canonical_json(
+                {
+                    "schema": WIRE_SCHEMA,
+                    "cache": cache_state,
+                    "index_version": index_version,
+                    "result": result,
+                }
+            ),
+        )
+
+    async def _handle_search(self, request: _Request) -> _Response:
+        self.metrics.counter("serve.search_requests").inc()
+        params = request.query
+        raw_terms: List[str] = []
+        for value in params.get("q", []):
+            raw_terms.extend(value.split())
+        if not raw_terms:
+            raise _BadRequest("missing required query parameter 'q'")
+
+        def param_date(name: str) -> Optional[datetime.date]:
+            values = params.get(name)
+            if not values:
+                return None
+            try:
+                return datetime.date.fromisoformat(values[-1])
+            except ValueError as exc:
+                raise _BadRequest(f"invalid '{name}': {exc}")
+
+        limit = 50
+        if params.get("limit"):
+            try:
+                limit = int(params["limit"][-1])
+            except ValueError:
+                raise _BadRequest("'limit' must be an integer")
+            if limit < 1:
+                raise _BadRequest("'limit' must be >= 1")
+        mode = params.get("mode", ["any"])[-1]
+        phrase = params.get("phrase", ["0"])[-1] in ("1", "true", "yes")
+        try:
+            search_query = SearchQuery(
+                keywords=tuple(raw_terms),
+                start=param_date("start"),
+                end=param_date("end"),
+                limit=limit,
+                mode=mode,
+                phrase=phrase,
+            )
+        except ValueError as exc:
+            raise _BadRequest(str(exc))
+        loop = asyncio.get_running_loop()
+        hits = await loop.run_in_executor(
+            None, self.system.engine.search, search_query
+        )
+        return _Response(
+            200,
+            canonical_json(
+                {
+                    "schema": WIRE_SCHEMA,
+                    "index_version": self.system.index_version,
+                    "count": len(hits),
+                    "hits": [
+                        {
+                            "text": hit.document.text,
+                            "date": hit.document.date.isoformat(),
+                            "publication_date": (
+                                hit.document.publication_date.isoformat()
+                            ),
+                            "article_id": hit.document.article_id,
+                            "is_reference": hit.document.is_reference,
+                            "score": hit.score,
+                        }
+                        for hit in hits
+                    ],
+                }
+            ),
+        )
+
+    def _handle_healthz(self) -> _Response:
+        draining = self.admission.draining
+        payload = {
+            "schema": WIRE_SCHEMA,
+            "status": "draining" if draining else "ok",
+            "indexed_sentences": self.system.engine.num_indexed_sentences,
+            "articles": self.system.engine.num_articles,
+            "index_version": self.system.index_version,
+            "inflight": self.admission.inflight,
+            "cache_entries": len(self.cache),
+        }
+        return _Response(503 if draining else 200, canonical_json(payload))
+
+    def _handle_metrics(self) -> _Response:
+        self.metrics.gauge("serve.inflight").set(self.admission.inflight)
+        self.metrics.gauge("serve.cache_entries").set(len(self.cache))
+        self.metrics.gauge("serve.index_version").set(
+            self.system.index_version
+        )
+        self.metrics.gauge("serve.draining").set(
+            1.0 if self.admission.draining else 0.0
+        )
+        return _Response(
+            200,
+            self.metrics.render_prometheus().encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _route(self, request: _Request) -> _Response:
+        path, method = request.path, request.method
+        if path == "/healthz" and method == "GET":
+            return self._handle_healthz()
+        if path == "/metrics" and method == "GET":
+            return self._handle_metrics()
+        if path == "/v1/timeline":
+            if method != "POST":
+                return self._error(405, "use POST")
+            return await self._handle_timeline(request)
+        if path == "/v1/search":
+            if method != "GET":
+                return self._error(405, "use GET")
+            return await self._handle_search(request)
+        self.metrics.counter("serve.not_found").inc()
+        return self._error(404, f"no route for {path}")
+
+    @staticmethod
+    def _error(status: int, detail: str) -> _Response:
+        return _Response(
+            status,
+            canonical_json(
+                {
+                    "schema": WIRE_SCHEMA,
+                    "error": _REASONS.get(status, "error").lower(),
+                    "detail": detail,
+                }
+            ),
+        )
+
+    async def handle_request(self, request: _Request) -> _Response:
+        """Route one request, mapping failures to 4xx/5xx responses."""
+        self.metrics.counter("serve.requests").inc()
+        started = time.perf_counter()
+        try:
+            response = await self._route(request)
+        except _BadRequest as exc:
+            self.metrics.counter("serve.bad_requests").inc()
+            response = self._error(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 -- never drop a connection
+            self.metrics.counter("serve.errors").inc()
+            response = self._error(500, f"{type(exc).__name__}: {exc}")
+        self.metrics.histogram("serve.request_seconds").observe(
+            time.perf_counter() - started
+        )
+        return response
+
+    # -- HTTP plumbing ---------------------------------------------------------
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[_Request]:
+        try:
+            header_blob = await reader.readuntil(b"\r\n\r\n")
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionResetError,
+        ):
+            return None
+        lines = header_blob.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            return None
+        method, target, version = parts
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        parsed = urllib.parse.urlsplit(target)
+        length = 0
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                return None
+        if length < 0:
+            return None
+        if length > MAX_BODY_BYTES:
+            # The body was never read; the connection must close after
+            # the 413 or the unread bytes would corrupt the next parse.
+            raise _PayloadTooLarge(length)
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return None
+        connection = headers.get("connection", "").lower()
+        keep_alive = (
+            connection != "close"
+            if version == "HTTP/1.1"
+            else connection == "keep-alive"
+        )
+        return _Request(
+            method=method.upper(),
+            path=parsed.path,
+            query=urllib.parse.parse_qs(parsed.query),
+            headers=headers,
+            body=body,
+            keep_alive=keep_alive,
+        )
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter,
+        response: _Response,
+        keep_alive: bool,
+    ) -> None:
+        headers = [
+            f"HTTP/1.1 {response.status} "
+            f"{_REASONS.get(response.status, 'Unknown')}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+        ]
+        for name, value in response.extra_headers:
+            headers.append(f"{name}: {value}")
+        headers.append(
+            "Connection: keep-alive" if keep_alive
+            else "Connection: close"
+        )
+        writer.write(
+            "\r\n".join(headers).encode("latin-1")
+            + b"\r\n\r\n"
+            + response.body
+        )
+        await writer.drain()
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _PayloadTooLarge as exc:
+                    self.metrics.counter("serve.bad_requests").inc()
+                    await self._write_response(
+                        writer,
+                        self._error(
+                            413,
+                            f"request body of {exc.args[0]} bytes "
+                            f"exceeds the {MAX_BODY_BYTES}-byte limit",
+                        ),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                response = await self.handle_request(request)
+                keep_alive = request.keep_alive and not self.admission.draining
+                await self._write_response(writer, response, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown cancels idle keep-alive handlers; exiting
+            # cleanly (instead of re-raising) keeps shutdown quiet.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``); 0 before :meth:`start`."""
+        if self._server is None or not self._server.sockets:
+            return 0
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_BODY_BYTES,
+        )
+
+    def request_shutdown(self) -> None:
+        """Trigger graceful shutdown; safe to call from any thread."""
+        if self._loop is None or self._shutdown_event is None:
+            return
+        self._loop.call_soon_threadsafe(self._shutdown_event.set)
+
+    async def shutdown(self) -> bool:
+        """Graceful drain: stop accepting, finish in-flight, then stop.
+
+        Returns ``True`` when every admitted request completed within
+        ``drain_timeout_seconds``, ``False`` when the drain timed out
+        (stragglers are abandoned).
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.admission.begin_drain()
+        await self.batcher.drain()
+        return await self.admission.wait_idle(
+            self.config.drain_timeout_seconds
+        )
+
+    async def serve_until_shutdown(
+        self, install_signals: bool = True
+    ) -> bool:
+        """Serve until :meth:`request_shutdown` (or SIGTERM/SIGINT); drain.
+
+        Returns :meth:`shutdown`'s drain verdict.
+        """
+        if self._server is None:
+            await self.start()
+        assert self._shutdown_event is not None
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(
+                        signum, self._shutdown_event.set
+                    )
+                except (NotImplementedError, RuntimeError):
+                    # Non-main thread or platform without signal support.
+                    pass
+        await self._shutdown_event.wait()
+        return await self.shutdown()
+
+
+def run_server(
+    system: RealTimeTimelineSystem,
+    config: Optional[ServeConfig] = None,
+    metrics: Optional[Metrics] = None,
+    ready: Optional[Any] = None,
+) -> bool:
+    """Blocking entry point: serve until SIGTERM/SIGINT, then drain.
+
+    *ready*, when given, is called with the started server (the CLI uses
+    it to print the bound address after ``port=0`` resolution). Returns
+    the drain verdict of :meth:`TimelineServer.shutdown`.
+    """
+    server = TimelineServer(system, config=config, metrics=metrics)
+
+    async def main() -> bool:
+        await server.start()
+        if ready is not None:
+            ready(server)
+        return await server.serve_until_shutdown()
+
+    return asyncio.run(main())
+
+
+class BackgroundServer:
+    """Run a :class:`TimelineServer` on a private event-loop thread.
+
+    The harness tests and the load benchmark use this to drive the real
+    network stack from synchronous code::
+
+        with BackgroundServer(TimelineServer(system)) as server:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port)
+            ...
+
+    Exiting the context requests a graceful shutdown and joins the
+    thread.
+    """
+
+    def __init__(self, server: TimelineServer) -> None:
+        self.server = server
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def __enter__(self) -> TimelineServer:
+        self._thread = threading.Thread(
+            target=self._run, name="wilson-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "server failed to start"
+            ) from self._startup_error
+        return self.server
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                await self.server.start()
+            except BaseException as exc:  # noqa: BLE001 -- report to caller
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._started.set()
+            await self.server.serve_until_shutdown(install_signals=False)
+
+        asyncio.run(main())
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.server.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=30)

@@ -1,0 +1,145 @@
+"""Micro-batching: amortise concurrent timeline requests into one sweep.
+
+Concurrent requests against the same index share almost all of their
+work profile -- tokenisation (via the shared
+:class:`~repro.text.analysis.TokenCache`) and thread-pool setup -- so
+the serving tier holds each cache-missing request for a small window
+(``window_seconds``, default 10 ms) and dispatches everything that
+arrived together as **one** :func:`repro.runtime.run_sharded` sweep on
+the thread backend. That reuses PR 3's fault isolation wholesale: a
+poisoned query crashes its own shard, is retried per policy, and comes
+back as a *degraded* :class:`~repro.runtime.ShardResult` -- the batch's
+other requests are untouched. One slow or malformed query degrades one
+response; it never fails the batch.
+
+The batcher is an asyncio construct (requests are coroutines awaiting
+their slot) but the dispatch itself is blocking, so it runs in the event
+loop's default executor -- the loop stays free to accept, shed, and
+serve cache hits while a batch computes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
+
+
+class MicroBatcher:
+    """Collect submissions for a short window; dispatch them as one batch.
+
+    ``dispatch`` is a **blocking** callable taking the batched items and
+    returning one result per item, in order (the serve layer passes the
+    sharded-runtime sweep, returning
+    :class:`~repro.runtime.ShardResult` objects). A dispatch that raises
+    fails every waiter of that batch with the same exception -- by
+    contract dispatch should isolate per-item failures itself (degraded
+    shard results), so a raise here means the sweep machinery broke, not
+    a query.
+
+    ``max_batch_size`` flushes a filling batch early so one burst cannot
+    grow an unboundedly large sweep; the window timer covers the
+    trickle case.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[List[Any]], Sequence[Any]],
+        window_seconds: float = 0.010,
+        max_batch_size: int = 32,
+        on_batch: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if window_seconds < 0:
+            raise ValueError(
+                f"window_seconds must be >= 0, got {window_seconds}"
+            )
+        if max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        self._dispatch = dispatch
+        self.window_seconds = window_seconds
+        self.max_batch_size = max_batch_size
+        #: Optional observer called with each dispatched batch's size
+        #: (the serve layer records the ``serve.batch_size`` histogram).
+        self._on_batch = on_batch
+        self._pending: List[Tuple[Any, asyncio.Future]] = []
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._in_flight: Set[asyncio.Task] = set()
+        self._batches_dispatched = 0
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, item: Any) -> Any:
+        """Queue *item* for the next batch; await its individual result."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((item, future))
+        if len(self._pending) >= self.max_batch_size:
+            self.flush()
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(
+                self.window_seconds, self.flush
+            )
+        return await future
+
+    # -- flushing ------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Dispatch whatever is pending right now (idempotent when empty)."""
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        task = asyncio.ensure_future(self._run_batch(batch))
+        self._in_flight.add(task)
+        task.add_done_callback(self._in_flight.discard)
+
+    async def _run_batch(
+        self, batch: List[Tuple[Any, asyncio.Future]]
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        items = [item for item, _ in batch]
+        self._batches_dispatched += 1
+        if self._on_batch is not None:
+            self._on_batch(len(items))
+        try:
+            results = await loop.run_in_executor(
+                None, self._dispatch, items
+            )
+        except Exception as exc:  # noqa: BLE001 -- sweep machinery broke
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        if len(results) != len(items):
+            error = RuntimeError(
+                f"dispatch returned {len(results)} results for "
+                f"{len(items)} items"
+            )
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)
+
+    async def drain(self) -> None:
+        """Flush and await every outstanding batch (shutdown path)."""
+        self.flush()
+        while self._in_flight:
+            await asyncio.gather(
+                *list(self._in_flight), return_exceptions=True
+            )
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def batches_dispatched(self) -> int:
+        return self._batches_dispatched

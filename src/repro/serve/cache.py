@@ -1,0 +1,165 @@
+"""The versioned LRU+TTL result cache of the serving tier.
+
+Timeline generation is deterministic for a fixed index state, so a
+served result can be reused verbatim until either (a) it ages past its
+TTL or (b) the index changes. The second condition is exact, not
+heuristic: cache keys embed the engine's monotonic ``index_version``
+(bumped on every indexed sentence, see
+:attr:`repro.search.index.InvertedIndex.index_version`), so an
+incremental ``add_article`` silently strands every entry minted against
+the older index -- no flush call, no stale reads.
+
+Thread-safe: the HTTP layer runs on one event loop, but benchmarks and
+the micro-batcher's executor threads may touch the cache concurrently.
+"""
+
+from __future__ import annotations
+
+import datetime
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
+
+
+def normalize_keywords(keywords: Sequence[str]) -> Tuple[str, ...]:
+    """Collapse a raw keyword list into its cache-equivalent form.
+
+    Whitespace runs are collapsed, casing is folded (BM25 tokenisation
+    lower-cases anyway) and empty keywords are dropped. Order is
+    **kept**: phrase queries are order-sensitive, so reordering two
+    queries onto one key would be wrong there.
+    """
+    return tuple(
+        " ".join(keyword.split()).casefold()
+        for keyword in keywords
+        if keyword.strip()
+    )
+
+
+def make_cache_key(
+    keywords: Sequence[str],
+    start: Optional[datetime.date],
+    end: Optional[datetime.date],
+    num_dates: int,
+    num_sentences: int,
+    index_version: int,
+) -> Tuple[Hashable, ...]:
+    """The full result-cache key for one timeline request.
+
+    Every parameter that can change the served bytes participates; the
+    trailing ``index_version`` is what invalidates across writes.
+    """
+    return (
+        normalize_keywords(keywords),
+        start.isoformat() if start is not None else "",
+        end.isoformat() if end is not None else "",
+        int(num_dates),
+        int(num_sentences),
+        int(index_version),
+    )
+
+
+class ResultCache:
+    """A thread-safe LRU cache with per-entry TTL expiry.
+
+    ``capacity`` bounds the number of live entries (least recently *used*
+    is evicted first; a ``get`` hit refreshes recency). ``ttl_seconds``
+    bounds entry age from insertion time; expired entries are never
+    returned and are dropped lazily on access plus wholesale on ``put``
+    overflow. ``clock`` is injectable for deterministic tests and must be
+    monotonic (defaults to :func:`time.monotonic`).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        ttl_seconds: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be > 0, got {ttl_seconds}")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: "OrderedDict[Hashable, Tuple[float, Any]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, or ``None`` on miss/expiry (refreshes LRU)."""
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            inserted_at, value = entry
+            if now - inserted_at >= self.ttl_seconds:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite *key*; evicts LRU entries past capacity."""
+        now = self._clock()
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+            self._entries[key] = (now, value)
+            if len(self._entries) > self.capacity:
+                self._expire_locked(now)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def _expire_locked(self, now: float) -> None:
+        """Drop every TTL-expired entry (caller holds the lock)."""
+        expired = [
+            key
+            for key, (inserted_at, _) in self._entries.items()
+            if now - inserted_at >= self.ttl_seconds
+        ]
+        for key in expired:
+            del self._entries[key]
+        self._expirations += len(expired)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Non-expired presence check; does **not** refresh recency."""
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            return (
+                entry is not None
+                and now - entry[0] < self.ttl_seconds
+            )
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative hit/miss/eviction/expiration counts + current size."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "expirations": self._expirations,
+                "entries": len(self._entries),
+            }

@@ -39,6 +39,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve-query", "corpus.jsonl"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.corpus is None
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.workers == 4
+        assert args.cache_size == 256
+        assert args.cache_ttl == 300.0
+        assert args.max_inflight == 32
+        assert args.batch_window_ms == 10.0
+
+    def test_serve_flag_overrides(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "corpus.jsonl", "--port", "0",
+                "--max-inflight", "4", "--batch-window-ms", "2.5",
+            ]
+        )
+        assert args.corpus == "corpus.jsonl"
+        assert args.port == 0
+        assert args.max_inflight == 4
+        assert args.batch_window_ms == 2.5
+
 
 class TestCommands:
     def test_stats(self, capsys):
@@ -69,6 +92,26 @@ class TestCommands:
         ) == 0
         output = capsys.readouterr().out
         assert "candidate sentences" in output
+
+    def test_serve_query_json(self, corpus_file, capsys):
+        import json
+
+        path, instance = corpus_file
+        start, end = instance.corpus.window
+        assert main(
+            [
+                "serve-query", str(path),
+                "--keywords", *instance.corpus.query,
+                "--start", start.isoformat(),
+                "--end", end.isoformat(),
+                "--dates", "5",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Same shape the HTTP service returns in its "result" section.
+        assert set(payload) == {"timeline", "num_candidates", "telemetry"}
+        assert isinstance(payload["timeline"], dict)
 
 
 class TestEvaluate:

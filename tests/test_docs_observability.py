@@ -186,6 +186,23 @@ class TestCliTraceJson:
         assert "date_selection" in err
 
 
+class TestServeContract:
+    def test_every_registered_serve_metric_is_documented(
+        self, contract_text
+    ):
+        from repro.serve import SERVE_METRIC_NAMES
+
+        for name in SERVE_METRIC_NAMES:
+            assert f"`{name}`" in contract_text, (
+                f"serve metric {name!r} is not documented in "
+                "docs/observability.md"
+            )
+
+    def test_serving_doc_exists_and_is_linked(self, contract_text):
+        assert (DOCS / "serving.md").exists()
+        assert "serving.md" in contract_text
+
+
 class TestApiDocsCommitted:
     def test_regeneration_produces_no_diff(self):
         spec = importlib.util.spec_from_file_location(

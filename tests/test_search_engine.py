@@ -109,6 +109,14 @@ class TestEnginePersistence:
             h.document.text for h in reloaded
         ]
 
+    def test_index_version_survives_round_trip(self, engine, tmp_path):
+        version = engine.index_version
+        assert version == engine.num_indexed_sentences > 0
+        path = tmp_path / "engine.jsonl"
+        engine.save(path)
+        restored = SearchEngine.load(path)
+        assert restored.index_version == version
+
 
 class TestSuggestWindow:
     def test_bursty_corpus_yields_window(self, tiny_instance):

@@ -83,3 +83,41 @@ class TestReads:
         idx = InvertedIndex()
         assert idx.average_length == 0.0
         assert idx.dates() == []
+
+
+class TestIndexVersion:
+    def test_bumped_on_every_add(self, index):
+        assert index.index_version == 3
+        index.add("More news arrived.", d("2020-01-10"), d("2020-01-10"))
+        assert index.index_version == 4
+
+    def test_empty_index_starts_at_zero(self):
+        assert InvertedIndex().index_version == 0
+
+    def test_save_load_round_trip(self, index, tmp_path):
+        # Advance the version past the document count (simulating an
+        # index that had documents added and a fresh save): the restored
+        # version must match the saved one exactly, not the re-insert
+        # count.
+        index._version = 17
+        path = tmp_path / "index.jsonl"
+        index.save(path)
+        restored = InvertedIndex.load(path)
+        assert restored.index_version == 17
+        assert len(restored) == len(index)
+        assert restored.document(1).text == index.document(1).text
+        # Writes after restore keep counting up from the saved revision.
+        restored.add("Fresh report.", d("2020-02-01"), d("2020-02-01"))
+        assert restored.index_version == 18
+
+    def test_load_pre_version_format(self, index, tmp_path):
+        # Old snapshots have no meta line; the restored version falls
+        # back to the number of re-inserted documents.
+        path = tmp_path / "old.jsonl"
+        index.save(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert "meta" in lines[0]
+        path.write_text("\n".join(lines[1:]) + "\n", encoding="utf-8")
+        restored = InvertedIndex.load(path)
+        assert len(restored) == 3
+        assert restored.index_version == 3
