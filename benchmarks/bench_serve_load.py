@@ -34,7 +34,7 @@ import os
 import threading
 import time
 
-from common import assert_if_opted_in, emit
+from common import assert_if_opted_in, emit, write_json_result
 from repro.search.realtime import RealTimeTimelineSystem
 from repro.serve import (
     BackgroundServer,
@@ -133,7 +133,7 @@ def _percentile(sorted_values, fraction):
     return sorted_values[rank]
 
 
-def test_serve_load(benchmark, capsys):
+def test_serve_load(benchmark, capsys, json_out):
     system, instance = _build_system()
     config = ServeConfig(
         port=0, workers=4, batch_window_ms=2.0,
@@ -225,6 +225,21 @@ def test_serve_load(benchmark, capsys):
             "warm regime repeats one query (versioned cache hit); cold "
             "rotates distinct date windows",
         ],
+    )
+
+    write_json_result(
+        "serve_load",
+        {
+            "scale": SCALE,
+            "requests_per_level": REQUESTS_PER_LEVEL,
+            "p50_seconds": {
+                f"{regime}_{concurrency}": value
+                for (concurrency, regime), value in p50.items()
+            },
+            "shed_429": shed_429,
+            "shed_5xx": shed_5xx,
+        },
+        json_out,
     )
 
     # -- always-on correctness gates ------------------------------------

@@ -15,10 +15,13 @@ can run as a quick smoke (default) or a longer, closer-to-paper sweep:
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
 import pathlib
+import subprocess
 import time
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.datasets import (
     TaggedDataset,
@@ -95,6 +98,53 @@ def emit(
     with capsys.disabled():
         print(f"\n{table}\n")
     return table
+
+
+def _git_sha() -> str:
+    """The current commit SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def write_json_result(
+    name: str,
+    metrics: Dict[str, object],
+    json_out: Optional[str],
+) -> Optional[pathlib.Path]:
+    """Write ``BENCH_<name>.json`` under *json_out* (no-op when ``None``).
+
+    The payload carries the benchmark's metrics dict verbatim plus the
+    git SHA and a UTC timestamp, so results from sweeps across commits
+    can be compared mechanically (the ``--json-out`` CLI option routes
+    here via the ``json_out`` fixture).
+    """
+    if json_out is None:
+        return None
+    directory = pathlib.Path(json_out)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    payload = {
+        "benchmark": name,
+        "git_sha": _git_sha(),
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(),
+        "metrics": metrics,
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
 
 
 def timed(fn: Callable, *args, **kwargs) -> Tuple[object, float]:

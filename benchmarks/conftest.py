@@ -1,0 +1,26 @@
+"""Benchmark-suite pytest hooks.
+
+Adds the ``--json-out DIR`` option: benchmarks that support it write a
+machine-readable ``BENCH_<name>.json`` next to their text table --
+metrics plus the git SHA and a UTC timestamp -- so sweeps across
+commits can be diffed or plotted without scraping the tables (see
+:func:`common.write_json_result`).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json-out",
+        default=None,
+        metavar="DIR",
+        help="also write BENCH_<name>.json result files into DIR "
+             "(metrics + git SHA + timestamp)",
+    )
+
+
+@pytest.fixture
+def json_out(request):
+    """The ``--json-out`` directory, or ``None`` when not requested."""
+    return request.config.getoption("--json-out")

@@ -11,7 +11,15 @@ Subcommands:
 * ``serve`` -- boot the asyncio HTTP timeline service on a corpus (or a
   synthetic fallback): ``POST /v1/timeline``, ``GET /v1/search``,
   ``GET /healthz``, ``GET /metrics``; admission control, micro-batching
-  and a versioned result cache per ``docs/serving.md``;
+  and a versioned result cache per ``docs/serving.md``; with
+  ``--snapshot PATH`` the index boots from a binary snapshot in O(read)
+  (a corrupt snapshot logs a warning and falls back to re-indexing);
+* ``snapshot`` -- build a binary index snapshot (see
+  :mod:`repro.search.snapshot`) from a corpus file, a saved JSONL index
+  (``--from-index``), or the synthetic demo corpus;
+* ``index-info`` -- print a saved index's vital signs (documents,
+  vocabulary, date span, ``index_version``, snapshot format version)
+  for either on-disk format;
 * ``evaluate`` -- score a method on a dataset (a directory written by
   :func:`repro.tlsdata.loaders.save_dataset`, or the synthetic
   ``timeline17`` / ``crisis`` presets);
@@ -253,11 +261,66 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import ServeConfig, run_server
+def _build_serve_system(args: argparse.Namespace, metrics) -> tuple:
+    """The serve boot path: ``(system, indexed_sentences, source)``.
 
+    Snapshot-first when ``--snapshot`` was given: the index (and the
+    shared analyzer cache) restore in O(read), the ``snapshot.*`` boot
+    gauges are set, and any :class:`~repro.search.snapshot.SnapshotError`
+    falls back to the corpus/synthetic ingest path with a warning --
+    serve boot never crashes on a bad snapshot file.
+
+    Factored out of :func:`_cmd_serve` so tests can exercise the
+    fallback without binding a socket.
+    """
+    import time
+
+    wilson = Wilson(
+        WilsonConfig(
+            daily_workers=args.daily_workers,
+            analysis_cache=not args.no_analysis_cache,
+        )
+    )
+    snapshot_path = getattr(args, "snapshot", None)
+    if snapshot_path is not None:
+        from repro.search.engine import SearchEngine
+        from repro.search.snapshot import SnapshotError, snapshot_info
+
+        try:
+            started = time.perf_counter()
+            engine = SearchEngine.load_snapshot(
+                snapshot_path, cache=wilson.cache
+            )
+            load_seconds = time.perf_counter() - started
+        except SnapshotError as exc:
+            metrics.counter("snapshot.corrupt_fallbacks").inc()
+            print(
+                f"warning: snapshot {snapshot_path!r} unusable "
+                f"({exc}); falling back to re-indexing",
+                file=sys.stderr,
+                flush=True,
+            )
+        else:
+            info = snapshot_info(snapshot_path)
+            metrics.gauge("snapshot.load_seconds").set(load_seconds)
+            metrics.gauge("snapshot.documents").set(len(engine.index))
+            metrics.gauge("snapshot.vocabulary_terms").set(
+                engine.index.vocabulary_size()
+            )
+            metrics.gauge("snapshot.format_version").set(
+                int(info["format_version"])
+            )
+            system = RealTimeTimelineSystem(
+                engine=engine, wilson=wilson, cache=wilson.cache
+            )
+            return (
+                system,
+                engine.num_indexed_sentences,
+                f"snapshot {snapshot_path}",
+            )
     if args.corpus is not None:
         corpus = load_corpus(args.corpus)
+        source = f"corpus {args.corpus}"
     else:
         from repro.tlsdata.synthetic import make_timeline17_like
 
@@ -266,15 +329,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             .instances[0]
             .corpus
         )
-    system = RealTimeTimelineSystem(
-        wilson=Wilson(
-            WilsonConfig(
-                daily_workers=args.daily_workers,
-                analysis_cache=not args.no_analysis_cache,
-            )
-        )
-    )
+        source = "synthetic corpus"
+    system = RealTimeTimelineSystem(wilson=wilson)
     indexed = system.ingest(corpus.articles)
+    return system, indexed, source
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.metrics import Metrics
+    from repro.serve import ServeConfig, run_server
+
+    metrics = Metrics()
+    boot_started = time.perf_counter()
+    system, indexed, source = _build_serve_system(args, metrics)
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -286,22 +355,116 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     def ready(server) -> None:
+        # Boot-to-ready wall time: index restore/ingest plus server
+        # bind, i.e. everything between process start and first byte
+        # served. The gauge lands on /metrics before the first request.
+        warmup = time.perf_counter() - boot_started
+        metrics.gauge("serve.warmup_seconds").set(warmup)
         # Printed (and flushed) before blocking so supervisors and the
         # smoke tests can parse the bound port even with --port 0.
         print(
             f"serving on http://{config.host}:{server.port} "
-            f"({indexed} sentences indexed, "
-            f"index_version {system.index_version})",
+            f"({indexed} sentences indexed from {source}, "
+            f"index_version {system.index_version}, "
+            f"warmup {warmup:.3f}s)",
             flush=True,
         )
 
-    drained = run_server(system, config=config, ready=ready)
+    drained = run_server(system, config=config, metrics=metrics, ready=ready)
     print(
         "shutdown: drained cleanly" if drained
         else "shutdown: drain timed out; in-flight requests abandoned",
         flush=True,
     )
     return 0 if drained else 1
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.search.engine import SearchEngine
+    from repro.search.snapshot import snapshot_info
+
+    if args.from_index is not None:
+        if args.corpus is not None:
+            print(
+                "error: pass either a corpus file or --from-index, not both",
+                file=sys.stderr,
+            )
+            return 2
+        engine = SearchEngine.load(args.from_index)
+        source = f"index {args.from_index}"
+    else:
+        engine = SearchEngine()
+        if args.corpus is not None:
+            corpus = load_corpus(args.corpus)
+            source = f"corpus {args.corpus}"
+        else:
+            from repro.tlsdata.synthetic import make_timeline17_like
+
+            corpus = (
+                make_timeline17_like(scale=args.scale, seed=args.seed)
+                .instances[0]
+                .corpus
+            )
+            source = "synthetic corpus"
+        engine.add_articles(corpus.articles)
+    engine.save_snapshot(args.out)
+    info = snapshot_info(args.out)
+    print(
+        f"wrote {args.out}: {info['documents']} documents, "
+        f"{info['vocabulary']} terms, index_version "
+        f"{info['index_version']} (from {source})"
+    )
+    return 0
+
+
+def _cmd_index_info(args: argparse.Namespace) -> int:
+    from repro.search.snapshot import SnapshotError, snapshot_info
+
+    try:
+        info = snapshot_info(args.path)
+    except SnapshotError:
+        # Not a snapshot -- fall back to the JSONL index format (which
+        # requires a full load; the snapshot header is O(1) by design).
+        from repro.search.engine import SearchEngine
+
+        engine = SearchEngine.load(args.path)
+        index = engine.index
+        dates = index.dates()
+        info = {
+            "format": "wilson.index/v1 (JSONL)",
+            "documents": len(index),
+            "vocabulary": index.vocabulary_size(),
+            "articles": engine.num_articles,
+            "date_span": (
+                [dates[0].isoformat(), dates[-1].isoformat()]
+                if dates
+                else None
+            ),
+            "index_version": index.index_version,
+        }
+    else:
+        info = {
+            "format": (
+                f"{info['meta']} "
+                f"(binary, format_version {info['format_version']})"
+            ),
+            "documents": info["documents"],
+            "vocabulary": info["vocabulary"],
+            "articles": info["articles"],
+            "date_span": info["date_span"],
+            "index_version": info["index_version"],
+        }
+    span = info["date_span"]
+    print(f"format:        {info['format']}")
+    print(f"documents:     {info['documents']}")
+    print(f"vocabulary:    {info['vocabulary']} terms")
+    print(f"articles:      {info['articles']}")
+    print(
+        "date span:     "
+        + (f"{span[0]} .. {span[1]}" if span else "(empty index)")
+    )
+    print(f"index_version: {info['index_version']}")
+    return 0
 
 
 _EVALUATE_METHODS = (
@@ -542,8 +705,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="synthetic corpus scale when no corpus file is given",
     )
     server.add_argument("--seed", type=int, default=17)
+    server.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="boot from a binary index snapshot (see 'wilson-tls "
+             "snapshot'); a corrupt or incompatible file logs a warning "
+             "and falls back to re-indexing the corpus",
+    )
     _add_perf_flags(server)
     server.set_defaults(func=_cmd_serve)
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="write a binary index snapshot for fast serve boot",
+    )
+    snapshot.add_argument(
+        "corpus",
+        nargs="?",
+        default=None,
+        help="path to corpus.jsonl to index (omitted: the synthetic "
+             "demo corpus, or --from-index)",
+    )
+    snapshot.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="snapshot file to write",
+    )
+    snapshot.add_argument(
+        "--from-index",
+        default=None,
+        metavar="PATH",
+        help="convert a saved JSONL index instead of indexing a corpus",
+    )
+    snapshot.add_argument(
+        "--scale", type=float, default=0.05,
+        help="synthetic corpus scale when no corpus file is given",
+    )
+    snapshot.add_argument("--seed", type=int, default=17)
+    snapshot.set_defaults(func=_cmd_snapshot)
+
+    index_info = sub.add_parser(
+        "index-info",
+        help="print a saved index's vital signs (either format)",
+    )
+    index_info.add_argument(
+        "path", help="a binary snapshot or JSONL index file"
+    )
+    index_info.set_defaults(func=_cmd_index_info)
 
     evaluate = sub.add_parser(
         "evaluate", help="score methods on a dataset"

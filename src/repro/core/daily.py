@@ -10,6 +10,8 @@ dated the same day by multiple expressions are deduplicated by text.
 from __future__ import annotations
 
 import datetime
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -19,6 +21,111 @@ from repro.rank.textrank import textrank_bm25
 from repro.text.analysis import TokenCache
 from repro.text.bm25 import BM25Parameters
 from repro.tlsdata.types import DatedSentence
+
+#: Default byte budget for :class:`DayMatrixCache`. Entries are ranked
+#: orders (8 bytes per sentence), so 4 MiB holds on the order of ten
+#: thousand heavy days -- effectively every day a serving index spans.
+DEFAULT_DAY_MATRIX_BYTES = 4 * 1024 * 1024
+
+
+class DayMatrixCache:
+    """Thread-safe LRU memoising each day's BM25-TextRank outcome.
+
+    Under concurrent serving the same day's sentence pool recurs
+    constantly -- overlapping query windows share days, and reference
+    sentences pin popular dates -- yet every cache-miss query used to
+    rebuild the same O(N^2) BM25 adjacency matrix and re-run PageRank
+    on it. The matrix and its ranking are fully determined by the cache
+    key, so memoising just the ranked *order* (not the megabytes-large
+    matrix, which a replay never touches) lets a hit skip both the
+    matrix build and the PageRank run while returning bit-identical
+    results. Keys cover the day, the exact sentence pool and every
+    ranking parameter, plus the owning index's version so ingestion
+    invalidates stale entries (:meth:`sync_version`).
+
+    Entries are evicted least-recently-used by *byte* budget: orders
+    are ~8 bytes per pooled sentence, so the default budget outlasts
+    any realistic day span and eviction only guards pathological use.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_DAY_MATRIX_BYTES) -> None:
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        #: key -> ranked order (tuple of pool indices, best first).
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._bytes = 0
+        self._version: Optional[int] = None
+
+    def sync_version(self, version: int) -> None:
+        """Invalidate every entry when the backing index has changed."""
+        with self._lock:
+            if version != self._version:
+                self._entries.clear()
+                self._bytes = 0
+                self._version = version
+
+    def make_key(
+        self,
+        date: datetime.date,
+        pool: Sequence[str],
+        params: BM25Parameters,
+        neighbor_top_k: Optional[int],
+        damping: float,
+    ) -> tuple:
+        """Cache key: day + exact pool + ranking parameters + version."""
+        with self._lock:
+            version = self._version
+        return (
+            version,
+            date,
+            params.k1,
+            params.b,
+            neighbor_top_k,
+            damping,
+            tuple(pool),
+        )
+
+    @staticmethod
+    def _entry_bytes(entry: tuple) -> int:
+        return 8 * len(entry)
+
+    def get(self, key: tuple) -> Optional[tuple]:
+        """The cached ranked order for *key*, or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: tuple, order: Sequence[int]) -> None:
+        """Memoise a day's TextRank *order* (pool indices, best first)."""
+        entry = tuple(order)
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= self._entry_bytes(previous)
+            self._entries[key] = entry
+            self._bytes += self._entry_bytes(entry)
+            while self._bytes > self.max_bytes and len(self._entries) > 1:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= self._entry_bytes(evicted)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"DayMatrixCache(entries={len(self)}, "
+            f"bytes={self.nbytes}, max_bytes={self.max_bytes})"
+        )
 
 
 @dataclass(eq=False)
@@ -99,6 +206,15 @@ class DailySummarizer:
     #: predictor) reuse the streams for free. Thread-safe, so the
     #: parallel path shares it too.
     cache: Optional[TokenCache] = None
+    #: Per-sentence neighbour cap for the BM25 TextRank graph (see
+    #: :func:`repro.rank.textrank.truncate_neighbors`). ``None`` keeps
+    #: the dense graph.
+    neighbor_top_k: Optional[int] = None
+    #: Optional shared :class:`DayMatrixCache` memoising day rankings
+    #: across queries. Bypassed when ``query_bias > 0`` (the
+    #: personalised restart depends on the query, which the cache key
+    #: does not cover).
+    matrix_cache: Optional[DayMatrixCache] = None
 
     def rank_day(
         self,
@@ -117,15 +233,39 @@ class DailySummarizer:
                     "daily.sentences_truncated",
                     len(sentences) - len(pool),
                 )
-            order = textrank_bm25(
-                pool,
-                damping=self.damping,
-                params=self.bm25_params,
-                query=query,
-                query_bias=self.query_bias,
-                tracer=tracer,
-                cache=self.cache,
+            memoise = (
+                self.matrix_cache is not None
+                and self.query_bias == 0.0
+                and len(pool) > 1
             )
+            order = None
+            if memoise:
+                key = self.matrix_cache.make_key(
+                    date, pool, self.bm25_params,
+                    self.neighbor_top_k, self.damping,
+                )
+                cached = self.matrix_cache.get(key)
+                if cached is not None:
+                    # The adjacency and its PageRank order are fully
+                    # determined by the key; replaying the cached order
+                    # is bit-identical to re-ranking.
+                    tracer.count("prune.day_matrix_hits", 1)
+                    order = cached
+                else:
+                    tracer.count("prune.day_matrix_misses", 1)
+            if order is None:
+                order = textrank_bm25(
+                    pool,
+                    damping=self.damping,
+                    params=self.bm25_params,
+                    query=query,
+                    query_bias=self.query_bias,
+                    tracer=tracer,
+                    cache=self.cache,
+                    neighbor_top_k=self.neighbor_top_k,
+                )
+                if memoise:
+                    self.matrix_cache.put(key, order)
         return RankedDay(date=date, sentences=[pool[i] for i in order])
 
     def rank_days(

@@ -24,7 +24,15 @@ import datetime
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -61,6 +69,13 @@ DEFAULT_ALPHA_GRID: Tuple[float, ...] = (
     0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.93, 0.95, 0.97,
     0.98, 0.99, 0.995, 0.999, 1.0,
 )
+
+#: Default cap on date-reference-graph nodes. Every tier-1 fixture (and
+#: any realistically windowed query) has far fewer candidate dates, so
+#: the default changes nothing on them -- it only bounds the PageRank
+#: grid search when an unwindowed query over a years-long corpus would
+#: otherwise build a graph with thousands of nodes.
+DEFAULT_MAX_GRAPH_DATES = 512
 
 
 def uniformity(dates: Sequence[datetime.date]) -> float:
@@ -186,18 +201,63 @@ class DateReferenceGraph:
         """All dates observed in the corpus, sorted."""
         return sorted(self._dates)
 
+    def num_candidate_dates(self) -> int:
+        """Number of distinct candidate dates (graph nodes before pruning)."""
+        return len(self._dates)
+
     def num_references(self) -> int:
         """Total number of aggregated (publication, mention) date pairs."""
         return len(self._aggregates)
 
-    def to_graph(self, weight: "EdgeWeight | str") -> WeightedDigraph:
-        """Materialise the digraph under the chosen weight scheme."""
+    def mention_mass(self) -> Dict[datetime.date, int]:
+        """Reference sentences incident to each candidate date.
+
+        A date's mass is the number of reference sentences published on
+        it plus the number mentioning it -- how strongly the corpus
+        "talks about" the date. Dates that only appear as bare
+        publication days (no references either way) have mass 0.
+        """
+        mass: Dict[datetime.date, int] = dict.fromkeys(self._dates, 0)
+        for (source, target), aggregate in self._aggregates.items():
+            mass[source] += aggregate.count
+            mass[target] += aggregate.count
+        return mass
+
+    def top_dates_by_mass(
+        self, max_dates: int
+    ) -> FrozenSet[datetime.date]:
+        """The ``max_dates`` candidate dates with the most reference mass.
+
+        Ties break chronologically (earlier date first), so the result
+        is deterministic for a fixed corpus.
+        """
+        mass = self.mention_mass()
+        ranked = sorted(mass.items(), key=lambda kv: (-kv[1], kv[0]))
+        return frozenset(date for date, _ in ranked[:max_dates])
+
+    def to_graph(
+        self,
+        weight: "EdgeWeight | str",
+        restrict: Optional[FrozenSet[datetime.date]] = None,
+    ) -> WeightedDigraph:
+        """Materialise the digraph under the chosen weight scheme.
+
+        With *restrict*, only dates in the set become nodes and only
+        edges with both endpoints kept survive -- the top-K pruning of
+        the cold query path.
+        """
         weight = EdgeWeight.parse(weight)
         graph = WeightedDigraph()
         for date in self._dates:
+            if restrict is not None and date not in restrict:
+                continue
             graph.add_node(date)
         for (source, target), aggregate in self._aggregates.items():
             if source == target:
+                continue
+            if restrict is not None and (
+                source not in restrict or target not in restrict
+            ):
                 continue
             if weight is EdgeWeight.W1:
                 value = float(aggregate.count)
@@ -227,12 +287,19 @@ class DateSelector:
         Candidate alphas for the grid search.
     damping:
         PageRank damping factor (NetworkX default 0.85).
+    max_graph_dates:
+        Cap on date-reference-graph nodes: when more candidate dates
+        exist, only the top ``max_graph_dates`` by
+        :meth:`DateReferenceGraph.mention_mass` enter the graph before
+        PageRank. ``None`` disables the cap; the default is a no-op on
+        every tier-1 fixture (see :data:`DEFAULT_MAX_GRAPH_DATES`).
     """
 
     edge_weight: "EdgeWeight | str" = EdgeWeight.W3
     recency_adjustment: bool = True
     alpha_grid: Sequence[float] = field(default=DEFAULT_ALPHA_GRID)
     damping: float = DEFAULT_DAMPING
+    max_graph_dates: Optional[int] = DEFAULT_MAX_GRAPH_DATES
 
     def __post_init__(self) -> None:
         self.edge_weight = EdgeWeight.parse(self.edge_weight)
@@ -241,6 +308,11 @@ class DateSelector:
                 raise ValueError(
                     f"alpha grid values must lie in (0, 1], got {alpha}"
                 )
+        if self.max_graph_dates is not None and self.max_graph_dates < 1:
+            raise ValueError(
+                "max_graph_dates must be None or >= 1, got "
+                f"{self.max_graph_dates}"
+            )
 
     # -- public API ----------------------------------------------------------
 
@@ -304,12 +376,34 @@ class DateSelector:
         tracer: Tracer,
         cache: Optional[TokenCache] = None,
     ) -> WeightedDigraph:
-        """Aggregate date references and materialise the weighted digraph."""
+        """Aggregate date references and materialise the weighted digraph.
+
+        Applies the ``max_graph_dates`` cap: with more candidate dates
+        than the cap, only the top-K by mention mass enter the graph
+        (``prune.graph_dates_considered`` / ``prune.graph_dates_pruned``
+        count the decision either way).
+        """
         with tracer.span("date_selection.build_graph"):
             reference_graph = DateReferenceGraph(
                 dated_sentences, query=query, cache=cache
             )
-            graph = reference_graph.to_graph(self.edge_weight)
+            num_candidates = reference_graph.num_candidate_dates()
+            restrict: Optional[FrozenSet[datetime.date]] = None
+            if (
+                self.max_graph_dates is not None
+                and num_candidates > self.max_graph_dates
+            ):
+                restrict = reference_graph.top_dates_by_mass(
+                    self.max_graph_dates
+                )
+            tracer.count("prune.graph_dates_considered", num_candidates)
+            tracer.count(
+                "prune.graph_dates_pruned",
+                0 if restrict is None else num_candidates - len(restrict),
+            )
+            graph = reference_graph.to_graph(
+                self.edge_weight, restrict=restrict
+            )
             tracer.count(
                 "date_selection.graph_nodes", graph.number_of_nodes()
             )

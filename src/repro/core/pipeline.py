@@ -21,12 +21,14 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.core.compression import DateCountPredictor
-from repro.core.daily import DailySummarizer
+from repro.core.daily import DailySummarizer, DayMatrixCache
 from repro.core.date_selection import (
     DEFAULT_ALPHA_GRID,
+    DEFAULT_MAX_GRAPH_DATES,
     DateSelector,
     EdgeWeight,
 )
+from repro.rank.textrank import DEFAULT_TEXTRANK_NEIGHBORS
 from repro.core.postprocess import (
     DEFAULT_REDUNDANCY_THRESHOLD,
     assemble_timeline,
@@ -83,6 +85,23 @@ class WilsonConfig:
     #: Use the batched sparse-matrix redundancy check in post-processing
     #: (identical output to the legacy per-pair loop, just faster).
     vectorized_postprocess: bool = True
+    #: Cap on date-reference-graph nodes before PageRank (top-K by
+    #: mention mass; see
+    #: :data:`repro.core.date_selection.DEFAULT_MAX_GRAPH_DATES`).
+    #: ``None`` disables the cap. The default is exact on every tier-1
+    #: fixture -- pruning only engages on corpora with more candidate
+    #: dates than the cap.
+    max_graph_dates: Optional[int] = DEFAULT_MAX_GRAPH_DATES
+    #: Per-sentence neighbour cap for the daily BM25 TextRank graph
+    #: (:func:`repro.rank.textrank.truncate_neighbors`). ``None`` keeps
+    #: the dense graph; the default is a no-op on days at or below the
+    #: cap.
+    textrank_neighbors: Optional[int] = DEFAULT_TEXTRANK_NEIGHBORS
+    #: Memoise per-day TextRank adjacency matrices across queries
+    #: (:class:`repro.core.daily.DayMatrixCache`). Identical output --
+    #: a cached matrix is bit-for-bit the one that would be rebuilt --
+    #: so this only trades bounded memory for cache-miss latency.
+    day_matrix_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.num_dates is not None and self.num_dates < 1:
@@ -93,6 +112,19 @@ class WilsonConfig:
             raise ValueError(
                 "sentences_per_date must be >= 1, got "
                 f"{self.sentences_per_date}"
+            )
+        if self.max_graph_dates is not None and self.max_graph_dates < 1:
+            raise ValueError(
+                "max_graph_dates must be None or >= 1, got "
+                f"{self.max_graph_dates}"
+            )
+        if (
+            self.textrank_neighbors is not None
+            and self.textrank_neighbors < 1
+        ):
+            raise ValueError(
+                "textrank_neighbors must be None or >= 1, got "
+                f"{self.textrank_neighbors}"
             )
         self.edge_weight = EdgeWeight.parse(self.edge_weight)
 
@@ -120,12 +152,22 @@ class Wilson:
             recency_adjustment=self.config.recency_adjustment,
             alpha_grid=self.config.alpha_grid,
             damping=self.config.damping,
+            max_graph_dates=self.config.max_graph_dates,
+        )
+        #: Shared per-day adjacency memoisation, or ``None`` when
+        #: disabled. The real-time system re-keys it to the search
+        #: index's version before each query (see
+        #: :meth:`repro.search.realtime.RealTimeTimelineSystem.generate_timeline`).
+        self.day_matrix_cache: Optional[DayMatrixCache] = (
+            DayMatrixCache() if self.config.day_matrix_cache else None
         )
         self._summarizer = DailySummarizer(
             damping=self.config.damping,
             query_bias=self.config.query_bias,
             workers=self.config.daily_workers,
             cache=self.cache,
+            neighbor_top_k=self.config.textrank_neighbors,
+            matrix_cache=self.day_matrix_cache,
         )
         self._predictor = DateCountPredictor(
             summarizer=self._summarizer, cache=self.cache

@@ -23,6 +23,12 @@ from repro.obs.trace import Tracer
 from repro.text.analysis import TokenCache, tokenize_with
 from repro.text.bm25 import BM25, BM25IdMatrices, BM25Parameters
 
+#: Default per-sentence neighbour cap for the BM25 TextRank graph. Days
+#: with at most this many other sentences are untouched (the truncation
+#: is a no-op below the cap), so small fixtures keep exact results while
+#: heavy days drop their weakest edges before PageRank.
+DEFAULT_TEXTRANK_NEIGHBORS = 128
+
 
 def textrank_scores(
     similarity: np.ndarray,
@@ -52,6 +58,79 @@ def textrank_scores(
     )
 
 
+def truncate_neighbors(
+    matrix: np.ndarray,
+    neighbor_top_k: Optional[int],
+    tracer: Optional[Tracer] = None,
+) -> np.ndarray:
+    """Keep only each row's ``neighbor_top_k`` strongest edges.
+
+    A no-op (the input is returned untouched) when the cap is ``None``
+    or the graph is already within it -- which makes the default cap
+    exact on small days while bounding the PageRank work on heavy ones.
+    Emits the ``prune.textrank_rows_truncated`` /
+    ``prune.textrank_edges_dropped`` counters when truncation happens.
+    """
+    if neighbor_top_k is None:
+        return matrix
+    if neighbor_top_k < 1:
+        raise ValueError(
+            f"neighbor_top_k must be None or >= 1, got {neighbor_top_k}"
+        )
+    n = matrix.shape[0]
+    if n - 1 <= neighbor_top_k:
+        return matrix
+    keep = np.argpartition(matrix, -neighbor_top_k, axis=1)
+    keep = keep[:, -neighbor_top_k:]
+    mask = np.zeros(matrix.shape, dtype=bool)
+    mask[np.arange(n)[:, None], keep] = True
+    truncated = np.where(mask, matrix, 0.0)
+    if tracer is not None:
+        tracer.count("prune.textrank_rows_truncated", n)
+        tracer.count(
+            "prune.textrank_edges_dropped",
+            int(np.count_nonzero(matrix) - np.count_nonzero(truncated)),
+        )
+    return truncated
+
+
+def _build_bm25_index(
+    sentences: Sequence[str],
+    params: BM25Parameters,
+    cache: Optional[TokenCache],
+):
+    if cache is not None:
+        # The cache hands out interned token-id arrays, so the whole
+        # BM25 graph builds without touching a string: per-document term
+        # frequencies come from one np.unique over (row, token-id) keys.
+        id_arrays = [cache.token_ids(text) for text in sentences]
+        return BM25IdMatrices(
+            id_arrays, len(cache.vocabulary), params=params
+        )
+    tokenised = tokenize_with(cache, sentences)
+    return BM25(tokenised, params=params)
+
+
+def bm25_adjacency(
+    sentences: Sequence[str],
+    params: BM25Parameters = BM25Parameters(),
+    cache: Optional[TokenCache] = None,
+    neighbor_top_k: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+) -> np.ndarray:
+    """The (optionally truncated) BM25 TextRank adjacency of *sentences*.
+
+    Exactly the matrix :func:`textrank_bm25` ranks on; exposed so the
+    daily summariser can memoise it per ``(index_version, date)`` and
+    share it across concurrent queries (see
+    :class:`repro.core.daily.DayMatrixCache`).
+    """
+    index = _build_bm25_index(sentences, params, cache)
+    return truncate_neighbors(
+        index.pairwise_matrix(), neighbor_top_k, tracer=tracer
+    )
+
+
 def textrank_bm25(
     sentences: Sequence[str],
     damping: float = DEFAULT_DAMPING,
@@ -60,6 +139,8 @@ def textrank_bm25(
     query_bias: float = 0.0,
     tracer: Optional[Tracer] = None,
     cache: Optional[TokenCache] = None,
+    neighbor_top_k: Optional[int] = None,
+    adjacency: Optional[np.ndarray] = None,
 ) -> List[int]:
     """Rank *sentences* by BM25-TextRank; returns indices, best first.
 
@@ -80,6 +161,13 @@ def textrank_bm25(
         Optional shared :class:`~repro.text.analysis.TokenCache`;
         sentences seen by any earlier stage (or a previous day) are not
         re-tokenised.
+    neighbor_top_k:
+        Optional per-sentence edge cap (see :func:`truncate_neighbors`);
+        ``None`` keeps the dense graph.
+    adjacency:
+        Optional precomputed (and possibly truncated) adjacency from
+        :func:`bm25_adjacency` -- the memoisation hook. Must have been
+        built from exactly these sentences with the same parameters.
     """
     if not 0.0 <= query_bias <= 1.0:
         raise ValueError(
@@ -89,21 +177,17 @@ def textrank_bm25(
         return []
     if len(sentences) == 1:
         return [0]
-    if cache is not None:
-        # The cache hands out interned token-id arrays, so the whole
-        # BM25 graph builds without touching a string: per-document term
-        # frequencies come from one np.unique over (row, token-id) keys.
-        id_arrays = [cache.token_ids(text) for text in sentences]
-        index = BM25IdMatrices(
-            id_arrays, len(cache.vocabulary), params=params
+    index = None
+    if adjacency is None:
+        index = _build_bm25_index(sentences, params, cache)
+        adjacency = truncate_neighbors(
+            index.pairwise_matrix(), neighbor_top_k, tracer=tracer
         )
-    else:
-        tokenised = tokenize_with(cache, sentences)
-        index = BM25(tokenised, params=params)
-    adjacency = index.pairwise_matrix()
 
     personalization: Optional[np.ndarray] = None
     if query_bias > 0.0 and query:
+        if index is None:
+            index = _build_bm25_index(sentences, params, cache)
         query_tokens = tokenize_with(cache, [" ".join(query)])[0]
         if cache is not None:
             vocabulary_get = cache.vocabulary.get

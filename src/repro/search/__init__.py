@@ -10,13 +10,21 @@ provides the same contract in-process:
   filtering;
 * :mod:`repro.search.engine` -- the high-level :class:`SearchEngine`;
 * :mod:`repro.search.realtime` -- :class:`RealTimeTimelineSystem`, the
-  query-to-timeline pipeline of Figure 7.
+  query-to-timeline pipeline of Figure 7;
+* :mod:`repro.search.snapshot` -- binary index snapshots for O(read)
+  cold starts (checksummed ``.npz`` payload, JSONL stays the fallback).
 """
 
 from repro.search.engine import SearchEngine
 from repro.search.index import IndexedSentence, InvertedIndex
 from repro.search.query import SearchHit, SearchQuery
 from repro.search.realtime import RealTimeTimelineSystem
+from repro.search.snapshot import (
+    SnapshotError,
+    load_snapshot,
+    save_snapshot,
+    snapshot_info,
+)
 from repro.search.trends import Burst, detect_bursts, suggest_query_window
 
 __all__ = [
@@ -27,6 +35,10 @@ __all__ = [
     "SearchEngine",
     "SearchHit",
     "SearchQuery",
+    "SnapshotError",
     "detect_bursts",
+    "load_snapshot",
+    "save_snapshot",
+    "snapshot_info",
     "suggest_query_window",
 ]

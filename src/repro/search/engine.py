@@ -20,6 +20,15 @@ from repro.text.bm25 import BM25Parameters
 from repro.tlsdata.types import Article, DatedSentence
 
 
+def _distinct_articles(index: InvertedIndex) -> int:
+    """Distinct non-empty article ids among the indexed documents."""
+    article_ids = {
+        index.document(doc_id).article_id
+        for doc_id in range(index.num_documents)
+    }
+    return len(article_ids - {""})
+
+
 class SearchEngine:
     """Index news articles; serve keyword + time-window sentence queries."""
 
@@ -104,11 +113,38 @@ class SearchEngine:
         """
         engine = cls(tagger=tagger, bm25_params=bm25_params, cache=cache)
         engine.index = InvertedIndex.load(path, cache=cache)
-        article_ids = {
-            engine.index.document(doc_id).article_id
-            for doc_id in range(engine.index.num_documents)
-        }
-        engine._num_articles = len(article_ids - {""})
+        engine._num_articles = _distinct_articles(engine.index)
+        return engine
+
+    def save_snapshot(self, path) -> None:
+        """Persist the index as a binary snapshot (O(read) restore)."""
+        self.index.save_snapshot(path)
+
+    @classmethod
+    def load_snapshot(
+        cls,
+        path,
+        tagger: Optional[TemporalTagger] = None,
+        bm25_params: BM25Parameters = BM25Parameters(),
+        cache: Optional[TokenCache] = None,
+    ) -> "SearchEngine":
+        """Restore an engine from a binary snapshot (see
+        :mod:`repro.search.snapshot`).
+
+        Raises :class:`repro.search.snapshot.SnapshotError` when the
+        file is corrupt or incompatible; callers can fall back to
+        :meth:`load` on the JSONL index.
+        """
+        from repro.search.snapshot import snapshot_info
+
+        engine = cls(tagger=tagger, bm25_params=bm25_params, cache=cache)
+        engine.index = InvertedIndex.load_snapshot(path, cache=cache)
+        articles = snapshot_info(path).get("articles")
+        engine._num_articles = (
+            int(articles)
+            if articles is not None
+            else _distinct_articles(engine.index)
+        )
         return engine
 
     # -- querying ----------------------------------------------------------------

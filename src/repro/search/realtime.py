@@ -146,6 +146,12 @@ class RealTimeTimelineSystem:
         caller's trace (see docs/observability.md).
         """
         tracer = tracer if tracer is not None else Tracer()
+        matrix_cache = getattr(self.wilson, "day_matrix_cache", None)
+        if matrix_cache is not None:
+            # Re-key the shared day-matrix cache to the current index
+            # revision so ingestion between queries invalidates stale
+            # adjacency matrices (cheap no-op when nothing changed).
+            matrix_cache.sync_version(self.engine.index_version)
         with tracer.root_span("realtime") as root:
             with tracer.span("realtime.retrieval") as retrieval:
                 dated = self.engine.fetch_dated_sentences(

@@ -1,0 +1,451 @@
+"""Binary index snapshots: O(read) persistence for the serving cold path.
+
+:meth:`InvertedIndex.load <repro.search.index.InvertedIndex.load>` replays
+every JSONL document through the analyzer -- a regex pass plus Porter
+stemming per token occurrence -- which makes process boot scale with
+corpus *text*, not corpus *bytes*. A snapshot instead serialises the
+index together with its derived state, so a restore is a single
+sequential read plus array slicing:
+
+* distinct sentence texts (UTF-8 buffer + offsets) and, per document, a
+  row into that table plus date ordinals / article row / reference flag;
+* the vocabulary (postings insertion order) and one token-id array per
+  distinct text -- exactly what a :class:`~repro.text.analysis.TokenCache`
+  would have computed, so the analyzer cache can be pre-seeded without
+  tokenising anything;
+* positional postings (per-token CSR entry ranges over doc ids, plus a
+  JSON blob of per-entry position lists that ``json.loads`` rebuilds in
+  C at restore time);
+* the monotonic ``index_version`` (the serve-cache invalidation key).
+
+On-disk layout is one JSON meta line (magic, format version,
+``index_version``, analyzer configuration, payload byte count and SHA-256
+checksum) followed by the raw bytes of an uncompressed ``.npz`` archive.
+Every load re-verifies the checksum; any mismatch, truncation or parse
+failure raises :class:`SnapshotError` so callers (the serve boot path in
+particular) can fall back to the JSONL index instead of crashing.
+
+The format is deliberately pickle-free: a corrupted or adversarial
+snapshot can fail to load, but it cannot execute code.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import io
+import json
+import pathlib
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.search.index import IndexedSentence, InvertedIndex
+from repro.text.analysis import TokenCache
+from repro.text.tokenize import tokenize_for_matching
+
+PathLike = Union[str, pathlib.Path]
+
+#: Magic string on the snapshot's meta line.
+SNAPSHOT_MAGIC = "wilson.snapshot/v1"
+
+#: Bumped whenever the array layout changes incompatibly.
+SNAPSHOT_FORMAT_VERSION = 1
+
+#: Upper bound on the meta line; a "header" larger than this is garbage.
+_MAX_HEADER_BYTES = 65536
+
+#: Snapshot metric names set by the serve boot path (pinned; documented in
+#: docs/observability.md and asserted by tests/test_docs_observability.py).
+SNAPSHOT_COUNTERS = ("snapshot.corrupt_fallbacks",)
+SNAPSHOT_GAUGES = (
+    "snapshot.documents",
+    "snapshot.format_version",
+    "snapshot.load_seconds",
+    "snapshot.vocabulary_terms",
+)
+SNAPSHOT_METRIC_NAMES = SNAPSHOT_COUNTERS + SNAPSHOT_GAUGES
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot file is missing, corrupt, or incompatible."""
+
+
+# -- string packing ----------------------------------------------------------
+
+
+def _pack_strings(values: List[str]) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack *values* as a UTF-8 byte buffer plus int64 offsets.
+
+    Avoids numpy's fixed-width unicode dtype (which pads every element
+    to the longest string) and object arrays (which would require
+    pickle).
+    """
+    blobs = [value.encode("utf-8") for value in values]
+    indptr = np.zeros(len(blobs) + 1, dtype=np.int64)
+    if blobs:
+        np.cumsum(
+            np.fromiter((len(b) for b in blobs), dtype=np.int64),
+            out=indptr[1:],
+        )
+    buffer = np.frombuffer(b"".join(blobs), dtype=np.uint8)
+    return buffer, indptr
+
+
+def _unpack_strings(buffer: np.ndarray, indptr: np.ndarray) -> List[str]:
+    raw = buffer.tobytes()
+    bounds = indptr.tolist()
+    return [
+        raw[bounds[i] : bounds[i + 1]].decode("utf-8")
+        for i in range(len(bounds) - 1)
+    ]
+
+
+# -- save --------------------------------------------------------------------
+
+
+def _token_streams(
+    index: InvertedIndex, distinct_texts: List[str]
+) -> List[Tuple[str, ...]]:
+    """The analyzer output for each distinct text, as of :meth:`add` time."""
+    if index.cache is not None:
+        return [index.cache.tokens(text) for text in distinct_texts]
+    return [tuple(tokenize_for_matching(text)) for text in distinct_texts]
+
+
+def save_snapshot(index: InvertedIndex, path: PathLike) -> None:
+    """Write *index* (documents, postings, analyzer state) to *path*."""
+    distinct: Dict[str, int] = {}
+    articles: Dict[str, int] = {}
+    doc_text_row = np.empty(len(index), dtype=np.int32)
+    doc_article_row = np.empty(len(index), dtype=np.int32)
+    doc_dates = np.empty(len(index), dtype=np.int64)
+    doc_pub_dates = np.empty(len(index), dtype=np.int64)
+    doc_is_reference = np.zeros(len(index), dtype=np.uint8)
+    for doc_id in range(len(index)):
+        document = index.document(doc_id)
+        doc_text_row[doc_id] = distinct.setdefault(
+            document.text, len(distinct)
+        )
+        doc_article_row[doc_id] = articles.setdefault(
+            document.article_id, len(articles)
+        )
+        doc_dates[doc_id] = document.date.toordinal()
+        doc_pub_dates[doc_id] = document.publication_date.toordinal()
+        doc_is_reference[doc_id] = 1 if document.is_reference else 0
+
+    distinct_texts = list(distinct)
+    streams = _token_streams(index, distinct_texts)
+
+    # Vocabulary in postings insertion order; any token a stream produces
+    # that somehow has no posting entry is appended with an empty range.
+    postings = index._postings
+    vocab: List[str] = list(postings)
+    token_to_id = {token: i for i, token in enumerate(vocab)}
+    flat_ids: List[int] = []
+    tok_indptr = np.zeros(len(streams) + 1, dtype=np.int64)
+    for row, stream in enumerate(streams):
+        for token in stream:
+            token_id = token_to_id.get(token)
+            if token_id is None:
+                token_id = len(vocab)
+                token_to_id[token] = token_id
+                vocab.append(token)
+            flat_ids.append(token_id)
+        tok_indptr[row + 1] = len(flat_ids)
+
+    entry_counts = [len(postings.get(token, ())) for token in vocab]
+    post_entry_indptr = np.zeros(len(vocab) + 1, dtype=np.int64)
+    if entry_counts:
+        np.cumsum(
+            np.asarray(entry_counts, dtype=np.int64),
+            out=post_entry_indptr[1:],
+        )
+    post_doc_ids: List[int] = []
+    position_lists: List[List[int]] = []
+    for token in vocab:
+        for doc_id, positions in postings.get(token, {}).items():
+            post_doc_ids.append(doc_id)
+            position_lists.append(positions)
+    # Positions ride along as a JSON blob: json.loads rebuilds the
+    # nested per-entry lists entirely in C, several times faster than
+    # slicing a CSR pair back apart in Python.
+    positions_blob = json.dumps(
+        position_lists, separators=(",", ":")
+    ).encode("ascii")
+
+    texts_buf, texts_indptr = _pack_strings(distinct_texts)
+    articles_buf, articles_indptr = _pack_strings(list(articles))
+    vocab_buf, vocab_indptr = _pack_strings(vocab)
+
+    payload_io = io.BytesIO()
+    np.savez(
+        payload_io,
+        texts_buf=texts_buf,
+        texts_indptr=texts_indptr,
+        articles_buf=articles_buf,
+        articles_indptr=articles_indptr,
+        vocab_buf=vocab_buf,
+        vocab_indptr=vocab_indptr,
+        doc_text_row=doc_text_row,
+        doc_article_row=doc_article_row,
+        doc_dates=doc_dates,
+        doc_pub_dates=doc_pub_dates,
+        doc_is_reference=doc_is_reference,
+        tok_ids=np.asarray(flat_ids, dtype=np.int32),
+        tok_indptr=tok_indptr,
+        post_entry_indptr=post_entry_indptr,
+        post_doc_ids=np.asarray(post_doc_ids, dtype=np.int64),
+        post_positions_json=np.frombuffer(positions_blob, dtype=np.uint8),
+    )
+    payload = payload_io.getvalue()
+
+    if index.cache is not None:
+        stem = index.cache.stem
+        drop_stopwords = index.cache.drop_stopwords
+    else:
+        stem, drop_stopwords = True, True
+    dates = index.dates()
+    header = {
+        "meta": SNAPSHOT_MAGIC,
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "index_version": index.index_version,
+        "documents": len(index),
+        "vocabulary": len(vocab),
+        "articles": len(set(articles) - {""}),
+        "date_span": (
+            [dates[0].isoformat(), dates[-1].isoformat()] if dates else None
+        ),
+        "analyzer": {"stem": stem, "drop_stopwords": drop_stopwords},
+        "payload_bytes": len(payload),
+        "sha256": hashlib.sha256(payload).hexdigest(),
+    }
+
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as handle:
+        handle.write(json.dumps(header, sort_keys=True).encode("utf-8"))
+        handle.write(b"\n")
+        handle.write(payload)
+
+
+# -- load --------------------------------------------------------------------
+
+
+def _read_header(handle) -> Dict[str, object]:
+    line = handle.readline(_MAX_HEADER_BYTES + 1)
+    if len(line) > _MAX_HEADER_BYTES or not line.endswith(b"\n"):
+        raise SnapshotError("snapshot header missing or oversized")
+    try:
+        header = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"snapshot header is not JSON: {exc}") from exc
+    if not isinstance(header, dict) or header.get("meta") != SNAPSHOT_MAGIC:
+        raise SnapshotError("not a wilson.snapshot/v1 file")
+    if header.get("format_version") != SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotError(
+            "unsupported snapshot format_version "
+            f"{header.get('format_version')!r} "
+            f"(this build reads {SNAPSHOT_FORMAT_VERSION})"
+        )
+    return header
+
+
+def snapshot_info(path: PathLike) -> Dict[str, object]:
+    """Parse and validate the meta header of *path* (payload unread).
+
+    Raises :class:`SnapshotError` when the file is not a readable
+    snapshot of a supported format version.
+    """
+    try:
+        with pathlib.Path(path).open("rb") as handle:
+            return _read_header(handle)
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot: {exc}") from exc
+
+
+def _read_payload(path: PathLike) -> Tuple[Dict[str, object], bytes]:
+    try:
+        with pathlib.Path(path).open("rb") as handle:
+            header = _read_header(handle)
+            payload = handle.read()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot: {exc}") from exc
+    expected_bytes = header.get("payload_bytes")
+    if expected_bytes != len(payload):
+        raise SnapshotError(
+            f"snapshot payload truncated: expected {expected_bytes} bytes, "
+            f"found {len(payload)}"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("sha256"):
+        raise SnapshotError("snapshot checksum mismatch (corrupt payload)")
+    return header, payload
+
+
+def load_snapshot(
+    path: PathLike, cache: Optional[TokenCache] = None
+) -> InvertedIndex:
+    """Restore an :class:`InvertedIndex` written by :func:`save_snapshot`.
+
+    When *cache* is given its analyzer configuration must match the one
+    recorded in the snapshot (raises :class:`SnapshotError` otherwise);
+    the cache is then pre-seeded with every distinct text's token stream
+    -- and, for a fresh cache, with the interned id arrays and the full
+    vocabulary -- so the first query pays zero tokenisation.
+    """
+    header, payload = _read_payload(path)
+    analyzer = header.get("analyzer", {})
+    if cache is not None and (
+        cache.stem != analyzer.get("stem")
+        or cache.drop_stopwords != analyzer.get("drop_stopwords")
+    ):
+        raise SnapshotError(
+            "snapshot analyzer configuration "
+            f"{analyzer!r} does not match the provided cache "
+            f"(stem={cache.stem}, drop_stopwords={cache.drop_stopwords})"
+        )
+    try:
+        with np.load(io.BytesIO(payload)) as npz:
+            arrays = {name: npz[name] for name in npz.files}
+        texts = _unpack_strings(
+            arrays["texts_buf"], arrays["texts_indptr"]
+        )
+        article_ids = _unpack_strings(
+            arrays["articles_buf"], arrays["articles_indptr"]
+        )
+        vocab_tokens = _unpack_strings(
+            arrays["vocab_buf"], arrays["vocab_indptr"]
+        )
+        index = _rebuild_index(header, arrays, texts, article_ids,
+                               vocab_tokens, cache)
+    except SnapshotError:
+        raise
+    except Exception as exc:  # malformed arrays, bad zip, bad UTF-8 ...
+        raise SnapshotError(f"snapshot payload unreadable: {exc}") from exc
+    if cache is not None:
+        _seed_cache(cache, arrays, texts, vocab_tokens)
+    return index
+
+
+def _rebuild_index(
+    header: Dict[str, object],
+    arrays: Dict[str, np.ndarray],
+    texts: List[str],
+    article_ids: List[str],
+    vocab_tokens: List[str],
+    cache: Optional[TokenCache],
+) -> InvertedIndex:
+    index = InvertedIndex(cache=cache)
+    text_rows = arrays["doc_text_row"].tolist()
+    article_rows = arrays["doc_article_row"].tolist()
+    date_ordinals = arrays["doc_dates"].tolist()
+    pub_ordinals = arrays["doc_pub_dates"].tolist()
+    reference_flags = arrays["doc_is_reference"].tolist()
+    num_docs = len(text_rows)
+
+    from_ordinal = datetime.date.fromordinal
+    date_of: Dict[int, datetime.date] = {
+        ordinal: from_ordinal(ordinal)
+        for ordinal in set(date_ordinals) | set(pub_ordinals)
+    }
+    documents: List[IndexedSentence] = []
+    append_document = documents.append
+    by_date: Dict[datetime.date, List[int]] = {}
+    by_date_get = by_date.get
+    # Bypassing the frozen dataclass' per-field object.__setattr__ here
+    # roughly halves restore time on large corpora; the resulting
+    # instances are indistinguishable (same __dict__, __eq__, __hash__).
+    new_sentence = IndexedSentence.__new__
+    set_dict = object.__setattr__
+    doc_texts = list(map(texts.__getitem__, text_rows))
+    doc_articles = list(map(article_ids.__getitem__, article_rows))
+    doc_dates = list(map(date_of.__getitem__, date_ordinals))
+    doc_pub_dates = list(map(date_of.__getitem__, pub_ordinals))
+    for doc_id in range(num_docs):
+        date = doc_dates[doc_id]
+        document = new_sentence(IndexedSentence)
+        set_dict(
+            document,
+            "__dict__",
+            {
+                "doc_id": doc_id,
+                "text": doc_texts[doc_id],
+                "date": date,
+                "publication_date": doc_pub_dates[doc_id],
+                "article_id": doc_articles[doc_id],
+                "is_reference": bool(reference_flags[doc_id]),
+            },
+        )
+        append_document(document)
+        docs_on_date = by_date_get(date)
+        if docs_on_date is None:
+            by_date[date] = [doc_id]
+        else:
+            docs_on_date.append(doc_id)
+
+    token_lengths = np.diff(arrays["tok_indptr"])
+    doc_lengths = token_lengths[arrays["doc_text_row"]]
+
+    # All C-level: json.loads rebuilds the per-entry position lists,
+    # then one dict(zip(...)) per token. A Python-level loop over the
+    # (token, doc) entries would dominate restore time.
+    entry_bounds = arrays["post_entry_indptr"].tolist()
+    entry_doc_ids = arrays["post_doc_ids"].tolist()
+    position_lists = json.loads(
+        arrays["post_positions_json"].tobytes().decode("ascii")
+    )
+    if len(position_lists) != len(entry_doc_ids):
+        raise SnapshotError(
+            "snapshot postings misaligned: "
+            f"{len(position_lists)} position lists for "
+            f"{len(entry_doc_ids)} posting entries"
+        )
+    entry_slices = list(map(slice, entry_bounds, entry_bounds[1:]))
+    postings: Dict[str, Dict[int, List[int]]] = {}
+    for token, entry_slice in zip(vocab_tokens, entry_slices):
+        if entry_slice.start == entry_slice.stop:
+            continue
+        postings[token] = dict(
+            zip(entry_doc_ids[entry_slice], position_lists[entry_slice])
+        )
+
+    index._documents = documents
+    index._doc_lengths = doc_lengths.tolist()
+    index._total_length = int(doc_lengths.sum())
+    index._by_date = by_date
+    index._postings = postings
+    index._version = int(header["index_version"])
+    return index
+
+
+def _seed_cache(
+    cache: TokenCache,
+    arrays: Dict[str, np.ndarray],
+    texts: List[str],
+    vocab_tokens: List[str],
+) -> None:
+    flat_ids = arrays["tok_ids"]
+    bounds = arrays["tok_indptr"].tolist()
+    flat_tokens = list(map(vocab_tokens.__getitem__, flat_ids.tolist()))
+    streams = list(
+        map(
+            tuple,
+            map(
+                flat_tokens.__getitem__,
+                map(slice, bounds, bounds[1:]),
+            ),
+        )
+    )
+    # Interned id arrays are only valid against the snapshot vocabulary;
+    # seed them solely into a pristine cache whose vocabulary we also
+    # control. A cache with prior entries still gets the token streams
+    # (the expensive part) and re-interns ids lazily.
+    if len(cache) == 0 and len(cache.vocabulary) == 0:
+        cache.vocabulary.add_all(vocab_tokens)
+        id_arrays: Optional[List[np.ndarray]] = list(
+            map(flat_ids.__getitem__, map(slice, bounds, bounds[1:]))
+        )
+    else:
+        id_arrays = None
+    cache.warm(texts, streams, id_arrays=id_arrays)

@@ -76,6 +76,9 @@ SERVE_GAUGES = (
     "serve.cache_entries",
     "serve.index_version",
     "serve.draining",
+    # Boot-to-ready wall time, set once by the CLI boot path (not by the
+    # server itself); exposed on /metrics for cold-start dashboards.
+    "serve.warmup_seconds",
 )
 SERVE_HISTOGRAMS = (
     "serve.request_seconds",

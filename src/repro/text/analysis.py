@@ -156,6 +156,33 @@ class TokenCache:
                 self._ids[text] = ids
         return ids
 
+    def warm(
+        self,
+        texts: Sequence[str],
+        token_streams: Sequence[Tuple[str, ...]],
+        id_arrays: Optional[Sequence[np.ndarray]] = None,
+    ) -> None:
+        """Seed the cache with precomputed analyzer output.
+
+        The snapshot loader (:mod:`repro.search.snapshot`) restores
+        token streams -- and, when the vocabulary ids are known to be
+        consistent with :attr:`vocabulary`, the interned id arrays --
+        without re-tokenising. Existing entries are never overwritten;
+        a seeded entry counts as neither hit nor miss.
+        """
+        if len(texts) != len(token_streams):
+            raise ValueError(
+                "texts and token_streams must be the same length"
+            )
+        if id_arrays is not None and len(id_arrays) != len(texts):
+            raise ValueError("id_arrays must align with texts")
+        with self._lock:
+            for position, text in enumerate(texts):
+                if text not in self._tokens:
+                    self._tokens[text] = tuple(token_streams[position])
+                if id_arrays is not None and text not in self._ids:
+                    self._ids[text] = id_arrays[position]
+
     # -- telemetry -----------------------------------------------------------
 
     def stats(self) -> CacheStats:

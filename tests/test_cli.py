@@ -178,6 +178,127 @@ class TestEvaluate:
         assert "95% CI" in output
 
 
+class TestSnapshotCli:
+    @pytest.fixture(scope="class")
+    def snapshot_file(self, corpus_file, tmp_path_factory):
+        path, _ = corpus_file
+        out = tmp_path_factory.mktemp("snapshot") / "index.snap"
+        assert main(["snapshot", str(path), "--out", str(out)]) == 0
+        return out
+
+    def test_snapshot_reports_summary(self, corpus_file, tmp_path, capsys):
+        path, _ = corpus_file
+        out = tmp_path / "index.snap"
+        assert main(["snapshot", str(path), "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "documents" in output
+        assert str(out) in output
+        assert out.exists()
+
+    def test_snapshot_rejects_two_sources(self, corpus_file, tmp_path, capsys):
+        path, _ = corpus_file
+        code = main(
+            [
+                "snapshot", str(path),
+                "--from-index", str(tmp_path / "x.jsonl"),
+                "--out", str(tmp_path / "out.snap"),
+            ]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_snapshot_from_jsonl_index(self, corpus_file, tmp_path, capsys):
+        from repro.search.engine import SearchEngine
+        from repro.search.snapshot import snapshot_info
+
+        path, instance = corpus_file
+        engine = SearchEngine()
+        engine.add_articles(instance.corpus.articles)
+        jsonl = tmp_path / "index.jsonl"
+        engine.save(jsonl)
+        out = tmp_path / "converted.snap"
+        assert main(
+            ["snapshot", "--from-index", str(jsonl), "--out", str(out)]
+        ) == 0
+        info = snapshot_info(out)
+        assert info["documents"] == len(engine.index)
+        assert info["index_version"] == engine.index_version
+
+    def test_index_info_snapshot(self, snapshot_file, capsys):
+        assert main(["index-info", str(snapshot_file)]) == 0
+        output = capsys.readouterr().out
+        assert "wilson.snapshot/v1" in output
+        assert "format_version 1" in output
+        assert "documents:" in output
+        assert "index_version:" in output
+        assert ".." in output  # date span rendered
+
+    def test_index_info_jsonl(self, corpus_file, tmp_path, capsys):
+        from repro.search.engine import SearchEngine
+
+        path, instance = corpus_file
+        engine = SearchEngine()
+        engine.add_articles(instance.corpus.articles)
+        jsonl = tmp_path / "index.jsonl"
+        engine.save(jsonl)
+        assert main(["index-info", str(jsonl)]) == 0
+        output = capsys.readouterr().out
+        assert "JSONL" in output
+        assert f"documents:     {len(engine.index)}" in output
+        assert f"index_version: {engine.index_version}" in output
+
+    def test_serve_parser_snapshot_flag(self):
+        assert build_parser().parse_args(["serve"]).snapshot is None
+        args = build_parser().parse_args(["serve", "--snapshot", "x.snap"])
+        assert args.snapshot == "x.snap"
+
+
+class TestServeBoot:
+    """`_build_serve_system` -- the boot path, without binding a socket."""
+
+    def test_snapshot_boot_sets_gauges(self, corpus_file, tmp_path):
+        from repro.cli import _build_serve_system
+        from repro.obs.metrics import Metrics
+
+        path, _ = corpus_file
+        out = tmp_path / "boot.snap"
+        assert main(["snapshot", str(path), "--out", str(out)]) == 0
+        args = build_parser().parse_args(
+            ["serve", "--snapshot", str(out), "--port", "0"]
+        )
+        metrics = Metrics()
+        system, indexed, source = _build_serve_system(args, metrics)
+        assert source == f"snapshot {out}"
+        assert indexed > 0
+        assert metrics.gauge("snapshot.documents").value == indexed
+        assert metrics.gauge("snapshot.format_version").value == 1
+        assert metrics.gauge("snapshot.load_seconds").value >= 0.0
+        assert metrics.gauge("snapshot.vocabulary_terms").value > 0
+        assert system.index_version > 0
+        # The snapshot pre-seeds the shared analyzer cache.
+        assert system.cache is not None
+        assert system.cache.stats().misses == 0
+
+    def test_corrupt_snapshot_falls_back(self, tmp_path, capsys):
+        from repro.cli import _build_serve_system
+        from repro.obs.metrics import Metrics
+
+        bad = tmp_path / "corrupt.snap"
+        bad.write_bytes(b"\x00not a snapshot at all\n garbage")
+        args = build_parser().parse_args(
+            ["serve", "--snapshot", str(bad), "--port", "0",
+             "--scale", "0.01"]
+        )
+        metrics = Metrics()
+        system, indexed, source = _build_serve_system(args, metrics)
+        # Boot survives: warning + counter, then the re-index path.
+        assert metrics.counter("snapshot.corrupt_fallbacks").value == 1
+        assert "falling back to re-indexing" in capsys.readouterr().err
+        assert source == "synthetic corpus"
+        assert indexed > 0
+        assert system.index_version > 0
+
+
 class TestDiagnose:
     def test_diagnose_runs(self, capsys):
         assert main(["diagnose", "--scale", "0.03"]) == 0

@@ -1,0 +1,298 @@
+"""Cold-path query pruning: date cap, neighbour truncation, day cache.
+
+Three serving-latency optimisations with one shared contract: at their
+*defaults* they must not change a single served byte (the date cap is a
+no-op below 512 candidates, neighbour truncation is a no-op below 128
+neighbours, and the day-matrix cache replays bit-identical rankings).
+These tests pin both halves -- the pruning fires when asked, and the
+defaults stay exact.
+"""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.daily import (
+    DEFAULT_DAY_MATRIX_BYTES,
+    DailySummarizer,
+    DayMatrixCache,
+)
+from repro.core.date_selection import (
+    DEFAULT_MAX_GRAPH_DATES,
+    DateReferenceGraph,
+    DateSelector,
+)
+from repro.core.pipeline import Wilson, WilsonConfig
+from repro.obs.trace import Tracer
+from repro.rank.textrank import DEFAULT_TEXTRANK_NEIGHBORS, truncate_neighbors
+from repro.serve import canonical_json
+from repro.tlsdata.synthetic import SyntheticConfig, SyntheticCorpusGenerator
+from repro.tlsdata.types import DatedSentence
+from tests.conftest import d
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    config = SyntheticConfig(
+        topic="prune-test",
+        theme="disaster",
+        seed=7,
+        duration_days=50,
+        num_events=9,
+        num_major_events=4,
+        num_articles=16,
+        sentences_per_article=6,
+    )
+    return SyntheticCorpusGenerator(config).generate().corpus
+
+
+@pytest.fixture(scope="module")
+def dated(corpus):
+    return corpus.dated_sentences()
+
+
+def _spread_sentences(num_dates, per_date=2):
+    """Candidate dates with strictly decreasing mention mass."""
+    base = d("2021-06-01")
+    sentences = []
+    for i in range(num_dates):
+        date = base + datetime.timedelta(days=i)
+        # Earlier dates get more mentions: mass(date_i) > mass(date_j)
+        # for i < j, so top-K by mass is the chronological prefix.
+        for j in range(per_date + (num_dates - i)):
+            sentences.append(
+                DatedSentence(
+                    date=date,
+                    text=f"Event {i} update {j} reported.",
+                    publication_date=base + datetime.timedelta(days=i + j),
+                    article_id=f"a{j}",
+                )
+            )
+    return sentences
+
+
+class TestTruncateNeighbors:
+    def _matrix(self, n, seed=3):
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((n, n))
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+    def test_none_cap_is_identity(self):
+        matrix = self._matrix(6)
+        assert truncate_neighbors(matrix, None) is matrix
+
+    def test_below_cap_is_identity(self):
+        matrix = self._matrix(6)
+        assert truncate_neighbors(matrix, 5) is matrix
+        assert truncate_neighbors(matrix, 50) is matrix
+
+    def test_keeps_each_rows_strongest_edges(self):
+        matrix = self._matrix(8)
+        k = 3
+        truncated = truncate_neighbors(matrix, k)
+        for row in range(8):
+            kept = np.nonzero(truncated[row])[0]
+            assert len(kept) == k
+            threshold = np.sort(matrix[row])[-k]
+            assert (matrix[row][kept] >= threshold).all()
+            np.testing.assert_array_equal(
+                truncated[row][kept], matrix[row][kept]
+            )
+
+    def test_counters_record_truncation(self):
+        tracer = Tracer()
+        matrix = self._matrix(8)
+        truncated = truncate_neighbors(matrix, 3, tracer=tracer)
+        assert tracer.counters["prune.textrank_rows_truncated"] == 8
+        dropped = np.count_nonzero(matrix) - np.count_nonzero(truncated)
+        assert tracer.counters["prune.textrank_edges_dropped"] == dropped
+        assert dropped == 8 * (7 - 3)
+
+    def test_no_counters_when_noop(self):
+        tracer = Tracer()
+        truncate_neighbors(self._matrix(4), 10, tracer=tracer)
+        assert "prune.textrank_rows_truncated" not in tracer.counters
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError, match="neighbor_top_k"):
+            truncate_neighbors(self._matrix(4), 0)
+
+
+class TestDateCap:
+    def test_top_dates_by_mass_picks_heaviest(self):
+        sentences = _spread_sentences(6)
+        graph = DateReferenceGraph(sentences)
+        top = graph.top_dates_by_mass(3)
+        assert len(top) == 3
+        mass = graph.mention_mass()
+        kept_floor = min(mass[date] for date in top)
+        dropped_ceiling = max(
+            mass[date] for date in mass if date not in top
+        )
+        assert kept_floor >= dropped_ceiling
+
+    def test_cap_below_candidates_restricts_graph(self):
+        sentences = _spread_sentences(8)
+        tracer = Tracer()
+        capped = DateSelector(max_graph_dates=3)
+        selected = capped.select(sentences, num_dates=3, tracer=tracer)
+        considered = tracer.counters["prune.graph_dates_considered"]
+        pruned = tracer.counters["prune.graph_dates_pruned"]
+        assert considered > 3
+        assert pruned == considered - 3
+        graph = DateReferenceGraph(sentences)
+        assert set(selected) <= graph.top_dates_by_mass(3)
+
+    def test_default_cap_is_noop_and_exact(self, dated):
+        tracer = Tracer()
+        default = DateSelector()
+        unlimited = DateSelector(max_graph_dates=None)
+        assert default.select(
+            dated, num_dates=6, tracer=tracer
+        ) == unlimited.select(dated, num_dates=6)
+        assert tracer.counters["prune.graph_dates_pruned"] == 0
+        assert (
+            tracer.counters["prune.graph_dates_considered"]
+            < DEFAULT_MAX_GRAPH_DATES
+        )
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_graph_dates"):
+            DateSelector(max_graph_dates=0)
+        with pytest.raises(ValueError, match="max_graph_dates"):
+            WilsonConfig(max_graph_dates=-1)
+
+
+class TestDayMatrixCache:
+    _POOL = [
+        "Rebels seized the border town at dawn.",
+        "Government forces shelled the outskirts.",
+        "Aid convoys reached the besieged district.",
+        "Ceasefire talks resumed in the capital.",
+    ]
+
+    def test_hit_replays_identical_ranking(self):
+        cache = DayMatrixCache()
+        cache.sync_version(1)
+        summarizer = DailySummarizer(matrix_cache=cache)
+        tracer = Tracer()
+        date = d("2021-06-01")
+        first = summarizer.rank_day(date, self._POOL, tracer=tracer)
+        assert tracer.counters["prune.day_matrix_misses"] == 1
+        assert "prune.day_matrix_hits" not in tracer.counters
+        second = summarizer.rank_day(date, self._POOL, tracer=tracer)
+        assert tracer.counters["prune.day_matrix_hits"] == 1
+        assert second.sentences == first.sentences
+        # And identical to a cache-free summarizer, bit for bit.
+        bare = DailySummarizer().rank_day(date, self._POOL)
+        assert second.sentences == bare.sentences
+
+    def test_sync_version_invalidates(self):
+        cache = DayMatrixCache()
+        cache.sync_version(1)
+        summarizer = DailySummarizer(matrix_cache=cache)
+        summarizer.rank_day(d("2021-06-01"), self._POOL)
+        assert len(cache) == 1
+        cache.sync_version(2)
+        assert len(cache) == 0
+        cache.sync_version(2)  # same version: no-op, entries survive
+        summarizer.rank_day(d("2021-06-01"), self._POOL)
+        cache.sync_version(2)
+        assert len(cache) == 1
+
+    def test_key_covers_ranking_parameters(self):
+        cache = DayMatrixCache()
+        cache.sync_version(1)
+        date = d("2021-06-01")
+        from repro.text.bm25 import BM25Parameters
+
+        params = BM25Parameters()
+        key = cache.make_key(date, self._POOL, params, None, 0.85)
+        assert key != cache.make_key(date, self._POOL, params, None, 0.9)
+        assert key != cache.make_key(date, self._POOL, params, 16, 0.85)
+        assert key != cache.make_key(
+            date, self._POOL[:-1], params, None, 0.85
+        )
+        cache.sync_version(2)
+        assert key != cache.make_key(date, self._POOL, params, None, 0.85)
+
+    def test_byte_budget_evicts_lru(self):
+        order = tuple(range(100))  # 800 bytes each
+        cache = DayMatrixCache(max_bytes=2000)
+        for i in range(4):
+            cache.put(("key", i), order)
+        assert len(cache) == 2
+        assert cache.nbytes <= 2000
+        assert cache.get(("key", 3)) == order  # newest survives
+        assert cache.get(("key", 0)) is None  # oldest evicted
+
+    def test_oversized_entry_still_cached_alone(self):
+        cache = DayMatrixCache(max_bytes=100)
+        cache.put(("big",), tuple(range(50)))
+        assert len(cache) == 1  # never evicts below one entry
+
+    def test_query_bias_bypasses_cache(self):
+        cache = DayMatrixCache()
+        cache.sync_version(1)
+        summarizer = DailySummarizer(query_bias=0.3, matrix_cache=cache)
+        summarizer.rank_day(
+            d("2021-06-01"), self._POOL, query=("rebels",)
+        )
+        assert len(cache) == 0
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DayMatrixCache(max_bytes=0)
+        assert DEFAULT_DAY_MATRIX_BYTES == 4 * 1024 * 1024
+
+
+class TestPipelineEquivalence:
+    def test_defaults_match_pruning_disabled_bytes(self, corpus):
+        disabled = Wilson(
+            WilsonConfig(
+                max_graph_dates=None,
+                textrank_neighbors=None,
+                day_matrix_cache=False,
+            )
+        )
+        defaults = Wilson(WilsonConfig())
+        assert defaults.config.max_graph_dates == DEFAULT_MAX_GRAPH_DATES
+        assert (
+            defaults.config.textrank_neighbors
+            == DEFAULT_TEXTRANK_NEIGHBORS
+        )
+        expected = canonical_json(
+            disabled.summarize_corpus(
+                corpus, num_dates=6, num_sentences=2
+            ).to_dict()
+        )
+        actual = canonical_json(
+            defaults.summarize_corpus(
+                corpus, num_dates=6, num_sentences=2
+            ).to_dict()
+        )
+        assert actual == expected
+
+    def test_repeat_query_hits_day_cache_identically(self, corpus):
+        wilson = Wilson(WilsonConfig())
+        first = wilson.summarize_corpus(corpus, num_dates=6, num_sentences=2)
+        tracer = Tracer()
+        second = wilson.summarize_corpus(
+            corpus, num_dates=6, num_sentences=2, tracer=tracer
+        )
+        assert tracer.counters.get("prune.day_matrix_hits", 0) > 0
+        assert tracer.counters.get("prune.day_matrix_misses", 0) == 0
+        assert canonical_json(second.to_dict()) == canonical_json(
+            first.to_dict()
+        )
+
+    def test_tight_caps_still_produce_a_timeline(self, corpus):
+        tight = Wilson(
+            WilsonConfig(max_graph_dates=3, textrank_neighbors=2)
+        )
+        timeline = tight.summarize_corpus(
+            corpus, num_dates=3, num_sentences=1
+        )
+        assert 0 < len(timeline.to_dict()) <= 3

@@ -198,6 +198,17 @@ class TestServeContract:
                 "docs/observability.md"
             )
 
+    def test_every_registered_snapshot_metric_is_documented(
+        self, contract_text
+    ):
+        from repro.search.snapshot import SNAPSHOT_METRIC_NAMES
+
+        for name in SNAPSHOT_METRIC_NAMES:
+            assert f"`{name}`" in contract_text, (
+                f"snapshot metric {name!r} is not documented in "
+                "docs/observability.md"
+            )
+
     def test_serving_doc_exists_and_is_linked(self, contract_text):
         assert (DOCS / "serving.md").exists()
         assert "serving.md" in contract_text

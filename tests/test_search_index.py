@@ -110,6 +110,21 @@ class TestIndexVersion:
         restored.add("Fresh report.", d("2020-02-01"), d("2020-02-01"))
         assert restored.index_version == 18
 
+    def test_empty_index_with_meta_preserves_version(self, tmp_path):
+        # An empty index that has handed out versions (documents added,
+        # then a fresh incarnation saved empty) must restore its saved
+        # revision -- not reset to zero -- so result caches keyed on
+        # index_version never see a reused version.
+        empty = InvertedIndex()
+        empty._version = 9
+        path = tmp_path / "empty.jsonl"
+        empty.save(path)
+        restored = InvertedIndex.load(path)
+        assert len(restored) == 0
+        assert restored.index_version == 9
+        restored.add("First report.", d("2020-02-01"), d("2020-02-01"))
+        assert restored.index_version == 10
+
     def test_load_pre_version_format(self, index, tmp_path):
         # Old snapshots have no meta line; the restored version falls
         # back to the number of re-inserted documents.
