@@ -1,0 +1,171 @@
+"""Compare fresh ``BENCH_*.json`` results against committed baselines.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cold_path.py \
+        --json-out /tmp/bench-current
+    python benchmarks/compare_baselines.py --current /tmp/bench-current
+
+For every ``BENCH_<name>.json`` in the baseline directory
+(``benchmarks/baselines/`` by default) that also exists in the current
+directory, numeric metrics are compared leaf-by-leaf (nested dicts
+flatten to dotted paths).  The direction of "better" is inferred from
+the metric path:
+
+* paths ending in ``_seconds`` (or containing ``seconds``/``latency``)
+  are **lower-is-better**;
+* paths containing ``speedup``, ``qps`` or ``throughput`` are
+  **higher-is-better**;
+* anything else (counts, scales, configuration echoes) is skipped --
+  those are descriptive, not performance claims.
+
+A metric regresses when it is worse than baseline by more than the
+tolerance (default 20%).  Regressions always print; they fail the run
+(exit 1) only under ``BENCH_ASSERT=1`` or ``--strict``, because
+wall-clock comparisons against baselines recorded on different hardware
+are informational at best (see ``common.BENCH_ASSERT``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+from typing import Dict, Iterator, List, Tuple
+
+BASELINE_DIR = pathlib.Path(__file__).parent / "baselines"
+
+LOWER_IS_BETTER = ("seconds", "latency")
+HIGHER_IS_BETTER = ("speedup", "qps", "throughput")
+
+
+def flatten(metrics: object, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted_path, value)`` for every numeric leaf."""
+    if isinstance(metrics, dict):
+        for key, value in sorted(metrics.items()):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from flatten(value, path)
+    elif isinstance(metrics, bool):
+        return
+    elif isinstance(metrics, (int, float)):
+        yield prefix, float(metrics)
+
+
+def direction(path: str) -> int:
+    """``-1`` lower-better, ``+1`` higher-better, ``0`` not compared."""
+    lowered = path.lower()
+    if any(marker in lowered for marker in HIGHER_IS_BETTER):
+        return 1
+    if lowered.endswith("_seconds") or any(
+        marker in lowered for marker in LOWER_IS_BETTER
+    ):
+        return -1
+    return 0
+
+
+def compare_metrics(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    tolerance: float,
+) -> List[str]:
+    """Regression messages for *current* vs *baseline* (empty == clean)."""
+    regressions = []
+    current_values = dict(flatten(current))
+    for path, base_value in flatten(baseline):
+        sign = direction(path)
+        if sign == 0 or path not in current_values:
+            continue
+        value = current_values[path]
+        if base_value == 0:
+            continue
+        change = (value - base_value) / abs(base_value)
+        if sign * change < -tolerance:
+            verb = "slower" if sign < 0 else "lower"
+            regressions.append(
+                f"{path}: {value:.4g} vs baseline {base_value:.4g} "
+                f"({abs(change) * 100:.0f}% {verb}, tolerance "
+                f"{tolerance * 100:.0f}%)"
+            )
+    return regressions
+
+
+def compare_directories(
+    baseline_dir: pathlib.Path,
+    current_dir: pathlib.Path,
+    tolerance: float,
+) -> Tuple[List[str], int]:
+    """All regressions across matching files, plus the compared count."""
+    regressions = []
+    compared = 0
+    for baseline_path in sorted(baseline_dir.glob("BENCH_*.json")):
+        current_path = current_dir / baseline_path.name
+        if not current_path.exists():
+            print(f"skip {baseline_path.name}: no current result")
+            continue
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        current = json.loads(current_path.read_text(encoding="utf-8"))
+        compared += 1
+        for message in compare_metrics(
+            baseline.get("metrics", {}),
+            current.get("metrics", {}),
+            tolerance,
+        ):
+            regressions.append(f"{baseline_path.name}: {message}")
+    return regressions, compared
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--baselines",
+        default=str(BASELINE_DIR),
+        help="directory of committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--current",
+        required=True,
+        help="directory of freshly generated BENCH_*.json results",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="relative regression tolerance (default 0.2 == 20%%)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on regression even without BENCH_ASSERT=1",
+    )
+    args = parser.parse_args(argv)
+
+    regressions, compared = compare_directories(
+        pathlib.Path(args.baselines),
+        pathlib.Path(args.current),
+        args.tolerance,
+    )
+    if compared == 0:
+        print("no benchmark pairs to compare")
+        return 0
+    if not regressions:
+        print(f"ok: {compared} benchmark(s) within tolerance")
+        return 0
+    for message in regressions:
+        print(f"regression: {message}")
+    enforce = args.strict or os.environ.get("BENCH_ASSERT", "") == "1"
+    if enforce:
+        print(f"FAIL: {len(regressions)} regression(s)")
+        return 1
+    print(
+        f"note: {len(regressions)} regression(s) found but neither "
+        "BENCH_ASSERT=1 nor --strict set; not failing"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,12 +14,21 @@ Subcommands:
   and a versioned result cache per ``docs/serving.md``; with
   ``--snapshot PATH`` the index boots from a binary snapshot in O(read)
   (a corrupt snapshot logs a warning and falls back to re-indexing);
+  with ``--shards N`` the corpus is partitioned into N date-range
+  slices, one worker process boots per slice, and a scatter-gather
+  router serves the same routes in front of them (see
+  :mod:`repro.serve.router`);
+* ``route`` -- boot only the scatter-gather router over an existing
+  topology directory and already-running workers (``--endpoint`` per
+  shard, in shard order);
 * ``snapshot`` -- build a binary index snapshot (see
   :mod:`repro.search.snapshot`) from a corpus file, a saved JSONL index
-  (``--from-index``), or the synthetic demo corpus;
+  (``--from-index``), or the synthetic demo corpus; ``--shards N``
+  writes a topology directory of N slice snapshots plus manifest
+  instead of one file;
 * ``index-info`` -- print a saved index's vital signs (documents,
-  vocabulary, date span, ``index_version``, snapshot format version)
-  for either on-disk format;
+  vocabulary, date span, ``index_version``, snapshot format version,
+  shard-slice metadata when present) for either on-disk format;
 * ``evaluate`` -- score a method on a dataset (a directory written by
   :func:`repro.tlsdata.loaders.save_dataset`, or the synthetic
   ``timeline17`` / ``crisis`` presets);
@@ -124,6 +133,26 @@ def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="re-attempts before a crashing/hanging shard is recorded "
              "as degraded instead of aborting the sweep (default 2)",
+    )
+
+
+def _add_router_flags(parser: argparse.ArgumentParser) -> None:
+    """The scatter-gather flags shared by ``serve --shards`` and ``route``."""
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard fan-out deadline; a shard past it is dropped "
+             "from the merge and the response degrades (default 5)",
+    )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="re-attempts before a failing shard is dropped from the "
+             "merge (default %(default)s)",
     )
 
 
@@ -341,6 +370,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs.metrics import Metrics
     from repro.serve import ServeConfig, run_server
 
+    if getattr(args, "shards", 1) > 1:
+        return _cmd_serve_sharded(args)
+
     metrics = Metrics()
     boot_started = time.perf_counter()
     system, indexed, source = _build_serve_system(args, metrics)
@@ -379,6 +411,154 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if drained else 1
 
 
+def _router_config(args: argparse.Namespace):
+    """A RouterConfig from the shared router-facing serve/route flags."""
+    from repro.serve import RouterConfig
+
+    return RouterConfig(
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        cache_ttl_seconds=args.cache_ttl,
+        max_inflight=args.max_inflight,
+        shard_timeout_seconds=(
+            args.shard_timeout if args.shard_timeout is not None else 5.0
+        ),
+        shard_retries=args.shard_retries,
+    )
+
+
+def _print_shard_layout(topology) -> None:
+    """The shard-layout banner (manifest metadata only; payloads unread)."""
+    for shard in topology.shards:
+        print(f"  {shard.describe()}", flush=True)
+
+
+def _run_router_blocking(
+    args: argparse.Namespace,
+    topology,
+    endpoints,
+    metrics,
+    wilson,
+    boot_started: float,
+) -> int:
+    """Shared blocking tail of ``serve --shards`` and ``route``."""
+    import time
+
+    from repro.serve import run_router
+
+    config = _router_config(args)
+
+    def ready(router) -> None:
+        warmup = time.perf_counter() - boot_started
+        # Flushed before blocking so supervisors and the smoke tests can
+        # parse the bound port even with --port 0.
+        print(
+            f"routing on http://{config.host}:{router.port} "
+            f"({topology.num_shards} shards, "
+            f"{topology.total_documents} documents, "
+            f"index_version {topology.source_index_version}, "
+            f"warmup {warmup:.3f}s)",
+            flush=True,
+        )
+
+    drained = run_router(
+        topology,
+        endpoints,
+        config=config,
+        metrics=metrics,
+        wilson=wilson,
+        ready=ready,
+    )
+    print(
+        "shutdown: drained cleanly" if drained
+        else "shutdown: drain timed out; in-flight requests abandoned",
+        flush=True,
+    )
+    return 0 if drained else 1
+
+
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    """``serve --shards N``: slice, boot N workers, route in front."""
+    import shutil
+    import tempfile
+    import time
+
+    from repro.obs.metrics import Metrics
+    from repro.serve import ShardWorkerPool, export_slices
+
+    metrics = Metrics()
+    boot_started = time.perf_counter()
+    system, indexed, source = _build_serve_system(args, metrics)
+    cleanup_dir = None
+    if args.topology_dir is not None:
+        topology_dir = args.topology_dir
+    else:
+        cleanup_dir = tempfile.mkdtemp(prefix="wilson-topology-")
+        topology_dir = cleanup_dir
+    topology = export_slices(
+        system.engine.index, topology_dir, args.shards
+    )
+    print(
+        f"sliced {indexed} sentences from {source} into "
+        f"{topology.num_shards} shards under {topology_dir}:",
+        flush=True,
+    )
+    _print_shard_layout(topology)
+    pool = ShardWorkerPool(
+        topology, batch_window_ms=args.batch_window_ms
+    )
+    try:
+        for worker in pool.start():
+            # One parseable line per worker: the smoke tests and the CI
+            # degradation drill kill a shard by this pid.
+            print(
+                f"shard {worker.shard_id}: pid {worker.process.pid} "
+                f"on {worker.base_url}",
+                flush=True,
+            )
+        return _run_router_blocking(
+            args,
+            topology,
+            pool.endpoints,
+            metrics,
+            system.wilson,
+            boot_started,
+        )
+    finally:
+        pool.stop()
+        if cleanup_dir is not None:
+            shutil.rmtree(cleanup_dir, ignore_errors=True)
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    """``route``: scatter-gather router over already-running workers."""
+    import time
+
+    from repro.obs.metrics import Metrics
+    from repro.serve import Topology
+
+    boot_started = time.perf_counter()
+    topology = Topology.load(args.topology)
+    if len(args.endpoint) != topology.num_shards:
+        print(
+            f"error: topology has {topology.num_shards} shards but "
+            f"{len(args.endpoint)} --endpoint values were given",
+            file=sys.stderr,
+        )
+        return 2
+    _print_shard_layout(topology)
+    wilson = Wilson(
+        WilsonConfig(
+            daily_workers=args.daily_workers,
+            analysis_cache=not args.no_analysis_cache,
+        )
+    )
+    return _run_router_blocking(
+        args, topology, args.endpoint, Metrics(), wilson, boot_started
+    )
+
+
 def _cmd_snapshot(args: argparse.Namespace) -> int:
     from repro.search.engine import SearchEngine
     from repro.search.snapshot import snapshot_info
@@ -407,6 +587,18 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
             )
             source = "synthetic corpus"
         engine.add_articles(corpus.articles)
+    if args.shards > 1:
+        from repro.serve.topology import export_slices
+
+        topology = export_slices(engine.index, args.out, args.shards)
+        print(
+            f"wrote {args.out}: {topology.num_shards} shards, "
+            f"{topology.total_documents} documents, index_version "
+            f"{topology.source_index_version} (from {source})"
+        )
+        for shard in topology.shards:
+            print(f"  {shard.describe()}")
+        return 0
     engine.save_snapshot(args.out)
     info = snapshot_info(args.out)
     print(
@@ -453,6 +645,7 @@ def _cmd_index_info(args: argparse.Namespace) -> int:
             "articles": info["articles"],
             "date_span": info["date_span"],
             "index_version": info["index_version"],
+            "slice": info.get("slice"),
         }
     span = info["date_span"]
     print(f"format:        {info['format']}")
@@ -464,6 +657,16 @@ def _cmd_index_info(args: argparse.Namespace) -> int:
         + (f"{span[0]} .. {span[1]}" if span else "(empty index)")
     )
     print(f"index_version: {info['index_version']}")
+    slice_meta = info.get("slice")
+    if slice_meta:
+        # Snapshot headers are O(1) to read, so a topology's layout
+        # prints without touching any payload (see docs/serving.md).
+        start = slice_meta.get("start") or "(empty)"
+        end = slice_meta.get("end") or "(empty)"
+        print(
+            f"slice:         shard {slice_meta.get('shard_id')} of "
+            f"{slice_meta.get('num_shards')}, {start} .. {end}"
+        )
     return 0
 
 
@@ -713,8 +916,65 @@ def build_parser() -> argparse.ArgumentParser:
              "snapshot'); a corrupt or incompatible file logs a warning "
              "and falls back to re-indexing the corpus",
     )
+    server.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition the index into N date-range slices, boot one "
+             "worker process per slice, and serve through a "
+             "scatter-gather router (default 1 = single-index serving)",
+    )
+    server.add_argument(
+        "--topology-dir",
+        default=None,
+        metavar="DIR",
+        help="with --shards: write the slice snapshots + topology.json "
+             "here (default: a temporary directory, removed on exit)",
+    )
+    _add_router_flags(server)
     _add_perf_flags(server)
     server.set_defaults(func=_cmd_serve)
+
+    route = sub.add_parser(
+        "route",
+        help="boot only the scatter-gather router over an existing "
+             "topology and already-running workers",
+    )
+    route.add_argument(
+        "topology",
+        help="topology directory written by 'snapshot --shards' / "
+             "'serve --shards --topology-dir'",
+    )
+    route.add_argument(
+        "--endpoint",
+        action="append",
+        required=True,
+        metavar="URL",
+        help="one worker base URL per shard, in shard-id order "
+             "(repeat the flag)",
+    )
+    route.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default %(default)s)",
+    )
+    route.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port; 0 picks a free port (default %(default)s)",
+    )
+    route.add_argument(
+        "--cache-size", type=int, default=256, metavar="N",
+        help="merged-result cache capacity (default %(default)s)",
+    )
+    route.add_argument(
+        "--cache-ttl", type=float, default=300.0, metavar="SECONDS",
+        help="merged-result cache TTL (default %(default)s)",
+    )
+    route.add_argument(
+        "--max-inflight", type=int, default=32, metavar="N",
+        help="admission limit; excess requests are shed with 429 "
+             "(default %(default)s)",
+    )
+    _add_router_flags(route)
+    _add_perf_flags(route)
+    route.set_defaults(func=_cmd_route)
 
     snapshot = sub.add_parser(
         "snapshot",
@@ -742,6 +1002,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="synthetic corpus scale when no corpus file is given",
     )
     snapshot.add_argument("--seed", type=int, default=17)
+    snapshot.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="write a topology directory of N date-range slice "
+             "snapshots plus topology.json at --out instead of one "
+             "snapshot file (default 1)",
+    )
     snapshot.set_defaults(func=_cmd_snapshot)
 
     index_info = sub.add_parser(

@@ -120,6 +120,19 @@ class InvertedIndex:
             return 0.0
         return self._total_length / len(self._documents)
 
+    @property
+    def total_length(self) -> int:
+        """Total token count across all documents.
+
+        Together with :attr:`num_documents` this is the additive form of
+        :attr:`average_length`: summing both across disjoint index
+        slices reproduces the whole-corpus ``avgdl`` *exactly* (integer
+        sums, one float division), which is what lets the scatter-gather
+        router re-score candidates with bit-identical BM25 statistics
+        (see :func:`repro.search.query.gather_candidates`).
+        """
+        return self._total_length
+
     def document(self, doc_id: int) -> IndexedSentence:
         """The indexed sentence with id *doc_id* (raises ``IndexError``)."""
         return self._documents[doc_id]

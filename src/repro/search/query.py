@@ -144,3 +144,124 @@ def execute(
         SearchHit(document=index.document(doc_id), score=score)
         for doc_id, score in top
     ]
+
+
+@dataclass(frozen=True)
+class ShardCandidate:
+    """One matching document with its raw per-term match statistics."""
+
+    doc_id: int
+    length: int
+    term_frequencies: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ShardCandidates:
+    """Everything a merger needs to re-score this index's matches globally.
+
+    The BM25 inputs of :func:`execute` decompose additively across
+    disjoint index slices: global ``N`` is the sum of ``documents``,
+    global ``df`` the sum of ``document_frequencies`` and global
+    ``avgdl`` the ratio of summed ``total_tokens`` to summed
+    ``documents`` -- all integer sums, so a merger reproduces the
+    whole-corpus statistics *exactly*, not approximately. Combined with
+    each hit's raw term frequencies and document length, that makes the
+    merged scores bit-identical to running :func:`execute` on the
+    unsliced index (the scatter-gather router's byte-identity
+    guarantee; see :mod:`repro.serve.router`).
+
+    ``terms`` is the analyzed query-token sequence *in query order*
+    (duplicates kept): score contributions must be accumulated in that
+    order for float-exact equality. ``truncated`` flags that the slice
+    had more matches than ``query.limit`` and returned only its locally
+    best ones -- the only case where the merged ranking can diverge.
+    """
+
+    terms: Tuple[str, ...]
+    documents: int
+    total_tokens: int
+    document_frequencies: Tuple[int, ...]
+    hits: Tuple[ShardCandidate, ...]
+    truncated: bool = False
+
+
+def gather_candidates(
+    index: InvertedIndex,
+    query: SearchQuery,
+    params: BM25Parameters = BM25Parameters(),
+    cache: Optional[TokenCache] = None,
+) -> ShardCandidates:
+    """Collect *query*'s raw match statistics from one index slice.
+
+    Applies the same candidate restriction as :func:`execute` (date
+    window, ``all``/phrase constraints) but returns unscored per-term
+    frequencies instead of BM25 scores, plus the slice-level corpus
+    statistics. Index-level statistics (``documents``,
+    ``document_frequencies``, ``total_tokens``) are always populated,
+    even when the window excludes every document -- a merger still needs
+    this slice's contribution to the global IDF.
+
+    When more than ``query.limit`` documents match, only the documents
+    :func:`execute` would rank into the local top ``limit`` are
+    returned and ``truncated`` is set.
+    """
+    if cache is None:
+        cache = index.cache
+    query_tokens = list(
+        tokenize_with(cache, [" ".join(query.keywords)])[0]
+    )
+    terms = tuple(query_tokens)
+    frequencies = tuple(
+        index.document_frequency(token) for token in terms
+    )
+    stats_only = ShardCandidates(
+        terms=terms,
+        documents=index.num_documents,
+        total_tokens=index.total_length,
+        document_frequencies=frequencies,
+        hits=(),
+    )
+    if not terms or index.num_documents == 0:
+        return stats_only
+    allowed = _candidate_filter(index, query, query_tokens)
+    if allowed is not None and not allowed:
+        return stats_only
+
+    rows: dict = {}
+    for position, token in enumerate(terms):
+        for doc_id, tf in index.postings(token).items():
+            if allowed is not None and doc_id not in allowed:
+                continue
+            row = rows.get(doc_id)
+            if row is None:
+                row = [0] * len(terms)
+                rows[doc_id] = row
+            row[position] = tf
+
+    truncated = len(rows) > query.limit
+    if truncated:
+        # Keep exactly the documents execute() would rank into the local
+        # top ``limit`` (by slice-local BM25); global exactness is lost
+        # only in this case, and the flag lets mergers report it.
+        kept = {
+            hit.document.doc_id
+            for hit in execute(index, query, params=params, cache=cache)
+        }
+        doc_ids = sorted(doc_id for doc_id in rows if doc_id in kept)
+    else:
+        doc_ids = sorted(rows)
+    return ShardCandidates(
+        terms=terms,
+        documents=index.num_documents,
+        total_tokens=index.total_length,
+        document_frequencies=frequencies,
+        hits=tuple(
+            ShardCandidate(
+                doc_id=doc_id,
+                length=index.document_length(doc_id),
+                term_frequencies=tuple(rows[doc_id]),
+            )
+            for doc_id in doc_ids
+        ),
+        truncated=truncated,
+    )

@@ -113,8 +113,20 @@ def _token_streams(
     return [tuple(tokenize_for_matching(text)) for text in distinct_texts]
 
 
-def save_snapshot(index: InvertedIndex, path: PathLike) -> None:
-    """Write *index* (documents, postings, analyzer state) to *path*."""
+def save_snapshot(
+    index: InvertedIndex,
+    path: PathLike,
+    slice_meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write *index* (documents, postings, analyzer state) to *path*.
+
+    *slice_meta*, when given, is embedded verbatim as the header's
+    ``"slice"`` key -- the topology layer uses it to mark a snapshot as
+    shard *k* of *N* with its date range (see
+    :mod:`repro.serve.topology`), and :func:`snapshot_info` surfaces it
+    without reading the payload so shard layouts print in O(1). Readers
+    that predate the key ignore it.
+    """
     distinct: Dict[str, int] = {}
     articles: Dict[str, int] = {}
     doc_text_row = np.empty(len(index), dtype=np.int32)
@@ -220,6 +232,8 @@ def save_snapshot(index: InvertedIndex, path: PathLike) -> None:
         "payload_bytes": len(payload),
         "sha256": hashlib.sha256(payload).hexdigest(),
     }
+    if slice_meta is not None:
+        header["slice"] = dict(slice_meta)
 
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)

@@ -15,10 +15,19 @@ service needs under concurrency (docs/serving.md):
   normalised query *and* the index's monotonic ``index_version``, so
   incremental ingestion invalidates exactly (:mod:`repro.serve.cache`).
 
-Start one from the command line with ``wilson-tls serve``.
+Beyond the single-index server, the tier scales out horizontally: a
+corpus partitions into date-range snapshot slices
+(:mod:`repro.serve.topology`), each slice boots as its own worker
+process, and a scatter-gather :class:`~repro.serve.router.TimelineRouter`
+merges per-shard candidates into responses byte-identical to
+single-index serving -- degrading to partial results (HTTP 200 +
+``X-Wilson-Degraded``) when shards fail (:mod:`repro.serve.router`).
+
+Start one from the command line with ``wilson-tls serve`` (or
+``wilson-tls serve --shards N`` for a sharded topology).
 """
 
-from repro.serve.admission import AdmissionController
+from repro.serve.admission import AdmissionController, ShardAdmission
 from repro.serve.app import (
     SERVE_COUNTERS,
     SERVE_GAUGES,
@@ -26,28 +35,85 @@ from repro.serve.app import (
     SERVE_METRIC_NAMES,
     WIRE_SCHEMA,
     BackgroundServer,
+    HttpServerBase,
     ServeConfig,
     TimelineServer,
     canonical_json,
+    parse_search_query,
+    parse_timeline_payload,
     run_server,
 )
 from repro.serve.batching import MicroBatcher
-from repro.serve.cache import ResultCache, make_cache_key, normalize_keywords
+from repro.serve.cache import (
+    ResultCache,
+    make_cache_key,
+    make_merge_cache_key,
+    normalize_keywords,
+)
+from repro.serve.router import (
+    DEGRADED_HEADER,
+    ROUTER_COUNTERS,
+    ROUTER_GAUGES,
+    ROUTER_HISTOGRAMS,
+    ROUTER_METRIC_NAMES,
+    MergedHit,
+    MergeResult,
+    RouterConfig,
+    TimelineRouter,
+    merge_shard_candidates,
+    run_router,
+)
+from repro.serve.topology import (
+    TOPOLOGY_SCHEMA,
+    ShardSlice,
+    ShardWorker,
+    ShardWorkerPool,
+    Topology,
+    TopologyError,
+    export_engine_slices,
+    export_slices,
+    plan_date_ranges,
+)
 
 __all__ = [
     "AdmissionController",
     "BackgroundServer",
+    "DEGRADED_HEADER",
+    "HttpServerBase",
+    "MergeResult",
+    "MergedHit",
     "MicroBatcher",
+    "ROUTER_COUNTERS",
+    "ROUTER_GAUGES",
+    "ROUTER_HISTOGRAMS",
+    "ROUTER_METRIC_NAMES",
     "ResultCache",
+    "RouterConfig",
     "SERVE_COUNTERS",
     "SERVE_GAUGES",
     "SERVE_HISTOGRAMS",
     "SERVE_METRIC_NAMES",
     "ServeConfig",
+    "ShardAdmission",
+    "ShardSlice",
+    "ShardWorker",
+    "ShardWorkerPool",
+    "TOPOLOGY_SCHEMA",
+    "TimelineRouter",
     "TimelineServer",
+    "Topology",
+    "TopologyError",
     "WIRE_SCHEMA",
     "canonical_json",
+    "export_engine_slices",
+    "export_slices",
     "make_cache_key",
+    "make_merge_cache_key",
+    "merge_shard_candidates",
     "normalize_keywords",
+    "parse_search_query",
+    "parse_timeline_payload",
+    "plan_date_ranges",
+    "run_router",
     "run_server",
 ]

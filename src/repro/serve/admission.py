@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Dict
+from typing import Dict, Optional
 
 
 class AdmissionController:
@@ -114,3 +114,77 @@ class AdmissionController:
                 "shed": self._shed,
                 "draining": int(self._draining),
             }
+
+
+class ShardAdmission:
+    """Per-shard admission gates for the scatter-gather router.
+
+    One :class:`AdmissionController` per shard, so a slow or dead shard
+    saturates only its own in-flight budget: the router keeps fanning
+    out to healthy shards while requests queued on the sick one are
+    bounded. Drain applies to all gates at once -- the router drains as
+    a unit, not shard-by-shard.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        max_inflight_per_shard: int = 32,
+        retry_after_seconds: float = 1.0,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.retry_after_seconds = retry_after_seconds
+        self._controllers: Dict[int, AdmissionController] = {
+            shard_id: AdmissionController(
+                max_inflight=max_inflight_per_shard,
+                retry_after_seconds=retry_after_seconds,
+            )
+            for shard_id in range(num_shards)
+        }
+
+    def try_admit(self, shard_id: int) -> bool:
+        """Admit one request to *shard_id*'s gate (pair with release)."""
+        return self._controllers[shard_id].try_admit()
+
+    def release(self, shard_id: int) -> None:
+        """Return one admission on *shard_id*'s gate."""
+        self._controllers[shard_id].release()
+
+    def begin_drain(self) -> None:
+        """Stop admitting on every shard gate."""
+        for controller in self._controllers.values():
+            controller.begin_drain()
+
+    @property
+    def draining(self) -> bool:
+        return any(
+            controller.draining
+            for controller in self._controllers.values()
+        )
+
+    async def wait_idle(self, timeout_seconds: float = 10.0) -> bool:
+        """Await all shard gates idling; ``False`` on timeout."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_seconds
+        for controller in self._controllers.values():
+            remaining = max(0.0, deadline - loop.time())
+            if not await controller.wait_idle(remaining):
+                return False
+        return True
+
+    def inflight(self, shard_id: Optional[int] = None) -> int:
+        """In-flight count on one shard gate, or the sum over all."""
+        if shard_id is not None:
+            return self._controllers[shard_id].inflight
+        return sum(
+            controller.inflight
+            for controller in self._controllers.values()
+        )
+
+    def stats(self) -> Dict[int, Dict[str, int]]:
+        """Per-shard :meth:`AdmissionController.stats` keyed by shard id."""
+        return {
+            shard_id: controller.stats()
+            for shard_id, controller in self._controllers.items()
+        }

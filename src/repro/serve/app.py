@@ -2,11 +2,15 @@
 
 This is the network-facing layer of the Section 5 real-time system: a
 single-process asyncio server wrapping one
-:class:`~repro.search.realtime.RealTimeTimelineSystem` behind four
+:class:`~repro.search.realtime.RealTimeTimelineSystem` behind five
 routes --
 
 * ``POST /v1/timeline`` -- generate (or replay from cache) one timeline;
 * ``GET /v1/search``    -- raw BM25 dated-sentence search;
+* ``GET /v1/shard/search`` -- internal scatter-gather endpoint: raw
+  per-term match statistics plus slice-level corpus statistics, which a
+  :class:`~repro.serve.router.TimelineRouter` merges into exact global
+  BM25 rankings (see docs/serving.md);
 * ``GET /healthz``      -- liveness + index freshness (503 while draining);
 * ``GET /metrics``      -- the :class:`~repro.obs.metrics.Metrics`
   registry in Prometheus text exposition format.
@@ -24,6 +28,10 @@ served timeline is byte-identical to the direct library call's
 serialisation -- the equivalence the load benchmark and
 ``tests/test_serve_app.py`` enforce. The full wire contract lives in
 ``docs/serving.md``.
+
+The raw HTTP/1.1 plumbing (request parsing, keep-alive, lifecycle,
+graceful drain) lives in :class:`HttpServerBase`, shared between this
+server and the scatter-gather router in :mod:`repro.serve.router`.
 """
 
 from __future__ import annotations
@@ -40,7 +48,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import Metrics
 from repro.runtime import ShardPolicy, ShardResult
-from repro.search.query import SearchQuery
+from repro.search.query import SearchQuery, gather_candidates
 from repro.search.realtime import RealTimeTimelineSystem, TimelineQuery
 from repro.serve.admission import AdmissionController
 from repro.serve.batching import MicroBatcher
@@ -60,6 +68,7 @@ SERVE_COUNTERS = (
     "serve.requests",
     "serve.timeline_requests",
     "serve.search_requests",
+    "serve.shard_search_requests",
     "serve.cache_hits",
     "serve.cache_misses",
     "serve.shed",
@@ -171,361 +180,186 @@ class _Response:
     extra_headers: Tuple[Tuple[str, str], ...] = ()
 
 
-class TimelineServer:
-    """The asyncio HTTP front of one :class:`RealTimeTimelineSystem`."""
+def error_response(status: int, detail: str) -> _Response:
+    """The canonical JSON error envelope for *status*."""
+    return _Response(
+        status,
+        canonical_json(
+            {
+                "schema": WIRE_SCHEMA,
+                "error": _REASONS.get(status, "error").lower(),
+                "detail": detail,
+            }
+        ),
+    )
 
-    def __init__(
-        self,
-        system: RealTimeTimelineSystem,
-        config: Optional[ServeConfig] = None,
-        metrics: Optional[Metrics] = None,
-    ) -> None:
-        self.system = system
-        self.config = config or ServeConfig()
-        self.metrics = metrics if metrics is not None else Metrics()
-        self.cache = ResultCache(
-            capacity=self.config.cache_size,
-            ttl_seconds=self.config.cache_ttl_seconds,
+
+# -- shared request parsing ----------------------------------------------------
+
+
+def _parse_date_field(payload: dict, field: str) -> Optional[datetime.date]:
+    raw = payload.get(field)
+    if raw is None:
+        return None
+    if not isinstance(raw, str):
+        raise _BadRequest(f"'{field}' must be an ISO date string")
+    try:
+        return datetime.date.fromisoformat(raw)
+    except ValueError as exc:
+        raise _BadRequest(f"invalid '{field}': {exc}")
+
+
+def _parse_positive_int_field(payload: dict, field: str, default: int) -> int:
+    raw = payload.get(field, default)
+    if isinstance(raw, bool) or not isinstance(raw, int) or raw < 1:
+        raise _BadRequest(f"'{field}' must be a positive integer")
+    return raw
+
+
+def parse_timeline_payload(
+    body: bytes,
+    default_window: Optional[Tuple[datetime.date, datetime.date]],
+    default_num_dates: int,
+    default_num_sentences: int,
+) -> TimelineQuery:
+    """Parse one ``POST /v1/timeline`` body into a :class:`TimelineQuery`.
+
+    Shared by the single-index server (window defaults from its own
+    index) and the scatter-gather router (window defaults from the
+    topology's overall span) so both fronts accept byte-identical
+    requests. Raises :class:`_BadRequest` -- mapped to a 400 -- on any
+    malformed field.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _BadRequest(f"request body is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise _BadRequest("request body must be a JSON object")
+    keywords = payload.get("keywords")
+    if (
+        not isinstance(keywords, list)
+        or not keywords
+        or not all(isinstance(k, str) and k.strip() for k in keywords)
+    ):
+        raise _BadRequest(
+            "'keywords' must be a non-empty list of non-empty strings"
         )
-        self.admission = AdmissionController(
-            max_inflight=self.config.max_inflight,
-            retry_after_seconds=self.config.retry_after_seconds,
+    start = _parse_date_field(payload, "start")
+    end = _parse_date_field(payload, "end")
+    if start is None or end is None:
+        if default_window is None:
+            raise _BadRequest(
+                "'start'/'end' omitted and the index is empty; "
+                "ingest articles or pass an explicit window"
+            )
+        start = start if start is not None else default_window[0]
+        end = end if end is not None else default_window[1]
+    if start > end:
+        raise _BadRequest(f"start {start} must not exceed end {end}")
+    num_dates = _parse_positive_int_field(
+        payload, "num_dates", default_num_dates
+    )
+    num_sentences = _parse_positive_int_field(
+        payload, "num_sentences", default_num_sentences
+    )
+    return TimelineQuery(
+        keywords=tuple(keywords),
+        start=start,
+        end=end,
+        num_dates=num_dates,
+        num_sentences=num_sentences,
+    )
+
+
+def parse_search_query(
+    params: Dict[str, List[str]], default_limit: int = 50
+) -> SearchQuery:
+    """Parse ``GET /v1/search`` query parameters into a :class:`SearchQuery`.
+
+    Shared by the single-index search route, the internal shard route
+    and the router's public search route, so all three agree on the
+    query grammar. Raises :class:`_BadRequest` on malformed parameters.
+    """
+    raw_terms: List[str] = []
+    for value in params.get("q", []):
+        raw_terms.extend(value.split())
+    if not raw_terms:
+        raise _BadRequest("missing required query parameter 'q'")
+
+    def param_date(name: str) -> Optional[datetime.date]:
+        values = params.get(name)
+        if not values:
+            return None
+        try:
+            return datetime.date.fromisoformat(values[-1])
+        except ValueError as exc:
+            raise _BadRequest(f"invalid '{name}': {exc}")
+
+    limit = default_limit
+    if params.get("limit"):
+        try:
+            limit = int(params["limit"][-1])
+        except ValueError:
+            raise _BadRequest("'limit' must be an integer")
+        if limit < 1:
+            raise _BadRequest("'limit' must be >= 1")
+    mode = params.get("mode", ["any"])[-1]
+    phrase = params.get("phrase", ["0"])[-1] in ("1", "true", "yes")
+    try:
+        return SearchQuery(
+            keywords=tuple(raw_terms),
+            start=param_date("start"),
+            end=param_date("end"),
+            limit=limit,
+            mode=mode,
+            phrase=phrase,
         )
-        self.batcher = MicroBatcher(
-            dispatch=self._dispatch_batch,
-            window_seconds=self.config.batch_window_ms / 1000.0,
-            max_batch_size=self.config.max_batch_size,
-            on_batch=self._record_batch,
-        )
+    except ValueError as exc:
+        raise _BadRequest(str(exc))
+
+
+class HttpServerBase:
+    """Shared asyncio HTTP/1.1 plumbing of the serving tier.
+
+    Owns the socket lifecycle (bind, accept loop, graceful shutdown via
+    :meth:`request_shutdown` or signals) and the hand-rolled HTTP
+    parsing/serialisation both servers of the tier use -- the
+    single-index :class:`TimelineServer` and the scatter-gather
+    :class:`~repro.serve.router.TimelineRouter`. Subclasses implement
+    :meth:`handle_request`, may override :attr:`draining` (keep-alive
+    stops while draining) and :meth:`_drain` (awaited once during
+    :meth:`shutdown`), and set :attr:`metric_prefix` so plumbing-level
+    counters (``bad_requests``) land in their own namespace.
+    """
+
+    #: Namespace for plumbing-emitted counters (``serve`` / ``router``).
+    metric_prefix = "serve"
+
+    def __init__(self, host: str, port: int, metrics: Metrics) -> None:
+        self.metrics = metrics
+        self._host = host
+        self._bind_port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._shutdown_event: Optional[asyncio.Event] = None
 
-    # -- batched generation ----------------------------------------------------
-
-    def _dispatch_batch(
-        self, queries: List[TimelineQuery]
-    ) -> Sequence[ShardResult]:
-        """Run one micro-batch as a fault-isolated thread-backend sweep."""
-        report = self.system.generate_timelines(
-            queries,
-            policy=ShardPolicy(
-                backend="thread",
-                workers=min(self.config.workers, max(1, len(queries))),
-                retries=self.config.batch_retries,
-            ),
-            metrics=self.metrics,
-        )
-        return report.results
-
-    def _record_batch(self, size: int) -> None:
-        self.metrics.counter("serve.batches").inc()
-        self.metrics.counter("serve.batched_queries").inc(size)
-        self.metrics.histogram("serve.batch_size").observe(size)
-
-    # -- request parsing -------------------------------------------------------
-
-    def _parse_timeline_request(self, body: bytes) -> TimelineQuery:
-        try:
-            payload = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise _BadRequest(f"request body is not valid JSON: {exc}")
-        if not isinstance(payload, dict):
-            raise _BadRequest("request body must be a JSON object")
-        keywords = payload.get("keywords")
-        if (
-            not isinstance(keywords, list)
-            or not keywords
-            or not all(isinstance(k, str) and k.strip() for k in keywords)
-        ):
-            raise _BadRequest(
-                "'keywords' must be a non-empty list of non-empty strings"
-            )
-        start = self._parse_date(payload, "start")
-        end = self._parse_date(payload, "end")
-        if start is None or end is None:
-            window = self._index_window()
-            if window is None:
-                raise _BadRequest(
-                    "'start'/'end' omitted and the index is empty; "
-                    "ingest articles or pass an explicit window"
-                )
-            start = start if start is not None else window[0]
-            end = end if end is not None else window[1]
-        if start > end:
-            raise _BadRequest(f"start {start} must not exceed end {end}")
-        num_dates = self._parse_positive_int(
-            payload, "num_dates", self.config.default_num_dates
-        )
-        num_sentences = self._parse_positive_int(
-            payload, "num_sentences", self.config.default_num_sentences
-        )
-        return TimelineQuery(
-            keywords=tuple(keywords),
-            start=start,
-            end=end,
-            num_dates=num_dates,
-            num_sentences=num_sentences,
-        )
-
-    @staticmethod
-    def _parse_date(payload: dict, field: str) -> Optional[datetime.date]:
-        raw = payload.get(field)
-        if raw is None:
-            return None
-        if not isinstance(raw, str):
-            raise _BadRequest(f"'{field}' must be an ISO date string")
-        try:
-            return datetime.date.fromisoformat(raw)
-        except ValueError as exc:
-            raise _BadRequest(f"invalid '{field}': {exc}")
-
-    @staticmethod
-    def _parse_positive_int(payload: dict, field: str, default: int) -> int:
-        raw = payload.get(field, default)
-        if isinstance(raw, bool) or not isinstance(raw, int) or raw < 1:
-            raise _BadRequest(f"'{field}' must be a positive integer")
-        return raw
-
-    def _index_window(
-        self,
-    ) -> Optional[Tuple[datetime.date, datetime.date]]:
-        dates = self.system.engine.index.dates()
-        if not dates:
-            return None
-        return dates[0], dates[-1]
-
-    # -- route handlers --------------------------------------------------------
-
-    async def _handle_timeline(self, request: _Request) -> _Response:
-        self.metrics.counter("serve.timeline_requests").inc()
-        query = self._parse_timeline_request(request.body)
-        index_version = self.system.index_version
-        key = make_cache_key(
-            query.keywords,
-            query.start,
-            query.end,
-            query.num_dates,
-            query.num_sentences,
-            index_version,
-        )
-        cached = self.cache.get(key)
-        if cached is not None:
-            self.metrics.counter("serve.cache_hits").inc()
-            return self._timeline_response(cached, index_version, "hit")
-        self.metrics.counter("serve.cache_misses").inc()
-
-        if not self.admission.try_admit():
-            retry_after = (
-                ("Retry-After", f"{self.admission.retry_after_seconds:g}"),
-            )
-            if self.admission.draining:
-                self.metrics.counter("serve.rejected_draining").inc()
-                return _Response(
-                    503,
-                    canonical_json(
-                        {
-                            "schema": WIRE_SCHEMA,
-                            "error": "draining",
-                            "detail": "server is shutting down",
-                        }
-                    ),
-                    extra_headers=retry_after,
-                )
-            self.metrics.counter("serve.shed").inc()
-            return _Response(
-                429,
-                canonical_json(
-                    {
-                        "schema": WIRE_SCHEMA,
-                        "error": "overloaded",
-                        "detail": (
-                            f"more than {self.admission.max_inflight} "
-                            "requests in flight"
-                        ),
-                    }
-                ),
-                extra_headers=retry_after,
-            )
-        try:
-            shard = await self.batcher.submit(query)
-        finally:
-            self.admission.release()
-
-        if not shard.ok:
-            self.metrics.counter("serve.degraded").inc()
-            return _Response(
-                500,
-                canonical_json(
-                    {
-                        "schema": WIRE_SCHEMA,
-                        "error": "degraded",
-                        "detail": shard.error or "query failed",
-                    }
-                ),
-            )
-        result = shard.value.to_dict()
-        self.cache.put(key, result)
-        return self._timeline_response(result, index_version, "miss")
-
-    def _timeline_response(
-        self, result: dict, index_version: int, cache_state: str
-    ) -> _Response:
-        return _Response(
-            200,
-            canonical_json(
-                {
-                    "schema": WIRE_SCHEMA,
-                    "cache": cache_state,
-                    "index_version": index_version,
-                    "result": result,
-                }
-            ),
-        )
-
-    async def _handle_search(self, request: _Request) -> _Response:
-        self.metrics.counter("serve.search_requests").inc()
-        params = request.query
-        raw_terms: List[str] = []
-        for value in params.get("q", []):
-            raw_terms.extend(value.split())
-        if not raw_terms:
-            raise _BadRequest("missing required query parameter 'q'")
-
-        def param_date(name: str) -> Optional[datetime.date]:
-            values = params.get(name)
-            if not values:
-                return None
-            try:
-                return datetime.date.fromisoformat(values[-1])
-            except ValueError as exc:
-                raise _BadRequest(f"invalid '{name}': {exc}")
-
-        limit = 50
-        if params.get("limit"):
-            try:
-                limit = int(params["limit"][-1])
-            except ValueError:
-                raise _BadRequest("'limit' must be an integer")
-            if limit < 1:
-                raise _BadRequest("'limit' must be >= 1")
-        mode = params.get("mode", ["any"])[-1]
-        phrase = params.get("phrase", ["0"])[-1] in ("1", "true", "yes")
-        try:
-            search_query = SearchQuery(
-                keywords=tuple(raw_terms),
-                start=param_date("start"),
-                end=param_date("end"),
-                limit=limit,
-                mode=mode,
-                phrase=phrase,
-            )
-        except ValueError as exc:
-            raise _BadRequest(str(exc))
-        loop = asyncio.get_running_loop()
-        hits = await loop.run_in_executor(
-            None, self.system.engine.search, search_query
-        )
-        return _Response(
-            200,
-            canonical_json(
-                {
-                    "schema": WIRE_SCHEMA,
-                    "index_version": self.system.index_version,
-                    "count": len(hits),
-                    "hits": [
-                        {
-                            "text": hit.document.text,
-                            "date": hit.document.date.isoformat(),
-                            "publication_date": (
-                                hit.document.publication_date.isoformat()
-                            ),
-                            "article_id": hit.document.article_id,
-                            "is_reference": hit.document.is_reference,
-                            "score": hit.score,
-                        }
-                        for hit in hits
-                    ],
-                }
-            ),
-        )
-
-    def _handle_healthz(self) -> _Response:
-        draining = self.admission.draining
-        payload = {
-            "schema": WIRE_SCHEMA,
-            "status": "draining" if draining else "ok",
-            "indexed_sentences": self.system.engine.num_indexed_sentences,
-            "articles": self.system.engine.num_articles,
-            "index_version": self.system.index_version,
-            "inflight": self.admission.inflight,
-            "cache_entries": len(self.cache),
-        }
-        return _Response(503 if draining else 200, canonical_json(payload))
-
-    def _handle_metrics(self) -> _Response:
-        self.metrics.gauge("serve.inflight").set(self.admission.inflight)
-        self.metrics.gauge("serve.cache_entries").set(len(self.cache))
-        self.metrics.gauge("serve.index_version").set(
-            self.system.index_version
-        )
-        self.metrics.gauge("serve.draining").set(
-            1.0 if self.admission.draining else 0.0
-        )
-        return _Response(
-            200,
-            self.metrics.render_prometheus().encode("utf-8"),
-            content_type="text/plain; version=0.0.4; charset=utf-8",
-        )
-
-    # -- routing ---------------------------------------------------------------
-
-    async def _route(self, request: _Request) -> _Response:
-        path, method = request.path, request.method
-        if path == "/healthz" and method == "GET":
-            return self._handle_healthz()
-        if path == "/metrics" and method == "GET":
-            return self._handle_metrics()
-        if path == "/v1/timeline":
-            if method != "POST":
-                return self._error(405, "use POST")
-            return await self._handle_timeline(request)
-        if path == "/v1/search":
-            if method != "GET":
-                return self._error(405, "use GET")
-            return await self._handle_search(request)
-        self.metrics.counter("serve.not_found").inc()
-        return self._error(404, f"no route for {path}")
-
-    @staticmethod
-    def _error(status: int, detail: str) -> _Response:
-        return _Response(
-            status,
-            canonical_json(
-                {
-                    "schema": WIRE_SCHEMA,
-                    "error": _REASONS.get(status, "error").lower(),
-                    "detail": detail,
-                }
-            ),
-        )
+    # -- subclass hooks --------------------------------------------------------
 
     async def handle_request(self, request: _Request) -> _Response:
-        """Route one request, mapping failures to 4xx/5xx responses."""
-        self.metrics.counter("serve.requests").inc()
-        started = time.perf_counter()
-        try:
-            response = await self._route(request)
-        except _BadRequest as exc:
-            self.metrics.counter("serve.bad_requests").inc()
-            response = self._error(400, str(exc))
-        except Exception as exc:  # noqa: BLE001 -- never drop a connection
-            self.metrics.counter("serve.errors").inc()
-            response = self._error(500, f"{type(exc).__name__}: {exc}")
-        self.metrics.histogram("serve.request_seconds").observe(
-            time.perf_counter() - started
-        )
-        return response
+        raise NotImplementedError
+
+    @property
+    def draining(self) -> bool:
+        """Whether the server is refusing new work (closes keep-alives)."""
+        return False
+
+    async def _drain(self) -> bool:
+        """Finish in-flight work during :meth:`shutdown`; drain verdict."""
+        return True
+
+    def _count(self, name: str) -> None:
+        self.metrics.counter(f"{self.metric_prefix}.{name}").inc()
 
     # -- HTTP plumbing ---------------------------------------------------------
 
@@ -620,10 +454,10 @@ class TimelineServer:
                 try:
                     request = await self._read_request(reader)
                 except _PayloadTooLarge as exc:
-                    self.metrics.counter("serve.bad_requests").inc()
+                    self._count("bad_requests")
                     await self._write_response(
                         writer,
-                        self._error(
+                        error_response(
                             413,
                             f"request body of {exc.args[0]} bytes "
                             f"exceeds the {MAX_BODY_BYTES}-byte limit",
@@ -634,7 +468,7 @@ class TimelineServer:
                 if request is None:
                     break
                 response = await self.handle_request(request)
-                keep_alive = request.keep_alive and not self.admission.draining
+                keep_alive = request.keep_alive and not self.draining
                 await self._write_response(writer, response, keep_alive)
                 if not keep_alive:
                     break
@@ -666,8 +500,8 @@ class TimelineServer:
         self._shutdown_event = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection,
-            host=self.config.host,
-            port=self.config.port,
+            host=self._host,
+            port=self._bind_port,
             limit=MAX_BODY_BYTES,
         )
 
@@ -680,18 +514,14 @@ class TimelineServer:
     async def shutdown(self) -> bool:
         """Graceful drain: stop accepting, finish in-flight, then stop.
 
-        Returns ``True`` when every admitted request completed within
-        ``drain_timeout_seconds``, ``False`` when the drain timed out
-        (stragglers are abandoned).
+        Returns ``True`` when the subclass's :meth:`_drain` reported a
+        clean drain, ``False`` when it timed out (stragglers are
+        abandoned).
         """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        self.admission.begin_drain()
-        await self.batcher.drain()
-        return await self.admission.wait_idle(
-            self.config.drain_timeout_seconds
-        )
+        return await self._drain()
 
     async def serve_until_shutdown(
         self, install_signals: bool = True
@@ -715,6 +545,337 @@ class TimelineServer:
                     pass
         await self._shutdown_event.wait()
         return await self.shutdown()
+
+
+class TimelineServer(HttpServerBase):
+    """The asyncio HTTP front of one :class:`RealTimeTimelineSystem`."""
+
+    metric_prefix = "serve"
+
+    def __init__(
+        self,
+        system: RealTimeTimelineSystem,
+        config: Optional[ServeConfig] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.system = system
+        self.config = config or ServeConfig()
+        super().__init__(
+            self.config.host,
+            self.config.port,
+            metrics if metrics is not None else Metrics(),
+        )
+        self.cache = ResultCache(
+            capacity=self.config.cache_size,
+            ttl_seconds=self.config.cache_ttl_seconds,
+        )
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            retry_after_seconds=self.config.retry_after_seconds,
+        )
+        self.batcher = MicroBatcher(
+            dispatch=self._dispatch_batch,
+            window_seconds=self.config.batch_window_ms / 1000.0,
+            max_batch_size=self.config.max_batch_size,
+            on_batch=self._record_batch,
+        )
+
+    # -- batched generation ----------------------------------------------------
+
+    def _dispatch_batch(
+        self, queries: List[TimelineQuery]
+    ) -> Sequence[ShardResult]:
+        """Run one micro-batch as a fault-isolated thread-backend sweep."""
+        report = self.system.generate_timelines(
+            queries,
+            policy=ShardPolicy(
+                backend="thread",
+                workers=min(self.config.workers, max(1, len(queries))),
+                retries=self.config.batch_retries,
+            ),
+            metrics=self.metrics,
+        )
+        return report.results
+
+    def _record_batch(self, size: int) -> None:
+        self.metrics.counter("serve.batches").inc()
+        self.metrics.counter("serve.batched_queries").inc(size)
+        self.metrics.histogram("serve.batch_size").observe(size)
+
+    # -- request parsing -------------------------------------------------------
+
+    def _index_window(
+        self,
+    ) -> Optional[Tuple[datetime.date, datetime.date]]:
+        dates = self.system.engine.index.dates()
+        if not dates:
+            return None
+        return dates[0], dates[-1]
+
+    # -- route handlers --------------------------------------------------------
+
+    async def _handle_timeline(self, request: _Request) -> _Response:
+        self.metrics.counter("serve.timeline_requests").inc()
+        query = parse_timeline_payload(
+            request.body,
+            default_window=self._index_window(),
+            default_num_dates=self.config.default_num_dates,
+            default_num_sentences=self.config.default_num_sentences,
+        )
+        index_version = self.system.index_version
+        key = make_cache_key(
+            query.keywords,
+            query.start,
+            query.end,
+            query.num_dates,
+            query.num_sentences,
+            index_version,
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.counter("serve.cache_hits").inc()
+            return self._timeline_response(cached, index_version, "hit")
+        self.metrics.counter("serve.cache_misses").inc()
+
+        if not self.admission.try_admit():
+            retry_after = (
+                ("Retry-After", f"{self.admission.retry_after_seconds:g}"),
+            )
+            if self.admission.draining:
+                self.metrics.counter("serve.rejected_draining").inc()
+                return _Response(
+                    503,
+                    canonical_json(
+                        {
+                            "schema": WIRE_SCHEMA,
+                            "error": "draining",
+                            "detail": "server is shutting down",
+                        }
+                    ),
+                    extra_headers=retry_after,
+                )
+            self.metrics.counter("serve.shed").inc()
+            return _Response(
+                429,
+                canonical_json(
+                    {
+                        "schema": WIRE_SCHEMA,
+                        "error": "overloaded",
+                        "detail": (
+                            f"more than {self.admission.max_inflight} "
+                            "requests in flight"
+                        ),
+                    }
+                ),
+                extra_headers=retry_after,
+            )
+        try:
+            shard = await self.batcher.submit(query)
+        finally:
+            self.admission.release()
+
+        if not shard.ok:
+            self.metrics.counter("serve.degraded").inc()
+            return _Response(
+                500,
+                canonical_json(
+                    {
+                        "schema": WIRE_SCHEMA,
+                        "error": "degraded",
+                        "detail": shard.error or "query failed",
+                    }
+                ),
+            )
+        result = shard.value.to_dict()
+        self.cache.put(key, result)
+        return self._timeline_response(result, index_version, "miss")
+
+    def _timeline_response(
+        self, result: dict, index_version: int, cache_state: str
+    ) -> _Response:
+        return _Response(
+            200,
+            canonical_json(
+                {
+                    "schema": WIRE_SCHEMA,
+                    "cache": cache_state,
+                    "index_version": index_version,
+                    "result": result,
+                }
+            ),
+        )
+
+    async def _handle_search(self, request: _Request) -> _Response:
+        self.metrics.counter("serve.search_requests").inc()
+        search_query = parse_search_query(request.query)
+        loop = asyncio.get_running_loop()
+        hits = await loop.run_in_executor(
+            None, self.system.engine.search, search_query
+        )
+        return _Response(
+            200,
+            canonical_json(
+                {
+                    "schema": WIRE_SCHEMA,
+                    "index_version": self.system.index_version,
+                    "count": len(hits),
+                    "hits": [
+                        {
+                            "text": hit.document.text,
+                            "date": hit.document.date.isoformat(),
+                            "publication_date": (
+                                hit.document.publication_date.isoformat()
+                            ),
+                            "article_id": hit.document.article_id,
+                            "is_reference": hit.document.is_reference,
+                            "score": hit.score,
+                        }
+                        for hit in hits
+                    ],
+                }
+            ),
+        )
+
+    async def _handle_shard_search(self, request: _Request) -> _Response:
+        """The scatter-gather fan-in: raw match statistics for a merger.
+
+        Same query grammar as ``/v1/search`` but the response carries
+        per-hit term frequencies and document lengths plus this slice's
+        corpus statistics (document count, total token count, per-term
+        document frequencies) instead of BM25 scores -- everything a
+        router needs to reproduce the *global* ranking exactly (see
+        :func:`repro.search.query.gather_candidates`).
+        """
+        self.metrics.counter("serve.shard_search_requests").inc()
+        search_query = parse_search_query(request.query)
+        engine = self.system.engine
+        loop = asyncio.get_running_loop()
+        candidates = await loop.run_in_executor(
+            None,
+            lambda: gather_candidates(
+                engine.index,
+                search_query,
+                params=engine.bm25_params,
+                cache=engine.cache,
+            ),
+        )
+        index = engine.index
+        hits = []
+        for hit in candidates.hits:
+            document = index.document(hit.doc_id)
+            hits.append(
+                {
+                    "doc_id": hit.doc_id,
+                    "length": hit.length,
+                    "tf": list(hit.term_frequencies),
+                    "text": document.text,
+                    "date": document.date.isoformat(),
+                    "publication_date": (
+                        document.publication_date.isoformat()
+                    ),
+                    "article_id": document.article_id,
+                    "is_reference": document.is_reference,
+                }
+            )
+        return _Response(
+            200,
+            canonical_json(
+                {
+                    "schema": WIRE_SCHEMA,
+                    "index_version": self.system.index_version,
+                    "terms": list(candidates.terms),
+                    "stats": {
+                        "documents": candidates.documents,
+                        "total_tokens": candidates.total_tokens,
+                        "df": list(candidates.document_frequencies),
+                    },
+                    "count": len(hits),
+                    "truncated": candidates.truncated,
+                    "hits": hits,
+                }
+            ),
+        )
+
+    def _handle_healthz(self) -> _Response:
+        draining = self.admission.draining
+        payload = {
+            "schema": WIRE_SCHEMA,
+            "status": "draining" if draining else "ok",
+            "indexed_sentences": self.system.engine.num_indexed_sentences,
+            "articles": self.system.engine.num_articles,
+            "index_version": self.system.index_version,
+            "inflight": self.admission.inflight,
+            "cache_entries": len(self.cache),
+        }
+        return _Response(503 if draining else 200, canonical_json(payload))
+
+    def _handle_metrics(self) -> _Response:
+        self.metrics.gauge("serve.inflight").set(self.admission.inflight)
+        self.metrics.gauge("serve.cache_entries").set(len(self.cache))
+        self.metrics.gauge("serve.index_version").set(
+            self.system.index_version
+        )
+        self.metrics.gauge("serve.draining").set(
+            1.0 if self.admission.draining else 0.0
+        )
+        return _Response(
+            200,
+            self.metrics.render_prometheus().encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _route(self, request: _Request) -> _Response:
+        path, method = request.path, request.method
+        if path == "/healthz" and method == "GET":
+            return self._handle_healthz()
+        if path == "/metrics" and method == "GET":
+            return self._handle_metrics()
+        if path == "/v1/timeline":
+            if method != "POST":
+                return error_response(405, "use POST")
+            return await self._handle_timeline(request)
+        if path == "/v1/search":
+            if method != "GET":
+                return error_response(405, "use GET")
+            return await self._handle_search(request)
+        if path == "/v1/shard/search":
+            if method != "GET":
+                return error_response(405, "use GET")
+            return await self._handle_shard_search(request)
+        self.metrics.counter("serve.not_found").inc()
+        return error_response(404, f"no route for {path}")
+
+    async def handle_request(self, request: _Request) -> _Response:
+        """Route one request, mapping failures to 4xx/5xx responses."""
+        self.metrics.counter("serve.requests").inc()
+        started = time.perf_counter()
+        try:
+            response = await self._route(request)
+        except _BadRequest as exc:
+            self.metrics.counter("serve.bad_requests").inc()
+            response = error_response(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 -- never drop a connection
+            self.metrics.counter("serve.errors").inc()
+            response = error_response(500, f"{type(exc).__name__}: {exc}")
+        self.metrics.histogram("serve.request_seconds").observe(
+            time.perf_counter() - started
+        )
+        return response
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self.admission.draining
+
+    async def _drain(self) -> bool:
+        self.admission.begin_drain()
+        await self.batcher.drain()
+        return await self.admission.wait_idle(
+            self.config.drain_timeout_seconds
+        )
 
 
 def run_server(
@@ -741,10 +902,12 @@ def run_server(
 
 
 class BackgroundServer:
-    """Run a :class:`TimelineServer` on a private event-loop thread.
+    """Run an :class:`HttpServerBase` on a private event-loop thread.
 
     The harness tests and the load benchmark use this to drive the real
-    network stack from synchronous code::
+    network stack (a :class:`TimelineServer` or a
+    :class:`~repro.serve.router.TimelineRouter`) from synchronous
+    code::
 
         with BackgroundServer(TimelineServer(system)) as server:
             conn = http.client.HTTPConnection("127.0.0.1", server.port)
@@ -754,13 +917,13 @@ class BackgroundServer:
     thread.
     """
 
-    def __init__(self, server: TimelineServer) -> None:
+    def __init__(self, server: HttpServerBase) -> None:
         self.server = server
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
         self._startup_error: Optional[BaseException] = None
 
-    def __enter__(self) -> TimelineServer:
+    def __enter__(self) -> HttpServerBase:
         self._thread = threading.Thread(
             target=self._run, name="wilson-serve", daemon=True
         )

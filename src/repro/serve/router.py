@@ -1,0 +1,870 @@
+"""The scatter-gather router: one front door over N shard workers.
+
+This is the horizontal scale-out half of the serving tier (ROADMAP
+"Horizontal scale-out"): the corpus is partitioned into date-range
+slices (:mod:`repro.serve.topology`), each slice runs the ordinary
+single-index asyncio app in its own process, and this router fans every
+``/v1/timeline`` and ``/v1/search`` request out to **all** shards,
+merges the per-shard candidates into one canonical response, and
+degrades to partial results when shards misbehave.
+
+Correctness contract (the acceptance bar of the sharded tier):
+
+* **Byte identity when healthy.** Shards answer the internal
+  ``/v1/shard/search`` route with raw match statistics
+  (:func:`repro.search.query.gather_candidates`): per-hit term
+  frequencies and document lengths plus slice-level document counts,
+  token totals and per-term document frequencies. Those statistics sum
+  *exactly* across disjoint slices (integer sums), so
+  :func:`merge_shard_candidates` reproduces the unsliced index's BM25
+  scores bit-for-bit -- same IDF, same ``avgdl``, same
+  accumulation order -- and the topology's local->global doc-id mapping
+  restores the exact tie-break order. The merged response then goes
+  through the same :func:`~repro.serve.app.canonical_json`, producing
+  bytes identical to single-index serving (tests/test_serve_router.py).
+* **Degraded, never broken.** A shard that times out, refuses, or
+  errors past its retry budget is dropped from the merge; the response
+  is still HTTP 200, carries an ``X-Wilson-Degraded`` header naming the
+  missing shard ids, and a ``degraded_shards`` envelope field. Only a
+  *total* fan-out failure becomes a 503. Degraded merges are never
+  cached -- partial data must not outlive the outage.
+
+Timeline requests scatter the retrieval stage only: candidate fetching
+is what shards parallelise, while WILSON summarisation of the merged
+candidate pool runs once, centrally, on the router -- the same
+divide-and-conquer shape as the paper's batch decomposition, lifted
+into the serving path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import datetime
+import heapq
+import json
+import math
+import time
+import urllib.parse
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.pipeline import Wilson, WilsonConfig
+from repro.obs.metrics import Metrics
+from repro.search.query import SearchQuery
+from repro.serve.admission import AdmissionController, ShardAdmission
+from repro.serve.app import (
+    WIRE_SCHEMA,
+    HttpServerBase,
+    _BadRequest,
+    _Request,
+    _Response,
+    canonical_json,
+    error_response,
+    parse_search_query,
+    parse_timeline_payload,
+)
+from repro.serve.cache import ResultCache, make_merge_cache_key
+from repro.serve.topology import Topology
+from repro.text.bm25 import BM25Parameters
+from repro.tlsdata.types import DatedSentence
+
+#: Every metric name the router may emit, by kind. Documented in
+#: docs/observability.md and drift-tested by
+#: tests/test_docs_observability.py; tests/test_serve_router.py asserts
+#: the router emits no name outside this registry.
+ROUTER_COUNTERS = (
+    "router.requests",
+    "router.timeline_requests",
+    "router.search_requests",
+    "router.cache_hits",
+    "router.cache_misses",
+    "router.shed",
+    "router.rejected_draining",
+    "router.bad_requests",
+    "router.not_found",
+    "router.errors",
+    "router.degraded",
+    "router.fanouts",
+    "router.shard_requests",
+    "router.shard_failures",
+    "router.shard_retries",
+    "router.truncated_merges",
+)
+ROUTER_GAUGES = (
+    "router.shards",
+    "router.shards_healthy",
+    "router.inflight",
+    "router.draining",
+    "router.cache_entries",
+    "router.index_version",
+)
+ROUTER_HISTOGRAMS = (
+    "router.request_seconds",
+    "router.fanout_seconds",
+    "router.merge_seconds",
+)
+ROUTER_METRIC_NAMES = ROUTER_COUNTERS + ROUTER_GAUGES + ROUTER_HISTOGRAMS
+
+#: Response header naming the shard ids missing from a partial merge.
+DEGRADED_HEADER = "X-Wilson-Degraded"
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tuning knobs of the scatter-gather router."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    cache_size: int = 256
+    cache_ttl_seconds: float = 300.0
+    max_inflight: int = 32
+    max_inflight_per_shard: int = 32
+    shard_timeout_seconds: float = 5.0
+    shard_retries: int = 1
+    retry_after_seconds: float = 1.0
+    drain_timeout_seconds: float = 10.0
+    #: Per-shard candidate budget for scattered retrieval. Matches the
+    #: single-index system's ``retrieval_limit`` so merged timeline
+    #: candidate pools are identical; a shard with more matches than
+    #: this truncates to its local top (the only inexactness case,
+    #: surfaced via ``router.truncated_merges``).
+    fanout_limit: int = 5000
+    default_num_dates: int = 10
+    default_num_sentences: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shard_timeout_seconds <= 0:
+            raise ValueError(
+                "shard_timeout_seconds must be > 0, got "
+                f"{self.shard_timeout_seconds}"
+            )
+        if self.shard_retries < 0:
+            raise ValueError(
+                f"shard_retries must be >= 0, got {self.shard_retries}"
+            )
+        if self.fanout_limit < 1:
+            raise ValueError(
+                f"fanout_limit must be >= 1, got {self.fanout_limit}"
+            )
+
+
+@dataclass(frozen=True)
+class MergedHit:
+    """One globally scored candidate after the fan-in."""
+
+    doc_id: int  # the *source index's* global doc id
+    score: float
+    shard_id: int
+    payload: Dict[str, Any]  # the shard's hit dict (text, dates, ...)
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """The canonical global ranking merged from per-shard candidates."""
+
+    hits: Tuple[MergedHit, ...]
+    index_version: int
+    truncated: bool
+
+
+def merge_shard_candidates(
+    responses: Mapping[int, Dict[str, Any]],
+    topology: Topology,
+    limit: int,
+    params: BM25Parameters = BM25Parameters(),
+) -> MergeResult:
+    """Merge ``/v1/shard/search`` payloads into the exact global ranking.
+
+    Reconstructs whole-corpus BM25 statistics by summing each slice's
+    contributions (document count, token total, per-term document
+    frequencies -- all integers, so the sums are exact), then re-scores
+    every candidate with the same arithmetic, in the same term order, as
+    :func:`repro.search.query.execute` on the unsliced index. Local doc
+    ids are mapped back to source-index ids through the topology
+    manifest, making the final ``(score desc, doc_id asc)`` order --
+    including ties -- identical to single-index serving.
+
+    *responses* maps shard id to parsed payload; absent shards (the
+    degraded case) simply contribute nothing. Raises ``ValueError`` if
+    shards disagree on the analyzed query terms (impossible for workers
+    booted from one topology; indicates a mixed deployment).
+    """
+    terms: Optional[Tuple[str, ...]] = None
+    global_docs = 0
+    global_tokens = 0
+    df: List[int] = []
+    truncated = False
+    index_version = 0
+    for shard_id in sorted(responses):
+        payload = responses[shard_id]
+        shard_terms = tuple(payload["terms"])
+        stats = payload["stats"]
+        if terms is None:
+            terms = shard_terms
+            df = [0] * len(terms)
+        elif shard_terms != terms:
+            raise ValueError(
+                f"shard {shard_id} analyzed the query as {shard_terms!r}, "
+                f"other shards as {terms!r}"
+            )
+        global_docs += int(stats["documents"])
+        global_tokens += int(stats["total_tokens"])
+        for position, frequency in enumerate(stats["df"]):
+            df[position] += int(frequency)
+        truncated = truncated or bool(payload.get("truncated"))
+        index_version = max(index_version, int(payload["index_version"]))
+
+    if terms is None or global_docs == 0:
+        return MergeResult(
+            hits=(), index_version=index_version, truncated=truncated
+        )
+
+    # Identical arithmetic to execute(): one float division for avgdl,
+    # the same idf formula, contributions accumulated in term order.
+    avgdl = (global_tokens / global_docs) or 1.0
+    k1, b = params.k1, params.b
+    idf = [
+        math.log(1.0 + (global_docs - d + 0.5) / (d + 0.5)) if d else 0.0
+        for d in df
+    ]
+
+    scored: List[MergedHit] = []
+    for shard_id in sorted(responses):
+        payload = responses[shard_id]
+        mapping = topology.shards[shard_id].doc_ids
+        for hit in payload["hits"]:
+            length = int(hit["length"])
+            frequencies = hit["tf"]
+            score = 0.0
+            for position in range(len(terms)):
+                tf = frequencies[position]
+                if tf == 0 or df[position] == 0:
+                    continue
+                norm = k1 * (1.0 - b + b * length / avgdl)
+                score += (
+                    idf[position] * tf * (k1 + 1.0) / (tf + norm)
+                )
+            scored.append(
+                MergedHit(
+                    doc_id=mapping[int(hit["doc_id"])],
+                    score=score,
+                    shard_id=shard_id,
+                    payload=hit,
+                )
+            )
+
+    top = heapq.nlargest(
+        limit, scored, key=lambda hit: (hit.score, -hit.doc_id)
+    )
+    return MergeResult(
+        hits=tuple(top), index_version=index_version, truncated=truncated
+    )
+
+
+async def _http_get(
+    host: str, port: int, path_and_query: str
+) -> Tuple[int, bytes]:
+    """One stdlib-only HTTP GET; returns ``(status, body)``.
+
+    Deliberately minimal: ``Connection: close``, so the body is simply
+    everything up to EOF when no ``Content-Length`` arrives.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            (
+                f"GET {path_and_query} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+        lines = header_blob.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2:
+            raise ConnectionError(f"malformed status line: {lines[0]!r}")
+        status = int(parts[1])
+        length: Optional[int] = None
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        if length is not None:
+            body = await reader.readexactly(length)
+        else:
+            body = await reader.read()
+        return status, body
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+@dataclass(frozen=True)
+class _ShardEndpoint:
+    shard_id: int
+    host: str
+    port: int
+
+
+class TimelineRouter(HttpServerBase):
+    """Async scatter-gather front over one shard topology.
+
+    *endpoints* are the workers' base URLs in shard-id order (one per
+    topology slice), typically resolved by a
+    :class:`~repro.serve.topology.ShardWorkerPool`. *wilson* is the
+    summarisation pipeline used for the central reduce of timeline
+    requests; it must be configured identically to the workers' (the
+    default configuration on both sides) for the byte-identity
+    guarantee to hold.
+    """
+
+    metric_prefix = "router"
+
+    def __init__(
+        self,
+        topology: Topology,
+        endpoints: Sequence[str],
+        config: Optional[RouterConfig] = None,
+        metrics: Optional[Metrics] = None,
+        wilson: Optional[Wilson] = None,
+        bm25_params: BM25Parameters = BM25Parameters(),
+    ) -> None:
+        if len(endpoints) != topology.num_shards:
+            raise ValueError(
+                f"{topology.num_shards} shards in the topology but "
+                f"{len(endpoints)} endpoints"
+            )
+        self.topology = topology
+        self.config = config or RouterConfig()
+        super().__init__(
+            self.config.host,
+            self.config.port,
+            metrics if metrics is not None else Metrics(),
+        )
+        self.wilson = wilson or Wilson(WilsonConfig())
+        self.bm25_params = bm25_params
+        self.endpoints: List[_ShardEndpoint] = []
+        for shard_id, endpoint in enumerate(endpoints):
+            parsed = urllib.parse.urlsplit(endpoint)
+            if parsed.hostname is None or parsed.port is None:
+                raise ValueError(f"endpoint needs host:port: {endpoint!r}")
+            self.endpoints.append(
+                _ShardEndpoint(
+                    shard_id=shard_id,
+                    host=parsed.hostname,
+                    port=parsed.port,
+                )
+            )
+        self.cache = ResultCache(
+            capacity=self.config.cache_size,
+            ttl_seconds=self.config.cache_ttl_seconds,
+        )
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            retry_after_seconds=self.config.retry_after_seconds,
+        )
+        self.shard_admission = ShardAdmission(
+            num_shards=topology.num_shards,
+            max_inflight_per_shard=self.config.max_inflight_per_shard,
+            retry_after_seconds=self.config.retry_after_seconds,
+        )
+        # Last-known per-shard index versions; seeded from the manifest
+        # (slice snapshots inherit the source revision) and refreshed
+        # from every shard response. Merge-cache keys embed the tuple.
+        self._shard_versions: List[int] = [
+            topology.source_index_version
+        ] * topology.num_shards
+        self.metrics.gauge("router.shards").set(topology.num_shards)
+
+    # -- shard I/O -------------------------------------------------------------
+
+    def _index_version(self) -> int:
+        return max(self._shard_versions) if self._shard_versions else 0
+
+    async def _call_shard(
+        self, endpoint: _ShardEndpoint, path_and_query: str
+    ) -> Optional[Dict[str, Any]]:
+        """One admitted, retried shard call; ``None`` marks the shard
+        degraded for this request."""
+        shard_id = endpoint.shard_id
+        deadline = (
+            asyncio.get_running_loop().time()
+            + self.config.shard_timeout_seconds
+        )
+        admitted = False
+        while not (admitted := self.shard_admission.try_admit(shard_id)):
+            if asyncio.get_running_loop().time() >= deadline:
+                break
+            await asyncio.sleep(0.005)
+        if not admitted:
+            self.metrics.counter("router.shard_failures").inc()
+            return None
+        try:
+            for attempt in range(self.config.shard_retries + 1):
+                if attempt:
+                    self.metrics.counter("router.shard_retries").inc()
+                self.metrics.counter("router.shard_requests").inc()
+                try:
+                    status, body = await asyncio.wait_for(
+                        _http_get(
+                            endpoint.host, endpoint.port, path_and_query
+                        ),
+                        timeout=self.config.shard_timeout_seconds,
+                    )
+                    if status == 200:
+                        payload = json.loads(body.decode("utf-8"))
+                        self._shard_versions[shard_id] = int(
+                            payload.get(
+                                "index_version",
+                                self._shard_versions[shard_id],
+                            )
+                        )
+                        return payload
+                except (
+                    OSError,
+                    asyncio.TimeoutError,
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    ValueError,  # bad JSON / bad status line
+                ):
+                    pass
+            self.metrics.counter("router.shard_failures").inc()
+            return None
+        finally:
+            self.shard_admission.release(shard_id)
+
+    async def _fanout(
+        self, path_and_query: str
+    ) -> Tuple[Dict[int, Dict[str, Any]], List[int]]:
+        """Scatter one request to every shard; gather responses.
+
+        Returns ``(responses by shard id, degraded shard ids)``. Every
+        shard is always queried -- even ones whose date range cannot
+        intersect the query window -- because the merge needs each
+        slice's corpus statistics for exact global IDF; non-matching
+        shards answer with cheap stats-only payloads.
+        """
+        self.metrics.counter("router.fanouts").inc()
+        started = time.perf_counter()
+        results = await asyncio.gather(
+            *(
+                self._call_shard(endpoint, path_and_query)
+                for endpoint in self.endpoints
+            )
+        )
+        self.metrics.histogram("router.fanout_seconds").observe(
+            time.perf_counter() - started
+        )
+        responses: Dict[int, Dict[str, Any]] = {}
+        degraded: List[int] = []
+        for endpoint, payload in zip(self.endpoints, results):
+            if payload is None:
+                degraded.append(endpoint.shard_id)
+            else:
+                responses[endpoint.shard_id] = payload
+        if degraded:
+            self.metrics.counter("router.degraded").inc()
+        return responses, degraded
+
+    @staticmethod
+    def _shard_search_path(query: SearchQuery, limit: int) -> str:
+        params = [("q", " ".join(query.keywords)), ("limit", str(limit))]
+        if query.start is not None:
+            params.append(("start", query.start.isoformat()))
+        if query.end is not None:
+            params.append(("end", query.end.isoformat()))
+        if query.mode != "any":
+            params.append(("mode", query.mode))
+        if query.phrase:
+            params.append(("phrase", "1"))
+        return "/v1/shard/search?" + urllib.parse.urlencode(params)
+
+    def _merge(
+        self, responses: Mapping[int, Dict[str, Any]], limit: int
+    ) -> MergeResult:
+        started = time.perf_counter()
+        merged = merge_shard_candidates(
+            responses, self.topology, limit, params=self.bm25_params
+        )
+        self.metrics.histogram("router.merge_seconds").observe(
+            time.perf_counter() - started
+        )
+        if merged.truncated:
+            self.metrics.counter("router.truncated_merges").inc()
+        return merged
+
+    @staticmethod
+    def _degraded_extras(
+        degraded: List[int],
+    ) -> Tuple[Tuple[Tuple[str, str], ...], Dict[str, Any]]:
+        """Header tuple + envelope fields flagging a partial merge."""
+        if not degraded:
+            return (), {}
+        ids = ",".join(str(shard_id) for shard_id in sorted(degraded))
+        return (
+            ((DEGRADED_HEADER, ids),),
+            {"degraded_shards": sorted(degraded)},
+        )
+
+    def _admission_rejection(self) -> _Response:
+        retry_after = (
+            ("Retry-After", f"{self.admission.retry_after_seconds:g}"),
+        )
+        if self.admission.draining:
+            self.metrics.counter("router.rejected_draining").inc()
+            return _Response(
+                503,
+                canonical_json(
+                    {
+                        "schema": WIRE_SCHEMA,
+                        "error": "draining",
+                        "detail": "router is shutting down",
+                    }
+                ),
+                extra_headers=retry_after,
+            )
+        self.metrics.counter("router.shed").inc()
+        return _Response(
+            429,
+            canonical_json(
+                {
+                    "schema": WIRE_SCHEMA,
+                    "error": "overloaded",
+                    "detail": (
+                        f"more than {self.admission.max_inflight} "
+                        "requests in flight"
+                    ),
+                }
+            ),
+            extra_headers=retry_after,
+        )
+
+    # -- route handlers --------------------------------------------------------
+
+    async def _handle_timeline(self, request: _Request) -> _Response:
+        self.metrics.counter("router.timeline_requests").inc()
+        query = parse_timeline_payload(
+            request.body,
+            default_window=self.topology.window(),
+            default_num_dates=self.config.default_num_dates,
+            default_num_sentences=self.config.default_num_sentences,
+        )
+        key = make_merge_cache_key(
+            query.keywords,
+            query.start,
+            query.end,
+            query.num_dates,
+            query.num_sentences,
+            tuple(self._shard_versions),
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.counter("router.cache_hits").inc()
+            return self._timeline_response(
+                cached, self._index_version(), "hit", ()
+            )
+        self.metrics.counter("router.cache_misses").inc()
+
+        if not self.admission.try_admit():
+            return self._admission_rejection()
+        try:
+            retrieval_started = time.perf_counter()
+            search_query = SearchQuery(
+                keywords=query.keywords,
+                start=query.start,
+                end=query.end,
+                limit=self.config.fanout_limit,
+            )
+            responses, degraded = await self._fanout(
+                self._shard_search_path(
+                    search_query, self.config.fanout_limit
+                )
+            )
+            if not responses:
+                return error_response(
+                    503, "all shards unavailable; cannot merge"
+                )
+            merged = self._merge(responses, self.config.fanout_limit)
+            dated = [
+                DatedSentence(
+                    date=datetime.date.fromisoformat(hit.payload["date"]),
+                    text=hit.payload["text"],
+                    publication_date=datetime.date.fromisoformat(
+                        hit.payload["publication_date"]
+                    ),
+                    article_id=hit.payload["article_id"],
+                    is_reference=hit.payload["is_reference"],
+                )
+                for hit in merged.hits
+            ]
+            retrieval_seconds = time.perf_counter() - retrieval_started
+
+            # Central reduce: one WILSON run over the merged candidate
+            # pool -- identical inputs to the single-index path, so an
+            # identical timeline comes out.
+            index_version = self._index_version()
+            matrix_cache = getattr(self.wilson, "day_matrix_cache", None)
+            if matrix_cache is not None:
+                matrix_cache.sync_version(index_version)
+            generation_started = time.perf_counter()
+            loop = asyncio.get_running_loop()
+            timeline = await loop.run_in_executor(
+                None,
+                lambda: self.wilson.summarize(
+                    dated,
+                    num_dates=query.num_dates,
+                    num_sentences=query.num_sentences,
+                    query=query.keywords,
+                ),
+            )
+            generation_seconds = time.perf_counter() - generation_started
+            result = {
+                "timeline": timeline.to_dict(),
+                "num_candidates": len(dated),
+                "telemetry": {
+                    "retrieval_seconds": retrieval_seconds,
+                    "generation_seconds": generation_seconds,
+                    "total_seconds": (
+                        retrieval_seconds + generation_seconds
+                    ),
+                },
+            }
+        finally:
+            self.admission.release()
+
+        headers, extras = self._degraded_extras(degraded)
+        if not degraded:
+            # Only fully healthy merges are cacheable: a degraded merge
+            # is partial data and the key's version tuple describes the
+            # *complete* topology.
+            self.cache.put(
+                make_merge_cache_key(
+                    query.keywords,
+                    query.start,
+                    query.end,
+                    query.num_dates,
+                    query.num_sentences,
+                    tuple(self._shard_versions),
+                ),
+                result,
+            )
+        return self._timeline_response(
+            result, self._index_version(), "miss", headers, extras
+        )
+
+    def _timeline_response(
+        self,
+        result: dict,
+        index_version: int,
+        cache_state: str,
+        headers: Tuple[Tuple[str, str], ...],
+        extras: Optional[Dict[str, Any]] = None,
+    ) -> _Response:
+        envelope: Dict[str, Any] = {
+            "schema": WIRE_SCHEMA,
+            "cache": cache_state,
+            "index_version": index_version,
+            "result": result,
+        }
+        if extras:
+            envelope.update(extras)
+        return _Response(
+            200, canonical_json(envelope), extra_headers=headers
+        )
+
+    async def _handle_search(self, request: _Request) -> _Response:
+        self.metrics.counter("router.search_requests").inc()
+        search_query = parse_search_query(request.query)
+        if not self.admission.try_admit():
+            return self._admission_rejection()
+        try:
+            # Shards get the larger fan-out budget so the *global* top
+            # ``limit`` is assembled from complete local candidate sets,
+            # not each slice's (differently ranked) local top ``limit``.
+            shard_limit = max(
+                search_query.limit, self.config.fanout_limit
+            )
+            responses, degraded = await self._fanout(
+                self._shard_search_path(search_query, shard_limit)
+            )
+            if not responses:
+                return error_response(
+                    503, "all shards unavailable; cannot merge"
+                )
+            merged = self._merge(responses, search_query.limit)
+        finally:
+            self.admission.release()
+        headers, extras = self._degraded_extras(degraded)
+        envelope: Dict[str, Any] = {
+            "schema": WIRE_SCHEMA,
+            "index_version": merged.index_version,
+            "count": len(merged.hits),
+            "hits": [
+                {
+                    "text": hit.payload["text"],
+                    "date": hit.payload["date"],
+                    "publication_date": hit.payload["publication_date"],
+                    "article_id": hit.payload["article_id"],
+                    "is_reference": hit.payload["is_reference"],
+                    "score": hit.score,
+                }
+                for hit in merged.hits
+            ],
+        }
+        envelope.update(extras)
+        return _Response(
+            200, canonical_json(envelope), extra_headers=headers
+        )
+
+    async def _handle_healthz(self) -> _Response:
+        probes = await asyncio.gather(
+            *(
+                self._probe_shard(endpoint)
+                for endpoint in self.endpoints
+            )
+        )
+        healthy = sum(1 for ok in probes if ok)
+        self.metrics.gauge("router.shards_healthy").set(healthy)
+        draining = self.admission.draining
+        status = "draining" if draining else (
+            "ok" if healthy == len(self.endpoints) else "degraded"
+        )
+        payload = {
+            "schema": WIRE_SCHEMA,
+            "status": status,
+            "shards": self.topology.num_shards,
+            "shards_healthy": healthy,
+            "total_documents": self.topology.total_documents,
+            "index_version": self._index_version(),
+            "inflight": self.admission.inflight,
+            "cache_entries": len(self.cache),
+        }
+        return _Response(503 if draining else 200, canonical_json(payload))
+
+    async def _probe_shard(self, endpoint: _ShardEndpoint) -> bool:
+        try:
+            status, body = await asyncio.wait_for(
+                _http_get(endpoint.host, endpoint.port, "/healthz"),
+                timeout=self.config.shard_timeout_seconds,
+            )
+            if status != 200:
+                return False
+            payload = json.loads(body.decode("utf-8"))
+            self._shard_versions[endpoint.shard_id] = int(
+                payload.get(
+                    "index_version",
+                    self._shard_versions[endpoint.shard_id],
+                )
+            )
+            return True
+        except (
+            OSError,
+            asyncio.TimeoutError,
+            ConnectionError,
+            ValueError,
+        ):
+            return False
+
+    def _handle_metrics(self) -> _Response:
+        self.metrics.gauge("router.inflight").set(self.admission.inflight)
+        self.metrics.gauge("router.cache_entries").set(len(self.cache))
+        self.metrics.gauge("router.index_version").set(
+            self._index_version()
+        )
+        self.metrics.gauge("router.draining").set(
+            1.0 if self.admission.draining else 0.0
+        )
+        return _Response(
+            200,
+            self.metrics.render_prometheus().encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _route(self, request: _Request) -> _Response:
+        path, method = request.path, request.method
+        if path == "/healthz" and method == "GET":
+            return await self._handle_healthz()
+        if path == "/metrics" and method == "GET":
+            return self._handle_metrics()
+        if path == "/v1/timeline":
+            if method != "POST":
+                return error_response(405, "use POST")
+            return await self._handle_timeline(request)
+        if path == "/v1/search":
+            if method != "GET":
+                return error_response(405, "use GET")
+            return await self._handle_search(request)
+        self.metrics.counter("router.not_found").inc()
+        return error_response(404, f"no route for {path}")
+
+    async def handle_request(self, request: _Request) -> _Response:
+        self.metrics.counter("router.requests").inc()
+        started = time.perf_counter()
+        try:
+            response = await self._route(request)
+        except _BadRequest as exc:
+            self.metrics.counter("router.bad_requests").inc()
+            response = error_response(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 -- never drop a connection
+            self.metrics.counter("router.errors").inc()
+            response = error_response(500, f"{type(exc).__name__}: {exc}")
+        self.metrics.histogram("router.request_seconds").observe(
+            time.perf_counter() - started
+        )
+        return response
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self.admission.draining
+
+    async def _drain(self) -> bool:
+        self.admission.begin_drain()
+        self.shard_admission.begin_drain()
+        drained = await self.admission.wait_idle(
+            self.config.drain_timeout_seconds
+        )
+        return (
+            await self.shard_admission.wait_idle(
+                self.config.drain_timeout_seconds
+            )
+            and drained
+        )
+
+
+def run_router(
+    topology: Topology,
+    endpoints: Sequence[str],
+    config: Optional[RouterConfig] = None,
+    metrics: Optional[Metrics] = None,
+    wilson: Optional[Wilson] = None,
+    ready: Optional[Any] = None,
+) -> bool:
+    """Blocking entry point: route until SIGTERM/SIGINT, then drain.
+
+    The sharded sibling of :func:`repro.serve.app.run_server`; *ready*
+    receives the started router (the CLI prints the bound address and
+    shard layout from it). Returns the drain verdict.
+    """
+    router = TimelineRouter(
+        topology,
+        endpoints,
+        config=config,
+        metrics=metrics,
+        wilson=wilson,
+    )
+
+    async def main() -> bool:
+        await router.start()
+        if ready is not None:
+            ready(router)
+        return await router.serve_until_shutdown()
+
+    return asyncio.run(main())

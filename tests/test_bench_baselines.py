@@ -1,0 +1,204 @@
+"""The baseline comparator: direction rules, tolerance, exit codes.
+
+``benchmarks/compare_baselines.py`` guards the committed
+``benchmarks/baselines/BENCH_*.json`` files; these tests pin its
+comparison semantics so a refactor cannot silently flip a
+lower-is-better metric into higher-is-better (or start enforcing
+outside ``BENCH_ASSERT=1`` / ``--strict``).
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_baselines", _ROOT / "benchmarks" / "compare_baselines.py"
+)
+comparator = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(comparator)
+
+
+def _write(directory, name, metrics):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{name}.json").write_text(
+        json.dumps({"benchmark": name, "metrics": metrics})
+    )
+
+
+class TestDirectionRules:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("p50_seconds.cold_1", -1),
+            ("retrieval_seconds", -1),
+            ("latency_p99", -1),
+            ("speedup_2_shards", 1),
+            ("qps.4", 1),
+            ("throughput", 1),
+            ("requests", 0),
+            ("scale", 0),
+            ("shed_429", 0),
+        ],
+    )
+    def test_direction(self, path, expected):
+        assert comparator.direction(path) == expected
+
+    def test_flatten_dotted_paths_and_numeric_leaves_only(self):
+        flat = dict(
+            comparator.flatten(
+                {"a": {"b": 1.5, "c": "text"}, "d": 2, "e": True}
+            )
+        )
+        assert flat == {"a.b": 1.5, "d": 2.0}
+
+
+class TestCompareMetrics:
+    def test_within_tolerance_is_clean(self):
+        assert (
+            comparator.compare_metrics(
+                {"total_seconds": 1.0}, {"total_seconds": 1.15}, 0.2
+            )
+            == []
+        )
+
+    def test_slower_seconds_regress(self):
+        messages = comparator.compare_metrics(
+            {"total_seconds": 1.0}, {"total_seconds": 1.5}, 0.2
+        )
+        assert len(messages) == 1
+        assert "total_seconds" in messages[0]
+
+    def test_faster_seconds_never_regress(self):
+        assert (
+            comparator.compare_metrics(
+                {"total_seconds": 1.0}, {"total_seconds": 0.1}, 0.2
+            )
+            == []
+        )
+
+    def test_lower_qps_regresses(self):
+        messages = comparator.compare_metrics(
+            {"qps": {"2": 100.0}}, {"qps": {"2": 50.0}}, 0.2
+        )
+        assert len(messages) == 1
+        assert "qps.2" in messages[0]
+
+    def test_higher_qps_never_regresses(self):
+        assert (
+            comparator.compare_metrics(
+                {"qps": {"2": 100.0}}, {"qps": {"2": 500.0}}, 0.2
+            )
+            == []
+        )
+
+    def test_descriptive_keys_are_skipped(self):
+        assert (
+            comparator.compare_metrics(
+                {"requests": 32, "scale": 0.02},
+                {"requests": 4, "scale": 0.5},
+                0.2,
+            )
+            == []
+        )
+
+    def test_missing_current_leaf_is_skipped(self):
+        assert (
+            comparator.compare_metrics(
+                {"total_seconds": 1.0}, {}, 0.2
+            )
+            == []
+        )
+
+
+class TestMainExitCodes:
+    def _dirs(self, tmp_path, base_metrics, current_metrics):
+        base, current = tmp_path / "base", tmp_path / "cur"
+        _write(base, "demo", base_metrics)
+        _write(current, "demo", current_metrics)
+        return base, current
+
+    def _run(self, base, current, *extra, env=None, monkeypatch=None):
+        if monkeypatch is not None:
+            monkeypatch.setenv("BENCH_ASSERT", env or "")
+        return comparator.main(
+            [
+                "--baselines", str(base),
+                "--current", str(current),
+                *extra,
+            ]
+        )
+
+    def test_clean_run_exits_zero(self, tmp_path, monkeypatch, capsys):
+        base, current = self._dirs(
+            tmp_path, {"total_seconds": 1.0}, {"total_seconds": 1.0}
+        )
+        assert self._run(base, current, monkeypatch=monkeypatch) == 0
+        assert "ok: 1 benchmark" in capsys.readouterr().out
+
+    def test_regression_is_informational_by_default(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        base, current = self._dirs(
+            tmp_path, {"total_seconds": 1.0}, {"total_seconds": 9.0}
+        )
+        assert self._run(base, current, monkeypatch=monkeypatch) == 0
+        out = capsys.readouterr().out
+        assert "regression: BENCH_demo.json: total_seconds" in out
+        assert "not failing" in out
+
+    def test_regression_fails_under_bench_assert(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        base, current = self._dirs(
+            tmp_path, {"total_seconds": 1.0}, {"total_seconds": 9.0}
+        )
+        assert (
+            self._run(base, current, env="1", monkeypatch=monkeypatch)
+            == 1
+        )
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_regression_fails_under_strict_flag(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        base, current = self._dirs(
+            tmp_path, {"total_seconds": 1.0}, {"total_seconds": 9.0}
+        )
+        assert (
+            self._run(
+                base, current, "--strict", monkeypatch=monkeypatch
+            )
+            == 1
+        )
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_no_pairs_exits_zero(self, tmp_path, monkeypatch, capsys):
+        base, current = tmp_path / "base", tmp_path / "cur"
+        base.mkdir()
+        current.mkdir()
+        assert self._run(base, current, monkeypatch=monkeypatch) == 0
+        assert "no benchmark pairs" in capsys.readouterr().out
+
+
+class TestCommittedBaselines:
+    """The repo ships baselines the comparator can actually read."""
+
+    def test_baselines_exist_and_parse(self):
+        baseline_dir = _ROOT / "benchmarks" / "baselines"
+        files = sorted(baseline_dir.glob("BENCH_*.json"))
+        assert files, "no committed baselines under benchmarks/baselines/"
+        for path in files:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            assert payload["metrics"], path.name
+            assert "git_sha" in payload and "timestamp" in payload
+
+    def test_baselines_compare_clean_against_themselves(self, capsys):
+        baseline_dir = _ROOT / "benchmarks" / "baselines"
+        regressions, compared = comparator.compare_directories(
+            baseline_dir, baseline_dir, 0.2
+        )
+        assert compared >= 3
+        assert regressions == []

@@ -23,6 +23,12 @@ class TestApiReference:
             "repro.core.date_selection",
             "repro.evaluation.rouge",
             "repro.search.engine",
+            "repro.search.snapshot",
+            "repro.serve.app",
+            "repro.serve.router",
+            "repro.serve.topology",
+            "repro.serve.cache",
+            "repro.serve.admission",
             "repro.tlsdata.synthetic",
             "repro.obs.trace",
             "repro.obs.metrics",
@@ -37,6 +43,7 @@ class TestApiReference:
             "repro.search",
             "repro.experiments",
             "repro.obs",
+            "repro.serve",
         ):
             assert f"## `{package}` (package)" in text, package
 
@@ -48,5 +55,9 @@ class TestApiReference:
             "class `SearchEngine`",
             "rouge_n(",
             "class `StorylineSeparator`",
+            "class `TimelineRouter`",
+            "class `Topology`",
+            "merge_shard_candidates(",
+            "snapshot_info(",
         ):
             assert symbol in text, symbol

@@ -214,6 +214,47 @@ class TestServeContract:
         assert "serving.md" in contract_text
 
 
+class TestRouterContract:
+    def test_every_registered_router_metric_is_documented(
+        self, contract_text
+    ):
+        from repro.serve import ROUTER_METRIC_NAMES
+
+        for name in ROUTER_METRIC_NAMES:
+            assert f"`{name}`" in contract_text, (
+                f"router metric {name!r} is not documented in "
+                "docs/observability.md"
+            )
+
+    def test_shard_search_counter_is_documented(self, contract_text):
+        from repro.serve import SERVE_METRIC_NAMES
+
+        assert "serve.shard_search_requests" in SERVE_METRIC_NAMES
+        assert "`serve.shard_search_requests`" in contract_text
+
+    def test_degraded_header_is_documented(self, contract_text):
+        from repro.serve import DEGRADED_HEADER
+
+        assert DEGRADED_HEADER == "X-Wilson-Degraded"
+        assert DEGRADED_HEADER in contract_text
+        serving = (DOCS / "serving.md").read_text(encoding="utf-8")
+        assert DEGRADED_HEADER in serving
+
+    def test_architecture_doc_exists_and_is_cross_linked(self):
+        text = (DOCS / "architecture.md").read_text(encoding="utf-8")
+        for linked in (
+            "algorithms.md",
+            "runtime.md",
+            "serving.md",
+            "observability.md",
+        ):
+            assert linked in text, linked
+        readme = (
+            DOCS.parent / "README.md"
+        ).read_text(encoding="utf-8")
+        assert "docs/architecture.md" in readme
+
+
 class TestApiDocsCommitted:
     def test_regeneration_produces_no_diff(self):
         spec = importlib.util.spec_from_file_location(

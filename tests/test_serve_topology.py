@@ -1,0 +1,276 @@
+"""Shard topologies: slice planning, export, manifests, introspection.
+
+Pins the invariants the scatter-gather merge depends on:
+
+* date-range planning is contiguous, disjoint and exhaustive;
+* exported slices partition the corpus exactly, carry the source's
+  ``index_version``, and their snapshot headers expose slice metadata
+  without reading any payload;
+* the manifest round-trips and its validation catches stale slices;
+* ``index-info`` surfaces the slice line for topology snapshots.
+"""
+
+import datetime
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.search.engine import SearchEngine
+from repro.search.index import InvertedIndex
+from repro.search.snapshot import snapshot_info
+from repro.serve.topology import (
+    TOPOLOGY_MANIFEST,
+    Topology,
+    TopologyError,
+    export_slices,
+    plan_date_ranges,
+)
+from repro.tlsdata.synthetic import make_timeline17_like
+
+
+def _make_index(num_dates=10, docs_per_date=3):
+    index = InvertedIndex()
+    base = datetime.date(2021, 3, 1)
+    for day in range(num_dates):
+        date = base + datetime.timedelta(days=day)
+        for i in range(docs_per_date):
+            index.add(
+                f"event number {day} item {i} happened",
+                date=date,
+                publication_date=date,
+                article_id=f"a{day}",
+            )
+    return index
+
+
+@pytest.fixture(scope="module")
+def engine():
+    corpus = make_timeline17_like(scale=0.02, seed=11).instances[0].corpus
+    engine = SearchEngine()
+    engine.add_articles(corpus.articles)
+    return engine
+
+
+class TestPlanDateRanges:
+    def test_partition_is_contiguous_disjoint_and_exhaustive(self):
+        index = _make_index(num_dates=11, docs_per_date=2)
+        ranges = plan_date_ranges(index, 3)
+        assert len(ranges) == 3
+        dates = index.dates()
+        covered = []
+        for start, end in ranges:
+            assert start is not None and start <= end
+            covered.extend(d for d in dates if start <= d <= end)
+        assert covered == dates  # every date exactly once, in order
+
+    def test_single_shard_spans_everything(self):
+        index = _make_index()
+        ranges = plan_date_ranges(index, 1)
+        assert ranges == [(index.dates()[0], index.dates()[-1])]
+
+    def test_more_shards_than_dates_yields_empty_tail(self):
+        index = _make_index(num_dates=2)
+        ranges = plan_date_ranges(index, 4)
+        assert len(ranges) == 4
+        non_empty = [r for r in ranges if r[0] is not None]
+        assert len(non_empty) == 2
+        assert ranges[2] == (None, None) and ranges[3] == (None, None)
+
+    def test_balances_document_counts(self):
+        index = _make_index(num_dates=12, docs_per_date=5)
+        ranges = plan_date_ranges(index, 4)
+        counts = [
+            sum(
+                len(index.documents_on(d))
+                for d in index.dates()
+                if start <= d <= end
+            )
+            for start, end in ranges
+        ]
+        assert sum(counts) == len(index)
+        # 60 docs over 4 shards: every shard within one date of ideal.
+        assert all(10 <= count <= 20 for count in counts)
+
+    def test_empty_index(self):
+        assert plan_date_ranges(InvertedIndex(), 2) == [
+            (None, None),
+            (None, None),
+        ]
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            plan_date_ranges(_make_index(), 0)
+
+
+class TestExportSlices:
+    def test_slices_partition_the_corpus_exactly(self, engine, tmp_path):
+        topology = export_slices(engine.index, tmp_path, 3)
+        assert topology.num_shards == 3
+        assert topology.total_documents == len(engine.index)
+        assert sum(s.documents for s in topology.shards) == len(
+            engine.index
+        )
+        seen = [g for shard in topology.shards for g in shard.doc_ids]
+        assert sorted(seen) == list(range(len(engine.index)))
+
+    def test_doc_id_mapping_points_at_identical_documents(
+        self, engine, tmp_path
+    ):
+        topology = export_slices(engine.index, tmp_path, 2)
+        for shard in topology.shards:
+            slice_index = InvertedIndex.load_snapshot(shard.path)
+            assert len(slice_index) == shard.documents
+            for local_id, global_id in enumerate(shard.doc_ids):
+                ours = slice_index.document(local_id)
+                theirs = engine.index.document(global_id)
+                assert ours.text == theirs.text
+                assert ours.date == theirs.date
+                assert ours.article_id == theirs.article_id
+                assert ours.is_reference == theirs.is_reference
+
+    def test_slices_inherit_the_source_index_version(
+        self, engine, tmp_path
+    ):
+        topology = export_slices(engine.index, tmp_path, 2)
+        assert (
+            topology.source_index_version == engine.index.index_version
+        )
+        for shard in topology.shards:
+            loaded = InvertedIndex.load_snapshot(shard.path)
+            assert loaded.index_version == engine.index.index_version
+
+    def test_additive_statistics_reconstruct_the_corpus(
+        self, engine, tmp_path
+    ):
+        topology = export_slices(engine.index, tmp_path, 3)
+        slices = [
+            InvertedIndex.load_snapshot(s.path) for s in topology.shards
+        ]
+        assert sum(s.num_documents for s in slices) == (
+            engine.index.num_documents
+        )
+        assert sum(s.total_length for s in slices) == (
+            engine.index.total_length
+        )
+        token = "government"
+        assert sum(s.document_frequency(token) for s in slices) == (
+            engine.index.document_frequency(token)
+        )
+
+    def test_slice_headers_carry_layout_without_payload_reads(
+        self, engine, tmp_path
+    ):
+        topology = export_slices(engine.index, tmp_path, 2)
+        for shard in topology.shards:
+            header = snapshot_info(shard.path)
+            slice_meta = header["slice"]
+            assert slice_meta["shard_id"] == shard.shard_id
+            assert slice_meta["num_shards"] == 2
+            assert slice_meta["start"] == shard.start.isoformat()
+            assert slice_meta["end"] == shard.end.isoformat()
+
+    def test_wider_topology_than_corpus_exports_empty_slices(
+        self, tmp_path
+    ):
+        index = _make_index(num_dates=2, docs_per_date=1)
+        topology = export_slices(index, tmp_path, 4)
+        assert [s.documents for s in topology.shards] == [1, 1, 0, 0]
+        empty = InvertedIndex.load_snapshot(topology.shards[3].path)
+        assert len(empty) == 0
+        assert empty.index_version == index.index_version
+
+
+class TestManifest:
+    def test_round_trip(self, engine, tmp_path):
+        exported = export_slices(engine.index, tmp_path, 2)
+        loaded = Topology.load(tmp_path)
+        assert loaded.num_shards == exported.num_shards
+        assert loaded.total_documents == exported.total_documents
+        assert (
+            loaded.source_index_version == exported.source_index_version
+        )
+        for ours, theirs in zip(loaded.shards, exported.shards):
+            assert ours.doc_ids == theirs.doc_ids
+            assert ours.start == theirs.start
+            assert ours.end == theirs.end
+
+    def test_window_spans_all_slices(self, engine, tmp_path):
+        topology = export_slices(engine.index, tmp_path, 3)
+        dates = engine.index.dates()
+        assert topology.window() == (dates[0], dates[-1])
+
+    def test_version_mismatch_is_rejected(self, engine, tmp_path):
+        export_slices(engine.index, tmp_path, 2)
+        manifest = tmp_path / TOPOLOGY_MANIFEST
+        payload = json.loads(manifest.read_text())
+        payload["source_index_version"] += 1
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(TopologyError, match="index_version"):
+            Topology.load(tmp_path)
+
+    def test_missing_slice_is_rejected(self, engine, tmp_path):
+        topology = export_slices(engine.index, tmp_path, 2)
+        (tmp_path / topology.shards[1].path).unlink()
+        with pytest.raises(TopologyError, match="unreadable"):
+            Topology.load(tmp_path)
+
+    def test_missing_manifest_is_rejected(self, tmp_path):
+        with pytest.raises(TopologyError, match="cannot read"):
+            Topology.load(tmp_path)
+
+
+class TestCliIntegration:
+    def test_snapshot_shards_writes_a_loadable_topology(
+        self, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "topo"
+        rc = cli_main(
+            [
+                "snapshot",
+                "--out",
+                str(out_dir),
+                "--shards",
+                "2",
+                "--scale",
+                "0.02",
+            ]
+        )
+        assert rc == 0
+        output = capsys.readouterr().out
+        assert "2 shards" in output
+        assert "shard 0:" in output and "shard 1:" in output
+        topology = Topology.load(out_dir)
+        assert topology.num_shards == 2
+        assert topology.total_documents > 0
+
+    def test_index_info_prints_the_slice_line(self, tmp_path, capsys):
+        out_dir = tmp_path / "topo"
+        cli_main(
+            [
+                "snapshot",
+                "--out",
+                str(out_dir),
+                "--shards",
+                "2",
+                "--scale",
+                "0.02",
+            ]
+        )
+        capsys.readouterr()
+        rc = cli_main(["index-info", str(out_dir / "shard-001.snap")])
+        assert rc == 0
+        output = capsys.readouterr().out
+        assert "slice:         shard 1 of 2," in output
+
+    def test_index_info_has_no_slice_line_for_plain_snapshots(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "plain.snap"
+        cli_main(
+            ["snapshot", "--out", str(path), "--scale", "0.02"]
+        )
+        capsys.readouterr()
+        rc = cli_main(["index-info", str(path)])
+        assert rc == 0
+        assert "slice:" not in capsys.readouterr().out
