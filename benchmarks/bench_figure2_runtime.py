@@ -12,7 +12,13 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from common import assert_if_opted_in, emit, emit_stage_breakdown, timed
+from common import (
+    assert_if_opted_in,
+    emit,
+    emit_stage_breakdown,
+    timed,
+    write_json_result,
+)
 from repro.baselines.submodular import asmds, tls_constraints
 from repro.core.pipeline import Wilson, WilsonConfig
 from repro.core.variants import wilson_full
@@ -77,9 +83,23 @@ def _runtime_sweep():
     return rows, timings
 
 
-def test_figure2_runtime_curves(benchmark, capsys):
+def test_figure2_runtime_curves(benchmark, capsys, json_out):
     rows, timings = benchmark.pedantic(
         _runtime_sweep, rounds=1, iterations=1
+    )
+    write_json_result(
+        "figure2_runtime",
+        {
+            "sizes": list(SIZES),
+            "wilson_seconds": {
+                f"size_{size}": seconds
+                for size, seconds in zip(SIZES, timings["WILSON"])
+            },
+            "asmds_over_wilson_speedup": (
+                timings["ASMDS"][-1] / max(timings["WILSON"][-1], 1e-9)
+            ),
+        },
+        json_out,
     )
     emit(
         "figure2_runtime",
@@ -215,7 +235,9 @@ class LegacyBM25:
         return matrix
 
 
-def test_figure2_wilson_stage_breakdown(benchmark, capsys, monkeypatch):
+def test_figure2_wilson_stage_breakdown(
+    benchmark, capsys, monkeypatch, json_out
+):
     """Where WILSON's time goes at the largest Figure-2 corpus size.
 
     Runs the pre-optimisation configuration (no shared analysis cache,
@@ -330,6 +352,16 @@ def test_figure2_wilson_stage_breakdown(benchmark, capsys, monkeypatch):
                 "(one tokenisation per distinct sentence)"
             ),
         ],
+    )
+    write_json_result(
+        "figure2_stage_breakdown",
+        {
+            "pool_sentences": SIZES[-1],
+            "legacy_pipeline_seconds": legacy_ms / 1e3,
+            "optimized_pipeline_seconds": optimized_ms / 1e3,
+            "end_to_end_speedup": speedup,
+        },
+        json_out,
     )
     # The documented stages account for (nearly) the whole run.
     for stage in ("date_selection", "daily", "postprocess"):

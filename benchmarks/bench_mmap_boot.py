@@ -1,0 +1,295 @@
+"""Zero-copy snapshot tier benchmark: mmap boot speed + fleet memory.
+
+Three claims about the ``wilson.snapshot/v2`` mmap serving tier
+(:mod:`repro.search.snapshot`, :mod:`repro.search.mapped`):
+
+1. **Boot (opt-in, ``BENCH_ASSERT=1``)**: booting a serve process to its
+   first ``/healthz`` 200 from a v2 snapshot in ``mmap`` mode is >= 3x
+   faster than the v1 copy path -- mapping sections is O(page-fault)
+   while the copy path parses the npz payload and rebuilds every
+   postings dict.
+2. **Fleet memory (opt-in, ``BENCH_ASSERT=1``)**: 4 workers mapping the
+   same v2 snapshot add at most 1.5x the *unique* index memory of a
+   single worker. Per-worker deltas come from
+   ``/proc/self/smaps_rollup`` (private + shared split) with the whole
+   fleet holding its mappings concurrently, so shared pages are
+   attributed once; the copy-path fleet is measured alongside for the
+   contrast (it scales ~linearly with worker count).
+3. **Byte identity (always on)**: the served timeline and search
+   results are identical -- same canonical JSON bytes -- across
+   {v1 copy, v2 copy, v2 mmap} loads of the same index.
+
+Scale knob: ``WILSON_BENCH_MMAP_SCALE`` (default 0.3).
+``--json-out DIR`` writes ``BENCH_mmap_boot.json``.
+"""
+
+import http.client
+import json
+import os
+import subprocess
+import sys
+import time
+
+from common import assert_if_opted_in, emit, write_json_result
+from repro.search.engine import SearchEngine
+from repro.search.realtime import RealTimeTimelineSystem
+from repro.serve import (
+    BackgroundServer,
+    ServeConfig,
+    TimelineServer,
+    canonical_json,
+)
+from repro.tlsdata.synthetic import make_timeline17_like
+
+MMAP_SCALE = float(os.environ.get("WILSON_BENCH_MMAP_SCALE", "0.3"))
+FLEET_SIZES = (1, 2, 4)
+
+#: Runs in a subprocess per worker: load the snapshot, touch the hot
+#: read paths, then hold the mapping while the parent coordinates
+#: measurement across the whole fleet (shared-page accounting only
+#: settles once every worker has mapped the file).
+_WORKER_SCRIPT = r"""
+import json, sys
+
+def rollup():
+    totals = {"private": 0, "shared": 0}
+    with open("/proc/self/smaps_rollup") as handle:
+        for line in handle:
+            parts = line.split()
+            if len(parts) < 2:
+                continue
+            key = parts[0].rstrip(":")
+            if key in ("Private_Clean", "Private_Dirty"):
+                totals["private"] += int(parts[1]) * 1024
+            elif key in ("Shared_Clean", "Shared_Dirty"):
+                totals["shared"] += int(parts[1]) * 1024
+    return totals
+
+path, mode, src = sys.argv[1], sys.argv[2], sys.argv[3]
+sys.path.insert(0, src)
+from repro.search.index import InvertedIndex
+
+before = rollup()
+index = InvertedIndex.load_snapshot(path, mode=mode, verify=True)
+# Touch the structures a serving worker touches, so both modes fault
+# (or materialise) comparable state.
+_ = index.total_length
+_ = index.vocabulary_size()
+_ = sum(1 for _ in index.doc_ids_in_range())
+print("LOADED", flush=True)
+sys.stdin.readline()  # parent: whole fleet is mapped, measure now
+print(json.dumps({"before": before, "after": rollup()}), flush=True)
+sys.stdin.readline()  # parent: measurement collected, release mapping
+"""
+
+
+def _boot_to_healthz(path, mode):
+    """Seconds from snapshot restore to the first /healthz 200."""
+    started = time.perf_counter()
+    engine = SearchEngine.load_snapshot(path, mode=mode)
+    system = RealTimeTimelineSystem(engine=engine, cache=engine.cache)
+    config = ServeConfig(port=0, batch_window_ms=1.0)
+    with BackgroundServer(TimelineServer(system, config)) as server:
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=60
+        )
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 200, response.status
+            return time.perf_counter() - started
+        finally:
+            conn.close()
+
+
+def _best_boot(path, mode, rounds=3):
+    return min(_boot_to_healthz(path, mode) for _ in range(rounds))
+
+
+def _fleet_unique_bytes(path, mode, workers):
+    """Unique index memory a *workers*-process fleet adds, in bytes.
+
+    Every worker loads concurrently and holds its mapping; each reports
+    its private/shared deltas from ``smaps_rollup``. Private deltas sum
+    (per-process copies really exist per process); the shared delta is
+    counted once, at its maximum (the same mapped pages show up in every
+    worker's shared total).
+    """
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _WORKER_SCRIPT, str(path), mode, src],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        for _ in range(workers)
+    ]
+    try:
+        for proc in procs:
+            assert proc.stdout.readline().strip() == "LOADED"
+        for proc in procs:  # fleet fully mapped -- measure
+            proc.stdin.write("\n")
+            proc.stdin.flush()
+        reports = [json.loads(proc.stdout.readline()) for proc in procs]
+    finally:
+        for proc in procs:
+            try:
+                proc.stdin.write("\n")
+                proc.stdin.flush()
+            except (BrokenPipeError, OSError):
+                pass
+            proc.wait(timeout=30)
+    private = sum(
+        max(0, r["after"]["private"] - r["before"]["private"])
+        for r in reports
+    )
+    shared = max(
+        max(0, r["after"]["shared"] - r["before"]["shared"])
+        for r in reports
+    )
+    return private + shared
+
+
+def _served_bytes(engine, instance):
+    """Canonical response bytes for one timeline + one search query."""
+    system = RealTimeTimelineSystem(engine=engine, cache=engine.cache)
+    start, end = instance.corpus.window
+    response = system.generate_timeline(
+        keywords=tuple(instance.corpus.query),
+        start=start,
+        end=end,
+        num_dates=5,
+        num_sentences=1,
+    )
+    hits = engine.fetch_dated_sentences(
+        instance.corpus.query, start=start, end=end, limit=50
+    )
+    return canonical_json(
+        {
+            "timeline": response.timeline.to_dict(),
+            "hits": [
+                [h.date.isoformat(), h.text, h.publication_date.isoformat(),
+                 h.article_id, h.is_reference]
+                for h in hits
+            ],
+        }
+    )
+
+
+def test_mmap_boot(benchmark, capsys, json_out, tmp_path):
+    instance = make_timeline17_like(
+        scale=MMAP_SCALE, seed=11
+    ).instances[0]
+    engine = SearchEngine()
+    engine.add_articles(instance.corpus.articles)
+    v1_path = tmp_path / "index.v1.snap"
+    v2_path = tmp_path / "index.v2.snap"
+    engine.save_snapshot(v1_path, snapshot_format="v1")
+    engine.save_snapshot(v2_path, snapshot_format="v2")
+
+    # Always-on: identical served bytes across formats and load modes.
+    baseline_bytes = _served_bytes(engine, instance)
+    loads = {
+        "v1_copy": SearchEngine.load_snapshot(v1_path, mode="copy"),
+        "v2_copy": SearchEngine.load_snapshot(v2_path, mode="copy"),
+        "v2_mmap": SearchEngine.load_snapshot(v2_path, mode="mmap"),
+    }
+    for label, loaded in loads.items():
+        assert _served_bytes(loaded, instance) == baseline_bytes, (
+            f"{label} load changed the served bytes"
+        )
+
+    def measure():
+        boots = {
+            "v1_copy": _best_boot(v1_path, "copy"),
+            "v2_copy": _best_boot(v2_path, "copy"),
+            "v2_mmap": _best_boot(v2_path, "mmap"),
+        }
+        fleets = {}
+        for mode, path in (("copy", v1_path), ("mmap", v2_path)):
+            for workers in FLEET_SIZES:
+                fleets[(mode, workers)] = _fleet_unique_bytes(
+                    path, mode, workers
+                )
+        return boots, fleets
+
+    boots, fleets = benchmark.pedantic(measure, rounds=1, iterations=1)
+    boot_speedup = boots["v1_copy"] / max(boots["v2_mmap"], 1e-9)
+    rss_ratio_mmap = fleets[("mmap", 4)] / max(fleets[("mmap", 1)], 1)
+    rss_ratio_copy = fleets[("copy", 4)] / max(fleets[("copy", 1)], 1)
+
+    mib = 1024 * 1024
+    emit(
+        "mmap_boot",
+        ["metric", "v1 copy", "v2 mmap"],
+        [
+            [
+                "boot to first 200",
+                f"{boots['v1_copy'] * 1e3:.1f}ms",
+                f"{boots['v2_mmap'] * 1e3:.1f}ms",
+            ],
+            ["boot speedup", "-", f"{boot_speedup:.1f}x"],
+            *[
+                [
+                    f"fleet unique RSS, {workers} worker(s)",
+                    f"{fleets[('copy', workers)] / mib:.1f}MiB",
+                    f"{fleets[('mmap', workers)] / mib:.1f}MiB",
+                ]
+                for workers in FLEET_SIZES
+            ],
+            [
+                "4-worker / 1-worker RSS",
+                f"{rss_ratio_copy:.2f}x",
+                f"{rss_ratio_mmap:.2f}x",
+            ],
+        ],
+        title=(
+            f"Zero-copy snapshot tier: {len(engine.index)} documents "
+            f"(corpus scale {MMAP_SCALE})"
+        ),
+        capsys=capsys,
+        notes=[
+            f"host cpus: {os.cpu_count()}; boot best-of-3 to /healthz; "
+            "v2 copy boot "
+            f"{boots['v2_copy'] * 1e3:.1f}ms",
+            "unique RSS = sum of private smaps deltas + shared delta "
+            "counted once, fleet mapped concurrently",
+        ],
+    )
+    write_json_result(
+        "mmap_boot",
+        {
+            "documents": len(engine.index),
+            "scale": MMAP_SCALE,
+            "v1_copy_boot_seconds": boots["v1_copy"],
+            "v2_copy_boot_seconds": boots["v2_copy"],
+            "v2_mmap_boot_seconds": boots["v2_mmap"],
+            "mmap_boot_speedup": boot_speedup,
+            "fleet_unique_rss_bytes": {
+                f"{mode}_{workers}": fleets[(mode, workers)]
+                for (mode, workers) in fleets
+            },
+            "mmap_fleet4_rss_ratio": rss_ratio_mmap,
+            "copy_fleet4_rss_ratio": rss_ratio_copy,
+        },
+        json_out,
+    )
+
+    assert_if_opted_in(
+        boot_speedup >= 3.0,
+        f"expected v2 mmap boot >= 3x faster than v1 copy, got "
+        f"v1={boots['v1_copy'] * 1e3:.1f}ms "
+        f"mmap={boots['v2_mmap'] * 1e3:.1f}ms ({boot_speedup:.1f}x)",
+        capsys,
+    )
+    assert_if_opted_in(
+        rss_ratio_mmap <= 1.5,
+        f"expected 4 mmap workers to add <= 1.5x one worker's unique "
+        f"index memory, got {rss_ratio_mmap:.2f}x "
+        f"({fleets[('mmap', 4)] / mib:.1f}MiB vs "
+        f"{fleets[('mmap', 1)] / mib:.1f}MiB; copy-path ratio "
+        f"{rss_ratio_copy:.2f}x)",
+        capsys,
+    )

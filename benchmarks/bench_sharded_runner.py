@@ -18,7 +18,7 @@ one Figure-2-scale corpus per shard.
 
 import os
 
-from common import assert_if_opted_in, emit, timed
+from common import assert_if_opted_in, emit, timed, write_json_result
 from repro.core.variants import wilson_full
 from repro.experiments.datasets import TaggedDataset
 from repro.experiments.runner import WilsonMethod, run_method
@@ -63,7 +63,7 @@ def _metric_fingerprint(result):
     ]
 
 
-def test_sharded_runner_speedup(benchmark, capsys):
+def test_sharded_runner_speedup(benchmark, capsys, json_out):
     tagged = _sharded_dataset()
     # Warm the per-instance tagging caches outside the timed region so
     # every configuration pays identical setup.
@@ -123,6 +123,27 @@ def test_sharded_runner_speedup(benchmark, capsys):
             "configurations (see tests/test_runtime_equivalence.py for "
             "the byte-level proof)",
         ],
+    )
+
+    write_json_result(
+        "sharded_runner",
+        {
+            "topics": NUM_TOPICS,
+            "sentences_per_topic": SENTENCES_PER_TOPIC,
+            "sequential_sweep_seconds": sequential_seconds,
+            "sweep_seconds": {
+                f"workers_{workers}": seconds
+                for workers, (_, seconds) in sorted(results.items())
+            },
+            # Multi-worker speedups are descriptive here (they invert on
+            # single-core hosts), so they deliberately avoid the
+            # "speedup" marker compare_baselines.py enforces.
+            "parallel_gain": {
+                f"workers_{workers}": gain
+                for workers, gain in sorted(speedups.items())
+            },
+        },
+        json_out,
     )
 
     # Correctness is never gated: every configuration must produce the

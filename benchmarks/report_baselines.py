@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Render baseline-vs-current benchmark deltas into EXPERIMENTS.md.
+
+The committed ``benchmarks/baselines/BENCH_*.json`` files pin where the
+tracked perf metrics stood when each baseline was recorded;
+``compare_baselines.py`` *gates* on them, this script *reports* on them:
+
+    PYTHONPATH=src python -m pytest benchmarks/ --json-out /tmp/current
+    python benchmarks/report_baselines.py --current /tmp/current
+
+rewrites the "Perf trajectory" section of ``EXPERIMENTS.md`` (between
+its HTML marker comments, so ``build_experiments_md.py`` regeneration
+and this script never fight over the rest of the file) with one row per
+tracked metric: baseline value, current value, and the relative delta,
+signed so that positive is always an improvement. Metrics follow
+``compare_baselines.py``'s direction rules -- ``*_seconds``/latency are
+lower-is-better, ``speedup``/``qps``/``throughput`` higher-is-better,
+anything else is descriptive and skipped.
+
+Without ``--current`` (or for baselines with no fresh counterpart) the
+section still lists the committed baseline values, so the trajectory
+table never silently drops a tracked benchmark. ``--stdout`` prints the
+section instead of editing the file. Always exits 0 -- regression
+*enforcement* stays in ``compare_baselines.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+from compare_baselines import BASELINE_DIR, direction, flatten
+
+EXPERIMENTS_MD = pathlib.Path(__file__).parent.parent / "EXPERIMENTS.md"
+
+TRAJECTORY_START = "<!-- perf-trajectory:start -->"
+TRAJECTORY_END = "<!-- perf-trajectory:end -->"
+
+
+def _tracked_metrics(payload: Dict[str, object]) -> Dict[str, float]:
+    """The compared (direction != 0) numeric leaves of one BENCH file."""
+    return {
+        path: value
+        for path, value in flatten(payload.get("metrics", {}))
+        if direction(path) != 0
+    }
+
+
+def _format_value(path: str, value: float) -> str:
+    lowered = path.lower()
+    if "seconds" in lowered or "latency" in lowered:
+        return f"{value * 1e3:.1f}ms" if value < 10 else f"{value:.2f}s"
+    if "speedup" in lowered:
+        return f"{value:.2f}x"
+    return f"{value:.4g}"
+
+
+def render_section(
+    baseline_dir: pathlib.Path, current_dir: Optional[pathlib.Path]
+) -> str:
+    """The markdown body of the Perf trajectory section."""
+    lines: List[str] = [
+        "Tracked perf metrics: committed baselines "
+        "(`benchmarks/baselines/`) vs the most recent "
+        "`report_baselines.py --current` run. Positive delta = better "
+        "(direction-aware); `compare_baselines.py` gates on the same "
+        "files under `BENCH_ASSERT=1`.",
+        "",
+        "| benchmark | metric | baseline | current | delta |",
+        "|---|---|---|---|---|",
+    ]
+    rows = 0
+    for baseline_path in sorted(baseline_dir.glob("BENCH_*.json")):
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        name = str(baseline.get("benchmark", baseline_path.stem))
+        tracked = _tracked_metrics(baseline)
+        current: Dict[str, float] = {}
+        if current_dir is not None:
+            current_path = current_dir / baseline_path.name
+            if current_path.exists():
+                current = _tracked_metrics(
+                    json.loads(current_path.read_text(encoding="utf-8"))
+                )
+        for path, base_value in sorted(tracked.items()):
+            value = current.get(path)
+            if value is None or base_value == 0:
+                delta = "-"
+                shown = "-" if value is None else _format_value(path, value)
+            else:
+                change = (
+                    direction(path)
+                    * (value - base_value)
+                    / abs(base_value)
+                )
+                delta = f"{change * 100:+.0f}%"
+                shown = _format_value(path, value)
+            lines.append(
+                f"| {name} | `{path}` | "
+                f"{_format_value(path, base_value)} | {shown} | {delta} |"
+            )
+            rows += 1
+    if not rows:
+        lines.append("| *(no committed baselines)* | | | | |")
+    return "\n".join(lines)
+
+
+def splice(document: str, section_body: str) -> str:
+    """Replace the marker-delimited trajectory block inside *document*."""
+    block = f"{TRAJECTORY_START}\n{section_body}\n{TRAJECTORY_END}"
+    start = document.find(TRAJECTORY_START)
+    end = document.find(TRAJECTORY_END)
+    if start < 0 or end < 0 or end < start:
+        # No (intact) marker block yet: append a whole new section.
+        return (
+            document.rstrip("\n")
+            + "\n\n\n## Perf trajectory\n\n"
+            + block
+            + "\n"
+        )
+    return (
+        document[:start] + block + document[end + len(TRAJECTORY_END):]
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--baselines",
+        default=str(BASELINE_DIR),
+        help="directory of committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--current",
+        default=None,
+        help="directory of freshly generated BENCH_*.json results "
+             "(omitted: baselines only)",
+    )
+    parser.add_argument(
+        "--stdout",
+        action="store_true",
+        help="print the section instead of rewriting EXPERIMENTS.md",
+    )
+    args = parser.parse_args(argv)
+
+    section = render_section(
+        pathlib.Path(args.baselines),
+        pathlib.Path(args.current) if args.current else None,
+    )
+    if args.stdout:
+        print(section)
+        return 0
+    document = EXPERIMENTS_MD.read_text(encoding="utf-8")
+    EXPERIMENTS_MD.write_text(splice(document, section), encoding="utf-8")
+    print(f"updated Perf trajectory section of {EXPERIMENTS_MD}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

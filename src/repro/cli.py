@@ -315,10 +315,11 @@ def _build_serve_system(args: argparse.Namespace, metrics) -> tuple:
         from repro.search.engine import SearchEngine
         from repro.search.snapshot import SnapshotError, snapshot_info
 
+        snapshot_mode = getattr(args, "snapshot_mode", "mmap")
         try:
             started = time.perf_counter()
             engine = SearchEngine.load_snapshot(
-                snapshot_path, cache=wilson.cache
+                snapshot_path, cache=wilson.cache, mode=snapshot_mode
             )
             load_seconds = time.perf_counter() - started
         except SnapshotError as exc:
@@ -338,6 +339,14 @@ def _build_serve_system(args: argparse.Namespace, metrics) -> tuple:
             )
             metrics.gauge("snapshot.format_version").set(
                 int(info["format_version"])
+            )
+            # Zero for copy-mode loads and v1 snapshots; non-zero only
+            # when the index actually serves from mapped pages.
+            metrics.gauge("snapshot.mmap_sections").set(
+                int(getattr(engine.index, "mapped_sections", 0))
+            )
+            metrics.gauge("snapshot.mmap_bytes").set(
+                int(getattr(engine.index, "mapped_bytes", 0))
             )
             system = RealTimeTimelineSystem(
                 engine=engine, wilson=wilson, cache=wilson.cache
@@ -590,7 +599,10 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     if args.shards > 1:
         from repro.serve.topology import export_slices
 
-        topology = export_slices(engine.index, args.out, args.shards)
+        topology = export_slices(
+            engine.index, args.out, args.shards,
+            snapshot_format=args.format,
+        )
         print(
             f"wrote {args.out}: {topology.num_shards} shards, "
             f"{topology.total_documents} documents, index_version "
@@ -599,7 +611,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         for shard in topology.shards:
             print(f"  {shard.describe()}")
         return 0
-    engine.save_snapshot(args.out)
+    engine.save_snapshot(args.out, snapshot_format=args.format)
     info = snapshot_info(args.out)
     print(
         f"wrote {args.out}: {info['documents']} documents, "
@@ -917,6 +929,15 @@ def build_parser() -> argparse.ArgumentParser:
              "and falls back to re-indexing the corpus",
     )
     server.add_argument(
+        "--snapshot-mode",
+        choices=("copy", "mmap"),
+        default="mmap",
+        help="how --snapshot restores the index: 'mmap' serves a v2 "
+             "snapshot zero-copy from shared read-only pages (v1 files "
+             "fall back to copying), 'copy' always rebuilds in private "
+             "memory (default %(default)s)",
+    )
+    server.add_argument(
         "--shards", type=int, default=1, metavar="N",
         help="partition the index into N date-range slices, boot one "
              "worker process per slice, and serve through a "
@@ -1007,6 +1028,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a topology directory of N date-range slice "
              "snapshots plus topology.json at --out instead of one "
              "snapshot file (default 1)",
+    )
+    snapshot.add_argument(
+        "--format",
+        choices=("v1", "v2"),
+        default="v1",
+        help="on-disk layout: 'v1' (npz payload) or 'v2' (page-aligned "
+             "sections that 'serve --snapshot-mode mmap' maps zero-copy)"
+             " (default %(default)s)",
     )
     snapshot.set_defaults(func=_cmd_snapshot)
 

@@ -25,8 +25,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.core.daily import RankedDay
 from repro.obs.trace import Tracer, ensure_tracer
 from repro.text.analysis import AnalyzedCorpus, TokenCache
@@ -145,13 +143,16 @@ def _select_vectorized(
     """Round-robin selection with batched CSR cosine checks.
 
     Each round vectorises only its *offered* sentences (typically a tiny
-    fraction of the candidate pool) into L2-normalised TF-IDF rows, so a
+    fraction of the candidate pool) into L2-normalised TF-IDF rows and
+    hands the CSR arrays to :func:`repro.kernels.redundancy_accept`: a
     sparse product against the accepted rows yields every
     offer-vs-accepted cosine of the round at once. Row values are
     batch-independent (per-row normalisation), so the lazy transform is
     exactly the full candidate matrix restricted to offered rows.
     """
     from scipy import sparse
+
+    from repro import kernels
 
     selected: Dict[RankedDay, List[str]] = {day: [] for day in ranked_days}
     accepted_blocks: List[sparse.csr_matrix] = []
@@ -167,29 +168,31 @@ def _select_vectorized(
         )
         if accepted_blocks:
             accepted = sparse.vstack(accepted_blocks, format="csr")
-            against_pool = np.asarray(
-                (candidates @ accepted.T).todense()
-            ).max(axis=1)
-        else:
-            against_pool = np.zeros(len(offers), dtype=np.float64)
-        # Offers of one round also compete with each other, in order.
-        intra = np.asarray((candidates @ candidates.T).todense())
-        accepted_in_round: List[int] = []
-        accepted_count = 0
-        for position, (day, sentence) in enumerate(offers):
-            redundant = against_pool[position] >= redundancy_threshold or (
-                accepted_in_round
-                and intra[position, accepted_in_round].max()
-                >= redundancy_threshold
+            acc_args = (
+                accepted.data,
+                accepted.indices,
+                accepted.indptr,
+                accepted.shape[0],
             )
-            if redundant:
-                tracer.count("postprocess.rejected_redundant")
-                continue
+        else:
+            acc_args = (None, None, None, 0)
+        accepted_in_round = kernels.redundancy_accept(
+            candidates.data,
+            candidates.indices,
+            candidates.indptr,
+            len(offers),
+            candidates.shape[1],
+            *acc_args,
+            redundancy_threshold,
+        )
+        for position in accepted_in_round:
+            day, sentence = offers[position]
             selected[day].append(sentence)
-            accepted_in_round.append(position)
             accepted_blocks.append(candidates[position])
-            accepted_count += 1
-        tracer.count("postprocess.accepted", accepted_count)
+        rejected = len(offers) - len(accepted_in_round)
+        if rejected:
+            tracer.count("postprocess.rejected_redundant", rejected)
+        tracer.count("postprocess.accepted", len(accepted_in_round))
     return selected
 
 

@@ -16,6 +16,7 @@ from typing import Dict, Hashable, Mapping, Optional
 
 import numpy as np
 
+from repro import kernels
 from repro.graph.graphs import WeightedDigraph
 from repro.obs.profile import profiled
 from repro.obs.trace import Tracer, ensure_tracer
@@ -91,46 +92,20 @@ def pagerank_matrix(
 
     out_weights = matrix.sum(axis=1)
     dangling = out_weights == 0
-    has_dangling = bool(dangling.any())
     safe = np.where(dangling, 1.0, out_weights)
     transition = matrix / safe[:, None]  # row-stochastic except dangling rows
 
-    base = (1.0 - damping) * restart
-    rank = restart.copy()
-    # Ping-pong buffers: every iteration writes into preallocated
-    # arrays via ufunc ``out=`` -- the arithmetic (and hence the result,
-    # bit for bit) matches the expression form, without allocating four
-    # temporaries per sweep.
-    new_rank = np.empty(n, dtype=np.float64)
-    diff = np.empty(n, dtype=np.float64)
-    dangling_term = (
-        np.empty(n, dtype=np.float64) if has_dangling else None
+    rank, iterations = kernels.pagerank_iterate(
+        transition,
+        restart,
+        dangling,
+        damping,
+        max_iterations,
+        tolerance,
     )
-    threshold = tolerance * n
-    iterations = 0
-    for _ in range(max_iterations):
-        iterations += 1
-        np.matmul(rank, transition, out=new_rank)
-        np.multiply(new_rank, damping, out=new_rank)
-        if has_dangling:
-            # new = damping*(rank@T) + (damping*mass)*restart + base,
-            # summed left to right exactly as written.
-            np.multiply(
-                restart,
-                damping * rank[dangling].sum(),
-                out=dangling_term,
-            )
-            np.add(new_rank, dangling_term, out=new_rank)
-        np.add(new_rank, base, out=new_rank)
-        np.subtract(new_rank, rank, out=diff)
-        np.abs(diff, out=diff)
-        converged = diff.sum() < threshold
-        rank, new_rank = new_rank, rank
-        if converged:
-            break
     tracer.count(f"{counter_prefix}_runs")
     tracer.count(f"{counter_prefix}_iterations", iterations)
-    return rank / rank.sum()
+    return rank
 
 
 def pagerank(

@@ -116,9 +116,13 @@ class SearchEngine:
         engine._num_articles = _distinct_articles(engine.index)
         return engine
 
-    def save_snapshot(self, path) -> None:
-        """Persist the index as a binary snapshot (O(read) restore)."""
-        self.index.save_snapshot(path)
+    def save_snapshot(self, path, snapshot_format: str = "v1") -> None:
+        """Persist the index as a binary snapshot (O(read) restore).
+
+        *snapshot_format* selects ``"v1"`` or ``"v2"`` (the page-aligned
+        layout that :meth:`load_snapshot` can map zero-copy).
+        """
+        self.index.save_snapshot(path, snapshot_format=snapshot_format)
 
     @classmethod
     def load_snapshot(
@@ -127,18 +131,25 @@ class SearchEngine:
         tagger: Optional[TemporalTagger] = None,
         bm25_params: BM25Parameters = BM25Parameters(),
         cache: Optional[TokenCache] = None,
+        mode: str = "copy",
+        verify: bool = False,
     ) -> "SearchEngine":
         """Restore an engine from a binary snapshot (see
         :mod:`repro.search.snapshot`).
 
-        Raises :class:`repro.search.snapshot.SnapshotError` when the
-        file is corrupt or incompatible; callers can fall back to
-        :meth:`load` on the JSONL index.
+        ``mode="mmap"`` serves a v2 snapshot zero-copy from shared
+        read-only pages (v1 falls back to the copy path); ``verify=True``
+        checks section checksums eagerly. Raises
+        :class:`repro.search.snapshot.SnapshotError` when the file is
+        corrupt or incompatible; callers can fall back to :meth:`load`
+        on the JSONL index.
         """
         from repro.search.snapshot import snapshot_info
 
         engine = cls(tagger=tagger, bm25_params=bm25_params, cache=cache)
-        engine.index = InvertedIndex.load_snapshot(path, cache=cache)
+        engine.index = InvertedIndex.load_snapshot(
+            path, cache=cache, mode=mode, verify=verify
+        )
         articles = snapshot_info(path).get("articles")
         engine._num_articles = (
             int(articles)

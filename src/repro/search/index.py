@@ -179,6 +179,16 @@ class InvertedIndex:
     def vocabulary_size(self) -> int:
         return len(self._postings)
 
+    def postings_map(self) -> Dict[str, Dict[int, List[int]]]:
+        """The full positional postings mapping, token by token.
+
+        The snapshot writer's bulk accessor. The base index returns its
+        live internal mapping (callers must not mutate it); array-backed
+        views (:class:`repro.search.mapped.MappedSnapshotIndex`)
+        materialise an equivalent mapping on demand.
+        """
+        return self._postings
+
     def dates(self) -> List[datetime.date]:
         """All content dates present in the index, sorted."""
         return sorted(self._by_date)
@@ -270,7 +280,8 @@ class InvertedIndex:
                 )
                 + "\n"
             )
-            for document in self._documents:
+            for doc_id in range(len(self)):
+                document = self.document(doc_id)
                 handle.write(
                     json.dumps(
                         {
@@ -328,29 +339,41 @@ class InvertedIndex:
             index._version = max(index._version, saved_version)
         return index
 
-    def save_snapshot(self, path: PathLike) -> None:
+    def save_snapshot(
+        self, path: PathLike, snapshot_format: str = "v1"
+    ) -> None:
         """Persist the index as a binary snapshot (see
         :mod:`repro.search.snapshot`).
 
         Unlike :meth:`save`, the snapshot carries the derived state --
         postings, token-id arrays, vocabulary -- so
         :meth:`load_snapshot` restores in O(read) with zero
-        re-tokenisation.
+        re-tokenisation. *snapshot_format* selects ``"v1"`` (the npz
+        payload) or ``"v2"`` (page-aligned raw sections that
+        :meth:`load_snapshot` can map zero-copy with ``mode="mmap"``).
         """
         from repro.search.snapshot import save_snapshot
 
-        save_snapshot(self, path)
+        save_snapshot(self, path, snapshot_format=snapshot_format)
 
     @classmethod
     def load_snapshot(
-        cls, path: PathLike, cache: Optional[TokenCache] = None
+        cls,
+        path: PathLike,
+        cache: Optional[TokenCache] = None,
+        mode: str = "copy",
+        verify: bool = False,
     ) -> "InvertedIndex":
         """Restore an index written by :meth:`save_snapshot`.
 
-        Raises :class:`repro.search.snapshot.SnapshotError` on a
+        The snapshot format is auto-detected. ``mode="mmap"`` maps a v2
+        snapshot's sections as shared read-only pages instead of copying
+        (v1 snapshots fall back to the copy path); ``verify=True``
+        checks every section checksum eagerly instead of lazily on first
+        access. Raises :class:`repro.search.snapshot.SnapshotError` on a
         missing, corrupt, or incompatible file -- callers decide whether
         to fall back to :meth:`load`.
         """
         from repro.search.snapshot import load_snapshot
 
-        return load_snapshot(path, cache=cache)
+        return load_snapshot(path, cache=cache, mode=mode, verify=verify)

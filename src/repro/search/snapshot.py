@@ -18,14 +18,30 @@ sequential read plus array slicing:
   C at restore time);
 * the monotonic ``index_version`` (the serve-cache invalidation key).
 
-On-disk layout is one JSON meta line (magic, format version,
-``index_version``, analyzer configuration, payload byte count and SHA-256
-checksum) followed by the raw bytes of an uncompressed ``.npz`` archive.
-Every load re-verifies the checksum; any mismatch, truncation or parse
+Two on-disk layouts share the one-JSON-meta-line-first convention (magic,
+format version, ``index_version``, analyzer configuration, checksums):
+
+* ``wilson.snapshot/v1`` -- the meta line is followed by the raw bytes of
+  an uncompressed ``.npz`` archive (whole-payload SHA-256 in the header).
+  Loading always copies: the archive is parsed and the classic dict-based
+  index is rebuilt.
+* ``wilson.snapshot/v2`` -- the meta line is followed by each numeric
+  array as a raw little-endian **section** at a page-aligned offset; the
+  header records every section's offset, dtype, shape and SHA-256. A v2
+  file can load two ways: ``mode="copy"`` rebuilds the classic index
+  (exactly like v1), while ``mode="mmap"`` maps the file ``MAP_SHARED``
+  read-only and serves queries straight from the page cache through a
+  :class:`repro.search.mapped.MappedSnapshotIndex` view -- no decompress,
+  no copy, O(page-fault) boot, and N worker processes share one physical
+  copy of the index. Section checksums are verified lazily on first
+  access (eagerly with ``verify=True``).
+
+Positions are a JSON blob in v1 and a flattened CSR pair in v2; both
+formats are auto-detected on load. Any mismatch, truncation or parse
 failure raises :class:`SnapshotError` so callers (the serve boot path in
 particular) can fall back to the JSONL index instead of crashing.
 
-The format is deliberately pickle-free: a corrupted or adversarial
+Both formats are deliberately pickle-free: a corrupted or adversarial
 snapshot can fail to load, but it cannot execute code.
 """
 
@@ -35,8 +51,9 @@ import datetime
 import hashlib
 import io
 import json
+import mmap
 import pathlib
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -46,14 +63,53 @@ from repro.text.tokenize import tokenize_for_matching
 
 PathLike = Union[str, pathlib.Path]
 
-#: Magic string on the snapshot's meta line.
+#: Magic string on a v1 snapshot's meta line.
 SNAPSHOT_MAGIC = "wilson.snapshot/v1"
 
-#: Bumped whenever the array layout changes incompatibly.
+#: Magic string on a v2 (page-aligned, mmap-able) snapshot's meta line.
+SNAPSHOT_MAGIC_V2 = "wilson.snapshot/v2"
+
+#: Bumped whenever the v1 array layout changes incompatibly.
 SNAPSHOT_FORMAT_VERSION = 1
+
+#: Format version recorded by v2 snapshots.
+SNAPSHOT_FORMAT_VERSION_V2 = 2
 
 #: Upper bound on the meta line; a "header" larger than this is garbage.
 _MAX_HEADER_BYTES = 65536
+
+#: v2 sections start (and stay) aligned to this many bytes, so every
+#: section begins on its own OS page and mapped views are element-aligned.
+_SECTION_ALIGN = 4096
+
+#: Hash/read chunk size for streamed payload verification.
+_HASH_CHUNK = 1 << 20
+
+#: Every section a v2 snapshot must carry, with its expected dtype kind.
+_V2_SECTIONS = (
+    ("texts_buf", "|u1"),
+    ("texts_indptr", "<i8"),
+    ("articles_buf", "|u1"),
+    ("articles_indptr", "<i8"),
+    ("vocab_buf", "|u1"),
+    ("vocab_indptr", "<i8"),
+    ("doc_text_row", "<i4"),
+    ("doc_article_row", "<i4"),
+    ("doc_dates", "<i8"),
+    ("doc_pub_dates", "<i8"),
+    ("doc_is_reference", "|u1"),
+    ("doc_lengths", "<i8"),
+    ("tok_ids", "<i4"),
+    ("tok_indptr", "<i8"),
+    ("post_entry_indptr", "<i8"),
+    ("post_doc_ids", "<i8"),
+    ("post_tf", "<i4"),
+    ("post_pos_indptr", "<i8"),
+    ("post_positions", "<i4"),
+    ("date_unique", "<i8"),
+    ("date_indptr", "<i8"),
+    ("date_doc_ids", "<i8"),
+)
 
 #: Snapshot metric names set by the serve boot path (pinned; documented in
 #: docs/observability.md and asserted by tests/test_docs_observability.py).
@@ -62,6 +118,8 @@ SNAPSHOT_GAUGES = (
     "snapshot.documents",
     "snapshot.format_version",
     "snapshot.load_seconds",
+    "snapshot.mmap_bytes",
+    "snapshot.mmap_sections",
     "snapshot.vocabulary_terms",
 )
 SNAPSHOT_METRIC_NAMES = SNAPSHOT_COUNTERS + SNAPSHOT_GAUGES
@@ -93,10 +151,13 @@ def _pack_strings(values: List[str]) -> Tuple[np.ndarray, np.ndarray]:
 
 
 def _unpack_strings(buffer: np.ndarray, indptr: np.ndarray) -> List[str]:
-    raw = buffer.tobytes()
+    # One zero-copy view; each string decodes straight out of the
+    # buffer (str accepts a memoryview) instead of first materialising
+    # the whole payload with .tobytes() and then slicing it again.
+    view = memoryview(np.ascontiguousarray(buffer))
     bounds = indptr.tolist()
     return [
-        raw[bounds[i] : bounds[i + 1]].decode("utf-8")
+        str(view[bounds[i] : bounds[i + 1]], "utf-8")
         for i in range(len(bounds) - 1)
     ]
 
@@ -113,19 +174,15 @@ def _token_streams(
     return [tuple(tokenize_for_matching(text)) for text in distinct_texts]
 
 
-def save_snapshot(
+def _collect_state(
     index: InvertedIndex,
-    path: PathLike,
-    slice_meta: Optional[Dict[str, object]] = None,
-) -> None:
-    """Write *index* (documents, postings, analyzer state) to *path*.
+) -> Tuple[Dict[str, np.ndarray], List[List[int]], Dict[str, object]]:
+    """Everything both snapshot writers need, computed once.
 
-    *slice_meta*, when given, is embedded verbatim as the header's
-    ``"slice"`` key -- the topology layer uses it to mark a snapshot as
-    shard *k* of *N* with its date range (see
-    :mod:`repro.serve.topology`), and :func:`snapshot_info` surfaces it
-    without reading the payload so shard layouts print in O(1). Readers
-    that predate the key ignore it.
+    Returns ``(arrays, position_lists, meta)`` where *arrays* holds every
+    shared numeric array keyed by its section name, *position_lists* the
+    per-posting-entry position lists (vocab order), and *meta* the
+    format-independent header fields.
     """
     distinct: Dict[str, int] = {}
     articles: Dict[str, int] = {}
@@ -151,7 +208,7 @@ def save_snapshot(
 
     # Vocabulary in postings insertion order; any token a stream produces
     # that somehow has no posting entry is appended with an empty range.
-    postings = index._postings
+    postings = index.postings_map()
     vocab: List[str] = list(postings)
     token_to_id = {token: i for i, token in enumerate(vocab)}
     flat_ids: List[int] = []
@@ -178,39 +235,29 @@ def save_snapshot(
     for token in vocab:
         for doc_id, positions in postings.get(token, {}).items():
             post_doc_ids.append(doc_id)
-            position_lists.append(positions)
-    # Positions ride along as a JSON blob: json.loads rebuilds the
-    # nested per-entry lists entirely in C, several times faster than
-    # slicing a CSR pair back apart in Python.
-    positions_blob = json.dumps(
-        position_lists, separators=(",", ":")
-    ).encode("ascii")
+            position_lists.append(list(positions))
 
     texts_buf, texts_indptr = _pack_strings(distinct_texts)
     articles_buf, articles_indptr = _pack_strings(list(articles))
     vocab_buf, vocab_indptr = _pack_strings(vocab)
 
-    payload_io = io.BytesIO()
-    np.savez(
-        payload_io,
-        texts_buf=texts_buf,
-        texts_indptr=texts_indptr,
-        articles_buf=articles_buf,
-        articles_indptr=articles_indptr,
-        vocab_buf=vocab_buf,
-        vocab_indptr=vocab_indptr,
-        doc_text_row=doc_text_row,
-        doc_article_row=doc_article_row,
-        doc_dates=doc_dates,
-        doc_pub_dates=doc_pub_dates,
-        doc_is_reference=doc_is_reference,
-        tok_ids=np.asarray(flat_ids, dtype=np.int32),
-        tok_indptr=tok_indptr,
-        post_entry_indptr=post_entry_indptr,
-        post_doc_ids=np.asarray(post_doc_ids, dtype=np.int64),
-        post_positions_json=np.frombuffer(positions_blob, dtype=np.uint8),
-    )
-    payload = payload_io.getvalue()
+    arrays = {
+        "texts_buf": texts_buf,
+        "texts_indptr": texts_indptr,
+        "articles_buf": articles_buf,
+        "articles_indptr": articles_indptr,
+        "vocab_buf": vocab_buf,
+        "vocab_indptr": vocab_indptr,
+        "doc_text_row": doc_text_row,
+        "doc_article_row": doc_article_row,
+        "doc_dates": doc_dates,
+        "doc_pub_dates": doc_pub_dates,
+        "doc_is_reference": doc_is_reference,
+        "tok_ids": np.asarray(flat_ids, dtype=np.int32),
+        "tok_indptr": tok_indptr,
+        "post_entry_indptr": post_entry_indptr,
+        "post_doc_ids": np.asarray(post_doc_ids, dtype=np.int64),
+    }
 
     if index.cache is not None:
         stem = index.cache.stem
@@ -218,9 +265,7 @@ def save_snapshot(
     else:
         stem, drop_stopwords = True, True
     dates = index.dates()
-    header = {
-        "meta": SNAPSHOT_MAGIC,
-        "format_version": SNAPSHOT_FORMAT_VERSION,
+    meta = {
         "index_version": index.index_version,
         "documents": len(index),
         "vocabulary": len(vocab),
@@ -229,8 +274,117 @@ def save_snapshot(
             [dates[0].isoformat(), dates[-1].isoformat()] if dates else None
         ),
         "analyzer": {"stem": stem, "drop_stopwords": drop_stopwords},
+    }
+    return arrays, position_lists, meta
+
+
+def _derived_v2_arrays(
+    arrays: Dict[str, np.ndarray], position_lists: List[List[int]]
+) -> Dict[str, np.ndarray]:
+    """The extra v2 sections: CSR positions, doc lengths, date grouping."""
+    pos_indptr = np.zeros(len(position_lists) + 1, dtype=np.int64)
+    if position_lists:
+        np.cumsum(
+            np.fromiter(
+                (len(p) for p in position_lists),
+                dtype=np.int64,
+                count=len(position_lists),
+            ),
+            out=pos_indptr[1:],
+        )
+    flat_positions = (
+        np.concatenate(
+            [np.asarray(p, dtype=np.int32) for p in position_lists]
+        )
+        if pos_indptr[-1]
+        else np.zeros(0, dtype=np.int32)
+    )
+    post_tf = np.diff(pos_indptr).astype(np.int32)
+
+    token_lengths = np.diff(arrays["tok_indptr"])
+    doc_lengths = token_lengths[arrays["doc_text_row"]].astype(np.int64)
+
+    # Doc ids grouped by content date: a stable argsort of the per-doc
+    # date ordinals reproduces each date's insertion order exactly
+    # (documents are added in doc-id order).
+    doc_dates = arrays["doc_dates"]
+    date_unique, date_counts = np.unique(doc_dates, return_counts=True)
+    date_indptr = np.zeros(len(date_unique) + 1, dtype=np.int64)
+    np.cumsum(date_counts, out=date_indptr[1:])
+    date_doc_ids = np.argsort(doc_dates, kind="stable").astype(np.int64)
+
+    return {
+        "doc_lengths": doc_lengths,
+        "post_tf": post_tf,
+        "post_pos_indptr": pos_indptr,
+        "post_positions": flat_positions,
+        "date_unique": date_unique.astype(np.int64),
+        "date_indptr": date_indptr,
+        "date_doc_ids": date_doc_ids,
+    }
+
+
+def _align(offset: int) -> int:
+    return -(-offset // _SECTION_ALIGN) * _SECTION_ALIGN
+
+
+def save_snapshot(
+    index: InvertedIndex,
+    path: PathLike,
+    slice_meta: Optional[Dict[str, object]] = None,
+    snapshot_format: str = "v1",
+) -> None:
+    """Write *index* (documents, postings, analyzer state) to *path*.
+
+    *slice_meta*, when given, is embedded verbatim as the header's
+    ``"slice"`` key -- the topology layer uses it to mark a snapshot as
+    shard *k* of *N* with its date range (see
+    :mod:`repro.serve.topology`), and :func:`snapshot_info` surfaces it
+    without reading the payload so shard layouts print in O(1). Readers
+    that predate the key ignore it.
+
+    *snapshot_format* selects the on-disk layout: ``"v1"`` (npz payload,
+    the default) or ``"v2"`` (page-aligned raw sections, loadable
+    zero-copy with ``mode="mmap"``).
+    """
+    if snapshot_format not in ("v1", "v2"):
+        raise ValueError(
+            f"snapshot_format must be 'v1' or 'v2', got {snapshot_format!r}"
+        )
+    arrays, position_lists, meta = _collect_state(index)
+    if snapshot_format == "v2":
+        _write_v2(path, arrays, position_lists, meta, slice_meta)
+    else:
+        _write_v1(path, arrays, position_lists, meta, slice_meta)
+
+
+def _write_v1(
+    path: PathLike,
+    arrays: Dict[str, np.ndarray],
+    position_lists: List[List[int]],
+    meta: Dict[str, object],
+    slice_meta: Optional[Dict[str, object]],
+) -> None:
+    # Positions ride along as a JSON blob: json.loads rebuilds the
+    # nested per-entry lists entirely in C, several times faster than
+    # slicing a CSR pair back apart in Python.
+    positions_blob = json.dumps(
+        position_lists, separators=(",", ":")
+    ).encode("ascii")
+    payload_io = io.BytesIO()
+    np.savez(
+        payload_io,
+        post_positions_json=np.frombuffer(positions_blob, dtype=np.uint8),
+        **arrays,
+    )
+    payload = payload_io.getvalue()
+
+    header = {
+        "meta": SNAPSHOT_MAGIC,
+        "format_version": SNAPSHOT_FORMAT_VERSION,
         "payload_bytes": len(payload),
         "sha256": hashlib.sha256(payload).hexdigest(),
+        **meta,
     }
     if slice_meta is not None:
         header["slice"] = dict(slice_meta)
@@ -243,10 +397,78 @@ def save_snapshot(
         handle.write(payload)
 
 
+def _write_v2(
+    path: PathLike,
+    arrays: Dict[str, np.ndarray],
+    position_lists: List[List[int]],
+    meta: Dict[str, object],
+    slice_meta: Optional[Dict[str, object]],
+) -> None:
+    sections = dict(arrays)
+    sections.update(_derived_v2_arrays(arrays, position_lists))
+
+    prepared: Dict[str, np.ndarray] = {}
+    for name, expected_dtype in _V2_SECTIONS:
+        array = np.ascontiguousarray(sections[name])
+        if array.dtype.str != expected_dtype:
+            array = array.astype(np.dtype(expected_dtype))
+        prepared[name] = array
+
+    section_meta: Dict[str, Dict[str, object]] = {}
+    offset = 0
+    for name, array in prepared.items():
+        offset = _align(offset)
+        section_meta[name] = {
+            "offset": offset,
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "sha256": hashlib.sha256(array.tobytes()).hexdigest(),
+        }
+        offset += array.nbytes
+    payload_bytes = offset
+
+    header = {
+        "meta": SNAPSHOT_MAGIC_V2,
+        "format_version": SNAPSHOT_FORMAT_VERSION_V2,
+        "payload_bytes": payload_bytes,
+        "section_align": _SECTION_ALIGN,
+        "sections": section_meta,
+        **meta,
+    }
+    if slice_meta is not None:
+        header["slice"] = dict(slice_meta)
+    header_line = json.dumps(header, sort_keys=True).encode("utf-8") + b"\n"
+    if len(header_line) > _MAX_HEADER_BYTES:
+        raise SnapshotError(
+            f"snapshot header too large ({len(header_line)} bytes); "
+            f"the limit is {_MAX_HEADER_BYTES}"
+        )
+    # Section offsets are relative to data_start: the first aligned
+    # boundary after the header line. The reader recomputes it from the
+    # header line's length, so the header needs no self-referential
+    # byte offset.
+    data_start = _align(len(header_line))
+
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as handle:
+        handle.write(header_line)
+        handle.write(b"\x00" * (data_start - len(header_line)))
+        cursor = 0
+        for name, array in prepared.items():
+            target = section_meta[name]["offset"]
+            if target > cursor:
+                handle.write(b"\x00" * (target - cursor))
+                cursor = target
+            handle.write(array.tobytes())
+            cursor += array.nbytes
+
+
 # -- load --------------------------------------------------------------------
 
 
-def _read_header(handle) -> Dict[str, object]:
+def _read_header(handle) -> Tuple[Dict[str, object], int]:
+    """Parse the meta line; returns ``(header, header_line_bytes)``."""
     line = handle.readline(_MAX_HEADER_BYTES + 1)
     if len(line) > _MAX_HEADER_BYTES or not line.endswith(b"\n"):
         raise SnapshotError("snapshot header missing or oversized")
@@ -254,15 +476,25 @@ def _read_header(handle) -> Dict[str, object]:
         header = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise SnapshotError(f"snapshot header is not JSON: {exc}") from exc
-    if not isinstance(header, dict) or header.get("meta") != SNAPSHOT_MAGIC:
-        raise SnapshotError("not a wilson.snapshot/v1 file")
-    if header.get("format_version") != SNAPSHOT_FORMAT_VERSION:
+    if not isinstance(header, dict) or header.get("meta") not in (
+        SNAPSHOT_MAGIC,
+        SNAPSHOT_MAGIC_V2,
+    ):
+        raise SnapshotError(
+            "not a wilson.snapshot/v1 or wilson.snapshot/v2 file"
+        )
+    expected_version = (
+        SNAPSHOT_FORMAT_VERSION
+        if header["meta"] == SNAPSHOT_MAGIC
+        else SNAPSHOT_FORMAT_VERSION_V2
+    )
+    if header.get("format_version") != expected_version:
         raise SnapshotError(
             "unsupported snapshot format_version "
             f"{header.get('format_version')!r} "
-            f"(this build reads {SNAPSHOT_FORMAT_VERSION})"
+            f"(a {header['meta']} file must declare {expected_version})"
         )
-    return header
+    return header, len(line)
 
 
 def snapshot_info(path: PathLike) -> Dict[str, object]:
@@ -273,42 +505,188 @@ def snapshot_info(path: PathLike) -> Dict[str, object]:
     """
     try:
         with pathlib.Path(path).open("rb") as handle:
-            return _read_header(handle)
+            return _read_header(handle)[0]
     except OSError as exc:
         raise SnapshotError(f"cannot read snapshot: {exc}") from exc
 
 
-def _read_payload(path: PathLike) -> Tuple[Dict[str, object], bytes]:
+def _read_payload(path: PathLike) -> Tuple[Dict[str, object], bytearray]:
+    """Read a v1 payload, hashing it in chunks as it streams in."""
+    digester = hashlib.sha256()
     try:
         with pathlib.Path(path).open("rb") as handle:
-            header = _read_header(handle)
-            payload = handle.read()
+            header, _ = _read_header(handle)
+            expected_bytes = header.get("payload_bytes")
+            if not isinstance(expected_bytes, int) or expected_bytes < 0:
+                raise SnapshotError(
+                    "snapshot header carries no usable payload_bytes"
+                )
+            # One preallocated buffer, filled and hashed chunkwise: no
+            # second whole-payload pass, and a trailing-garbage or
+            # truncated file is caught against the declared size.
+            payload = bytearray(expected_bytes)
+            view = memoryview(payload)
+            filled = 0
+            while filled < expected_bytes:
+                read = handle.readinto(
+                    view[filled : filled + _HASH_CHUNK]
+                )
+                if not read:
+                    break
+                digester.update(view[filled : filled + read])
+                filled += read
+            trailing = len(handle.read(1))
     except OSError as exc:
         raise SnapshotError(f"cannot read snapshot: {exc}") from exc
-    expected_bytes = header.get("payload_bytes")
-    if expected_bytes != len(payload):
+    if filled != expected_bytes or trailing:
+        found = filled + trailing
         raise SnapshotError(
             f"snapshot payload truncated: expected {expected_bytes} bytes, "
-            f"found {len(payload)}"
+            f"found {found}{'+' if trailing else ''}"
         )
-    digest = hashlib.sha256(payload).hexdigest()
-    if digest != header.get("sha256"):
+    if digester.hexdigest() != header.get("sha256"):
         raise SnapshotError("snapshot checksum mismatch (corrupt payload)")
+    # Returned as the bytearray it was read into -- BytesIO accepts it
+    # directly, so the payload is never duplicated after the read.
     return header, payload
 
 
-def load_snapshot(
-    path: PathLike, cache: Optional[TokenCache] = None
-) -> InvertedIndex:
-    """Restore an :class:`InvertedIndex` written by :func:`save_snapshot`.
+class SectionTable:
+    """Read-only array views over a mapped v2 snapshot's sections.
 
-    When *cache* is given its analyzer configuration must match the one
-    recorded in the snapshot (raises :class:`SnapshotError` otherwise);
-    the cache is then pre-seeded with every distinct text's token stream
-    -- and, for a fresh cache, with the interned id arrays and the full
-    vocabulary -- so the first query pays zero tokenisation.
+    Wraps one ``mmap.mmap`` (``MAP_SHARED``, ``PROT_READ``) of the
+    snapshot file. :meth:`array` returns a zero-copy ``np.ndarray`` view
+    (``writeable=False`` -- the buffer itself is read-only) and verifies
+    the section's SHA-256 the first time that section is touched;
+    :meth:`verify_all` checks every section eagerly. Offsets, dtypes and
+    shapes are validated against the file size up front so a truncated
+    or self-inconsistent header fails before any view is handed out.
     """
-    header, payload = _read_payload(path)
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = pathlib.Path(path)
+        try:
+            with self.path.open("rb") as handle:
+                header, header_len = _read_header(handle)
+                if header["meta"] != SNAPSHOT_MAGIC_V2:
+                    raise SnapshotError(
+                        "only wilson.snapshot/v2 files can be mapped"
+                    )
+                handle.seek(0, io.SEEK_END)
+                file_size = handle.tell()
+                self._mm = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+        except OSError as exc:
+            raise SnapshotError(f"cannot read snapshot: {exc}") from exc
+        self.header = header
+        self.data_start = _align(header_len)
+        sections = header.get("sections")
+        if not isinstance(sections, dict):
+            raise SnapshotError("v2 snapshot header carries no sections")
+        missing = [
+            name for name, _ in _V2_SECTIONS if name not in sections
+        ]
+        if missing:
+            raise SnapshotError(
+                f"v2 snapshot is missing sections: {', '.join(missing)}"
+            )
+        self._specs: Dict[str, Tuple[int, np.dtype, Tuple[int, ...], str]] = {}
+        for name, _ in _V2_SECTIONS:
+            spec = sections[name]
+            try:
+                offset = int(spec["offset"])
+                dtype = np.dtype(str(spec["dtype"]))
+                shape = tuple(int(dim) for dim in spec["shape"])
+                digest = str(spec["sha256"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SnapshotError(
+                    f"v2 section {name!r} has a malformed descriptor: {exc}"
+                ) from exc
+            nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+            if offset < 0 or offset % dtype.itemsize:
+                raise SnapshotError(
+                    f"v2 section {name!r} offset {offset} is misaligned"
+                )
+            if self.data_start + offset + nbytes > file_size:
+                raise SnapshotError(
+                    f"v2 section {name!r} overruns the snapshot file "
+                    f"(needs {self.data_start + offset + nbytes} bytes, "
+                    f"file has {file_size})"
+                )
+            self._specs[name] = (offset, dtype, shape, digest)
+        self._views: Dict[str, np.ndarray] = {}
+        self._verified: set = set()
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Total bytes of mapped section data (excludes padding)."""
+        return sum(
+            dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+            for _, dtype, shape, _ in self._specs.values()
+        )
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def array(self, name: str, verify: bool = True) -> np.ndarray:
+        """Zero-copy read-only view of section *name*.
+
+        The first access to a section verifies its checksum (unless
+        *verify* is false -- :meth:`verify_all` uses that to report the
+        section name on failure).
+        """
+        view = self._views.get(name)
+        if view is None:
+            offset, dtype, shape, _ = self._specs[name]
+            count = int(np.prod(shape, dtype=np.int64))
+            view = np.frombuffer(
+                self._mm,
+                dtype=dtype,
+                count=count,
+                offset=self.data_start + offset,
+            ).reshape(shape)
+            self._views[name] = view
+        if verify and name not in self._verified:
+            self.verify(name)
+        return view
+
+    def verify(self, name: str) -> None:
+        """Check section *name* against its recorded SHA-256."""
+        if name in self._verified:
+            return
+        view = self.array(name, verify=False)
+        digest = hashlib.sha256(view.tobytes()).hexdigest()
+        # Drop the local before a potential raise: a view captured in
+        # the exception's traceback frame would pin the mapping open and
+        # turn the copy loader's close() into a BufferError that masks
+        # the checksum failure.
+        del view
+        if digest != self._specs[name][3]:
+            self._views.pop(name, None)
+            raise SnapshotError(
+                f"snapshot checksum mismatch in section {name!r} "
+                "(corrupt payload)"
+            )
+        self._verified.add(name)
+
+    def verify_all(self) -> None:
+        for name in self._specs:
+            self.verify(name)
+
+    def close(self) -> None:
+        """Drop all views and close the mapping.
+
+        Only safe once no caller-held view aliases the mapping (the copy
+        loader materialises owned arrays before calling this).
+        """
+        self._views.clear()
+        self._mm.close()
+
+
+def _check_cache_analyzer(
+    header: Dict[str, object], cache: Optional[TokenCache]
+) -> None:
     analyzer = header.get("analyzer", {})
     if cache is not None and (
         cache.stem != analyzer.get("stem")
@@ -319,6 +697,51 @@ def load_snapshot(
             f"{analyzer!r} does not match the provided cache "
             f"(stem={cache.stem}, drop_stopwords={cache.drop_stopwords})"
         )
+
+
+def load_snapshot(
+    path: PathLike,
+    cache: Optional[TokenCache] = None,
+    mode: str = "copy",
+    verify: bool = False,
+) -> InvertedIndex:
+    """Restore an :class:`InvertedIndex` written by :func:`save_snapshot`.
+
+    The snapshot format (v1 or v2) is auto-detected from the header.
+
+    *mode* selects the restore strategy for v2 snapshots: ``"copy"``
+    (default) rebuilds the classic dict-based index, ``"mmap"`` returns
+    a :class:`repro.search.mapped.MappedSnapshotIndex` whose numeric
+    state is served from shared read-only pages of the file itself --
+    no copy, and every section's checksum verified lazily on first use
+    (eagerly when *verify* is true). v1 snapshots always load via the
+    copy path, whatever *mode* says, so a fleet-wide ``--snapshot-mode
+    mmap`` default boots older snapshots too.
+
+    When *cache* is given its analyzer configuration must match the one
+    recorded in the snapshot (raises :class:`SnapshotError` otherwise);
+    on the copy path the cache is then pre-seeded with every distinct
+    text's token stream -- and, for a fresh cache, with the interned id
+    arrays and the full vocabulary -- so the first query pays zero
+    tokenisation. The mmap path skips pre-seeding by design (seeding
+    would re-materialise exactly the state mapping avoids); token
+    streams are recomputed lazily on demand instead.
+    """
+    if mode not in ("copy", "mmap"):
+        raise ValueError(f"mode must be 'copy' or 'mmap', got {mode!r}")
+    header = snapshot_info(path)
+    if header["meta"] == SNAPSHOT_MAGIC_V2:
+        if mode == "mmap":
+            return _load_v2_mapped(path, cache=cache, verify=verify)
+        return _load_v2_copy(path, cache=cache)
+    return _load_v1(path, cache=cache)
+
+
+def _load_v1(
+    path: PathLike, cache: Optional[TokenCache]
+) -> InvertedIndex:
+    header, payload = _read_payload(path)
+    _check_cache_analyzer(header, cache)
     try:
         with np.load(io.BytesIO(payload)) as npz:
             arrays = {name: npz[name] for name in npz.files}
@@ -331,8 +754,13 @@ def load_snapshot(
         vocab_tokens = _unpack_strings(
             arrays["vocab_buf"], arrays["vocab_indptr"]
         )
-        index = _rebuild_index(header, arrays, texts, article_ids,
-                               vocab_tokens, cache)
+        # json.loads rebuilds the per-entry position lists entirely in
+        # C; a Python-level loop would dominate restore time.
+        position_lists = json.loads(
+            arrays["post_positions_json"].tobytes().decode("ascii")
+        )
+        index = _rebuild_index(header, arrays, position_lists, texts,
+                               article_ids, vocab_tokens, cache)
     except SnapshotError:
         raise
     except Exception as exc:  # malformed arrays, bad zip, bad UTF-8 ...
@@ -342,9 +770,70 @@ def load_snapshot(
     return index
 
 
+def _load_v2_copy(
+    path: PathLike, cache: Optional[TokenCache]
+) -> InvertedIndex:
+    """Rebuild the classic index from a v2 snapshot (always verified)."""
+    table = SectionTable(path)
+    try:
+        _check_cache_analyzer(table.header, cache)
+        table.verify_all()
+        header = table.header
+        # np.array() copies each section out of the mapping: copy-mode
+        # callers (and the cache seeder, which retains id arrays) must
+        # own their state outright, with the file closed behind them.
+        arrays = {
+            name: np.array(table.array(name)) for name, _ in _V2_SECTIONS
+        }
+    finally:
+        table.close()
+    try:
+        texts = _unpack_strings(
+            arrays["texts_buf"], arrays["texts_indptr"]
+        )
+        article_ids = _unpack_strings(
+            arrays["articles_buf"], arrays["articles_indptr"]
+        )
+        vocab_tokens = _unpack_strings(
+            arrays["vocab_buf"], arrays["vocab_indptr"]
+        )
+        flat_positions = arrays["post_positions"].tolist()
+        pos_bounds = arrays["post_pos_indptr"].tolist()
+        position_lists = list(
+            map(
+                flat_positions.__getitem__,
+                map(slice, pos_bounds, pos_bounds[1:]),
+            )
+        )
+        index = _rebuild_index(
+            header, arrays, position_lists, texts,
+            article_ids, vocab_tokens, cache,
+        )
+    except SnapshotError:
+        raise
+    except Exception as exc:  # malformed arrays, bad UTF-8 ...
+        raise SnapshotError(f"snapshot payload unreadable: {exc}") from exc
+    if cache is not None:
+        _seed_cache(cache, arrays, texts, vocab_tokens)
+    return index
+
+
+def _load_v2_mapped(
+    path: PathLike, cache: Optional[TokenCache], verify: bool
+):
+    from repro.search.mapped import MappedSnapshotIndex
+
+    table = SectionTable(path)
+    _check_cache_analyzer(table.header, cache)
+    if verify:
+        table.verify_all()
+    return MappedSnapshotIndex(table, cache=cache)
+
+
 def _rebuild_index(
     header: Dict[str, object],
     arrays: Dict[str, np.ndarray],
+    position_lists: List[List[int]],
     texts: List[str],
     article_ids: List[str],
     vocab_tokens: List[str],
@@ -401,14 +890,11 @@ def _rebuild_index(
     token_lengths = np.diff(arrays["tok_indptr"])
     doc_lengths = token_lengths[arrays["doc_text_row"]]
 
-    # All C-level: json.loads rebuilds the per-entry position lists,
-    # then one dict(zip(...)) per token. A Python-level loop over the
-    # (token, doc) entries would dominate restore time.
+    # All C-level: one dict(zip(...)) per token over pre-sliced position
+    # lists. A Python-level loop over the (token, doc) entries would
+    # dominate restore time.
     entry_bounds = arrays["post_entry_indptr"].tolist()
     entry_doc_ids = arrays["post_doc_ids"].tolist()
-    position_lists = json.loads(
-        arrays["post_positions_json"].tobytes().decode("ascii")
-    )
     if len(position_lists) != len(entry_doc_ids):
         raise SnapshotError(
             "snapshot postings misaligned: "

@@ -273,6 +273,7 @@ def export_slices(
     index: InvertedIndex,
     out_dir: PathLike,
     num_shards: int,
+    snapshot_format: str = "v2",
 ) -> Topology:
     """Partition *index* into slice snapshots + manifest under *out_dir*.
 
@@ -282,6 +283,11 @@ def export_slices(
     source's ``index_version``, and written as a snapshot whose header
     carries ``slice`` metadata (shard id, shard count, date range) for
     O(1) layout introspection via :func:`snapshot_info`.
+
+    Slices default to the v2 layout so a worker fleet booted with
+    ``--snapshot-mode mmap`` shares each slice's index pages instead of
+    copying them per process; pass ``snapshot_format="v1"`` for the
+    legacy npz layout.
     """
     out_dir = pathlib.Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -315,6 +321,7 @@ def export_slices(
                 "start": start.isoformat() if start else None,
                 "end": end.isoformat() if end else None,
             },
+            snapshot_format=snapshot_format,
         )
         shards.append(
             ShardSlice(
@@ -339,10 +346,15 @@ def export_slices(
 
 
 def export_engine_slices(
-    engine: SearchEngine, out_dir: PathLike, num_shards: int
+    engine: SearchEngine,
+    out_dir: PathLike,
+    num_shards: int,
+    snapshot_format: str = "v2",
 ) -> Topology:
     """:func:`export_slices` over a :class:`SearchEngine`'s index."""
-    return export_slices(engine.index, out_dir, num_shards)
+    return export_slices(
+        engine.index, out_dir, num_shards, snapshot_format=snapshot_format
+    )
 
 
 @dataclass
@@ -375,11 +387,21 @@ class ShardWorkerPool:
         batch_window_ms: float = 2.0,
         boot_timeout_seconds: float = 60.0,
         extra_args: Sequence[str] = (),
+        snapshot_mode: str = "mmap",
     ) -> None:
+        if snapshot_mode not in ("copy", "mmap"):
+            raise ValueError(
+                "snapshot_mode must be 'copy' or 'mmap', "
+                f"got {snapshot_mode!r}"
+            )
         self.topology = topology
         self.batch_window_ms = batch_window_ms
         self.boot_timeout_seconds = boot_timeout_seconds
         self.extra_args = tuple(extra_args)
+        #: Restore strategy passed to every worker. ``"mmap"`` (default)
+        #: lets all workers of a slice share one physical copy of its
+        #: v2 snapshot pages; v1 slices degrade to per-worker copies.
+        self.snapshot_mode = snapshot_mode
         self.workers: List[ShardWorker] = []
 
     @property
@@ -400,6 +422,8 @@ class ShardWorkerPool:
                     "serve",
                     "--snapshot",
                     str(shard.path),
+                    "--snapshot-mode",
+                    self.snapshot_mode,
                     "--port",
                     "0",
                     "--batch-window-ms",

@@ -23,6 +23,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernels
+
 
 @dataclass(frozen=True)
 class BM25Parameters:
@@ -82,12 +84,12 @@ class BM25:
 
         self._idf = self._compute_idf(document_frequency)
         # Lazy CSR factorisation: (token -> column, doc-side matrix,
-        # per-column IDF, raw tf data + coordinates for the query side).
+        # per-column IDF, raw tf/doc data + coordinates for both sides).
         self._postings: Optional[
             Tuple[Dict[str, int], "object", np.ndarray]
         ] = None
         self._coords: Optional[
-            Tuple[np.ndarray, np.ndarray, np.ndarray]
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
         ] = None
 
     def _postings_matrix(self):
@@ -123,16 +125,20 @@ class BM25:
             # arrays can be assembled directly (no COO round trip).
             indptr = np.zeros(len(self._doc_freqs) + 1, dtype=np.int64)
             np.cumsum(lengths, out=indptr[1:])
-            k1, b = self.params.k1, self.params.b
-            norms = k1 * (1.0 - b + b * self._doc_lens / self.avgdl)
-            doc_data = (
-                tf_arr * (k1 + 1.0) / (tf_arr + norms[row_arr])
-                if len(tf_arr)
-                else tf_arr
+            doc_data = kernels.bm25_saturate(
+                tf_arr,
+                row_arr,
+                self._doc_lens,
+                self.avgdl,
+                self.params.k1,
+                self.params.b,
             )
             shape = (self.num_docs, max(len(token_index), 1))
+            # Construct from a copy: sort_indices() permutes the matrix
+            # data in place, and the raw (unsorted) doc_data is kept in
+            # _coords for pairwise_matrix's kernel call.
             doc_side = sparse.csr_matrix(
-                (doc_data, col_arr, indptr), shape=shape
+                (doc_data.copy(), col_arr, indptr), shape=shape
             )
             doc_side.sort_indices()
             # token_index assigns columns 0..n-1 in insertion order, so
@@ -146,7 +152,7 @@ class BM25:
                     count=len(token_index),
                 )
             self._postings = (token_index, doc_side, idf_per_column)
-            self._coords = (col_arr, tf_arr, indptr)
+            self._coords = (col_arr, tf_arr, indptr, doc_data)
         return self._postings
 
     def _compute_idf(
@@ -209,7 +215,13 @@ class BM25:
                 matched = True
         if not matched:
             return result
-        return np.asarray(doc_side @ query_vector, dtype=np.float64)
+        return kernels.csr_matvec(
+            doc_side.data,
+            doc_side.indices,
+            doc_side.indptr,
+            doc_side.shape,
+            query_vector,
+        )
 
     def pairwise_matrix(self) -> np.ndarray:
         """All-pairs matrix ``M[i, j] = score(doc_i as query, doc_j)``.
@@ -218,31 +230,26 @@ class BM25:
         sentence graph used by the daily summariser; the diagonal is zeroed
         because a sentence must not vote for itself.
 
-        Computed as one sparse product ``Q @ S.T`` where
-        ``Q[i, t] = count_i(t) * idf(t)`` carries the query side
-        (repeated query terms contribute additively) and
+        One :func:`repro.kernels.bm25_day_matrix` call: a sparse product
+        ``Q @ S.T`` where ``Q[i, t] = count_i(t) * idf(t)`` carries the
+        query side (repeated query terms contribute additively) and
         ``S[j, t] = tf_jt * (k1 + 1) / (tf_jt + norm_j)`` the saturated
         document side.
         """
-        from scipy import sparse
-
         n = self.num_docs
         if n == 0:
             return np.zeros((0, 0), dtype=np.float64)
         token_index, doc_side, idf_per_column = self._postings_matrix()
         if not token_index:
             return np.zeros((n, n), dtype=np.float64)
-        cols, tf_values, indptr = self._coords
-        query_side = sparse.csr_matrix(
-            (tf_values * idf_per_column[cols], cols, indptr),
-            shape=doc_side.shape,
+        cols, tf_values, indptr, doc_data = self._coords
+        return kernels.bm25_day_matrix(
+            tf_values * idf_per_column[cols],
+            doc_data,
+            cols,
+            indptr,
+            doc_side.shape,
         )
-        query_side.sort_indices()
-        matrix = (query_side @ doc_side.T).toarray().astype(
-            np.float64, copy=False
-        )
-        np.fill_diagonal(matrix, 0.0)
-        return matrix
 
 
 class BM25IdMatrices:
@@ -273,55 +280,32 @@ class BM25IdMatrices:
         lengths = np.fromiter(
             (len(ids) for ids in id_arrays), dtype=np.int64, count=n
         )
-        doc_lens = lengths.astype(np.float64)
-        mean_len = float(doc_lens.mean()) if n else 0.0
-        self.avgdl = mean_len if mean_len > 0 else 1.0
-
-        total = int(lengths.sum())
-        if total == 0:
-            empty = sparse.csr_matrix((n, width), dtype=np.float64)
-            self.query_side = empty
-            self.doc_side = empty.copy()
-            self.idf_per_column = np.zeros(width, dtype=np.float64)
-            return
-
-        ids_cat = np.concatenate(
-            [np.asarray(ids, dtype=np.int64) for ids in id_arrays if len(ids)]
-        )
-        row_arr = np.repeat(np.arange(n, dtype=np.int64), lengths)
-        # One sorted unique over the composite key yields, in canonical
-        # CSR order, every (document, token) posting and its tf.
-        composite = row_arr * width + ids_cat
-        postings, tf_counts = np.unique(composite, return_counts=True)
-        rows = postings // width
-        cols = postings % width
-        tf_arr = tf_counts.astype(np.float64)
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
-
-        # IDF: df counts unique (document, token) pairs per token; one
-        # math.log per *distinct* df, applied by table lookup.
-        df = np.bincount(cols, minlength=width)
-        present = np.flatnonzero(df)
-        distinct_dfs = np.unique(df[present])
-        table = np.zeros(int(distinct_dfs.max()) + 1, dtype=np.float64)
-        for value in distinct_dfs.tolist():
-            table[value] = math.log(
-                1.0 + (n - value + 0.5) / (value + 0.5)
+        if int(lengths.sum()):
+            ids_cat = np.concatenate(
+                [
+                    np.asarray(ids, dtype=np.int64)
+                    for ids in id_arrays
+                    if len(ids)
+                ]
             )
-        idf_per_column = np.zeros(width, dtype=np.float64)
-        idf_per_column[present] = table[df[present]]
-        self.idf_per_column = idf_per_column
-
-        k1, b = params.k1, params.b
-        norms = k1 * (1.0 - b + b * doc_lens / self.avgdl)
-        doc_data = tf_arr * (k1 + 1.0) / (tf_arr + norms[rows])
+        else:
+            ids_cat = np.zeros(0, dtype=np.int64)
+        (
+            indptr,
+            cols,
+            doc_data,
+            query_data,
+            self.idf_per_column,
+            self.avgdl,
+        ) = kernels.bm25_build(
+            ids_cat, lengths, vocabulary_size, params.k1, params.b
+        )
         shape = (n, width)
         self.doc_side = sparse.csr_matrix(
             (doc_data, cols, indptr), shape=shape
         )
         self.query_side = sparse.csr_matrix(
-            (tf_arr * idf_per_column[cols], cols, indptr), shape=shape
+            (query_data, cols, indptr), shape=shape
         )
 
     def scores(self, query_ids: Sequence[int]) -> np.ndarray:
@@ -339,7 +323,13 @@ class BM25IdMatrices:
                     matched = True
         if not matched:
             return result
-        return np.asarray(self.doc_side @ query_vector, dtype=np.float64)
+        return kernels.csr_matvec(
+            self.doc_side.data,
+            self.doc_side.indices,
+            self.doc_side.indptr,
+            self.doc_side.shape,
+            query_vector,
+        )
 
     def pairwise_matrix(self) -> np.ndarray:
         """All-pairs ``M[i, j] = score(doc_i as query, doc_j)``, zero
@@ -347,8 +337,12 @@ class BM25IdMatrices:
         n = self.num_docs
         if n == 0:
             return np.zeros((0, 0), dtype=np.float64)
-        matrix = (self.query_side @ self.doc_side.T).toarray().astype(
-            np.float64, copy=False
+        # Both sides share one canonically ordered CSR structure, so the
+        # kernel's private re-sort is a no-op permutation.
+        return kernels.bm25_day_matrix(
+            self.query_side.data,
+            self.doc_side.data,
+            self.doc_side.indices,
+            self.doc_side.indptr,
+            self.doc_side.shape,
         )
-        np.fill_diagonal(matrix, 0.0)
-        return matrix

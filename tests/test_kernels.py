@@ -1,0 +1,291 @@
+"""Purity suite for :mod:`repro.kernels`.
+
+The kernels module carries one behavioural contract beyond numerics:
+every entry point is a pure function over arrays -- it must run on
+``writeable=False`` inputs (the shape mmap-backed snapshot views arrive
+in) and must leave every input bit-identical. Each kernel is exercised
+twice here: once on frozen arrays (any in-place write raises), once
+under hypothesis with byte-level before/after comparison on writeable
+arrays (catching writes that frozen flags alone would mask, e.g. through
+a scipy matrix aliasing the input buffer).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+
+
+def _freeze(*arrays):
+    for array in arrays:
+        array.setflags(write=False)
+    return arrays
+
+
+def _snapshot_bytes(arrays):
+    return [array.tobytes() for array in arrays]
+
+
+def _assert_unchanged(arrays, before):
+    for array, expected in zip(arrays, before):
+        assert array.tobytes() == expected, "kernel mutated an input"
+
+
+def _bm25_fixture():
+    """A small but non-trivial postings layout (3 docs, 4 terms)."""
+    ids_cat = np.array([0, 1, 1, 2, 0, 3, 3, 3, 2], dtype=np.int64)
+    row_lengths = [4, 2, 3]
+    return ids_cat, row_lengths
+
+
+class TestFrozenInputs:
+    """Every kernel runs on writeable=False arrays without writing."""
+
+    def test_bm25_build(self):
+        ids_cat, row_lengths = _bm25_fixture()
+        _freeze(ids_cat)
+        indptr, cols, doc_data, query_data, idf, avgdl = (
+            kernels.bm25_build(ids_cat, row_lengths, 4, 1.2, 0.75)
+        )
+        assert indptr[-1] == len(cols) == len(doc_data)
+        assert avgdl == pytest.approx(3.0)
+
+    def test_bm25_saturate(self):
+        tf = np.array([1.0, 2.0, 1.0], dtype=np.float64)
+        rows = np.array([0, 0, 1], dtype=np.int64)
+        doc_lengths = np.array([3.0, 2.0], dtype=np.float64)
+        _freeze(tf, rows, doc_lengths)
+        out = kernels.bm25_saturate(tf, rows, doc_lengths, 2.5, 1.2, 0.75)
+        assert out.shape == tf.shape
+        assert not np.shares_memory(out, tf)
+
+    def test_csr_matvec(self):
+        data = np.array([1.0, 2.0, 3.0], dtype=np.float64)
+        indices = np.array([0, 2, 1], dtype=np.int32)
+        indptr = np.array([0, 2, 3], dtype=np.int32)
+        vector = np.array([1.0, 1.0, 1.0], dtype=np.float64)
+        _freeze(data, indices, indptr, vector)
+        out = kernels.csr_matvec(data, indices, indptr, (2, 3), vector)
+        assert out.tolist() == [3.0, 3.0]
+
+    def test_bm25_day_matrix(self):
+        ids_cat, row_lengths = _bm25_fixture()
+        indptr, cols, doc_data, query_data, _, _ = kernels.bm25_build(
+            ids_cat, row_lengths, 4, 1.2, 0.75
+        )
+        _freeze(indptr, cols, doc_data, query_data)
+        matrix = kernels.bm25_day_matrix(
+            query_data, doc_data, cols, indptr, (3, 4)
+        )
+        assert matrix.shape == (3, 3)
+        assert np.diagonal(matrix).tolist() == [0.0, 0.0, 0.0]
+
+    def test_pagerank_iterate(self):
+        transition = np.array(
+            [[0.0, 1.0], [0.5, 0.5]], dtype=np.float64
+        )
+        restart = np.full(2, 0.5)
+        dangling = np.zeros(2, dtype=bool)
+        _freeze(transition, restart, dangling)
+        rank, iterations = kernels.pagerank_iterate(
+            transition, restart, dangling, 0.85, 200, 1e-10
+        )
+        assert rank.sum() == pytest.approx(1.0)
+        assert iterations >= 1
+
+    def test_redundancy_accept(self):
+        # Two identical unit rows + one orthogonal: positions 0 and 2
+        # survive, position 1 is redundant against 0.
+        data = np.array([1.0, 1.0, 1.0], dtype=np.float64)
+        indices = np.array([0, 0, 1], dtype=np.int32)
+        indptr = np.array([0, 1, 2, 3], dtype=np.int32)
+        _freeze(data, indices, indptr)
+        accepted = kernels.redundancy_accept(
+            data, indices, indptr, 3, 2, None, None, None, 0, 0.5
+        )
+        assert accepted == [0, 2]
+
+
+class TestBitUnchangedInputs:
+    """Byte-level before/after equality on writeable inputs.
+
+    Frozen flags catch direct writes but not mutation through an alias
+    (e.g. a scipy csr_matrix wrapping the caller's data buffer and
+    sorting it in place); comparing raw bytes catches both.
+    """
+
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=5),
+                min_size=1,
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bm25_build_and_day_matrix(self, docs):
+        ids_cat = np.array(
+            [t for doc in docs for t in doc], dtype=np.int64
+        )
+        row_lengths = [len(doc) for doc in docs]
+        inputs = (ids_cat,)
+        before = _snapshot_bytes(inputs)
+        indptr, cols, doc_data, query_data, _, _ = kernels.bm25_build(
+            ids_cat, row_lengths, 6, 1.2, 0.75
+        )
+        _assert_unchanged(inputs, before)
+
+        stage2 = (indptr, cols, doc_data, query_data)
+        before2 = _snapshot_bytes(stage2)
+        kernels.bm25_day_matrix(
+            query_data, doc_data, cols, indptr, (len(docs), 6)
+        )
+        _assert_unchanged(stage2, before2)
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pagerank_iterate(self, n, seed):
+        rng = np.random.RandomState(seed)
+        matrix = rng.rand(n, n)
+        matrix[rng.rand(n) < 0.3] = 0.0  # some dangling rows
+        out_weights = matrix.sum(axis=1)
+        dangling = out_weights == 0
+        safe = np.where(dangling, 1.0, out_weights)
+        transition = matrix / safe[:, None]
+        restart = np.full(n, 1.0 / n)
+        inputs = (transition, restart, dangling)
+        before = _snapshot_bytes(inputs)
+        rank, _ = kernels.pagerank_iterate(
+            transition, restart, dangling, 0.85, 100, 1e-10
+        )
+        _assert_unchanged(inputs, before)
+        assert rank.sum() == pytest.approx(1.0)
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0, width=32),
+                min_size=3,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_redundancy_accept(self, rows, threshold):
+        from scipy import sparse
+
+        dense = np.asarray(rows, dtype=np.float64)
+        norms = np.linalg.norm(dense, axis=1, keepdims=True)
+        dense = np.divide(
+            dense, norms, out=np.zeros_like(dense), where=norms > 0
+        )
+        candidates = sparse.csr_matrix(dense)
+        inputs = (
+            candidates.data.copy(),
+            candidates.indices.copy(),
+            candidates.indptr.copy(),
+        )
+        before = _snapshot_bytes(inputs)
+        kernels.redundancy_accept(
+            inputs[0], inputs[1], inputs[2],
+            dense.shape[0], dense.shape[1],
+            None, None, None, 0, threshold,
+        )
+        _assert_unchanged(inputs, before)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=5.0),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_csr_matvec_and_saturate(self, values):
+        data = np.asarray(values, dtype=np.float64)
+        indices = np.arange(len(values), dtype=np.int32)
+        indptr = np.array([0, len(values)], dtype=np.int64)
+        vector = np.ones(len(values), dtype=np.float64)
+        inputs = (data, indices, indptr, vector)
+        before = _snapshot_bytes(inputs)
+        kernels.csr_matvec(
+            data, indices, indptr, (1, len(values)), vector
+        )
+        _assert_unchanged(inputs, before)
+
+        rows = np.zeros(len(values), dtype=np.int64)
+        doc_lengths = np.array([float(len(values))])
+        inputs2 = (data, rows, doc_lengths)
+        before2 = _snapshot_bytes(inputs2)
+        kernels.bm25_saturate(
+            data, rows, doc_lengths, max(doc_lengths[0], 1.0), 1.2, 0.75
+        )
+        _assert_unchanged(inputs2, before2)
+
+
+class TestKernelSemantics:
+    """Numeric spot checks against the classic formulations."""
+
+    def test_bm25_build_matches_reference_idf(self):
+        import math
+
+        ids_cat, row_lengths = _bm25_fixture()
+        _, cols, _, _, idf, _ = kernels.bm25_build(
+            ids_cat, row_lengths, 4, 1.2, 0.75
+        )
+        # Token 0 appears in docs 0 and 1 -> df = 2 of 3.
+        expected = math.log(1.0 + (3 - 2 + 0.5) / (2 + 0.5))
+        assert idf[0] == pytest.approx(expected)
+
+    def test_csr_matvec_matches_scipy(self):
+        from scipy import sparse
+
+        rng = np.random.RandomState(7)
+        dense = rng.rand(4, 5)
+        dense[dense < 0.5] = 0.0
+        matrix = sparse.csr_matrix(dense)
+        vector = rng.rand(5)
+        out = kernels.csr_matvec(
+            matrix.data, matrix.indices, matrix.indptr,
+            matrix.shape, vector,
+        )
+        np.testing.assert_allclose(out, dense @ vector)
+
+    def test_pagerank_uniform_on_complete_graph(self):
+        n = 4
+        transition = np.full((n, n), 1.0 / n)
+        restart = np.full(n, 1.0 / n)
+        dangling = np.zeros(n, dtype=bool)
+        rank, _ = kernels.pagerank_iterate(
+            transition, restart, dangling, 0.85, 200, 1e-12
+        )
+        np.testing.assert_allclose(rank, restart)
+
+    def test_redundancy_accept_against_pool(self):
+        from scipy import sparse
+
+        accepted_pool = sparse.csr_matrix(
+            np.array([[1.0, 0.0]], dtype=np.float64)
+        )
+        candidates = sparse.csr_matrix(
+            np.array([[1.0, 0.0], [0.0, 1.0]], dtype=np.float64)
+        )
+        accepted = kernels.redundancy_accept(
+            candidates.data, candidates.indices, candidates.indptr,
+            2, 2,
+            accepted_pool.data, accepted_pool.indices,
+            accepted_pool.indptr, 1,
+            0.5,
+        )
+        assert accepted == [1]

@@ -1,0 +1,348 @@
+"""The v2 (page-aligned, mmap-able) snapshot layout end to end.
+
+Three contracts, per docs/architecture.md "Snapshot memory model":
+
+* **exactness** -- a v2 snapshot loaded any way (``mode="copy"`` or
+  ``mode="mmap"``) reconstructs exactly the state the v1 copy path
+  produces: postings, positions, dates, documents, search hits, and the
+  canonical served-timeline JSON are byte-identical across all three;
+* **read-only views** -- the mmap path hands out an index backed by
+  ``MAP_SHARED`` read-only pages: mutation is refused up front, and the
+  mapped index can itself be re-snapshotted losslessly;
+* **corruption is loud** -- a truncated section, a flipped payload
+  byte, or a tampered header descriptor raises
+  :class:`~repro.search.snapshot.SnapshotError`, and a failed load
+  never leaves partial state behind.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.search.engine import SearchEngine
+from repro.search.index import InvertedIndex
+from repro.search.mapped import MappedSnapshotIndex
+from repro.search.query import SearchQuery
+from repro.search.realtime import RealTimeTimelineSystem
+from repro.search.snapshot import (
+    SNAPSHOT_MAGIC_V2,
+    SNAPSHOT_FORMAT_VERSION_V2,
+    SectionTable,
+    SnapshotError,
+    load_snapshot,
+    save_snapshot,
+    snapshot_info,
+)
+from repro.serve import canonical_json
+from repro.text.analysis import TokenCache
+from repro.tlsdata.synthetic import SyntheticConfig, SyntheticCorpusGenerator
+
+
+@pytest.fixture(scope="module")
+def instance():
+    config = SyntheticConfig(
+        topic="snapshot-v2-test",
+        theme="disaster",
+        seed=29,
+        duration_days=40,
+        num_events=8,
+        num_major_events=4,
+        num_articles=12,
+        sentences_per_article=6,
+    )
+    return SyntheticCorpusGenerator(config).generate()
+
+
+@pytest.fixture(scope="module")
+def engine(instance):
+    engine = SearchEngine(cache=TokenCache())
+    engine.add_articles(instance.corpus.articles)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def v1_path(engine, tmp_path_factory):
+    path = tmp_path_factory.mktemp("snapv2") / "index.v1.snap"
+    engine.save_snapshot(path, snapshot_format="v1")
+    return path
+
+
+@pytest.fixture(scope="module")
+def v2_path(engine, tmp_path_factory):
+    path = tmp_path_factory.mktemp("snapv2") / "index.v2.snap"
+    engine.save_snapshot(path, snapshot_format="v2")
+    return path
+
+
+def _corrupt_copy(v2_path, tmp_path, mutate):
+    """A private copy of the v2 snapshot with *mutate(bytearray)* applied."""
+    raw = bytearray(v2_path.read_bytes())
+    mutate(raw)
+    path = tmp_path / "corrupt.snap"
+    path.write_bytes(bytes(raw))
+    return path
+
+
+def _flip_section_byte(v2_path, tmp_path, section):
+    """A private copy with one payload byte of *section* inverted.
+
+    Section offsets in the header are relative to ``data_start`` (the
+    first 4096-byte boundary past the header line), so the absolute
+    file position has to account for it.
+    """
+    raw = bytearray(v2_path.read_bytes())
+    header_len = raw.index(b"\n") + 1
+    data_start = -(-header_len // 4096) * 4096
+    offset = snapshot_info(v2_path)["sections"][section]["offset"]
+    raw[data_start + offset] ^= 0x01
+    path = tmp_path / f"corrupt-{section}.snap"
+    path.write_bytes(bytes(raw))
+    return path
+
+
+def _header_copy(v2_path, tmp_path, edit):
+    """A private copy with *edit(header_dict)* applied to the JSON header."""
+    raw = v2_path.read_bytes()
+    newline = raw.index(b"\n")
+    header = json.loads(raw[:newline].decode("utf-8"))
+    edit(header)
+    line = json.dumps(header, separators=(",", ":")).encode("utf-8") + b"\n"
+    # Pad with spaces before the newline so every section offset is
+    # preserved -- only the edited descriptor changes meaning.
+    if len(line) > newline + 1:
+        pytest.skip("edited header does not fit in the original slot")
+    padded = line[:-1] + b" " * (newline + 1 - len(line)) + b"\n"
+    path = tmp_path / "tampered.snap"
+    path.write_bytes(padded + raw[newline + 1:])
+    return path
+
+
+def _index_state(index):
+    """Everything observable about an index, as plain JSON-able data."""
+    docs = [
+        (
+            doc.text,
+            doc.date.isoformat(),
+            doc.publication_date.isoformat(),
+            doc.article_id,
+            doc.is_reference,
+        )
+        for doc in (index.document(i) for i in range(len(index)))
+    ]
+    tokens = sorted(index.postings_map())
+    return {
+        "version": index.index_version,
+        "num_documents": index.num_documents,
+        "total_length": index.total_length,
+        "vocabulary_size": index.vocabulary_size(),
+        "documents": docs,
+        "postings": {
+            token: sorted(index.postings(token).items()) for token in tokens
+        },
+        "positions": {
+            token: {
+                doc_id: index.positions(token, doc_id)
+                for doc_id in index.postings(token)
+            }
+            for token in tokens
+        },
+        "dates": [day.isoformat() for day in index.dates()],
+        "histogram": {
+            day.isoformat(): count
+            for day, count in index.date_histogram().items()
+        },
+    }
+
+
+def _served_bytes(engine, instance):
+    system = RealTimeTimelineSystem(engine=engine, cache=engine.cache)
+    start, end = instance.corpus.window
+    timeline = system.generate_timeline(
+        instance.corpus.query, start=start, end=end,
+        num_dates=5, num_sentences=2,
+    )
+    return canonical_json(timeline.timeline.to_dict())
+
+
+class TestExactness:
+    def test_header_describes_v2(self, engine, v2_path):
+        info = snapshot_info(v2_path)
+        assert info["meta"] == SNAPSHOT_MAGIC_V2
+        assert info["format_version"] == SNAPSHOT_FORMAT_VERSION_V2
+        assert info["documents"] == len(engine.index)
+        for descriptor in info["sections"].values():
+            assert descriptor["offset"] % np.dtype(descriptor["dtype"]).itemsize == 0
+            assert len(descriptor["sha256"]) == 64
+
+    def test_state_identical_across_all_load_paths(self, v1_path, v2_path):
+        reference = _index_state(load_snapshot(v1_path))
+        assert _index_state(load_snapshot(v2_path, mode="copy")) == reference
+        assert _index_state(load_snapshot(v2_path, mode="mmap")) == reference
+
+    def test_mmap_load_is_a_mapped_view(self, v2_path):
+        index = load_snapshot(v2_path, mode="mmap")
+        assert isinstance(index, MappedSnapshotIndex)
+        assert index.mapped_sections > 0
+        assert index.mapped_bytes > 0
+
+    def test_search_hits_identical(self, engine, v2_path):
+        mapped = SearchEngine.load_snapshot(v2_path, mode="mmap")
+        query = SearchQuery(keywords=("flood", "rescue"), limit=20)
+        expected = engine.search(query)
+        actual = mapped.search(query)
+        assert [h.document.doc_id for h in actual] == [
+            h.document.doc_id for h in expected
+        ]
+        assert [h.score for h in actual] == pytest.approx(
+            [h.score for h in expected]
+        )
+
+    def test_served_bytes_identical_across_tiers(
+        self, instance, v1_path, v2_path
+    ):
+        reference = _served_bytes(
+            SearchEngine.load_snapshot(v1_path), instance
+        )
+        for path, mode in ((v2_path, "copy"), (v2_path, "mmap")):
+            assert (
+                _served_bytes(
+                    SearchEngine.load_snapshot(path, mode=mode), instance
+                )
+                == reference
+            ), f"served JSON diverged for {mode} load"
+
+    def test_mapped_index_resnapshots_losslessly(self, v2_path, tmp_path):
+        mapped = load_snapshot(v2_path, mode="mmap")
+        again = tmp_path / "again.snap"
+        save_snapshot(mapped, again, snapshot_format="v2")
+        assert _index_state(load_snapshot(again, mode="copy")) == _index_state(
+            mapped
+        )
+
+    def test_fresh_cache_seeded_on_v2_copy_load(self, v2_path):
+        cache = TokenCache()
+        index = load_snapshot(v2_path, mode="copy", cache=cache)
+        assert cache.stats().misses == 0
+        for doc_id in range(len(index)):
+            cache.tokens(index.document(doc_id).text)
+        assert cache.stats().misses == 0
+
+
+class TestReadOnlySemantics:
+    def test_mapped_index_refuses_mutation(self, v2_path):
+        mapped = load_snapshot(v2_path, mode="mmap")
+        import datetime
+
+        day = datetime.date(2024, 1, 1)
+        with pytest.raises(TypeError, match="read-only"):
+            mapped.add("New sentence.", day, day)
+
+    def test_v1_snapshot_falls_back_to_copy_path(self, v1_path):
+        # A fleet-wide --snapshot-mode mmap must still boot a worker
+        # whose shard is a v1 file: v1 always takes the copy path.
+        index = load_snapshot(v1_path, mode="mmap")
+        assert not isinstance(index, MappedSnapshotIndex)
+        assert len(index) > 0
+
+    def test_section_table_refuses_v1(self, v1_path):
+        with pytest.raises(SnapshotError, match="wilson.snapshot/v2"):
+            SectionTable(v1_path)
+
+    def test_unknown_mode_rejected(self, v2_path):
+        with pytest.raises(ValueError, match="mode"):
+            load_snapshot(v2_path, mode="slurp")
+
+    def test_v1_loads_regardless_of_requested_mode_validity(self, v1_path):
+        # v1 files always take the copy path; mode="copy" is explicit.
+        index = load_snapshot(v1_path, mode="copy")
+        assert len(index) > 0
+
+
+class TestCorruption:
+    def test_truncated_section_rejected(self, v2_path, tmp_path):
+        truncated = tmp_path / "truncated.snap"
+        raw = v2_path.read_bytes()
+        truncated.write_bytes(raw[: len(raw) - 4096])
+        with pytest.raises(SnapshotError, match="overruns|truncated"):
+            load_snapshot(truncated, mode="mmap")
+
+    def test_flipped_payload_byte_fails_checksum_eagerly_on_copy(
+        self, v2_path, tmp_path
+    ):
+        path = _flip_section_byte(v2_path, tmp_path, "texts_buf")
+        with pytest.raises(SnapshotError, match="checksum"):
+            load_snapshot(path, mode="copy")
+
+    def test_flipped_payload_byte_fails_checksum_with_verify(
+        self, v2_path, tmp_path
+    ):
+        path = _flip_section_byte(v2_path, tmp_path, "doc_dates")
+        with pytest.raises(SnapshotError, match="checksum"):
+            load_snapshot(path, mode="mmap", verify=True)
+
+    def test_lazy_mmap_detects_corruption_on_section_access(
+        self, v2_path, tmp_path
+    ):
+        path = _flip_section_byte(v2_path, tmp_path, "doc_lengths")
+        # Lazy mode maps fine; the checksum trips on first access of the
+        # damaged section.
+        mapped = load_snapshot(path, mode="mmap")
+        with pytest.raises(SnapshotError, match="doc_lengths"):
+            mapped.total_length
+
+    def test_tampered_offset_rejected(self, v2_path, tmp_path):
+        def push_section_past_eof(header):
+            descriptor = header["sections"]["doc_dates"]
+            descriptor["offset"] = header["payload_bytes"] * 8
+
+        path = _header_copy(v2_path, tmp_path, push_section_past_eof)
+        with pytest.raises(SnapshotError, match="overruns"):
+            load_snapshot(path, mode="mmap")
+
+    def test_misaligned_offset_rejected(self, v2_path, tmp_path):
+        def nudge(header):
+            header["sections"]["doc_dates"]["offset"] += 1
+
+        path = _header_copy(v2_path, tmp_path, nudge)
+        with pytest.raises(SnapshotError, match="misaligned"):
+            load_snapshot(path, mode="mmap")
+
+    def test_missing_section_rejected(self, v2_path, tmp_path):
+        def drop(header):
+            del header["sections"]["doc_dates"]
+
+        path = _header_copy(v2_path, tmp_path, drop)
+        with pytest.raises(SnapshotError, match="missing sections"):
+            load_snapshot(path, mode="mmap")
+
+    def test_malformed_descriptor_rejected(self, v2_path, tmp_path):
+        def mangle(header):
+            header["sections"]["doc_dates"] = {"offset": 0}
+
+        path = _header_copy(v2_path, tmp_path, mangle)
+        with pytest.raises(SnapshotError, match="malformed"):
+            load_snapshot(path, mode="mmap")
+
+    def test_failed_load_leaves_no_partial_state(self, v2_path, tmp_path):
+        # A corrupt payload must not seed the cache it was given.
+        path = _flip_section_byte(v2_path, tmp_path, "tok_ids")
+        cache = TokenCache()
+        with pytest.raises(SnapshotError):
+            load_snapshot(path, mode="copy", cache=cache)
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_section_table_verify_is_memoized(self, v2_path):
+        table = SectionTable(v2_path)
+        try:
+            table.verify("doc_dates")
+            assert "doc_dates" in table._verified
+            table.verify("doc_dates")  # second call is a no-op
+            array = table.array("doc_dates")
+            assert not array.flags.writeable
+            # Views alias the mapping: drop them before close() (which
+            # would otherwise refuse with BufferError).
+            del array
+        finally:
+            table.close()
