@@ -12,12 +12,17 @@ directory, numeric metrics are compared leaf-by-leaf (nested dicts
 flatten to dotted paths).  The direction of "better" is inferred from
 the metric path:
 
-* paths ending in ``_seconds`` (or containing ``seconds``/``latency``)
-  are **lower-is-better**;
+* paths ending in ``_seconds`` (or containing ``seconds``/``latency``
+  or ``error`` -- error counts and error rates) are **lower-is-better**;
 * paths containing ``speedup``, ``qps`` or ``throughput`` are
   **higher-is-better**;
 * anything else (counts, scales, configuration echoes) is skipped --
   those are descriptive, not performance claims.
+
+A lower-is-better metric whose baseline is exactly zero (the
+availability drills commit ``errors = 0``) regresses on *any* nonzero
+current value -- there is no sensible relative tolerance above a
+perfect baseline.
 
 A metric regresses when it is worse than baseline by more than the
 tolerance (default 20%).  Regressions always print; they fail the run
@@ -37,7 +42,7 @@ from typing import Dict, Iterator, List, Tuple
 
 BASELINE_DIR = pathlib.Path(__file__).parent / "baselines"
 
-LOWER_IS_BETTER = ("seconds", "latency")
+LOWER_IS_BETTER = ("seconds", "latency", "error")
 HIGHER_IS_BETTER = ("speedup", "qps", "throughput")
 
 
@@ -79,6 +84,13 @@ def compare_metrics(
             continue
         value = current_values[path]
         if base_value == 0:
+            # No relative change exists above a zero baseline. For
+            # lower-is-better metrics (error counts/rates) any nonzero
+            # value is a regression; otherwise skip.
+            if sign < 0 and value > 0:
+                regressions.append(
+                    f"{path}: {value:.4g} vs zero baseline"
+                )
             continue
         change = (value - base_value) / abs(base_value)
         if sign * change < -tolerance:

@@ -15,12 +15,12 @@ Subcommands:
   ``--snapshot PATH`` the index boots from a binary snapshot in O(read)
   (a corrupt snapshot logs a warning and falls back to re-indexing);
   with ``--shards N`` the corpus is partitioned into N date-range
-  slices, one worker process boots per slice, and a scatter-gather
-  router serves the same routes in front of them (see
-  :mod:`repro.serve.router`);
+  slices, ``--replicas R`` worker processes boot per slice, and a
+  scatter-gather router with health-based replica failover serves the
+  same routes in front of them (see :mod:`repro.serve.router`);
 * ``route`` -- boot only the scatter-gather router over an existing
   topology directory and already-running workers (``--endpoint`` per
-  shard, in shard order);
+  worker, shard-major replica order);
 * ``snapshot`` -- build a binary index snapshot (see
   :mod:`repro.search.snapshot`) from a corpus file, a saved JSONL index
   (``--from-index``), or the synthetic demo corpus; ``--shards N``
@@ -151,8 +151,17 @@ def _add_router_flags(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         metavar="N",
-        help="re-attempts before a failing shard is dropped from the "
-             "merge (default %(default)s)",
+        help="extra attempts beyond one per replica before a failing "
+             "shard is dropped from the merge (default %(default)s)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="R",
+        help="worker replicas per shard slice; a replica error fails "
+             "over to a sibling before the response degrades "
+             "(default %(default)s)",
     )
 
 
@@ -460,11 +469,15 @@ def _run_router_blocking(
 
     def ready(router) -> None:
         warmup = time.perf_counter() - boot_started
+        replicas = getattr(args, "replicas", 1)
+        layout = f"{topology.num_shards} shards"
+        if replicas > 1:
+            layout += f" x {replicas} replicas"
         # Flushed before blocking so supervisors and the smoke tests can
         # parse the bound port even with --port 0.
         print(
             f"routing on http://{config.host}:{router.port} "
-            f"({topology.num_shards} shards, "
+            f"({layout}, "
             f"{topology.total_documents} documents, "
             f"index_version {topology.source_index_version}, "
             f"warmup {warmup:.3f}s)",
@@ -515,21 +528,28 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
     )
     _print_shard_layout(topology)
     pool = ShardWorkerPool(
-        topology, batch_window_ms=args.batch_window_ms
+        topology,
+        batch_window_ms=args.batch_window_ms,
+        replicas=args.replicas,
     )
     try:
         for worker in pool.start():
             # One parseable line per worker: the smoke tests and the CI
-            # degradation drill kill a shard by this pid.
+            # degradation/failover drills kill a worker by this pid.
+            # The replica suffix only appears on replicated fleets so
+            # single-replica tooling keeps matching the classic line.
+            replica = (
+                f" replica {worker.replica_id}" if pool.replicas > 1 else ""
+            )
             print(
-                f"shard {worker.shard_id}: pid {worker.process.pid} "
-                f"on {worker.base_url}",
+                f"shard {worker.shard_id}{replica}: "
+                f"pid {worker.process.pid} on {worker.base_url}",
                 flush=True,
             )
         return _run_router_blocking(
             args,
             topology,
-            pool.endpoints,
+            pool.replica_groups,
             metrics,
             system.wilson,
             boot_started,
@@ -549,13 +569,22 @@ def _cmd_route(args: argparse.Namespace) -> int:
 
     boot_started = time.perf_counter()
     topology = Topology.load(args.topology)
-    if len(args.endpoint) != topology.num_shards:
+    replicas = max(1, args.replicas)
+    expected = topology.num_shards * replicas
+    if len(args.endpoint) != expected:
         print(
-            f"error: topology has {topology.num_shards} shards but "
+            f"error: topology has {topology.num_shards} shards x "
+            f"{replicas} replicas = {expected} workers but "
             f"{len(args.endpoint)} --endpoint values were given",
             file=sys.stderr,
         )
         return 2
+    # Endpoints are given shard-major: all of shard 0's replicas first,
+    # then shard 1's, matching the ShardWorkerPool boot/banner order.
+    groups = [
+        args.endpoint[shard_id * replicas:(shard_id + 1) * replicas]
+        for shard_id in range(topology.num_shards)
+    ]
     _print_shard_layout(topology)
     wilson = Wilson(
         WilsonConfig(
@@ -564,7 +593,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
         )
     )
     return _run_router_blocking(
-        args, topology, args.endpoint, Metrics(), wilson, boot_started
+        args, topology, groups, Metrics(), wilson, boot_started
     )
 
 
@@ -969,8 +998,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         required=True,
         metavar="URL",
-        help="one worker base URL per shard, in shard-id order "
-             "(repeat the flag)",
+        help="one worker base URL per shard replica, shard-major "
+             "(shard 0's replicas first; repeat the flag; "
+             "shards x --replicas values total)",
     )
     route.add_argument(
         "--host", default="127.0.0.1",

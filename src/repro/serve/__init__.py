@@ -20,14 +20,23 @@ corpus partitions into date-range snapshot slices
 (:mod:`repro.serve.topology`), each slice boots as its own worker
 process, and a scatter-gather :class:`~repro.serve.router.TimelineRouter`
 merges per-shard candidates into responses byte-identical to
-single-index serving -- degrading to partial results (HTTP 200 +
-``X-Wilson-Degraded``) when shards fail (:mod:`repro.serve.router`).
+single-index serving. Each slice can run R worker **replicas**
+(:mod:`repro.serve.health`): the router tracks per-replica health
+(healthy / suspect / dead) from passive outcomes and active probes,
+balances load with power-of-two-choices, and fails a dying replica's
+request over to a sibling -- degrading to partial results (HTTP 200 +
+``X-Wilson-Degraded``) only when a whole slice is down
+(:mod:`repro.serve.router`).
 
 Start one from the command line with ``wilson-tls serve`` (or
-``wilson-tls serve --shards N`` for a sharded topology).
+``wilson-tls serve --shards N --replicas R`` for a sharded topology).
 """
 
-from repro.serve.admission import AdmissionController, ShardAdmission
+from repro.serve.admission import (
+    AdmissionController,
+    InflightTracker,
+    ShardAdmission,
+)
 from repro.serve.app import (
     SERVE_COUNTERS,
     SERVE_GAUGES,
@@ -49,6 +58,18 @@ from repro.serve.cache import (
     make_cache_key,
     make_merge_cache_key,
     normalize_keywords,
+)
+from repro.serve.health import (
+    DEAD,
+    HEALTHY,
+    REPLICA_COUNTERS,
+    REPLICA_GAUGES,
+    REPLICA_METRIC_NAMES,
+    REPLICA_STATES,
+    SUSPECT,
+    HealthConfig,
+    ReplicaHealth,
+    replica_keys,
 )
 from repro.serve.router import (
     DEGRADED_HEADER,
@@ -78,17 +99,27 @@ from repro.serve.topology import (
 __all__ = [
     "AdmissionController",
     "BackgroundServer",
+    "DEAD",
     "DEGRADED_HEADER",
+    "HEALTHY",
+    "HealthConfig",
     "HttpServerBase",
+    "InflightTracker",
     "MergeResult",
     "MergedHit",
     "MicroBatcher",
+    "REPLICA_COUNTERS",
+    "REPLICA_GAUGES",
+    "REPLICA_METRIC_NAMES",
+    "REPLICA_STATES",
     "ROUTER_COUNTERS",
     "ROUTER_GAUGES",
     "ROUTER_HISTOGRAMS",
     "ROUTER_METRIC_NAMES",
+    "ReplicaHealth",
     "ResultCache",
     "RouterConfig",
+    "SUSPECT",
     "SERVE_COUNTERS",
     "SERVE_GAUGES",
     "SERVE_HISTOGRAMS",
@@ -114,6 +145,7 @@ __all__ = [
     "parse_search_query",
     "parse_timeline_payload",
     "plan_date_ranges",
+    "replica_keys",
     "run_router",
     "run_server",
 ]

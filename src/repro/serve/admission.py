@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Dict, Optional
+from typing import Dict, Hashable, Optional, Sequence
 
 
 class AdmissionController:
@@ -114,6 +114,48 @@ class AdmissionController:
                 "shed": self._shed,
                 "draining": int(self._draining),
             }
+
+
+class InflightTracker:
+    """Thread-safe per-key in-flight counters (no admission verdicts).
+
+    The load-accounting primitive under the replica selector
+    (:mod:`repro.serve.health`): unlike :class:`AdmissionController`
+    it never refuses work -- shedding stays the per-shard gate's job --
+    it only keeps an exact concurrent-request count per key so
+    power-of-two-choices can compare replica load cheaply.
+    """
+
+    def __init__(self, keys: Sequence[Hashable]) -> None:
+        if not keys:
+            raise ValueError("at least one key is required")
+        self._counts: Dict[Hashable, int] = {key: 0 for key in keys}
+        if len(self._counts) != len(keys):
+            raise ValueError(f"duplicate keys in {keys!r}")
+        self._lock = threading.Lock()
+
+    def acquire(self, key: Hashable) -> None:
+        """Count one request in flight on *key* (pair with release)."""
+        with self._lock:
+            self._counts[key] += 1
+
+    def release(self, key: Hashable) -> None:
+        """Return one in-flight count on *key*."""
+        with self._lock:
+            if self._counts[key] <= 0:
+                raise RuntimeError(
+                    f"release({key!r}) without matching acquire()"
+                )
+            self._counts[key] -= 1
+
+    def get(self, key: Hashable) -> int:
+        with self._lock:
+            return self._counts[key]
+
+    def snapshot(self) -> Dict[Hashable, int]:
+        """A copy of every key's current in-flight count."""
+        with self._lock:
+            return dict(self._counts)
 
 
 class ShardAdmission:

@@ -1,0 +1,398 @@
+"""Replica health tracking and selection for the scatter-gather router.
+
+Each date-range shard slice can be served by R worker **replicas** (all
+mmap-sharing one v2 snapshot, so extra replicas are nearly RAM-free --
+see docs/serving.md "Replicated shards"). This module owns the two
+pieces the router composes for availability:
+
+* :class:`ReplicaHealth` -- a per-replica state machine driven by
+  **passive** request outcomes (every proxied call reports success or
+  failure) and **active** ``/healthz`` probes. States:
+
+  - ``healthy``: the default; any success lands here.
+  - ``suspect``: one or more consecutive failures; still routable, but
+    deprioritised behind healthy siblings.
+  - ``dead``: failures reached ``dead_after``; the selector avoids the
+    replica whenever any sibling is alive, and it is only **re-admitted
+    after** ``readmit_after`` *consecutive probe successes* -- a single
+    lucky response does not resurrect a flapping worker.
+
+  Dead and suspect replicas are re-probed on an exponential backoff
+  (``probe_backoff_seconds`` doubling to ``probe_backoff_max_seconds``),
+  so a down worker costs a few probes per minute, not a probe per tick.
+
+* **Power-of-two-choices selection** -- :meth:`ReplicaHealth.choose`
+  picks the best-health tier for a shard (healthy before suspect before
+  dead), samples two distinct members, and returns the one with fewer
+  in-flight requests (tracked by
+  :class:`repro.serve.admission.InflightTracker`). P2C gives near-ideal
+  load spread without global coordination, and the tier ordering is the
+  availability invariant the property tests pin: a dead replica is
+  never chosen while a live sibling exists.
+
+Everything is synchronous and lock-protected so the router's event loop
+and test threads can share one instance; time is injectable for
+deterministic backoff tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Metrics
+from repro.serve.admission import InflightTracker
+
+#: Every metric name the replica health layer may emit, by kind.
+#: Documented in docs/observability.md and drift-tested by
+#: tests/test_docs_observability.py.
+REPLICA_COUNTERS = (
+    "replica.failures",
+    "replica.failovers",
+    "replica.probes",
+    "replica.probe_failures",
+    "replica.deaths",
+    "replica.readmissions",
+)
+REPLICA_GAUGES = (
+    "replica.replicas",
+    "replica.healthy",
+    "replica.suspect",
+    "replica.dead",
+)
+REPLICA_METRIC_NAMES = REPLICA_COUNTERS + REPLICA_GAUGES
+
+#: The three replica states, in routing-preference order.
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+DEAD = "dead"
+REPLICA_STATES = (HEALTHY, SUSPECT, DEAD)
+
+#: A replica's identity: ``(shard_id, replica_id)``.
+ReplicaKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Thresholds and probe cadence of the replica state machine."""
+
+    #: Consecutive failures that demote ``healthy`` to ``suspect``.
+    suspect_after: int = 1
+    #: Consecutive failures that demote to ``dead``.
+    dead_after: int = 3
+    #: Consecutive *probe* successes that re-admit a dead replica.
+    readmit_after: int = 2
+    #: First re-probe delay for a suspect/dead replica; doubles per
+    #: failed probe up to the max.
+    probe_backoff_seconds: float = 0.5
+    probe_backoff_max_seconds: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.suspect_after < 1:
+            raise ValueError(
+                f"suspect_after must be >= 1, got {self.suspect_after}"
+            )
+        if self.dead_after < self.suspect_after:
+            raise ValueError(
+                "dead_after must be >= suspect_after, got "
+                f"{self.dead_after} < {self.suspect_after}"
+            )
+        if self.readmit_after < 1:
+            raise ValueError(
+                f"readmit_after must be >= 1, got {self.readmit_after}"
+            )
+        if self.probe_backoff_seconds <= 0:
+            raise ValueError(
+                "probe_backoff_seconds must be > 0, got "
+                f"{self.probe_backoff_seconds}"
+            )
+        if self.probe_backoff_max_seconds < self.probe_backoff_seconds:
+            raise ValueError(
+                "probe_backoff_max_seconds must be >= probe_backoff_seconds"
+            )
+
+
+@dataclass
+class _ReplicaState:
+    """Mutable per-replica bookkeeping (internal to the tracker)."""
+
+    state: str = HEALTHY
+    consecutive_failures: int = 0
+    consecutive_probe_successes: int = 0
+    #: Current re-probe delay (meaningful while suspect/dead).
+    backoff_seconds: float = 0.0
+    #: Monotonic instant after which the replica is due a probe.
+    next_probe_at: float = 0.0
+
+
+class ReplicaHealth:
+    """Health state machine + P2C selector over one topology's replicas.
+
+    *replicas* lists every ``(shard_id, replica_id)`` pair; *clock* and
+    *rng* are injectable for deterministic tests (the defaults are
+    ``time.monotonic`` and a private ``random.Random()``). Pass the
+    router's *metrics* to emit the ``replica.*`` vocabulary; ``None``
+    keeps the tracker silent (pure unit tests).
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[ReplicaKey],
+        config: Optional[HealthConfig] = None,
+        metrics: Optional[Metrics] = None,
+        clock: Callable[[], float] = time.monotonic,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not replicas:
+            raise ValueError("at least one replica is required")
+        if len(set(replicas)) != len(replicas):
+            raise ValueError(f"duplicate replica keys in {replicas!r}")
+        self.config = config or HealthConfig()
+        self._metrics = metrics
+        self._clock = clock
+        self._rng = rng or random.Random()
+        self._lock = threading.Lock()
+        self._states: Dict[ReplicaKey, _ReplicaState] = {
+            key: _ReplicaState() for key in replicas
+        }
+        self._by_shard: Dict[int, List[ReplicaKey]] = {}
+        for key in replicas:
+            self._by_shard.setdefault(key[0], []).append(key)
+        for group in self._by_shard.values():
+            group.sort()
+        self.inflight = InflightTracker(replicas)
+        if self._metrics is not None:
+            self._metrics.gauge("replica.replicas").set(len(replicas))
+        self._sync_gauges()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def replicas(self) -> Tuple[ReplicaKey, ...]:
+        return tuple(sorted(self._states))
+
+    def shard_replicas(self, shard_id: int) -> Tuple[ReplicaKey, ...]:
+        return tuple(self._by_shard.get(shard_id, ()))
+
+    def state(self, key: ReplicaKey) -> str:
+        with self._lock:
+            return self._states[key].state
+
+    def counts(self) -> Dict[str, int]:
+        """Replica count per state name."""
+        with self._lock:
+            counts = {state: 0 for state in REPLICA_STATES}
+            for entry in self._states.values():
+                counts[entry.state] += 1
+            return counts
+
+    def shard_alive(self, shard_id: int) -> bool:
+        """Whether any replica of *shard_id* is not dead."""
+        with self._lock:
+            return any(
+                self._states[key].state != DEAD
+                for key in self._by_shard.get(shard_id, ())
+            )
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` on any broken internal invariant.
+
+        The property tests drive arbitrary event sequences through the
+        machine and call this after every step.
+        """
+        with self._lock:
+            for key, entry in self._states.items():
+                assert entry.state in REPLICA_STATES, (key, entry.state)
+                assert entry.consecutive_failures >= 0, key
+                assert entry.consecutive_probe_successes >= 0, key
+                if entry.state == HEALTHY:
+                    assert entry.consecutive_failures == 0, (key, entry)
+                else:
+                    assert (
+                        entry.consecutive_failures
+                        >= self.config.suspect_after
+                    ), (key, entry)
+                    assert (
+                        self.config.probe_backoff_seconds
+                        <= entry.backoff_seconds
+                        <= self.config.probe_backoff_max_seconds
+                    ), (key, entry)
+                if entry.state == DEAD:
+                    assert (
+                        entry.consecutive_probe_successes
+                        < self.config.readmit_after
+                    ), (key, entry)
+                assert self.inflight.get(key) >= 0, key
+
+    # -- passive outcomes ------------------------------------------------------
+
+    def record_success(self, key: ReplicaKey) -> None:
+        """A proxied request on *key* succeeded.
+
+        Any real success restores ``healthy`` -- including on a dead
+        replica the selector used as a last resort; serving actual
+        traffic is stronger evidence than a probe.
+        """
+        with self._lock:
+            entry = self._states[key]
+            if entry.state == DEAD:
+                self._count("replica.readmissions")
+            self._reset(entry)
+
+    def record_failure(self, key: ReplicaKey) -> None:
+        """A proxied request on *key* failed (error or timeout)."""
+        with self._lock:
+            self._count("replica.failures")
+            self._fail(self._states[key])
+
+    # -- active probes ---------------------------------------------------------
+
+    def record_probe(self, key: ReplicaKey, ok: bool) -> None:
+        """Feed one active ``/healthz`` probe outcome for *key*.
+
+        Probe successes walk a dead replica back through
+        ``readmit_after`` consecutive wins before re-admission; a
+        suspect replica is restored immediately (it was never declared
+        dead, so one fresh confirmation suffices).
+        """
+        with self._lock:
+            entry = self._states[key]
+            self._count("replica.probes")
+            if ok:
+                if entry.state == DEAD:
+                    entry.consecutive_probe_successes += 1
+                    if (
+                        entry.consecutive_probe_successes
+                        >= self.config.readmit_after
+                    ):
+                        self._count("replica.readmissions")
+                        self._reset(entry)
+                    else:
+                        # Not yet re-admitted: probe again promptly.
+                        entry.backoff_seconds = (
+                            self.config.probe_backoff_seconds
+                        )
+                        entry.next_probe_at = (
+                            self._clock() + entry.backoff_seconds
+                        )
+                else:
+                    self._reset(entry)
+            else:
+                self._count("replica.probe_failures")
+                self._fail(self._states[key])
+
+    def due_probes(self, now: Optional[float] = None) -> List[ReplicaKey]:
+        """Suspect/dead replicas whose backoff has elapsed, sorted."""
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            return sorted(
+                key
+                for key, entry in self._states.items()
+                if entry.state != HEALTHY and entry.next_probe_at <= now
+            )
+
+    # -- selection -------------------------------------------------------------
+
+    def choose(
+        self,
+        shard_id: int,
+        exclude: FrozenSet[ReplicaKey] = frozenset(),
+    ) -> Optional[ReplicaKey]:
+        """Pick a replica of *shard_id* via tiered power-of-two-choices.
+
+        Candidates not in *exclude* are tiered healthy < suspect < dead
+        and only the best non-empty tier competes: two distinct members
+        are sampled and the one with fewer in-flight requests wins (ties
+        keep the first sample). Returns ``None`` when every replica is
+        excluded -- the caller decides whether to relax the exclusion.
+        """
+        with self._lock:
+            candidates = [
+                key
+                for key in self._by_shard.get(shard_id, ())
+                if key not in exclude
+            ]
+            if not candidates:
+                return None
+            best_rank = min(
+                REPLICA_STATES.index(self._states[key].state)
+                for key in candidates
+            )
+            tier = [
+                key
+                for key in candidates
+                if REPLICA_STATES.index(self._states[key].state)
+                == best_rank
+            ]
+            if len(tier) == 1:
+                return tier[0]
+            first, second = self._rng.sample(tier, 2)
+            if self.inflight.get(second) < self.inflight.get(first):
+                return second
+            return first
+
+    # -- internals -------------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc()
+
+    def _reset(self, entry: _ReplicaState) -> None:
+        entry.state = HEALTHY
+        entry.consecutive_failures = 0
+        entry.consecutive_probe_successes = 0
+        entry.backoff_seconds = 0.0
+        entry.next_probe_at = 0.0
+        self._sync_gauges_locked()
+
+    def _fail(self, entry: _ReplicaState) -> None:
+        entry.consecutive_failures += 1
+        entry.consecutive_probe_successes = 0
+        if entry.backoff_seconds:
+            entry.backoff_seconds = min(
+                entry.backoff_seconds * 2.0,
+                self.config.probe_backoff_max_seconds,
+            )
+        else:
+            entry.backoff_seconds = self.config.probe_backoff_seconds
+        entry.next_probe_at = self._clock() + entry.backoff_seconds
+        if entry.consecutive_failures >= self.config.dead_after:
+            if entry.state != DEAD:
+                self._count("replica.deaths")
+            entry.state = DEAD
+        elif entry.consecutive_failures >= self.config.suspect_after:
+            entry.state = SUSPECT
+        self._sync_gauges_locked()
+
+    def _sync_gauges(self) -> None:
+        with self._lock:
+            self._sync_gauges_locked()
+
+    def _sync_gauges_locked(self) -> None:
+        if self._metrics is None:
+            return
+        counts = {state: 0 for state in REPLICA_STATES}
+        for entry in self._states.values():
+            counts[entry.state] += 1
+        self._metrics.gauge("replica.healthy").set(counts[HEALTHY])
+        self._metrics.gauge("replica.suspect").set(counts[SUSPECT])
+        self._metrics.gauge("replica.dead").set(counts[DEAD])
+
+
+def replica_keys(
+    num_shards: int, replicas_per_shard: int
+) -> List[ReplicaKey]:
+    """The uniform key grid ``(shard, replica)`` most topologies use."""
+    if num_shards < 1 or replicas_per_shard < 1:
+        raise ValueError(
+            "num_shards and replicas_per_shard must be >= 1, got "
+            f"{num_shards} x {replicas_per_shard}"
+        )
+    return list(
+        itertools.product(range(num_shards), range(replicas_per_shard))
+    )

@@ -22,12 +22,22 @@ Correctness contract (the acceptance bar of the sharded tier):
   restores the exact tie-break order. The merged response then goes
   through the same :func:`~repro.serve.app.canonical_json`, producing
   bytes identical to single-index serving (tests/test_serve_router.py).
-* **Degraded, never broken.** A shard that times out, refuses, or
-  errors past its retry budget is dropped from the merge; the response
-  is still HTTP 200, carries an ``X-Wilson-Degraded`` header naming the
-  missing shard ids, and a ``degraded_shards`` envelope field. Only a
-  *total* fan-out failure becomes a 503. Degraded merges are never
-  cached -- partial data must not outlive the outage.
+* **Failover before degradation.** Each shard may be served by R
+  worker replicas (``--replicas``); the router picks one per request
+  via tiered power-of-two-choices on in-flight count
+  (:mod:`repro.serve.health`) and, when a replica errors or times out,
+  retries the *same shard* on a sibling replica before ever giving up
+  on the slice. Passive outcomes plus active ``/healthz`` probes drive
+  a healthy/suspect/dead state machine with exponential-backoff
+  re-probing, so a killed worker costs one in-flight retry, a dead one
+  is routed around entirely, and a recovered one is re-admitted after
+  consecutive probe successes.
+* **Degraded, never broken.** A shard whose *every* replica fails past
+  the retry budget is dropped from the merge; the response is still
+  HTTP 200, carries an ``X-Wilson-Degraded`` header naming the missing
+  shard ids, and a ``degraded_shards`` envelope field. Only a *total*
+  fan-out failure becomes a 503. Degraded merges are never cached --
+  partial data must not outlive the outage.
 
 Timeline requests scatter the retrieval stage only: candidate fetching
 is what shards parallelise, while WILSON summarisation of the merged
@@ -64,6 +74,7 @@ from repro.serve.app import (
     parse_timeline_payload,
 )
 from repro.serve.cache import ResultCache, make_merge_cache_key
+from repro.serve.health import HealthConfig, ReplicaHealth, ReplicaKey
 from repro.serve.topology import Topology
 from repro.text.bm25 import BM25Parameters
 from repro.tlsdata.types import DatedSentence
@@ -123,6 +134,10 @@ class RouterConfig:
     shard_retries: int = 1
     retry_after_seconds: float = 1.0
     drain_timeout_seconds: float = 10.0
+    #: Tick of the background probe loop re-checking suspect/dead
+    #: replicas (each replica additionally backs off exponentially
+    #: between its own probes; see :class:`repro.serve.health.HealthConfig`).
+    probe_interval_seconds: float = 0.25
     #: Per-shard candidate budget for scattered retrieval. Matches the
     #: single-index system's ``retrieval_limit`` so merged timeline
     #: candidate pools are identical; a shard with more matches than
@@ -145,6 +160,11 @@ class RouterConfig:
         if self.fanout_limit < 1:
             raise ValueError(
                 f"fanout_limit must be >= 1, got {self.fanout_limit}"
+            )
+        if self.probe_interval_seconds <= 0:
+            raise ValueError(
+                "probe_interval_seconds must be > 0, got "
+                f"{self.probe_interval_seconds}"
             )
 
 
@@ -308,18 +328,58 @@ class _ShardEndpoint:
     shard_id: int
     host: str
     port: int
+    replica_id: int = 0
+
+    @property
+    def key(self) -> ReplicaKey:
+        return (self.shard_id, self.replica_id)
+
+
+def _normalize_endpoint_groups(
+    endpoints: Sequence[Any],
+) -> List[List[str]]:
+    """Endpoint groups from either router input shape.
+
+    A flat ``["url", ...]`` (one worker per shard, the pre-replica
+    shape) becomes singleton groups; a nested ``[["url", ...], ...]``
+    passes through. Mixing shapes or empty groups is an error.
+    """
+    if not endpoints:
+        return []
+    if all(isinstance(entry, str) for entry in endpoints):
+        return [[entry] for entry in endpoints]
+    groups: List[List[str]] = []
+    for shard_id, group in enumerate(endpoints):
+        if isinstance(group, str) or not isinstance(group, Sequence):
+            raise ValueError(
+                "endpoints must be all-URLs or all-groups; shard "
+                f"{shard_id} entry is {group!r}"
+            )
+        members = list(group)
+        if not members or not all(
+            isinstance(member, str) for member in members
+        ):
+            raise ValueError(
+                f"shard {shard_id} needs a non-empty list of endpoint "
+                f"URLs, got {group!r}"
+            )
+        groups.append(members)
+    return groups
 
 
 class TimelineRouter(HttpServerBase):
     """Async scatter-gather front over one shard topology.
 
-    *endpoints* are the workers' base URLs in shard-id order (one per
-    topology slice), typically resolved by a
-    :class:`~repro.serve.topology.ShardWorkerPool`. *wilson* is the
-    summarisation pipeline used for the central reduce of timeline
-    requests; it must be configured identically to the workers' (the
-    default configuration on both sides) for the byte-identity
-    guarantee to hold.
+    *endpoints* are the workers' base URLs in shard-id order: either a
+    flat sequence with exactly one URL per topology slice, or -- for a
+    replicated fleet -- a sequence of per-shard *groups*, each listing
+    that slice's replica URLs (the shape of
+    :attr:`~repro.serve.topology.ShardWorkerPool.replica_groups`).
+    *wilson* is the summarisation pipeline used for the central reduce
+    of timeline requests; it must be configured identically to the
+    workers' (the default configuration on both sides) for the
+    byte-identity guarantee to hold. *health_config* tunes the replica
+    state machine; the defaults fit subsecond shard timeouts.
     """
 
     metric_prefix = "router"
@@ -327,16 +387,18 @@ class TimelineRouter(HttpServerBase):
     def __init__(
         self,
         topology: Topology,
-        endpoints: Sequence[str],
+        endpoints: Sequence[Any],
         config: Optional[RouterConfig] = None,
         metrics: Optional[Metrics] = None,
         wilson: Optional[Wilson] = None,
         bm25_params: BM25Parameters = BM25Parameters(),
+        health_config: Optional[HealthConfig] = None,
     ) -> None:
-        if len(endpoints) != topology.num_shards:
+        groups = _normalize_endpoint_groups(endpoints)
+        if len(groups) != topology.num_shards:
             raise ValueError(
                 f"{topology.num_shards} shards in the topology but "
-                f"{len(endpoints)} endpoints"
+                f"{len(groups)} endpoint groups"
             )
         self.topology = topology
         self.config = config or RouterConfig()
@@ -347,18 +409,37 @@ class TimelineRouter(HttpServerBase):
         )
         self.wilson = wilson or Wilson(WilsonConfig())
         self.bm25_params = bm25_params
+        #: Per-shard replica endpoint groups, shard-id order.
+        self.replica_groups: List[List[_ShardEndpoint]] = []
+        #: Every endpoint, flat, (shard, replica) order.
         self.endpoints: List[_ShardEndpoint] = []
-        for shard_id, endpoint in enumerate(endpoints):
-            parsed = urllib.parse.urlsplit(endpoint)
-            if parsed.hostname is None or parsed.port is None:
-                raise ValueError(f"endpoint needs host:port: {endpoint!r}")
-            self.endpoints.append(
-                _ShardEndpoint(
-                    shard_id=shard_id,
-                    host=parsed.hostname,
-                    port=parsed.port,
+        for shard_id, group in enumerate(groups):
+            members: List[_ShardEndpoint] = []
+            for replica_id, endpoint in enumerate(group):
+                parsed = urllib.parse.urlsplit(endpoint)
+                if parsed.hostname is None or parsed.port is None:
+                    raise ValueError(
+                        f"endpoint needs host:port: {endpoint!r}"
+                    )
+                members.append(
+                    _ShardEndpoint(
+                        shard_id=shard_id,
+                        host=parsed.hostname,
+                        port=parsed.port,
+                        replica_id=replica_id,
+                    )
                 )
-            )
+            self.replica_groups.append(members)
+            self.endpoints.extend(members)
+        self._endpoint_by_key: Dict[ReplicaKey, _ShardEndpoint] = {
+            endpoint.key: endpoint for endpoint in self.endpoints
+        }
+        self.health = ReplicaHealth(
+            [endpoint.key for endpoint in self.endpoints],
+            config=health_config,
+            metrics=self.metrics,
+        )
+        self._probe_task: Optional[asyncio.Task] = None
         self.cache = ResultCache(
             capacity=self.config.cache_size,
             ttl_seconds=self.config.cache_ttl_seconds,
@@ -386,11 +467,19 @@ class TimelineRouter(HttpServerBase):
         return max(self._shard_versions) if self._shard_versions else 0
 
     async def _call_shard(
-        self, endpoint: _ShardEndpoint, path_and_query: str
+        self, shard_id: int, path_and_query: str
     ) -> Optional[Dict[str, Any]]:
-        """One admitted, retried shard call; ``None`` marks the shard
-        degraded for this request."""
-        shard_id = endpoint.shard_id
+        """One admitted, replica-failing-over shard call; ``None`` marks
+        the shard degraded for this request.
+
+        Each attempt picks a replica through the health-tiered
+        power-of-two-choices selector, excluding replicas that already
+        failed *this request*, so a worker death costs exactly one
+        in-flight retry on a sibling -- never a degraded response while
+        any replica of the slice is alive. The attempt budget is
+        ``shard_retries`` plus the replica count, which reduces to the
+        pre-replica ``shard_retries + 1`` for unreplicated shards.
+        """
         deadline = (
             asyncio.get_running_loop().time()
             + self.config.shard_timeout_seconds
@@ -403,11 +492,27 @@ class TimelineRouter(HttpServerBase):
         if not admitted:
             self.metrics.counter("router.shard_failures").inc()
             return None
+        failed: set = set()
+        previous: Optional[ReplicaKey] = None
+        attempts = self.config.shard_retries + len(
+            self.replica_groups[shard_id]
+        )
         try:
-            for attempt in range(self.config.shard_retries + 1):
+            for attempt in range(attempts):
+                key = self.health.choose(shard_id, frozenset(failed))
+                if key is None:
+                    # Every replica failed once already; retry budget
+                    # left, so take the healthiest of the full group.
+                    key = self.health.choose(shard_id)
+                    assert key is not None  # groups are never empty
+                endpoint = self._endpoint_by_key[key]
                 if attempt:
                     self.metrics.counter("router.shard_retries").inc()
+                    if key != previous:
+                        self.metrics.counter("replica.failovers").inc()
+                previous = key
                 self.metrics.counter("router.shard_requests").inc()
+                self.health.inflight.acquire(key)
                 try:
                     status, body = await asyncio.wait_for(
                         _http_get(
@@ -423,7 +528,10 @@ class TimelineRouter(HttpServerBase):
                                 self._shard_versions[shard_id],
                             )
                         )
+                        self.health.record_success(key)
                         return payload
+                    self.health.record_failure(key)
+                    failed.add(key)
                 except (
                     OSError,
                     asyncio.TimeoutError,
@@ -431,7 +539,10 @@ class TimelineRouter(HttpServerBase):
                     ConnectionError,
                     ValueError,  # bad JSON / bad status line
                 ):
-                    pass
+                    self.health.record_failure(key)
+                    failed.add(key)
+                finally:
+                    self.health.inflight.release(key)
             self.metrics.counter("router.shard_failures").inc()
             return None
         finally:
@@ -452,8 +563,8 @@ class TimelineRouter(HttpServerBase):
         started = time.perf_counter()
         results = await asyncio.gather(
             *(
-                self._call_shard(endpoint, path_and_query)
-                for endpoint in self.endpoints
+                self._call_shard(shard_id, path_and_query)
+                for shard_id in range(self.topology.num_shards)
             )
         )
         self.metrics.histogram("router.fanout_seconds").observe(
@@ -461,11 +572,11 @@ class TimelineRouter(HttpServerBase):
         )
         responses: Dict[int, Dict[str, Any]] = {}
         degraded: List[int] = []
-        for endpoint, payload in zip(self.endpoints, results):
+        for shard_id, payload in enumerate(results):
             if payload is None:
-                degraded.append(endpoint.shard_id)
+                degraded.append(shard_id)
             else:
-                responses[endpoint.shard_id] = payload
+                responses[shard_id] = payload
         if degraded:
             self.metrics.counter("router.degraded").inc()
         return responses, degraded
@@ -721,23 +832,55 @@ class TimelineRouter(HttpServerBase):
         )
 
     async def _handle_healthz(self) -> _Response:
+        """Probe every replica; report shard coverage and replica fleet.
+
+        Each probe outcome also feeds the health state machine, so two
+        consecutive ``/healthz`` sweeps re-admit a recovered replica
+        (with the default ``readmit_after=2``) without waiting for the
+        background probe loop. A shard counts healthy while *any* of
+        its replicas answers; ``status`` distinguishes a fully healthy
+        fleet (``ok``), dead replicas behind full shard coverage
+        (``impaired`` -- no user-visible impact yet), and uncovered
+        shards (``degraded``).
+        """
         probes = await asyncio.gather(
             *(
-                self._probe_shard(endpoint)
+                self._probe_replica(endpoint)
                 for endpoint in self.endpoints
             )
         )
-        healthy = sum(1 for ok in probes if ok)
+        shard_ok = [False] * self.topology.num_shards
+        replicas_healthy = 0
+        for endpoint, ok in zip(self.endpoints, probes):
+            self.health.record_probe(endpoint.key, ok)
+            if ok:
+                shard_ok[endpoint.shard_id] = True
+                replicas_healthy += 1
+        healthy = sum(shard_ok)
         self.metrics.gauge("router.shards_healthy").set(healthy)
         draining = self.admission.draining
-        status = "draining" if draining else (
-            "ok" if healthy == len(self.endpoints) else "degraded"
-        )
+        if draining:
+            status = "draining"
+        elif healthy < self.topology.num_shards:
+            status = "degraded"
+        elif replicas_healthy < len(self.endpoints):
+            status = "impaired"
+        else:
+            status = "ok"
         payload = {
             "schema": WIRE_SCHEMA,
             "status": status,
             "shards": self.topology.num_shards,
             "shards_healthy": healthy,
+            "replicas": len(self.endpoints),
+            "replicas_healthy": replicas_healthy,
+            "replica_states": {
+                f"{shard_id}/{replica_id}": state
+                for (shard_id, replica_id), state in sorted(
+                    (key, self.health.state(key))
+                    for key in self.health.replicas
+                )
+            },
             "total_documents": self.topology.total_documents,
             "index_version": self._index_version(),
             "inflight": self.admission.inflight,
@@ -745,7 +888,7 @@ class TimelineRouter(HttpServerBase):
         }
         return _Response(503 if draining else 200, canonical_json(payload))
 
-    async def _probe_shard(self, endpoint: _ShardEndpoint) -> bool:
+    async def _probe_replica(self, endpoint: _ShardEndpoint) -> bool:
         try:
             status, body = await asyncio.wait_for(
                 _http_get(endpoint.host, endpoint.port, "/healthz"),
@@ -768,6 +911,27 @@ class TimelineRouter(HttpServerBase):
             ValueError,
         ):
             return False
+
+    async def _probe_loop(self) -> None:
+        """Re-probe suspect/dead replicas until cancelled.
+
+        Runs every ``probe_interval_seconds``; each replica's own
+        exponential backoff (``next_probe_at``) spaces its probes out,
+        so a long outage converges to a few probes per backoff-max
+        rather than hammering a dead port every tick. Healthy replicas
+        are never actively probed -- passive traffic covers them.
+        """
+        while True:
+            await asyncio.sleep(self.config.probe_interval_seconds)
+            due = self.health.due_probes()
+            if not due:
+                continue
+            endpoints = [self._endpoint_by_key[key] for key in due]
+            results = await asyncio.gather(
+                *(self._probe_replica(endpoint) for endpoint in endpoints)
+            )
+            for key, ok in zip(due, results):
+                self.health.record_probe(key, ok)
 
     def _handle_metrics(self) -> _Response:
         self.metrics.gauge("router.inflight").set(self.admission.inflight)
@@ -825,6 +989,22 @@ class TimelineRouter(HttpServerBase):
     def draining(self) -> bool:
         return self.admission.draining
 
+    async def start(self) -> None:
+        await super().start()
+        self._probe_task = asyncio.get_running_loop().create_task(
+            self._probe_loop()
+        )
+
+    async def shutdown(self) -> bool:
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+            self._probe_task = None
+        return await super().shutdown()
+
     async def _drain(self) -> bool:
         self.admission.begin_drain()
         self.shard_admission.begin_drain()
@@ -841,7 +1021,7 @@ class TimelineRouter(HttpServerBase):
 
 def run_router(
     topology: Topology,
-    endpoints: Sequence[str],
+    endpoints: Sequence[Any],
     config: Optional[RouterConfig] = None,
     metrics: Optional[Metrics] = None,
     wilson: Optional[Wilson] = None,

@@ -18,11 +18,12 @@ Three properties make the merge *exact* rather than approximate:
   (``doc_ids``), so the router can restore single-index ids -- and with
   them the exact tie-break order -- when merging rankings.
 
-:class:`ShardWorkerPool` is the process-topology half: it boots one
-worker subprocess per slice on an ephemeral port (parsing the serve
-banner for the bound address) and tears them down as a context manager.
-The CLI's ``serve --shards N`` composes all of this with a router in
-front; see :func:`repro.serve.router.run_router`.
+:class:`ShardWorkerPool` is the process-topology half: it boots R
+worker subprocesses per slice (``replicas``) on ephemeral ports
+(parsing the serve banner for each bound address) and tears them down
+in parallel as a context manager. The CLI's ``serve --shards N
+--replicas R`` composes all of this with a router in front; see
+:func:`repro.serve.router.run_router`.
 """
 
 from __future__ import annotations
@@ -35,6 +36,7 @@ import re
 import signal
 import subprocess
 import sys
+import threading
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
@@ -365,6 +367,7 @@ class ShardWorker:
     process: subprocess.Popen
     host: str
     port: int
+    replica_id: int = 0
 
     @property
     def base_url(self) -> str:
@@ -372,13 +375,19 @@ class ShardWorker:
 
 
 class ShardWorkerPool:
-    """Boot one serve process per topology slice; context-managed teardown.
+    """Boot R serve processes per topology slice; context-managed teardown.
 
     Workers are ordinary ``python -m repro serve --snapshot <slice>
     --port 0`` subprocesses -- the identical single-index code path
     users run directly, which is what makes the byte-identity claim
     testable end to end. The pool parses each worker's readiness banner
     for its ephemeral port and exposes the resolved endpoints.
+
+    With ``replicas > 1`` every slice boots that many identical worker
+    processes. All replicas of a slice point at the *same* snapshot
+    file, so under the default ``mmap`` mode they resolve the same
+    physical index pages -- R replicas cost roughly one snapshot plus R
+    small Python heaps (docs/serving.md, "Replicated shards").
     """
 
     def __init__(
@@ -388,12 +397,15 @@ class ShardWorkerPool:
         boot_timeout_seconds: float = 60.0,
         extra_args: Sequence[str] = (),
         snapshot_mode: str = "mmap",
+        replicas: int = 1,
     ) -> None:
         if snapshot_mode not in ("copy", "mmap"):
             raise ValueError(
                 "snapshot_mode must be 'copy' or 'mmap', "
                 f"got {snapshot_mode!r}"
             )
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
         self.topology = topology
         self.batch_window_ms = batch_window_ms
         self.boot_timeout_seconds = boot_timeout_seconds
@@ -402,11 +414,25 @@ class ShardWorkerPool:
         #: lets all workers of a slice share one physical copy of its
         #: v2 snapshot pages; v1 slices degrade to per-worker copies.
         self.snapshot_mode = snapshot_mode
+        #: Worker processes per slice (the shard's failure domain width).
+        self.replicas = replicas
         self.workers: List[ShardWorker] = []
 
     @property
     def endpoints(self) -> List[str]:
+        """Every worker base URL, flat, in (shard, replica) boot order."""
         return [worker.base_url for worker in self.workers]
+
+    @property
+    def replica_groups(self) -> List[List[str]]:
+        """Worker base URLs grouped per shard, in shard-id order --
+        the shape :class:`~repro.serve.router.TimelineRouter` takes."""
+        groups: List[List[str]] = [
+            [] for _ in range(self.topology.num_shards)
+        ]
+        for worker in self.workers:
+            groups[worker.shard_id].append(worker.base_url)
+        return groups
 
     def start(self) -> List[ShardWorker]:
         """Boot every worker; raises on any boot failure (pool cleaned)."""
@@ -415,48 +441,52 @@ class ShardWorkerPool:
         package_root = pathlib.Path(repro.__file__).resolve().parent.parent
         try:
             for shard in self.topology.shards:
-                command = [
-                    sys.executable,
-                    "-m",
-                    "repro",
-                    "serve",
-                    "--snapshot",
-                    str(shard.path),
-                    "--snapshot-mode",
-                    self.snapshot_mode,
-                    "--port",
-                    "0",
-                    "--batch-window-ms",
-                    str(self.batch_window_ms),
-                    *self.extra_args,
-                ]
-                process = subprocess.Popen(
-                    command,
-                    stdout=subprocess.PIPE,
-                    stderr=subprocess.STDOUT,
-                    text=True,
-                    env={
-                        **os.environ,
-                        "PYTHONPATH": str(package_root),
-                        "PYTHONUNBUFFERED": "1",
-                    },
-                )
-                host, port = self._await_banner(process, shard.shard_id)
-                self.workers.append(
-                    ShardWorker(
-                        shard_id=shard.shard_id,
-                        process=process,
-                        host=host,
-                        port=port,
+                for replica_id in range(self.replicas):
+                    command = [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "serve",
+                        "--snapshot",
+                        str(shard.path),
+                        "--snapshot-mode",
+                        self.snapshot_mode,
+                        "--port",
+                        "0",
+                        "--batch-window-ms",
+                        str(self.batch_window_ms),
+                        *self.extra_args,
+                    ]
+                    process = subprocess.Popen(
+                        command,
+                        stdout=subprocess.PIPE,
+                        stderr=subprocess.STDOUT,
+                        text=True,
+                        env={
+                            **os.environ,
+                            "PYTHONPATH": str(package_root),
+                            "PYTHONUNBUFFERED": "1",
+                        },
                     )
-                )
+                    host, port = self._await_banner(
+                        process, shard.shard_id, replica_id
+                    )
+                    self.workers.append(
+                        ShardWorker(
+                            shard_id=shard.shard_id,
+                            process=process,
+                            host=host,
+                            port=port,
+                            replica_id=replica_id,
+                        )
+                    )
         except Exception:
             self.stop()
             raise
         return self.workers
 
     def _await_banner(
-        self, process: subprocess.Popen, shard_id: int
+        self, process: subprocess.Popen, shard_id: int, replica_id: int = 0
     ) -> Tuple[str, int]:
         deadline = time.monotonic() + self.boot_timeout_seconds
         lines: List[str] = []
@@ -473,29 +503,51 @@ class ShardWorkerPool:
             if match:
                 return match.group(1), int(match.group(2))
         raise TopologyError(
-            f"shard {shard_id} worker failed to boot within "
-            f"{self.boot_timeout_seconds:g}s; output:\n"
+            f"shard {shard_id} replica {replica_id} worker failed to "
+            f"boot within {self.boot_timeout_seconds:g}s; output:\n"
             + "".join(lines[-20:])
         )
 
+    @staticmethod
+    def _drain_worker(
+        worker: ShardWorker, timeout_seconds: float
+    ) -> None:
+        """Await one SIGTERMed worker; SIGKILL it past its grace."""
+        try:
+            worker.process.wait(timeout=timeout_seconds)
+        except subprocess.TimeoutExpired:
+            worker.process.kill()
+            worker.process.wait(timeout=5)
+        if worker.process.stdout is not None:
+            worker.process.stdout.close()
+
     def stop(self, timeout_seconds: float = 15.0) -> None:
-        """SIGTERM every worker (graceful drain), SIGKILL stragglers."""
+        """SIGTERM every worker (graceful drain), SIGKILL stragglers.
+
+        The waits run in parallel -- one thread per live worker, each
+        granting the *full* grace period -- so total drain wall time
+        tracks the slowest worker, not the sum. (The old sequential
+        sweep let one hung worker burn the shared deadline and SIGKILL
+        every sibling behind it after ~0.1 s of grace.)
+        """
         for worker in self.workers:
             if worker.process.poll() is None:
                 try:
                     worker.process.send_signal(signal.SIGTERM)
                 except OSError:
                     pass
-        deadline = time.monotonic() + timeout_seconds
-        for worker in self.workers:
-            remaining = max(0.1, deadline - time.monotonic())
-            try:
-                worker.process.wait(timeout=remaining)
-            except subprocess.TimeoutExpired:
-                worker.process.kill()
-                worker.process.wait(timeout=5)
-            if worker.process.stdout is not None:
-                worker.process.stdout.close()
+        threads = [
+            threading.Thread(
+                target=self._drain_worker,
+                args=(worker, timeout_seconds),
+                daemon=True,
+            )
+            for worker in self.workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
         self.workers = []
 
     def __enter__(self) -> "ShardWorkerPool":

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import datetime
+import time
 
 import pytest
 
@@ -13,6 +14,33 @@ from repro.tlsdata.types import Article, Corpus, DatedSentence, Timeline
 def d(iso: str) -> datetime.date:
     """Shorthand: parse an ISO date string."""
     return datetime.date.fromisoformat(iso)
+
+
+def wait_until(
+    predicate,
+    timeout_seconds: float = 10.0,
+    interval_seconds: float = 0.02,
+    message: str = "condition",
+):
+    """Poll *predicate* until truthy; fail the test past the deadline.
+
+    The flake-resistant replacement for fixed ``time.sleep`` waits in
+    the subprocess/serving tests: waits exactly as long as the condition
+    needs (fast machines stay fast) while granting slow CI runners the
+    full deadline. Returns the predicate's final truthy value so
+    callers can keep the polled observation.
+    """
+    deadline = time.monotonic() + timeout_seconds
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            pytest.fail(
+                f"timed out after {timeout_seconds:g}s waiting for "
+                f"{message}"
+            )
+        time.sleep(interval_seconds)
 
 
 def pytest_addoption(parser):

@@ -226,6 +226,17 @@ class TestRouterContract:
                 "docs/observability.md"
             )
 
+    def test_every_registered_replica_metric_is_documented(
+        self, contract_text
+    ):
+        from repro.serve import REPLICA_METRIC_NAMES
+
+        for name in REPLICA_METRIC_NAMES:
+            assert f"`{name}`" in contract_text, (
+                f"replica metric {name!r} is not documented in "
+                "docs/observability.md"
+            )
+
     def test_shard_search_counter_is_documented(self, contract_text):
         from repro.serve import SERVE_METRIC_NAMES
 

@@ -1,0 +1,373 @@
+"""The replica health state machine and P2C selector.
+
+Unit tests pin the documented lifecycle -- healthy -> suspect -> dead on
+consecutive failures, exponential-backoff re-probing, re-admission only
+after consecutive probe successes -- and hypothesis property tests pin
+the two availability invariants the router's failover rests on:
+
+* the selector never returns a dead replica while a live sibling
+  exists, under *any* health history;
+* power-of-two-choices keeps load spread across equal-health replicas
+  bounded;
+* no event sequence (success / failure / probe-ok / probe-fail) can
+  drive the machine into an invalid state.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import InflightTracker
+from repro.serve.health import (
+    DEAD,
+    HEALTHY,
+    REPLICA_METRIC_NAMES,
+    SUSPECT,
+    HealthConfig,
+    ReplicaHealth,
+    replica_keys,
+)
+from repro.obs.metrics import Metrics
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic backoff."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _tracker(num_shards=1, replicas=2, config=None, clock=None, seed=0):
+    return ReplicaHealth(
+        replica_keys(num_shards, replicas),
+        config=config,
+        clock=clock or FakeClock(),
+        rng=random.Random(seed),
+    )
+
+
+class TestStateMachine:
+    def test_replicas_start_healthy(self):
+        health = _tracker(num_shards=2, replicas=2)
+        assert health.counts() == {HEALTHY: 4, SUSPECT: 0, DEAD: 0}
+
+    def test_failures_walk_healthy_suspect_dead(self):
+        health = _tracker(config=HealthConfig(dead_after=3))
+        key = (0, 0)
+        health.record_failure(key)
+        assert health.state(key) == SUSPECT
+        health.record_failure(key)
+        assert health.state(key) == SUSPECT
+        health.record_failure(key)
+        assert health.state(key) == DEAD
+
+    def test_passive_success_restores_healthy(self):
+        health = _tracker()
+        key = (0, 0)
+        for _ in range(3):
+            health.record_failure(key)
+        assert health.state(key) == DEAD
+        health.record_success(key)
+        assert health.state(key) == HEALTHY
+
+    def test_dead_needs_consecutive_probe_successes(self):
+        health = _tracker(config=HealthConfig(readmit_after=2))
+        key = (0, 0)
+        for _ in range(3):
+            health.record_failure(key)
+        health.record_probe(key, ok=True)
+        assert health.state(key) == DEAD  # one win is not re-admission
+        health.record_probe(key, ok=False)  # streak broken
+        health.record_probe(key, ok=True)
+        assert health.state(key) == DEAD
+        health.record_probe(key, ok=True)
+        assert health.state(key) == HEALTHY
+
+    def test_suspect_recovers_on_one_probe(self):
+        health = _tracker()
+        key = (0, 0)
+        health.record_failure(key)
+        assert health.state(key) == SUSPECT
+        health.record_probe(key, ok=True)
+        assert health.state(key) == HEALTHY
+
+    def test_probe_backoff_doubles_to_the_max(self):
+        clock = FakeClock()
+        config = HealthConfig(
+            probe_backoff_seconds=0.5, probe_backoff_max_seconds=2.0
+        )
+        health = _tracker(config=config, clock=clock)
+        key = (0, 0)
+        health.record_failure(key)
+        assert health.due_probes() == []  # backoff not yet elapsed
+        clock.advance(0.5)
+        assert health.due_probes() == [key]
+        health.record_probe(key, ok=False)  # backoff doubles to 1.0
+        clock.advance(0.5)
+        assert health.due_probes() == []
+        clock.advance(0.5)
+        assert health.due_probes() == [key]
+        health.record_probe(key, ok=False)  # 2.0
+        health.record_probe(key, ok=False)  # capped at 2.0
+        clock.advance(1.99)
+        assert health.due_probes() == []
+        clock.advance(4.0)
+        assert health.due_probes() == [key]
+
+    def test_healthy_replicas_are_never_due_probes(self):
+        clock = FakeClock()
+        health = _tracker(num_shards=2, replicas=2, clock=clock)
+        clock.advance(1000.0)
+        assert health.due_probes() == []
+
+    def test_shard_alive_tracks_dead_replicas(self):
+        health = _tracker(replicas=2)
+        for _ in range(3):
+            health.record_failure((0, 0))
+        assert health.shard_alive(0)
+        for _ in range(3):
+            health.record_failure((0, 1))
+        assert not health.shard_alive(0)
+
+    def test_duplicate_or_empty_keys_are_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaHealth([])
+        with pytest.raises(ValueError):
+            ReplicaHealth([(0, 0), (0, 0)])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HealthConfig(dead_after=0)
+        with pytest.raises(ValueError):
+            HealthConfig(suspect_after=0)
+        with pytest.raises(ValueError):
+            HealthConfig(readmit_after=0)
+        with pytest.raises(ValueError):
+            HealthConfig(probe_backoff_seconds=0.0)
+        with pytest.raises(ValueError):
+            HealthConfig(
+                probe_backoff_seconds=2.0, probe_backoff_max_seconds=1.0
+            )
+
+    def test_metrics_stay_inside_the_registry(self):
+        metrics = Metrics()
+        health = ReplicaHealth(
+            replica_keys(1, 2), metrics=metrics, clock=FakeClock()
+        )
+        for _ in range(3):
+            health.record_failure((0, 0))
+        health.record_probe((0, 0), ok=False)
+        health.record_probe((0, 0), ok=True)
+        health.record_probe((0, 0), ok=True)
+        health.record_success((0, 1))
+        snapshot = metrics.snapshot()
+        emitted = set(snapshot["counters"]) | set(snapshot["gauges"])
+        assert emitted <= set(REPLICA_METRIC_NAMES)
+        assert snapshot["counters"]["replica.deaths"] == 1
+        assert snapshot["counters"]["replica.readmissions"] == 1
+        assert snapshot["gauges"]["replica.healthy"] == 2.0
+
+
+class TestSelection:
+    def test_single_replica_is_always_chosen(self):
+        health = _tracker(replicas=1)
+        for _ in range(3):
+            health.record_failure((0, 0))
+        assert health.choose(0) == (0, 0)  # last resort beats nothing
+
+    def test_dead_replica_is_avoided(self):
+        health = _tracker(replicas=2)
+        for _ in range(3):
+            health.record_failure((0, 0))
+        for _ in range(50):
+            assert health.choose(0) == (0, 1)
+
+    def test_suspect_ranks_behind_healthy_but_before_dead(self):
+        health = _tracker(replicas=3)
+        health.record_failure((0, 0))  # suspect
+        for _ in range(3):
+            health.record_failure((0, 2))  # dead
+        for _ in range(50):
+            assert health.choose(0) == (0, 1)
+        health.record_failure((0, 1))  # now both 0 and 1 suspect
+        for _ in range(50):
+            assert health.choose(0) in {(0, 0), (0, 1)}
+
+    def test_exclusion_falls_back_to_none(self):
+        health = _tracker(replicas=2)
+        assert (
+            health.choose(0, frozenset({(0, 0), (0, 1)})) is None
+        )
+        assert health.choose(0, frozenset({(0, 0)})) == (0, 1)
+
+    def test_p2c_prefers_the_less_loaded_replica(self):
+        health = _tracker(replicas=2)
+        health.inflight.acquire((0, 0))
+        health.inflight.acquire((0, 0))
+        for _ in range(50):
+            assert health.choose(0) == (0, 1)
+
+    def test_two_replica_spread_is_at_most_one(self):
+        # With R=2, P2C degenerates to strict least-loaded: after any
+        # number of acquires the counts differ by at most one.
+        health = _tracker(replicas=2, seed=3)
+        for _ in range(101):
+            key = health.choose(0)
+            health.inflight.acquire(key)
+            counts = health.inflight.snapshot()
+            assert abs(counts[(0, 0)] - counts[(0, 1)]) <= 1
+
+
+class TestInflightTracker:
+    def test_acquire_release_roundtrip(self):
+        tracker = InflightTracker([(0, 0), (0, 1)])
+        tracker.acquire((0, 0))
+        tracker.acquire((0, 0))
+        assert tracker.get((0, 0)) == 2
+        tracker.release((0, 0))
+        assert tracker.snapshot() == {(0, 0): 1, (0, 1): 0}
+
+    def test_release_below_zero_is_an_error(self):
+        tracker = InflightTracker([(0, 0)])
+        with pytest.raises(RuntimeError):
+            tracker.release((0, 0))
+
+    def test_empty_or_duplicate_keys_are_rejected(self):
+        with pytest.raises(ValueError):
+            InflightTracker([])
+        with pytest.raises(ValueError):
+            InflightTracker([(0, 0), (0, 0)])
+
+
+# -- hypothesis properties -----------------------------------------------------
+
+#: One replica-health event: (kind, replica index). Indices are mapped
+#: onto the tracker's key list modulo its size.
+_EVENTS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["success", "failure", "probe_ok", "probe_fail", "tick"]
+        ),
+        st.integers(min_value=0, max_value=63),
+    ),
+    max_size=80,
+)
+
+
+def _apply(health, clock, event, keys):
+    kind, index = event
+    key = keys[index % len(keys)]
+    if kind == "success":
+        health.record_success(key)
+    elif kind == "failure":
+        health.record_failure(key)
+    elif kind == "probe_ok":
+        health.record_probe(key, ok=True)
+    elif kind == "probe_fail":
+        health.record_probe(key, ok=False)
+    else:
+        clock.advance(0.75)
+
+
+@settings(deadline=None, max_examples=200)
+@given(
+    events=_EVENTS,
+    replicas=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_any_event_sequence_keeps_the_machine_valid(
+    events, replicas, seed
+):
+    """Invariants hold after every event, whatever the history."""
+    clock = FakeClock()
+    health = ReplicaHealth(
+        replica_keys(2, replicas),
+        clock=clock,
+        rng=random.Random(seed),
+    )
+    keys = list(health.replicas)
+    for event in events:
+        _apply(health, clock, event, keys)
+        health.check_invariants()
+        counts = health.counts()
+        assert sum(counts.values()) == len(keys)
+
+
+@settings(deadline=None, max_examples=200)
+@given(
+    events=_EVENTS,
+    replicas=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_selection_never_picks_dead_over_a_live_sibling(
+    events, replicas, seed
+):
+    """The availability invariant under arbitrary health histories."""
+    clock = FakeClock()
+    health = ReplicaHealth(
+        replica_keys(1, replicas),
+        clock=clock,
+        rng=random.Random(seed),
+    )
+    keys = list(health.replicas)
+    for event in events:
+        _apply(health, clock, event, keys)
+        chosen = health.choose(0)
+        assert chosen is not None
+        if health.state(chosen) == DEAD:
+            assert all(health.state(key) == DEAD for key in keys)
+
+
+@settings(deadline=None, max_examples=100)
+@given(
+    replicas=st.integers(min_value=2, max_value=6),
+    rounds=st.integers(min_value=1, max_value=300),
+)
+def test_p2c_load_spread_stays_bounded(replicas, rounds):
+    """Equal-health replicas accumulate load within a small band.
+
+    Deterministic given (replicas, rounds): the tracker's RNG is
+    seeded, so hypothesis explores shapes, not coin flips. Strict
+    least-loaded would give spread <= 1; sampling two of R leaves a
+    small slack that stays far below the uniform-random drift.
+    """
+    health = ReplicaHealth(
+        replica_keys(1, replicas), rng=random.Random(1234)
+    )
+    for _ in range(rounds):
+        key = health.choose(0)
+        health.inflight.acquire(key)
+    counts = health.inflight.snapshot().values()
+    assert max(counts) - min(counts) <= 4
+
+
+@settings(deadline=None, max_examples=100)
+@given(
+    events=_EVENTS,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_choose_respects_exclusions_or_returns_none(events, seed):
+    clock = FakeClock()
+    health = ReplicaHealth(
+        replica_keys(1, 3), clock=clock, rng=random.Random(seed)
+    )
+    keys = list(health.replicas)
+    for event in events:
+        _apply(health, clock, event, keys)
+    for excluded in itertools.chain.from_iterable(
+        itertools.combinations(keys, size) for size in range(len(keys) + 1)
+    ):
+        chosen = health.choose(0, frozenset(excluded))
+        if len(excluded) == len(keys):
+            assert chosen is None
+        else:
+            assert chosen is not None and chosen not in excluded

@@ -29,6 +29,7 @@ from repro.search.query import SearchQuery, execute, gather_candidates
 from repro.search.realtime import RealTimeTimelineSystem
 from repro.serve import (
     DEGRADED_HEADER,
+    REPLICA_METRIC_NAMES,
     ROUTER_METRIC_NAMES,
     BackgroundServer,
     RouterConfig,
@@ -451,7 +452,9 @@ class TestRouterContract:
             | set(snapshot["gauges"])
             | set(snapshot["histograms"])
         )
-        assert emitted <= set(ROUTER_METRIC_NAMES)
+        assert emitted <= set(ROUTER_METRIC_NAMES) | set(
+            REPLICA_METRIC_NAMES
+        )
 
     def test_metrics_endpoint_renders_router_namespace(self, router):
         _request(router, "GET", "/v1/search?q=government")

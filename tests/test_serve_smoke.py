@@ -72,6 +72,7 @@ def _post_json(port, path, payload, timeout=60):
         return response.status, response.read()
 
 
+@pytest.mark.slow
 def test_serve_boot_request_and_graceful_sigterm(server_process):
     process, port = server_process
 

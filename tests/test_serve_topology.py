@@ -274,3 +274,99 @@ class TestCliIntegration:
         rc = cli_main(["index-info", str(path)])
         assert rc == 0
         assert "slice:" not in capsys.readouterr().out
+
+
+class TestParallelDrain:
+    """ShardWorkerPool.stop() drains workers concurrently.
+
+    The old sweep waited on workers one by one against a shared
+    deadline, so a hung worker burned the whole grace budget and every
+    sibling behind it was SIGKILLed after ~0.1 s. The parallel drain
+    grants each worker the full grace period and bounds total wall time
+    by the slowest worker, not the sum.
+    """
+
+    @staticmethod
+    def _spawn_worker(shard_id, replica_id, on_term):
+        """A subprocess that acknowledges readiness, then acts out
+        *on_term* ('exit' after a delay, or 'ignore') on SIGTERM."""
+        import subprocess
+        import sys
+
+        from repro.serve.topology import ShardWorker
+
+        if on_term == "ignore":
+            body = "signal.signal(signal.SIGTERM, signal.SIG_IGN)"
+        else:
+            delay = float(on_term)
+            body = (
+                "signal.signal(signal.SIGTERM, lambda *_: ("
+                f"time.sleep({delay}), sys.exit(0)))"
+            )
+        script = (
+            "import signal, sys, time\n"
+            f"{body}\n"
+            "print('ready', flush=True)\n"
+            "while True:\n"
+            "    time.sleep(0.05)\n"
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        assert process.stdout.readline().strip() == "ready"
+        return ShardWorker(
+            shard_id=shard_id,
+            process=process,
+            host="127.0.0.1",
+            port=0,
+            replica_id=replica_id,
+        )
+
+    @staticmethod
+    def _empty_pool():
+        from repro.serve.topology import ShardWorkerPool
+
+        return ShardWorkerPool(
+            Topology(
+                shards=(), total_documents=0, source_index_version=0
+            )
+        )
+
+    @pytest.mark.slow
+    def test_drain_time_tracks_the_slowest_worker_not_the_sum(self):
+        import time
+
+        pool = self._empty_pool()
+        pool.workers = [
+            self._spawn_worker(shard_id, 0, on_term="0.9")
+            for shard_id in range(3)
+        ]
+        processes = [worker.process for worker in pool.workers]
+        started = time.monotonic()
+        pool.stop(timeout_seconds=10.0)
+        elapsed = time.monotonic() - started
+        assert all(process.returncode == 0 for process in processes)
+        # Sequential graceful exits would take >= 2.7 s; parallel drain
+        # tracks the slowest single worker (~0.9 s) plus slack.
+        assert elapsed < 2.5, f"drain took {elapsed:.2f}s"
+        assert pool.workers == []
+
+    @pytest.mark.slow
+    def test_hung_worker_does_not_steal_siblings_grace(self):
+        import time
+
+        pool = self._empty_pool()
+        hung = self._spawn_worker(0, 0, on_term="ignore")
+        graceful = self._spawn_worker(1, 0, on_term="1.0")
+        pool.workers = [hung, graceful]
+        started = time.monotonic()
+        pool.stop(timeout_seconds=2.0)
+        elapsed = time.monotonic() - started
+        # The graceful worker needs ~1.0 s of its 2.0 s grace; under the
+        # old shared-deadline sweep the hung worker consumed it all and
+        # the graceful sibling was SIGKILLed after ~0.1 s.
+        assert graceful.process.returncode == 0
+        assert hung.process.returncode != 0  # SIGKILLed past its grace
+        assert elapsed < 4.0, f"drain took {elapsed:.2f}s"
