@@ -403,6 +403,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         batch_window_ms=args.batch_window_ms,
     )
+    plane = None
+    if getattr(args, "ingest", False):
+        from repro.ingest import IngestConfig, IngestPlane
+
+        plane = IngestPlane(
+            system,
+            IngestConfig(
+                queue_articles=args.ingest_queue,
+                batch_articles=args.ingest_batch,
+                batch_age_ms=args.ingest_batch_age_ms,
+                segments_dir=args.segments_dir,
+                auto_compact_docs=args.auto_compact_docs,
+            ),
+            metrics=metrics,
+        )
+        plane.start()
 
     def ready(server) -> None:
         # Boot-to-ready wall time: index restore/ingest plus server
@@ -412,15 +428,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics.gauge("serve.warmup_seconds").set(warmup)
         # Printed (and flushed) before blocking so supervisors and the
         # smoke tests can parse the bound port even with --port 0.
+        ingest_note = ""
+        if plane is not None:
+            ingest_note = (
+                f", ingest enabled ({plane.live.segment_count} segments "
+                "recovered)"
+            )
         print(
             f"serving on http://{config.host}:{server.port} "
             f"({indexed} sentences indexed from {source}, "
             f"index_version {system.index_version}, "
-            f"warmup {warmup:.3f}s)",
+            f"warmup {warmup:.3f}s{ingest_note})",
             flush=True,
         )
 
-    drained = run_server(system, config=config, metrics=metrics, ready=ready)
+    drained = run_server(
+        system, config=config, metrics=metrics, ready=ready, ingest=plane
+    )
     print(
         "shutdown: drained cleanly" if drained
         else "shutdown: drain timed out; in-flight requests abandoned",
@@ -708,7 +732,54 @@ def _cmd_index_info(args: argparse.Namespace) -> int:
             f"slice:         shard {slice_meta.get('shard_id')} of "
             f"{slice_meta.get('num_shards')}, {start} .. {end}"
         )
+    if getattr(args, "segments", None) is not None:
+        _print_live_segments(args.segments, int(info["index_version"]))
     return 0
+
+
+def _print_live_segments(directory: str, base_version: int) -> int:
+    """Describe the live overlay a segments directory represents.
+
+    Prints one line per sealed ``wilson.segment/v1`` file (headers are
+    O(1) reads -- no batch is replayed) plus the totals a restarted
+    worker would boot into: pending documents, pending compaction
+    bytes, and the live ``index_version`` the base snapshot + overlay
+    would report. Returns the number of segments described.
+    """
+    import pathlib as _pathlib
+
+    from repro.ingest import list_segments, segment_info
+    from repro.search.snapshot import SnapshotError
+
+    paths = list_segments(directory)
+    print(f"live segments: {len(paths)} (in {directory})")
+    pending_documents = 0
+    pending_bytes = 0
+    live_version = base_version
+    for path in paths:
+        try:
+            header = segment_info(path)
+        except SnapshotError as exc:
+            print(f"  {path.name}: unreadable ({exc})")
+            continue
+        documents = int(header.get("documents", 0))
+        touched = header.get("touched_dates") or []
+        nbytes = _pathlib.Path(path).stat().st_size
+        pending_documents += documents
+        pending_bytes += nbytes
+        live_version += documents
+        window = (
+            f"{touched[0]} .. {touched[-1]}" if touched else "(no dates)"
+        )
+        print(
+            f"  {path.name}: seq {header.get('segment_seq')}, "
+            f"{documents} documents, {header.get('articles')} articles, "
+            f"{window}, {nbytes} bytes"
+        )
+    print(f"pending documents:          {pending_documents}")
+    print(f"pending compaction bytes:   {pending_bytes}")
+    print(f"live index_version:         {live_version}")
+    return len(paths)
 
 
 _EVALUATE_METHODS = (
@@ -967,6 +1038,40 @@ def build_parser() -> argparse.ArgumentParser:
              "memory (default %(default)s)",
     )
     server.add_argument(
+        "--ingest",
+        action="store_true",
+        help="attach a streaming ingest plane: POST /v1/ingest admits "
+             "article batches into delta segments queryable without a "
+             "restart (see docs/ingest.md)",
+    )
+    server.add_argument(
+        "--ingest-queue", type=int, default=1024, metavar="N",
+        help="with --ingest: queued-article admission bound; beyond it "
+             "POST /v1/ingest answers 429 (default %(default)s)",
+    )
+    server.add_argument(
+        "--ingest-batch", type=int, default=64, metavar="N",
+        help="with --ingest: max articles sealed per segment "
+             "(default %(default)s)",
+    )
+    server.add_argument(
+        "--ingest-batch-age-ms", type=float, default=50.0, metavar="MS",
+        help="with --ingest: max staleness before a partial batch "
+             "seals (default %(default)s)",
+    )
+    server.add_argument(
+        "--segments-dir",
+        default=None,
+        metavar="DIR",
+        help="with --ingest: persist sealed segments here and recover "
+             "them on boot (default: memory-only segments)",
+    )
+    server.add_argument(
+        "--auto-compact-docs", type=int, default=None, metavar="N",
+        help="with --ingest: fold segments into a fresh base once N "
+             "pending documents accumulate (default: never)",
+    )
+    server.add_argument(
         "--shards", type=int, default=1, metavar="N",
         help="partition the index into N date-range slices, boot one "
              "worker process per slice, and serve through a "
@@ -1075,6 +1180,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     index_info.add_argument(
         "path", help="a binary snapshot or JSONL index file"
+    )
+    index_info.add_argument(
+        "--segments",
+        default=None,
+        metavar="DIR",
+        help=(
+            "also describe the live delta segments in DIR: per-segment "
+            "document/article counts and touched-date windows, plus "
+            "pending-compaction totals and the live index_version "
+            "(headers only; O(1) per segment)"
+        ),
     )
     index_info.set_defaults(func=_cmd_index_info)
 

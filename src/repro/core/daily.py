@@ -13,7 +13,7 @@ import datetime
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.graph.pagerank import DEFAULT_DAMPING
 from repro.obs.trace import Tracer, ensure_tracer
@@ -58,13 +58,57 @@ class DayMatrixCache:
         self._bytes = 0
         self._version: Optional[int] = None
 
-    def sync_version(self, version: int) -> None:
-        """Invalidate every entry when the backing index has changed."""
+    @property
+    def version(self) -> int:
+        """The index revision the cached entries are keyed against.
+
+        ``-1`` until the first :meth:`sync_version` -- callers use this
+        to ask the live index which days changed since (see
+        ``LiveIndex.touched_dates_since``).
+        """
         with self._lock:
-            if version != self._version:
+            return -1 if self._version is None else self._version
+
+    def sync_version(
+        self,
+        version: int,
+        touched_dates: Optional[Iterable[datetime.date]] = None,
+    ) -> int:
+        """Re-key the cache to a new index revision; returns evictions.
+
+        Without *touched_dates* every entry is invalidated (the only
+        safe default: the caller cannot say which days changed). With a
+        touched-dates set -- what a sealed ingest segment reports --
+        eviction is day-scoped: only entries for touched days drop,
+        and every survivor is re-keyed to the new revision. A day's
+        ranking is fully determined by its key (exact sentence pool +
+        parameters), so an untouched day's entry stays bit-correct
+        across revisions; re-keying just keeps :meth:`make_key` lookups
+        landing on it.
+        """
+        with self._lock:
+            if version == self._version:
+                return 0
+            if touched_dates is None or self._version is None:
+                evicted = len(self._entries)
                 self._entries.clear()
                 self._bytes = 0
                 self._version = version
+                return evicted
+            touched = set(touched_dates)
+            survivors: "OrderedDict[tuple, tuple]" = OrderedDict()
+            kept_bytes = 0
+            evicted = 0
+            for key, entry in self._entries.items():
+                if key[1] in touched:
+                    evicted += 1
+                    continue
+                survivors[(version,) + key[1:]] = entry
+                kept_bytes += self._entry_bytes(entry)
+            self._entries = survivors
+            self._bytes = kept_bytes
+            self._version = version
+            return evicted
 
     def make_key(
         self,

@@ -1,0 +1,126 @@
+"""Folding sealed segments back into a fresh base index.
+
+Compaction replays the overlay's documents -- base first, then every
+sealed segment in order -- through :meth:`InvertedIndex.add` into a
+fresh index, then atomically swaps it in as the new base
+(:meth:`LiveIndex.replace_base`). Replaying the same documents in the
+same order is what makes the guarantee trivial: the compacted index
+*is* the cold re-index of the streamed corpus, so a snapshot written
+from it is byte-identical to one written after a cold re-index
+(asserted by ``tests/test_ingest_plane.py``).
+
+The fold runs entirely off the query hot path: readers keep serving
+the old ``(base, segments)`` view until the single atomic swap, and
+segments sealed *while* the fold runs survive it -- ``replace_base``
+only consumes the prefix the compactor actually folded. One compaction
+runs at a time (serialized by an internal lock).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import threading
+
+from repro.ingest.live import LiveIndex
+from repro.search.index import InvertedIndex
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one compaction folded and what it cost."""
+
+    folded_segments: int
+    folded_documents: int
+    documents: int
+    seconds: float
+    reclaimed_bytes: int
+    snapshot_path: Optional[pathlib.Path] = None
+
+
+class Compactor:
+    """Folds a :class:`LiveIndex`'s segments into a fresh base."""
+
+    def __init__(self, live: LiveIndex) -> None:
+        self.live = live
+        self._lock = threading.Lock()
+
+    def compact(
+        self,
+        snapshot_path: Optional[PathLike] = None,
+        snapshot_format: str = "v2",
+    ) -> CompactionReport:
+        """Fold every currently sealed segment into a new base index.
+
+        With *snapshot_path* the compacted index is also persisted as a
+        ``wilson.snapshot`` of *snapshot_format* -- the file a restarted
+        worker boots from without replaying any segment. Returns a
+        :class:`CompactionReport`; folding zero segments is a cheap
+        no-op (the snapshot, when requested, is still written).
+        """
+        with self._lock:
+            started = time.perf_counter()
+            live = self.live
+            state = live._state  # one consistent (base, segments) view
+            base, segments = state.base, state.segments
+            if segments:
+                fresh = InvertedIndex(cache=live.cache)
+                for doc_id in range(base.num_documents):
+                    document = base.document(doc_id)
+                    fresh.add(
+                        document.text,
+                        date=document.date,
+                        publication_date=document.publication_date,
+                        article_id=document.article_id,
+                        is_reference=document.is_reference,
+                    )
+                for segment in segments:
+                    for local in range(segment.documents):
+                        document = segment.index.document(local)
+                        fresh.add(
+                            document.text,
+                            date=document.date,
+                            publication_date=document.publication_date,
+                            article_id=document.article_id,
+                            is_reference=document.is_reference,
+                        )
+                # Replaying bumps the version once per document; restore
+                # the overlay's revision (covers a base restored with a
+                # version ahead of its document count).
+                fresh.advance_version(
+                    base.index_version
+                    + sum(s.version_span for s in segments)
+                )
+                live.replace_base(fresh, folded_segments=len(segments))
+                compacted: InvertedIndex = fresh
+            else:
+                compacted = base
+            reclaimed = 0
+            for segment in segments:
+                if segment.path is not None:
+                    try:
+                        segment.path.unlink()
+                        reclaimed += segment.nbytes
+                    except OSError:
+                        pass
+            written: Optional[pathlib.Path] = None
+            if snapshot_path is not None:
+                from repro.search.snapshot import save_snapshot
+
+                written = pathlib.Path(snapshot_path)
+                save_snapshot(
+                    compacted, written, snapshot_format=snapshot_format
+                )
+            return CompactionReport(
+                folded_segments=len(segments),
+                folded_documents=sum(s.documents for s in segments),
+                documents=compacted.num_documents,
+                seconds=time.perf_counter() - started,
+                reclaimed_bytes=reclaimed,
+                snapshot_path=written,
+            )

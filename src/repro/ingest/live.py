@@ -1,0 +1,415 @@
+"""The live read overlay: base snapshot + sealed delta segments.
+
+:class:`LiveIndex` presents the full :class:`~repro.search.index.
+InvertedIndex` read API over a *base* index (classic, or a zero-copy
+:class:`~repro.search.mapped.MappedSnapshotIndex`) plus an ordered
+tuple of sealed :class:`~repro.ingest.segment.Segment`\\ s, merging
+postings, document-frequency and length statistics at query time. BM25
+statistics are additive integers (see ``InvertedIndex.total_length``),
+so the merged view scores -- and tie-breaks -- *bit-identically* to a
+single index holding the same documents in the same order: base
+documents keep ids ``0..N-1`` and each segment's documents follow at a
+fixed global offset, exactly the ids a cold re-index would assign.
+
+Writes never touch the overlay directly (:meth:`LiveIndex.add` raises);
+the ingest plane appends sealed segments with :meth:`append_segment`
+and compaction swaps the folded base in with :meth:`replace_base`.
+Both swap one immutable state tuple under a mutate lock, so concurrent
+readers always observe a consistent ``(base, segments)`` pair without
+taking any lock on the query path. A reader that started before a seal
+simply serves the pre-seal view; the next request sees the new one.
+
+Every sealed segment advances :attr:`index_version` by its document
+count (matching what the same ``add`` calls would have done on one
+index) and records its touched content dates;
+:meth:`touched_dates_since` replays that log so caches keyed on
+``index_version`` can invalidate *only* the affected days
+(:meth:`repro.core.daily.DayMatrixCache.sync_version`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import datetime
+import threading
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
+
+from repro.ingest.segment import Segment
+from repro.search.index import IndexedSentence, InvertedIndex
+from repro.text.analysis import TokenCache
+
+__all__ = ["LiveIndex"]
+
+#: Invalidation-log bound. Each entry is one sealed segment's (version,
+#: touched-dates) pair; beyond this, the oldest entries collapse into
+#: the "unknown -- flush everything" floor.
+_LOG_LIMIT = 1024
+
+
+class _LiveState(NamedTuple):
+    """One immutable, atomically swapped overlay configuration."""
+
+    base: InvertedIndex
+    segments: Tuple[Segment, ...]
+    offsets: Tuple[int, ...]
+    total_docs: int
+    total_length: int
+    version: int
+
+
+def _make_state(
+    base: InvertedIndex, segments: Tuple[Segment, ...]
+) -> _LiveState:
+    offsets: List[int] = []
+    cursor = base.num_documents
+    total_length = base.total_length
+    version = base.index_version
+    for segment in segments:
+        offsets.append(cursor)
+        cursor += segment.documents
+        total_length += segment.index.total_length
+        version += segment.version_span
+    return _LiveState(
+        base=base,
+        segments=segments,
+        offsets=tuple(offsets),
+        total_docs=cursor,
+        total_length=total_length,
+        version=version,
+    )
+
+
+class LiveIndex(InvertedIndex):
+    """Read-only merge view of a base index and sealed delta segments."""
+
+    def __init__(
+        self,
+        base: InvertedIndex,
+        cache: Optional[TokenCache] = None,
+    ) -> None:
+        # Deliberately no super().__init__(): like MappedSnapshotIndex,
+        # the dict-based state it would build is never used -- every
+        # base-class method touching it is overridden below.
+        self.cache = cache if cache is not None else base.cache
+        self._mutate = threading.Lock()
+        self._state = _make_state(base, ())
+        self._log: List[Tuple[int, frozenset]] = []
+        self._log_floor = self._state.version
+
+    # -- overlay mutation (ingest plane only) -------------------------------
+
+    def append_segment(self, segment: Segment) -> int:
+        """Overlay a sealed *segment*; returns the new index version."""
+        with self._mutate:
+            state = self._state
+            new_state = _make_state(
+                state.base, state.segments + (segment,)
+            )
+            self._log.append(
+                (new_state.version, frozenset(segment.touched_dates))
+            )
+            if len(self._log) > _LOG_LIMIT:
+                dropped = self._log.pop(0)
+                self._log_floor = dropped[0]
+            self._state = new_state
+            return new_state.version
+
+    def replace_base(
+        self, base: InvertedIndex, folded_segments: int
+    ) -> None:
+        """Swap in a compacted *base* covering the first *folded_segments*.
+
+        The new base must hold exactly the documents of the old base
+        plus the folded segments (in order) and carry the matching
+        index version, so global doc ids and :attr:`index_version` are
+        unchanged -- compaction is invisible to readers and caches.
+        """
+        with self._mutate:
+            state = self._state
+            remaining = state.segments[folded_segments:]
+            expected_docs = state.offsets[folded_segments - 1] + (
+                state.segments[folded_segments - 1].documents
+            ) if folded_segments else state.base.num_documents
+            if base.num_documents != expected_docs:
+                raise ValueError(
+                    f"compacted base holds {base.num_documents} documents, "
+                    f"expected {expected_docs}"
+                )
+            new_state = _make_state(base, remaining)
+            if new_state.version != state.version:
+                raise ValueError(
+                    f"compacted base version {new_state.version} != live "
+                    f"version {state.version}"
+                )
+            self._state = new_state
+
+    # -- invalidation log ---------------------------------------------------
+
+    def touched_dates_since(
+        self, version: int
+    ) -> Optional[frozenset]:
+        """Content dates written after *version*, or ``None`` if unknown.
+
+        ``None`` means the asked-for revision predates the log (or the
+        overlay's creation): the caller must fall back to a full flush.
+        An up-to-date *version* returns an empty set -- nothing to
+        evict.
+        """
+        with self._mutate:
+            if version >= self._state.version:
+                return frozenset()
+            if version < self._log_floor:
+                return None
+            touched: set = set()
+            for logged_version, dates in reversed(self._log):
+                if logged_version <= version:
+                    break
+                touched.update(dates)
+            return frozenset(touched)
+
+    # -- overlay introspection ----------------------------------------------
+
+    @property
+    def base(self) -> InvertedIndex:
+        return self._state.base
+
+    @property
+    def segments(self) -> Tuple[Segment, ...]:
+        return self._state.segments
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._state.segments)
+
+    @property
+    def pending_documents(self) -> int:
+        """Documents living in segments, awaiting compaction."""
+        state = self._state
+        return state.total_docs - state.base.num_documents
+
+    @property
+    def pending_bytes(self) -> int:
+        """On-disk bytes of unfolded segments (0 for memory-only)."""
+        return sum(s.nbytes for s in self._state.segments)
+
+    # -- writes -------------------------------------------------------------
+
+    def add(self, *args, **kwargs) -> int:
+        raise TypeError(
+            "LiveIndex is a read overlay; stream documents through the "
+            "ingest plane (repro.ingest.IngestPlane), which seals them "
+            "into segments"
+        )
+
+    def advance_version(self, version: int) -> None:
+        raise TypeError(
+            "LiveIndex derives its version from base + segments; "
+            "advance the base index instead"
+        )
+
+    # -- routing ------------------------------------------------------------
+
+    @staticmethod
+    def _route(
+        state: _LiveState, doc_id: int
+    ) -> Tuple[InvertedIndex, int, int]:
+        """``(sub_index, local_id, global_offset)`` owning *doc_id*."""
+        base_docs = state.base.num_documents
+        if 0 <= doc_id < base_docs:
+            return state.base, doc_id, 0
+        k = bisect.bisect_right(state.offsets, doc_id) - 1
+        if k >= 0:
+            segment = state.segments[k]
+            local = doc_id - state.offsets[k]
+            if 0 <= local < segment.documents:
+                return segment.index, local, state.offsets[k]
+        raise IndexError(f"doc_id {doc_id} out of range")
+
+    @staticmethod
+    def _ids_on(sub: InvertedIndex, date: datetime.date):
+        """One sub-index's doc ids for *date*, in insertion order."""
+        by_date = getattr(sub, "_by_date", None)
+        if by_date is not None:
+            return by_date.get(date, ())
+        return sub.doc_ids_in_range(date, date)
+
+    def _subs(
+        self, state: _LiveState
+    ) -> List[Tuple[InvertedIndex, int]]:
+        return [(state.base, 0)] + [
+            (segment.index, offset)
+            for segment, offset in zip(state.segments, state.offsets)
+        ]
+
+    # -- reads --------------------------------------------------------------
+
+    @property
+    def index_version(self) -> int:
+        return self._state.version
+
+    @property
+    def num_documents(self) -> int:
+        return self._state.total_docs
+
+    @property
+    def total_length(self) -> int:
+        return self._state.total_length
+
+    @property
+    def average_length(self) -> float:
+        state = self._state
+        if not state.total_docs:
+            return 0.0
+        return state.total_length / state.total_docs
+
+    def document(self, doc_id: int) -> IndexedSentence:
+        state = self._state
+        sub, local, offset = self._route(state, doc_id)
+        document = sub.document(local)
+        if offset == 0:
+            return document
+        return dataclasses.replace(document, doc_id=local + offset)
+
+    def document_length(self, doc_id: int) -> int:
+        sub, local, _ = self._route(self._state, doc_id)
+        return sub.document_length(local)
+
+    def document_frequency(self, token: str) -> int:
+        state = self._state
+        return state.base.document_frequency(token) + sum(
+            segment.index.document_frequency(token)
+            for segment in state.segments
+        )
+
+    def postings(self, token: str) -> Dict[int, int]:
+        state = self._state
+        merged = dict(state.base.postings(token))
+        for segment, offset in zip(state.segments, state.offsets):
+            for local, tf in segment.index.postings(token).items():
+                merged[local + offset] = tf
+        return merged
+
+    def positions(self, token: str, doc_id: int) -> List[int]:
+        sub, local, _ = self._route(self._state, doc_id)
+        return sub.positions(token, local)
+
+    def phrase_match(self, tokens: List[str], doc_id: int) -> bool:
+        sub, local, _ = self._route(self._state, doc_id)
+        return sub.phrase_match(tokens, local)
+
+    def vocabulary_size(self) -> int:
+        return sum(1 for _ in self.tokens_with_postings())
+
+    def tokens_with_postings(self) -> Iterator[str]:
+        state = self._state
+        seen = set()
+        for sub, _ in self._subs(state):
+            for token in sub.tokens_with_postings():
+                if token not in seen:
+                    seen.add(token)
+                    yield token
+
+    def postings_map(self) -> Dict[str, Dict[int, List[int]]]:
+        """Materialise the merged positional mapping (writer accessor).
+
+        Token order is first occurrence across base-then-segments,
+        per-token doc ids ascending -- exactly the order a single index
+        fed the same documents in the same sequence would hold, so
+        snapshotting the overlay equals snapshotting that index.
+        """
+        state = self._state
+        merged: Dict[str, Dict[int, List[int]]] = {}
+        for sub, offset in self._subs(state):
+            for token, entries in sub.postings_map().items():
+                target = merged.setdefault(token, {})
+                for local, positions in entries.items():
+                    target[local + offset] = list(positions)
+        return merged
+
+    # -- date access --------------------------------------------------------
+
+    def dates(self) -> List[datetime.date]:
+        state = self._state
+        merged = set(state.base.dates())
+        for segment in state.segments:
+            merged.update(segment.index.dates())
+        return sorted(merged)
+
+    def doc_ids_in_range(
+        self,
+        start: Optional[datetime.date] = None,
+        end: Optional[datetime.date] = None,
+    ) -> Iterator[int]:
+        state = self._state
+        subs = self._subs(state)
+        for date in self.dates():
+            if start is not None and date < start:
+                continue
+            if end is not None and date > end:
+                break
+            for sub, offset in subs:
+                for doc_id in self._ids_on(sub, date):
+                    yield doc_id + offset
+
+    def documents_on(self, date: datetime.date) -> List[IndexedSentence]:
+        state = self._state
+        documents: List[IndexedSentence] = []
+        for sub, offset in self._subs(state):
+            for doc_id in self._ids_on(sub, date):
+                document = sub.document(doc_id)
+                if offset:
+                    document = dataclasses.replace(
+                        document, doc_id=doc_id + offset
+                    )
+                documents.append(document)
+        return documents
+
+    def date_histogram(
+        self,
+        interval_days: int = 1,
+        start: Optional[datetime.date] = None,
+        end: Optional[datetime.date] = None,
+    ) -> Dict[datetime.date, int]:
+        if interval_days < 1:
+            raise ValueError(
+                f"interval_days must be >= 1, got {interval_days}"
+            )
+        state = self._state
+        per_date: Dict[datetime.date, int] = {}
+        for sub, _ in self._subs(state):
+            for date, count in sub.date_histogram(
+                1, start=start, end=end
+            ).items():
+                per_date[date] = per_date.get(date, 0) + count
+        counts: Dict[datetime.date, int] = {}
+        dates = sorted(per_date)
+        if not dates:
+            return counts
+        origin = start if start is not None else dates[0]
+        for date in dates:
+            offset = (date - origin).days // interval_days
+            bucket = origin + datetime.timedelta(
+                days=offset * interval_days
+            )
+            counts[bucket] = counts.get(bucket, 0) + per_date[date]
+        return counts
+
+    def __len__(self) -> int:
+        return self._state.total_docs
+
+    def __repr__(self) -> str:
+        state = self._state
+        return (
+            f"LiveIndex(base={state.base.num_documents}, "
+            f"segments={len(state.segments)}, "
+            f"pending={self.pending_documents}, "
+            f"version={state.version})"
+        )

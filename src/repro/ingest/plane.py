@@ -1,0 +1,317 @@
+"""The ingest plane: the write path of a live WILSON serving system.
+
+:class:`IngestPlane` attaches to a :class:`~repro.search.realtime.
+RealTimeTimelineSystem` and turns its read-only engine into a live one:
+
+* the engine's index is wrapped in a :class:`~repro.ingest.live.
+  LiveIndex` overlay (idempotent -- attaching twice is a no-op);
+* HTTP handlers :meth:`submit` article batches into the bounded
+  :class:`~repro.ingest.queue.IngestQueue` (``False`` -> 429, the only
+  admission decision);
+* one :class:`~repro.ingest.writer.SegmentWriter` thread drains the
+  queue and calls the seal path: expand articles exactly as
+  ``SearchEngine.add_article`` would, build a mini index, optionally
+  persist a ``wilson.segment/v1`` file, append the sealed segment to
+  the overlay (bumping ``index_version`` by its document count), then
+  notify seal listeners with the segment's touched dates -- the hook
+  serving layers use for precise result-cache invalidation;
+* a :class:`~repro.ingest.compactor.Compactor` folds segments back
+  into a fresh base off the hot path, automatically once
+  ``auto_compact_docs`` pending documents accumulate.
+
+Every instrument lives in the ``ingest.*`` registry pinned below and
+documented in ``docs/observability.md`` (drift-tested by
+``tests/test_docs_observability.py``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.ingest.compactor import CompactionReport, Compactor
+from repro.ingest.live import LiveIndex
+from repro.ingest.queue import IngestQueue
+from repro.ingest.segment import (
+    Segment,
+    build_segment,
+    list_segments,
+    load_segment,
+    write_segment,
+)
+from repro.ingest.writer import SegmentWriter
+from repro.obs.metrics import Metrics
+from repro.tlsdata.types import Article
+
+PathLike = Union[str, pathlib.Path]
+
+#: Counters the ingest plane may increment.
+INGEST_COUNTERS = (
+    "ingest.articles_accepted",
+    "ingest.articles_rejected",
+    "ingest.documents_indexed",
+    "ingest.segments_sealed",
+    "ingest.segments_recovered",
+    "ingest.seal_errors",
+    "ingest.compactions",
+    "ingest.invalidated_days",
+)
+
+#: Gauges describing the live overlay's current shape.
+INGEST_GAUGES = (
+    "ingest.queue_depth",
+    "ingest.live_segments",
+    "ingest.pending_documents",
+    "ingest.pending_compaction_bytes",
+    "ingest.index_version",
+)
+
+#: Timing/size distributions of the write path.
+INGEST_HISTOGRAMS = (
+    "ingest.seal_seconds",
+    "ingest.seal_documents",
+    "ingest.compaction_seconds",
+)
+
+INGEST_METRIC_NAMES = INGEST_COUNTERS + INGEST_GAUGES + INGEST_HISTOGRAMS
+
+#: A seal listener: ``(segment, new_index_version) -> None``.
+SealListener = Callable[[Segment, int], None]
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Tunables of the ingest plane.
+
+    ``queue_articles`` bounds admission (beyond it, :meth:`IngestPlane.
+    submit` rejects -> 429). ``batch_articles`` / ``batch_age_ms``
+    bound a seal batch by size and staleness: a lone document becomes
+    queryable within roughly one batch age. ``segments_dir`` persists
+    sealed segments (and recovers them on attach); ``None`` keeps
+    segments memory-only. ``auto_compact_docs`` folds segments into a
+    fresh base once that many pending documents accumulate (``None``
+    disables automatic compaction).
+    """
+
+    queue_articles: int = 1024
+    batch_articles: int = 64
+    batch_age_ms: float = 50.0
+    segments_dir: Optional[PathLike] = None
+    auto_compact_docs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_articles < 1:
+            raise ValueError(
+                f"queue_articles must be >= 1, got {self.queue_articles}"
+            )
+        if self.batch_articles < 1:
+            raise ValueError(
+                f"batch_articles must be >= 1, got {self.batch_articles}"
+            )
+        if self.batch_age_ms <= 0:
+            raise ValueError(
+                f"batch_age_ms must be > 0, got {self.batch_age_ms}"
+            )
+        if self.auto_compact_docs is not None and self.auto_compact_docs < 1:
+            raise ValueError(
+                "auto_compact_docs must be >= 1 or None, "
+                f"got {self.auto_compact_docs}"
+            )
+
+
+class IngestPlane:
+    """Streaming write path over a real-time timeline system."""
+
+    def __init__(
+        self,
+        system,
+        config: Optional[IngestConfig] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.system = system
+        self.config = config or IngestConfig()
+        self.metrics = metrics if metrics is not None else Metrics()
+        engine = system.engine
+        if not isinstance(engine.index, LiveIndex):
+            engine.index = LiveIndex(engine.index, cache=engine.cache)
+        self.live: LiveIndex = engine.index
+        self.queue = IngestQueue(self.config.queue_articles)
+        self.writer = SegmentWriter(self)
+        self.compactor = Compactor(self.live)
+        self._seal_lock = threading.Lock()
+        self._seq = 0
+        self._listeners: List[SealListener] = []
+        self._segments_dir: Optional[pathlib.Path] = (
+            pathlib.Path(self.config.segments_dir)
+            if self.config.segments_dir is not None
+            else None
+        )
+        if self._segments_dir is not None:
+            self._segments_dir.mkdir(parents=True, exist_ok=True)
+            self._recover_segments()
+        # Expose the plane so RealTimeTimelineSystem.ingest routes here
+        # (LiveIndex rejects direct writes).
+        system.ingest_plane = self
+        self.refresh_gauges()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background writer thread (idempotent)."""
+        self.writer.start()
+
+    def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop the writer; with *drain*, seal everything still queued."""
+        self.writer.stop(drain=drain, timeout=timeout)
+        self.refresh_gauges()
+
+    def _recover_segments(self) -> None:
+        """Re-overlay segments persisted by an earlier incarnation."""
+        engine = self.system.engine
+        for path in list_segments(self._segments_dir):
+            segment = load_segment(path, cache=engine.cache)
+            if segment.documents:
+                self.live.append_segment(segment)
+                engine._num_articles += segment.articles
+                self.metrics.counter("ingest.segments_recovered").inc()
+            self._seq = max(self._seq, segment.seq + 1)
+
+    # -- listeners ----------------------------------------------------------
+
+    def add_seal_listener(self, listener: SealListener) -> None:
+        """Call *listener(segment, version)* after every seal."""
+        self._listeners.append(listener)
+
+    # -- write path ---------------------------------------------------------
+
+    def submit(self, articles: Sequence[Article]) -> bool:
+        """Enqueue a batch for asynchronous sealing; ``False`` on pressure.
+
+        The admission decision of ``POST /v1/ingest``: rejection is
+        all-or-nothing and the caller maps it to 429.
+        """
+        articles = list(articles)
+        accepted = self.queue.offer(articles)
+        if accepted:
+            self.metrics.counter("ingest.articles_accepted").inc(
+                len(articles)
+            )
+        else:
+            self.metrics.counter("ingest.articles_rejected").inc(
+                len(articles)
+            )
+        self.metrics.gauge("ingest.queue_depth").set(self.queue.depth)
+        return accepted
+
+    def ingest(self, articles: Sequence[Article]) -> int:
+        """Synchronously seal *articles*; returns documents indexed.
+
+        The library path (``RealTimeTimelineSystem.ingest``): bypasses
+        the queue, returns once the batch is queryable.
+        """
+        articles = list(articles)
+        if not articles:
+            return 0
+        self.metrics.counter("ingest.articles_accepted").inc(
+            len(articles)
+        )
+        segment = self._seal_batch(articles)
+        return segment.documents if segment is not None else 0
+
+    def flush(self, timeout: float = 10.0) -> bool:
+        """Wait until every queued article has been sealed."""
+        flushed = self.writer.flush(timeout=timeout)
+        self.refresh_gauges()
+        return flushed
+
+    def _seal_batch(self, articles: Sequence[Article]) -> Optional[Segment]:
+        engine = self.system.engine
+        with self._seal_lock:
+            started = time.perf_counter()
+            segment = build_segment(
+                self._seq, articles, engine.tagger, cache=engine.cache
+            )
+            if not segment.documents:
+                # Articles with no sentences still count as ingested
+                # articles -- exactly what add_article does cold.
+                engine._num_articles += segment.articles
+                return None
+            self._seq += 1
+            if self._segments_dir is not None:
+                segment = write_segment(
+                    segment,
+                    self._segments_dir / f"segment-{segment.seq:06d}.seg",
+                )
+            version = self.live.append_segment(segment)
+            engine._num_articles += segment.articles
+            elapsed = time.perf_counter() - started
+            metrics = self.metrics
+            metrics.counter("ingest.segments_sealed").inc()
+            metrics.counter("ingest.documents_indexed").inc(
+                segment.documents
+            )
+            metrics.counter("ingest.invalidated_days").inc(
+                len(segment.touched_dates)
+            )
+            metrics.histogram("ingest.seal_seconds").observe(elapsed)
+            metrics.histogram("ingest.seal_documents").observe(
+                segment.documents
+            )
+            self.refresh_gauges()
+        for listener in self._listeners:
+            listener(segment, version)
+        auto = self.config.auto_compact_docs
+        if auto is not None and self.live.pending_documents >= auto:
+            self.compact()
+        return segment
+
+    def _record_seal_error(self, articles: int) -> None:
+        self.metrics.counter("ingest.seal_errors").inc()
+        self.metrics.counter("ingest.articles_rejected").inc(articles)
+
+    # -- compaction ---------------------------------------------------------
+
+    def compact(
+        self,
+        snapshot_path: Optional[PathLike] = None,
+        snapshot_format: str = "v2",
+    ) -> CompactionReport:
+        """Fold sealed segments into a fresh base (off the hot path)."""
+        report = self.compactor.compact(
+            snapshot_path=snapshot_path, snapshot_format=snapshot_format
+        )
+        self.metrics.counter("ingest.compactions").inc()
+        self.metrics.histogram("ingest.compaction_seconds").observe(
+            report.seconds
+        )
+        self.refresh_gauges()
+        return report
+
+    # -- introspection ------------------------------------------------------
+
+    def refresh_gauges(self) -> None:
+        metrics = self.metrics
+        live = self.live
+        metrics.gauge("ingest.queue_depth").set(self.queue.depth)
+        metrics.gauge("ingest.live_segments").set(live.segment_count)
+        metrics.gauge("ingest.pending_documents").set(
+            live.pending_documents
+        )
+        metrics.gauge("ingest.pending_compaction_bytes").set(
+            live.pending_bytes
+        )
+        metrics.gauge("ingest.index_version").set(live.index_version)
+
+    def stats(self) -> dict:
+        """The live-state summary served by ``/v1/ingest`` responses."""
+        live = self.live
+        return {
+            "queue_depth": self.queue.depth,
+            "segments": live.segment_count,
+            "pending_documents": live.pending_documents,
+            "pending_compaction_bytes": live.pending_bytes,
+            "index_version": live.index_version,
+        }

@@ -1,0 +1,86 @@
+"""Bounded, thread-safe admission queue for streamed articles.
+
+The front door of the ingest plane: HTTP handlers :meth:`~IngestQueue.
+offer` article batches without blocking (all-or-nothing, ``False`` when
+the bound would be exceeded -- the serve layer turns that into a 429),
+and the :class:`~repro.ingest.writer.SegmentWriter` thread
+:meth:`~IngestQueue.drain`\\ s them into seal batches. Backpressure is
+by *article count*: the queue bound is the only admission decision, so
+an overloaded plane sheds load at the door instead of growing an
+unbounded seal backlog.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence
+
+from repro.tlsdata.types import Article
+
+
+class IngestQueue:
+    """A bounded FIFO of pending articles with blocking drain."""
+
+    def __init__(self, max_articles: int = 1024) -> None:
+        if max_articles < 1:
+            raise ValueError(
+                f"max_articles must be >= 1, got {max_articles}"
+            )
+        self.max_articles = max_articles
+        self._items: List[Article] = []
+        self._condition = threading.Condition()
+        self._closed = False
+
+    def offer(self, articles: Sequence[Article]) -> bool:
+        """Enqueue *articles* atomically; ``False`` on pressure/closed.
+
+        All-or-nothing: a batch that would exceed the bound is rejected
+        whole, so a client retry never half-applies.
+        """
+        articles = list(articles)
+        with self._condition:
+            if self._closed:
+                return False
+            if len(self._items) + len(articles) > self.max_articles:
+                return False
+            self._items.extend(articles)
+            self._condition.notify_all()
+            return True
+
+    def drain(
+        self, max_articles: int, timeout: Optional[float] = None
+    ) -> List[Article]:
+        """Dequeue up to *max_articles*, waiting up to *timeout* seconds.
+
+        Returns immediately with whatever is queued when non-empty;
+        blocks (bounded by *timeout*) when empty. An empty return means
+        the wait timed out or the queue closed.
+        """
+        with self._condition:
+            if not self._items and not self._closed:
+                self._condition.wait(timeout)
+            batch = self._items[:max_articles]
+            del self._items[: len(batch)]
+            if not self._items:
+                self._condition.notify_all()
+            return batch
+
+    def close(self) -> None:
+        """Reject future offers and wake any waiting drainer."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._condition:
+            return self._closed
+
+    @property
+    def depth(self) -> int:
+        """Queued article count (the ``ingest.queue_depth`` gauge)."""
+        with self._condition:
+            return len(self._items)
+
+    def __len__(self) -> int:
+        return self.depth

@@ -20,6 +20,37 @@ from repro.text.bm25 import BM25Parameters
 from repro.tlsdata.types import Article, DatedSentence
 
 
+def expand_article(article: Article, tagger: TemporalTagger):
+    """Yield the index-document tuples an article expands into.
+
+    One ``(text, date, publication_date, article_id, is_reference)``
+    tuple per sentence under the publication date, plus one reference
+    tuple per distinct *other* mentioned date -- the single source of
+    truth shared by :meth:`SearchEngine.add_article` and the streaming
+    ingest plane (:mod:`repro.ingest`), so streamed and cold-indexed
+    corpora expand into identical document sequences.
+    """
+    for sentence in article.split_sentences():
+        tagged = tagger.tag_sentence(sentence, article.publication_date)
+        yield (
+            sentence,
+            article.publication_date,
+            article.publication_date,
+            article.article_id,
+            False,
+        )
+        for date in tagged.mentioned_dates:
+            if date == article.publication_date:
+                continue
+            yield (
+                sentence,
+                date,
+                article.publication_date,
+                article.article_id,
+                True,
+            )
+
+
 def _distinct_articles(index: InvertedIndex) -> int:
     """Distinct non-empty article ids among the indexed documents."""
     article_ids = {
@@ -49,29 +80,17 @@ class SearchEngine:
     def add_article(self, article: Article) -> int:
         """Tokenise, tag and index one article; returns sentences indexed."""
         indexed = 0
-        for sentence in article.split_sentences():
-            tagged = self.tagger.tag_sentence(
-                sentence, article.publication_date
-            )
+        for text, date, pub_date, article_id, is_ref in expand_article(
+            article, self.tagger
+        ):
             self.index.add(
-                sentence,
-                date=article.publication_date,
-                publication_date=article.publication_date,
-                article_id=article.article_id,
-                is_reference=False,
+                text,
+                date=date,
+                publication_date=pub_date,
+                article_id=article_id,
+                is_reference=is_ref,
             )
             indexed += 1
-            for date in tagged.mentioned_dates:
-                if date == article.publication_date:
-                    continue
-                self.index.add(
-                    sentence,
-                    date=date,
-                    publication_date=article.publication_date,
-                    article_id=article.article_id,
-                    is_reference=True,
-                )
-                indexed += 1
         self._num_articles += 1
         return indexed
 

@@ -72,6 +72,16 @@ class InvertedIndex:
         """
         return self._version
 
+    def advance_version(self, version: int) -> None:
+        """Raise :attr:`index_version` to *version* (never backwards).
+
+        Compaction (:mod:`repro.ingest.compactor`) replays documents
+        into a fresh index and then restores the live revision so cache
+        keys minted against the overlay stay comparable -- the same
+        never-go-backwards rule :meth:`load` applies to saved versions.
+        """
+        self._version = max(self._version, int(version))
+
     # -- writes -------------------------------------------------------------
 
     def add(
@@ -178,6 +188,16 @@ class InvertedIndex:
 
     def vocabulary_size(self) -> int:
         return len(self._postings)
+
+    def tokens_with_postings(self) -> Iterator[str]:
+        """Iterate tokens that have at least one posting entry.
+
+        The cheap vocabulary accessor shared by every index variant:
+        the live overlay (:class:`repro.ingest.live.LiveIndex`) unions
+        these streams to count the merged vocabulary without
+        materialising full postings maps.
+        """
+        return iter(self._postings)
 
     def postings_map(self) -> Dict[str, Dict[int, List[int]]]:
         """The full positional postings mapping, token by token.

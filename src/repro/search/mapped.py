@@ -243,6 +243,13 @@ class MappedSnapshotIndex(InvertedIndex):
             np.count_nonzero(np.diff(self._array("post_entry_indptr")))
         )
 
+    def tokens_with_postings(self) -> Iterator[str]:
+        self._vocab()
+        entry_counts = np.diff(self._array("post_entry_indptr")).tolist()
+        for token, count in zip(self._vocab_tokens or [], entry_counts):
+            if count:
+                yield token
+
     def postings_map(self) -> Dict[str, Dict[int, List[int]]]:
         """Materialise the classic postings mapping (used by writers).
 

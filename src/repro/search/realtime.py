@@ -101,11 +101,27 @@ class RealTimeTimelineSystem:
         )
         self.engine = engine or SearchEngine(cache=self.cache)
         self.retrieval_limit = retrieval_limit
+        #: The attached streaming write path, set by
+        #: :class:`~repro.ingest.plane.IngestPlane` itself. ``None``
+        #: means the engine's index accepts direct writes; once a plane
+        #: wraps the index in a read-only
+        #: :class:`~repro.ingest.live.LiveIndex` overlay, every write
+        #: must flow through the plane's seal path.
+        self.ingest_plane = None
 
     # -- ingestion -------------------------------------------------------------
 
     def ingest(self, articles: Iterable[Article]) -> int:
-        """Index a batch of (possibly newly published) articles."""
+        """Index a batch of (possibly newly published) articles.
+
+        With an :class:`~repro.ingest.plane.IngestPlane` attached the
+        batch is sealed synchronously into a delta segment (queryable on
+        return); otherwise it is added directly to the engine's index.
+        Either way the count of ingested articles' indexed documents
+        feeds the same ``index_version`` bump.
+        """
+        if self.ingest_plane is not None:
+            return self.ingest_plane.ingest(list(articles))
         return self.engine.add_articles(articles)
 
     @property
@@ -150,8 +166,20 @@ class RealTimeTimelineSystem:
         if matrix_cache is not None:
             # Re-key the shared day-matrix cache to the current index
             # revision so ingestion between queries invalidates stale
-            # adjacency matrices (cheap no-op when nothing changed).
-            matrix_cache.sync_version(self.engine.index_version)
+            # adjacency matrices (cheap no-op when nothing changed). A
+            # live overlay reports exactly which content dates changed
+            # since the cache's revision, so only those days are
+            # evicted; anything else (or an unanswerable span) falls
+            # back to the full flush.
+            touched = None
+            since = getattr(
+                self.engine.index, "touched_dates_since", None
+            )
+            if since is not None:
+                touched = since(matrix_cache.version)
+            matrix_cache.sync_version(
+                self.engine.index_version, touched_dates=touched
+            )
         with tracer.root_span("realtime") as root:
             with tracer.span("realtime.retrieval") as retrieval:
                 dated = self.engine.fetch_dated_sentences(

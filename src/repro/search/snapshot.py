@@ -328,6 +328,131 @@ def _align(offset: int) -> int:
     return -(-offset // _SECTION_ALIGN) * _SECTION_ALIGN
 
 
+def write_section_file(
+    path: PathLike,
+    magic: str,
+    format_version: int,
+    arrays: Dict[str, np.ndarray],
+    meta: Optional[Dict[str, object]] = None,
+) -> int:
+    """Write an aligned, per-section-checksummed binary section file.
+
+    The shared on-disk machinery behind ``wilson.snapshot/v2`` and
+    ``wilson.segment/v1`` (:mod:`repro.ingest.segment`): one JSON meta
+    line carrying *magic*, *format_version* and a ``sections`` map of
+    ``{offset, dtype, shape, sha256}`` descriptors, then each array at a
+    :data:`_SECTION_ALIGN`-aligned offset. *arrays* is written in
+    iteration order with dtypes taken as given -- callers prepare
+    contiguity and dtype; *meta* keys are merged into the header.
+    Returns the payload size in bytes.
+    """
+    prepared = {
+        name: np.ascontiguousarray(array)
+        for name, array in arrays.items()
+    }
+    section_meta: Dict[str, Dict[str, object]] = {}
+    offset = 0
+    for name, array in prepared.items():
+        offset = _align(offset)
+        section_meta[name] = {
+            "offset": offset,
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "sha256": hashlib.sha256(array.tobytes()).hexdigest(),
+        }
+        offset += array.nbytes
+    payload_bytes = offset
+
+    header = {
+        "meta": magic,
+        "format_version": format_version,
+        "payload_bytes": payload_bytes,
+        "section_align": _SECTION_ALIGN,
+        "sections": section_meta,
+        **(meta or {}),
+    }
+    header_line = json.dumps(header, sort_keys=True).encode("utf-8") + b"\n"
+    if len(header_line) > _MAX_HEADER_BYTES:
+        raise SnapshotError(
+            f"snapshot header too large ({len(header_line)} bytes); "
+            f"the limit is {_MAX_HEADER_BYTES}"
+        )
+    # Section offsets are relative to data_start: the first aligned
+    # boundary after the header line. The reader recomputes it from the
+    # header line's length, so the header needs no self-referential
+    # byte offset.
+    data_start = _align(len(header_line))
+
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as handle:
+        handle.write(header_line)
+        handle.write(b"\x00" * (data_start - len(header_line)))
+        cursor = 0
+        for name, array in prepared.items():
+            target = section_meta[name]["offset"]
+            if target > cursor:
+                handle.write(b"\x00" * (target - cursor))
+                cursor = target
+            handle.write(array.tobytes())
+            cursor += array.nbytes
+    return payload_bytes
+
+
+def read_section_file(
+    path: PathLike, magic: str, format_version: int
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Read and verify a file written by :func:`write_section_file`.
+
+    Every section is read eagerly and checked against its declared
+    sha256 -- the right trade-off for small files like delta segments
+    (mapped lazy-verified access stays the preserve of
+    :class:`SectionTable`). Returns ``(header, {name: array})``; the
+    arrays are writable copies. Raises :class:`SnapshotError` on a
+    missing, truncated, corrupt, or wrong-magic file.
+    """
+    try:
+        with pathlib.Path(path).open("rb") as handle:
+            header, header_len = _read_header(
+                handle, magics={magic: format_version}
+            )
+            sections = header.get("sections")
+            if not isinstance(sections, dict):
+                raise SnapshotError(
+                    f"{magic} header carries no sections map"
+                )
+            data_start = _align(header_len)
+            arrays: Dict[str, np.ndarray] = {}
+            for name, entry in sections.items():
+                try:
+                    offset = int(entry["offset"])
+                    dtype = np.dtype(str(entry["dtype"]))
+                    shape = tuple(int(n) for n in entry["shape"])
+                    declared = str(entry["sha256"])
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise SnapshotError(
+                        f"section {name!r} descriptor is malformed: {exc}"
+                    ) from exc
+                nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+                handle.seek(data_start + offset)
+                raw = handle.read(nbytes)
+                if len(raw) != nbytes:
+                    raise SnapshotError(
+                        f"section {name!r} truncated: expected {nbytes} "
+                        f"bytes, found {len(raw)}"
+                    )
+                if hashlib.sha256(raw).hexdigest() != declared:
+                    raise SnapshotError(
+                        f"section {name!r} checksum mismatch"
+                    )
+                arrays[name] = np.frombuffer(
+                    raw, dtype=dtype
+                ).reshape(shape).copy()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot: {exc}") from exc
+    return header, arrays
+
+
 def save_snapshot(
     index: InvertedIndex,
     path: PathLike,
@@ -414,61 +539,35 @@ def _write_v2(
             array = array.astype(np.dtype(expected_dtype))
         prepared[name] = array
 
-    section_meta: Dict[str, Dict[str, object]] = {}
-    offset = 0
-    for name, array in prepared.items():
-        offset = _align(offset)
-        section_meta[name] = {
-            "offset": offset,
-            "dtype": array.dtype.str,
-            "shape": list(array.shape),
-            "sha256": hashlib.sha256(array.tobytes()).hexdigest(),
-        }
-        offset += array.nbytes
-    payload_bytes = offset
-
-    header = {
-        "meta": SNAPSHOT_MAGIC_V2,
-        "format_version": SNAPSHOT_FORMAT_VERSION_V2,
-        "payload_bytes": payload_bytes,
-        "section_align": _SECTION_ALIGN,
-        "sections": section_meta,
-        **meta,
-    }
+    header_meta = dict(meta)
     if slice_meta is not None:
-        header["slice"] = dict(slice_meta)
-    header_line = json.dumps(header, sort_keys=True).encode("utf-8") + b"\n"
-    if len(header_line) > _MAX_HEADER_BYTES:
-        raise SnapshotError(
-            f"snapshot header too large ({len(header_line)} bytes); "
-            f"the limit is {_MAX_HEADER_BYTES}"
-        )
-    # Section offsets are relative to data_start: the first aligned
-    # boundary after the header line. The reader recomputes it from the
-    # header line's length, so the header needs no self-referential
-    # byte offset.
-    data_start = _align(len(header_line))
-
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("wb") as handle:
-        handle.write(header_line)
-        handle.write(b"\x00" * (data_start - len(header_line)))
-        cursor = 0
-        for name, array in prepared.items():
-            target = section_meta[name]["offset"]
-            if target > cursor:
-                handle.write(b"\x00" * (target - cursor))
-                cursor = target
-            handle.write(array.tobytes())
-            cursor += array.nbytes
+        header_meta["slice"] = dict(slice_meta)
+    write_section_file(
+        path,
+        SNAPSHOT_MAGIC_V2,
+        SNAPSHOT_FORMAT_VERSION_V2,
+        prepared,
+        meta=header_meta,
+    )
 
 
 # -- load --------------------------------------------------------------------
 
 
-def _read_header(handle) -> Tuple[Dict[str, object], int]:
-    """Parse the meta line; returns ``(header, header_line_bytes)``."""
+def _read_header(
+    handle, magics: Optional[Dict[str, int]] = None
+) -> Tuple[Dict[str, object], int]:
+    """Parse the meta line; returns ``(header, header_line_bytes)``.
+
+    *magics* maps accepted magic strings to their required
+    ``format_version``; the default accepts the two snapshot formats.
+    Section-file readers (:func:`read_section_file`) pass their own.
+    """
+    if magics is None:
+        magics = {
+            SNAPSHOT_MAGIC: SNAPSHOT_FORMAT_VERSION,
+            SNAPSHOT_MAGIC_V2: SNAPSHOT_FORMAT_VERSION_V2,
+        }
     line = handle.readline(_MAX_HEADER_BYTES + 1)
     if len(line) > _MAX_HEADER_BYTES or not line.endswith(b"\n"):
         raise SnapshotError("snapshot header missing or oversized")
@@ -476,18 +575,9 @@ def _read_header(handle) -> Tuple[Dict[str, object], int]:
         header = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise SnapshotError(f"snapshot header is not JSON: {exc}") from exc
-    if not isinstance(header, dict) or header.get("meta") not in (
-        SNAPSHOT_MAGIC,
-        SNAPSHOT_MAGIC_V2,
-    ):
-        raise SnapshotError(
-            "not a wilson.snapshot/v1 or wilson.snapshot/v2 file"
-        )
-    expected_version = (
-        SNAPSHOT_FORMAT_VERSION
-        if header["meta"] == SNAPSHOT_MAGIC
-        else SNAPSHOT_FORMAT_VERSION_V2
-    )
+    if not isinstance(header, dict) or header.get("meta") not in magics:
+        raise SnapshotError(f"not a {' or '.join(magics)} file")
+    expected_version = magics[header["meta"]]
     if header.get("format_version") != expected_version:
         raise SnapshotError(
             "unsupported snapshot format_version "

@@ -28,6 +28,16 @@ request over to a sibling -- degrading to partial results (HTTP 200 +
 ``X-Wilson-Degraded``) only when a whole slice is down
 (:mod:`repro.serve.router`).
 
+The tier also exposes the streaming write path: ``POST /v1/ingest``
+admits article batches into an attached
+:class:`~repro.ingest.plane.IngestPlane` (bounded queue -> 429 on
+pressure, never 5xx), each sealed delta segment bumps
+``index_version``, and invalidation is *day-scoped*: only cached
+results whose request window intersects the segment's touched content
+dates are evicted (:func:`~repro.serve.cache.window_intersects`). The
+router fans ingest batches out to the shard owning each article's
+publication date. See docs/ingest.md.
+
 Start one from the command line with ``wilson-tls serve`` (or
 ``wilson-tls serve --shards N --replicas R`` for a sharded topology).
 """
@@ -48,6 +58,7 @@ from repro.serve.app import (
     ServeConfig,
     TimelineServer,
     canonical_json,
+    parse_ingest_payload,
     parse_search_query,
     parse_timeline_payload,
     run_server,
@@ -58,6 +69,7 @@ from repro.serve.cache import (
     make_cache_key,
     make_merge_cache_key,
     normalize_keywords,
+    window_intersects,
 )
 from repro.serve.health import (
     DEAD,
@@ -142,10 +154,12 @@ __all__ = [
     "make_merge_cache_key",
     "merge_shard_candidates",
     "normalize_keywords",
+    "parse_ingest_payload",
     "parse_search_query",
     "parse_timeline_payload",
     "plan_date_ranges",
     "replica_keys",
     "run_router",
     "run_server",
+    "window_intersects",
 ]

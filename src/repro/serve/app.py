@@ -2,10 +2,14 @@
 
 This is the network-facing layer of the Section 5 real-time system: a
 single-process asyncio server wrapping one
-:class:`~repro.search.realtime.RealTimeTimelineSystem` behind five
+:class:`~repro.search.realtime.RealTimeTimelineSystem` behind six
 routes --
 
 * ``POST /v1/timeline`` -- generate (or replay from cache) one timeline;
+* ``POST /v1/ingest``   -- admit an article batch into the attached
+  :class:`~repro.ingest.plane.IngestPlane` (202 queued / 200 sync-sealed;
+  429 on queue pressure, 404 when no plane is attached -- see
+  docs/ingest.md);
 * ``GET /v1/search``    -- raw BM25 dated-sentence search;
 * ``GET /v1/shard/search`` -- internal scatter-gather endpoint: raw
   per-term match statistics plus slice-level corpus statistics, which a
@@ -46,13 +50,19 @@ import urllib.parse
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.ingest import IngestPlane, Segment
 from repro.obs.metrics import Metrics
 from repro.runtime import ShardPolicy, ShardResult
 from repro.search.query import SearchQuery, gather_candidates
 from repro.search.realtime import RealTimeTimelineSystem, TimelineQuery
 from repro.serve.admission import AdmissionController
 from repro.serve.batching import MicroBatcher
-from repro.serve.cache import ResultCache, make_cache_key
+from repro.serve.cache import (
+    ResultCache,
+    make_cache_key,
+    window_intersects,
+)
+from repro.tlsdata.types import Article
 
 #: The wire-format identifier every JSON response envelope carries.
 WIRE_SCHEMA = "wilson.serve/v1"
@@ -79,6 +89,9 @@ SERVE_COUNTERS = (
     "serve.degraded",
     "serve.batches",
     "serve.batched_queries",
+    "serve.ingest_requests",
+    "serve.ingest_rejected",
+    "serve.ingest_invalidated_results",
 )
 SERVE_GAUGES = (
     "serve.inflight",
@@ -319,6 +332,69 @@ def parse_search_query(
         raise _BadRequest(str(exc))
 
 
+def parse_ingest_payload(body: bytes) -> Tuple[List[Article], bool]:
+    """Parse one ``POST /v1/ingest`` body into ``(articles, sync)``.
+
+    Shared by the single-index server and the router's fan-out route so
+    both accept byte-identical requests. The payload is ``{"articles":
+    [{"article_id", "publication_date", "title"?, "text"?}, ...],
+    "sync"?: bool}``; ``sync`` asks the server to seal the batch before
+    responding instead of queueing it. Raises :class:`_BadRequest` --
+    mapped to a 400 -- on any malformed field.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _BadRequest(f"request body is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise _BadRequest("request body must be a JSON object")
+    raw = payload.get("articles")
+    if not isinstance(raw, list) or not raw:
+        raise _BadRequest(
+            "'articles' must be a non-empty list of article objects"
+        )
+    sync = payload.get("sync", False)
+    if not isinstance(sync, bool):
+        raise _BadRequest("'sync' must be a boolean")
+    articles: List[Article] = []
+    for position, item in enumerate(raw):
+        if not isinstance(item, dict):
+            raise _BadRequest(f"articles[{position}] must be an object")
+        article_id = item.get("article_id")
+        if not isinstance(article_id, str) or not article_id.strip():
+            raise _BadRequest(
+                f"articles[{position}].article_id must be a "
+                "non-empty string"
+            )
+        published = item.get("publication_date")
+        if not isinstance(published, str):
+            raise _BadRequest(
+                f"articles[{position}].publication_date must be an "
+                "ISO date string"
+            )
+        try:
+            publication_date = datetime.date.fromisoformat(published)
+        except ValueError as exc:
+            raise _BadRequest(
+                f"invalid articles[{position}].publication_date: {exc}"
+            )
+        title = item.get("title", "")
+        text = item.get("text", "")
+        if not isinstance(title, str) or not isinstance(text, str):
+            raise _BadRequest(
+                f"articles[{position}].title and .text must be strings"
+            )
+        articles.append(
+            Article(
+                article_id=article_id,
+                publication_date=publication_date,
+                title=title,
+                text=text,
+            )
+        )
+    return articles, sync
+
+
 class HttpServerBase:
     """Shared asyncio HTTP/1.1 plumbing of the serving tier.
 
@@ -557,6 +633,7 @@ class TimelineServer(HttpServerBase):
         system: RealTimeTimelineSystem,
         config: Optional[ServeConfig] = None,
         metrics: Optional[Metrics] = None,
+        ingest: Optional[IngestPlane] = None,
     ) -> None:
         self.system = system
         self.config = config or ServeConfig()
@@ -579,6 +656,26 @@ class TimelineServer(HttpServerBase):
             max_batch_size=self.config.max_batch_size,
             on_batch=self._record_batch,
         )
+        # With an ingest plane attached the result cache switches from
+        # version-keyed eviction (every seal strands every entry) to
+        # precise day-scoped invalidation: keys carry version 0 and the
+        # seal listener drops exactly the entries whose request window
+        # intersects the sealed segment's touched dates.
+        self.ingest = ingest
+        if ingest is not None:
+            ingest.add_seal_listener(self._on_segment_sealed)
+
+    def _on_segment_sealed(self, segment: Segment, version: int) -> None:
+        """Seal hook: evict cached timelines the new segment staled."""
+        dropped = self.cache.invalidate_where(
+            lambda key: window_intersects(
+                key[1], key[2], segment.touched_dates
+            )
+        )
+        if dropped:
+            self.metrics.counter(
+                "serve.ingest_invalidated_results"
+            ).inc(dropped)
 
     # -- batched generation ----------------------------------------------------
 
@@ -623,13 +720,15 @@ class TimelineServer(HttpServerBase):
             default_num_sentences=self.config.default_num_sentences,
         )
         index_version = self.system.index_version
+        # Live-ingest mode keys entries under version 0: seals no longer
+        # strand the whole cache, the seal listener evicts precisely.
         key = make_cache_key(
             query.keywords,
             query.start,
             query.end,
             query.num_dates,
             query.num_sentences,
-            index_version,
+            0 if self.ingest is not None else index_version,
         )
         cached = self.cache.get(key)
         if cached is not None:
@@ -687,7 +786,11 @@ class TimelineServer(HttpServerBase):
                 ),
             )
         result = shard.value.to_dict()
-        self.cache.put(key, result)
+        if self.ingest is None or self.system.index_version == index_version:
+            # Under live ingest, skip caching a result that a seal
+            # already staled mid-generation -- the listener that would
+            # have evicted it may have fired before this put.
+            self.cache.put(key, result)
         return self._timeline_response(result, index_version, "miss")
 
     def _timeline_response(
@@ -796,6 +899,95 @@ class TimelineServer(HttpServerBase):
             ),
         )
 
+    async def _handle_ingest(self, request: _Request) -> _Response:
+        """``POST /v1/ingest``: admit a batch of articles into the plane.
+
+        The admission decision is the plane's bounded queue: pressure
+        answers 429 + ``Retry-After`` (never 5xx), a draining server
+        answers 503, and an accepted batch answers 202 immediately --
+        the batch becomes queryable once the writer seals it. A
+        ``"sync": true`` payload seals before responding (200) so
+        callers can read-their-write, at the cost of waiting on the
+        seal lock.
+        """
+        self.metrics.counter("serve.ingest_requests").inc()
+        plane = self.ingest
+        if plane is None:
+            self.metrics.counter("serve.not_found").inc()
+            return error_response(
+                404, "ingest is not enabled on this server"
+            )
+        if self.draining:
+            self.metrics.counter("serve.rejected_draining").inc()
+            return _Response(
+                503,
+                canonical_json(
+                    {
+                        "schema": WIRE_SCHEMA,
+                        "error": "draining",
+                        "detail": "server is shutting down",
+                    }
+                ),
+                extra_headers=(
+                    (
+                        "Retry-After",
+                        f"{self.admission.retry_after_seconds:g}",
+                    ),
+                ),
+            )
+        articles, sync = parse_ingest_payload(request.body)
+        if sync:
+            loop = asyncio.get_running_loop()
+            documents = await loop.run_in_executor(
+                None, plane.ingest, articles
+            )
+            stats = plane.stats()
+            return _Response(
+                200,
+                canonical_json(
+                    {
+                        "schema": WIRE_SCHEMA,
+                        "accepted": len(articles),
+                        "documents": documents,
+                        "queue_depth": stats["queue_depth"],
+                        "index_version": stats["index_version"],
+                    }
+                ),
+            )
+        if not plane.submit(articles):
+            self.metrics.counter("serve.ingest_rejected").inc()
+            return _Response(
+                429,
+                canonical_json(
+                    {
+                        "schema": WIRE_SCHEMA,
+                        "error": "overloaded",
+                        "detail": (
+                            "ingest queue is full "
+                            f"({plane.config.queue_articles} articles)"
+                        ),
+                    }
+                ),
+                extra_headers=(
+                    (
+                        "Retry-After",
+                        f"{self.admission.retry_after_seconds:g}",
+                    ),
+                ),
+            )
+        stats = plane.stats()
+        return _Response(
+            202,
+            canonical_json(
+                {
+                    "schema": WIRE_SCHEMA,
+                    "accepted": len(articles),
+                    "queue_depth": stats["queue_depth"],
+                    "index_version": stats["index_version"],
+                }
+            ),
+        )
+
     def _handle_healthz(self) -> _Response:
         draining = self.admission.draining
         payload = {
@@ -807,6 +999,8 @@ class TimelineServer(HttpServerBase):
             "inflight": self.admission.inflight,
             "cache_entries": len(self.cache),
         }
+        if self.ingest is not None:
+            payload["ingest"] = self.ingest.stats()
         return _Response(503 if draining else 200, canonical_json(payload))
 
     def _handle_metrics(self) -> _Response:
@@ -818,6 +1012,8 @@ class TimelineServer(HttpServerBase):
         self.metrics.gauge("serve.draining").set(
             1.0 if self.admission.draining else 0.0
         )
+        if self.ingest is not None:
+            self.ingest.refresh_gauges()
         return _Response(
             200,
             self.metrics.render_prometheus().encode("utf-8"),
@@ -836,6 +1032,10 @@ class TimelineServer(HttpServerBase):
             if method != "POST":
                 return error_response(405, "use POST")
             return await self._handle_timeline(request)
+        if path == "/v1/ingest":
+            if method != "POST":
+                return error_response(405, "use POST")
+            return await self._handle_ingest(request)
         if path == "/v1/search":
             if method != "GET":
                 return error_response(405, "use GET")
@@ -873,9 +1073,22 @@ class TimelineServer(HttpServerBase):
     async def _drain(self) -> bool:
         self.admission.begin_drain()
         await self.batcher.drain()
-        return await self.admission.wait_idle(
+        idle = await self.admission.wait_idle(
             self.config.drain_timeout_seconds
         )
+        if self.ingest is not None:
+            # Seal everything still queued before the process exits;
+            # with a segments directory nothing is lost even on an
+            # unclean exit, but a clean drain leaves the queue empty.
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None,
+                lambda: self.ingest.stop(
+                    drain=True,
+                    timeout=self.config.drain_timeout_seconds,
+                ),
+            )
+        return idle
 
 
 def run_server(
@@ -883,14 +1096,19 @@ def run_server(
     config: Optional[ServeConfig] = None,
     metrics: Optional[Metrics] = None,
     ready: Optional[Any] = None,
+    ingest: Optional[IngestPlane] = None,
 ) -> bool:
     """Blocking entry point: serve until SIGTERM/SIGINT, then drain.
 
     *ready*, when given, is called with the started server (the CLI uses
-    it to print the bound address after ``port=0`` resolution). Returns
-    the drain verdict of :meth:`TimelineServer.shutdown`.
+    it to print the bound address after ``port=0`` resolution). *ingest*
+    attaches a started :class:`~repro.ingest.plane.IngestPlane`, enabling
+    ``POST /v1/ingest`` (the drain path seals whatever is still queued).
+    Returns the drain verdict of :meth:`TimelineServer.shutdown`.
     """
-    server = TimelineServer(system, config=config, metrics=metrics)
+    server = TimelineServer(
+        system, config=config, metrics=metrics, ingest=ingest
+    )
 
     async def main() -> bool:
         await server.start()

@@ -88,6 +88,29 @@ def make_merge_cache_key(
     )
 
 
+def window_intersects(
+    start_iso: str,
+    end_iso: str,
+    touched_dates: Sequence[Any],
+) -> bool:
+    """Whether the window ``[start_iso, end_iso]`` covers any touched date.
+
+    The predicate behind precise ingest invalidation: a sealed segment
+    reports the content dates it touched, and only cached timelines
+    whose request window intersects that set are stale. Dates are
+    compared as ISO-8601 strings (lexicographic == chronological);
+    an empty bound means "unbounded" on that side. *touched_dates*
+    accepts :class:`datetime.date` objects or ISO strings.
+    """
+    for date in touched_dates:
+        iso = date.isoformat() if hasattr(date, "isoformat") else str(date)
+        if (not start_iso or start_iso <= iso) and (
+            not end_iso or iso <= end_iso
+        ):
+            return True
+    return False
+
+
 class ResultCache:
     """A thread-safe LRU cache with per-entry TTL expiry.
 
@@ -120,6 +143,7 @@ class ResultCache:
         self._misses = 0
         self._evictions = 0
         self._expirations = 0
+        self._invalidations = 0
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value, or ``None`` on miss/expiry (refreshes LRU)."""
@@ -163,6 +187,25 @@ class ResultCache:
             del self._entries[key]
         self._expirations += len(expired)
 
+    def invalidate_where(
+        self, predicate: Callable[[Hashable], bool]
+    ) -> int:
+        """Drop every entry whose *key* satisfies *predicate*; the count.
+
+        The surgical alternative to :meth:`clear`: the ingest seal
+        listener passes a :func:`window_intersects` predicate so only
+        timelines whose window covers a freshly touched day are
+        evicted, and every other entry stays warm.
+        """
+        with self._lock:
+            doomed = [
+                key for key in self._entries if predicate(key)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self._invalidations += len(doomed)
+            return len(doomed)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -189,5 +232,6 @@ class ResultCache:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "expirations": self._expirations,
+                "invalidations": self._invalidations,
                 "entries": len(self._entries),
             }

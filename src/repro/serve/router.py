@@ -70,6 +70,7 @@ from repro.serve.app import (
     _Response,
     canonical_json,
     error_response,
+    parse_ingest_payload,
     parse_search_query,
     parse_timeline_payload,
 )
@@ -100,6 +101,9 @@ ROUTER_COUNTERS = (
     "router.shard_failures",
     "router.shard_retries",
     "router.truncated_merges",
+    "router.ingest_requests",
+    "router.ingest_rejected",
+    "router.ingest_routed_articles",
 )
 ROUTER_GAUGES = (
     "router.shards",
@@ -264,9 +268,24 @@ def merge_shard_candidates(
                 score += (
                     idf[position] * tf * (k1 + 1.0) / (tf + norm)
                 )
+            local = int(hit["doc_id"])
+            if local < len(mapping):
+                doc_id = mapping[local]
+            else:
+                # A document ingested after the manifest was cut has no
+                # source-index id. Synthesise a deterministic global id
+                # above every manifest id, disjoint across shards, so
+                # tie-breaks stay stable (post-manifest docs lose ties
+                # to snapshot docs, mirroring their higher doc ids on a
+                # live single index).
+                doc_id = (
+                    topology.total_documents
+                    + (shard_id << 40)
+                    + (local - len(mapping))
+                )
             scored.append(
                 MergedHit(
-                    doc_id=mapping[int(hit["doc_id"])],
+                    doc_id=doc_id,
                     score=score,
                     shard_id=shard_id,
                     payload=hit,
@@ -315,6 +334,52 @@ async def _http_get(
         else:
             body = await reader.read()
         return status, body
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def _http_post(
+    host: str, port: int, path: str, body: bytes
+) -> Tuple[int, bytes]:
+    """One stdlib-only HTTP POST; returns ``(status, body)``.
+
+    Same minimal shape as :func:`_http_get` (``Connection: close``),
+    used by the ingest fan-out to forward article batches to shard
+    workers.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            (
+                f"POST {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            + body
+        )
+        await writer.drain()
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+        lines = header_blob.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2:
+            raise ConnectionError(f"malformed status line: {lines[0]!r}")
+        status = int(parts[1])
+        length: Optional[int] = None
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        if length is not None:
+            response_body = await reader.readexactly(length)
+        else:
+            response_body = await reader.read()
+        return status, response_body
     finally:
         try:
             writer.close()
@@ -831,6 +896,153 @@ class TimelineRouter(HttpServerBase):
             200, canonical_json(envelope), extra_headers=headers
         )
 
+    # -- ingest fan-out --------------------------------------------------------
+
+    def _owning_shard(self, date: datetime.date) -> int:
+        """The shard whose content-date range owns *date*.
+
+        Exact containment wins; a date outside every slice's range (the
+        common case for freshly published news, which lands after the
+        manifest was cut) goes to the chronologically nearest non-empty
+        slice -- i.e. new articles extend the newest shard. With no
+        non-empty slice at all, shard 0 takes everything.
+        """
+        best_id, best_distance = 0, None
+        for shard in self.topology.shards:
+            if shard.start is None or shard.end is None:
+                continue
+            if shard.start <= date <= shard.end:
+                return shard.shard_id
+            distance = min(
+                abs((date - shard.start).days),
+                abs((date - shard.end).days),
+            )
+            if best_distance is None or distance < best_distance:
+                best_id, best_distance = shard.shard_id, distance
+        return best_id
+
+    async def _handle_ingest(self, request: _Request) -> _Response:
+        """``POST /v1/ingest``: fan articles out to their owning shards.
+
+        Articles are grouped by the shard owning their publication
+        date, then each group is forwarded to **every** replica of that
+        shard (replicas hold independent index copies, so each must
+        apply the write). A shard group counts rejected when any
+        replica answers 429 (the caller should retry the whole batch)
+        and failed when every replica errors; partial outcomes are
+        reported per shard and the response is never a 5xx unless no
+        shard accepted anything.
+        """
+        self.metrics.counter("router.ingest_requests").inc()
+        if self.draining:
+            self.metrics.counter("router.rejected_draining").inc()
+            return _Response(
+                503,
+                canonical_json(
+                    {
+                        "schema": WIRE_SCHEMA,
+                        "error": "draining",
+                        "detail": "router is shutting down",
+                    }
+                ),
+                extra_headers=(
+                    (
+                        "Retry-After",
+                        f"{self.admission.retry_after_seconds:g}",
+                    ),
+                ),
+            )
+        articles, sync = parse_ingest_payload(request.body)
+        groups: Dict[int, List[Any]] = {}
+        for article in articles:
+            shard_id = self._owning_shard(article.publication_date)
+            groups.setdefault(shard_id, []).append(article)
+
+        async def forward(shard_id: int, group: List[Any]) -> str:
+            body = canonical_json(
+                {
+                    "articles": [
+                        {
+                            "article_id": article.article_id,
+                            "publication_date": (
+                                article.publication_date.isoformat()
+                            ),
+                            "title": article.title,
+                            "text": article.text,
+                        }
+                        for article in group
+                    ],
+                    "sync": sync,
+                }
+            )
+            outcomes = []
+            for endpoint in self.replica_groups[shard_id]:
+                try:
+                    status, _ = await asyncio.wait_for(
+                        _http_post(
+                            endpoint.host,
+                            endpoint.port,
+                            "/v1/ingest",
+                            body,
+                        ),
+                        timeout=self.config.shard_timeout_seconds,
+                    )
+                    outcomes.append(status)
+                except (
+                    OSError,
+                    asyncio.TimeoutError,
+                    ConnectionError,
+                    ValueError,
+                ):
+                    outcomes.append(0)
+            if any(status == 429 for status in outcomes):
+                return "rejected"
+            if any(status in (200, 202) for status in outcomes):
+                return "accepted"
+            return "failed"
+
+        shard_ids = sorted(groups)
+        verdicts = await asyncio.gather(
+            *(forward(shard_id, groups[shard_id]) for shard_id in shard_ids)
+        )
+        routed: Dict[str, int] = {}
+        accepted = rejected = failed = 0
+        for shard_id, verdict in zip(shard_ids, verdicts):
+            routed[str(shard_id)] = len(groups[shard_id])
+            if verdict == "accepted":
+                accepted += len(groups[shard_id])
+            elif verdict == "rejected":
+                rejected += len(groups[shard_id])
+            else:
+                failed += len(groups[shard_id])
+        if accepted:
+            self.metrics.counter("router.ingest_routed_articles").inc(
+                accepted
+            )
+        if rejected:
+            self.metrics.counter("router.ingest_rejected").inc(rejected)
+        payload = {
+            "schema": WIRE_SCHEMA,
+            "accepted": accepted,
+            "rejected": rejected,
+            "failed": failed,
+            "routed": routed,
+        }
+        if accepted == 0 and failed:
+            return _Response(503, canonical_json(payload))
+        if rejected:
+            return _Response(
+                429,
+                canonical_json(payload),
+                extra_headers=(
+                    (
+                        "Retry-After",
+                        f"{self.admission.retry_after_seconds:g}",
+                    ),
+                ),
+            )
+        return _Response(202, canonical_json(payload))
+
     async def _handle_healthz(self) -> _Response:
         """Probe every replica; report shard coverage and replica fleet.
 
@@ -964,6 +1176,10 @@ class TimelineRouter(HttpServerBase):
             if method != "GET":
                 return error_response(405, "use GET")
             return await self._handle_search(request)
+        if path == "/v1/ingest":
+            if method != "POST":
+                return error_response(405, "use POST")
+            return await self._handle_ingest(request)
         self.metrics.counter("router.not_found").inc()
         return error_response(404, f"no route for {path}")
 

@@ -202,6 +202,52 @@ class TestDayMatrixCache:
         cache.sync_version(2)
         assert len(cache) == 1
 
+    def test_day_scoped_sync_evicts_only_touched_days(self):
+        cache = DayMatrixCache()
+        cache.sync_version(1)
+        summarizer = DailySummarizer(matrix_cache=cache)
+        tracer = Tracer()
+        quiet, busy = d("2021-06-01"), d("2021-06-02")
+        summarizer.rank_day(quiet, self._POOL, tracer=tracer)
+        summarizer.rank_day(busy, self._POOL, tracer=tracer)
+        assert len(cache) == 2
+        assert tracer.counters["prune.day_matrix_misses"] == 2
+
+        # An ingest seal touching only `busy` re-keys the survivors to
+        # the new version instead of flushing everything.
+        cache.sync_version(2, touched_dates={busy})
+        assert cache.version == 2
+        assert len(cache) == 1
+        summarizer.rank_day(quiet, self._POOL, tracer=tracer)
+        assert tracer.counters["prune.day_matrix_hits"] == 1
+        summarizer.rank_day(busy, self._POOL, tracer=tracer)
+        assert tracer.counters["prune.day_matrix_misses"] == 3
+
+    def test_sync_with_no_touched_days_keeps_every_entry(self):
+        cache = DayMatrixCache()
+        cache.sync_version(1)
+        summarizer = DailySummarizer(matrix_cache=cache)
+        summarizer.rank_day(d("2021-06-01"), self._POOL)
+        summarizer.rank_day(d("2021-06-02"), self._POOL)
+        # A version bump whose seals touched no cached day (e.g. only
+        # brand-new dates) costs zero evictions.
+        cache.sync_version(2, touched_dates=frozenset())
+        assert len(cache) == 2
+        tracer = Tracer()
+        summarizer.rank_day(d("2021-06-01"), self._POOL, tracer=tracer)
+        assert tracer.counters["prune.day_matrix_hits"] == 1
+
+    def test_sync_without_touched_dates_still_flushes(self):
+        cache = DayMatrixCache()
+        assert cache.version == -1
+        cache.sync_version(1)
+        assert cache.version == 1
+        summarizer = DailySummarizer(matrix_cache=cache)
+        summarizer.rank_day(d("2021-06-01"), self._POOL)
+        # touched_dates=None is the conservative path: a full flush.
+        cache.sync_version(2, touched_dates=None)
+        assert len(cache) == 0
+
     def test_key_covers_ranking_parameters(self):
         cache = DayMatrixCache()
         cache.sync_version(1)

@@ -266,6 +266,51 @@ class TestRouterContract:
         assert "docs/architecture.md" in readme
 
 
+class TestIngestContract:
+    def test_every_registered_ingest_metric_is_documented(
+        self, contract_text
+    ):
+        from repro.ingest import INGEST_METRIC_NAMES
+
+        for name in INGEST_METRIC_NAMES:
+            assert f"`{name}`" in contract_text, (
+                f"ingest metric {name!r} is not documented in "
+                "docs/observability.md"
+            )
+
+    def test_serve_and_router_ingest_counters_are_documented(
+        self, contract_text
+    ):
+        from repro.serve import ROUTER_METRIC_NAMES, SERVE_METRIC_NAMES
+
+        for name in (
+            "serve.ingest_requests",
+            "serve.ingest_rejected",
+            "serve.ingest_invalidated_results",
+        ):
+            assert name in SERVE_METRIC_NAMES
+            assert f"`{name}`" in contract_text, name
+        for name in (
+            "router.ingest_requests",
+            "router.ingest_rejected",
+            "router.ingest_routed_articles",
+        ):
+            assert name in ROUTER_METRIC_NAMES
+            assert f"`{name}`" in contract_text, name
+
+    def test_ingest_doc_exists_and_is_cross_linked(self, contract_text):
+        ingest = (DOCS / "ingest.md").read_text(encoding="utf-8")
+        assert "/v1/ingest" in ingest
+        assert "observability.md" in ingest
+        assert "ingest.md" in contract_text
+        serving = (DOCS / "serving.md").read_text(encoding="utf-8")
+        assert "/v1/ingest" in serving
+        architecture = (DOCS / "architecture.md").read_text(
+            encoding="utf-8"
+        )
+        assert "ingest.md" in architecture
+
+
 class TestApiDocsCommitted:
     def test_regeneration_produces_no_diff(self):
         spec = importlib.util.spec_from_file_location(

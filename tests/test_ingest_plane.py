@@ -1,0 +1,627 @@
+"""The streaming ingest plane: segments, overlay, plane, compaction.
+
+Pins the subsystem's core guarantee -- **a streamed corpus is
+indistinguishable from a cold re-index of the same articles**:
+
+* ``wilson.segment/v1`` files round-trip exactly and refuse corruption
+  or analyzer drift (:mod:`repro.ingest.segment`);
+* the :class:`~repro.ingest.LiveIndex` overlay answers every read-API
+  question identically to a cold :class:`~repro.search.index.
+  InvertedIndex` fed the same documents, and rejects direct writes;
+* timelines generated over a streamed system are byte-identical to the
+  cold system's, for *any* batch split (hypothesis property);
+* a compacted index writes a snapshot byte-identical (sha256) to the
+  cold re-index's snapshot;
+* the plane's queue admission, writer drain, recovery and
+  auto-compaction behave as docs/ingest.md promises.
+"""
+
+import datetime
+import hashlib
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ingest import (
+    INGEST_METRIC_NAMES,
+    IngestConfig,
+    IngestPlane,
+    IngestQueue,
+    LiveIndex,
+    SEGMENT_MAGIC,
+    build_segment,
+    list_segments,
+    load_segment,
+    segment_info,
+    write_segment,
+)
+from repro.obs.metrics import Metrics
+from repro.search.engine import SearchEngine
+from repro.search.index import InvertedIndex
+from repro.search.realtime import RealTimeTimelineSystem
+from repro.search.snapshot import SnapshotError
+from repro.text.analysis import TokenCache
+from repro.tlsdata.types import Article
+
+from tests.conftest import d, wait_until
+
+QUERY = ("ceasefire", "rebels")
+WINDOW = (d("2021-03-01"), d("2021-03-20"))
+
+
+def make_articles():
+    """Six deterministic articles with explicit date mentions."""
+    return [
+        Article(
+            article_id="a1",
+            publication_date=d("2021-03-02"),
+            title="Ceasefire collapses",
+            text=(
+                "The ceasefire collapsed near the border on March 1, "
+                "2021. Artillery fire struck the garrison at dawn. "
+                "Officials said talks would resume on March 9, 2021."
+            ),
+        ),
+        Article(
+            article_id="a2",
+            publication_date=d("2021-03-04"),
+            title="Shelling continues",
+            text=(
+                "Shelling of the garrison continued on March 3, 2021. "
+                "Rebels gathered outside the city."
+            ),
+        ),
+        Article(
+            article_id="a3",
+            publication_date=d("2021-03-06"),
+            title="Rebels advance",
+            text=(
+                "Rebels seized the stronghold outside the city. The "
+                "advance follows the ceasefire collapse on March 1, "
+                "2021."
+            ),
+        ),
+        Article(
+            article_id="a4",
+            publication_date=d("2021-03-10"),
+            title="Talks resume",
+            text=(
+                "Negotiators met on March 9, 2021 to restore the "
+                "ceasefire. Rebels sent a delegation."
+            ),
+        ),
+        Article(
+            article_id="a5",
+            publication_date=d("2021-03-13"),
+            title="Truce drafted",
+            text=(
+                "A draft truce circulated on March 12, 2021. The "
+                "ceasefire terms cover the stronghold."
+            ),
+        ),
+        Article(
+            article_id="a6",
+            publication_date=d("2021-03-16"),
+            title="Truce signed",
+            text=(
+                "The truce was signed on March 15, 2021. Rebels began "
+                "withdrawing from the stronghold."
+            ),
+        ),
+    ]
+
+
+def cold_system(articles):
+    """A system that indexed *articles* the classic way, all at once."""
+    system = RealTimeTimelineSystem()
+    system.ingest(list(articles))
+    return system
+
+
+def live_system(batches, config=None, metrics=None):
+    """A system that streamed *batches* through an ingest plane."""
+    system = RealTimeTimelineSystem()
+    plane = IngestPlane(system, config or IngestConfig(), metrics=metrics)
+    for batch in batches:
+        plane.ingest(list(batch))
+    return system, plane
+
+
+def timeline_bytes(system):
+    """The canonical JSON of the system's timeline over the test window."""
+    response = system.generate_timeline(
+        QUERY, start=WINDOW[0], end=WINDOW[1], num_dates=5
+    )
+    return json.dumps(
+        response.timeline.to_dict(), sort_keys=True
+    ).encode()
+
+
+# ---------------------------------------------------------------------------
+# wilson.segment/v1 format
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentFormat:
+    @pytest.fixture()
+    def engine(self):
+        return SearchEngine()
+
+    def test_round_trip_is_exact(self, engine, tmp_path):
+        articles = make_articles()[:3]
+        sealed = build_segment(
+            7, articles, engine.tagger, cache=engine.cache
+        )
+        assert sealed.seq == 7
+        assert sealed.articles == 3
+        assert sealed.documents == len(sealed.index)
+        assert sealed.nbytes == 0 and sealed.path is None
+
+        written = write_segment(sealed, tmp_path / "segment-000007.seg")
+        assert written.path is not None and written.nbytes > 0
+        # The original segment is immutable; write returns a copy.
+        assert sealed.path is None
+
+        loaded = load_segment(written.path, cache=engine.cache)
+        assert loaded.seq == sealed.seq
+        assert loaded.articles == sealed.articles
+        assert loaded.documents == sealed.documents
+        assert loaded.touched_dates == sealed.touched_dates
+        for doc_id in range(sealed.documents):
+            original = sealed.index.document(doc_id)
+            restored = loaded.index.document(doc_id)
+            assert restored == original
+        assert loaded.index.postings_map() == sealed.index.postings_map()
+
+    def test_header_is_readable_without_payload(self, engine, tmp_path):
+        sealed = build_segment(
+            3, make_articles()[:2], engine.tagger, cache=engine.cache
+        )
+        path = tmp_path / "segment-000003.seg"
+        write_segment(sealed, path)
+        header = segment_info(path)
+        # User meta merges top-level; "meta" itself is the magic string.
+        assert header["meta"] == SEGMENT_MAGIC
+        assert header["segment_seq"] == 3
+        assert header["documents"] == sealed.documents
+        assert header["articles"] == 2
+        assert header["touched_dates"] == sorted(
+            day.isoformat() for day in sealed.touched_dates
+        )
+        assert header["analyzer"] == {
+            "stem": True, "drop_stopwords": True,
+        }
+
+    def test_corruption_raises_not_partial_state(self, engine, tmp_path):
+        sealed = build_segment(
+            0, make_articles()[:2], engine.tagger, cache=engine.cache
+        )
+        path = tmp_path / "segment-000000.seg"
+        write_segment(sealed, path)
+        blob = bytearray(path.read_bytes())
+        blob[-10] ^= 0xFF  # flip a payload byte past the header
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError):
+            load_segment(path, cache=engine.cache)
+
+    def test_analyzer_mismatch_refuses_to_replay(self, engine, tmp_path):
+        sealed = build_segment(
+            0, make_articles()[:1], engine.tagger, cache=engine.cache
+        )
+        path = tmp_path / "segment-000000.seg"
+        write_segment(sealed, path)
+        with pytest.raises(SnapshotError, match="analyzer"):
+            load_segment(path, cache=TokenCache(stem=False))
+
+    def test_list_segments_sorts_by_sequence(self, engine, tmp_path):
+        for seq in (2, 0, 1):
+            sealed = build_segment(
+                seq, make_articles()[:1], engine.tagger,
+                cache=engine.cache,
+            )
+            write_segment(sealed, tmp_path / f"segment-{seq:06d}.seg")
+        names = [p.name for p in list_segments(tmp_path)]
+        assert names == [
+            "segment-000000.seg",
+            "segment-000001.seg",
+            "segment-000002.seg",
+        ]
+        assert list_segments(tmp_path / "absent") == []
+
+
+# ---------------------------------------------------------------------------
+# IngestQueue admission
+# ---------------------------------------------------------------------------
+
+
+class TestIngestQueue:
+    def test_offer_drain_is_fifo(self):
+        queue = IngestQueue(max_articles=10)
+        articles = make_articles()[:4]
+        assert queue.offer(articles[:2])
+        assert queue.offer(articles[2:])
+        assert queue.depth == 4
+        assert queue.drain(3, timeout=0) == articles[:3]
+        assert queue.drain(3, timeout=0) == articles[3:]
+        assert len(queue) == 0
+
+    def test_rejection_is_all_or_nothing(self):
+        queue = IngestQueue(max_articles=3)
+        articles = make_articles()
+        assert queue.offer(articles[:2])
+        # Two queued + two offered exceeds the bound of three: the whole
+        # batch bounces, nothing is half-applied.
+        assert not queue.offer(articles[2:4])
+        assert queue.depth == 2
+        assert queue.offer(articles[4:5])
+        assert queue.depth == 3
+
+    def test_close_rejects_offers_and_unblocks_drain(self):
+        queue = IngestQueue(max_articles=4)
+        queue.close()
+        assert queue.closed
+        assert not queue.offer(make_articles()[:1])
+        assert queue.drain(4, timeout=0) == []
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            IngestQueue(max_articles=0)
+
+
+# ---------------------------------------------------------------------------
+# LiveIndex overlay: reads equal a cold index, writes are rejected
+# ---------------------------------------------------------------------------
+
+
+class TestLiveIndexEquivalence:
+    @pytest.fixture()
+    def pair(self):
+        """(cold InvertedIndex, LiveIndex) over the same documents."""
+        articles = make_articles()
+        cold = cold_system(articles)
+        system, plane = live_system(
+            [articles[:2], articles[2:4], articles[4:]]
+        )
+        return cold.engine.index, system.engine.index, plane
+
+    def test_every_read_api_matches_cold(self, pair):
+        cold, live, _ = pair
+        assert isinstance(live, LiveIndex)
+        assert len(live) == len(cold)
+        assert live.num_documents == cold.num_documents
+        assert live.total_length == cold.total_length
+        assert live.average_length == cold.average_length
+        assert live.vocabulary_size() == cold.vocabulary_size()
+        assert live.dates() == cold.dates()
+        assert live.date_histogram() == cold.date_histogram()
+        assert sorted(live.tokens_with_postings()) == sorted(
+            cold.tokens_with_postings()
+        )
+        assert live.postings_map() == cold.postings_map()
+        for token in cold.tokens_with_postings():
+            assert live.document_frequency(token) == (
+                cold.document_frequency(token)
+            )
+            assert live.postings(token) == cold.postings(token)
+            for doc_id in cold.postings(token):
+                assert live.positions(token, doc_id) == (
+                    cold.positions(token, doc_id)
+                )
+        for doc_id in range(cold.num_documents):
+            assert live.document(doc_id) == cold.document(doc_id)
+            assert live.document_length(doc_id) == (
+                cold.document_length(doc_id)
+            )
+        assert list(live.doc_ids_in_range(*WINDOW)) == (
+            list(cold.doc_ids_in_range(*WINDOW))
+        )
+        for day in cold.dates():
+            assert live.documents_on(day) == cold.documents_on(day)
+
+    def test_overlay_rejects_direct_writes(self, pair):
+        _, live, _ = pair
+        with pytest.raises(TypeError):
+            live.add(
+                "forbidden",
+                date=d("2021-03-01"),
+                publication_date=d("2021-03-01"),
+                article_id="x",
+            )
+        with pytest.raises(TypeError):
+            live.advance_version(10**6)
+
+    def test_touched_dates_since_is_day_precise(self):
+        articles = make_articles()
+        system, plane = live_system([articles[:4]])
+        live = system.engine.index
+        base_version = live.index_version
+
+        assert live.touched_dates_since(base_version) == frozenset()
+        sealed = plane._seal_batch(articles[4:5])
+        after_first = live.index_version
+        assert live.touched_dates_since(base_version) == (
+            sealed.touched_dates
+        )
+        second = plane._seal_batch(articles[5:])
+        assert live.touched_dates_since(base_version) == (
+            sealed.touched_dates | second.touched_dates
+        )
+        assert live.touched_dates_since(after_first) == (
+            second.touched_dates
+        )
+        assert live.touched_dates_since(live.index_version) == frozenset()
+        # Below the log floor the overlay cannot answer precisely:
+        # callers must fall back to a full flush.
+        assert live.touched_dates_since(-1) is None
+
+
+# ---------------------------------------------------------------------------
+# Streamed == cold: timelines, versions, snapshots
+# ---------------------------------------------------------------------------
+
+
+class TestStreamedEqualsCold:
+    def test_timeline_and_version_match_cold_reindex(self):
+        articles = make_articles()
+        cold = cold_system(articles)
+        system, _ = live_system([articles[:1], articles[1:4], articles[4:]])
+        assert system.index_version == cold.index_version
+        assert system.engine.num_articles == cold.engine.num_articles
+        assert timeline_bytes(system) == timeline_bytes(cold)
+
+    def test_compacted_snapshot_is_byte_identical_to_cold(self, tmp_path):
+        articles = make_articles()
+        cold = cold_system(articles)
+        cold_path = tmp_path / "cold.snap"
+        cold.engine.save_snapshot(cold_path, snapshot_format="v2")
+
+        system, plane = live_system([articles[:3], articles[3:]])
+        report = plane.compact(
+            snapshot_path=tmp_path / "compacted.snap",
+            snapshot_format="v2",
+        )
+        assert report.folded_segments == 2
+        assert report.documents == cold.engine.index.num_documents
+        cold_digest = hashlib.sha256(cold_path.read_bytes()).hexdigest()
+        live_digest = hashlib.sha256(
+            report.snapshot_path.read_bytes()
+        ).hexdigest()
+        assert live_digest == cold_digest
+
+    def test_compaction_preserves_version_and_answers(self):
+        articles = make_articles()
+        system, plane = live_system([articles[:2], articles[2:]])
+        before_version = system.index_version
+        before = timeline_bytes(system)
+        report = plane.compact()
+        assert report.folded_segments == 2
+        assert system.engine.index.segment_count == 0
+        assert system.engine.index.pending_documents == 0
+        assert system.index_version == before_version
+        assert timeline_bytes(system) == before
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(cuts=st.sets(st.integers(min_value=1, max_value=5), max_size=4))
+def test_any_batch_split_streams_to_the_cold_answer(cuts):
+    """Property: every way of splitting the corpus into ingest batches
+    yields the cold re-index's version, article count and timeline."""
+    articles = make_articles()
+    bounds = [0] + sorted(cuts) + [len(articles)]
+    batches = [
+        articles[lo:hi]
+        for lo, hi in zip(bounds, bounds[1:])
+        if hi > lo
+    ]
+    cold = cold_system(articles)
+    system, plane = live_system(batches)
+    assert system.engine.index.segment_count == len(batches)
+    assert system.index_version == cold.index_version
+    assert system.engine.num_articles == cold.engine.num_articles
+    assert timeline_bytes(system) == timeline_bytes(cold)
+
+
+# ---------------------------------------------------------------------------
+# IngestPlane lifecycle: admission, writer, recovery, auto-compaction
+# ---------------------------------------------------------------------------
+
+
+class TestIngestPlane:
+    def test_sync_ingest_counts_documents_like_cold_add(self):
+        articles = make_articles()
+        cold = RealTimeTimelineSystem()
+        cold_documents = cold.engine.add_articles(articles)
+
+        metrics = Metrics()
+        system, plane = live_system([articles], metrics=metrics)
+        assert metrics.counter("ingest.documents_indexed").value == (
+            cold_documents
+        )
+        assert metrics.counter("ingest.articles_accepted").value == (
+            len(articles)
+        )
+        assert metrics.counter("ingest.segments_sealed").value == 1
+        assert metrics.gauge("ingest.live_segments").value == 1
+        assert metrics.gauge("ingest.index_version").value == (
+            system.index_version
+        )
+
+    def test_system_ingest_routes_through_the_plane(self):
+        articles = make_articles()
+        system = RealTimeTimelineSystem()
+        system.ingest(articles[:3])
+        plane = IngestPlane(system)
+        # With the plane attached the library entry point must use the
+        # seal path: LiveIndex rejects direct writes.
+        documents = system.ingest(articles[3:])
+        assert documents > 0
+        assert system.engine.index.segment_count == 1
+        assert system.ingest([]) == 0
+
+    def test_sentence_free_articles_still_count_as_articles(self):
+        system, plane = live_system([])
+        before = system.engine.num_articles
+        ingested = plane.ingest(
+            [Article(article_id="empty", publication_date=d("2021-03-01"))]
+        )
+        assert ingested == 0
+        assert system.engine.num_articles == before + 1
+        assert system.engine.index.segment_count == 0
+
+    def test_writer_drains_submissions_in_background(self):
+        articles = make_articles()
+        metrics = Metrics()
+        system = RealTimeTimelineSystem()
+        plane = IngestPlane(
+            system,
+            IngestConfig(batch_articles=2, batch_age_ms=5.0),
+            metrics=metrics,
+        )
+        plane.start()
+        try:
+            before = system.index_version
+            assert plane.submit(articles)
+            assert plane.flush(timeout=10.0)
+            wait_until(
+                lambda: system.index_version > before,
+                message="background seal",
+            )
+            assert plane.queue.depth == 0
+            # batch_articles=2 forces the six articles into >= 3 seals.
+            assert metrics.counter("ingest.segments_sealed").value >= 3
+        finally:
+            plane.stop(drain=True)
+
+    def test_queue_pressure_rejects_whole_batches(self):
+        metrics = Metrics()
+        system = RealTimeTimelineSystem()
+        plane = IngestPlane(
+            system, IngestConfig(queue_articles=2), metrics=metrics
+        )
+        articles = make_articles()
+        assert not plane.submit(articles[:3])
+        assert metrics.counter("ingest.articles_rejected").value == 3
+        assert plane.submit(articles[:2])
+        assert plane.queue.depth == 2
+
+    def test_stop_with_drain_seals_the_backlog(self):
+        articles = make_articles()
+        system = RealTimeTimelineSystem()
+        plane = IngestPlane(system, IngestConfig(batch_age_ms=5.0))
+        # Never started: queued articles must still seal on stop(drain).
+        assert plane.submit(articles)
+        before = system.index_version
+        plane.stop(drain=True)
+        assert system.index_version > before
+        assert plane.queue.depth == 0
+        assert not plane.submit(articles)  # closed queue sheds load
+
+    def test_seal_listener_sees_segment_and_version(self):
+        articles = make_articles()
+        system = RealTimeTimelineSystem()
+        plane = IngestPlane(system)
+        seen = []
+        plane.add_seal_listener(
+            lambda segment, version: seen.append((segment, version))
+        )
+        plane.ingest(articles[:2])
+        assert len(seen) == 1
+        segment, version = seen[0]
+        assert version == system.index_version
+        assert segment.touched_dates
+        assert segment.documents > 0
+
+    def test_persisted_segments_recover_into_a_new_plane(self, tmp_path):
+        articles = make_articles()
+        config = IngestConfig(segments_dir=tmp_path)
+        cold = cold_system(articles)
+
+        first_system = RealTimeTimelineSystem()
+        first_system.ingest(articles[:2])
+        first_plane = IngestPlane(first_system, config)
+        first_plane.ingest(articles[2:4])
+        first_plane.ingest(articles[4:])
+        assert len(list_segments(tmp_path)) == 2
+
+        # A restarted worker: same base articles, same segments dir.
+        metrics = Metrics()
+        second_system = RealTimeTimelineSystem()
+        second_system.ingest(articles[:2])
+        IngestPlane(second_system, config, metrics=metrics)
+        assert metrics.counter("ingest.segments_recovered").value == 2
+        assert second_system.index_version == cold.index_version
+        assert second_system.engine.num_articles == (
+            cold.engine.num_articles
+        )
+        assert timeline_bytes(second_system) == timeline_bytes(cold)
+
+    def test_recovery_continues_the_sequence(self, tmp_path):
+        articles = make_articles()
+        config = IngestConfig(segments_dir=tmp_path)
+        system, plane = live_system([articles[:2]], config=config)
+        fresh = RealTimeTimelineSystem()
+        recovered = IngestPlane(fresh, config)
+        recovered.ingest(articles[2:4])
+        names = [p.name for p in list_segments(tmp_path)]
+        assert names == ["segment-000000.seg", "segment-000001.seg"]
+
+    def test_auto_compaction_folds_once_threshold_is_hit(self, tmp_path):
+        articles = make_articles()
+        metrics = Metrics()
+        system = RealTimeTimelineSystem()
+        plane = IngestPlane(
+            system,
+            IngestConfig(segments_dir=tmp_path, auto_compact_docs=1),
+            metrics=metrics,
+        )
+        plane.ingest(articles[:3])
+        assert system.engine.index.segment_count == 0
+        assert metrics.counter("ingest.compactions").value == 1
+        # The folded segment file is reclaimed from disk.
+        assert list_segments(tmp_path) == []
+        cold = cold_system(articles[:3])
+        assert system.index_version == cold.index_version
+
+    def test_attach_is_idempotent_and_stats_report_live_state(self):
+        articles = make_articles()
+        system, plane = live_system([articles[:2]])
+        live = system.engine.index
+        again = IngestPlane(system)
+        assert system.engine.index is live  # no double wrap
+        stats = plane.stats()
+        assert stats["segments"] == 1
+        assert stats["pending_documents"] == live.pending_documents
+        assert stats["index_version"] == system.index_version
+        assert stats["queue_depth"] == 0
+
+    def test_metric_registry_is_closed(self):
+        metrics = Metrics()
+        system = RealTimeTimelineSystem()
+        plane = IngestPlane(system, metrics=metrics)
+        plane.ingest(make_articles()[:2])
+        plane.compact()
+        plane.refresh_gauges()
+        snapshot = metrics.snapshot()
+        used = (
+            set(snapshot.get("counters", {}))
+            | set(snapshot.get("gauges", {}))
+            | set(snapshot.get("histograms", {}))
+        )
+        ingest_used = {n for n in used if n.startswith("ingest.")}
+        assert ingest_used <= set(INGEST_METRIC_NAMES)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            IngestConfig(queue_articles=0)
+        with pytest.raises(ValueError):
+            IngestConfig(batch_articles=0)
+        with pytest.raises(ValueError):
+            IngestConfig(batch_age_ms=0)
+        with pytest.raises(ValueError):
+            IngestConfig(auto_compact_docs=0)
