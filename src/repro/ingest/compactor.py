@@ -14,18 +14,31 @@ the old ``(base, segments)`` view until the single atomic swap, and
 segments sealed *while* the fold runs survive it -- ``replace_base``
 only consumes the prefix the compactor actually folded. One compaction
 runs at a time (serialized by an internal lock).
+
+Durability contract: a persisted segment file is the *only* durable
+copy of its acknowledged writes until a snapshot containing those
+documents exists on disk. Folding a segment into the in-memory base
+does not change that, so segment files are unlinked **only after** a
+compacted snapshot has been durably written (snapshots are written to
+a temporary file and atomically renamed, so a crash mid-write never
+destroys the previous one). A compaction without a snapshot keeps the
+folded files on disk; they remain tracked and are reclaimed by the
+next snapshot-writing compaction, whose base -- and therefore whose
+snapshot -- contains their documents.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 import time
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 import threading
 
 from repro.ingest.live import LiveIndex
+from repro.ingest.segment import Segment
 from repro.search.index import InvertedIndex
 
 PathLike = Union[str, pathlib.Path]
@@ -43,12 +56,32 @@ class CompactionReport:
     snapshot_path: Optional[pathlib.Path] = None
 
 
+def _save_snapshot_atomic(
+    index: InvertedIndex, path: pathlib.Path, snapshot_format: str
+) -> None:
+    """Write a snapshot via a temp file + rename, never a torn target.
+
+    The target may be the recovery snapshot that durably covers
+    already-unlinked segment files: overwriting it in place would make
+    a crash mid-write lose those writes permanently.
+    """
+    from repro.search.snapshot import save_snapshot
+
+    tmp = path.with_name(path.name + ".tmp")
+    save_snapshot(index, tmp, snapshot_format=snapshot_format)
+    os.replace(tmp, path)
+
+
 class Compactor:
     """Folds a :class:`LiveIndex`'s segments into a fresh base."""
 
     def __init__(self, live: LiveIndex) -> None:
         self.live = live
         self._lock = threading.Lock()
+        #: Persisted segments already folded into the in-memory base
+        #: but not yet covered by an on-disk snapshot. Their files must
+        #: survive until one is written (see module docstring).
+        self._uncovered: List[Segment] = []
 
     def compact(
         self,
@@ -59,9 +92,14 @@ class Compactor:
 
         With *snapshot_path* the compacted index is also persisted as a
         ``wilson.snapshot`` of *snapshot_format* -- the file a restarted
-        worker boots from without replaying any segment. Returns a
-        :class:`CompactionReport`; folding zero segments is a cheap
-        no-op (the snapshot, when requested, is still written).
+        worker boots from without replaying any segment -- and the
+        folded segments' files (plus any kept by earlier snapshot-less
+        compactions) are unlinked, since the snapshot now durably
+        covers them. Without one, persisted segment files are **kept**:
+        the in-memory fold alone is not durable, and deleting them
+        would silently lose acknowledged writes on the next restart.
+        Returns a :class:`CompactionReport`; folding zero segments is a
+        cheap no-op (the snapshot, when requested, is still written).
         """
         with self._lock:
             started = time.perf_counter()
@@ -100,22 +138,28 @@ class Compactor:
                 compacted: InvertedIndex = fresh
             else:
                 compacted = base
+            written: Optional[pathlib.Path] = None
+            if snapshot_path is not None:
+                written = pathlib.Path(snapshot_path)
+                _save_snapshot_atomic(
+                    compacted, written, snapshot_format
+                )
+            persisted = [s for s in segments if s.path is not None]
             reclaimed = 0
-            for segment in segments:
-                if segment.path is not None:
+            if written is not None:
+                # The snapshot durably holds every folded document --
+                # this round's and every earlier uncovered round's (the
+                # base it was written from retains them) -- so their
+                # files are now redundant.
+                for segment in persisted + self._uncovered:
                     try:
                         segment.path.unlink()
                         reclaimed += segment.nbytes
                     except OSError:
                         pass
-            written: Optional[pathlib.Path] = None
-            if snapshot_path is not None:
-                from repro.search.snapshot import save_snapshot
-
-                written = pathlib.Path(snapshot_path)
-                save_snapshot(
-                    compacted, written, snapshot_format=snapshot_format
-                )
+                self._uncovered = []
+            else:
+                self._uncovered.extend(persisted)
             return CompactionReport(
                 folded_segments=len(segments),
                 folded_documents=sum(s.documents for s in segments),

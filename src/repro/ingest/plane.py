@@ -9,7 +9,9 @@ RealTimeTimelineSystem` and turns its read-only engine into a live one:
   :class:`~repro.ingest.queue.IngestQueue` (``False`` -> 429, the only
   admission decision);
 * one :class:`~repro.ingest.writer.SegmentWriter` thread drains the
-  queue and calls the seal path: expand articles exactly as
+  queue and calls the seal path: drop already-indexed article ids
+  (ingest is idempotent -- a retried batch never duplicates documents
+  or skews BM25 statistics), expand the rest exactly as
   ``SearchEngine.add_article`` would, build a mini index, optionally
   persist a ``wilson.segment/v1`` file, append the sealed segment to
   the overlay (bumping ``index_version`` by its document count), then
@@ -17,7 +19,11 @@ RealTimeTimelineSystem` and turns its read-only engine into a live one:
   serving layers use for precise result-cache invalidation;
 * a :class:`~repro.ingest.compactor.Compactor` folds segments back
   into a fresh base off the hot path, automatically once
-  ``auto_compact_docs`` pending documents accumulate.
+  ``auto_compact_docs`` pending documents accumulate. With a segments
+  directory the fold is durable: the recovery snapshot
+  (``compacted.snapshot``) is written before any folded segment file
+  is unlinked, and :meth:`IngestPlane._recover_segments` prefers it
+  over a stale boot base.
 
 Every instrument lives in the ``ingest.*`` registry pinned below and
 documented in ``docs/observability.md`` (drift-tested by
@@ -52,6 +58,7 @@ PathLike = Union[str, pathlib.Path]
 INGEST_COUNTERS = (
     "ingest.articles_accepted",
     "ingest.articles_rejected",
+    "ingest.articles_deduplicated",
     "ingest.documents_indexed",
     "ingest.segments_sealed",
     "ingest.segments_recovered",
@@ -59,6 +66,12 @@ INGEST_COUNTERS = (
     "ingest.compactions",
     "ingest.invalidated_days",
 )
+
+#: The durable recovery snapshot a compaction leaves in the segments
+#: directory: a restarted plane boots its base from it (instead of the
+#: possibly stale snapshot the engine was constructed with), because
+#: the segment files it covers were unlinked when it was written.
+COMPACTED_SNAPSHOT_NAME = "compacted.snapshot"
 
 #: Gauges describing the live overlay's current shape.
 INGEST_GAUGES = (
@@ -140,10 +153,14 @@ class IngestPlane:
         self.live: LiveIndex = engine.index
         self.queue = IngestQueue(self.config.queue_articles)
         self.writer = SegmentWriter(self)
-        self.compactor = Compactor(self.live)
         self._seal_lock = threading.Lock()
         self._seq = 0
         self._listeners: List[SealListener] = []
+        #: Article ids already present in the live view, the dedup set
+        #: making ingest idempotent. Built lazily on first seal (under
+        #: the seal lock) so attaching to a large mmap snapshot stays
+        #: O(1); ``None`` until then.
+        self._seen_article_ids: Optional[set] = None
         self._segments_dir: Optional[pathlib.Path] = (
             pathlib.Path(self.config.segments_dir)
             if self.config.segments_dir is not None
@@ -151,7 +168,10 @@ class IngestPlane:
         )
         if self._segments_dir is not None:
             self._segments_dir.mkdir(parents=True, exist_ok=True)
+            # May replace self.live's base with the durable compacted
+            # snapshot, so the compactor is constructed afterwards.
             self._recover_segments()
+        self.compactor = Compactor(self.live)
         # Expose the plane so RealTimeTimelineSystem.ingest routes here
         # (LiveIndex rejects direct writes).
         system.ingest_plane = self
@@ -169,8 +189,31 @@ class IngestPlane:
         self.refresh_gauges()
 
     def _recover_segments(self) -> None:
-        """Re-overlay segments persisted by an earlier incarnation."""
+        """Restore the durable live state of an earlier incarnation.
+
+        Two sources, in order: the compacted recovery snapshot, when a
+        compaction left one (its documents' segment files were unlinked
+        when it was written, so it *must* replace a stale boot base --
+        skipped only when the engine already booted from something at
+        least as new), then every remaining segment file, re-overlaid
+        on top. Together they reconstruct every acknowledged persisted
+        write across any crash point.
+        """
         engine = self.system.engine
+        compacted = self._segments_dir / COMPACTED_SNAPSHOT_NAME
+        if compacted.is_file():
+            from repro.search.engine import _distinct_articles
+            from repro.search.snapshot import load_snapshot
+
+            restored = load_snapshot(compacted, cache=engine.cache)
+            base = self.live.base
+            if (
+                restored.num_documents >= base.num_documents
+                and restored.index_version >= base.index_version
+            ):
+                self.live = LiveIndex(restored, cache=engine.cache)
+                engine.index = self.live
+                engine._num_articles = _distinct_articles(restored)
         for path in list_segments(self._segments_dir):
             segment = load_segment(path, cache=engine.cache)
             if segment.documents:
@@ -227,13 +270,56 @@ class IngestPlane:
         self.refresh_gauges()
         return flushed
 
+    def _known_article_ids(self) -> set:
+        """The dedup set, built lazily (caller holds the seal lock).
+
+        Seeded by one scan of the live view -- base, recovered and
+        sealed segments alike -- then maintained incrementally by every
+        seal. The scan runs once, on the first seal, off the boot path.
+        """
+        if self._seen_article_ids is None:
+            live = self.live
+            self._seen_article_ids = {
+                aid
+                for aid in (
+                    live.document(doc_id).article_id
+                    for doc_id in range(live.num_documents)
+                )
+                if aid
+            }
+        return self._seen_article_ids
+
     def _seal_batch(self, articles: Sequence[Article]) -> Optional[Segment]:
         engine = self.system.engine
         with self._seal_lock:
             started = time.perf_counter()
+            # Idempotency: an article id already indexed (or repeated
+            # within the batch) is dropped, so re-submitting a batch --
+            # a client retrying a router 429, a replica receiving a
+            # write a sibling already applied -- never duplicates
+            # documents or skews BM25 statistics. Articles without an
+            # id have no identity and are never deduplicated.
+            seen = self._known_article_ids()
+            fresh: List[Article] = []
+            batch_ids: set = set()
+            for article in articles:
+                aid = article.article_id
+                if aid and (aid in seen or aid in batch_ids):
+                    continue
+                if aid:
+                    batch_ids.add(aid)
+                fresh.append(article)
+            duplicates = len(articles) - len(fresh)
+            if duplicates:
+                self.metrics.counter(
+                    "ingest.articles_deduplicated"
+                ).inc(duplicates)
+            if not fresh:
+                return None
             segment = build_segment(
-                self._seq, articles, engine.tagger, cache=engine.cache
+                self._seq, fresh, engine.tagger, cache=engine.cache
             )
+            seen.update(batch_ids)
             if not segment.documents:
                 # Articles with no sentences still count as ingested
                 # articles -- exactly what add_article does cold.
@@ -279,10 +365,33 @@ class IngestPlane:
         snapshot_path: Optional[PathLike] = None,
         snapshot_format: str = "v2",
     ) -> CompactionReport:
-        """Fold sealed segments into a fresh base (off the hot path)."""
+        """Fold sealed segments into a fresh base (off the hot path).
+
+        With a segments directory, every compaction -- automatic or
+        explicit -- writes the durable recovery snapshot
+        (``compacted.snapshot`` next to the segment files) *before* the
+        folded segment files are unlinked: a restart recovers from that
+        snapshot plus the remaining segments, so acknowledged persisted
+        writes survive any crash point. An explicit *snapshot_path*
+        additionally receives a copy of it (identical bytes -- snapshot
+        writing is deterministic).
+        """
+        recovery: Optional[pathlib.Path] = None
+        target = snapshot_path
+        if self._segments_dir is not None:
+            recovery = self._segments_dir / COMPACTED_SNAPSHOT_NAME
+            target = recovery
         report = self.compactor.compact(
-            snapshot_path=snapshot_path, snapshot_format=snapshot_format
+            snapshot_path=target, snapshot_format=snapshot_format
         )
+        if recovery is not None and snapshot_path is not None:
+            import dataclasses
+            import shutil
+
+            shutil.copyfile(recovery, snapshot_path)
+            report = dataclasses.replace(
+                report, snapshot_path=pathlib.Path(snapshot_path)
+            )
         self.metrics.counter("ingest.compactions").inc()
         self.metrics.histogram("ingest.compaction_seconds").observe(
             report.seconds

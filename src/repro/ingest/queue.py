@@ -30,6 +30,7 @@ class IngestQueue:
         self._items: List[Article] = []
         self._condition = threading.Condition()
         self._closed = False
+        self._inflight = 0
 
     def offer(self, articles: Sequence[Article]) -> bool:
         """Enqueue *articles* atomically; ``False`` on pressure/closed.
@@ -55,15 +56,43 @@ class IngestQueue:
         Returns immediately with whatever is queued when non-empty;
         blocks (bounded by *timeout*) when empty. An empty return means
         the wait timed out or the queue closed.
+
+        A non-empty batch is *leased*, not forgotten: the in-flight
+        count rises inside the same critical section that dequeues, so
+        :meth:`wait_idle` can never observe the window between a drain
+        returning and the drained batch being sealed. The drainer must
+        call :meth:`task_done` once the batch is fully processed.
         """
         with self._condition:
             if not self._items and not self._closed:
                 self._condition.wait(timeout)
             batch = self._items[:max_articles]
             del self._items[: len(batch)]
+            if batch:
+                self._inflight += 1
             if not self._items:
                 self._condition.notify_all()
             return batch
+
+    def task_done(self) -> None:
+        """Mark one drained batch as fully processed (sealed)."""
+        with self._condition:
+            if self._inflight > 0:
+                self._inflight -= 1
+            if not self._items and not self._inflight:
+                self._condition.notify_all()
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no article is queued *or leased*; ``True`` if idle.
+
+        The flush primitive: covers both articles still in the queue
+        and batches drained but not yet sealed, with no polling gap.
+        """
+        with self._condition:
+            return self._condition.wait_for(
+                lambda: not self._items and not self._inflight,
+                timeout,
+            )
 
     def close(self) -> None:
         """Reject future offers and wake any waiting drainer."""
@@ -75,6 +104,12 @@ class IngestQueue:
     def closed(self) -> bool:
         with self._condition:
             return self._closed
+
+    @property
+    def inflight(self) -> int:
+        """Drained-but-unsealed batch count (see :meth:`task_done`)."""
+        with self._condition:
+            return self._inflight
 
     @property
     def depth(self) -> int:

@@ -12,7 +12,6 @@ overlay state, and HTTP handlers only enqueue.
 from __future__ import annotations
 
 import threading
-import time
 from typing import Optional
 
 
@@ -46,6 +45,7 @@ class SegmentWriter:
                 self._seal(batch)
 
     def _seal(self, batch) -> None:
+        """Seal one batch drained (leased) from the plane's queue."""
         self._sealing = True
         try:
             self.plane._seal_batch(batch)
@@ -53,15 +53,20 @@ class SegmentWriter:
             self.plane._record_seal_error(len(batch))
         finally:
             self._sealing = False
+            # Release the lease last: queue.wait_idle only reports idle
+            # once the batch is sealed (or its error recorded), so a
+            # flush() that returns True really covers this batch.
+            self.plane.queue.task_done()
 
     def flush(self, timeout: float = 10.0) -> bool:
-        """Wait until the queue is empty and no seal is in flight."""
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            if not self.plane.queue.depth and not self._sealing:
-                return True
-            time.sleep(0.002)
-        return not self.plane.queue.depth and not self._sealing
+        """Wait until every queued article has been drained *and* sealed.
+
+        Idleness is the queue's lease accounting, not a depth poll: a
+        batch counts in flight from the instant ``drain`` dequeues it
+        until its seal completes, so there is no window where a
+        just-drained, not-yet-sealed batch reads as flushed.
+        """
+        return self.plane.queue.wait_idle(timeout)
 
     def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
         """Stop the writer; with *drain* seal everything still queued.

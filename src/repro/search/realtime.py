@@ -170,16 +170,19 @@ class RealTimeTimelineSystem:
             # live overlay reports exactly which content dates changed
             # since the cache's revision, so only those days are
             # evicted; anything else (or an unanswerable span) falls
-            # back to the full flush.
+            # back to the full flush. The version is captured BEFORE
+            # the touched-dates query: a segment sealed between the two
+            # reads then merely over-approximates the eviction set
+            # (safe), whereas the reverse order would re-key entries to
+            # a version whose writes were never evicted.
+            version = self.engine.index_version
             touched = None
             since = getattr(
                 self.engine.index, "touched_dates_since", None
             )
             if since is not None:
                 touched = since(matrix_cache.version)
-            matrix_cache.sync_version(
-                self.engine.index_version, touched_dates=touched
-            )
+            matrix_cache.sync_version(version, touched_dates=touched)
         with tracer.root_span("realtime") as root:
             with tracer.span("realtime.retrieval") as retrieval:
                 dated = self.engine.fetch_dated_sentences(

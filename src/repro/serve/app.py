@@ -735,6 +735,17 @@ class TimelineServer(HttpServerBase):
             self.metrics.counter("serve.cache_hits").inc()
             return self._timeline_response(cached, index_version, "hit")
         self.metrics.counter("serve.cache_misses").inc()
+        # Live-ingest mode: snapshot the cache's invalidation generation
+        # before generation starts. Segments are appended to the overlay
+        # *before* the seal listener sweeps the cache, so any seal that
+        # could stale the upcoming computation either ran its sweep
+        # already (the computation then sees the post-seal view) or will
+        # bump the generation before our put -- which then discards the
+        # entry atomically under the cache lock. No window remains for a
+        # pre-seal result to be cached after its eviction sweep ran.
+        generation = (
+            self.cache.generation if self.ingest is not None else None
+        )
 
         if not self.admission.try_admit():
             retry_after = (
@@ -786,11 +797,12 @@ class TimelineServer(HttpServerBase):
                 ),
             )
         result = shard.value.to_dict()
-        if self.ingest is None or self.system.index_version == index_version:
-            # Under live ingest, skip caching a result that a seal
-            # already staled mid-generation -- the listener that would
-            # have evicted it may have fired before this put.
-            self.cache.put(key, result)
+        # Under live ingest the put is generation-guarded: it lands only
+        # if no invalidation sweep ran since the pre-generation
+        # snapshot, checked inside the cache lock (a bare version
+        # re-check would race the seal listener firing between check
+        # and insert).
+        self.cache.put(key, result, generation=generation)
         return self._timeline_response(result, index_version, "miss")
 
     def _timeline_response(

@@ -144,6 +144,7 @@ class ResultCache:
         self._evictions = 0
         self._expirations = 0
         self._invalidations = 0
+        self._generation = 0
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value, or ``None`` on miss/expiry (refreshes LRU)."""
@@ -163,10 +164,37 @@ class ResultCache:
             self._hits += 1
             return value
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert/overwrite *key*; evicts LRU entries past capacity."""
+    @property
+    def generation(self) -> int:
+        """Bumped by every invalidation sweep (see :meth:`put`)."""
+        with self._lock:
+            return self._generation
+
+    def put(
+        self,
+        key: Hashable,
+        value: Any,
+        generation: Optional[int] = None,
+    ) -> bool:
+        """Insert/overwrite *key*; evicts LRU entries past capacity.
+
+        With *generation* (a value previously read from
+        :attr:`generation`) the insert is conditional: if any
+        invalidation sweep ran in between, the entry is discarded and
+        ``False`` returned. The check happens under the cache lock, so
+        there is no window for a sweep to run between the check and the
+        insert -- callers use it to avoid caching a result that a
+        concurrent ingest seal computed-against-then-staled
+        (conservative: a sweep for unrelated windows also discards,
+        costing only a re-computation on the next miss).
+        """
         now = self._clock()
         with self._lock:
+            if (
+                generation is not None
+                and generation != self._generation
+            ):
+                return False
             if key in self._entries:
                 del self._entries[key]
             self._entries[key] = (now, value)
@@ -175,6 +203,7 @@ class ResultCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+            return True
 
     def _expire_locked(self, now: float) -> None:
         """Drop every TTL-expired entry (caller holds the lock)."""
@@ -198,6 +227,7 @@ class ResultCache:
         evicted, and every other entry stays warm.
         """
         with self._lock:
+            self._generation += 1
             doomed = [
                 key for key in self._entries if predicate(key)
             ]
@@ -208,6 +238,7 @@ class ResultCache:
 
     def clear(self) -> None:
         with self._lock:
+            self._generation += 1
             self._entries.clear()
 
     def __len__(self) -> int:

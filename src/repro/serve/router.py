@@ -932,6 +932,14 @@ class TimelineRouter(HttpServerBase):
         and failed when every replica errors; partial outcomes are
         reported per shard and the response is never a 5xx unless no
         shard accepted anything.
+
+        Retrying a 429 -- or re-submitting after a partial ``failed``
+        count -- is safe and is the repair path for divergent replicas:
+        replica application is idempotent per article id (the ingest
+        plane drops already-indexed ids, see docs/ingest.md), so
+        replicas that sealed the batch before a sibling rejected it
+        simply ignore the retry while the laggards catch up, converging
+        the group instead of duplicating documents.
         """
         self.metrics.counter("router.ingest_requests").inc()
         if self.draining:

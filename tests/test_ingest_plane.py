@@ -625,3 +625,280 @@ class TestIngestPlane:
             IngestConfig(batch_age_ms=0)
         with pytest.raises(ValueError):
             IngestConfig(auto_compact_docs=0)
+
+
+# ---------------------------------------------------------------------------
+# Compaction durability: acknowledged persisted writes survive any restart
+# ---------------------------------------------------------------------------
+
+
+class TestCompactionDurability:
+    def _restarted(self, config):
+        """A fresh worker recovering the segments directory from cold."""
+        system = RealTimeTimelineSystem()
+        plane = IngestPlane(system, config)
+        return system, plane
+
+    def test_auto_compaction_survives_a_restart(self, tmp_path):
+        articles = make_articles()
+        config = IngestConfig(segments_dir=tmp_path, auto_compact_docs=1)
+        system, plane = live_system([articles[:3]], config=config)
+        # Auto-compaction folded and reclaimed the segment files, but
+        # only after writing the durable recovery snapshot.
+        assert list_segments(tmp_path) == []
+        assert (tmp_path / "compacted.snapshot").is_file()
+
+        cold = cold_system(articles[:3])
+        restarted, _ = self._restarted(
+            IngestConfig(segments_dir=tmp_path)
+        )
+        assert restarted.index_version == cold.index_version
+        assert restarted.engine.num_articles == cold.engine.num_articles
+        assert timeline_bytes(restarted) == timeline_bytes(cold)
+
+    def test_plane_compaction_without_snapshot_path_is_durable(
+        self, tmp_path
+    ):
+        articles = make_articles()
+        config = IngestConfig(segments_dir=tmp_path)
+        system, plane = live_system(
+            [articles[:2], articles[2:4]], config=config
+        )
+        report = plane.compact()  # no explicit snapshot_path
+        assert report.folded_segments == 2
+        assert report.snapshot_path == tmp_path / "compacted.snapshot"
+        assert report.snapshot_path.is_file()
+        assert list_segments(tmp_path) == []
+        assert report.reclaimed_bytes > 0
+
+        cold = cold_system(articles[:4])
+        restarted, _ = self._restarted(config)
+        assert restarted.index_version == cold.index_version
+        assert timeline_bytes(restarted) == timeline_bytes(cold)
+
+    def test_segments_sealed_after_compaction_also_recover(self, tmp_path):
+        articles = make_articles()
+        config = IngestConfig(segments_dir=tmp_path)
+        system, plane = live_system([articles[:3]], config=config)
+        plane.compact()
+        plane.ingest(articles[3:])  # sealed after the fold
+        assert len(list_segments(tmp_path)) == 1
+
+        cold = cold_system(articles)
+        restarted, _ = self._restarted(config)
+        assert restarted.index_version == cold.index_version
+        assert restarted.engine.num_articles == cold.engine.num_articles
+        assert timeline_bytes(restarted) == timeline_bytes(cold)
+
+    def test_explicit_snapshot_path_also_writes_the_recovery_copy(
+        self, tmp_path
+    ):
+        articles = make_articles()
+        segments = tmp_path / "segments"
+        config = IngestConfig(segments_dir=segments)
+        system, plane = live_system([articles[:3]], config=config)
+        out = tmp_path / "exported.snap"
+        report = plane.compact(snapshot_path=out, snapshot_format="v2")
+        assert report.snapshot_path == out
+        recovery = segments / "compacted.snapshot"
+        assert recovery.is_file()
+        assert out.read_bytes() == recovery.read_bytes()
+        assert list_segments(segments) == []
+
+        cold = cold_system(articles[:3])
+        restarted, _ = self._restarted(config)
+        assert timeline_bytes(restarted) == timeline_bytes(cold)
+
+    def test_bare_compactor_keeps_files_until_a_snapshot_covers_them(
+        self, tmp_path
+    ):
+        articles = make_articles()
+        config = IngestConfig(segments_dir=tmp_path)
+        system, plane = live_system(
+            [articles[:2], articles[2:4]], config=config
+        )
+        # Bypassing the plane: folding without a snapshot must NOT
+        # delete the only durable copy of the acknowledged writes.
+        report = plane.compactor.compact()
+        assert report.folded_segments == 2
+        assert report.reclaimed_bytes == 0
+        assert len(list_segments(tmp_path)) == 2
+
+        cold = cold_system(articles[:4])
+        restarted, _ = self._restarted(config)
+        assert timeline_bytes(restarted) == timeline_bytes(cold)
+
+        # The next snapshot-writing compaction covers the kept files
+        # (its base retains their documents) and reclaims them.
+        covered = plane.compactor.compact(
+            snapshot_path=tmp_path / "covered.snap"
+        )
+        assert covered.folded_segments == 0
+        assert covered.reclaimed_bytes > 0
+        assert list_segments(tmp_path) == []
+
+
+# ---------------------------------------------------------------------------
+# Ingest idempotency: re-submitted batches never duplicate documents
+# ---------------------------------------------------------------------------
+
+
+class TestIngestIdempotency:
+    def test_reingesting_the_same_batch_is_a_no_op(self):
+        articles = make_articles()
+        metrics = Metrics()
+        system, plane = live_system([articles], metrics=metrics)
+        before_docs = system.engine.index.num_documents
+        before_version = system.index_version
+        bytes_before = timeline_bytes(system)
+
+        assert plane.ingest(articles) == 0
+        assert system.engine.index.num_documents == before_docs
+        assert system.index_version == before_version
+        assert timeline_bytes(system) == bytes_before
+        assert metrics.counter(
+            "ingest.articles_deduplicated"
+        ).value == len(articles)
+
+    def test_duplicates_within_one_batch_index_once(self):
+        articles = make_articles()
+        doubled = articles[:2] + articles[:2]
+        cold = cold_system(articles[:2])
+        system, plane = live_system([doubled])
+        assert system.index_version == cold.index_version
+        assert timeline_bytes(system) == timeline_bytes(cold)
+
+    def test_replica_retry_converges_instead_of_duplicating(self):
+        """The router 429-retry scenario: one replica already sealed the
+        batch, a sibling did not; re-submitting to both converges them."""
+        articles = make_articles()
+        ahead, ahead_plane = live_system([articles[:4]])
+        behind, behind_plane = live_system([articles[:2]])
+
+        # The retried batch: a no-op on the replica that sealed it,
+        # applied on the one that rejected it the first time.
+        ahead_plane.ingest(articles[2:4])
+        behind_plane.ingest(articles[2:4])
+        assert ahead.index_version == behind.index_version
+        assert timeline_bytes(ahead) == timeline_bytes(behind)
+
+    def test_dedup_survives_recovery(self, tmp_path):
+        articles = make_articles()
+        config = IngestConfig(segments_dir=tmp_path)
+        system, plane = live_system([articles[:3]], config=config)
+
+        restarted = RealTimeTimelineSystem()
+        recovered = IngestPlane(restarted, config)
+        assert recovered.ingest(articles[:3]) == 0
+        assert restarted.engine.index.segment_count == 1
+
+    def test_articles_without_an_id_are_never_deduplicated(self):
+        system, plane = live_system([])
+        anonymous = Article(
+            article_id="",
+            publication_date=d("2021-03-02"),
+            text="An unattributed report arrived on March 1, 2021.",
+        )
+        first = plane.ingest([anonymous])
+        second = plane.ingest([anonymous])
+        assert first > 0
+        assert second == first
+
+
+# ---------------------------------------------------------------------------
+# Flush covers drained-but-unsealed batches (queue lease accounting)
+# ---------------------------------------------------------------------------
+
+
+class TestFlushLease:
+    def test_drained_batch_counts_until_task_done(self):
+        queue = IngestQueue(max_articles=8)
+        queue.offer(make_articles()[:2])
+        batch = queue.drain(8, timeout=0)
+        assert batch and queue.depth == 0
+        # Depth alone would read idle here; the lease keeps it busy.
+        assert queue.inflight == 1
+        assert not queue.wait_idle(timeout=0.02)
+        queue.task_done()
+        assert queue.inflight == 0
+        assert queue.wait_idle(timeout=0.02)
+
+    def test_flush_waits_for_the_inflight_seal(self):
+        import threading
+
+        articles = make_articles()
+        system = RealTimeTimelineSystem()
+        plane = IngestPlane(
+            system, IngestConfig(batch_articles=64, batch_age_ms=5.0)
+        )
+        sealing = threading.Event()
+        release = threading.Event()
+        original = plane._seal_batch
+
+        def slow_seal(batch):
+            sealing.set()
+            release.wait(timeout=10.0)
+            return original(batch)
+
+        plane._seal_batch = slow_seal
+        plane.start()
+        try:
+            before = system.index_version
+            assert plane.submit(articles)
+            assert sealing.wait(timeout=10.0)
+            wait_until(
+                lambda: plane.queue.depth == 0,
+                message="queue drained into the in-flight seal",
+            )
+            # The batch is drained but not sealed: flush must NOT
+            # report success yet.
+            assert not plane.flush(timeout=0.1)
+            release.set()
+            assert plane.flush(timeout=10.0)
+            assert system.index_version > before
+        finally:
+            release.set()
+            plane.stop(drain=True)
+
+
+# ---------------------------------------------------------------------------
+# Day-matrix sync ordering: a seal racing the sync cannot strand the cache
+# ---------------------------------------------------------------------------
+
+
+class TestDayMatrixSyncOrdering:
+    def test_seal_between_version_reads_cannot_strand_the_cache(self):
+        """generate_timeline must capture the index version BEFORE the
+        touched-dates query: a segment sealed between the two reads must
+        not re-key the day-matrix cache past writes it never evicted."""
+        articles = make_articles()
+        system, plane = live_system([articles[:4]])
+        matrix_cache = system.wilson.day_matrix_cache
+        timeline_bytes(system)  # warm: cache keyed at the current revision
+        pre_seal_version = system.index_version
+        assert matrix_cache.version == pre_seal_version
+
+        live = system.engine.index
+        original = live.touched_dates_since
+        state = {"sealed": False}
+
+        def racing(version):
+            touched = original(version)
+            if not state["sealed"]:
+                state["sealed"] = True
+                plane.ingest(articles[4:5])  # a seal lands mid-sync
+            return touched
+
+        live.touched_dates_since = racing
+        try:
+            timeline_bytes(system)
+        finally:
+            del live.touched_dates_since
+        assert state["sealed"]
+        # Still keyed at the pre-seal revision: the racing seal's day
+        # was not in the eviction set, so advancing past it would serve
+        # its stale entries forever (no later sync would evict them).
+        assert matrix_cache.version == pre_seal_version
+        # The next, race-free query catches up to the live revision.
+        timeline_bytes(system)
+        assert matrix_cache.version == system.index_version

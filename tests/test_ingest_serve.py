@@ -177,6 +177,34 @@ class TestIngestRoute:
         timeline = json.loads(raw)["result"]["timeline"]
         assert "2021-03-13" in timeline
 
+    def test_resubmitting_a_sync_batch_is_idempotent(self, live_server):
+        # The router's 429-retry contract over the wire: the same batch
+        # submitted twice indexes once -- the second response succeeds
+        # with zero new documents and an unchanged version.
+        running, system, _ = live_server
+        payload = {
+            "articles": [wire_article(make_articles()[4])],
+            "sync": True,
+        }
+        status, _, raw = _request(
+            running.port, "POST", "/v1/ingest", payload
+        )
+        assert status == 200
+        assert json.loads(raw)["documents"] > 0
+        version = system.index_version
+
+        status, _, raw = _request(
+            running.port, "POST", "/v1/ingest", payload
+        )
+        assert status == 200
+        replay = json.loads(raw)
+        assert replay["documents"] == 0
+        assert replay["index_version"] == version
+        assert system.index_version == version
+
+        status, _, raw = _request(running.port, "GET", "/metrics")
+        assert "wilson_ingest_articles_deduplicated_total 1" in raw.decode()
+
     def test_version_bump_is_visible_on_healthz_and_metrics(
         self, live_server
     ):

@@ -116,6 +116,29 @@ class TestResultCacheUnit:
         with pytest.raises(ValueError):
             ResultCache(ttl_seconds=0)
 
+    def test_generation_guarded_put_discards_after_invalidation(self):
+        # The ingest-seal TOCTOU guard: a result computed before an
+        # invalidation sweep must not land after it.
+        cache = ResultCache(capacity=4, ttl_seconds=10.0)
+        generation = cache.generation
+        cache.invalidate_where(lambda key: False)  # sweep, even if empty
+        assert not cache.put("a", 1, generation=generation)
+        assert cache.get("a") is None
+        assert cache.put("a", 1, generation=cache.generation)
+        assert cache.get("a") == 1
+
+    def test_clear_bumps_the_generation(self):
+        cache = ResultCache(capacity=4, ttl_seconds=10.0)
+        generation = cache.generation
+        cache.clear()
+        assert not cache.put("a", 1, generation=generation)
+
+    def test_unconditional_put_ignores_generation(self):
+        cache = ResultCache(capacity=4, ttl_seconds=10.0)
+        cache.invalidate_where(lambda key: True)
+        assert cache.put("a", 1)
+        assert cache.get("a") == 1
+
 
 class TestKeyNormalization:
     def test_whitespace_and_case_folded(self):
