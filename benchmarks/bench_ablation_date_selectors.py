@@ -58,7 +58,7 @@ def _run_strategy(tagged, selector):
     return MethodResult("strategy", per_instance)
 
 
-def test_ablation_date_selectors(benchmark, capsys):
+def test_ablation_date_selectors(benchmark, capsys, json_out):
     tagged = tagged_timeline17()
 
     def sweep():
@@ -84,6 +84,7 @@ def test_ablation_date_selectors(benchmark, capsys):
         rows,
         title="Ablation: date-selection strategies (timeline17)",
         capsys=capsys,
+        json_out=json_out,
         notes=[
             "every strategy feeds the same daily summarisation and "
             "post-processing; differences isolate the date stage",

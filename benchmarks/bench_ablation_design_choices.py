@@ -32,7 +32,7 @@ def _run(tagged, config, name):
     )
 
 
-def test_ablation_redundancy_threshold(benchmark, capsys):
+def test_ablation_redundancy_threshold(benchmark, capsys, json_out):
     tagged = tagged_timeline17()
 
     def sweep():
@@ -59,6 +59,7 @@ def test_ablation_redundancy_threshold(benchmark, capsys):
         rows,
         title="Ablation: post-processing redundancy threshold",
         capsys=capsys,
+        json_out=json_out,
         notes=["paper fixes 0.5 (Section 2.3.1)"],
     )
     by_threshold = {row[0]: row[1] for row in rows}
@@ -67,7 +68,7 @@ def test_ablation_redundancy_threshold(benchmark, capsys):
     assert by_threshold[0.5] >= best * 0.95
 
 
-def test_ablation_damping(benchmark, capsys):
+def test_ablation_damping(benchmark, capsys, json_out):
     tagged = tagged_timeline17()
 
     def sweep():
@@ -94,6 +95,7 @@ def test_ablation_damping(benchmark, capsys):
         rows,
         title="Ablation: PageRank damping factor",
         capsys=capsys,
+        json_out=json_out,
         notes=["paper uses the NetworkX default 0.85 (Appendix A)"],
     )
     values = [row[1] for row in rows]
@@ -101,7 +103,7 @@ def test_ablation_damping(benchmark, capsys):
     assert min(values) >= max(values) * 0.8
 
 
-def test_ablation_query_bias(benchmark, capsys):
+def test_ablation_query_bias(benchmark, capsys, json_out):
     tagged = tagged_timeline17()
 
     def sweep():
@@ -128,6 +130,7 @@ def test_ablation_query_bias(benchmark, capsys):
         rows,
         title="Ablation: local/global blend (future-work extension)",
         capsys=capsys,
+        json_out=json_out,
         notes=[
             "0.0 is the paper's purely local daily summariser; the "
             "extension biases the TextRank restart toward query-relevant "
@@ -140,7 +143,7 @@ def test_ablation_query_bias(benchmark, capsys):
         assert row[1] >= baseline * 0.8
 
 
-def test_ablation_summary_compression(benchmark, capsys):
+def test_ablation_summary_compression(benchmark, capsys, json_out):
     """Deletion-based compression (the safe abstractive direction).
 
     Expected: compression shortens the timelines substantially while
@@ -173,6 +176,7 @@ def test_ablation_summary_compression(benchmark, capsys):
         rows,
         title="Ablation: deletion-based summary compression",
         capsys=capsys,
+        json_out=json_out,
         notes=[
             "models the safe variant of abstractive TLS (Steen & "
             "Markert 2019); extraction + deletion keeps reliability",

@@ -63,7 +63,7 @@ def _collect_curves(tagged):
     return {name: _cdf(offsets) for name, offsets in curves.items()}
 
 
-def test_figure4_date_distribution(benchmark, capsys):
+def test_figure4_date_distribution(benchmark, capsys, json_out):
     tagged = tagged_timeline17()
     cdfs = benchmark.pedantic(
         _collect_curves, args=(tagged,), rounds=1, iterations=1
@@ -78,6 +78,7 @@ def test_figure4_date_distribution(benchmark, capsys):
         rows,
         title="Figure 4: CDF of selected-date offsets (timeline17)",
         capsys=capsys,
+        json_out=json_out,
         notes=[
             "paper: TILSE and Tran-style PageRank select old dates "
             "(CDF rises early); ground truth is near-uniform; the "

@@ -55,7 +55,7 @@ def _sweep(tagged):
     return rows, advantage
 
 
-def test_figure5_postprocessing(benchmark, capsys):
+def test_figure5_postprocessing(benchmark, capsys, json_out):
     tagged = tagged_crisis()
     rows, advantage = benchmark.pedantic(
         _sweep, args=(tagged,), rounds=1, iterations=1
@@ -66,6 +66,7 @@ def test_figure5_postprocessing(benchmark, capsys):
         rows,
         title="Figure 5: concat ROUGE-2 vs daily summary length (crisis)",
         capsys=capsys,
+        json_out=json_out,
         notes=[
             "paper: both curves decline with more sentences; the "
             "post-processing curve stays above w/o post, with the gap "

@@ -36,7 +36,9 @@ def _predictions(tagged):
     "dataset_name,loader",
     [("timeline17", tagged_timeline17), ("crisis", tagged_crisis)],
 )
-def test_figure6_date_compression(benchmark, capsys, dataset_name, loader):
+def test_figure6_date_compression(
+    benchmark, capsys, dataset_name, loader, json_out
+):
     tagged = loader()
     actual, auto, fixed = benchmark.pedantic(
         _predictions, args=(tagged,), rounds=1, iterations=1
@@ -53,6 +55,7 @@ def test_figure6_date_compression(benchmark, capsys, dataset_name, loader):
             "dates"
         ),
         capsys=capsys,
+        json_out=json_out,
         notes=[
             "paper: the automatic method performs well on both datasets "
             "while each fixed rate is only right for one regime",

@@ -23,7 +23,7 @@ def _corpus():
     return tagged_timeline17().instance(0).corpus
 
 
-def test_ingestion_throughput(benchmark, capsys):
+def test_ingestion_throughput(benchmark, capsys, json_out):
     corpus = _corpus()
 
     def ingest():
@@ -40,11 +40,12 @@ def test_ingestion_throughput(benchmark, capsys):
         ],
         title="Section 5: ingestion microbenchmark",
         capsys=capsys,
+        json_out=json_out,
     )
     assert indexed > len(corpus.articles)
 
 
-def test_query_latency(benchmark, capsys):
+def test_query_latency(benchmark, capsys, json_out):
     corpus = _corpus()
     system = RealTimeTimelineSystem()
     system.ingest(corpus.articles)
@@ -67,6 +68,7 @@ def test_query_latency(benchmark, capsys):
         ],
         title="Section 5: query-serving microbenchmark",
         capsys=capsys,
+        json_out=json_out,
         notes=["paper: timelines generated 'in seconds' on 1M articles"],
     )
     assert len(response.timeline) >= 3
@@ -81,7 +83,7 @@ def test_query_latency(benchmark, capsys):
     )
 
 
-def test_query_latency_warm_vs_cold(benchmark, capsys):
+def test_query_latency_warm_vs_cold(benchmark, capsys, json_out):
     """Cold-cache vs warm-cache serving latency for the same query.
 
     The system shares one :class:`~repro.text.analysis.TokenCache`
@@ -127,6 +129,7 @@ def test_query_latency_warm_vs_cold(benchmark, capsys):
         ],
         title="Section 5: warm vs cold analysis cache",
         capsys=capsys,
+        json_out=json_out,
         notes=[
             "cold = cache cleared before the query (first query after "
             "ingest); warm = repeat query on the shared cache",
@@ -145,7 +148,7 @@ def test_query_latency_warm_vs_cold(benchmark, capsys):
     assert stats.hits > 0
 
 
-def test_query_stage_breakdown(benchmark, capsys):
+def test_query_stage_breakdown(benchmark, capsys, json_out):
     """Per-stage trace of one served query (retrieval vs pipeline stages)."""
     corpus = _corpus()
     system = RealTimeTimelineSystem()
@@ -166,6 +169,7 @@ def test_query_stage_breakdown(benchmark, capsys):
         tracer,
         title="Section 5 companion: query serving per-stage breakdown",
         capsys=capsys,
+        json_out=json_out,
         notes=["span vocabulary: docs/observability.md"],
     )
     for stage in ("realtime.retrieval", "realtime.generation", "daily"):

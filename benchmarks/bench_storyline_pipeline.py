@@ -76,7 +76,7 @@ def _run_pipeline():
     return rows, purities, f1s
 
 
-def test_storyline_pipeline(benchmark, capsys):
+def test_storyline_pipeline(benchmark, capsys, json_out):
     rows, purities, f1s = benchmark.pedantic(
         _run_pipeline, rounds=1, iterations=1
     )
@@ -86,6 +86,7 @@ def test_storyline_pipeline(benchmark, capsys):
         rows,
         title="Extension: mixed feed -> storylines -> timelines",
         capsys=capsys,
+        json_out=json_out,
         notes=[
             "story separation as preprocessing (paper intro, category 1) "
             "feeding WILSON (category 2)",

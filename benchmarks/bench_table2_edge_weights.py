@@ -40,7 +40,9 @@ def _edge_weight_rows(tagged):
     "dataset_name,loader",
     [("timeline17", tagged_timeline17), ("crisis", tagged_crisis)],
 )
-def test_table2_edge_weights(benchmark, capsys, dataset_name, loader):
+def test_table2_edge_weights(
+    benchmark, capsys, dataset_name, loader, json_out
+):
     tagged = loader()
     rows = benchmark.pedantic(
         _edge_weight_rows, args=(tagged,), rounds=1, iterations=1
@@ -51,6 +53,7 @@ def test_table2_edge_weights(benchmark, capsys, dataset_name, loader):
         rows,
         title=f"Table 2 ({dataset_name}): edge-weight comparison",
         capsys=capsys,
+        json_out=json_out,
         notes=[
             "paper (timeline17): W1 .5512/.3905/.0969, W2 .5528/.4029/"
             ".1002, W3 .5628/.4009/.0995, W4 .5068/.3934/.0934",

@@ -45,7 +45,9 @@ def _coverage_rows(tagged):
     "dataset_name,loader",
     [("timeline17", tagged_timeline17), ("crisis", tagged_crisis)],
 )
-def test_table3_date_coverage(benchmark, capsys, dataset_name, loader):
+def test_table3_date_coverage(
+    benchmark, capsys, dataset_name, loader, json_out
+):
     tagged = loader()
     rows, results = benchmark.pedantic(
         _coverage_rows, args=(tagged,), rounds=1, iterations=1
@@ -59,6 +61,7 @@ def test_table3_date_coverage(benchmark, capsys, dataset_name, loader):
         rows,
         title=f"Table 3 ({dataset_name}): date coverage",
         capsys=capsys,
+        json_out=json_out,
         notes=[
             "paper (timeline17): Uniform .8398/.4475/.3896/.0917/.1598; "
             "W3 .7828/.5668/.4000/.0995/.1676; "

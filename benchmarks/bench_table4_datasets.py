@@ -10,7 +10,7 @@ from common import CRISIS_SCALE, T17_SCALE, emit, tagged_crisis, tagged_timeline
 from repro.tlsdata.stats import dataset_statistics
 
 
-def test_table4_dataset_overview(benchmark, capsys):
+def test_table4_dataset_overview(benchmark, capsys, json_out):
     def build():
         return [
             dataset_statistics(tagged_timeline17().dataset),
@@ -31,6 +31,7 @@ def test_table4_dataset_overview(benchmark, capsys):
             f"crisis {CRISIS_SCALE})"
         ),
         capsys=capsys,
+        json_out=json_out,
         notes=[
             "paper (full scale): timeline17 9/19/739/36,915/242; "
             "crisis 4/22/5,130/173,761/388",

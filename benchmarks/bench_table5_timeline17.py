@@ -71,7 +71,7 @@ def _table5_rows(tagged):
     return rows, results
 
 
-def test_table5_timeline17(benchmark, capsys):
+def test_table5_timeline17(benchmark, capsys, json_out):
     tagged = tagged_timeline17()
     rows, results = benchmark.pedantic(
         _table5_rows, args=(tagged,), rounds=1, iterations=1
@@ -82,6 +82,7 @@ def test_table5_timeline17(benchmark, capsys):
         rows,
         title="Table 5: results on timeline17",
         capsys=capsys,
+        json_out=json_out,
         notes=PAPER_ROWS,
     )
     wilson = results["WILSON (Ours)"]

@@ -55,7 +55,7 @@ def _table6_rows(tagged):
     return rows, results
 
 
-def test_table6_crisis(benchmark, capsys):
+def test_table6_crisis(benchmark, capsys, json_out):
     tagged = tagged_crisis()
     rows, results = benchmark.pedantic(
         _table6_rows, args=(tagged,), rounds=1, iterations=1
@@ -66,6 +66,7 @@ def test_table6_crisis(benchmark, capsys):
         rows,
         title="Table 6: results on crisis",
         capsys=capsys,
+        json_out=json_out,
         notes=PAPER_ROWS,
     )
     wilson = results["WILSON (Ours)"]

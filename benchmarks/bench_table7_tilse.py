@@ -86,7 +86,9 @@ PAPER_NOTES = {
     "dataset_name,loader",
     [("timeline17", tagged_timeline17), ("crisis", tagged_crisis)],
 )
-def test_table7_tilse_comparison(benchmark, capsys, dataset_name, loader):
+def test_table7_tilse_comparison(
+    benchmark, capsys, dataset_name, loader, json_out
+):
     tagged = loader()
     rows, results = benchmark.pedantic(
         _table7_rows, args=(tagged,), rounds=1, iterations=1
@@ -115,6 +117,7 @@ def test_table7_tilse_comparison(benchmark, capsys, dataset_name, loader):
         rows,
         title=f"Table 7 ({dataset_name}): comparison with TILSE",
         capsys=capsys,
+        json_out=json_out,
         notes=notes,
     )
 

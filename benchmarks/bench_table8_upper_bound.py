@@ -45,7 +45,9 @@ def _bounds(tagged):
     "dataset_name,loader",
     [("timeline17", tagged_timeline17), ("crisis", tagged_crisis)],
 )
-def test_table8_upper_bounds(benchmark, capsys, dataset_name, loader):
+def test_table8_upper_bounds(
+    benchmark, capsys, dataset_name, loader, json_out
+):
     tagged = loader()
     supervised, two_stage, wilson = benchmark.pedantic(
         _bounds, args=(tagged,), rounds=1, iterations=1
@@ -62,6 +64,7 @@ def test_table8_upper_bounds(benchmark, capsys, dataset_name, loader):
         rows,
         title=f"Table 8 ({dataset_name}): empirical upper bounds",
         capsys=capsys,
+        json_out=json_out,
         notes=[
             "paper (timeline17): submodular bound .50/.18; two-stage "
             "bound .41/.11",

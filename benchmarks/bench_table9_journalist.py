@@ -55,7 +55,7 @@ def _run_study():
     return panel.evaluate_study(evaluations, references)
 
 
-def test_table9_journalist_ranking(benchmark, capsys):
+def test_table9_journalist_ranking(benchmark, capsys, json_out):
     ranks = benchmark.pedantic(_run_study, rounds=1, iterations=1)
     rows = []
     for name, system_ranks in ranks.items():
@@ -77,6 +77,7 @@ def test_table9_journalist_ranking(benchmark, capsys):
         rows,
         title="Table 9: simulated journalist evaluation (10 timelines)",
         capsys=capsys,
+        json_out=json_out,
         notes=[
             "paper: ASMDS 4/3/3 MRR .72 DCG 7.39; TLSCONSTRAINTS 1/6/3 "
             "MRR .56 DCG 6.29; WILSON 5/1/4 MRR .76 DCG 7.63",

@@ -81,6 +81,45 @@ def tagged_crisis() -> TaggedDataset:
     return _TAGGED_CACHE[key]
 
 
+def _metric_slug(text: object) -> str:
+    """A metrics-key-safe slug: lowercase, non-alnum runs collapse to _."""
+    out = "".join(
+        ch if ch.isalnum() else "_" for ch in str(text).strip().lower()
+    )
+    while "__" in out:
+        out = out.replace("__", "_")
+    return out.strip("_") or "value"
+
+
+def table_metrics(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> Dict[str, float]:
+    """Flatten one emitted table into a ``{row.column: value}`` dict.
+
+    Row labels come from the first column; numeric cells (including
+    numeric strings) become leaves keyed ``<row>.<column>`` so every
+    figure/table bench archives its numbers machine-readably without a
+    bespoke schema per table.  Annotation cells (``"3.1x"``, dataset
+    names) are dropped; quality scores survive but are descriptive to
+    ``compare_baselines.py`` (only seconds/speedup paths are compared).
+    """
+    metrics: Dict[str, float] = {}
+    for row in rows:
+        row_key = _metric_slug(row[0])
+        for header, cell in zip(headers[1:], row[1:]):
+            if isinstance(cell, bool):
+                continue
+            if isinstance(cell, (int, float)):
+                value = float(cell)
+            else:
+                try:
+                    value = float(str(cell))
+                except ValueError:
+                    continue
+            metrics[f"{row_key}.{_metric_slug(header)}"] = value
+    return metrics
+
+
 def emit(
     name: str,
     headers: Sequence[str],
@@ -88,13 +127,22 @@ def emit(
     title: str,
     capsys,
     notes: Optional[List[str]] = None,
+    json_out: Optional[str] = None,
 ) -> str:
-    """Render, print (uncaptured) and archive one experiment table."""
+    """Render, print (uncaptured) and archive one experiment table.
+
+    With *json_out* set (route the ``json_out`` fixture through), the
+    table's numeric cells are also written as ``BENCH_<name>.json`` via
+    :func:`write_json_result` so the whole suite has machine-readable
+    history.
+    """
     table = format_table(headers, rows, title=title)
     if notes:
         table = table + "\n" + "\n".join(f"  note: {n}" for n in notes)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+    if json_out is not None:
+        write_json_result(name, table_metrics(headers, rows), json_out)
     with capsys.disabled():
         print(f"\n{table}\n")
     return table
@@ -164,6 +212,7 @@ def emit_stage_breakdown(
     title: str,
     capsys,
     notes: Optional[List[str]] = None,
+    json_out: Optional[str] = None,
 ) -> str:
     """Render + archive a per-stage breakdown table from a traced run.
 
@@ -182,4 +231,5 @@ def emit_stage_breakdown(
         title=title,
         capsys=capsys,
         notes=notes,
+        json_out=json_out,
     )

@@ -163,6 +163,22 @@ def _add_router_flags(parser: argparse.ArgumentParser) -> None:
              "over to a sibling before the response degrades "
              "(default %(default)s)",
     )
+    parser.add_argument(
+        "--no-hedge",
+        action="store_true",
+        help="disable hedged replica reads (by default a slow replica "
+             "is raced against a healthy sibling after an adaptive "
+             "p95-based delay)",
+    )
+    parser.add_argument(
+        "--rpc-format",
+        choices=("binary", "json"),
+        default="binary",
+        help="shard-candidate wire encoding the router asks workers "
+             "for; 'binary' negotiates wilson.rpc/v1 frames via the "
+             "Accept header and falls back to JSON per worker "
+             "(default %(default)s)",
+    )
 
 
 def _shard_policy(args: argparse.Namespace):
@@ -467,6 +483,8 @@ def _router_config(args: argparse.Namespace):
             args.shard_timeout if args.shard_timeout is not None else 5.0
         ),
         shard_retries=args.shard_retries,
+        rpc_format=args.rpc_format,
+        hedge_enabled=not args.no_hedge,
     )
 
 

@@ -6,7 +6,7 @@ import datetime
 import heapq
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.search.index import IndexedSentence, InvertedIndex
 from repro.text.analysis import TokenCache, tokenize_with
@@ -265,3 +265,52 @@ def gather_candidates(
         ),
         truncated=truncated,
     )
+
+
+def candidates_payload(
+    index: InvertedIndex,
+    candidates: ShardCandidates,
+    index_version: int,
+    schema: str,
+) -> Dict[str, Any]:
+    """The ``/v1/shard/search`` response payload for *candidates*.
+
+    The one serialisation of :func:`gather_candidates` output both wire
+    encodings share: the JSON path runs it through ``canonical_json``,
+    the binary path through
+    :func:`repro.serve.frames.encode_shard_search` -- keeping the two
+    bit-exact by construction (same dict in, see
+    tests/test_serve_frames.py). *schema* is the envelope identifier
+    (the serving tier's ``WIRE_SCHEMA``), passed in to keep this module
+    free of serve-layer imports.
+    """
+    hits = []
+    for hit in candidates.hits:
+        document = index.document(hit.doc_id)
+        hits.append(
+            {
+                "doc_id": hit.doc_id,
+                "length": hit.length,
+                "tf": list(hit.term_frequencies),
+                "text": document.text,
+                "date": document.date.isoformat(),
+                "publication_date": (
+                    document.publication_date.isoformat()
+                ),
+                "article_id": document.article_id,
+                "is_reference": document.is_reference,
+            }
+        )
+    return {
+        "schema": schema,
+        "index_version": index_version,
+        "terms": list(candidates.terms),
+        "stats": {
+            "documents": candidates.documents,
+            "total_tokens": candidates.total_tokens,
+            "df": list(candidates.document_frequencies),
+        },
+        "count": len(hits),
+        "truncated": candidates.truncated,
+        "hits": hits,
+    }

@@ -64,6 +64,21 @@ from repro.serve.app import (
     run_server,
 )
 from repro.serve.batching import MicroBatcher
+from repro.serve.flight import Flight, FlightTable
+from repro.serve.frames import (
+    RPC_CONTENT_TYPE,
+    RPC_SCHEMA,
+    FrameError,
+    decode_shard_search,
+    encode_shard_search,
+)
+from repro.serve.pool import (
+    POOL_COUNTERS,
+    POOL_GAUGES,
+    POOL_METRIC_NAMES,
+    ConnectionPool,
+    PooledConnection,
+)
 from repro.serve.cache import (
     ResultCache,
     make_cache_key,
@@ -111,8 +126,12 @@ from repro.serve.topology import (
 __all__ = [
     "AdmissionController",
     "BackgroundServer",
+    "ConnectionPool",
     "DEAD",
     "DEGRADED_HEADER",
+    "Flight",
+    "FlightTable",
+    "FrameError",
     "HEALTHY",
     "HealthConfig",
     "HttpServerBase",
@@ -120,6 +139,10 @@ __all__ = [
     "MergeResult",
     "MergedHit",
     "MicroBatcher",
+    "POOL_COUNTERS",
+    "POOL_GAUGES",
+    "POOL_METRIC_NAMES",
+    "PooledConnection",
     "REPLICA_COUNTERS",
     "REPLICA_GAUGES",
     "REPLICA_METRIC_NAMES",
@@ -128,6 +151,8 @@ __all__ = [
     "ROUTER_GAUGES",
     "ROUTER_HISTOGRAMS",
     "ROUTER_METRIC_NAMES",
+    "RPC_CONTENT_TYPE",
+    "RPC_SCHEMA",
     "ReplicaHealth",
     "ResultCache",
     "RouterConfig",
@@ -148,6 +173,8 @@ __all__ = [
     "TopologyError",
     "WIRE_SCHEMA",
     "canonical_json",
+    "decode_shard_search",
+    "encode_shard_search",
     "export_engine_slices",
     "export_slices",
     "make_cache_key",

@@ -43,6 +43,7 @@ from __future__ import annotations
 import asyncio
 import datetime
 import json
+import os
 import signal
 import threading
 import time
@@ -53,7 +54,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.ingest import IngestPlane, Segment
 from repro.obs.metrics import Metrics
 from repro.runtime import ShardPolicy, ShardResult
-from repro.search.query import SearchQuery, gather_candidates
+from repro.search.query import (
+    SearchQuery,
+    candidates_payload,
+    gather_candidates,
+)
 from repro.search.realtime import RealTimeTimelineSystem, TimelineQuery
 from repro.serve.admission import AdmissionController
 from repro.serve.batching import MicroBatcher
@@ -62,6 +67,8 @@ from repro.serve.cache import (
     make_cache_key,
     window_intersects,
 )
+from repro.serve.flight import FlightTable
+from repro.serve.frames import RPC_CONTENT_TYPE, encode_shard_search
 from repro.tlsdata.types import Article
 
 #: The wire-format identifier every JSON response envelope carries.
@@ -81,6 +88,7 @@ SERVE_COUNTERS = (
     "serve.shard_search_requests",
     "serve.cache_hits",
     "serve.cache_misses",
+    "serve.coalesced_requests",
     "serve.shed",
     "serve.rejected_draining",
     "serve.bad_requests",
@@ -664,6 +672,18 @@ class TimelineServer(HttpServerBase):
         self.ingest = ingest
         if ingest is not None:
             ingest.add_seal_listener(self._on_segment_sealed)
+        # Single-flight table: identical concurrent misses share one
+        # computation (docs/architecture.md "Data plane").
+        self.flights = FlightTable()
+        # Fault-injection knob for smoke tests: an artificial
+        # per-request delay (milliseconds) that makes this worker look
+        # slow without touching any real code path -- CI's hedging
+        # smoke boots one replica with it and asserts the router's
+        # hedges win. Unset/0 in normal operation (docs/serving.md).
+        self._test_delay_seconds = (
+            float(os.environ.get("WILSON_SERVE_TEST_DELAY_MS", 0) or 0)
+            / 1000.0
+        )
 
     def _on_segment_sealed(self, segment: Segment, version: int) -> None:
         """Seal hook: evict cached timelines the new segment staled."""
@@ -719,38 +739,52 @@ class TimelineServer(HttpServerBase):
             default_num_dates=self.config.default_num_dates,
             default_num_sentences=self.config.default_num_sentences,
         )
-        index_version = self.system.index_version
-        # Live-ingest mode keys entries under version 0: seals no longer
-        # strand the whole cache, the seal listener evicts precisely.
-        key = make_cache_key(
-            query.keywords,
-            query.start,
-            query.end,
-            query.num_dates,
-            query.num_sentences,
-            0 if self.ingest is not None else index_version,
-        )
-        cached = self.cache.get(key)
-        if cached is not None:
-            self.metrics.counter("serve.cache_hits").inc()
-            return self._timeline_response(cached, index_version, "hit")
-        self.metrics.counter("serve.cache_misses").inc()
-        # Live-ingest mode: snapshot the cache's invalidation generation
-        # before generation starts. Segments are appended to the overlay
-        # *before* the seal listener sweeps the cache, so any seal that
-        # could stale the upcoming computation either ran its sweep
-        # already (the computation then sees the post-seal view) or will
-        # bump the generation before our put -- which then discards the
-        # entry atomically under the cache lock. No window remains for a
-        # pre-seal result to be cached after its eviction sweep ran.
-        generation = (
-            self.cache.generation if self.ingest is not None else None
-        )
-
-        if not self.admission.try_admit():
-            retry_after = (
-                ("Retry-After", f"{self.admission.retry_after_seconds:g}"),
+        solo = False
+        while True:
+            index_version = self.system.index_version
+            # Live-ingest mode keys entries under version 0: seals no
+            # longer strand the whole cache, the seal listener evicts
+            # precisely.
+            key = make_cache_key(
+                query.keywords,
+                query.start,
+                query.end,
+                query.num_dates,
+                query.num_sentences,
+                0 if self.ingest is not None else index_version,
             )
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.metrics.counter("serve.cache_hits").inc()
+                return self._timeline_response(
+                    cached, index_version, "hit"
+                )
+            if not solo:
+                self.metrics.counter("serve.cache_misses").inc()
+            # Live-ingest mode: snapshot the cache's invalidation
+            # generation before generation starts. Segments are appended
+            # to the overlay *before* the seal listener sweeps the
+            # cache, so any seal that could stale the upcoming
+            # computation either ran its sweep already (the computation
+            # then sees the post-seal view) or will bump the generation
+            # before our put -- which then discards the entry atomically
+            # under the cache lock. No window remains for a pre-seal
+            # result to be cached after its eviction sweep ran.
+            generation = (
+                self.cache.generation if self.ingest is not None else None
+            )
+            flight = self.flights.lookup(key)
+            if flight is None or solo:
+                break
+            # Single-flight follower: an identical computation is
+            # already in progress; await its outcome instead of
+            # recomputing.
+            self.metrics.counter("serve.coalesced_requests").inc()
+            await flight.done.wait()
+            if flight.ok and flight.valid:
+                return self._timeline_response(
+                    flight.result, self.system.index_version, "hit"
+                )
             if self.admission.draining:
                 self.metrics.counter("serve.rejected_draining").inc()
                 return _Response(
@@ -762,48 +796,91 @@ class TimelineServer(HttpServerBase):
                             "detail": "server is shutting down",
                         }
                     ),
+                    extra_headers=(
+                        (
+                            "Retry-After",
+                            f"{self.admission.retry_after_seconds:g}",
+                        ),
+                    ),
+                )
+            # The leader failed or its result was invalidated
+            # mid-flight: recompute independently (one more loop pass,
+            # re-checking the cache first) without joining any newer
+            # flight -- a failing leader must not daisy-chain waiters.
+            solo = True
+
+        lead_flight = self.flights.lead(key) if not solo else None
+        ok = valid = False
+        result: Optional[dict] = None
+        try:
+            if not self.admission.try_admit():
+                retry_after = (
+                    (
+                        "Retry-After",
+                        f"{self.admission.retry_after_seconds:g}",
+                    ),
+                )
+                if self.admission.draining:
+                    self.metrics.counter("serve.rejected_draining").inc()
+                    return _Response(
+                        503,
+                        canonical_json(
+                            {
+                                "schema": WIRE_SCHEMA,
+                                "error": "draining",
+                                "detail": "server is shutting down",
+                            }
+                        ),
+                        extra_headers=retry_after,
+                    )
+                self.metrics.counter("serve.shed").inc()
+                return _Response(
+                    429,
+                    canonical_json(
+                        {
+                            "schema": WIRE_SCHEMA,
+                            "error": "overloaded",
+                            "detail": (
+                                f"more than {self.admission.max_inflight} "
+                                "requests in flight"
+                            ),
+                        }
+                    ),
                     extra_headers=retry_after,
                 )
-            self.metrics.counter("serve.shed").inc()
-            return _Response(
-                429,
-                canonical_json(
-                    {
-                        "schema": WIRE_SCHEMA,
-                        "error": "overloaded",
-                        "detail": (
-                            f"more than {self.admission.max_inflight} "
-                            "requests in flight"
-                        ),
-                    }
-                ),
-                extra_headers=retry_after,
-            )
-        try:
-            shard = await self.batcher.submit(query)
-        finally:
-            self.admission.release()
+            try:
+                shard = await self.batcher.submit(query)
+            finally:
+                self.admission.release()
 
-        if not shard.ok:
-            self.metrics.counter("serve.degraded").inc()
-            return _Response(
-                500,
-                canonical_json(
-                    {
-                        "schema": WIRE_SCHEMA,
-                        "error": "degraded",
-                        "detail": shard.error or "query failed",
-                    }
-                ),
-            )
-        result = shard.value.to_dict()
-        # Under live ingest the put is generation-guarded: it lands only
-        # if no invalidation sweep ran since the pre-generation
-        # snapshot, checked inside the cache lock (a bare version
-        # re-check would race the seal listener firing between check
-        # and insert).
-        self.cache.put(key, result, generation=generation)
-        return self._timeline_response(result, index_version, "miss")
+            if not shard.ok:
+                self.metrics.counter("serve.degraded").inc()
+                return _Response(
+                    500,
+                    canonical_json(
+                        {
+                            "schema": WIRE_SCHEMA,
+                            "error": "degraded",
+                            "detail": shard.error or "query failed",
+                        }
+                    ),
+                )
+            result = shard.value.to_dict()
+            ok = True
+            # Under live ingest the put is generation-guarded: it lands
+            # only if no invalidation sweep ran since the
+            # pre-generation snapshot, checked inside the cache lock (a
+            # bare version re-check would race the seal listener firing
+            # between check and insert). The verdict doubles as the
+            # flight's validity: followers never reuse a result an
+            # invalidation already discarded.
+            valid = self.cache.put(key, result, generation=generation)
+            return self._timeline_response(result, index_version, "miss")
+        finally:
+            if lead_flight is not None:
+                self.flights.finish(
+                    key, lead_flight, ok=ok, valid=valid, result=result
+                )
 
     def _timeline_response(
         self, result: dict, index_version: int, cache_state: str
@@ -860,55 +937,43 @@ class TimelineServer(HttpServerBase):
         document frequencies) instead of BM25 scores -- everything a
         router needs to reproduce the *global* ranking exactly (see
         :func:`repro.search.query.gather_candidates`).
+
+        Encoding is negotiated: a client whose ``Accept`` header names
+        ``application/x-wilson-rpc`` gets the payload as a binary
+        ``wilson.rpc/v1`` candidate frame
+        (:mod:`repro.serve.frames`); everyone else gets canonical JSON.
+        Both encodings serialise the same
+        :func:`~repro.search.query.candidates_payload` dict, so they
+        decode bit-exactly equal.
         """
         self.metrics.counter("serve.shard_search_requests").inc()
         search_query = parse_search_query(request.query)
+        binary = RPC_CONTENT_TYPE in request.headers.get("accept", "")
         engine = self.system.engine
         loop = asyncio.get_running_loop()
-        candidates = await loop.run_in_executor(
-            None,
-            lambda: gather_candidates(
+
+        def compute() -> Tuple[bytes, str]:
+            candidates = gather_candidates(
                 engine.index,
                 search_query,
                 params=engine.bm25_params,
                 cache=engine.cache,
-            ),
-        )
-        index = engine.index
-        hits = []
-        for hit in candidates.hits:
-            document = index.document(hit.doc_id)
-            hits.append(
-                {
-                    "doc_id": hit.doc_id,
-                    "length": hit.length,
-                    "tf": list(hit.term_frequencies),
-                    "text": document.text,
-                    "date": document.date.isoformat(),
-                    "publication_date": (
-                        document.publication_date.isoformat()
-                    ),
-                    "article_id": document.article_id,
-                    "is_reference": document.is_reference,
-                }
             )
+            payload = candidates_payload(
+                engine.index,
+                candidates,
+                self.system.index_version,
+                WIRE_SCHEMA,
+            )
+            if binary:
+                return encode_shard_search(payload), RPC_CONTENT_TYPE
+            return canonical_json(payload), "application/json"
+
+        response_body, content_type = await loop.run_in_executor(
+            None, compute
+        )
         return _Response(
-            200,
-            canonical_json(
-                {
-                    "schema": WIRE_SCHEMA,
-                    "index_version": self.system.index_version,
-                    "terms": list(candidates.terms),
-                    "stats": {
-                        "documents": candidates.documents,
-                        "total_tokens": candidates.total_tokens,
-                        "df": list(candidates.document_frequencies),
-                    },
-                    "count": len(hits),
-                    "truncated": candidates.truncated,
-                    "hits": hits,
-                }
-            ),
+            200, response_body, content_type=content_type
         )
 
     async def _handle_ingest(self, request: _Request) -> _Response:
@@ -1062,6 +1127,8 @@ class TimelineServer(HttpServerBase):
     async def handle_request(self, request: _Request) -> _Response:
         """Route one request, mapping failures to 4xx/5xx responses."""
         self.metrics.counter("serve.requests").inc()
+        if self._test_delay_seconds:
+            await asyncio.sleep(self._test_delay_seconds)
         started = time.perf_counter()
         try:
             response = await self._route(request)

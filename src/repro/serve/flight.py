@@ -1,0 +1,98 @@
+"""Single-flight request coalescing for the serving tier.
+
+A seal-driven cache invalidation (docs/ingest.md) momentarily empties
+the cache for a hot window; every concurrent request for the same
+timeline then misses and recomputes the same result -- the classic
+thundering herd. :class:`FlightTable` collapses it: the first miss for
+a key becomes the **leader** and computes; identical concurrent misses
+become **followers** that simply await the leader's outcome
+(``serve.coalesced_requests`` / ``router.coalesced_requests`` count
+them). N identical concurrent cold requests cost exactly one
+computation (benchmarks/bench_data_plane.py gates this).
+
+Correctness over reuse -- a follower only takes the leader's result
+when it is *valid*:
+
+* The leader marks its flight ``ok`` only when the computation
+  succeeded; a failed leader resolves the flight anyway (``finally``),
+  so followers never wait on a dead flight -- they retry
+  independently.
+* The leader marks the flight ``valid`` only when the result is still
+  current at completion: on the single-index server that is the
+  generation-guarded cache ``put`` succeeding (an invalidation sweep
+  between leader start and finish discards both the cache entry and
+  the flight result); on the router it is the shard-version tuple
+  being unchanged and the merge non-degraded.
+* A follower waking to an invalid flight re-checks the cache and
+  recomputes -- unless the server is draining, in which case it gets
+  the standard 503 instead of starting late work.
+
+Flight keys are full cache keys, which embed index versions, so a
+request arriving *after* an invalidation keys differently and never
+joins the stale flight.
+
+Event-loop only: flights are plain dict entries plus
+:class:`asyncio.Event`; registration and lookup happen with no await
+in between, so there is no race window and no lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Hashable, Optional
+
+
+class Flight:
+    """One in-progress computation other requests may await."""
+
+    __slots__ = ("done", "ok", "valid", "result")
+
+    def __init__(self) -> None:
+        self.done = asyncio.Event()
+        #: Whether the leader's computation succeeded.
+        self.ok = False
+        #: Whether the result was still current when it finished (the
+        #: generation/version guard); only ``ok and valid`` results are
+        #: served to followers.
+        self.valid = False
+        self.result: Any = None
+
+
+class FlightTable:
+    """Keyed single-flight registry (one per server, one event loop)."""
+
+    def __init__(self) -> None:
+        self._flights: Dict[Hashable, Flight] = {}
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def lookup(self, key: Hashable) -> Optional[Flight]:
+        """The in-progress flight for *key*, if any (join as follower)."""
+        return self._flights.get(key)
+
+    def lead(self, key: Hashable) -> Flight:
+        """Register a new flight for *key*; the caller is its leader.
+
+        The caller **must** pair this with exactly one :meth:`finish`
+        (normally via ``try/finally``) or followers wait forever.
+        """
+        flight = Flight()
+        self._flights[key] = flight
+        return flight
+
+    def finish(
+        self,
+        key: Hashable,
+        flight: Flight,
+        ok: bool,
+        valid: bool,
+        result: Any = None,
+    ) -> None:
+        """Resolve *flight* and wake every follower, exactly once."""
+        flight.ok = ok
+        flight.valid = valid
+        flight.result = result
+        if self._flights.get(key) is flight:
+            del self._flights[key]
+        flight.done.set()

@@ -57,6 +57,11 @@ REPLICA_COUNTERS = (
     "replica.probe_failures",
     "replica.deaths",
     "replica.readmissions",
+    # Hedged reads (emitted by the router's shard-call path, namespaced
+    # here because they are per-replica outcomes): hedges issued, and
+    # hedges whose response arrived before the primary's.
+    "replica.hedges",
+    "replica.hedge_wins",
 )
 REPLICA_GAUGES = (
     "replica.replicas",

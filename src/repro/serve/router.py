@@ -55,8 +55,19 @@ import json
 import math
 import time
 import urllib.parse
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.pipeline import Wilson, WilsonConfig
 from repro.obs.metrics import Metrics
@@ -75,7 +86,16 @@ from repro.serve.app import (
     parse_timeline_payload,
 )
 from repro.serve.cache import ResultCache, make_merge_cache_key
-from repro.serve.health import HealthConfig, ReplicaHealth, ReplicaKey
+from repro.serve.flight import FlightTable
+from repro.serve.frames import RPC_CONTENT_TYPE, decode_shard_search
+from repro.serve.health import (
+    HEALTHY,
+    HealthConfig,
+    ReplicaHealth,
+    ReplicaKey,
+)
+from repro.serve.pool import ConnectionPool
+from repro.serve.pool import request as _pool_request
 from repro.serve.topology import Topology
 from repro.text.bm25 import BM25Parameters
 from repro.tlsdata.types import DatedSentence
@@ -90,6 +110,8 @@ ROUTER_COUNTERS = (
     "router.search_requests",
     "router.cache_hits",
     "router.cache_misses",
+    "router.coalesced_requests",
+    "router.binary_frames",
     "router.shed",
     "router.rejected_draining",
     "router.bad_requests",
@@ -150,6 +172,28 @@ class RouterConfig:
     fanout_limit: int = 5000
     default_num_dates: int = 10
     default_num_sentences: int = 1
+    #: Keep-alive connection pooling to shard workers
+    #: (:mod:`repro.serve.pool`). Disabling falls back to one
+    #: ``Connection: close`` connection per call -- kept for A/B
+    #: benchmarking (benchmarks/bench_data_plane.py).
+    pool_enabled: bool = True
+    pool_max_idle_per_endpoint: int = 8
+    pool_idle_timeout_seconds: float = 30.0
+    #: Candidate encoding requested from shard workers: ``"binary"``
+    #: sends ``Accept: application/x-wilson-rpc`` and decodes
+    #: ``wilson.rpc/v1`` frames (workers that predate the format simply
+    #: keep answering JSON); ``"json"`` forces the JSON path.
+    rpc_format: str = "binary"
+    #: Hedged replica reads: when a slice has a second healthy replica
+    #: and the primary has not answered within the adaptive delay
+    #: (rolling p95 of the shard's latency, clamped to
+    #: ``[hedge_delay_floor_seconds, hedge_delay_max_seconds]``), a
+    #: hedge is sent to a sibling and the first response wins. At most
+    #: ``hedge_max_outstanding`` hedges may be in flight router-wide.
+    hedge_enabled: bool = True
+    hedge_delay_floor_seconds: float = 0.01
+    hedge_delay_max_seconds: float = 0.1
+    hedge_max_outstanding: int = 32
 
     def __post_init__(self) -> None:
         if self.shard_timeout_seconds <= 0:
@@ -169,6 +213,28 @@ class RouterConfig:
             raise ValueError(
                 "probe_interval_seconds must be > 0, got "
                 f"{self.probe_interval_seconds}"
+            )
+        if self.rpc_format not in ("binary", "json"):
+            raise ValueError(
+                "rpc_format must be 'binary' or 'json', got "
+                f"{self.rpc_format!r}"
+            )
+        if self.hedge_delay_floor_seconds <= 0:
+            raise ValueError(
+                "hedge_delay_floor_seconds must be > 0, got "
+                f"{self.hedge_delay_floor_seconds}"
+            )
+        if self.hedge_delay_max_seconds < self.hedge_delay_floor_seconds:
+            raise ValueError(
+                "hedge_delay_max_seconds must be >= "
+                "hedge_delay_floor_seconds, got "
+                f"{self.hedge_delay_max_seconds} < "
+                f"{self.hedge_delay_floor_seconds}"
+            )
+        if self.hedge_max_outstanding < 1:
+            raise ValueError(
+                "hedge_max_outstanding must be >= 1, got "
+                f"{self.hedge_max_outstanding}"
             )
 
 
@@ -301,91 +367,39 @@ def merge_shard_candidates(
 
 
 async def _http_get(
-    host: str, port: int, path_and_query: str
-) -> Tuple[int, bytes]:
-    """One stdlib-only HTTP GET; returns ``(status, body)``.
+    host: str,
+    port: int,
+    path_and_query: str,
+    pool: Optional[ConnectionPool] = None,
+    headers: Sequence[Tuple[str, str]] = (),
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One HTTP GET through the data plane; ``(status, headers, body)``.
 
-    Deliberately minimal: ``Connection: close``, so the body is simply
-    everything up to EOF when no ``Content-Length`` arrives.
+    With *pool* the call rides a keep-alive connection from
+    :mod:`repro.serve.pool` (stale reuses are transparently retried
+    once, broken connections retired); without, it opens a one-shot
+    ``Connection: close`` connection.
     """
-    reader, writer = await asyncio.open_connection(host, port)
-    try:
-        writer.write(
-            (
-                f"GET {path_and_query} HTTP/1.1\r\n"
-                f"Host: {host}:{port}\r\n"
-                "Connection: close\r\n\r\n"
-            ).encode("latin-1")
-        )
-        await writer.drain()
-        header_blob = await reader.readuntil(b"\r\n\r\n")
-        lines = header_blob.decode("latin-1").split("\r\n")
-        parts = lines[0].split(" ", 2)
-        if len(parts) < 2:
-            raise ConnectionError(f"malformed status line: {lines[0]!r}")
-        status = int(parts[1])
-        length: Optional[int] = None
-        for line in lines[1:]:
-            name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                length = int(value.strip())
-        if length is not None:
-            body = await reader.readexactly(length)
-        else:
-            body = await reader.read()
-        return status, body
-    finally:
-        try:
-            writer.close()
-            await writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError, OSError):
-            pass
+    return await _pool_request(
+        host, port, "GET", path_and_query, pool=pool, headers=headers
+    )
 
 
 async def _http_post(
-    host: str, port: int, path: str, body: bytes
-) -> Tuple[int, bytes]:
-    """One stdlib-only HTTP POST; returns ``(status, body)``.
+    host: str,
+    port: int,
+    path: str,
+    body: bytes,
+    pool: Optional[ConnectionPool] = None,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One HTTP POST through the data plane; ``(status, headers, body)``.
 
-    Same minimal shape as :func:`_http_get` (``Connection: close``),
-    used by the ingest fan-out to forward article batches to shard
-    workers.
+    Same pooling behaviour as :func:`_http_get`; used by the ingest
+    fan-out to forward article batches to shard workers.
     """
-    reader, writer = await asyncio.open_connection(host, port)
-    try:
-        writer.write(
-            (
-                f"POST {path} HTTP/1.1\r\n"
-                f"Host: {host}:{port}\r\n"
-                "Content-Type: application/json\r\n"
-                f"Content-Length: {len(body)}\r\n"
-                "Connection: close\r\n\r\n"
-            ).encode("latin-1")
-            + body
-        )
-        await writer.drain()
-        header_blob = await reader.readuntil(b"\r\n\r\n")
-        lines = header_blob.decode("latin-1").split("\r\n")
-        parts = lines[0].split(" ", 2)
-        if len(parts) < 2:
-            raise ConnectionError(f"malformed status line: {lines[0]!r}")
-        status = int(parts[1])
-        length: Optional[int] = None
-        for line in lines[1:]:
-            name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                length = int(value.strip())
-        if length is not None:
-            response_body = await reader.readexactly(length)
-        else:
-            response_body = await reader.read()
-        return status, response_body
-    finally:
-        try:
-            writer.close()
-            await writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError, OSError):
-            pass
+    return await _pool_request(
+        host, port, "POST", path, pool=pool, body=body
+    )
 
 
 @dataclass(frozen=True)
@@ -524,12 +538,208 @@ class TimelineRouter(HttpServerBase):
         self._shard_versions: List[int] = [
             topology.source_index_version
         ] * topology.num_shards
+        # -- data plane (docs/architecture.md "Data plane") ------------------
+        self._pool: Optional[ConnectionPool] = (
+            ConnectionPool(
+                max_idle_per_endpoint=(
+                    self.config.pool_max_idle_per_endpoint
+                ),
+                idle_timeout_seconds=(
+                    self.config.pool_idle_timeout_seconds
+                ),
+                metrics=self.metrics,
+            )
+            if self.config.pool_enabled
+            else None
+        )
+        self._shard_accept_headers: Tuple[Tuple[str, str], ...] = (
+            (("Accept", RPC_CONTENT_TYPE),)
+            if self.config.rpc_format == "binary"
+            else ()
+        )
+        self.flights = FlightTable()
+        #: Rolling per-shard latency samples (successful calls only)
+        #: feeding the adaptive hedge delay.
+        self._latency_windows: List[Deque[float]] = [
+            deque(maxlen=64) for _ in range(topology.num_shards)
+        ]
+        self._outstanding_hedges = 0
         self.metrics.gauge("router.shards").set(topology.num_shards)
 
     # -- shard I/O -------------------------------------------------------------
 
     def _index_version(self) -> int:
         return max(self._shard_versions) if self._shard_versions else 0
+
+    async def _replica_attempt(
+        self, key: ReplicaKey, path_and_query: str
+    ) -> Dict[str, Any]:
+        """One HTTP exchange with one replica; the decoded payload.
+
+        Rides the keep-alive pool and negotiates ``wilson.rpc/v1``
+        frames when the router is configured for them (a worker that
+        ignores the ``Accept`` header answers JSON and both decode to
+        the same dict). Raises on any failure -- connection error,
+        timeout, non-200, undecodable payload -- and the caller records
+        the outcome with the health tracker.
+        """
+        endpoint = self._endpoint_by_key[key]
+        self.metrics.counter("router.shard_requests").inc()
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        self.health.inflight.acquire(key)
+        try:
+            status, headers, body = await asyncio.wait_for(
+                _http_get(
+                    endpoint.host,
+                    endpoint.port,
+                    path_and_query,
+                    pool=self._pool,
+                    headers=self._shard_accept_headers,
+                ),
+                timeout=self.config.shard_timeout_seconds,
+            )
+            if status != 200:
+                raise ConnectionError(f"shard answered HTTP {status}")
+            content_type = headers.get("content-type", "")
+            if content_type.startswith(RPC_CONTENT_TYPE):
+                self.metrics.counter("router.binary_frames").inc()
+                payload = decode_shard_search(body)
+            else:
+                payload = json.loads(body.decode("utf-8"))
+            self._latency_windows[key[0]].append(loop.time() - started)
+            return payload
+        finally:
+            self.health.inflight.release(key)
+
+    def _hedge_delay(self, shard_id: int) -> float:
+        """The adaptive hedge trigger delay for *shard_id*.
+
+        Rolling p95 of the shard's recent successful-call latencies,
+        clamped to ``[hedge_delay_floor_seconds,
+        hedge_delay_max_seconds]``. The clamp matters at both ends: the
+        floor keeps a microsecond-fast shard from hedging every call,
+        and the cap keeps one consistently slow replica (whose samples
+        inflate the p95 toward its own latency) from pushing the
+        trigger so far out that hedging can never beat it. With fewer
+        than 8 samples the cap is used -- conservative until the window
+        warms up.
+        """
+        window = self._latency_windows[shard_id]
+        if len(window) >= 8:
+            ordered = sorted(window)
+            delay = ordered[
+                min(len(ordered) - 1, int(len(ordered) * 0.95))
+            ]
+        else:
+            delay = self.config.hedge_delay_max_seconds
+        return min(
+            max(delay, self.config.hedge_delay_floor_seconds),
+            self.config.hedge_delay_max_seconds,
+        )
+
+    def _hedge_candidate(
+        self,
+        shard_id: int,
+        primary_key: ReplicaKey,
+        failed: Set[ReplicaKey],
+    ) -> Optional[ReplicaKey]:
+        """A healthy sibling to hedge to, or ``None`` (no hedge).
+
+        Hedges only target *healthy* replicas: racing a suspect or dead
+        sibling would spend the hedge budget on the least likely
+        winner.
+        """
+        if not self.config.hedge_enabled:
+            return None
+        if len(self.replica_groups[shard_id]) < 2:
+            return None
+        key = self.health.choose(
+            shard_id, frozenset(failed | {primary_key})
+        )
+        if key is None or self.health.state(key) != HEALTHY:
+            return None
+        return key
+
+    def _try_hedge(self) -> bool:
+        if self._outstanding_hedges >= self.config.hedge_max_outstanding:
+            return False
+        self._outstanding_hedges += 1
+        return True
+
+    async def _attempt_with_hedge(
+        self,
+        shard_id: int,
+        primary_key: ReplicaKey,
+        path_and_query: str,
+        failed: Set[ReplicaKey],
+    ) -> Tuple[Optional[Dict[str, Any]], int]:
+        """Race the primary replica against at most one hedge.
+
+        Sends the primary immediately; if a healthy sibling exists and
+        the primary has not answered within :meth:`_hedge_delay`, sends
+        one hedge (subject to the router-wide outstanding cap). The
+        first successful response wins, the loser is cancelled and its
+        connection retired, and every *completed* failure feeds passive
+        health (a cancelled loser is no evidence either way). Returns
+        ``(payload or None, failed-attempt count)`` -- the count keeps
+        the caller's retry budget exact when a hedge consumes an
+        attempt.
+        """
+        loop = asyncio.get_running_loop()
+        primary = loop.create_task(
+            self._replica_attempt(primary_key, path_and_query)
+        )
+        inflight: Dict[asyncio.Task, ReplicaKey] = {primary: primary_key}
+        hedge: Optional[asyncio.Task] = None
+        hedged = False
+        hedge_key = self._hedge_candidate(shard_id, primary_key, failed)
+        if hedge_key is not None:
+            done, _ = await asyncio.wait(
+                {primary}, timeout=self._hedge_delay(shard_id)
+            )
+            if not done and self._try_hedge():
+                hedged = True
+                self.metrics.counter("replica.hedges").inc()
+                hedge = loop.create_task(
+                    self._replica_attempt(hedge_key, path_and_query)
+                )
+                inflight[hedge] = hedge_key
+        consumed = 0
+        payload: Optional[Dict[str, Any]] = None
+        winner: Optional[Tuple[asyncio.Task, ReplicaKey]] = None
+        try:
+            while inflight and payload is None:
+                done, _ = await asyncio.wait(
+                    set(inflight), return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    task_key = inflight.pop(task)
+                    if task.cancelled() or task.exception() is not None:
+                        consumed += 1
+                        self.health.record_failure(task_key)
+                        failed.add(task_key)
+                    elif payload is None:
+                        payload = task.result()
+                        winner = (task, task_key)
+        finally:
+            if inflight:
+                # First response wins: cancel the loser, then wait for
+                # its cleanup (in-flight release, connection
+                # retirement) before letting the caller proceed.
+                for task in inflight:
+                    task.cancel()
+                await asyncio.gather(
+                    *inflight, return_exceptions=True
+                )
+            if hedged:
+                self._outstanding_hedges -= 1
+        if payload is not None and winner is not None:
+            task, task_key = winner
+            self.health.record_success(task_key)
+            if hedge is not None and task is hedge:
+                self.metrics.counter("replica.hedge_wins").inc()
+        return payload, consumed
 
     async def _call_shard(
         self, shard_id: int, path_and_query: str
@@ -543,7 +753,8 @@ class TimelineRouter(HttpServerBase):
         in-flight retry on a sibling -- never a degraded response while
         any replica of the slice is alive. The attempt budget is
         ``shard_retries`` plus the replica count, which reduces to the
-        pre-replica ``shard_retries + 1`` for unreplicated shards.
+        pre-replica ``shard_retries + 1`` for unreplicated shards; a
+        failed hedge consumes budget like any other failed attempt.
         """
         deadline = (
             asyncio.get_running_loop().time()
@@ -557,57 +768,37 @@ class TimelineRouter(HttpServerBase):
         if not admitted:
             self.metrics.counter("router.shard_failures").inc()
             return None
-        failed: set = set()
+        failed: Set[ReplicaKey] = set()
         previous: Optional[ReplicaKey] = None
-        attempts = self.config.shard_retries + len(
+        budget = self.config.shard_retries + len(
             self.replica_groups[shard_id]
         )
+        attempt = 0
         try:
-            for attempt in range(attempts):
+            while attempt < budget:
                 key = self.health.choose(shard_id, frozenset(failed))
                 if key is None:
                     # Every replica failed once already; retry budget
                     # left, so take the healthiest of the full group.
                     key = self.health.choose(shard_id)
                     assert key is not None  # groups are never empty
-                endpoint = self._endpoint_by_key[key]
                 if attempt:
                     self.metrics.counter("router.shard_retries").inc()
                     if key != previous:
                         self.metrics.counter("replica.failovers").inc()
                 previous = key
-                self.metrics.counter("router.shard_requests").inc()
-                self.health.inflight.acquire(key)
-                try:
-                    status, body = await asyncio.wait_for(
-                        _http_get(
-                            endpoint.host, endpoint.port, path_and_query
-                        ),
-                        timeout=self.config.shard_timeout_seconds,
-                    )
-                    if status == 200:
-                        payload = json.loads(body.decode("utf-8"))
-                        self._shard_versions[shard_id] = int(
-                            payload.get(
-                                "index_version",
-                                self._shard_versions[shard_id],
-                            )
+                payload, consumed = await self._attempt_with_hedge(
+                    shard_id, key, path_and_query, failed
+                )
+                if payload is not None:
+                    self._shard_versions[shard_id] = int(
+                        payload.get(
+                            "index_version",
+                            self._shard_versions[shard_id],
                         )
-                        self.health.record_success(key)
-                        return payload
-                    self.health.record_failure(key)
-                    failed.add(key)
-                except (
-                    OSError,
-                    asyncio.TimeoutError,
-                    asyncio.IncompleteReadError,
-                    ConnectionError,
-                    ValueError,  # bad JSON / bad status line
-                ):
-                    self.health.record_failure(key)
-                    failed.add(key)
-                finally:
-                    self.health.inflight.release(key)
+                    )
+                    return payload
+                attempt += max(1, consumed)
             self.metrics.counter("router.shard_failures").inc()
             return None
         finally:
@@ -729,24 +920,48 @@ class TimelineRouter(HttpServerBase):
             default_num_dates=self.config.default_num_dates,
             default_num_sentences=self.config.default_num_sentences,
         )
-        key = make_merge_cache_key(
-            query.keywords,
-            query.start,
-            query.end,
-            query.num_dates,
-            query.num_sentences,
-            tuple(self._shard_versions),
-        )
-        cached = self.cache.get(key)
-        if cached is not None:
-            self.metrics.counter("router.cache_hits").inc()
-            return self._timeline_response(
-                cached, self._index_version(), "hit", ()
+        # Single-flight coalescing (repro.serve.flight): identical
+        # concurrent misses share the leader's merge + summarize run.
+        # Followers re-loop on wake so they re-check the cache first; a
+        # follower that finds an unusable flight outcome computes
+        # independently (``solo``) rather than daisy-chaining behind the
+        # next leader.
+        solo = False
+        while True:
+            versions = tuple(self._shard_versions)
+            key = make_merge_cache_key(
+                query.keywords,
+                query.start,
+                query.end,
+                query.num_dates,
+                query.num_sentences,
+                versions,
             )
-        self.metrics.counter("router.cache_misses").inc()
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.metrics.counter("router.cache_hits").inc()
+                return self._timeline_response(
+                    cached, self._index_version(), "hit", ()
+                )
+            if not solo:
+                self.metrics.counter("router.cache_misses").inc()
+            flight = self.flights.lookup(key)
+            if flight is None or solo:
+                break
+            self.metrics.counter("router.coalesced_requests").inc()
+            await flight.done.wait()
+            if flight.ok and flight.valid:
+                return self._timeline_response(
+                    flight.result, self._index_version(), "hit", ()
+                )
+            if self.admission.draining:
+                return self._admission_rejection()
+            solo = True
 
         if not self.admission.try_admit():
             return self._admission_rejection()
+        lead_flight = self.flights.lead(key) if not solo else None
+        ok = valid = False
         try:
             retrieval_started = time.perf_counter()
             search_query = SearchQuery(
@@ -809,25 +1024,38 @@ class TimelineRouter(HttpServerBase):
                     ),
                 },
             }
+            ok = True
+            if not degraded:
+                # Only fully healthy merges are cacheable: a degraded
+                # merge is partial data and the key's version tuple
+                # describes the *complete* topology. The flight result
+                # is valid for followers only if no shard version moved
+                # mid-flight -- the version tuple is the router's
+                # generation guard.
+                self.cache.put(
+                    make_merge_cache_key(
+                        query.keywords,
+                        query.start,
+                        query.end,
+                        query.num_dates,
+                        query.num_sentences,
+                        tuple(self._shard_versions),
+                    ),
+                    result,
+                )
+                valid = tuple(self._shard_versions) == versions
         finally:
             self.admission.release()
+            if lead_flight is not None:
+                self.flights.finish(
+                    key,
+                    lead_flight,
+                    ok=ok,
+                    valid=valid,
+                    result=result if ok else None,
+                )
 
         headers, extras = self._degraded_extras(degraded)
-        if not degraded:
-            # Only fully healthy merges are cacheable: a degraded merge
-            # is partial data and the key's version tuple describes the
-            # *complete* topology.
-            self.cache.put(
-                make_merge_cache_key(
-                    query.keywords,
-                    query.start,
-                    query.end,
-                    query.num_dates,
-                    query.num_sentences,
-                    tuple(self._shard_versions),
-                ),
-                result,
-            )
         return self._timeline_response(
             result, self._index_version(), "miss", headers, extras
         )
@@ -986,12 +1214,13 @@ class TimelineRouter(HttpServerBase):
             outcomes = []
             for endpoint in self.replica_groups[shard_id]:
                 try:
-                    status, _ = await asyncio.wait_for(
+                    status, _, _ = await asyncio.wait_for(
                         _http_post(
                             endpoint.host,
                             endpoint.port,
                             "/v1/ingest",
                             body,
+                            pool=self._pool,
                         ),
                         timeout=self.config.shard_timeout_seconds,
                     )
@@ -1110,8 +1339,13 @@ class TimelineRouter(HttpServerBase):
 
     async def _probe_replica(self, endpoint: _ShardEndpoint) -> bool:
         try:
-            status, body = await asyncio.wait_for(
-                _http_get(endpoint.host, endpoint.port, "/healthz"),
+            status, _, body = await asyncio.wait_for(
+                _http_get(
+                    endpoint.host,
+                    endpoint.port,
+                    "/healthz",
+                    pool=self._pool,
+                ),
                 timeout=self.config.shard_timeout_seconds,
             )
             if status != 200:
@@ -1143,6 +1377,8 @@ class TimelineRouter(HttpServerBase):
         """
         while True:
             await asyncio.sleep(self.config.probe_interval_seconds)
+            if self._pool is not None:
+                self._pool.reap_idle()
             due = self.health.due_probes()
             if not due:
                 continue
@@ -1227,7 +1463,10 @@ class TimelineRouter(HttpServerBase):
             except asyncio.CancelledError:
                 pass
             self._probe_task = None
-        return await super().shutdown()
+        drained = await super().shutdown()
+        if self._pool is not None:
+            self._pool.close()
+        return drained
 
     async def _drain(self) -> bool:
         self.admission.begin_drain()

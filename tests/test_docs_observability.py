@@ -237,6 +237,40 @@ class TestRouterContract:
                 "docs/observability.md"
             )
 
+    def test_every_registered_pool_metric_is_documented(
+        self, contract_text
+    ):
+        from repro.serve import POOL_METRIC_NAMES
+
+        for name in POOL_METRIC_NAMES:
+            assert f"`{name}`" in contract_text, (
+                f"pool metric {name!r} is not documented in "
+                "docs/observability.md"
+            )
+
+    def test_coalescing_and_hedging_counters_are_documented(
+        self, contract_text
+    ):
+        from repro.serve import (
+            REPLICA_METRIC_NAMES,
+            ROUTER_METRIC_NAMES,
+            SERVE_METRIC_NAMES,
+        )
+
+        assert "serve.coalesced_requests" in SERVE_METRIC_NAMES
+        assert "router.coalesced_requests" in ROUTER_METRIC_NAMES
+        assert "router.binary_frames" in ROUTER_METRIC_NAMES
+        assert "replica.hedges" in REPLICA_METRIC_NAMES
+        assert "replica.hedge_wins" in REPLICA_METRIC_NAMES
+        for name in (
+            "serve.coalesced_requests",
+            "router.coalesced_requests",
+            "router.binary_frames",
+            "replica.hedges",
+            "replica.hedge_wins",
+        ):
+            assert f"`{name}`" in contract_text
+
     def test_shard_search_counter_is_documented(self, contract_text):
         from repro.serve import SERVE_METRIC_NAMES
 

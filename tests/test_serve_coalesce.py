@@ -1,0 +1,285 @@
+"""Single-flight coalescing: the thundering-herd and its race windows.
+
+Over real sockets: N identical concurrent cold requests produce
+exactly one computation (one ``miss``, the rest served from the flight
+or the cache). Then, with a scripted batcher for deterministic timing,
+the three races docs/architecture.md promises are closed:
+
+* a **failing leader** never poisons its followers -- they retry
+  independently and succeed;
+* an **invalidation between leader start and finish** discards the
+  leader's result for followers too (the generation-guarded put is the
+  flight's validity), so nobody serves a stale timeline;
+* **drain while followers wait** resolves them with a clean 503 --
+  no hang, no late work started on a draining server.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.search.realtime import RealTimeTimelineSystem
+from repro.serve import (
+    BackgroundServer,
+    ServeConfig,
+    TimelineServer,
+)
+from repro.serve.app import _Request
+from repro.tlsdata.synthetic import make_timeline17_like
+from tests.test_serve_app import _request, _timeline_payload
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return make_timeline17_like(scale=0.02, seed=11).instances[0]
+
+
+@pytest.fixture(scope="module")
+def system(instance):
+    system = RealTimeTimelineSystem()
+    system.ingest(instance.corpus.articles)
+    return system
+
+
+class TestHerdCollapse:
+    def test_identical_concurrent_misses_compute_once(
+        self, system, instance
+    ):
+        config = ServeConfig(port=0, batch_window_ms=2.0, workers=2)
+        with BackgroundServer(TimelineServer(system, config)) as server:
+            payload = _timeline_payload(instance)
+            outcomes = []
+            lock = threading.Lock()
+
+            def fire():
+                status, _, raw = _request(
+                    server, "POST", "/v1/timeline", payload
+                )
+                with lock:
+                    outcomes.append((status, raw))
+
+            threads = [
+                threading.Thread(target=fire) for _ in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            assert [status for status, _ in outcomes] == [200] * 8
+            states = [
+                json.loads(raw)["cache"] for _, raw in outcomes
+            ]
+            assert states.count("miss") == 1
+            bodies = {
+                json.dumps(
+                    json.loads(raw)["result"], sort_keys=True
+                )
+                for _, raw in outcomes
+            }
+            assert len(bodies) == 1
+            snapshot = server.metrics.snapshot()["counters"]
+            assert snapshot.get("serve.coalesced_requests", 0) >= 1
+
+
+class _ScriptedBatcher:
+    """Stands in for the micro-batcher: the test scripts each submit."""
+
+    def __init__(self):
+        self.calls = 0
+        self.entered = asyncio.Event()
+        self.release = asyncio.Event()
+        #: Outcomes consumed per call: "fail" or a result payload dict.
+        self.script = []
+
+    async def submit(self, query):
+        self.calls += 1
+        first = self.calls == 1
+        if first:
+            self.entered.set()
+            await self.release.wait()
+        outcome = self.script.pop(0)
+
+        class Shard:
+            pass
+
+        shard = Shard()
+        if outcome == "fail":
+            shard.ok = False
+            shard.error = "scripted failure"
+            shard.value = None
+        else:
+            shard.ok = True
+            shard.error = None
+
+            class Value:
+                @staticmethod
+                def to_dict():
+                    return outcome
+
+            shard.value = Value()
+        return shard
+
+
+def _timeline_request(instance):
+    start, end = instance.corpus.window
+    body = json.dumps(
+        {
+            "keywords": list(instance.corpus.query),
+            "start": start.isoformat(),
+            "end": end.isoformat(),
+            "num_dates": 5,
+            "num_sentences": 1,
+        }
+    ).encode()
+    return _Request(
+        method="POST",
+        path="/v1/timeline",
+        query={},
+        headers={"content-type": "application/json"},
+        body=body,
+        keep_alive=False,
+    )
+
+
+async def _race(system, instance, script, during_flight=None):
+    """One leader (blocked in its scripted submit) plus two followers.
+
+    Starts the leader, waits until it is inside the batcher, starts the
+    followers, lets them join the flight, runs *during_flight*, then
+    releases the leader. Returns ``(server, [leader, f1, f2])``
+    responses, all resolved within a hard timeout (a hang is a fail,
+    not a stuck suite).
+    """
+    server = TimelineServer(system, ServeConfig(port=0))
+    batcher = _ScriptedBatcher()
+    batcher.script = script
+    server.batcher = batcher
+
+    leader = asyncio.create_task(
+        server._handle_timeline(_timeline_request(instance))
+    )
+    await asyncio.wait_for(batcher.entered.wait(), timeout=10)
+    followers = [
+        asyncio.create_task(
+            server._handle_timeline(_timeline_request(instance))
+        )
+        for _ in range(2)
+    ]
+    # Let the followers reach their flight wait.
+    for _ in range(10):
+        await asyncio.sleep(0)
+    counters = server.metrics.snapshot()["counters"]
+    assert counters.get("serve.coalesced_requests", 0) == 2
+    if during_flight is not None:
+        during_flight(server)
+    batcher.release.set()
+    responses = await asyncio.wait_for(
+        asyncio.gather(leader, *followers), timeout=10
+    )
+    return server, batcher, responses
+
+
+class TestLeaderFailure:
+    def test_followers_retry_independently_after_a_failed_leader(
+        self, system, instance
+    ):
+        async def test():
+            fresh = {"timeline": {"x": 1}, "num_candidates": 1}
+            server, batcher, responses = await _race(
+                system,
+                instance,
+                script=["fail", fresh, fresh],
+            )
+            leader, f1, f2 = responses
+            assert leader.status == 500
+            assert json.loads(leader.body)["error"] == "degraded"
+            for follower in (f1, f2):
+                assert follower.status == 200
+                envelope = json.loads(follower.body)
+                assert envelope["result"] == fresh
+            # One failed leader computation plus at least one
+            # independent recomputation (a follower that recomputes
+            # fast enough legitimately serves its sibling from the
+            # cache) -- no daisy-chained second flight, no poisoned
+            # wait.
+            assert batcher.calls in (2, 3)
+
+        asyncio.run(test())
+
+
+class TestMidFlightInvalidation:
+    def test_followers_recompute_after_invalidation(
+        self, system, instance
+    ):
+        async def test():
+            stale = {"timeline": {"stale": True}, "num_candidates": 1}
+            fresh = {"timeline": {"fresh": True}, "num_candidates": 1}
+            server = TimelineServer(system, ServeConfig(port=0))
+            # Ingest mode arms the generation guard (any non-None
+            # sentinel: _handle_timeline only checks ``is not None``).
+            server.ingest = object()
+            batcher = _ScriptedBatcher()
+            batcher.script = [stale, fresh, fresh]
+            server.batcher = batcher
+            leader = asyncio.create_task(
+                server._handle_timeline(_timeline_request(instance))
+            )
+            await asyncio.wait_for(batcher.entered.wait(), timeout=10)
+            followers = [
+                asyncio.create_task(
+                    server._handle_timeline(_timeline_request(instance))
+                )
+                for _ in range(2)
+            ]
+            for _ in range(10):
+                await asyncio.sleep(0)
+            server.cache.invalidate_where(lambda key: True)
+            batcher.release.set()
+            leader_response, f1, f2 = await asyncio.wait_for(
+                asyncio.gather(leader, *followers), timeout=10
+            )
+            # The leader still answers its own request with the result
+            # it computed; the *flight* is what the invalidation voids.
+            assert leader_response.status == 200
+            stale_result = json.loads(leader_response.body)["result"]
+            assert stale_result["timeline"] == {"stale": True}
+            for follower in (f1, f2):
+                assert follower.status == 200
+                envelope = json.loads(follower.body)
+                assert envelope["result"]["timeline"] == {"fresh": True}
+            # One leader computation plus at least one independent
+            # recomputation; the invalidated result was never cached.
+            assert batcher.calls in (2, 3)
+            assert len(server.cache) <= 2
+
+        asyncio.run(test())
+
+
+class TestDrainWhileWaiting:
+    def test_followers_get_a_clean_503_when_draining(
+        self, system, instance
+    ):
+        async def test():
+            def drain(server):
+                server.admission.begin_drain()
+
+            server, batcher, responses = await _race(
+                system,
+                instance,
+                script=["fail"],
+                during_flight=drain,
+            )
+            leader, f1, f2 = responses
+            assert leader.status == 500
+            for follower in (f1, f2):
+                assert follower.status == 503
+                envelope = json.loads(follower.body)
+                assert envelope["error"] == "draining"
+                assert dict(follower.extra_headers).get("Retry-After")
+            # Followers never started late work on the draining server.
+            assert batcher.calls == 1
+
+        asyncio.run(test())

@@ -29,6 +29,7 @@ from repro.search.query import SearchQuery, execute, gather_candidates
 from repro.search.realtime import RealTimeTimelineSystem
 from repro.serve import (
     DEGRADED_HEADER,
+    POOL_METRIC_NAMES,
     REPLICA_METRIC_NAMES,
     ROUTER_METRIC_NAMES,
     BackgroundServer,
@@ -452,8 +453,10 @@ class TestRouterContract:
             | set(snapshot["gauges"])
             | set(snapshot["histograms"])
         )
-        assert emitted <= set(ROUTER_METRIC_NAMES) | set(
-            REPLICA_METRIC_NAMES
+        assert emitted <= (
+            set(ROUTER_METRIC_NAMES)
+            | set(REPLICA_METRIC_NAMES)
+            | set(POOL_METRIC_NAMES)
         )
 
     def test_metrics_endpoint_renders_router_namespace(self, router):
